@@ -1,0 +1,440 @@
+package quantile
+
+// This file is the benchmark harness required by DESIGN.md: one testing.B
+// benchmark per paper table and figure (reporting the regenerated values as
+// custom metrics) plus ingest/query micro-benchmarks for every algorithm.
+// The experiment implementations live in internal/experiments and are
+// shared with cmd/qbench, so both report the same numbers.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/stream"
+)
+
+// BenchmarkTable1 regenerates paper Table 1 (memory of the unknown-N vs
+// known-N algorithms over the (ε, δ) grid) and reports the worst
+// unknown/known ratio — the paper's "no more than twice" claim.
+func BenchmarkTable1(b *testing.B) {
+	var r experiments.Table1Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MaxRatio(), "worst-unknown/known-ratio")
+	mid := r.Rows[2] // eps = 0.01
+	b.ReportMetric(float64(mid.Unknown[2].Memory), "mem-elems(eps=.01,delta=1e-4)")
+}
+
+// BenchmarkTable2 regenerates paper Table 2 (multiple quantiles) and
+// reports the p=1→1000 memory growth factor at ε = 0.01.
+func BenchmarkTable2(b *testing.B) {
+	var r experiments.Table2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Rows[2].GrowthFactor(), "growth-p1-to-p1000(eps=.01)")
+	b.ReportMetric(float64(r.Rows[2].Precompute.Memory), "precompute-mem-elems(eps=.01)")
+}
+
+// BenchmarkFigure4 regenerates paper Figure 4 (memory vs log10 N) and
+// reports the known-N plateau and the constant unknown-N level.
+func BenchmarkFigure4(b *testing.B) {
+	var r experiments.Figure4Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Plateau), "knownN-plateau-elems")
+	b.ReportMetric(float64(r.Points[0].Unknown), "unknownN-const-elems")
+	b.ReportMetric(float64(r.Points[0].KnownN), "knownN-at-1e3-elems")
+}
+
+// BenchmarkFigure5 regenerates paper Figure 5 (buffer allocation schedule
+// under user memory caps) and reports the plan's peak and early memory.
+func BenchmarkFigure5(b *testing.B) {
+	var r experiments.Figure5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Plan.MaxMemory()), "schedule-peak-elems")
+	b.ReportMetric(float64(r.Points[0].Scheduled), "schedule-at-1e3-elems")
+}
+
+// BenchmarkTreesFigure23 regenerates the Figure 2/3 structural trace and
+// reports the leaf counts at which the tree height grows (pinning the
+// closed forms the optimizer relies on).
+func BenchmarkTreesFigure23(b *testing.B) {
+	var r experiments.TreesResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Trees(5, 2, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, e := range r.Events {
+		if e.Height == 2 {
+			b.ReportMetric(float64(e.Leaves), "leaves-at-onset(b=5,h=2)")
+		}
+	}
+}
+
+// BenchmarkAccuracy runs the E-ACC validation (observed error vs ε across
+// distributions) and reports the failure count — expected 0 at these
+// parameters.
+func BenchmarkAccuracy(b *testing.B) {
+	cfg := experiments.DefaultAccuracyConfig()
+	cfg.N = 100_000
+	cfg.Trials = 1
+	var r experiments.AccuracyResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Accuracy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	fails, total := r.TotalFailures()
+	b.ReportMetric(float64(fails), "estimates-outside-eps")
+	b.ReportMetric(float64(total), "estimates-checked")
+}
+
+// BenchmarkExtreme runs the E-EXT comparison (Section 7) and reports the
+// memory ratio of the extreme estimator to the general algorithm at
+// φ = 0.01, ε = 0.001.
+func BenchmarkExtreme(b *testing.B) {
+	cfg := experiments.DefaultExtremeConfig()
+	cfg.N = 100_000
+	cfg.Trials = 1
+	var r experiments.ExtremeResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Extreme(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range r.Rows {
+		if row.Phi == 0.01 && row.Eps == 0.001 {
+			b.ReportMetric(float64(row.ExtremeK), "extreme-k-elems")
+			b.ReportMetric(float64(row.ExtremeK)/float64(row.GeneralBK), "extreme/general-mem-ratio")
+		}
+	}
+}
+
+// BenchmarkParallel runs the E-PAR merge validation and reports the worst
+// merged-estimate error fraction at 8 workers.
+func BenchmarkParallel(b *testing.B) {
+	cfg := experiments.DefaultParallelConfig()
+	cfg.PerWorker = 20_000
+	cfg.WorkerCounts = []int{8}
+	var r experiments.ParallelResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Parallel(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Rows[0].WorstErrFrac, "worst-err/(eps*N)@P=8")
+	b.ReportMetric(float64(r.Rows[0].Failures), "outside-eps@P=8")
+}
+
+// BenchmarkReservoir runs the E-RES comparison and reports the memory
+// ratio at ε = 0.001.
+func BenchmarkReservoir(b *testing.B) {
+	var r experiments.ReservoirResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Reservoir(1e-3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := r.Rows[len(r.Rows)-1]
+	b.ReportMetric(last.Ratio, "reservoir/unknownN-mem@eps=.001")
+}
+
+// BenchmarkAblationPolicy compares the three collapse policies under one
+// budget and reports each policy's worst error fraction.
+func BenchmarkAblationPolicy(b *testing.B) {
+	var r experiments.PolicyAblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.PolicyAblation(6, 256, 100_000, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range r.Rows {
+		b.ReportMetric(row.WorstErrFrac, "err-frac/"+row.Policy)
+	}
+}
+
+// BenchmarkAblationAlpha sweeps the ε split and reports the solver's
+// balance point.
+func BenchmarkAblationAlpha(b *testing.B) {
+	var r experiments.AlphaAblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.AlphaAblation(0.01, 1e-3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.SolverAlpha, "solver-alpha")
+	b.ReportMetric(float64(r.SolverMemory), "solver-mem-elems")
+}
+
+// BenchmarkAblationOnset sweeps the sampling-onset height and reports the
+// optimal h's memory.
+func BenchmarkAblationOnset(b *testing.B) {
+	var r experiments.OnsetAblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.OnsetAblation(0.01, 1e-3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := r.Rows[0]
+	for _, row := range r.Rows {
+		if row.Memory < best.Memory {
+			best = row
+		}
+	}
+	b.ReportMetric(float64(best.H), "best-onset-h")
+	b.ReportMetric(float64(best.Memory), "best-mem-elems")
+}
+
+// BenchmarkDelta runs the E-DELTA failure-rate validation and reports the
+// observed rate at the provisioned configuration (budget: δ).
+func BenchmarkDelta(b *testing.B) {
+	cfg := experiments.DefaultDeltaConfig()
+	cfg.N = 10_000
+	cfg.Trials = 30
+	var r experiments.DeltaResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Delta(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.ProvisionedRate(), "observed-failure-rate")
+	b.ReportMetric(cfg.Delta, "budget-delta")
+}
+
+// --- Ingest / query micro-benchmarks (E-THR) ---
+
+func benchData(n int) []float64 {
+	return stream.Collect(stream.Uniform(uint64(n), 0xbe9c4))
+}
+
+// BenchmarkThroughputUnknownN measures Sketch.Add at ε=0.01, δ=1e-3.
+func BenchmarkThroughputUnknownN(b *testing.B) {
+	data := benchData(1 << 20)
+	s, err := New[float64](0.01, 1e-3, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(data[i&(1<<20-1)])
+	}
+}
+
+// BenchmarkThroughputKnownN measures the MRL98 known-N sketch's Add.
+func BenchmarkThroughputKnownN(b *testing.B) {
+	data := benchData(1 << 20)
+	s, err := NewKnownN[float64](1<<40, 0.01, 1e-3, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(data[i&(1<<20-1)])
+	}
+}
+
+// BenchmarkThroughputReservoir measures the baseline's Add.
+func BenchmarkThroughputReservoir(b *testing.B) {
+	data := benchData(1 << 20)
+	s, err := NewReservoir[float64](0.01, 1e-3, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(data[i&(1<<20-1)])
+	}
+}
+
+// BenchmarkThroughputExtreme measures the Section 7 estimator's Add.
+func BenchmarkThroughputExtreme(b *testing.B) {
+	data := benchData(1 << 20)
+	s, err := NewExtreme[float64](0.01, 0.002, 1e-3, 1<<40, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(data[i&(1<<20-1)])
+	}
+}
+
+// BenchmarkQuery measures the anytime Output operation on a loaded sketch
+// at several batch sizes.
+func BenchmarkQuery(b *testing.B) {
+	s, err := New[float64](0.01, 1e-3, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range benchData(1 << 21) {
+		s.Add(v)
+	}
+	for _, nq := range []int{1, 10, 100} {
+		phis := make([]float64, nq)
+		for i := range phis {
+			phis[i] = float64(i+1) / float64(nq+1)
+		}
+		b.Run(fmt.Sprintf("phis=%d", nq), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Quantiles(phis); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMerge measures the Section 6 coordinator merging 8 workers.
+// Merge consumes its inputs, so each iteration rebuilds the workers from
+// pre-serialized checkpoints; the measured op is restore + ship + merge
+// (restore is a small fraction of it).
+func BenchmarkMerge(b *testing.B) {
+	data := benchData(1 << 16)
+	blobs := make([][]byte, 8)
+	for w := range blobs {
+		s, err := New[float64](0.02, 1e-3, WithSeed(uint64(w)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.AddAll(data)
+		blob, err := s.Checkpoint(Float64Codec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		blobs[w] = blob
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sketches := make([]*Sketch[float64], len(blobs))
+		for w, blob := range blobs {
+			s, err := RestoreSketch[float64](blob, Float64Codec())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sketches[w] = s
+		}
+		if _, err := Merge(sketches...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpoint measures serializing a loaded sketch.
+func BenchmarkCheckpoint(b *testing.B) {
+	s, err := New[float64](0.01, 1e-3, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range benchData(1 << 20) {
+		s.Add(v)
+	}
+	b.ResetTimer()
+	var blob []byte
+	for i := 0; i < b.N; i++ {
+		blob, err = s.Checkpoint(Float64Codec())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(blob)), "blob-bytes")
+}
+
+// BenchmarkRestore measures deserializing a checkpoint.
+func BenchmarkRestore(b *testing.B) {
+	s, err := New[float64](0.01, 1e-3, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range benchData(1 << 20) {
+		s.Add(v)
+	}
+	blob, err := s.Checkpoint(Float64Codec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RestoreSketch[float64](blob, Float64Codec()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentAdd measures the sharded sketch's parallel ingest.
+func BenchmarkConcurrentAdd(b *testing.B) {
+	c, err := NewConcurrent[float64](0.01, 1e-3, 8, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := benchData(1 << 16)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Add(data[i&(1<<16-1)])
+			i++
+		}
+	})
+}
+
+// BenchmarkHistogram measures equi-depth boundary extraction over a loaded
+// histogram.
+func BenchmarkHistogram(b *testing.B) {
+	h, err := NewEquiDepth[float64](20, 0.01, 1e-3, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range benchData(1 << 20) {
+		h.Add(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Boundaries(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

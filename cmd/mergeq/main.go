@@ -1,0 +1,100 @@
+// Command mergeq merges worker shipments produced by `quantiles -ship` and
+// answers quantile queries over the union of the workers' streams — the
+// paper's Section 6 distributed pipeline as a shell workflow:
+//
+//	quantiles -eps 0.01 -ship east.q  < east.txt
+//	quantiles -eps 0.01 -ship west.q  < west.txt
+//	mergeq -eps 0.01 -phi 0.5,0.99 east.q west.q
+//
+// The -eps/-delta flags must match the values the workers used (they
+// determine the shared buffer size k; a mismatch is detected and reported).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	quantile "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mergeq: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mergeq", flag.ContinueOnError)
+	var (
+		phiList = fs.String("phi", "0.01,0.05,0.25,0.5,0.75,0.95,0.99", "comma-separated quantiles in (0,1]")
+		eps     = fs.Float64("eps", 0.01, "rank-error bound the workers were built with")
+		delta   = fs.Float64("delta", 1e-4, "failure probability the workers were built with")
+		seed    = fs.Uint64("seed", 1, "random seed for the merge coordinator")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no shipment files given")
+	}
+	phis, err := parsePhis(*phiList)
+	if err != nil {
+		return err
+	}
+	plan, err := quantile.PlanUnknownN(*eps, *delta)
+	if err != nil {
+		return err
+	}
+	blobs := make([][]byte, 0, fs.NArg())
+	for _, name := range fs.Args() {
+		blob, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		blobs = append(blobs, blob)
+	}
+	m, err := quantile.MergeShipments(plan.K, plan.B, *seed, quantile.Float64Codec(), blobs...)
+	if err != nil {
+		return err
+	}
+	if m.Count() == 0 {
+		return fmt.Errorf("shipments carry no data")
+	}
+	vals, err := m.Quantiles(phis)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "# merged %d shipments, %d elements\n", len(blobs), m.Count())
+	for i, phi := range phis {
+		fmt.Fprintf(stdout, "%g\t%v\n", phi, vals[i])
+	}
+	return nil
+}
+
+func parsePhis(list string) ([]float64, error) {
+	parts := strings.Split(list, ",")
+	phis := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad quantile %q: %v", p, err)
+		}
+		if v <= 0 || v > 1 {
+			return nil, fmt.Errorf("quantile %v out of (0,1]", v)
+		}
+		phis = append(phis, v)
+	}
+	if len(phis) == 0 {
+		return nil, fmt.Errorf("no quantiles requested")
+	}
+	return phis, nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	quantile "repro"
+)
+
+// writeShipment builds a worker sketch over [lo, hi) and writes its
+// shipment to dir.
+func writeShipment(t *testing.T, dir string, name string, lo, hi int, eps, delta float64) string {
+	t.Helper()
+	s, err := quantile.New[float64](eps, delta, quantile.WithSeed(uint64(lo)+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := lo; i < hi; i++ {
+		s.Add(float64(i))
+	}
+	blob, err := s.MarshalShipment(quantile.Float64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMergeqEndToEnd(t *testing.T) {
+	const eps, delta = 0.01, 1e-4
+	dir := t.TempDir()
+	// Three workers covering [0, 300000) in disjoint ranges.
+	f1 := writeShipment(t, dir, "a.q", 0, 100_000, eps, delta)
+	f2 := writeShipment(t, dir, "b.q", 100_000, 200_000, eps, delta)
+	f3 := writeShipment(t, dir, "c.q", 200_000, 300_000, eps, delta)
+
+	var out strings.Builder
+	err := run([]string{"-eps", fmt.Sprint(eps), "-delta", fmt.Sprint(delta), "-phi", "0.5,0.9", f1, f2, f3}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if !strings.Contains(lines[0], "merged 3 shipments, 300000 elements") {
+		t.Errorf("header: %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		parts := strings.Split(line, "\t")
+		phi, _ := strconv.ParseFloat(parts[0], 64)
+		v, _ := strconv.ParseFloat(parts[1], 64)
+		if math.Abs(v-phi*300_000) > eps*300_000 {
+			t.Errorf("phi=%v merged to %v, outside eps window", phi, v)
+		}
+	}
+}
+
+func TestMergeqErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no files accepted")
+	}
+	if err := run([]string{"/does/not/exist.q"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk.q")
+	os.WriteFile(junk, []byte("not a shipment"), 0o644)
+	if err := run([]string{junk}, &out); err == nil {
+		t.Error("junk file accepted")
+	}
+	if err := run([]string{"-phi", "2", junk}, &out); err == nil {
+		t.Error("bad phi accepted")
+	}
+	if err := run([]string{"-eps", "0", junk}, &out); err == nil {
+		t.Error("bad eps accepted")
+	}
+}
+
+func TestMergeqMismatchedEps(t *testing.T) {
+	dir := t.TempDir()
+	// Worker at eps=0.05, merge at eps=0.01: buffer sizes differ, must be
+	// detected rather than silently producing wrong answers.
+	f := writeShipment(t, dir, "w.q", 0, 50_000, 0.05, 1e-3)
+	var out strings.Builder
+	if err := run([]string{"-eps", "0.01", "-delta", "1e-4", f}, &out); err == nil {
+		t.Error("mismatched worker/merge eps accepted")
+	}
+}

@@ -1,0 +1,161 @@
+// Command qbench regenerates every table and figure of the paper's
+// evaluation, plus the repository's validation experiments. Run with no
+// arguments for the full suite, or name individual experiments:
+//
+//	qbench table1 table2 fig4 fig5 trees accuracy extreme parallel reservoir ablation throughput
+//
+// The experiment implementations live in internal/experiments and are
+// shared with the testing.B benchmark harness (bench_test.go), so the CLI
+// and `go test -bench` report the same numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+var experimentOrder = []string{
+	"table1", "table2", "fig4", "fig5", "trees",
+	"accuracy", "extreme", "parallel", "reservoir", "delta", "ablation", "throughput",
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink stream sizes for a fast smoke run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qbench [-quick] [experiment ...]\nexperiments: %v\n", experimentOrder)
+	}
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = experimentOrder
+	}
+	for _, name := range names {
+		if err := run(os.Stdout, name, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "qbench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(w io.Writer, name string, quick bool) error {
+	switch name {
+	case "table1":
+		r, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+	case "table2":
+		r, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+	case "fig4":
+		r, err := experiments.Figure4()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+		fmt.Fprintln(w, r.Chart())
+	case "fig5":
+		r, err := experiments.Figure5()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+		fmt.Fprintln(w, r.Chart())
+	case "trees":
+		r, err := experiments.Trees(5, 2, 40)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+		fmt.Fprintln(w, r.Diagram)
+	case "accuracy":
+		cfg := experiments.DefaultAccuracyConfig()
+		if quick {
+			cfg.N, cfg.Trials = 50_000, 1
+		}
+		r, err := experiments.Accuracy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+	case "extreme":
+		cfg := experiments.DefaultExtremeConfig()
+		if quick {
+			cfg.N, cfg.Trials = 50_000, 1
+		}
+		r, err := experiments.Extreme(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+	case "parallel":
+		cfg := experiments.DefaultParallelConfig()
+		if quick {
+			cfg.PerWorker = 10_000
+			cfg.WorkerCounts = []int{1, 2, 4}
+		}
+		r, err := experiments.Parallel(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+	case "reservoir":
+		r, err := experiments.Reservoir(1e-3)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+	case "delta":
+		cfg := experiments.DefaultDeltaConfig()
+		if quick {
+			cfg.N, cfg.Trials = 10_000, 20
+		}
+		r, err := experiments.Delta(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+	case "ablation":
+		n := uint64(200_000)
+		if quick {
+			n = 30_000
+		}
+		p, err := experiments.PolicyAblation(6, 256, n, 0.01)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, p.Render())
+		a, err := experiments.AlphaAblation(0.01, 1e-3)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, a.Render())
+		o, err := experiments.OnsetAblation(0.01, 1e-3)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, o.Render())
+	case "throughput":
+		n := uint64(2_000_000)
+		if quick {
+			n = 200_000
+		}
+		r, err := experiments.Throughput(n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+	default:
+		return fmt.Errorf("unknown experiment %q (known: %v)", name, experimentOrder)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns exercises the full dispatcher in quick mode and
+// checks each experiment produces its titled output.
+func TestEveryExperimentRuns(t *testing.T) {
+	wantTitle := map[string]string{
+		"table1":     "Table 1",
+		"table2":     "Table 2",
+		"fig4":       "Figure 4",
+		"fig5":       "Figure 5",
+		"trees":      "Figures 2-3",
+		"accuracy":   "E-ACC",
+		"extreme":    "E-EXT",
+		"parallel":   "E-PAR",
+		"reservoir":  "E-RES",
+		"delta":      "E-DELTA",
+		"ablation":   "E-ABL",
+		"throughput": "E-THR",
+	}
+	for _, name := range experimentOrder {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(&out, name, true); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if want := wantTitle[name]; want == "" || !strings.Contains(out.String(), want) {
+				t.Errorf("%s output missing %q", name, want)
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "nope", false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestChartsIncluded(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "fig4", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "y: memory (elements)") {
+		t.Error("fig4 output missing ASCII chart")
+	}
+	out.Reset()
+	if err := run(&out, "trees", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "root: Output") {
+		t.Error("trees output missing diagram")
+	}
+}

@@ -1,0 +1,126 @@
+// Command qsim explores the paper's parameter space: given ε and δ it
+// prints the solved layouts for every algorithm variant, the constraint
+// slack of the unknown-N solution, and optional sweeps.
+//
+//	qsim -eps 0.01 -delta 1e-4
+//	qsim -eps 0.01 -delta 1e-4 -n 1e8          # known-N mode decision at N
+//	qsim -eps 0.01 -delta 1e-4 -explain 6,652,7  # explain a hand-picked b,k,h
+//	qsim -sweep-eps                              # memory across the ε grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/extreme"
+	"repro/internal/optimize"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "qsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("qsim", flag.ContinueOnError)
+	var (
+		eps      = fs.Float64("eps", 0.01, "rank-error bound")
+		delta    = fs.Float64("delta", 1e-4, "failure probability")
+		n        = fs.Float64("n", 0, "stream length for the known-N decision (0 = skip)")
+		phi      = fs.Float64("phi", 0, "extreme quantile to size (0 = skip)")
+		explainS = fs.String("explain", "", "explain a layout given as b,k,h")
+		sweepEps = fs.Bool("sweep-eps", false, "print memory across the standard ε grid")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *sweepEps {
+		fmt.Fprintf(w, "%-8s %-14s %-14s %-14s\n", "eps", "unknown-N", "known-N", "reservoir")
+		for _, e := range []float64{0.1, 0.05, 0.01, 0.005, 0.001} {
+			u, err := optimize.UnknownN(e, *delta)
+			if err != nil {
+				return err
+			}
+			k, err := optimize.KnownNSampling(e, *delta)
+			if err != nil {
+				return err
+			}
+			r, err := optimize.ReservoirSize(e, *delta)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-8g %-14d %-14d %-14d\n", e, u.Memory, k.Memory, r)
+		}
+		return nil
+	}
+
+	if *explainS != "" {
+		parts := strings.Split(*explainS, ",")
+		if len(parts) != 3 {
+			return fmt.Errorf("-explain wants b,k,h")
+		}
+		var bkh [3]int
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return fmt.Errorf("-explain component %q: %v", p, err)
+			}
+			bkh[i] = v
+		}
+		rep := optimize.Explain(optimize.Params{B: bkh[0], K: bkh[1], H: bkh[2],
+			Memory: uint64(bkh[0]) * uint64(bkh[1])}, *eps, *delta)
+		fmt.Fprint(w, rep.String())
+		if !rep.AllSatisfied() {
+			fmt.Fprintln(w, "layout does NOT satisfy the guarantee at these eps/delta")
+		}
+		return nil
+	}
+
+	u, err := optimize.UnknownN(*eps, *delta)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "unknown-N algorithm (paper Sections 3-4):\n")
+	fmt.Fprint(w, optimize.Explain(u, *eps, *delta).String())
+
+	ks, err := optimize.KnownNSampling(*eps, *delta)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nknown-N sampling plateau [MRL98]: b=%d k=%d memory=%d (ratio unknown/known = %.2f)\n",
+		ks.B, ks.K, ks.Memory, float64(u.Memory)/float64(ks.Memory))
+
+	if *n > 0 {
+		p, err := optimize.KnownN(*eps, *delta, uint64(*n))
+		if err != nil {
+			return err
+		}
+		mode := "deterministic"
+		if p.Sampling {
+			mode = fmt.Sprintf("sampling (rate %d)", p.Rate)
+		}
+		fmt.Fprintf(w, "known-N at N=%.3g: %s mode, b=%d k=%d memory=%d\n", *n, mode, p.B, p.K, p.Memory)
+	}
+
+	if r, err := optimize.ReservoirSize(*eps, *delta); err == nil {
+		fmt.Fprintf(w, "reservoir baseline: %d elements (%.1fx the unknown-N algorithm)\n",
+			r, float64(r)/float64(u.Memory))
+	}
+
+	if *phi > 0 {
+		pl, err := extreme.Solve(*phi, *eps, *delta)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "extreme estimator at phi=%g: sample s=%d, retained k=%d (%.2f%% of unknown-N memory)\n",
+			*phi, pl.S, pl.K, 100*float64(pl.K)/float64(u.Memory))
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runQsim(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestDefaultReport(t *testing.T) {
+	out := runQsim(t, "-eps", "0.01", "-delta", "1e-4")
+	for _, want := range []string{"unknown-N algorithm", "Eq1", "Eq2", "Eq3", "[ok]", "known-N sampling plateau", "reservoir baseline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Error("solver output flagged as violating its own constraints")
+	}
+}
+
+func TestKnownNDecision(t *testing.T) {
+	small := runQsim(t, "-eps", "0.01", "-delta", "1e-4", "-n", "1000")
+	if !strings.Contains(small, "deterministic mode") {
+		t.Errorf("small n should pick deterministic:\n%s", small)
+	}
+	big := runQsim(t, "-eps", "0.01", "-delta", "1e-4", "-n", "1e10")
+	if !strings.Contains(big, "sampling (rate") {
+		t.Errorf("big n should pick sampling:\n%s", big)
+	}
+}
+
+func TestExtremeSizing(t *testing.T) {
+	out := runQsim(t, "-eps", "0.002", "-delta", "1e-3", "-phi", "0.01")
+	if !strings.Contains(out, "extreme estimator at phi=0.01") {
+		t.Errorf("missing extreme line:\n%s", out)
+	}
+}
+
+func TestExplainGoodAndBad(t *testing.T) {
+	good := runQsim(t, "-eps", "0.01", "-delta", "1e-4", "-explain", "6,652,7")
+	if strings.Contains(good, "does NOT satisfy") {
+		t.Errorf("solver layout flagged invalid:\n%s", good)
+	}
+	bad := runQsim(t, "-eps", "0.01", "-delta", "1e-4", "-explain", "2,10,3")
+	if !strings.Contains(bad, "VIOLATED") || !strings.Contains(bad, "does NOT satisfy") {
+		t.Errorf("bad layout not flagged:\n%s", bad)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	out := runQsim(t, "-sweep-eps", "-delta", "1e-3")
+	if !strings.Contains(out, "0.001") || !strings.Contains(out, "reservoir") {
+		t.Errorf("sweep output wrong:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 6 {
+		t.Errorf("sweep should have header + 5 rows:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		{"-explain", "1,2"},
+		{"-explain", "a,b,c"},
+		{"-eps", "0"},
+		{"-phi", "0.5", "-eps", "1e-9"}, // extreme sample size impractical
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

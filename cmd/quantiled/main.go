@@ -1,0 +1,43 @@
+// Command quantiled serves streaming quantiles over HTTP: a sidecar
+// process that accepts numbers and answers percentile, CDF and histogram
+// queries with the paper's memory guarantees.
+//
+//	quantiled -addr :8080 -eps 0.01 -delta 1e-4
+//	curl -d "$(seq 1 100000)" localhost:8080/add
+//	curl 'localhost:8080/quantile?phi=0.5,0.99'
+//	curl 'localhost:8080/cdf?v=42000'
+//	curl 'localhost:8080/histogram?buckets=10'
+//	curl  localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	quantile "repro"
+	"repro/httpapi"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		eps    = flag.Float64("eps", 0.01, "rank-error bound")
+		delta  = flag.Float64("delta", 1e-4, "failure probability")
+		shards = flag.Int("shards", 0, "concurrency shards (0 = default)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	srv, err := httpapi.New(*eps, *delta, *shards, quantile.WithSeed(*seed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quantiled: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("quantiled listening on %s (eps=%g delta=%g)", *addr, *eps, *delta)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

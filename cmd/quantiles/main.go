@@ -1,0 +1,232 @@
+// Command quantiles computes approximate quantiles of a stream of numbers
+// read from stdin (or files), one value per line, in a single pass with
+// bounded memory.
+//
+//	seq 1 1000000 | quantiles -phi 0.5,0.9,0.99
+//	quantiles -eps 0.001 -algo reservoir data.txt
+//	quantiles -algo extreme -phi 0.99 -n 1000000 sales.txt
+//
+// Algorithms: "unknown" (default; the paper's unknown-N algorithm),
+// "known" (MRL98, requires -n), "reservoir" (folklore baseline) and
+// "extreme" (Section 7, single -phi near 0 or 1, requires -n).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	quantile "repro"
+	"repro/internal/ingest"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "quantiles: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("quantiles", flag.ContinueOnError)
+	var (
+		phiList = fs.String("phi", "0.01,0.05,0.25,0.5,0.75,0.95,0.99", "comma-separated quantiles in (0,1]")
+		eps     = fs.Float64("eps", 0.01, "rank-error bound as a fraction of the stream length")
+		delta   = fs.Float64("delta", 1e-4, "failure probability")
+		algo    = fs.String("algo", "unknown", "algorithm: unknown | known | reservoir | extreme")
+		n       = fs.Uint64("n", 0, "declared stream length (required for -algo known/extreme)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		pol     = fs.String("policy", "mrl", "collapse policy: mrl | munro-paterson | ars")
+		stats   = fs.Bool("stats", false, "print sketch internals after the run")
+		ship    = fs.String("ship", "", "write a worker shipment to this file instead of printing quantiles (unknown algo only; merge with mergeq)")
+		csvMode = fs.Bool("csv", false, "parse input as CSV and read one column")
+		column  = fs.String("column", "0", "CSV column: 0-based index, or a name with -header")
+		header  = fs.Bool("header", false, "first CSV record is a header row")
+		skipBad = fs.Bool("skip-bad", false, "skip unparseable values instead of failing")
+		comma   = fs.String("comma", ",", "CSV field separator")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	phis, err := parsePhis(*phiList)
+	if err != nil {
+		return err
+	}
+
+	var input io.Reader = stdin
+	if fs.NArg() > 0 {
+		readers := make([]io.Reader, 0, fs.NArg())
+		for _, name := range fs.Args() {
+			f, err := os.Open(name)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		input = io.MultiReader(readers...)
+	}
+
+	reader, err := newReader(input, *csvMode, *column, *header, *skipBad, *comma)
+	if err != nil {
+		return err
+	}
+	feed := func(add func(float64)) error {
+		if err := reader.Drain(add); err != nil {
+			return err
+		}
+		if n := reader.Skipped(); n > 0 {
+			fmt.Fprintf(stdout, "# skipped %d unparseable values\n", n)
+		}
+		return nil
+	}
+
+	switch *algo {
+	case "unknown":
+		s, err := quantile.New[float64](*eps, *delta,
+			quantile.WithSeed(*seed), quantile.WithPolicy(*pol))
+		if err != nil {
+			return err
+		}
+		if err := feed(s.Add); err != nil {
+			return err
+		}
+		if *ship != "" {
+			blob, err := s.MarshalShipment(quantile.Float64Codec())
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*ship, blob, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "# shipped %d elements as %d bytes to %s\n", s.Count(), len(blob), *ship)
+			return nil
+		}
+		if err := report(stdout, phis, s.Quantiles, s.Count()); err != nil {
+			return err
+		}
+		if *stats {
+			st := s.Stats()
+			fmt.Fprintf(stdout, "# memory=%d elements, tree height=%d, collapses=%d, sampling rate=1/%d\n",
+				st.MemoryElements, st.Height, st.Collapses, st.SamplingRate)
+		}
+	case "known":
+		if *n == 0 {
+			return fmt.Errorf("-algo known requires -n")
+		}
+		s, err := quantile.NewKnownN[float64](*n, *eps, *delta,
+			quantile.WithSeed(*seed), quantile.WithPolicy(*pol))
+		if err != nil {
+			return err
+		}
+		if err := feed(s.Add); err != nil {
+			return err
+		}
+		if s.Overflowed() {
+			fmt.Fprintf(stdout, "# warning: stream exceeded declared n=%d; guarantee void\n", *n)
+		}
+		if err := report(stdout, phis, s.Quantiles, s.Count()); err != nil {
+			return err
+		}
+		if *stats {
+			fmt.Fprintf(stdout, "# memory=%d elements\n", s.MemoryElements())
+		}
+	case "reservoir":
+		s, err := quantile.NewReservoir[float64](*eps, *delta, quantile.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		if err := feed(s.Add); err != nil {
+			return err
+		}
+		for _, phi := range phis {
+			v, err := s.Query(phi)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%g\t%v\n", phi, v)
+		}
+		if *stats {
+			fmt.Fprintf(stdout, "# memory=%d elements (n=%d)\n", s.MemoryElements(), s.Count())
+		}
+	case "extreme":
+		if *n == 0 {
+			return fmt.Errorf("-algo extreme requires -n")
+		}
+		if len(phis) != 1 {
+			return fmt.Errorf("-algo extreme takes exactly one -phi")
+		}
+		s, err := quantile.NewExtreme[float64](phis[0], *eps, *delta, *n, quantile.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		if err := feed(s.Add); err != nil {
+			return err
+		}
+		v, err := s.Query()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%g\t%v\n", phis[0], v)
+		if *stats {
+			fmt.Fprintf(stdout, "# memory=%d elements (n=%d)\n", s.MemoryElements(), s.Count())
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	return nil
+}
+
+func parsePhis(list string) ([]float64, error) {
+	parts := strings.Split(list, ",")
+	phis := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad quantile %q: %v", p, err)
+		}
+		if v <= 0 || v > 1 {
+			return nil, fmt.Errorf("quantile %v out of (0,1]", v)
+		}
+		phis = append(phis, v)
+	}
+	if len(phis) == 0 {
+		return nil, fmt.Errorf("no quantiles requested")
+	}
+	return phis, nil
+}
+
+// newReader builds the value reader for the selected input format.
+func newReader(input io.Reader, csvMode bool, column string, header, skipBad bool, comma string) (*ingest.Reader, error) {
+	opts := ingest.Options{Column: column, Header: header, SkipBad: skipBad}
+	if csvMode {
+		if len(comma) != 1 {
+			return nil, fmt.Errorf("-comma must be a single character")
+		}
+		opts.Comma = rune(comma[0])
+		return ingest.CSV(input, opts)
+	}
+	return ingest.Plain(input, opts), nil
+}
+
+func report(w io.Writer, phis []float64, query func([]float64) ([]float64, error), n uint64) error {
+	if n == 0 {
+		return fmt.Errorf("no input values")
+	}
+	vals, err := query(phis)
+	if err != nil {
+		return err
+	}
+	for i, phi := range phis {
+		fmt.Fprintf(w, "%g\t%v\n", phi, vals[i])
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// osStat returns the size of a file.
+func osStat(path string) (int64, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+func numbers(n int) string {
+	var b strings.Builder
+	for i := 1; i <= n; i++ {
+		fmt.Fprintln(&b, i)
+	}
+	return b.String()
+}
+
+// runCLI executes run and returns stdout lines.
+func runCLI(t *testing.T, args []string, stdin string) []string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, strings.NewReader(stdin), &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return strings.Split(strings.TrimSpace(out.String()), "\n")
+}
+
+// parseLine extracts "phi\tvalue".
+func parseLine(t *testing.T, line string) (phi, v float64) {
+	t.Helper()
+	parts := strings.Split(line, "\t")
+	if len(parts) != 2 {
+		t.Fatalf("bad output line %q", line)
+	}
+	phi, err1 := strconv.ParseFloat(parts[0], 64)
+	v, err2 := strconv.ParseFloat(parts[1], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparseable line %q", line)
+	}
+	return phi, v
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	lines := runCLI(t, []string{"-phi", "0.5,0.9", "-eps", "0.01"}, numbers(100_000))
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for _, line := range lines {
+		phi, v := parseLine(t, line)
+		if math.Abs(v-phi*100_000) > 0.01*100_000 {
+			t.Errorf("phi=%v: value %v outside eps window", phi, v)
+		}
+	}
+}
+
+func TestKnownAlgorithm(t *testing.T) {
+	lines := runCLI(t, []string{"-algo", "known", "-n", "50000", "-phi", "0.5"}, numbers(50_000))
+	_, v := parseLine(t, lines[0])
+	if math.Abs(v-25_000) > 500 {
+		t.Errorf("known median %v", v)
+	}
+}
+
+func TestKnownOverflowWarning(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-algo", "known", "-n", "10", "-phi", "0.5"},
+		strings.NewReader(numbers(100)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "warning") {
+		t.Error("no overflow warning printed")
+	}
+}
+
+func TestReservoirAlgorithm(t *testing.T) {
+	lines := runCLI(t, []string{"-algo", "reservoir", "-phi", "0.5", "-eps", "0.05"}, numbers(20_000))
+	_, v := parseLine(t, lines[0])
+	if math.Abs(v-10_000) > 0.05*20_000 {
+		t.Errorf("reservoir median %v", v)
+	}
+}
+
+func TestExtremeAlgorithm(t *testing.T) {
+	lines := runCLI(t, []string{"-algo", "extreme", "-phi", "0.99", "-n", "100000", "-eps", "0.005"}, numbers(100_000))
+	_, v := parseLine(t, lines[0])
+	if math.Abs(v-99_000) > 0.005*100_000 {
+		t.Errorf("extreme p99 %v", v)
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-stats", "-phi", "0.5"}, strings.NewReader(numbers(1000)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# memory=") {
+		t.Error("stats line missing")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-algo", "bogus"},
+		{"-algo", "known"},               // missing -n
+		{"-algo", "extreme", "-n", "10"}, // multiple phis by default
+		{"-phi", "0"},
+		{"-phi", "1.5"},
+		{"-phi", "abc"},
+		{"-phi", ""},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, strings.NewReader(numbers(10)), &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	// Empty input.
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Garbage input.
+	if err := run(nil, strings.NewReader("1 2 pear"), &out); err == nil {
+		t.Error("garbage input accepted")
+	}
+}
+
+func TestShipFlag(t *testing.T) {
+	path := t.TempDir() + "/worker.q"
+	var out strings.Builder
+	if err := run([]string{"-ship", path, "-eps", "0.05"}, strings.NewReader(numbers(20_000)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "shipped 20000 elements") {
+		t.Errorf("ship output: %q", out.String())
+	}
+	info, err := osStat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info <= 0 {
+		t.Error("empty shipment file")
+	}
+}
+
+func TestParsePhis(t *testing.T) {
+	phis, err := parsePhis("0.5, 0.9,1")
+	if err != nil || len(phis) != 3 || phis[2] != 1 {
+		t.Errorf("parsePhis: %v %v", phis, err)
+	}
+}
+
+func TestCSVMode(t *testing.T) {
+	csv := "region,amount\n"
+	for i := 1; i <= 1000; i++ {
+		csv += fmt.Sprintf("r%d,%d\n", i%3, i)
+	}
+	lines := runCLI(t, []string{"-csv", "-header", "-column", "amount", "-phi", "0.5", "-eps", "0.05"}, csv)
+	_, v := parseLine(t, lines[0])
+	if math.Abs(v-500) > 50 {
+		t.Errorf("csv median %v", v)
+	}
+}
+
+func TestCSVSkipBad(t *testing.T) {
+	csv := "v\n1\noops\n3\n"
+	var out strings.Builder
+	if err := run([]string{"-csv", "-header", "-column", "v", "-skip-bad", "-phi", "1"},
+		strings.NewReader(csv), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# skipped 1 unparseable values") {
+		t.Errorf("missing skip report: %q", out.String())
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-csv", "-header", "-column", "nope", "-phi", "0.5"},
+		strings.NewReader("a,b\n1,2\n"), &out); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if err := run([]string{"-csv", "-comma", ";;", "-phi", "0.5"},
+		strings.NewReader("1;2\n"), &out); err == nil {
+		t.Error("multi-char comma accepted")
+	}
+}
+
+func TestPolicyFlag(t *testing.T) {
+	for _, pol := range []string{"mrl", "munro-paterson", "ars"} {
+		lines := runCLI(t, []string{"-policy", pol, "-phi", "0.5", "-eps", "0.05"}, numbers(10_000))
+		_, v := parseLine(t, lines[0])
+		if math.Abs(v-5000) > 0.05*10_000 {
+			t.Errorf("policy %s median %v", pol, v)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package quantile
+
+import (
+	"cmp"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// Concurrent is a goroutine-safe quantile summary. Internally it shards
+// the stream across independent unknown-N sketches (each shard sees a
+// ~1/P slice of the stream, which preserves the guarantee — the algorithm
+// is arrival-order oblivious) and answers queries by snapshotting the
+// shards and merging the snapshots through the Section 6 coordinator, so
+// queries never block ingestion for long and never disturb shard state.
+type Concurrent[T cmp.Ordered] struct {
+	eps, delta float64
+	shards     []*cShard[T]
+	ctr        atomic.Uint64
+	seed       uint64
+}
+
+type cShard[T cmp.Ordered] struct {
+	mu sync.Mutex
+	sk *core.Sketch[T]
+}
+
+// NewConcurrent returns a goroutine-safe sketch with the given shard
+// count (0 selects 8). Guarantees match New: every estimate is within
+// ε·N of exact with probability ≥ 1−δ.
+func NewConcurrent[T cmp.Ordered](eps, delta float64, shards int, opts ...Option) (*Concurrent[T], error) {
+	if shards <= 0 {
+		shards = 8
+	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	proto, err := New[T](eps, delta, opts...)
+	if err != nil {
+		return nil, err
+	}
+	cfg := proto.inner.Config()
+	c := &Concurrent[T]{eps: eps, delta: delta, seed: o.seed}
+	for i := 0; i < shards; i++ {
+		scfg := cfg
+		scfg.Seed = o.seed + uint64(i)*0x9e3779b97f4a7c15 + 1
+		sk, err := core.NewSketch[T](scfg)
+		if err != nil {
+			return nil, err
+		}
+		c.shards = append(c.shards, &cShard[T]{sk: sk})
+	}
+	return c, nil
+}
+
+// Add feeds one element. Safe for concurrent use; under contention the
+// element is routed to whichever shard is free.
+func (c *Concurrent[T]) Add(v T) {
+	start := c.ctr.Add(1)
+	n := uint64(len(c.shards))
+	for i := uint64(0); i < n; i++ {
+		sh := c.shards[(start+i)%n]
+		if sh.mu.TryLock() {
+			sh.sk.Add(v)
+			sh.mu.Unlock()
+			return
+		}
+	}
+	// Everything busy: block on the designated shard.
+	sh := c.shards[start%n]
+	sh.mu.Lock()
+	sh.sk.Add(v)
+	sh.mu.Unlock()
+}
+
+// AddAll feeds a slice of elements.
+func (c *Concurrent[T]) AddAll(vs []T) {
+	for _, v := range vs {
+		c.Add(v)
+	}
+}
+
+// Count returns the total number of elements consumed.
+func (c *Concurrent[T]) Count() uint64 {
+	var n uint64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.sk.Count()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// merge snapshots every shard briefly under its lock, then builds a
+// coordinator over private clones — the expensive work happens off-lock.
+func (c *Concurrent[T]) merge() (*parallel.Coordinator[T], error) {
+	states := make([]core.SketchState[T], 0, len(c.shards))
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if sh.sk.Count() > 0 {
+			states = append(states, sh.sk.Snapshot())
+		}
+		sh.mu.Unlock()
+	}
+	if len(states) == 0 {
+		return nil, fmt.Errorf("quantile: query on empty concurrent sketch")
+	}
+	cfg := states[0]
+	coord, err := parallel.NewCoordinator[T](cfg.K, cfg.B, c.seed^0xc0de)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range states {
+		clone, err := core.Restore(st)
+		if err != nil {
+			return nil, err
+		}
+		if err := coord.Receive(parallel.Ship(clone)); err != nil {
+			return nil, err
+		}
+	}
+	return coord, nil
+}
+
+// Quantiles returns estimates over everything added so far, in request
+// order. Safe to call while other goroutines keep adding; the result
+// reflects some consistent-per-shard prefix of the concurrent stream.
+func (c *Concurrent[T]) Quantiles(phis []float64) ([]T, error) {
+	coord, err := c.merge()
+	if err != nil {
+		return nil, err
+	}
+	return coord.Query(phis)
+}
+
+// CDF estimates the fraction of elements ≤ v across all shards.
+func (c *Concurrent[T]) CDF(v T) (float64, error) {
+	coord, err := c.merge()
+	if err != nil {
+		return 0, err
+	}
+	return coord.CDF(v)
+}
+
+// Quantile returns a single estimate.
+func (c *Concurrent[T]) Quantile(phi float64) (T, error) {
+	out, err := c.Quantiles([]float64{phi})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return out[0], nil
+}
+
+// MemoryElements returns the summed shard footprints.
+func (c *Concurrent[T]) MemoryElements() int {
+	m := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		m += sh.sk.MemoryElements()
+		sh.mu.Unlock()
+	}
+	return m
+}
+
+// Epsilon returns the configured rank-error bound.
+func (c *Concurrent[T]) Epsilon() float64 { return c.eps }
+
+// Delta returns the configured failure probability.
+func (c *Concurrent[T]) Delta() float64 { return c.delta }

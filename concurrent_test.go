@@ -1,0 +1,124 @@
+package quantile
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestConcurrentBasic(t *testing.T) {
+	c, err := NewConcurrent[float64](0.05, 1e-3, 4, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Quantile(0.5); err == nil {
+		t.Error("empty concurrent sketch query accepted")
+	}
+	data := stream.Collect(stream.Uniform(50_000, 2))
+	c.AddAll(data)
+	if c.Count() != 50_000 {
+		t.Errorf("count %d", c.Count())
+	}
+	med, err := c.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := exact.RankError(data, med, 0.5, 0.05); e != 0 {
+		t.Errorf("median off by %d ranks", e)
+	}
+	if c.Epsilon() != 0.05 || c.Delta() != 1e-3 {
+		t.Error("accessors wrong")
+	}
+	if c.MemoryElements() <= 0 {
+		t.Error("memory accounting")
+	}
+}
+
+func TestConcurrentDefaultShards(t *testing.T) {
+	c, err := NewConcurrent[float64](0.1, 1e-2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.shards) != 8 {
+		t.Errorf("default shards = %d", len(c.shards))
+	}
+}
+
+// TestConcurrentParallelIngest hammers the sketch from many goroutines
+// (exercised under -race in CI) with interleaved queries, then checks the
+// final estimates against exact quantiles of the union.
+func TestConcurrentParallelIngest(t *testing.T) {
+	const eps = 0.05
+	const goroutines = 8
+	const perG = 20_000
+	c, err := NewConcurrent[float64](eps, 1e-3, 4, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := make([][]float64, goroutines)
+	var all []float64
+	for g := 0; g < goroutines; g++ {
+		chunks[g] = stream.Collect(stream.Normal(perG, uint64(g)+40, float64(g%3)*5, 2))
+		all = append(all, chunks[g]...)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, v := range chunks[g] {
+				c.Add(v)
+				if g == 0 && i%5000 == 4999 {
+					// Queries racing with ingestion must not error or
+					// corrupt anything.
+					if _, err := c.Quantile(0.5); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Count() != uint64(len(all)) {
+		t.Fatalf("count %d want %d", c.Count(), len(all))
+	}
+	phis := []float64{0.1, 0.5, 0.9}
+	got, err := c.Quantiles(phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, phi := range phis {
+		if e := exact.RankError(all, got[i], phi, eps); e != 0 {
+			t.Errorf("phi=%v off by %d ranks", phi, e)
+		}
+	}
+}
+
+func TestConcurrentQueriesDoNotDisturbShards(t *testing.T) {
+	c, _ := NewConcurrent[float64](0.05, 1e-2, 2, WithSeed(5))
+	data := stream.Collect(stream.Shuffled(10_000, 6))
+	c.AddAll(data)
+	a, err := c.Quantiles([]float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := c.Quantiles([]float64{0.25, 0.75})
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Errorf("repeated concurrent queries disagree: %v vs %v", a, b)
+	}
+	if c.Count() != 10_000 {
+		t.Error("query consumed data")
+	}
+}
+
+func TestConcurrentBadOptions(t *testing.T) {
+	if _, err := NewConcurrent[float64](0, 0.1, 2); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewConcurrent[float64](0.1, 0.1, 2, WithPolicy("zzz")); err == nil {
+		t.Error("bad policy accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package quantile_test
+
+import (
+	"fmt"
+
+	quantile "repro"
+)
+
+// The basic workflow: build a sketch for the target guarantees, stream
+// values through it, query at any time.
+func ExampleNew() {
+	s, err := quantile.New[float64](0.01, 1e-4, quantile.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	for i := 1; i <= 100_000; i++ {
+		s.Add(float64(i))
+	}
+	median, _ := s.Median()
+	p99, _ := s.Quantile(0.99)
+	fmt.Printf("n=%d median within 1%%: %v, p99 within 1%%: %v\n",
+		s.Count(), median > 49_000 && median < 51_000, p99 > 98_000)
+	// Output: n=100000 median within 1%: true, p99 within 1%: true
+}
+
+// CDF is the inverse query: the estimated fraction of values at or below a
+// threshold.
+func ExampleSketch_CDF() {
+	s, _ := quantile.New[float64](0.01, 1e-3, quantile.WithSeed(2))
+	for i := 1; i <= 50_000; i++ {
+		s.Add(float64(i))
+	}
+	frac, _ := s.CDF(12_500)
+	fmt.Printf("~%.0f%% of values are <= 12500\n", 100*frac)
+	// Output: ~25% of values are <= 12500
+}
+
+// Merge combines sketches built independently (for example, one per
+// goroutine or one per data shard) into one queryable summary — the
+// paper's parallel algorithm.
+func ExampleMerge() {
+	var workers []*quantile.Sketch[float64]
+	for w := 0; w < 4; w++ {
+		s, _ := quantile.New[float64](0.02, 1e-3, quantile.WithSeed(uint64(w)))
+		for i := 0; i < 25_000; i++ {
+			s.Add(float64(w*25_000 + i)) // disjoint ranges per worker
+		}
+		workers = append(workers, s)
+	}
+	merged, _ := quantile.Merge(workers...)
+	med, _ := merged.Quantile(0.5)
+	fmt.Printf("union of %d elements, median within 2%%: %v\n",
+		merged.Count(), med > 48_000 && med < 52_000)
+	// Output: union of 100000 elements, median within 2%: true
+}
+
+// Extreme quantiles need far less memory than the general algorithm when
+// the stream length is declared (paper Section 7).
+func ExampleNewExtreme() {
+	const n = 200_000
+	e, _ := quantile.NewExtreme[float64](0.99, 0.005, 1e-3, n, quantile.WithSeed(3))
+	for i := 1; i <= n; i++ {
+		e.Add(float64(i))
+	}
+	v, _ := e.Query()
+	fmt.Printf("p99 within 0.5%%: %v, memory under 3000 elements: %v\n",
+		v > float64(n)*0.985 && v < float64(n)*0.995, e.MemoryElements() < 3000)
+	// Output: p99 within 0.5%: true, memory under 3000 elements: true
+}
+
+// Checkpoint/RestoreSketch persist a sketch across process restarts.
+func ExampleSketch_Checkpoint() {
+	s, _ := quantile.New[float64](0.05, 1e-2, quantile.WithSeed(4))
+	for i := 0; i < 10_000; i++ {
+		s.Add(float64(i))
+	}
+	blob, _ := s.Checkpoint(quantile.Float64Codec())
+	restored, _ := quantile.RestoreSketch[float64](blob, quantile.Float64Codec())
+	a, _ := s.Median()
+	b, _ := restored.Median()
+	fmt.Printf("restored sketch agrees: %v (blob %v bytes < 64KiB)\n", a == b, len(blob) < 1<<16)
+	// Output: restored sketch agrees: true (blob true bytes < 64KiB)
+}
+
+// EquiDepth maintains histogram boundaries over a growing table.
+func ExampleNewEquiDepth() {
+	h, _ := quantile.NewEquiDepth[float64](4, 0.02, 1e-3, quantile.WithSeed(5))
+	for i := 1; i <= 40_000; i++ {
+		h.Add(float64(i))
+	}
+	bounds, _ := h.Boundaries()
+	ok := true
+	for i, b := range bounds {
+		want := float64((i + 1) * 10_000)
+		if b < want*0.96 || b > want*1.04 {
+			ok = false
+		}
+	}
+	fmt.Printf("%d boundaries near the quartiles: %v\n", len(bounds), ok)
+	// Output: 3 boundaries near the quartiles: true
+}
+
+// Universal answers ANY number of ad-hoc quantile queries under one ε
+// guarantee (the paper's Section 4.7 precomputation trick).
+func ExampleNewUniversal() {
+	u, _ := quantile.NewUniversal[float64](0.05, 1e-2, quantile.WithSeed(7))
+	for i := 1; i <= 20_000; i++ {
+		u.Add(float64(i))
+	}
+	ok := true
+	for phi := 0.07; phi < 0.95; phi += 0.011 { // 80 arbitrary queries
+		v, _ := u.Quantile(phi)
+		if v < (phi-0.06)*20_000 || v > (phi+0.06)*20_000 {
+			ok = false
+		}
+	}
+	fmt.Printf("grid of %d maintained quantiles answers all queries: %v\n", u.GridSize(), ok)
+	// Output: grid of 20 maintained quantiles answers all queries: true
+}
+
+// Concurrent is the goroutine-safe variant; queries merge shard snapshots.
+func ExampleNewConcurrent() {
+	c, _ := quantile.NewConcurrent[float64](0.05, 1e-2, 4, quantile.WithSeed(8))
+	for i := 1; i <= 30_000; i++ {
+		c.Add(float64(i))
+	}
+	med, _ := c.Quantile(0.5)
+	cdf, _ := c.CDF(7_500)
+	fmt.Printf("median within 5%%: %v, CDF(7500) near 0.25: %v\n",
+		med > 13_500 && med < 16_500, cdf > 0.2 && cdf < 0.3)
+	// Output: median within 5%: true, CDF(7500) near 0.25: true
+}
+
+// GroupBy maintains one sketch per key, the Group-By aggregation pattern.
+func ExampleNewGroupBy() {
+	g, _ := quantile.NewGroupBy[string, float64](0.05, 1e-2, 0, quantile.WithSeed(6))
+	for i := 0; i < 10_000; i++ {
+		g.Add("small", float64(i%100))
+		g.Add("large", float64(i%100)*1000)
+	}
+	small, _ := g.Quantile("small", 0.5)
+	large, _ := g.Quantile("large", 0.5)
+	fmt.Printf("groups=%d, medians ordered: %v\n", g.Groups(), small < large)
+	// Output: groups=2, medians ordered: true
+}

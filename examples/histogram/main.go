@@ -1,0 +1,57 @@
+// Equi-depth histogram over a dynamically growing table (paper Section 1.2):
+// the histogram is re-read as the "table" grows by an order of magnitude at
+// a time, and stays accurate at every size without ever being rebuilt.
+//
+//	go run ./examples/histogram
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	quantile "repro"
+	"repro/internal/stream"
+)
+
+func main() {
+	const buckets = 8
+
+	h, err := quantile.NewEquiDepth[float64](buckets, 0.01, 1e-4, quantile.WithSeed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An order-value column: log-normal body with rare huge orders.
+	src := stream.Sales(1_000_000, 3)
+
+	next := uint64(1_000)
+	for v, ok := src.Next(); ok; v, ok = src.Next() {
+		h.Add(v)
+		if h.Count() == next {
+			report(h)
+			next *= 10
+		}
+	}
+	report(h)
+}
+
+func report(h *quantile.EquiDepth[float64]) {
+	bs, err := h.Buckets()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("table size %d rows — equi-depth histogram (memory: %d elements)\n",
+		h.Count(), h.MemoryElements())
+	var max uint64
+	for _, b := range bs {
+		if b.Count > max {
+			max = b.Count
+		}
+	}
+	for i, b := range bs {
+		bar := strings.Repeat("#", int(40*b.Count/max))
+		fmt.Printf("  bucket %d: (%9.2f, %9.2f]  ~%7d rows  %s\n", i, b.Lo, b.Hi, b.Count, bar)
+	}
+	fmt.Println()
+}

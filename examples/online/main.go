@@ -1,0 +1,54 @@
+// Online aggregation (paper Sections 1.5 and 3.7): the Output operation
+// does not disturb the sketch, so a long-running aggregation query can show
+// the user continuously improving quantile estimates while the scan is
+// still in flight — Hellerstein-style progressive results.
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+
+	quantile "repro"
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func main() {
+	const n = 3_000_000
+	s, err := quantile.New[float64](0.01, 1e-4, quantile.WithSeed(21),
+		// A memory budget keeps the early footprint tiny in case the
+		// "table" turns out to be small (paper Section 5).
+		quantile.WithMemoryBudget(quantile.MemoryLimit{N: 10_000, MaxElements: 3000}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src := stream.Zipf(n, 13, 1.4, 1<<20)
+	data := stream.Collect(src)
+
+	fmt.Printf("%12s  %12s  %12s  %12s  %10s\n", "rows seen", "p50 (live)", "p90 (live)", "p99 (live)", "mem(elems)")
+	checkpoint := uint64(1000)
+	for i, v := range data {
+		s.Add(v)
+		if s.Count() == checkpoint {
+			est, err := s.Quantiles([]float64{0.5, 0.9, 0.99})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%12d  %12.0f  %12.0f  %12.0f  %10d\n",
+				s.Count(), est[0], est[1], est[2], s.MemoryElements())
+			checkpoint *= 3
+		}
+		_ = i
+	}
+
+	est, _ := s.Quantiles([]float64{0.5, 0.9, 0.99})
+	truth := exact.Quantiles(data, []float64{0.5, 0.9, 0.99})
+	fmt.Printf("\nfinal estimates vs exact over %d rows:\n", s.Count())
+	for i, phi := range []float64{0.5, 0.9, 0.99} {
+		fmt.Printf("  p%.0f: estimate %.0f, exact %.0f\n", phi*100, est[i], truth[i])
+	}
+}

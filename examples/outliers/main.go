@@ -1,0 +1,63 @@
+// Extreme quantiles of a sales table (paper Sections 1.1 and 7): the 95th
+// and 99th percentiles of quarterly franchise sales characterize outliers
+// and skew. The Section 7 estimator answers these using a small fraction of
+// the memory the general-purpose sketch would need.
+//
+//	go run ./examples/outliers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	quantile "repro"
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func main() {
+	const (
+		n     = 2_000_000 // rows in the quarterly sales table
+		eps   = 0.001     // rank error at most 0.1% of the rows
+		delta = 1e-4
+	)
+
+	data := stream.Collect(stream.Sales(n, 9))
+
+	general, err := quantile.PlanUnknownN(eps, delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("general-purpose sketch at eps=%g would need %d element slots\n\n", eps, general.Memory)
+
+	for _, phi := range []float64{0.95, 0.99, 0.999} {
+		est, err := quantile.NewExtreme[float64](phi, eps, delta, n, quantile.WithSeed(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		est.AddAll(data)
+		v, err := est.Query()
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := exact.Quantile(data, phi)
+		rankErr := exact.RankError(data, v, phi, 0)
+		fmt.Printf("phi=%.3f: estimate %10.2f (exact %10.2f, off by %5d ranks of %.0f allowed)\n",
+			phi, v, truth, rankErr, eps*float64(n))
+		fmt.Printf("          memory: %d elements (%.1f%% of the general sketch)\n",
+			est.MemoryElements(), 100*float64(est.MemoryElements())/float64(general.Memory))
+	}
+
+	// The same estimate for a stream whose length was NOT known up front.
+	u, err := quantile.NewExtremeUnknownN[float64](0.99, eps, delta, quantile.WithSeed(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	u.AddAll(data)
+	v, err := u.Query()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nunknown-length variant at phi=0.99: estimate %.2f using %d elements\n",
+		v, u.MemoryElements())
+}

@@ -1,0 +1,55 @@
+// Quickstart: stream a million values through the unknown-N sketch and read
+// off approximate quantiles, comparing against the exact answers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	quantile "repro"
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func main() {
+	const (
+		eps   = 0.01 // rank error at most 1% of the stream length
+		delta = 1e-4 // ... except with probability 1e-4
+		n     = 1_000_000
+	)
+
+	// The sketch does not need to know n: it could be a network tap, a
+	// table scan of unknown cardinality, or an intermediate query result.
+	s, err := quantile.New[float64](eps, delta, quantile.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src := stream.Normal(n, 7, 100, 15) // a synthetic metric column
+	data := stream.Collect(src)
+	for _, v := range data {
+		s.Add(v)
+	}
+
+	phis := []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+	estimates, err := s.Quantiles(phis)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := exact.Quantiles(data, phis)
+
+	fmt.Printf("processed %d elements using %d element slots (%.4f%% of the data)\n\n",
+		s.Count(), s.MemoryElements(), 100*float64(s.MemoryElements())/float64(n))
+	fmt.Printf("%8s  %12s  %12s  %s\n", "phi", "estimate", "exact", "rank error")
+	for i, phi := range phis {
+		rankErr := exact.RankError(data, estimates[i], phi, 0)
+		fmt.Printf("%8.2f  %12.4f  %12.4f  %d ranks (allowed %.0f)\n",
+			phi, estimates[i], truth[i], rankErr, eps*float64(n))
+	}
+
+	st := s.Stats()
+	fmt.Printf("\nsketch internals: tree height %d, %d collapses, current sampling rate 1/%d\n",
+		st.Height, st.Collapses, st.SamplingRate)
+}

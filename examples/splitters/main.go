@@ -1,0 +1,100 @@
+// Splitters for value-range partitioning in a parallel database (paper
+// Sections 1.1 and 6): several scan workers summarize their own partitions
+// of a table concurrently; a coordinator merges the sketches and derives
+// splitters that divide the whole table into near-equal ranges for
+// redistribution — the DB2/Informix use case the paper cites.
+//
+//	go run ./examples/splitters
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	quantile "repro"
+	"repro/internal/stream"
+)
+
+func main() {
+	const (
+		workers   = 4
+		perWorker = 250_000
+		parts     = 10 // target partitions for redistribution
+		eps       = 0.005
+		delta     = 1e-4
+	)
+
+	// Each worker scans its own horizontal partition. The partitions have
+	// deliberately different value distributions (data skew across nodes).
+	chunks := make([][]float64, workers)
+	sketches := make([]*quantile.Sketch[float64], workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var src stream.Source
+			switch w {
+			case 0:
+				src = stream.Uniform(perWorker, 1)
+			case 1:
+				src = stream.Normal(perWorker, 2, 0.7, 0.1)
+			case 2:
+				src = stream.Exponential(perWorker, 3, 4)
+			default:
+				src = stream.Zipf(perWorker, 4, 1.5, 1000)
+			}
+			chunks[w] = stream.Collect(src)
+			s, err := quantile.New[float64](eps, delta, quantile.WithSeed(uint64(w)+100))
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.AddAll(chunks[w])
+			sketches[w] = s
+		}(w)
+	}
+	wg.Wait()
+
+	// Coordinator: merge the per-worker summaries (only b·k elements each
+	// cross the wire, not the data) and compute the splitters.
+	merged, err := quantile.Merge(sketches...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phis := make([]float64, parts-1)
+	for i := range phis {
+		phis[i] = float64(i+1) / parts
+	}
+	splitters, err := merged.Quantiles(phis)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify balance: count how many rows of the union land in each range.
+	var all []float64
+	for _, c := range chunks {
+		all = append(all, c...)
+	}
+	sort.Float64s(all)
+	counts := make([]int, parts)
+	part := 0
+	for _, v := range all {
+		for part < parts-1 && v > splitters[part] {
+			part++
+		}
+		counts[part]++
+	}
+
+	fmt.Printf("merged %d rows from %d workers; %d-way splitters:\n", merged.Count(), workers, parts)
+	ideal := len(all) / parts
+	for i, c := range counts {
+		hi := "+inf"
+		if i < parts-1 {
+			hi = fmt.Sprintf("%.4f", splitters[i])
+		}
+		fmt.Printf("  part %2d: upper bound %10s  rows %7d  (ideal %d, off by %+.2f%%)\n",
+			i, hi, c, ideal, 100*float64(c-ideal)/float64(ideal))
+	}
+}

@@ -1,0 +1,116 @@
+// Warehouse ingest: a production-shaped scenario combining several library
+// features. Per-region order-value sketches are maintained GROUP BY style
+// (paper Section 1.3); mid-run the process "restarts" and resumes from a
+// binary checkpoint (the Section 6 wire format reused for durability); and
+// at the end the histogram answers optimizer-style selectivity estimates
+// for range predicates (paper Section 1.1).
+//
+//	go run ./examples/warehouse
+package main
+
+import (
+	"cmp"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	quantile "repro"
+	"repro/internal/stream"
+)
+
+func main() {
+	const (
+		eps   = 0.01
+		delta = 1e-4
+		rows  = 400_000
+	)
+	regions := []string{"emea", "apac", "amer"}
+
+	// --- Phase 1: ingest half the feed, then checkpoint the EMEA sketch.
+	g, err := quantile.NewGroupBy[string, float64](eps, delta, 16, quantile.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	emea, err := quantile.New[float64](eps, delta, quantile.WithSeed(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	feed := stream.Sales(rows, 12)
+	i := 0
+	for v, ok := feed.Next(); ok && i < rows/2; v, ok = feed.Next() {
+		region := regions[i%len(regions)]
+		if err := g.Add(region, v); err != nil {
+			log.Fatal(err)
+		}
+		if region == "emea" {
+			emea.Add(v)
+		}
+		i++
+	}
+
+	dir, err := os.MkdirTemp("", "warehouse")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "emea.ckpt")
+	blob, err := emea.Checkpoint(quantile.Float64Codec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpointed EMEA sketch after %d rows: %d bytes on disk\n", emea.Count(), len(blob))
+
+	// --- Phase 2: "restart" — restore the sketch and finish the feed.
+	blob, err = os.ReadFile(ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emea, err = quantile.RestoreSketch[float64](blob, quantile.Float64Codec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for v, ok := feed.Next(); ok; v, ok = feed.Next() {
+		region := regions[i%len(regions)]
+		if err := g.Add(region, v); err != nil {
+			log.Fatal(err)
+		}
+		if region == "emea" {
+			emea.Add(v)
+		}
+		i++
+	}
+	fmt.Printf("resumed and finished: EMEA saw %d rows total\n\n", emea.Count())
+
+	// --- Per-region latency-style report.
+	rowsOut, err := g.QuantilesAll([]float64{0.5, 0.95, 0.99},
+		func(a, b string) int { return cmp.Compare(a, b) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %10s %12s %12s %12s\n", "region", "rows", "p50", "p95", "p99")
+	for _, r := range rowsOut {
+		fmt.Printf("%-6s %10d %12.2f %12.2f %12.2f\n", r.Key, r.Count, r.Values[0], r.Values[1], r.Values[2])
+	}
+
+	// --- Selectivity estimates for the optimizer.
+	h, err := quantile.NewEquiDepth[float64](50, eps, delta, quantile.WithSeed(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	feed.Reset()
+	for v, ok := feed.Next(); ok; v, ok = feed.Next() {
+		h.Add(v)
+	}
+	fmt.Println("\nselectivity estimates (fraction of rows matching the predicate):")
+	for _, pred := range [][2]float64{{10, 50}, {50, 100}, {100, 1e9}} {
+		s, err := h.Selectivity(pred[0], pred[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  value in (%6.0f, %6.0f]: %6.2f%%\n", pred[0], pred[1], 100*s)
+	}
+}

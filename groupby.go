@@ -1,0 +1,142 @@
+package quantile
+
+import (
+	"cmp"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+)
+
+// GroupBy maintains one quantile sketch per group key — the paper's
+// Group-By motivation (Section 1.3): database aggregation computes many
+// quantile summaries concurrently, so each one's memory must be small and
+// predictable. All groups share a single solved (b, k, h) layout; the
+// total footprint is (#groups)·b·k elements, reported by MemoryElements.
+type GroupBy[K comparable, T cmp.Ordered] struct {
+	eps, delta float64
+	cfg        core.Config
+	groups     map[K]*core.Sketch[T]
+	seq        uint64
+	maxGroups  int
+}
+
+// NewGroupBy returns a per-group sketch collection. maxGroups bounds the
+// number of distinct keys (0 means unbounded); exceeding it makes Add
+// return an error rather than silently growing without limit.
+func NewGroupBy[K comparable, T cmp.Ordered](eps, delta float64, maxGroups int, opts ...Option) (*GroupBy[K, T], error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := optimize.UnknownN(eps, delta)
+	if err != nil {
+		return nil, err
+	}
+	return &GroupBy[K, T]{
+		eps: eps, delta: delta,
+		cfg:       core.Config{B: p.B, K: p.K, H: p.H, Policy: o.pol(), Seed: o.seed},
+		groups:    make(map[K]*core.Sketch[T]),
+		maxGroups: maxGroups,
+	}, nil
+}
+
+// Add feeds one (key, value) row.
+func (g *GroupBy[K, T]) Add(key K, v T) error {
+	s, ok := g.groups[key]
+	if !ok {
+		if g.maxGroups > 0 && len(g.groups) >= g.maxGroups {
+			return fmt.Errorf("quantile: group limit %d exceeded", g.maxGroups)
+		}
+		g.seq++
+		cfg := g.cfg
+		cfg.Seed = g.cfg.Seed + g.seq*0x9e3779b97f4a7c15
+		var err error
+		s, err = core.NewSketch[T](cfg)
+		if err != nil {
+			return err
+		}
+		g.groups[key] = s
+	}
+	s.Add(v)
+	return nil
+}
+
+// Groups returns the number of distinct keys seen.
+func (g *GroupBy[K, T]) Groups() int { return len(g.groups) }
+
+// Count returns the number of rows in the given group (0 if absent).
+func (g *GroupBy[K, T]) Count(key K) uint64 {
+	if s, ok := g.groups[key]; ok {
+		return s.Count()
+	}
+	return 0
+}
+
+// TotalCount returns the number of rows across all groups.
+func (g *GroupBy[K, T]) TotalCount() uint64 {
+	var n uint64
+	for _, s := range g.groups {
+		n += s.Count()
+	}
+	return n
+}
+
+// Quantile returns the group's φ-quantile estimate.
+func (g *GroupBy[K, T]) Quantile(key K, phi float64) (T, error) {
+	var zero T
+	s, ok := g.groups[key]
+	if !ok {
+		return zero, fmt.Errorf("quantile: unknown group")
+	}
+	return s.QueryOne(phi)
+}
+
+// Quantiles returns estimates for several quantiles of one group.
+func (g *GroupBy[K, T]) Quantiles(key K, phis []float64) ([]T, error) {
+	s, ok := g.groups[key]
+	if !ok {
+		return nil, fmt.Errorf("quantile: unknown group")
+	}
+	return s.Query(phis)
+}
+
+// GroupResult is one row of a bulk per-group query.
+type GroupResult[K comparable, T cmp.Ordered] struct {
+	Key    K
+	Count  uint64
+	Values []T
+}
+
+// QuantilesAll evaluates the given quantiles for every group. sortKeys, if
+// non-nil, orders the result (e.g. for stable report output); otherwise
+// map order applies.
+func (g *GroupBy[K, T]) QuantilesAll(phis []float64, sortKeys func(a, b K) int) ([]GroupResult[K, T], error) {
+	out := make([]GroupResult[K, T], 0, len(g.groups))
+	for key, s := range g.groups {
+		vals, err := s.Query(phis)
+		if err != nil {
+			return nil, fmt.Errorf("quantile: group query: %w", err)
+		}
+		out = append(out, GroupResult[K, T]{Key: key, Count: s.Count(), Values: vals})
+	}
+	if sortKeys != nil {
+		sort.Slice(out, func(i, j int) bool { return sortKeys(out[i].Key, out[j].Key) < 0 })
+	}
+	return out, nil
+}
+
+// MemoryElements returns the aggregate footprint across groups.
+func (g *GroupBy[K, T]) MemoryElements() int {
+	m := 0
+	for _, s := range g.groups {
+		m += s.MemoryElements()
+	}
+	return m
+}
+
+// PerGroupMemoryBound returns the worst-case per-group footprint b·k — the
+// "small and predictable memory footprint" the paper's Group-By discussion
+// asks for.
+func (g *GroupBy[K, T]) PerGroupMemoryBound() int { return g.cfg.B * g.cfg.K }

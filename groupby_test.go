@@ -1,0 +1,142 @@
+package quantile
+
+import (
+	"cmp"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestGroupByBasic(t *testing.T) {
+	g, err := NewGroupBy[string, float64](0.05, 1e-3, 0, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := []string{"east", "west", "north"}
+	data := map[string][]float64{}
+	for i, r := range regions {
+		data[r] = stream.Collect(stream.Normal(30_000, uint64(i)+5, float64(100*(i+1)), 10))
+		for _, v := range data[r] {
+			if err := g.Add(r, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if g.Groups() != 3 {
+		t.Errorf("groups = %d", g.Groups())
+	}
+	if g.TotalCount() != 90_000 {
+		t.Errorf("total count %d", g.TotalCount())
+	}
+	for _, r := range regions {
+		if g.Count(r) != 30_000 {
+			t.Errorf("group %s count %d", r, g.Count(r))
+		}
+		med, err := g.Quantile(r, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := exact.RankError(data[r], med, 0.5, 0.05); e != 0 {
+			t.Errorf("group %s median off by %d ranks", r, e)
+		}
+	}
+}
+
+func TestGroupByUnknownKey(t *testing.T) {
+	g, _ := NewGroupBy[int, float64](0.1, 1e-2, 0)
+	if _, err := g.Quantile(42, 0.5); err == nil {
+		t.Error("unknown group query accepted")
+	}
+	if _, err := g.Quantiles(42, []float64{0.5}); err == nil {
+		t.Error("unknown group batch query accepted")
+	}
+	if g.Count(42) != 0 {
+		t.Error("unknown group count != 0")
+	}
+}
+
+func TestGroupByLimit(t *testing.T) {
+	g, _ := NewGroupBy[int, float64](0.1, 1e-2, 2)
+	if err := g.Add(1, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(2, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(3, 3.0); err == nil {
+		t.Error("group limit not enforced")
+	}
+	// Existing groups still accept rows.
+	if err := g.Add(1, 4.0); err != nil {
+		t.Errorf("existing group rejected: %v", err)
+	}
+}
+
+func TestGroupByQuantilesAllSorted(t *testing.T) {
+	g, _ := NewGroupBy[string, int](0.1, 1e-2, 0, WithSeed(2))
+	for i := 0; i < 3000; i++ {
+		g.Add("b", i)
+		g.Add("a", i*2)
+	}
+	rows, err := g.QuantilesAll([]float64{0.5}, func(x, y string) int { return cmp.Compare(x, y) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Key != "a" || rows[1].Key != "b" {
+		t.Fatalf("sorted rows wrong: %+v", rows)
+	}
+	if rows[0].Count != 3000 || len(rows[0].Values) != 1 {
+		t.Errorf("row shape wrong: %+v", rows[0])
+	}
+	if rows[0].Values[0] < rows[1].Values[0] {
+		t.Errorf("group a median (%d) should exceed group b (%d)", rows[0].Values[0], rows[1].Values[0])
+	}
+}
+
+func TestGroupByMemoryBounds(t *testing.T) {
+	g, _ := NewGroupBy[int, float64](0.05, 1e-3, 0, WithSeed(3))
+	for k := 0; k < 10; k++ {
+		for i := 0; i < 50_000; i++ {
+			g.Add(k, float64(i))
+		}
+	}
+	per := g.PerGroupMemoryBound()
+	if per <= 0 {
+		t.Fatal("per-group bound not positive")
+	}
+	// Each group may also hold one query-snapshot buffer beyond b*k.
+	if g.MemoryElements() > 10*(per+per) {
+		t.Errorf("total memory %d far above 10 groups * %d", g.MemoryElements(), per)
+	}
+}
+
+func TestGroupByBadParams(t *testing.T) {
+	if _, err := NewGroupBy[int, float64](0, 0.1, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewGroupBy[int, float64](0.1, 0.1, 0, WithPolicy("zzz")); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestGroupByIndependentGroups(t *testing.T) {
+	// Group sketches must not interfere: identical data added to two keys
+	// yields identical estimates only if seeds differ... the estimates may
+	// differ slightly, but both must be within eps.
+	g, _ := NewGroupBy[int, float64](0.05, 1e-3, 0, WithSeed(4))
+	data := stream.Collect(stream.Uniform(40_000, 9))
+	for _, v := range data {
+		g.Add(1, v)
+		g.Add(2, v)
+	}
+	for _, key := range []int{1, 2} {
+		m, err := g.Quantile(key, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := exact.RankError(data, m, 0.5, 0.05); e != 0 {
+			t.Errorf("group %d median off by %d ranks", key, e)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package httpapi exposes a quantile summary as an HTTP service: a
+// lightweight sidecar for dashboards, load generators or anything that
+// wants streaming percentiles without linking the library. It wraps a
+// goroutine-safe sharded sketch, so concurrent ingest and query requests
+// are fine.
+//
+// Endpoints (JSON responses):
+//
+//	POST /add        whitespace-separated numbers in the body
+//	GET  /quantile   ?phi=0.5,0.95,0.99
+//	GET  /cdf        ?v=123.4
+//	GET  /histogram  ?buckets=10
+//	GET  /stats
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	quantile "repro"
+	"repro/internal/ingest"
+)
+
+// Server wraps a concurrent sketch behind HTTP endpoints.
+type Server struct {
+	sketch *quantile.Concurrent[float64]
+	eps    float64
+	delta  float64
+	mux    *http.ServeMux
+}
+
+// New returns a Server with the given guarantees and shard count
+// (0 selects the default).
+func New(eps, delta float64, shards int, opts ...quantile.Option) (*Server, error) {
+	c, err := quantile.NewConcurrent[float64](eps, delta, shards, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{sketch: c, eps: eps, delta: delta, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /add", s.handleAdd)
+	s.mux.HandleFunc("GET /quantile", s.handleQuantile)
+	s.mux.HandleFunc("GET /cdf", s.handleCDF)
+	s.mux.HandleFunc("GET /histogram", s.handleHistogram)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Sketch returns the underlying concurrent sketch (for in-process use
+// alongside the HTTP surface).
+func (s *Server) Sketch() *quantile.Concurrent[float64] { return s.sketch }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	reader := ingest.Plain(r.Body, ingest.Options{})
+	var added uint64
+	if err := reader.Drain(func(v float64) {
+		s.sketch.Add(v)
+		added++
+	}); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing body after %d values: %v", added, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"added": added, "total": s.sketch.Count()})
+}
+
+func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("phi")
+	if raw == "" {
+		raw = "0.5"
+	}
+	var phis []float64
+	for _, part := range strings.Split(raw, ",") {
+		phi, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || phi <= 0 || phi > 1 {
+			writeError(w, http.StatusBadRequest, "bad phi %q", part)
+			return
+		}
+		phis = append(phis, phi)
+	}
+	vals, err := s.sketch.Quantiles(phis)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	out := make(map[string]float64, len(phis))
+	for i, phi := range phis {
+		out[strconv.FormatFloat(phi, 'g', -1, 64)] = vals[i]
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("v")
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad v %q", raw)
+		return
+	}
+	frac, err := s.sketch.CDF(v)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"v": v, "cdf": frac})
+}
+
+func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
+	buckets := 10
+	if raw := r.URL.Query().Get("buckets"); raw != "" {
+		b, err := strconv.Atoi(raw)
+		if err != nil || b < 2 || b > 1000 {
+			writeError(w, http.StatusBadRequest, "bad buckets %q", raw)
+			return
+		}
+		buckets = b
+	}
+	phis := make([]float64, buckets-1)
+	for i := range phis {
+		phis[i] = float64(i+1) / float64(buckets)
+	}
+	bounds, err := s.sketch.Quantiles(phis)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"buckets":    buckets,
+		"boundaries": bounds,
+		"rows":       s.sketch.Count(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":           s.sketch.Count(),
+		"memory_elements": s.sketch.MemoryElements(),
+		"eps":             s.eps,
+		"delta":           s.delta,
+	})
+}

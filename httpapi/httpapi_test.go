@@ -1,0 +1,200 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	quantile "repro"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(0.02, 1e-3, 4, quantile.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func get(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestAddAndQuantile(t *testing.T) {
+	_, ts := newTestServer(t)
+	var body strings.Builder
+	for i := 1; i <= 50_000; i++ {
+		fmt.Fprintln(&body, i)
+	}
+	code, out := post(t, ts.URL+"/add", body.String())
+	if code != http.StatusOK || out["added"].(float64) != 50_000 {
+		t.Fatalf("add: %d %v", code, out)
+	}
+	code, out = get(t, ts.URL+"/quantile?phi=0.5,0.9")
+	if code != http.StatusOK {
+		t.Fatalf("quantile: %d %v", code, out)
+	}
+	if med := out["0.5"].(float64); math.Abs(med-25_000) > 1500 {
+		t.Errorf("median %v", med)
+	}
+	if p90 := out["0.9"].(float64); math.Abs(p90-45_000) > 1500 {
+		t.Errorf("p90 %v", p90)
+	}
+}
+
+func TestDefaultPhi(t *testing.T) {
+	_, ts := newTestServer(t)
+	post(t, ts.URL+"/add", "1 2 3 4 5")
+	code, out := get(t, ts.URL+"/quantile")
+	if code != http.StatusOK || out["0.5"].(float64) != 3 {
+		t.Errorf("default phi: %d %v", code, out)
+	}
+}
+
+func TestCDFEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var body strings.Builder
+	for i := 1; i <= 10_000; i++ {
+		fmt.Fprintln(&body, i)
+	}
+	post(t, ts.URL+"/add", body.String())
+	code, out := get(t, ts.URL+"/cdf?v=2500")
+	if code != http.StatusOK {
+		t.Fatalf("cdf: %d %v", code, out)
+	}
+	if c := out["cdf"].(float64); math.Abs(c-0.25) > 0.03 {
+		t.Errorf("cdf(2500) = %v", c)
+	}
+}
+
+func TestHistogramEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var body strings.Builder
+	for i := 1; i <= 20_000; i++ {
+		fmt.Fprintln(&body, i)
+	}
+	post(t, ts.URL+"/add", body.String())
+	code, out := get(t, ts.URL+"/histogram?buckets=4")
+	if code != http.StatusOK {
+		t.Fatalf("histogram: %d %v", code, out)
+	}
+	bounds := out["boundaries"].([]any)
+	if len(bounds) != 3 {
+		t.Fatalf("boundaries: %v", bounds)
+	}
+	for i, b := range bounds {
+		want := float64((i + 1) * 5000)
+		if math.Abs(b.(float64)-want) > 600 {
+			t.Errorf("boundary %d = %v, want ~%v", i, b, want)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	post(t, ts.URL+"/add", "1 2 3")
+	code, out := get(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if out["count"].(float64) != 3 || out["eps"].(float64) != 0.02 {
+		t.Errorf("stats: %v", out)
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Query before any data.
+	if code, _ := get(t, ts.URL+"/quantile"); code != http.StatusConflict {
+		t.Errorf("empty query status %d", code)
+	}
+	post(t, ts.URL+"/add", "1")
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/quantile?phi=2", http.StatusBadRequest},
+		{"/quantile?phi=abc", http.StatusBadRequest},
+		{"/cdf?v=xyz", http.StatusBadRequest},
+		{"/histogram?buckets=1", http.StatusBadRequest},
+		{"/histogram?buckets=9999", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code, _ := get(t, ts.URL+c.url); code != c.want {
+			t.Errorf("%s: status %d, want %d", c.url, code, c.want)
+		}
+	}
+	// Bad body.
+	if code, _ := post(t, ts.URL+"/add", "1 2 pear"); code != http.StatusBadRequest {
+		t.Errorf("bad body status %d", code)
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /add status %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentClients hammers the service from many goroutines (run
+// under -race in CI).
+func TestConcurrentClients(t *testing.T) {
+	srv, ts := newTestServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var body strings.Builder
+			for i := 0; i < 2000; i++ {
+				fmt.Fprintln(&body, g*2000+i)
+			}
+			code, _ := post(t, ts.URL+"/add", body.String())
+			if code != http.StatusOK {
+				t.Errorf("goroutine %d: add status %d", g, code)
+			}
+			if code, _ := get(t, ts.URL+"/quantile?phi=0.5"); code != http.StatusOK {
+				t.Errorf("goroutine %d: query status %d", g, code)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if srv.Sketch().Count() != 16_000 {
+		t.Errorf("final count %d", srv.Sketch().Count())
+	}
+}

@@ -1,0 +1,489 @@
+// Package buffer implements the weighted-buffer framework of Manku,
+// Rajagopalan & Lindsay (paper Section 3): fixed-capacity buffers carrying an
+// integer weight, populated by block sampling (New), reduced by weighted
+// merging (Collapse), and queried by weighted selection (Output).
+//
+// All quantile algorithms in this repository — the unknown-N algorithm, the
+// known-N MRL98 variants, Munro–Paterson and Alsabti–Ranka–Singh — are
+// compositions of these three operations under different scheduling policies.
+package buffer
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+
+	"repro/internal/rng"
+)
+
+// State labels a buffer as in the paper: Empty, Partial (the input ran dry
+// while filling) or Full.
+type State uint8
+
+// Buffer states.
+const (
+	Empty State = iota
+	Partial
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Empty:
+		return "empty"
+	case Partial:
+		return "partial"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Buffer is a weighted buffer of capacity k. Data[:Fill] holds the elements,
+// sorted ascending once the buffer leaves the Empty state. Weight is the
+// per-element weight w(X): each stored element stands for Weight consecutive
+// input elements. Level is the buffer's level in the collapse tree.
+type Buffer[T cmp.Ordered] struct {
+	Data   []T
+	Fill   int
+	Weight uint64
+	Level  int
+	State  State
+}
+
+// New allocates an empty buffer of capacity k.
+func New[T cmp.Ordered](k int) *Buffer[T] {
+	if k <= 0 {
+		panic("buffer: capacity must be positive")
+	}
+	return &Buffer[T]{Data: make([]T, k)}
+}
+
+// K returns the buffer capacity.
+func (b *Buffer[T]) K() int { return len(b.Data) }
+
+// WeightedCount returns Fill·Weight, the number of input elements this
+// buffer stands for.
+func (b *Buffer[T]) WeightedCount() uint64 {
+	return uint64(b.Fill) * b.Weight
+}
+
+// Clear returns the buffer to the Empty state without releasing memory.
+func (b *Buffer[T]) Clear() {
+	b.Fill = 0
+	b.Weight = 0
+	b.Level = 0
+	b.State = Empty
+}
+
+// Elements returns the live elements (sorted). The slice aliases the
+// buffer's storage; callers must not modify it.
+func (b *Buffer[T]) Elements() []T { return b.Data[:b.Fill] }
+
+// FillFrom implements the New operation (paper Section 3.1): populate an
+// empty buffer by drawing one uniformly random element from each of k
+// successive blocks of r input elements. The buffer's weight becomes r and
+// its level is set by the caller. pull yields input elements; r = 1 means no
+// sampling. Returns the number of input elements consumed. If the input runs
+// dry before k blocks complete, the buffer is marked Partial; an element is
+// still retained for a trailing incomplete block (it receives weight r like
+// the rest — the paper's analysis absorbs this in the k′ terms it drops).
+func (b *Buffer[T]) FillFrom(pull func() (T, bool), r uint64, rg *rng.RNG) uint64 {
+	f := StartFill(b, r, rg)
+	var consumed uint64
+	for {
+		v, ok := pull()
+		if !ok {
+			f.Finish()
+			return consumed
+		}
+		consumed++
+		if f.Push(v) {
+			return consumed
+		}
+	}
+}
+
+// Filler performs the New operation incrementally, one pushed element at a
+// time — the shape required by a streaming Add API where input arrives
+// push-style rather than pull-style. Within each block of r pushed elements
+// it retains a uniformly random one (reservoir-of-one, so the choice is
+// uniform even if the stream ends mid-block).
+type Filler[T cmp.Ordered] struct {
+	buf     *Buffer[T]
+	rate    uint64
+	inBlock uint64
+	keep    T
+	rg      *rng.RNG
+	done    bool
+}
+
+// StartFill begins a New operation on the given empty buffer with sampling
+// rate r ≥ 1. The buffer's weight is set to r immediately; its level is the
+// caller's responsibility.
+func StartFill[T cmp.Ordered](b *Buffer[T], r uint64, rg *rng.RNG) *Filler[T] {
+	if b.State != Empty {
+		panic("buffer: StartFill on non-empty buffer")
+	}
+	if r == 0 {
+		panic("buffer: sampling rate must be >= 1")
+	}
+	b.Weight = r
+	return &Filler[T]{buf: b, rate: r, rg: rg}
+}
+
+// Push feeds one input element. It returns true when the buffer has just
+// become Full (k complete blocks consumed); the Filler must not be used
+// afterwards.
+func (f *Filler[T]) Push(v T) bool {
+	if f.done {
+		panic("buffer: Push after fill completed")
+	}
+	f.inBlock++
+	// Keep the j-th element of the block with probability 1/j so the kept
+	// element is uniform over however much of the block materializes.
+	if f.inBlock == 1 || f.rg.Uint64n(f.inBlock) == 0 {
+		f.keep = v
+	}
+	if f.inBlock < f.rate {
+		return false
+	}
+	f.buf.Data[f.buf.Fill] = f.keep
+	f.buf.Fill++
+	f.inBlock = 0
+	if f.buf.Fill == len(f.buf.Data) {
+		f.buf.State = Full
+		slices.Sort(f.buf.Data)
+		f.done = true
+		return true
+	}
+	return false
+}
+
+// Finish finalizes a fill whose input ran dry: a trailing incomplete block
+// contributes its kept element (at full weight r — the paper's analysis
+// absorbs this in the k′ terms it drops), and the buffer is marked Partial
+// (or Full if the last block happened to complete the buffer). Finish is
+// idempotent.
+func (f *Filler[T]) Finish() {
+	if f.done {
+		return
+	}
+	f.done = true
+	b := f.buf
+	if f.inBlock > 0 {
+		b.Data[b.Fill] = f.keep
+		b.Fill++
+		f.inBlock = 0
+	}
+	if b.Fill == len(b.Data) {
+		b.State = Full
+	} else {
+		b.State = Partial
+	}
+	slices.Sort(b.Data[:b.Fill])
+}
+
+// Progress returns the fill's mid-block state for checkpointing: how many
+// elements of the current block have been consumed and the candidate kept
+// so far (meaningful only when inBlock > 0).
+func (f *Filler[T]) Progress() (inBlock uint64, keep T) {
+	return f.inBlock, f.keep
+}
+
+// Rate returns the fill's sampling rate.
+func (f *Filler[T]) Rate() uint64 { return f.rate }
+
+// ResumeFill reconstructs a Filler from checkpointed state: a buffer that
+// was mid-fill (Empty state, Weight = rate, Fill elements committed) plus
+// the in-block progress from Progress.
+func ResumeFill[T cmp.Ordered](b *Buffer[T], inBlock uint64, keep T, rg *rng.RNG) *Filler[T] {
+	if b.State != Empty {
+		panic("buffer: ResumeFill on a finalized buffer")
+	}
+	if b.Weight == 0 {
+		panic("buffer: ResumeFill on a buffer without a fill weight")
+	}
+	if inBlock >= b.Weight {
+		panic("buffer: ResumeFill in-block progress exceeds the rate")
+	}
+	return &Filler[T]{buf: b, rate: b.Weight, inBlock: inBlock, keep: keep, rg: rg}
+}
+
+// Pending reports how many elements the underlying buffer currently holds,
+// counting a pending incomplete block's candidate.
+func (f *Filler[T]) Pending() int {
+	n := f.buf.Fill
+	if f.inBlock > 0 {
+		n++
+	}
+	return n
+}
+
+// Snapshot writes the current partial contents into dst (capacity ≥ Pending
+// elements), including the pending block's candidate, sorted, with the
+// fill's weight — used by anytime Output while a fill is in flight. The
+// Filler itself is unaffected.
+func (f *Filler[T]) Snapshot(dst *Buffer[T]) {
+	if dst.K() < f.Pending() {
+		panic("buffer: Snapshot destination too small")
+	}
+	dst.Fill = 0
+	dst.Weight = f.rate
+	dst.Level = f.buf.Level
+	copy(dst.Data, f.buf.Data[:f.buf.Fill])
+	dst.Fill = f.buf.Fill
+	if f.inBlock > 0 {
+		dst.Data[dst.Fill] = f.keep
+		dst.Fill++
+	}
+	slices.Sort(dst.Data[:dst.Fill])
+	if dst.Fill == dst.K() {
+		dst.State = Full
+	} else {
+		dst.State = Partial
+	}
+}
+
+// cursor walks one sorted buffer during a weighted k-way merge.
+type cursor[T cmp.Ordered] struct {
+	buf *Buffer[T]
+	pos int
+}
+
+func (c *cursor[T]) done() bool     { return c.pos >= c.buf.Fill }
+func (c *cursor[T]) head() T        { return c.buf.Data[c.pos] }
+func (c *cursor[T]) weight() uint64 { return c.buf.Weight }
+
+// mergeWalk performs the conceptual "make w copies of every element and sort"
+// walk over the given buffers without materializing copies. For each element
+// in weighted sorted order it calls emit with the element and the weighted
+// index range [lo, hi] (1-based, inclusive) that its copies occupy. emit
+// returns false to stop early.
+func mergeWalk[T cmp.Ordered](bufs []*Buffer[T], emit func(v T, lo, hi uint64) bool) {
+	cursors := make([]cursor[T], 0, len(bufs))
+	for _, b := range bufs {
+		if b.Fill > 0 {
+			cursors = append(cursors, cursor[T]{buf: b})
+		}
+	}
+	var cum uint64
+	for {
+		best := -1
+		for i := range cursors {
+			if cursors[i].done() {
+				continue
+			}
+			if best == -1 || cursors[i].head() < cursors[best].head() {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		c := &cursors[best]
+		w := c.weight()
+		if !emit(c.head(), cum+1, cum+w) {
+			return
+		}
+		cum += w
+		c.pos++
+	}
+}
+
+// Collapser performs Collapse operations, owning the scratch storage and the
+// even-weight parity bit that alternates between the two valid position
+// offsets on successive even-weight collapses (paper Section 3.2).
+type Collapser[T cmp.Ordered] struct {
+	scratch []T
+	// evenLow selects offset w/2 (true) or (w+2)/2 (false) for the next
+	// even-weight collapse.
+	evenLow bool
+	// Collapses counts invocations; Weight sums the output weights — the
+	// C and W quantities of the paper's Section 4.2 analysis, exposed for
+	// tests that check the tree constraints.
+	Collapses uint64
+	WeightSum uint64
+}
+
+// NewCollapser returns a Collapser for buffers of capacity k.
+func NewCollapser[T cmp.Ordered](k int) *Collapser[T] {
+	return &Collapser[T]{scratch: make([]T, k), evenLow: true}
+}
+
+// State returns the collapser's checkpointable state: the even-weight
+// offset parity and the C/W counters.
+func (c *Collapser[T]) State() (evenLow bool, collapses, weightSum uint64) {
+	return c.evenLow, c.Collapses, c.WeightSum
+}
+
+// SetState restores a state captured with State.
+func (c *Collapser[T]) SetState(evenLow bool, collapses, weightSum uint64) {
+	c.evenLow = evenLow
+	c.Collapses = collapses
+	c.WeightSum = weightSum
+}
+
+// Collapse merges the given full buffers (paper Section 3.2): conceptually
+// each element of Xᵢ is replicated w(Xᵢ) times, the union is sorted, and k
+// equally spaced elements are kept. The result is stored in dst (one of the
+// inputs, chosen by the caller); every other input buffer is cleared. The
+// output weight is Σ w(Xᵢ); its level must be set by the caller.
+func (c *Collapser[T]) Collapse(bufs []*Buffer[T], dst *Buffer[T]) {
+	if len(bufs) < 2 {
+		panic("buffer: Collapse needs at least two buffers")
+	}
+	k := len(c.scratch)
+	var wOut uint64
+	found := false
+	for _, b := range bufs {
+		if b.State != Full {
+			panic("buffer: Collapse requires full buffers, got " + b.State.String())
+		}
+		if b.K() != k {
+			panic("buffer: Collapse buffer capacity mismatch")
+		}
+		wOut += b.Weight
+		if b == dst {
+			found = true
+		}
+	}
+	if !found {
+		panic("buffer: Collapse dst must be one of the inputs")
+	}
+
+	// First target position in the weighted sequence (1-based), and the
+	// constant stride wOut between targets.
+	var first uint64
+	if wOut%2 == 1 {
+		first = (wOut + 1) / 2
+	} else if c.evenLow {
+		first = wOut / 2
+		c.evenLow = false
+	} else {
+		first = (wOut + 2) / 2
+		c.evenLow = true
+	}
+
+	out := c.scratch[:0]
+	target := first
+	mergeWalk(bufs, func(v T, lo, hi uint64) bool {
+		for target >= lo && target <= hi {
+			out = append(out, v)
+			if len(out) == k {
+				return false
+			}
+			target += wOut
+		}
+		return true
+	})
+	if len(out) != k {
+		// Unreachable for full inputs: the weighted sequence has k·wOut
+		// elements and targets fit inside it.
+		panic(fmt.Sprintf("buffer: Collapse selected %d of %d elements", len(out), k))
+	}
+
+	for _, b := range bufs {
+		if b != dst {
+			b.Clear()
+		}
+	}
+	copy(dst.Data, out)
+	dst.Fill = k
+	dst.Weight = wOut
+	dst.State = Full
+
+	c.Collapses++
+	c.WeightSum += wOut
+}
+
+// TotalWeightedCount returns Σ Fill·Weight over the buffers: the weighted
+// length of the sequence an Output over them would scan.
+func TotalWeightedCount[T cmp.Ordered](bufs []*Buffer[T]) uint64 {
+	var s uint64
+	for _, b := range bufs {
+		s += b.WeightedCount()
+	}
+	return s
+}
+
+// WeightedRank returns the number of weighted elements ≤ v across the
+// buffers — the inverse of Output. Dividing by TotalWeightedCount gives an
+// estimate of the CDF at v with the same rank-error guarantee as the
+// quantile queries (the weighted sequence approximates the input's rank
+// structure within the algorithm's ε·N bound).
+func WeightedRank[T cmp.Ordered](bufs []*Buffer[T], v T) uint64 {
+	var rank uint64
+	for _, b := range bufs {
+		elems := b.Elements()
+		// Elements are sorted: binary search for the first element > v.
+		lo, hi := 0, len(elems)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if elems[mid] <= v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		rank += uint64(lo) * b.Weight
+	}
+	return rank
+}
+
+// Output implements the Output operation (paper Section 3.3) for a batch of
+// quantiles: for each φ it returns the element at weighted position
+// ⌈φ·Σ(fillᵢ·wᵢ)⌉ of the weighted sorted union of the buffers. Output is
+// non-destructive and may be invoked at any time (online aggregation). phis
+// must lie in (0, 1]; results are returned in the order requested.
+func Output[T cmp.Ordered](bufs []*Buffer[T], phis []float64) ([]T, error) {
+	total := TotalWeightedCount(bufs)
+	if total == 0 {
+		return nil, fmt.Errorf("buffer: Output on empty state")
+	}
+	type req struct {
+		target uint64
+		idx    int
+	}
+	reqs := make([]req, len(phis))
+	for i, phi := range phis {
+		if phi <= 0 || phi > 1 {
+			return nil, fmt.Errorf("buffer: quantile %v out of (0,1]", phi)
+		}
+		t := uint64(float64(total) * phi)
+		if float64(t) < float64(total)*phi {
+			t++
+		}
+		if t < 1 {
+			t = 1
+		}
+		if t > total {
+			t = total
+		}
+		reqs[i] = req{target: t, idx: i}
+	}
+	slices.SortFunc(reqs, func(a, b req) int {
+		if a.target != b.target {
+			if a.target < b.target {
+				return -1
+			}
+			return 1
+		}
+		return a.idx - b.idx
+	})
+	out := make([]T, len(phis))
+	next := 0
+	mergeWalk(bufs, func(v T, lo, hi uint64) bool {
+		for next < len(reqs) && reqs[next].target <= hi {
+			out[reqs[next].idx] = v
+			next++
+		}
+		return next < len(reqs)
+	})
+	if next != len(reqs) {
+		return nil, fmt.Errorf("buffer: Output resolved %d of %d quantiles", next, len(reqs))
+	}
+	return out, nil
+}

@@ -1,0 +1,503 @@
+package buffer
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// materialize returns the fully expanded weighted sequence of the buffers:
+// every element repeated Weight times, sorted — the conceptual sequence the
+// paper defines Collapse and Output over.
+func materialize(bufs []*Buffer[int]) []int {
+	var out []int
+	for _, b := range bufs {
+		for _, v := range b.Elements() {
+			for w := uint64(0); w < b.Weight; w++ {
+				out = append(out, v)
+			}
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// fullBuffer builds a Full buffer with the given elements and weight.
+func fullBuffer(elems []int, w uint64) *Buffer[int] {
+	b := New[int](len(elems))
+	copy(b.Data, elems)
+	slices.Sort(b.Data)
+	b.Fill = len(elems)
+	b.Weight = w
+	b.State = Full
+	return b
+}
+
+func sequential(n int) func() (int, bool) {
+	i := 0
+	return func() (int, bool) {
+		if i >= n {
+			return 0, false
+		}
+		i++
+		return i - 1, true
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Empty.String() != "empty" || Partial.String() != "partial" || Full.String() != "full" {
+		t.Error("state names wrong")
+	}
+	if State(9).String() != "State(9)" {
+		t.Error("unknown state formatting wrong")
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New[int](0)
+}
+
+func TestFillFromNoSampling(t *testing.T) {
+	b := New[int](10)
+	consumed := b.FillFrom(sequential(100), 1, rng.New(1))
+	if consumed != 10 {
+		t.Errorf("consumed %d, want 10", consumed)
+	}
+	if b.State != Full || b.Weight != 1 || b.Fill != 10 {
+		t.Errorf("bad buffer state: %+v", b)
+	}
+	// With r=1 the buffer holds exactly the first 10 elements, sorted.
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if !slices.Equal(b.Elements(), want) {
+		t.Errorf("elements = %v", b.Elements())
+	}
+}
+
+func TestFillFromSampledBlocks(t *testing.T) {
+	const k, r = 8, 4
+	b := New[int](k)
+	consumed := b.FillFrom(sequential(1000), r, rng.New(2))
+	if consumed != k*r {
+		t.Errorf("consumed %d, want %d", consumed, k*r)
+	}
+	if b.State != Full || b.Weight != r {
+		t.Errorf("bad state: %+v", b)
+	}
+	// Each kept element must come from its own block of r.
+	blocks := make([]bool, k)
+	for _, v := range b.Elements() {
+		blk := v / r
+		if blk < 0 || blk >= k {
+			t.Fatalf("element %d outside consumed range", v)
+		}
+		if blocks[blk] {
+			t.Fatalf("two elements drawn from block %d", blk)
+		}
+		blocks[blk] = true
+	}
+}
+
+func TestFillFromPartialStream(t *testing.T) {
+	b := New[int](10)
+	consumed := b.FillFrom(sequential(7), 1, rng.New(3))
+	if consumed != 7 || b.State != Partial || b.Fill != 7 {
+		t.Errorf("partial fill wrong: consumed=%d state=%v fill=%d", consumed, b.State, b.Fill)
+	}
+}
+
+func TestFillFromPartialMidBlock(t *testing.T) {
+	// 10 elements with r=4: two full blocks (8 elements) plus a 2-element
+	// trailing block; the buffer keeps 3 elements and is Partial.
+	b := New[int](8)
+	consumed := b.FillFrom(sequential(10), 4, rng.New(4))
+	if consumed != 10 {
+		t.Errorf("consumed %d, want 10", consumed)
+	}
+	if b.State != Partial || b.Fill != 3 {
+		t.Errorf("state=%v fill=%d, want partial/3", b.State, b.Fill)
+	}
+}
+
+func TestFillFromEmptyStream(t *testing.T) {
+	b := New[int](4)
+	consumed := b.FillFrom(sequential(0), 2, rng.New(5))
+	if consumed != 0 || b.Fill != 0 || b.State != Partial {
+		t.Errorf("empty stream fill: consumed=%d fill=%d state=%v", consumed, b.Fill, b.State)
+	}
+}
+
+func TestFillFromUniformWithinBlock(t *testing.T) {
+	// The kept element must be uniform over its block: chi-squared style
+	// tolerance over many trials for block size 4.
+	const r = 4
+	counts := [r]int{}
+	rg := rng.New(6)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		b := New[int](1)
+		b.FillFrom(sequential(r), r, rg)
+		counts[b.Data[0]]++
+	}
+	want := float64(trials) / r
+	for pos, c := range counts {
+		if diff := float64(c) - want; diff > 5*100 || diff < -5*100 { // 5*sqrt(10000)=500
+			t.Errorf("block position %d kept %d times, want ~%.0f", pos, c, want)
+		}
+	}
+}
+
+func TestFillFromPanics(t *testing.T) {
+	b := New[int](4)
+	b.FillFrom(sequential(4), 1, rng.New(1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("refill should panic")
+			}
+		}()
+		b.FillFrom(sequential(4), 1, rng.New(1))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("rate 0 should panic")
+			}
+		}()
+		New[int](4).FillFrom(sequential(4), 0, rng.New(1))
+	}()
+}
+
+func TestClear(t *testing.T) {
+	b := New[int](4)
+	b.FillFrom(sequential(4), 1, rng.New(1))
+	b.Level = 3
+	b.Clear()
+	if b.State != Empty || b.Fill != 0 || b.Weight != 0 || b.Level != 0 {
+		t.Errorf("Clear left state %+v", b)
+	}
+	if b.K() != 4 {
+		t.Error("Clear released capacity")
+	}
+}
+
+func TestCollapseEqualWeights(t *testing.T) {
+	// Paper Section 3.2 example shape: two weight-1 buffers of size k
+	// collapse into k equally spaced elements of the merged 2k sequence.
+	x := fullBuffer([]int{1, 3, 5, 7}, 1)
+	y := fullBuffer([]int{2, 4, 6, 8}, 1)
+	c := NewCollapser[int](4)
+	c.Collapse([]*Buffer[int]{x, y}, x)
+	// Weighted sequence: 1..8, weight 2, first target w/2 = 1... positions
+	// 1,3,5,7 (evenLow first) -> elements 1,3,5,7.
+	if !slices.Equal(x.Elements(), []int{1, 3, 5, 7}) {
+		t.Errorf("collapse output %v", x.Elements())
+	}
+	if x.Weight != 2 || x.State != Full {
+		t.Errorf("output weight/state: %+v", x)
+	}
+	if y.State != Empty {
+		t.Error("input buffer not cleared")
+	}
+}
+
+func TestCollapseEvenAlternation(t *testing.T) {
+	// Successive even-weight collapses must alternate offsets: first w/2,
+	// then (w+2)/2.
+	c := NewCollapser[int](4)
+	x1 := fullBuffer([]int{1, 3, 5, 7}, 1)
+	y1 := fullBuffer([]int{2, 4, 6, 8}, 1)
+	c.Collapse([]*Buffer[int]{x1, y1}, x1)
+	first := slices.Clone(x1.Elements())
+
+	x2 := fullBuffer([]int{1, 3, 5, 7}, 1)
+	y2 := fullBuffer([]int{2, 4, 6, 8}, 1)
+	c.Collapse([]*Buffer[int]{x2, y2}, x2)
+	second := slices.Clone(x2.Elements())
+
+	if !slices.Equal(first, []int{1, 3, 5, 7}) {
+		t.Errorf("first even collapse %v, want low offsets", first)
+	}
+	if !slices.Equal(second, []int{2, 4, 6, 8}) {
+		t.Errorf("second even collapse %v, want high offsets", second)
+	}
+}
+
+func TestCollapseOddWeight(t *testing.T) {
+	// Weights 1+2=3 (odd): positions j*3 + 2.
+	x := fullBuffer([]int{10, 20, 30}, 1)
+	y := fullBuffer([]int{15, 25, 35}, 2)
+	c := NewCollapser[int](3)
+	c.Collapse([]*Buffer[int]{x, y}, y)
+	want := materialize([]*Buffer[int]{
+		fullBuffer([]int{10, 20, 30}, 1), fullBuffer([]int{15, 25, 35}, 2),
+	})
+	// positions 2, 5, 8 (1-based) of the weighted sequence
+	expect := []int{want[1], want[4], want[7]}
+	if !slices.Equal(y.Elements(), expect) {
+		t.Errorf("odd-weight collapse %v, want %v", y.Elements(), expect)
+	}
+	if y.Weight != 3 {
+		t.Errorf("weight %d, want 3", y.Weight)
+	}
+}
+
+func TestCollapseAgainstOracle(t *testing.T) {
+	// Randomized cross-check: collapse output must equal the k equally
+	// spaced elements of the materialized weighted sequence.
+	rg := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rg.Intn(16)
+		nb := 2 + rg.Intn(4)
+		bufs := make([]*Buffer[int], nb)
+		var wOut uint64
+		for i := range bufs {
+			elems := make([]int, k)
+			for j := range elems {
+				elems[j] = rg.Intn(100)
+			}
+			w := uint64(1 + rg.Intn(8))
+			bufs[i] = fullBuffer(elems, w)
+			wOut += w
+		}
+		seq := materialize(bufs)
+		c := NewCollapser[int](k)
+		// Determine expected offset before collapsing (parity state fresh).
+		var first uint64
+		if wOut%2 == 1 {
+			first = (wOut + 1) / 2
+		} else {
+			first = wOut / 2
+		}
+		dst := bufs[rg.Intn(nb)]
+		c.Collapse(bufs, dst)
+		for j := 0; j < k; j++ {
+			want := seq[first-1+uint64(j)*wOut]
+			if dst.Data[j] != want {
+				t.Fatalf("trial %d: output[%d] = %d, want %d (w=%d k=%d)",
+					trial, j, dst.Data[j], want, wOut, k)
+			}
+		}
+	}
+}
+
+func TestCollapseWeightConservation(t *testing.T) {
+	f := func(w1, w2, w3 uint8) bool {
+		ws := []uint64{uint64(w1%30) + 1, uint64(w2%30) + 1, uint64(w3%30) + 1}
+		bufs := []*Buffer[int]{
+			fullBuffer([]int{1, 2}, ws[0]),
+			fullBuffer([]int{3, 4}, ws[1]),
+			fullBuffer([]int{5, 6}, ws[2]),
+		}
+		c := NewCollapser[int](2)
+		c.Collapse(bufs, bufs[0])
+		return bufs[0].Weight == ws[0]+ws[1]+ws[2] &&
+			bufs[1].State == Empty && bufs[2].State == Empty
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollapseOutputSorted(t *testing.T) {
+	rg := rng.New(8)
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rg.Intn(12)
+		bufs := []*Buffer[int]{}
+		for i := 0; i < 3; i++ {
+			elems := make([]int, k)
+			for j := range elems {
+				elems[j] = rg.Intn(1000)
+			}
+			bufs = append(bufs, fullBuffer(elems, uint64(1+rg.Intn(5))))
+		}
+		c := NewCollapser[int](k)
+		c.Collapse(bufs, bufs[0])
+		if !slices.IsSorted(bufs[0].Elements()) {
+			t.Fatalf("collapse output not sorted: %v", bufs[0].Elements())
+		}
+	}
+}
+
+func TestCollapseCounters(t *testing.T) {
+	c := NewCollapser[int](2)
+	b1 := fullBuffer([]int{1, 2}, 1)
+	b2 := fullBuffer([]int{3, 4}, 1)
+	c.Collapse([]*Buffer[int]{b1, b2}, b1)
+	b3 := fullBuffer([]int{5, 6}, 1)
+	c.Collapse([]*Buffer[int]{b1, b3}, b1)
+	if c.Collapses != 2 {
+		t.Errorf("Collapses = %d", c.Collapses)
+	}
+	if c.WeightSum != 2+3 {
+		t.Errorf("WeightSum = %d", c.WeightSum)
+	}
+}
+
+func TestCollapsePanics(t *testing.T) {
+	c := NewCollapser[int](2)
+	full := fullBuffer([]int{1, 2}, 1)
+	empty := New[int](2)
+	other := fullBuffer([]int{9, 9}, 1)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"too few buffers", func() { c.Collapse([]*Buffer[int]{full}, full) }},
+		{"non-full input", func() { c.Collapse([]*Buffer[int]{full, empty}, full) }},
+		{"dst not an input", func() { c.Collapse([]*Buffer[int]{full, fullBuffer([]int{3, 4}, 1)}, other) }},
+		{"capacity mismatch", func() { c.Collapse([]*Buffer[int]{full, fullBuffer([]int{1, 2, 3}, 1)}, full) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+func TestOutputMatchesMaterialized(t *testing.T) {
+	rg := rng.New(9)
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rg.Intn(10)
+		nb := 1 + rg.Intn(4)
+		bufs := make([]*Buffer[int], nb)
+		for i := range bufs {
+			elems := make([]int, k)
+			for j := range elems {
+				elems[j] = rg.Intn(50)
+			}
+			bufs[i] = fullBuffer(elems, uint64(1+rg.Intn(6)))
+		}
+		seq := materialize(bufs)
+		phis := []float64{0.01, 0.25, 0.5, 0.75, 1.0, rg.Float64()*0.98 + 0.01}
+		got, err := Output(bufs, phis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, phi := range phis {
+			pos := int(float64(len(seq)) * phi)
+			if float64(pos) < float64(len(seq))*phi {
+				pos++
+			}
+			if pos < 1 {
+				pos = 1
+			}
+			want := seq[pos-1]
+			if got[i] != want {
+				t.Fatalf("trial %d phi=%v: got %d, want %d", trial, phi, got[i], want)
+			}
+		}
+	}
+}
+
+func TestOutputWithPartialBuffer(t *testing.T) {
+	full := fullBuffer([]int{10, 20, 30, 40}, 2)
+	partial := New[int](4)
+	partial.Data[0], partial.Data[1] = 5, 45
+	partial.Fill = 2
+	partial.Weight = 1
+	partial.State = Partial
+	bufs := []*Buffer[int]{full, partial}
+	seq := materialize(bufs) // 5,10,10,20,20,30,30,40,40,45
+	got, err := Output(bufs, []float64{0.1, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != seq[0] || got[1] != seq[4] || got[2] != seq[9] {
+		t.Errorf("partial-buffer output %v over %v", got, seq)
+	}
+}
+
+func TestOutputNonDestructive(t *testing.T) {
+	b := fullBuffer([]int{3, 1, 4, 1}, 2)
+	before := slices.Clone(b.Data)
+	w, s, f := b.Weight, b.State, b.Fill
+	if _, err := Output([]*Buffer[int]{b}, []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(b.Data, before) || b.Weight != w || b.State != s || b.Fill != f {
+		t.Error("Output mutated buffer state")
+	}
+	// Repeat invocation yields identical answers (anytime property).
+	r1, _ := Output([]*Buffer[int]{b}, []float64{0.25, 0.75})
+	r2, _ := Output([]*Buffer[int]{b}, []float64{0.25, 0.75})
+	if !slices.Equal(r1, r2) {
+		t.Error("repeated Output disagreed")
+	}
+}
+
+func TestOutputErrors(t *testing.T) {
+	if _, err := Output([]*Buffer[int]{New[int](2)}, []float64{0.5}); err == nil {
+		t.Error("Output on empty state should error")
+	}
+	b := fullBuffer([]int{1, 2}, 1)
+	if _, err := Output([]*Buffer[int]{b}, []float64{0}); err == nil {
+		t.Error("phi=0 should error")
+	}
+	if _, err := Output([]*Buffer[int]{b}, []float64{1.5}); err == nil {
+		t.Error("phi>1 should error")
+	}
+}
+
+func TestOutputPreservesRequestOrder(t *testing.T) {
+	b := fullBuffer([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 1)
+	got, err := Output([]*Buffer[int]{b}, []float64{0.9, 0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 || got[1] != 1 || got[2] != 5 {
+		t.Errorf("order-preserving output wrong: %v", got)
+	}
+}
+
+func TestTotalWeightedCount(t *testing.T) {
+	bufs := []*Buffer[int]{
+		fullBuffer([]int{1, 2, 3}, 4),
+		fullBuffer([]int{4, 5, 6}, 1),
+	}
+	if got := TotalWeightedCount(bufs); got != 15 {
+		t.Errorf("TotalWeightedCount = %d, want 15", got)
+	}
+}
+
+func TestWeightedCount(t *testing.T) {
+	b := fullBuffer([]int{1, 2, 3}, 5)
+	if b.WeightedCount() != 15 {
+		t.Error("WeightedCount wrong")
+	}
+}
+
+func BenchmarkCollapse(b *testing.B) {
+	rg := rng.New(1)
+	const k = 1000
+	mk := func() []*Buffer[int] {
+		bufs := make([]*Buffer[int], 5)
+		for i := range bufs {
+			elems := make([]int, k)
+			for j := range elems {
+				elems[j] = rg.Intn(1 << 20)
+			}
+			bufs[i] = fullBuffer(elems, uint64(1+i))
+		}
+		return bufs
+	}
+	c := NewCollapser[int](k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bufs := mk()
+		b.StartTimer()
+		c.Collapse(bufs, bufs[0])
+	}
+}

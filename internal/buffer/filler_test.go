@@ -1,0 +1,189 @@
+package buffer
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFillerNoSampling(t *testing.T) {
+	b := New[int](4)
+	f := StartFill(b, 1, rng.New(1))
+	for i, v := range []int{9, 3, 7, 1} {
+		full := f.Push(v)
+		if (i == 3) != full {
+			t.Fatalf("Push #%d returned full=%v", i, full)
+		}
+	}
+	if b.State != Full || !slices.Equal(b.Elements(), []int{1, 3, 7, 9}) {
+		t.Errorf("filled buffer: %+v", b)
+	}
+}
+
+func TestFillerSampledWeight(t *testing.T) {
+	b := New[int](2)
+	f := StartFill(b, 3, rng.New(2))
+	if b.Weight != 3 {
+		t.Errorf("weight not set at start: %d", b.Weight)
+	}
+	pushes := 0
+	for !f.Push(pushes) {
+		pushes++
+	}
+	if pushes != 5 { // 6 pushes total = 2 blocks of 3
+		t.Errorf("buffer full after %d pushes, want 6", pushes+1)
+	}
+}
+
+func TestFillerKeepWithinBlock(t *testing.T) {
+	// Every kept element must belong to its own block.
+	rg := rng.New(3)
+	for trial := 0; trial < 100; trial++ {
+		const k, r = 5, 7
+		b := New[int](k)
+		f := StartFill(b, r, rg)
+		for i := 0; i < k*r; i++ {
+			f.Push(i)
+		}
+		for _, v := range b.Elements() {
+			_ = v
+		}
+		seen := make(map[int]bool)
+		for _, v := range b.Elements() {
+			blk := v / r
+			if blk < 0 || blk >= k || seen[blk] {
+				t.Fatalf("element %d not a valid one-per-block draw: %v", v, b.Elements())
+			}
+			seen[blk] = true
+		}
+	}
+}
+
+func TestFillerFinishPartialBlock(t *testing.T) {
+	b := New[int](4)
+	f := StartFill(b, 4, rng.New(4))
+	for i := 0; i < 6; i++ { // one full block + half a block
+		f.Push(i)
+	}
+	f.Finish()
+	if b.State != Partial || b.Fill != 2 {
+		t.Errorf("state=%v fill=%d, want partial/2", b.State, b.Fill)
+	}
+	f.Finish() // idempotent
+	if b.Fill != 2 {
+		t.Error("Finish not idempotent")
+	}
+}
+
+func TestFillerFinishEmpty(t *testing.T) {
+	b := New[int](4)
+	f := StartFill(b, 2, rng.New(5))
+	f.Finish()
+	if b.State != Partial || b.Fill != 0 {
+		t.Errorf("state=%v fill=%d", b.State, b.Fill)
+	}
+}
+
+func TestFillerFinishExactlyFull(t *testing.T) {
+	b := New[int](2)
+	f := StartFill(b, 2, rng.New(6))
+	f.Push(1)
+	f.Push(2)
+	f.Push(3)
+	f.Finish() // pending half block -> but buffer already has 1 element + pending
+	if b.Fill != 2 || b.State != Full {
+		t.Errorf("state=%v fill=%d, want full/2", b.State, b.Fill)
+	}
+}
+
+func TestFillerPending(t *testing.T) {
+	b := New[int](3)
+	f := StartFill(b, 2, rng.New(7))
+	if f.Pending() != 0 {
+		t.Error("fresh filler pending != 0")
+	}
+	f.Push(1)
+	if f.Pending() != 1 { // mid-block candidate counts
+		t.Errorf("pending = %d, want 1", f.Pending())
+	}
+	f.Push(2)
+	if f.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", f.Pending())
+	}
+	f.Push(3)
+	if f.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", f.Pending())
+	}
+}
+
+func TestFillerSnapshot(t *testing.T) {
+	b := New[int](4)
+	f := StartFill(b, 2, rng.New(8))
+	f.Push(10)
+	f.Push(20)
+	f.Push(30) // mid-block pending candidate = 30
+	snap := New[int](4)
+	f.Snapshot(snap)
+	if snap.Fill != 2 || snap.Weight != 2 {
+		t.Errorf("snapshot fill=%d weight=%d", snap.Fill, snap.Weight)
+	}
+	if !slices.IsSorted(snap.Elements()) {
+		t.Error("snapshot not sorted")
+	}
+	// The filler must be unaffected: finish the block and the buffer.
+	f.Push(40)
+	f.Push(50)
+	f.Push(60)
+	f.Push(70)
+	f.Push(80)
+	if b.State != Full {
+		t.Errorf("filler corrupted by snapshot: %+v", b)
+	}
+}
+
+func TestFillerSnapshotTooSmall(t *testing.T) {
+	b := New[int](4)
+	f := StartFill(b, 1, rng.New(9))
+	f.Push(1)
+	f.Push(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f.Snapshot(New[int](1))
+}
+
+func TestFillerPushAfterFullPanics(t *testing.T) {
+	b := New[int](1)
+	f := StartFill(b, 1, rng.New(10))
+	f.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f.Push(2)
+}
+
+func TestStartFillPanics(t *testing.T) {
+	b := New[int](2)
+	b.State = Full
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on non-empty")
+			}
+		}()
+		StartFill(b, 1, rng.New(1))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on zero rate")
+			}
+		}()
+		StartFill(New[int](2), 0, rng.New(1))
+	}()
+}

@@ -1,0 +1,249 @@
+// Package codec serializes sketch state to a compact, versioned binary
+// format. This is the wire format for the paper's Section 6 distributed
+// setting — workers ship buffers to a coordinator — and for checkpointing
+// long-lived sketches (e.g. histograms over tables that grow for months).
+//
+// The format is deterministic and self-checking: a magic header, a format
+// version, varint-encoded integers, element payloads via a pluggable
+// Element codec, and a trailing CRC-32 over everything before it.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Element encodes and decodes single elements of type T.
+type Element[T any] interface {
+	// Append encodes v onto dst and returns the extended slice.
+	Append(dst []byte, v T) []byte
+	// Decode reads one value from src, returning it and the remaining
+	// bytes.
+	Decode(src []byte) (T, []byte, error)
+	// Name identifies the codec; it is stored in the header and checked on
+	// decode so a float64 blob is never misread as strings.
+	Name() string
+}
+
+// Float64 returns the codec for float64 elements (fixed 8-byte IEEE 754,
+// little endian).
+func Float64() Element[float64] { return float64Codec{} }
+
+type float64Codec struct{}
+
+func (float64Codec) Name() string { return "float64" }
+
+func (float64Codec) Append(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func (float64Codec) Decode(src []byte) (float64, []byte, error) {
+	if len(src) < 8 {
+		return 0, nil, fmt.Errorf("codec: short float64")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(src)), src[8:], nil
+}
+
+// Int64 returns the codec for int64 elements (zig-zag varint).
+func Int64() Element[int64] { return int64Codec{} }
+
+type int64Codec struct{}
+
+func (int64Codec) Name() string { return "int64" }
+
+func (int64Codec) Append(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+func (int64Codec) Decode(src []byte) (int64, []byte, error) {
+	v, n := binary.Varint(src)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("codec: bad int64 varint")
+	}
+	return v, src[n:], nil
+}
+
+// Int returns the codec for int elements (zig-zag varint).
+func Int() Element[int] { return intCodec{} }
+
+type intCodec struct{}
+
+func (intCodec) Name() string { return "int" }
+
+func (intCodec) Append(dst []byte, v int) []byte {
+	return binary.AppendVarint(dst, int64(v))
+}
+
+func (intCodec) Decode(src []byte) (int, []byte, error) {
+	v, n := binary.Varint(src)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("codec: bad int varint")
+	}
+	return int(v), src[n:], nil
+}
+
+// String returns the codec for string elements (varint length prefix).
+func String() Element[string] { return stringCodec{} }
+
+type stringCodec struct{}
+
+func (stringCodec) Name() string { return "string" }
+
+func (stringCodec) Append(dst []byte, v string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	return append(dst, v...)
+}
+
+func (stringCodec) Decode(src []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(src)
+	if n <= 0 || uint64(len(src)-n) < l {
+		return "", nil, fmt.Errorf("codec: bad string header")
+	}
+	return string(src[n : n+int(l)]), src[n+int(l):], nil
+}
+
+// writer accumulates the encoding.
+type writer struct{ buf []byte }
+
+func (w *writer) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *writer) byte(b byte)      { w.buf = append(w.buf, b) }
+func (w *writer) bool(b bool) {
+	if b {
+		w.byte(1)
+	} else {
+		w.byte(0)
+	}
+}
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// reader consumes an encoding.
+type reader struct{ buf []byte }
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("codec: bad uvarint")
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("codec: bad varint")
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if len(r.buf) == 0 {
+		return 0, fmt.Errorf("codec: unexpected end of input")
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b, nil
+}
+
+func (r *reader) bool() (bool, error) {
+	b, err := r.byte()
+	if err != nil {
+		return false, err
+	}
+	if b > 1 {
+		return false, fmt.Errorf("codec: bad bool byte %d", b)
+	}
+	return b == 1, nil
+}
+
+func (r *reader) str() (string, error) {
+	l, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(r.buf)) < l {
+		return "", fmt.Errorf("codec: short string")
+	}
+	s := string(r.buf[:l])
+	r.buf = r.buf[l:]
+	return s, nil
+}
+
+// frame wraps a payload with magic, version, kind, codec name and CRC.
+func frame(kind byte, codecName string, payload []byte) []byte {
+	w := &writer{buf: make([]byte, 0, len(payload)+32)}
+	w.buf = append(w.buf, magic...)
+	w.byte(version)
+	w.byte(kind)
+	w.str(codecName)
+	w.uvarint(uint64(len(payload)))
+	w.buf = append(w.buf, payload...)
+	sum := crc32.ChecksumIEEE(w.buf)
+	return binary.LittleEndian.AppendUint32(w.buf, sum)
+}
+
+// unframe validates and strips the envelope.
+func unframe(data []byte, wantKind byte, wantCodec string) ([]byte, error) {
+	if len(data) < len(magic)+2+4 {
+		return nil, fmt.Errorf("codec: truncated frame")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("codec: checksum mismatch")
+	}
+	r := &reader{buf: body}
+	for i := 0; i < len(magic); i++ {
+		b, err := r.byte()
+		if err != nil || b != magic[i] {
+			return nil, fmt.Errorf("codec: bad magic")
+		}
+	}
+	v, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("codec: unsupported version %d", v)
+	}
+	k, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if k != wantKind {
+		return nil, fmt.Errorf("codec: frame kind %d, want %d", k, wantKind)
+	}
+	name, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	if name != wantCodec {
+		return nil, fmt.Errorf("codec: element codec %q, want %q", name, wantCodec)
+	}
+	plen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(r.buf)) != plen {
+		return nil, fmt.Errorf("codec: payload length %d, header says %d", len(r.buf), plen)
+	}
+	return r.buf, nil
+}
+
+const version = 1
+
+var magic = []byte("MRLQ")
+
+// Frame kinds.
+const (
+	kindSketch    = 1
+	kindShipment  = 2
+	kindKnownN    = 3
+	kindHistogram = 4
+)

@@ -1,0 +1,289 @@
+package codec
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/stream"
+)
+
+func TestElementCodecsRoundTrip(t *testing.T) {
+	fc := Float64()
+	for _, v := range []float64{0, 1.5, -3.25e300, 2.2250738585072014e-308} {
+		buf := fc.Append(nil, v)
+		got, rest, err := fc.Decode(buf)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Errorf("float64 round trip of %v: got %v, rest %d, err %v", v, got, len(rest), err)
+		}
+	}
+	ic := Int64()
+	for _, v := range []int64{0, 1, -1, 1 << 60, -(1 << 60)} {
+		buf := ic.Append(nil, v)
+		got, _, err := ic.Decode(buf)
+		if err != nil || got != v {
+			t.Errorf("int64 round trip of %v: got %v, err %v", v, got, err)
+		}
+	}
+	sc := String()
+	for _, v := range []string{"", "a", "héllo wörld", string(make([]byte, 1000))} {
+		buf := sc.Append(nil, v)
+		got, _, err := sc.Decode(buf)
+		if err != nil || got != v {
+			t.Errorf("string round trip of %q failed: %q, %v", v, got, err)
+		}
+	}
+	nc := Int()
+	buf := nc.Append(nil, -42)
+	if got, _, err := nc.Decode(buf); err != nil || got != -42 {
+		t.Errorf("int round trip: %v, %v", got, err)
+	}
+}
+
+func TestElementCodecsTruncated(t *testing.T) {
+	if _, _, err := Float64().Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("short float64 accepted")
+	}
+	if _, _, err := Int64().Decode(nil); err == nil {
+		t.Error("empty int64 accepted")
+	}
+	if _, _, err := String().Decode([]byte{200}); err == nil {
+		t.Error("bad string header accepted")
+	}
+	if _, _, err := String().Decode([]byte{5, 'a'}); err == nil {
+		t.Error("short string accepted")
+	}
+}
+
+// loadedSketch builds a sketch that has sampled, collapsed, and sits
+// mid-fill, mid-block — the hardest state to checkpoint.
+func loadedSketch(t *testing.T, n int) *core.Sketch[float64] {
+	t.Helper()
+	s, err := core.NewSketch[float64](core.Config{B: 4, K: 17, H: 2, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Uniform(uint64(n), 5))
+	s.AddAll(data)
+	return s
+}
+
+// TestSketchCheckpointEquivalence is the core guarantee: a restored sketch
+// behaves byte-for-byte identically to the original on all future input.
+func TestSketchCheckpointEquivalence(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 17, 100, 5000, 50_001} {
+		orig := loadedSketch(t, n)
+		blob, err := MarshalSketch(orig.Snapshot(), Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := UnmarshalSketch(blob, Float64())
+		if err != nil {
+			t.Fatalf("n=%d: unmarshal: %v", n, err)
+		}
+		restored, err := core.Restore(st)
+		if err != nil {
+			t.Fatalf("n=%d: restore: %v", n, err)
+		}
+		if restored.Count() != orig.Count() {
+			t.Fatalf("n=%d: count %d vs %d", n, restored.Count(), orig.Count())
+		}
+		// Feed both the same continuation and compare all answers.
+		more := stream.Collect(stream.Normal(3000, 7, 10, 3))
+		orig.AddAll(more)
+		restored.AddAll(more)
+		phis := []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+		a, errA := orig.Query(phis)
+		b, errB := restored.Query(phis)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("n=%d: query errors diverge: %v vs %v", n, errA, errB)
+		}
+		if errA == nil && !slices.Equal(a, b) {
+			t.Fatalf("n=%d: answers diverge: %v vs %v", n, a, b)
+		}
+		if orig.Stats() != restored.Stats() {
+			t.Fatalf("n=%d: stats diverge:\n%+v\n%+v", n, orig.Stats(), restored.Stats())
+		}
+	}
+}
+
+func TestSketchCheckpointStringType(t *testing.T) {
+	s, err := core.NewSketch[string](core.Config{B: 3, K: 8, H: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"kiwi", "fig", "apple", "mango", "pear"}
+	for i := 0; i < 500; i++ {
+		s.Add(words[i%len(words)])
+	}
+	blob, err := MarshalSketch(s.Snapshot(), String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := UnmarshalSketch(blob, String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.Restore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.QueryOne(0.5)
+	b, _ := restored.QueryOne(0.5)
+	if a != b {
+		t.Errorf("string medians diverge: %q vs %q", a, b)
+	}
+}
+
+func TestSketchBlobCorruptionDetected(t *testing.T) {
+	orig := loadedSketch(t, 4000)
+	blob, _ := MarshalSketch(orig.Snapshot(), Float64())
+	// Flip every byte position (coarsely) and require an error each time.
+	for i := 0; i < len(blob); i += 7 {
+		bad := slices.Clone(blob)
+		bad[i] ^= 0x40
+		if _, err := UnmarshalSketch(bad, Float64()); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+	// Truncations.
+	for _, cut := range []int{1, 4, len(blob) / 2, len(blob) - 1} {
+		if _, err := UnmarshalSketch(blob[:cut], Float64()); err == nil {
+			t.Fatalf("truncation to %d bytes undetected", cut)
+		}
+	}
+}
+
+func TestSketchBlobRandomGarbage(t *testing.T) {
+	f := func(junk []byte) bool {
+		_, err := UnmarshalSketch(junk, Float64())
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSketchCodecMismatchRejected(t *testing.T) {
+	orig := loadedSketch(t, 100)
+	blob, _ := MarshalSketch(orig.Snapshot(), Float64())
+	if _, err := UnmarshalSketch(blob, String()); err == nil {
+		t.Error("float64 blob decoded with string codec")
+	}
+}
+
+func TestShipmentRoundTrip(t *testing.T) {
+	s, err := core.NewSketch[float64](core.Config{B: 4, K: 32, H: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Uniform(20_000, 13))
+	s.AddAll(data)
+	sh := parallel.Ship(s)
+	blob, err := MarshalShipment(sh, Float64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalShipment(blob, Float64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != sh.Count {
+		t.Errorf("count %d vs %d", got.Count, sh.Count)
+	}
+	// The decoded shipment must merge identically to the original.
+	c1, _ := parallel.NewCoordinator[float64](32, 4, 7)
+	c2, _ := parallel.NewCoordinator[float64](32, 4, 7)
+	if err := c1.Receive(sh); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Receive(got); err != nil {
+		t.Fatal(err)
+	}
+	phis := []float64{0.1, 0.5, 0.9}
+	a, _ := c1.Query(phis)
+	b, _ := c2.Query(phis)
+	if !slices.Equal(a, b) {
+		t.Errorf("merged answers diverge: %v vs %v", a, b)
+	}
+}
+
+func TestShipmentEmptyAndPartialOnly(t *testing.T) {
+	// Empty shipment.
+	blob, err := MarshalShipment(parallel.Shipment[float64]{Count: 0}, Float64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalShipment(blob, Float64())
+	if err != nil || got.Full != nil || got.Partial != nil || got.Count != 0 {
+		t.Errorf("empty shipment round trip: %+v, %v", got, err)
+	}
+	// Partial-only shipment (tiny worker stream).
+	s, _ := core.NewSketch[float64](core.Config{B: 4, K: 32, H: 2, Seed: 1})
+	s.Add(3.5)
+	s.Add(1.5)
+	sh := parallel.Ship(s)
+	blob, _ = MarshalShipment(sh, Float64())
+	got, err = UnmarshalShipment(blob, Float64())
+	if err != nil || got.Full != nil || got.Partial == nil || got.Partial.Fill != 2 {
+		t.Errorf("partial shipment round trip: %+v, %v", got, err)
+	}
+}
+
+func TestShipmentCorruptionDetected(t *testing.T) {
+	s, _ := core.NewSketch[float64](core.Config{B: 4, K: 16, H: 2, Seed: 2})
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	blob, _ := MarshalShipment(parallel.Ship(s), Float64())
+	for i := 0; i < len(blob); i += 5 {
+		bad := slices.Clone(blob)
+		bad[i] ^= 0x10
+		if _, err := UnmarshalShipment(bad, Float64()); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestFrameKindMismatch(t *testing.T) {
+	s, _ := core.NewSketch[float64](core.Config{B: 4, K: 16, H: 2, Seed: 2})
+	s.Add(1)
+	sketchBlob, _ := MarshalSketch(s.Snapshot(), Float64())
+	if _, err := UnmarshalShipment(sketchBlob, Float64()); err == nil {
+		t.Error("sketch frame accepted as shipment")
+	}
+}
+
+func TestRestoreRejectsBadStates(t *testing.T) {
+	good := loadedSketch(t, 1000).Snapshot()
+
+	bad := good
+	bad.PolicyName = "nope"
+	if _, err := core.Restore(bad); err == nil {
+		t.Error("bad policy accepted")
+	}
+
+	bad = good
+	bad.RNG = [4]uint64{}
+	if _, err := core.Restore(bad); err == nil {
+		t.Error("zero RNG state accepted")
+	}
+
+	bad = good
+	bad.Tree.Buffers = make([]core.BufferState[float64], bad.B+1)
+	if _, err := core.Restore(bad); err == nil {
+		t.Error("too many buffers accepted")
+	}
+
+	if good.Fill != nil {
+		bad = good
+		f := *good.Fill
+		f.BufferIndex = 99
+		bad.Fill = &f
+		if _, err := core.Restore(bad); err == nil {
+			t.Error("bad fill index accepted")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/stream"
+)
+
+// seedBlobs produces valid blobs to seed the fuzzers, so mutations explore
+// near-valid inputs rather than only failing the magic check.
+func seedSketchBlob(tb testing.TB) []byte {
+	tb.Helper()
+	s, err := core.NewSketch[float64](core.Config{B: 4, K: 8, H: 2, Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, v := range stream.Collect(stream.Uniform(500, 2)) {
+		s.Add(v)
+	}
+	blob, err := MarshalSketch(s.Snapshot(), Float64())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return blob
+}
+
+// FuzzUnmarshalSketch: arbitrary bytes must either fail cleanly or decode
+// into a state that Restore either rejects or turns into a usable sketch —
+// never a panic, never a hang.
+func FuzzUnmarshalSketch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("MRLQ"))
+	f.Add(seedSketchBlob(f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := UnmarshalSketch(data, Float64())
+		if err != nil {
+			return
+		}
+		sk, err := core.Restore(st)
+		if err != nil {
+			return
+		}
+		// A restored sketch must function.
+		for i := 0; i < 100; i++ {
+			sk.Add(float64(i))
+		}
+		if _, err := sk.QueryOne(0.5); err != nil {
+			t.Fatalf("restored sketch cannot answer: %v", err)
+		}
+	})
+}
+
+func seedShipmentBlob(tb testing.TB) []byte {
+	tb.Helper()
+	s, err := core.NewSketch[float64](core.Config{B: 4, K: 8, H: 2, Seed: 3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, v := range stream.Collect(stream.Uniform(300, 4)) {
+		s.Add(v)
+	}
+	full, partial, n := s.Ship()
+	blob, err := MarshalShipment(parallel.Shipment[float64]{Full: full, Partial: partial, Count: n}, Float64())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return blob
+}
+
+// FuzzUnmarshalShipment: arbitrary bytes must never panic the decoder.
+func FuzzUnmarshalShipment(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(seedShipmentBlob(f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = UnmarshalShipment(data, Float64())
+	})
+}

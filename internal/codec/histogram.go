@@ -1,0 +1,71 @@
+package codec
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/histogram"
+)
+
+// MarshalHistogram serializes an equi-depth histogram snapshot. The sketch
+// portion is embedded as a full sketch frame, so it shares the same
+// validation path as standalone sketch checkpoints.
+func MarshalHistogram[T cmp.Ordered](st histogram.State[T], ec Element[T]) ([]byte, error) {
+	w := &writer{}
+	w.uvarint(uint64(st.P))
+	w.bool(st.HasAny)
+	if st.HasAny {
+		w.buf = ec.Append(w.buf, st.Min)
+		w.buf = ec.Append(w.buf, st.Max)
+	}
+	inner, err := MarshalSketch(st.Sketch, ec)
+	if err != nil {
+		return nil, err
+	}
+	w.uvarint(uint64(len(inner)))
+	w.buf = append(w.buf, inner...)
+	return frame(kindHistogram, ec.Name(), w.buf), nil
+}
+
+// UnmarshalHistogram decodes a snapshot serialized by MarshalHistogram.
+func UnmarshalHistogram[T cmp.Ordered](data []byte, ec Element[T]) (histogram.State[T], error) {
+	var st histogram.State[T]
+	payload, err := unframe(data, kindHistogram, ec.Name())
+	if err != nil {
+		return st, err
+	}
+	r := &reader{buf: payload}
+	fail := func(err error) (histogram.State[T], error) {
+		return histogram.State[T]{}, fmt.Errorf("codec: histogram: %w", err)
+	}
+	u, err := r.uvarint()
+	if err != nil {
+		return fail(err)
+	}
+	if u > 1<<20 {
+		return fail(fmt.Errorf("absurd bucket count %d", u))
+	}
+	st.P = int(u)
+	if st.HasAny, err = r.bool(); err != nil {
+		return fail(err)
+	}
+	if st.HasAny {
+		if st.Min, r.buf, err = ec.Decode(r.buf); err != nil {
+			return fail(err)
+		}
+		if st.Max, r.buf, err = ec.Decode(r.buf); err != nil {
+			return fail(err)
+		}
+	}
+	ilen, err := r.uvarint()
+	if err != nil {
+		return fail(err)
+	}
+	if uint64(len(r.buf)) != ilen {
+		return fail(fmt.Errorf("inner sketch length %d, header says %d", len(r.buf), ilen))
+	}
+	if st.Sketch, err = UnmarshalSketch(r.buf, ec); err != nil {
+		return fail(err)
+	}
+	return st, nil
+}

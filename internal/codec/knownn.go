@@ -1,0 +1,84 @@
+package codec
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/mrl98"
+)
+
+// MarshalKnownN serializes a known-N (MRL98) sketch snapshot.
+func MarshalKnownN[T cmp.Ordered](st mrl98.State[T], ec Element[T]) ([]byte, error) {
+	w := &writer{}
+	w.uvarint(uint64(st.B))
+	w.uvarint(uint64(st.K))
+	w.uvarint(st.Rate)
+	w.uvarint(st.DeclaredN)
+	w.str(st.PolicyName)
+	w.uvarint(st.Seed)
+	w.uvarint(st.N)
+	for _, s := range st.RNG {
+		w.uvarint(s)
+	}
+	encodeTreeState(w, st.Tree, ec)
+	encodeFillState(w, st.Fill, ec)
+	return frame(kindKnownN, ec.Name(), w.buf), nil
+}
+
+// UnmarshalKnownN decodes a snapshot serialized by MarshalKnownN.
+func UnmarshalKnownN[T cmp.Ordered](data []byte, ec Element[T]) (mrl98.State[T], error) {
+	var st mrl98.State[T]
+	payload, err := unframe(data, kindKnownN, ec.Name())
+	if err != nil {
+		return st, err
+	}
+	r := &reader{buf: payload}
+	fail := func(err error) (mrl98.State[T], error) {
+		return mrl98.State[T]{}, fmt.Errorf("codec: known-N sketch: %w", err)
+	}
+	var u uint64
+	if u, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	if u > 1<<16 {
+		return fail(fmt.Errorf("absurd buffer count %d", u))
+	}
+	st.B = int(u)
+	if u, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	if u > 1<<20 {
+		return fail(fmt.Errorf("absurd buffer size %d", u))
+	}
+	st.K = int(u)
+	if st.Rate, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	if st.DeclaredN, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	if st.PolicyName, err = r.str(); err != nil {
+		return fail(err)
+	}
+	if st.Seed, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	if st.N, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	for i := range st.RNG {
+		if st.RNG[i], err = r.uvarint(); err != nil {
+			return fail(err)
+		}
+	}
+	if st.Tree, err = decodeTreeState(r, st.K, ec); err != nil {
+		return fail(err)
+	}
+	if st.Fill, err = decodeFillState(r, ec); err != nil {
+		return fail(err)
+	}
+	if len(r.buf) != 0 {
+		return fail(fmt.Errorf("%d trailing bytes", len(r.buf)))
+	}
+	return st, nil
+}

@@ -1,0 +1,130 @@
+package codec
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/histogram"
+	"repro/internal/mrl98"
+	"repro/internal/stream"
+)
+
+func loadedKnownN(t *testing.T, n int, rate uint64) *mrl98.Sketch[float64] {
+	t.Helper()
+	s, err := mrl98.New[float64](mrl98.Config{B: 4, K: 19, Rate: rate, DeclaredN: uint64(n), Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddAll(stream.Collect(stream.Uniform(uint64(n), 3)))
+	return s
+}
+
+func TestKnownNCheckpointEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		rate uint64
+	}{
+		{0, 1}, {7, 1}, {500, 1}, {10_001, 3}, {40_000, 8},
+	} {
+		orig := loadedKnownN(t, tc.n, tc.rate)
+		blob, err := MarshalKnownN(orig.Snapshot(), Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := UnmarshalKnownN(blob, Float64())
+		if err != nil {
+			t.Fatalf("n=%d: unmarshal: %v", tc.n, err)
+		}
+		restored, err := mrl98.Restore(st)
+		if err != nil {
+			t.Fatalf("n=%d: restore: %v", tc.n, err)
+		}
+		if restored.Count() != orig.Count() {
+			t.Fatalf("n=%d: counts diverge", tc.n)
+		}
+		more := stream.Collect(stream.Normal(2500, 9, 5, 1))
+		orig.AddAll(more)
+		restored.AddAll(more)
+		phis := []float64{0.1, 0.5, 0.9}
+		a, errA := orig.Query(phis)
+		b, errB := restored.Query(phis)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("n=%d: query errors diverge: %v vs %v", tc.n, errA, errB)
+		}
+		if errA == nil && !slices.Equal(a, b) {
+			t.Fatalf("n=%d: answers diverge: %v vs %v", tc.n, a, b)
+		}
+		if orig.Overflowed() != restored.Overflowed() {
+			t.Errorf("n=%d: overflow flags diverge", tc.n)
+		}
+	}
+}
+
+func TestHistogramBlobRoundTripAndValidation(t *testing.T) {
+	h, err := histogram.New[float64](6, 0.05, 1e-2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range stream.Collect(stream.Uniform(8_000, 9)) {
+		h.Add(v)
+	}
+	blob, err := MarshalHistogram(h.Snapshot(), Float64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := UnmarshalHistogram(blob, Float64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := histogram.Restore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := h.Boundaries()
+	b, _ := r.Boundaries()
+	if !slices.Equal(a, b) {
+		t.Errorf("boundaries diverge: %v vs %v", a, b)
+	}
+	// Corruption sweep.
+	for i := 0; i < len(blob); i += 11 {
+		bad := slices.Clone(blob)
+		bad[i] ^= 0x08
+		if _, err := UnmarshalHistogram(bad, Float64()); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+	// Kind confusion.
+	if _, err := UnmarshalSketch(blob, Float64()); err == nil {
+		t.Error("histogram blob accepted as sketch")
+	}
+	// Empty histogram round trip.
+	he, _ := histogram.New[float64](4, 0.1, 1e-2, 1)
+	blob2, err := MarshalHistogram(he.Snapshot(), Float64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalHistogram(blob2, Float64()); err != nil {
+		t.Errorf("empty histogram round trip: %v", err)
+	}
+}
+
+func TestKnownNBlobValidation(t *testing.T) {
+	orig := loadedKnownN(t, 2000, 2)
+	blob, _ := MarshalKnownN(orig.Snapshot(), Float64())
+	// Wrong kind.
+	if _, err := UnmarshalSketch(blob, Float64()); err == nil {
+		t.Error("known-N blob accepted as unknown-N sketch")
+	}
+	// Corruption sweep.
+	for i := 0; i < len(blob); i += 9 {
+		bad := slices.Clone(blob)
+		bad[i] ^= 0x20
+		if _, err := UnmarshalKnownN(bad, Float64()); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+	// Garbage.
+	if _, err := UnmarshalKnownN([]byte("junk"), Float64()); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,199 @@
+package codec
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// MarshalSketch serializes an unknown-N sketch snapshot.
+func MarshalSketch[T cmp.Ordered](st core.SketchState[T], ec Element[T]) ([]byte, error) {
+	w := &writer{}
+	w.uvarint(uint64(st.B))
+	w.uvarint(uint64(st.K))
+	w.uvarint(uint64(st.H))
+	w.str(st.PolicyName)
+	w.uvarint(st.Seed)
+	w.uvarint(uint64(len(st.Schedule)))
+	for _, t := range st.Schedule {
+		w.uvarint(t)
+	}
+	w.uvarint(st.N)
+	for _, s := range st.RNG {
+		w.uvarint(s)
+	}
+	encodeTreeState(w, st.Tree, ec)
+	encodeFillState(w, st.Fill, ec)
+	w.uvarint(math.Float64bits(st.Eps))
+	w.uvarint(math.Float64bits(st.Delta))
+	return frame(kindSketch, ec.Name(), w.buf), nil
+}
+
+// UnmarshalSketch decodes a sketch snapshot serialized by MarshalSketch.
+func UnmarshalSketch[T cmp.Ordered](data []byte, ec Element[T]) (core.SketchState[T], error) {
+	var st core.SketchState[T]
+	payload, err := unframe(data, kindSketch, ec.Name())
+	if err != nil {
+		return st, err
+	}
+	r := &reader{buf: payload}
+	fail := func(err error) (core.SketchState[T], error) {
+		return core.SketchState[T]{}, fmt.Errorf("codec: sketch: %w", err)
+	}
+	var u uint64
+	if u, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	if u > 1<<16 {
+		return fail(fmt.Errorf("absurd buffer count %d", u))
+	}
+	st.B = int(u)
+	if u, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	if u > 1<<20 {
+		return fail(fmt.Errorf("absurd buffer size %d", u))
+	}
+	st.K = int(u)
+	if u, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	st.H = int(u)
+	if st.PolicyName, err = r.str(); err != nil {
+		return fail(err)
+	}
+	if st.Seed, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	if u, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	if u > 1<<20 {
+		return fail(fmt.Errorf("absurd schedule length %d", u))
+	}
+	for i := uint64(0); i < u; i++ {
+		t, err := r.uvarint()
+		if err != nil {
+			return fail(err)
+		}
+		st.Schedule = append(st.Schedule, t)
+	}
+	if st.N, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	for i := range st.RNG {
+		if st.RNG[i], err = r.uvarint(); err != nil {
+			return fail(err)
+		}
+	}
+	if st.Tree, err = decodeTreeState(r, st.K, ec); err != nil {
+		return fail(err)
+	}
+	if st.Fill, err = decodeFillState(r, ec); err != nil {
+		return fail(err)
+	}
+	if u, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	st.Eps = math.Float64frombits(u)
+	if u, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	st.Delta = math.Float64frombits(u)
+	if len(r.buf) != 0 {
+		return fail(fmt.Errorf("%d trailing bytes", len(r.buf)))
+	}
+	return st, nil
+}
+
+// MarshalShipment serializes a worker's Section 6 shipment (at most one
+// full and one partial buffer plus the element count) for transmission to
+// the coordinator.
+func MarshalShipment[T cmp.Ordered](sh parallel.Shipment[T], ec Element[T]) ([]byte, error) {
+	w := &writer{}
+	w.uvarint(sh.Count)
+	appendBuf := func(b *buffer.Buffer[T]) {
+		w.bool(b != nil)
+		if b == nil {
+			return
+		}
+		w.uvarint(uint64(b.K()))
+		w.uvarint(b.Weight)
+		w.byte(uint8(b.State))
+		w.uvarint(uint64(b.Fill))
+		for _, v := range b.Elements() {
+			w.buf = ec.Append(w.buf, v)
+		}
+	}
+	appendBuf(sh.Full)
+	appendBuf(sh.Partial)
+	return frame(kindShipment, ec.Name(), w.buf), nil
+}
+
+// UnmarshalShipment decodes a shipment serialized by MarshalShipment.
+func UnmarshalShipment[T cmp.Ordered](data []byte, ec Element[T]) (parallel.Shipment[T], error) {
+	var sh parallel.Shipment[T]
+	payload, err := unframe(data, kindShipment, ec.Name())
+	if err != nil {
+		return sh, err
+	}
+	r := &reader{buf: payload}
+	if sh.Count, err = r.uvarint(); err != nil {
+		return sh, fmt.Errorf("codec: shipment: %w", err)
+	}
+	readBuf := func() (*buffer.Buffer[T], error) {
+		present, err := r.bool()
+		if err != nil || !present {
+			return nil, err
+		}
+		k, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if k == 0 || k > 1<<20 {
+			return nil, fmt.Errorf("absurd buffer capacity %d", k)
+		}
+		b := buffer.New[T](int(k))
+		if b.Weight, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		stByte, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if stByte > uint8(buffer.Full) {
+			return nil, fmt.Errorf("bad buffer state %d", stByte)
+		}
+		b.State = buffer.State(stByte)
+		fill, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if fill > k {
+			return nil, fmt.Errorf("fill %d exceeds capacity %d", fill, k)
+		}
+		for j := uint64(0); j < fill; j++ {
+			var v T
+			if v, r.buf, err = ec.Decode(r.buf); err != nil {
+				return nil, err
+			}
+			b.Data[j] = v
+		}
+		b.Fill = int(fill)
+		return b, nil
+	}
+	if sh.Full, err = readBuf(); err != nil {
+		return parallel.Shipment[T]{}, fmt.Errorf("codec: shipment full buffer: %w", err)
+	}
+	if sh.Partial, err = readBuf(); err != nil {
+		return parallel.Shipment[T]{}, fmt.Errorf("codec: shipment partial buffer: %w", err)
+	}
+	if len(r.buf) != 0 {
+		return parallel.Shipment[T]{}, fmt.Errorf("codec: shipment: %d trailing bytes", len(r.buf))
+	}
+	return sh, nil
+}

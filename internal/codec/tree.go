@@ -1,0 +1,128 @@
+package codec
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// encodeTreeState writes the shared collapse-tree portion of a checkpoint.
+func encodeTreeState[T cmp.Ordered](w *writer, st core.TreeState[T], ec Element[T]) {
+	w.uvarint(st.Leaves)
+	w.uvarint(uint64(st.Height))
+	w.bool(st.EvenLow)
+	w.uvarint(st.Collapses)
+	w.uvarint(st.CollapseWeights)
+	w.uvarint(uint64(len(st.Buffers)))
+	for _, b := range st.Buffers {
+		w.uvarint(b.Weight)
+		w.varint(int64(b.Level))
+		w.byte(b.State)
+		w.uvarint(uint64(len(b.Data)))
+		for _, v := range b.Data {
+			w.buf = ec.Append(w.buf, v)
+		}
+	}
+}
+
+// decodeTreeState reads the shared collapse-tree portion of a checkpoint;
+// k bounds the per-buffer fill.
+func decodeTreeState[T cmp.Ordered](r *reader, k int, ec Element[T]) (core.TreeState[T], error) {
+	var st core.TreeState[T]
+	var err error
+	var u uint64
+	if st.Leaves, err = r.uvarint(); err != nil {
+		return st, err
+	}
+	if u, err = r.uvarint(); err != nil {
+		return st, err
+	}
+	st.Height = int(u)
+	if st.EvenLow, err = r.bool(); err != nil {
+		return st, err
+	}
+	if st.Collapses, err = r.uvarint(); err != nil {
+		return st, err
+	}
+	if st.CollapseWeights, err = r.uvarint(); err != nil {
+		return st, err
+	}
+	nbuf, err := r.uvarint()
+	if err != nil {
+		return st, err
+	}
+	if nbuf > 1<<16 {
+		return st, fmt.Errorf("absurd buffer count %d", nbuf)
+	}
+	for i := uint64(0); i < nbuf; i++ {
+		var bs core.BufferState[T]
+		if bs.Weight, err = r.uvarint(); err != nil {
+			return st, err
+		}
+		lvl, err := r.varint()
+		if err != nil {
+			return st, err
+		}
+		bs.Level = int(lvl)
+		if bs.State, err = r.byte(); err != nil {
+			return st, err
+		}
+		fill, err := r.uvarint()
+		if err != nil {
+			return st, err
+		}
+		if fill > uint64(k) {
+			return st, fmt.Errorf("buffer fill %d exceeds k=%d", fill, k)
+		}
+		for j := uint64(0); j < fill; j++ {
+			var v T
+			if v, r.buf, err = ec.Decode(r.buf); err != nil {
+				return st, err
+			}
+			bs.Data = append(bs.Data, v)
+		}
+		st.Buffers = append(st.Buffers, bs)
+	}
+	return st, nil
+}
+
+// encodeFillState writes an optional in-flight fill.
+func encodeFillState[T cmp.Ordered](w *writer, fs *core.FillState[T], ec Element[T]) {
+	w.bool(fs != nil)
+	if fs == nil {
+		return
+	}
+	w.uvarint(uint64(fs.BufferIndex))
+	w.uvarint(fs.InBlock)
+	w.bool(fs.HasKeep)
+	if fs.HasKeep {
+		w.buf = ec.Append(w.buf, fs.Keep)
+	}
+}
+
+// decodeFillState reads an optional in-flight fill.
+func decodeFillState[T cmp.Ordered](r *reader, ec Element[T]) (*core.FillState[T], error) {
+	present, err := r.bool()
+	if err != nil || !present {
+		return nil, err
+	}
+	var fs core.FillState[T]
+	u, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	fs.BufferIndex = int(u)
+	if fs.InBlock, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if fs.HasKeep, err = r.bool(); err != nil {
+		return nil, err
+	}
+	if fs.HasKeep {
+		if fs.Keep, r.buf, err = ec.Decode(r.buf); err != nil {
+			return nil, err
+		}
+	}
+	return &fs, nil
+}

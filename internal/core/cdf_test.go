@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestCDFEmpty(t *testing.T) {
+	s := mustSketch(t, Config{B: 4, K: 8, H: 2, Seed: 1})
+	if _, err := s.CDF(1); err == nil {
+		t.Error("CDF on empty sketch accepted")
+	}
+}
+
+func TestCDFExactWithinOneBuffer(t *testing.T) {
+	s := mustSketch(t, Config{B: 4, K: 64, H: 2, Seed: 1})
+	for i := 1; i <= 50; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct {
+		v    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.02}, {25, 0.5}, {50, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		got, err := s.CDF(c.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("CDF(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCDFApproximatesTrueCDF(t *testing.T) {
+	const eps = 0.05
+	const n = 150_000
+	s := mustSketch(t, Config{B: 5, K: 160, H: 3, Seed: 2})
+	data := stream.Collect(stream.Normal(n, 3, 0, 1))
+	s.AddAll(data)
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	trueCDF := func(v float64) float64 {
+		return float64(sort.SearchFloat64s(sorted, math.Nextafter(v, math.Inf(1)))) / n
+	}
+	for _, v := range []float64{-2, -1, -0.5, 0, 0.5, 1, 2} {
+		got, err := s.CDF(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(got - trueCDF(v)); diff > eps {
+			t.Errorf("CDF(%v) = %v, true %v (diff %v > eps)", v, got, trueCDF(v), diff)
+		}
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	s := mustSketch(t, Config{B: 4, K: 32, H: 2, Seed: 4})
+	data := stream.Collect(stream.Uniform(50_000, 5))
+	s.AddAll(data)
+	prev := -1.0
+	for v := 0.0; v <= 1.0; v += 0.05 {
+		got, err := s.CDF(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev {
+			t.Fatalf("CDF not monotone at %v: %v < %v", v, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestCDFQuantileInverse: CDF(Quantile(phi)) must be near phi.
+func TestCDFQuantileInverse(t *testing.T) {
+	const eps = 0.05
+	s := mustSketch(t, Config{B: 5, K: 160, H: 3, Seed: 6})
+	s.AddAll(stream.Collect(stream.Exponential(120_000, 7, 1)))
+	for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		q, err := s.QueryOne(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := s.CDF(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c-phi) > 2*eps {
+			t.Errorf("CDF(Quantile(%v)) = %v", phi, c)
+		}
+	}
+}
+
+func TestCDFMidFill(t *testing.T) {
+	s := mustSketch(t, Config{B: 4, K: 10, H: 2, Seed: 8})
+	for i := 0; i < 7; i++ { // mid-buffer
+		s.Add(float64(i))
+	}
+	c, err := s.CDF(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-4.0/7) > 1e-9 {
+		t.Errorf("mid-fill CDF = %v, want %v", c, 4.0/7)
+	}
+}

@@ -1,0 +1,19 @@
+// Package core implements the paper's primary contribution: the unknown-N
+// single-pass ε-approximate quantile algorithm (Manku, Rajagopalan & Lindsay,
+// SIGMOD 1999, Sections 3–4).
+//
+// The algorithm composes two pieces:
+//
+//  1. A deterministic collapse tree (Tree) of b weighted buffers of k
+//     elements each, managed by a collapse policy (paper Section 3.6).
+//  2. A non-uniform sampling schedule (Sketch) that feeds the tree: while
+//     the tree's height is below the onset parameter h, input enters
+//     unsampled (rate 1, level 0); when the first buffer at level h+i
+//     appears, New operations switch to sampling rate 2^(i+1) and their
+//     buffers enter the tree at level i+1 (paper Section 3.7). Early stream
+//     elements are therefore sampled with higher probability than later
+//     ones — the non-uniformity that removes the need to know N.
+//
+// Output may be invoked at any time without disturbing the state, so the
+// sketch doubles as an online-aggregation operator (paper Section 1.5).
+package core

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestPropertyOutputIsAnInputElement: every quantile estimate must be a
+// value that actually appeared in the stream — the framework never
+// interpolates or invents values (New keeps sampled inputs, Collapse
+// selects positions of the weighted merge, Output selects a stored value).
+func TestPropertyOutputIsAnInputElement(t *testing.T) {
+	f := func(raw []int16, layoutSeed uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		rg := rng.New(uint64(layoutSeed) + 1)
+		cfg := Config{
+			B:    2 + rg.Intn(4),
+			K:    1 + rg.Intn(20),
+			H:    1 + rg.Intn(4),
+			Seed: uint64(layoutSeed),
+		}
+		s, err := NewSketch[int16](cfg)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int16]bool, len(raw))
+		for _, v := range raw {
+			s.Add(v)
+			seen[v] = true
+		}
+		for _, phi := range []float64{0.001, 0.25, 0.5, 0.75, 1} {
+			got, err := s.QueryOne(phi)
+			if err != nil || !seen[got] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyQuantileMonotone: estimates must be non-decreasing in φ
+// (they come from a single weighted sorted walk).
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(raw []int16, layoutSeed uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s, err := NewSketch[int16](Config{B: 3, K: 7, H: 2, Seed: uint64(layoutSeed)})
+		if err != nil {
+			return false
+		}
+		for _, v := range raw {
+			s.Add(v)
+		}
+		phis := []float64{0.05, 0.2, 0.4, 0.6, 0.8, 1}
+		got, err := s.Query(phis)
+		if err != nil {
+			return false
+		}
+		return slices.IsSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBoundedByExtremes: every estimate lies within [min, max] of
+// the stream.
+func TestPropertyBoundedByExtremes(t *testing.T) {
+	f := func(raw []int16, layoutSeed uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s, err := NewSketch[int16](Config{B: 4, K: 5, H: 1, Seed: uint64(layoutSeed)})
+		if err != nil {
+			return false
+		}
+		mn, mx := raw[0], raw[0]
+		for _, v := range raw {
+			s.Add(v)
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		for _, phi := range []float64{0.01, 0.5, 1} {
+			got, err := s.QueryOne(phi)
+			if err != nil || got < mn || got > mx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCountConservation: the sketch's weighted content stays within
+// one in-flight block of the true element count, at every prefix.
+func TestPropertyCountConservation(t *testing.T) {
+	s, err := NewSketch[int](Config{B: 3, K: 8, H: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 30_000; i++ {
+		s.Add(i)
+		if i%997 != 0 {
+			continue
+		}
+		// Weighted count (via CDF of the maximum so far = 1.0 over total).
+		bufs := s.tree.NonEmpty()
+		var weighted uint64
+		for _, b := range bufs {
+			weighted += b.WeightedCount()
+		}
+		if s.fill != nil {
+			weighted += uint64(s.fill.Pending()) * s.SamplingRate()
+		}
+		rate := s.SamplingRate()
+		diff := int64(weighted) - int64(i)
+		if diff < -int64(rate) || diff > int64(rate) {
+			t.Fatalf("at n=%d weighted count %d drifted by %d (rate %d)", i, weighted, diff, rate)
+		}
+	}
+}

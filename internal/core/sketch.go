@@ -1,0 +1,260 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/policy"
+	"repro/internal/rng"
+	"repro/internal/xmath"
+)
+
+// Config fixes the layout of an unknown-N sketch. Callers normally obtain
+// B, K and H from the optimizer (internal/optimize) for a target (ε, δ);
+// the fields are exposed so experiments can sweep them directly.
+type Config struct {
+	// B is the number of buffers, K the elements per buffer.
+	B, K int
+	// H is the sampling-onset height: the tree grows to height H unsampled,
+	// then non-uniform sampling begins (paper Section 3.7). H >= 1.
+	H int
+	// Policy is the collapse policy; nil selects the paper's MRL policy.
+	Policy policy.Policy
+	// Seed makes the sketch's sampling decisions reproducible.
+	Seed uint64
+	// Schedule optionally postpones buffer allocations (paper Section 5);
+	// nil allocates buffers as soon as they are needed.
+	Schedule []uint64
+}
+
+// Sketch is the unknown-N ε-approximate quantile sketch. It consumes a
+// stream of unknown length via Add and answers quantile queries at any time
+// via Query. It is not safe for concurrent use; for parallel streams see
+// internal/parallel.
+type Sketch[T cmp.Ordered] struct {
+	cfg  Config
+	tree *Tree[T]
+	rg   *rng.RNG
+
+	fill    *buffer.Filler[T]
+	fillBuf *buffer.Buffer[T]
+	n       uint64
+
+	snap *buffer.Buffer[T] // scratch for anytime queries mid-fill
+}
+
+// NewSketch builds a Sketch from an explicit layout.
+func NewSketch[T cmp.Ordered](cfg Config) (*Sketch[T], error) {
+	if cfg.H < 1 {
+		return nil, fmt.Errorf("core: sampling onset height H must be >= 1, got %d", cfg.H)
+	}
+	tree, err := NewTree[T](cfg.K, cfg.B, cfg.Policy, cfg.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch[T]{
+		cfg:  cfg,
+		tree: tree,
+		rg:   rng.New(cfg.Seed),
+	}, nil
+}
+
+// Add feeds one element to the sketch.
+func (s *Sketch[T]) Add(v T) {
+	if s.fill == nil {
+		buf := s.tree.AcquireEmpty()
+		// The sampling rate and entry level are functions of the tree
+		// height at the moment the New operation starts (Section 3.7);
+		// AcquireEmpty may have just collapsed and raised the height.
+		rate, level := s.rateAndLevel()
+		buf.Level = level
+		s.fill = buffer.StartFill(buf, rate, s.rg)
+		s.fillBuf = buf
+	}
+	if s.fill.Push(v) {
+		s.tree.LeafDone(s.fillBuf)
+		s.fill = nil
+		s.fillBuf = nil
+	}
+	s.n++
+}
+
+// AddAll feeds a slice of elements.
+func (s *Sketch[T]) AddAll(vs []T) {
+	for _, v := range vs {
+		s.Add(v)
+	}
+}
+
+// rateAndLevel implements the non-uniform sampling schedule: rate 1 and
+// level 0 until the tree reaches height H; thereafter, with the height at
+// H+i, rate 2^(i+1) and level i+1.
+func (s *Sketch[T]) rateAndLevel() (uint64, int) {
+	h := s.tree.Height()
+	if h < s.cfg.H {
+		return 1, 0
+	}
+	i := h - s.cfg.H
+	return xmath.Pow2(i + 1), i + 1
+}
+
+// SamplingRate returns the rate the next New operation would use (1 before
+// sampling onset).
+func (s *Sketch[T]) SamplingRate() uint64 {
+	r, _ := s.rateAndLevel()
+	return r
+}
+
+// Count returns the number of elements consumed so far.
+func (s *Sketch[T]) Count() uint64 { return s.n }
+
+// Height returns the current collapse-tree height.
+func (s *Sketch[T]) Height() int { return s.tree.Height() }
+
+// Query returns the current estimates of the given quantiles (φ ∈ (0, 1]),
+// in request order. It is the paper's Output operation: non-destructive,
+// callable at any time, and usable as an online-aggregation probe. It
+// errors if the sketch is empty or a φ is out of range.
+func (s *Sketch[T]) Query(phis []float64) ([]T, error) {
+	if s.n == 0 {
+		return nil, fmt.Errorf("core: query on empty sketch")
+	}
+	bufs := s.tree.NonEmpty()
+	if s.fill != nil && s.fill.Pending() > 0 {
+		if s.snap == nil {
+			s.snap = buffer.New[T](s.cfg.K)
+		}
+		s.fill.Snapshot(s.snap)
+		bufs = append(bufs, s.snap)
+	}
+	return buffer.Output(bufs, phis)
+}
+
+// CDF estimates the fraction of stream elements ≤ v — the inverse of
+// Query, with the same ε rank-error guarantee. Like Query it is anytime
+// and non-destructive.
+func (s *Sketch[T]) CDF(v T) (float64, error) {
+	if s.n == 0 {
+		return 0, fmt.Errorf("core: CDF on empty sketch")
+	}
+	bufs := s.tree.NonEmpty()
+	if s.fill != nil && s.fill.Pending() > 0 {
+		if s.snap == nil {
+			s.snap = buffer.New[T](s.cfg.K)
+		}
+		s.fill.Snapshot(s.snap)
+		bufs = append(bufs, s.snap)
+	}
+	total := buffer.TotalWeightedCount(bufs)
+	if total == 0 {
+		return 0, fmt.Errorf("core: CDF with no weighted elements")
+	}
+	return float64(buffer.WeightedRank(bufs, v)) / float64(total), nil
+}
+
+// QueryOne returns the estimate for a single quantile.
+func (s *Sketch[T]) QueryOne(phi float64) (T, error) {
+	out, err := s.Query([]float64{phi})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return out[0], nil
+}
+
+// MemoryElements returns the number of element slots currently allocated,
+// including the query snapshot buffer if one was ever needed — the paper's
+// memory metric.
+func (s *Sketch[T]) MemoryElements() int {
+	m := s.tree.MemoryElements()
+	if s.snap != nil {
+		m += s.cfg.K
+	}
+	return m
+}
+
+// Leaves returns the number of completed New operations.
+func (s *Sketch[T]) Leaves() uint64 { return s.tree.Leaves() }
+
+// Config returns the sketch layout.
+func (s *Sketch[T]) Config() Config { return s.cfg }
+
+// Stats is a point-in-time snapshot of the sketch's internals, used by the
+// experiment harness and by tests asserting tree-shape properties.
+type Stats struct {
+	N              uint64 // elements consumed
+	Leaves         uint64 // completed New operations
+	Height         int    // collapse-tree height
+	Collapses      uint64 // C: number of Collapse operations
+	CollapseWeight uint64 // W: sum of Collapse output weights
+	SamplingRate   uint64 // rate the next New would use
+	MemoryElements int
+	Allocated      int // buffers allocated
+}
+
+// Stats returns the current counters.
+func (s *Sketch[T]) Stats() Stats {
+	c, w := s.tree.CollapseCount()
+	return Stats{
+		N:              s.n,
+		Leaves:         s.tree.Leaves(),
+		Height:         s.tree.Height(),
+		Collapses:      c,
+		CollapseWeight: w,
+		SamplingRate:   s.SamplingRate(),
+		MemoryElements: s.MemoryElements(),
+		Allocated:      s.tree.Allocated(),
+	}
+}
+
+// SetTracer installs a structural tracer on the sketch's collapse tree
+// (see Tree.SetTracer). Install before feeding data.
+func (s *Sketch[T]) SetTracer(tr Tracer) { s.tree.SetTracer(tr) }
+
+// Ship finalizes the sketch for parallel merging (paper Section 6): the
+// in-flight fill is finished, the full buffers are collapsed down to at
+// most one, and the surviving full and partial buffers are returned along
+// with the consumed element count. The sketch must not be used afterwards
+// except via Reset.
+func (s *Sketch[T]) Ship() (full, partial *buffer.Buffer[T], n uint64) {
+	if s.fill != nil {
+		s.fill.Finish()
+		if s.fillBuf.State == buffer.Full {
+			s.tree.LeafDone(s.fillBuf)
+		}
+		s.fill = nil
+		s.fillBuf = nil
+	}
+	countFull := func() (c int) {
+		for _, b := range s.tree.NonEmpty() {
+			if b.State == buffer.Full {
+				c++
+			}
+		}
+		return c
+	}
+	for countFull() >= 2 {
+		s.tree.CollapseOnce()
+	}
+	for _, b := range s.tree.NonEmpty() {
+		switch b.State {
+		case buffer.Full:
+			full = b
+		case buffer.Partial:
+			if b.Fill > 0 {
+				partial = b
+			}
+		}
+	}
+	return full, partial, s.n
+}
+
+// Reset clears the sketch for reuse, retaining allocated buffer memory.
+func (s *Sketch[T]) Reset() {
+	s.tree.Reset(true)
+	s.rg = rng.New(s.cfg.Seed)
+	s.fill = nil
+	s.fillBuf = nil
+	s.n = 0
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/policy"
+	"repro/internal/stream"
+)
+
+var testPhis = []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}
+
+// mustSketch builds a sketch or fails the test.
+func mustSketch(t *testing.T, cfg Config) *Sketch[float64] {
+	t.Helper()
+	s, err := NewSketch[float64](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// checkErrors asserts every queried quantile is within eps of its exact rank.
+func checkErrors(t *testing.T, s *Sketch[float64], data []float64, eps float64, context string) {
+	t.Helper()
+	got, err := s.Query(testPhis)
+	if err != nil {
+		t.Fatalf("%s: query: %v", context, err)
+	}
+	for i, phi := range testPhis {
+		if e := exact.RankError(data, got[i], phi, eps); e != 0 {
+			t.Errorf("%s: phi=%v estimate %v off by %d ranks (n=%d, allowed %v)",
+				context, phi, got[i], e, len(data), eps*float64(len(data)))
+		}
+	}
+}
+
+func TestNewSketchValidation(t *testing.T) {
+	if _, err := NewSketch[int](Config{B: 5, K: 10, H: 0}); err == nil {
+		t.Error("H=0 accepted")
+	}
+	if _, err := NewSketch[int](Config{B: 1, K: 10, H: 1}); err == nil {
+		t.Error("B=1 accepted")
+	}
+	if _, err := NewSketch[int](Config{B: 5, K: 0, H: 1}); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestSketchTinyStreams(t *testing.T) {
+	s := mustSketch(t, Config{B: 4, K: 8, H: 2, Seed: 1})
+	if _, err := s.Query([]float64{0.5}); err == nil {
+		t.Error("query on empty sketch should error")
+	}
+	s.Add(42)
+	v, err := s.QueryOne(0.5)
+	if err != nil || v != 42 {
+		t.Errorf("single element query = %v, %v", v, err)
+	}
+	s.Add(10)
+	s.Add(99)
+	// 10, 42, 99: median is 42, min-quantile is 10, max is 99.
+	got, err := s.Query([]float64{0.01, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 10 || got[1] != 42 || got[2] != 99 {
+		t.Errorf("3-element quantiles = %v", got)
+	}
+}
+
+func TestSketchExactWithinOneBuffer(t *testing.T) {
+	// While everything fits in one weight-1 buffer the sketch is exact.
+	s := mustSketch(t, Config{B: 4, K: 64, H: 2, Seed: 1})
+	data := stream.Collect(stream.Shuffled(50, 3))
+	for _, v := range data {
+		s.Add(v)
+	}
+	for _, phi := range testPhis {
+		want := exact.Quantile(data, phi)
+		got, err := s.QueryOne(phi)
+		if err != nil || got != want {
+			t.Errorf("phi=%v: got %v, want %v (err %v)", phi, got, want, err)
+		}
+	}
+}
+
+// TestDeterministicRegimeGuarantee: before sampling begins the algorithm is
+// deterministic, and with h+1 <= 2εk the error bound holds with probability
+// one — for every prefix, every distribution, every seed.
+func TestDeterministicRegimeGuarantee(t *testing.T) {
+	const eps = 0.05
+	cfg := Config{B: 5, K: 40, H: 3, Seed: 1} // h+1 = 4 = 2*0.05*40
+	sources := []stream.Source{
+		stream.Shuffled(1400, 7),
+		stream.Sorted(1400),
+		stream.Reversed(1400),
+		stream.BlockAdversarial(1400, 7, 100),
+	}
+	checkpoints := []int{1, 10, 100, 350, 777, 1400}
+	for _, src := range sources {
+		s := mustSketch(t, cfg)
+		var data []float64
+		next := 0
+		for v, ok := src.Next(); ok; v, ok = src.Next() {
+			s.Add(v)
+			data = append(data, v)
+			if next < len(checkpoints) && len(data) == checkpoints[next] {
+				next++
+				if s.SamplingRate() != 1 {
+					t.Fatalf("%s: sampling began before capacity at n=%d", src.Name(), len(data))
+				}
+				checkErrors(t, s, data, eps, src.Name())
+			}
+		}
+	}
+}
+
+// TestUnknownNAccuracy drives the full algorithm deep into the sampling
+// regime on several distributions and checks the ε guarantee (the failure
+// probability at these parameters is far below 1e-3, so a handful of fixed
+// seeds must all pass).
+func TestUnknownNAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long accuracy test")
+	}
+	const eps = 0.05
+	const n = 200_000
+	cfg := Config{B: 5, K: 160, H: 3}
+	sources := func(seed uint64) []stream.Source {
+		return []stream.Source{
+			stream.Uniform(n, seed),
+			stream.Normal(n, seed, 100, 15),
+			stream.Exponential(n, seed, 0.1),
+			stream.Sorted(n),
+			stream.Reversed(n),
+			stream.Zipf(n, seed, 1.3, 1<<24),
+		}
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		for _, src := range sources(seed) {
+			s, err := NewSketch[float64](Config{B: cfg.B, K: cfg.K, H: cfg.H, Seed: seed * 101})
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := stream.Collect(src)
+			s.AddAll(data)
+			if s.SamplingRate() == 1 {
+				t.Fatalf("%s: expected sampling to have begun at n=%d", src.Name(), n)
+			}
+			checkErrors(t, s, data, eps, src.Name())
+		}
+	}
+}
+
+// TestAnytimeQueries checks the online-aggregation property: estimates are
+// within ε of the exact quantiles of every prefix, including prefixes that
+// end mid-fill and mid-sampling.
+func TestAnytimeQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long accuracy test")
+	}
+	const eps = 0.05
+	s := mustSketch(t, Config{B: 5, K: 160, H: 3, Seed: 5})
+	src := stream.Uniform(300_000, 9)
+	data := stream.Collect(src)
+	checkpoints := []int{100, 5_000, 33_333, 100_001, 300_000}
+	next := 0
+	for i, v := range data {
+		s.Add(v)
+		if next < len(checkpoints) && i+1 == checkpoints[next] {
+			checkErrors(t, s, data[:i+1], eps, "prefix")
+			next++
+		}
+	}
+	if next != len(checkpoints) {
+		t.Fatalf("only %d checkpoints hit", next)
+	}
+}
+
+func TestSamplingRateDoubles(t *testing.T) {
+	s := mustSketch(t, Config{B: 3, K: 8, H: 1, Seed: 2})
+	if s.SamplingRate() != 1 {
+		t.Fatal("initial rate != 1")
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 100_000; i++ {
+		s.Add(float64(i))
+		seen[s.SamplingRate()] = true
+	}
+	// Rates must be exactly the powers of two 1, 2, 4, ... with no gaps.
+	var rates []uint64
+	for r := range seen {
+		rates = append(rates, r)
+	}
+	slices.Sort(rates)
+	for i, r := range rates {
+		if r != uint64(1)<<uint(i) {
+			t.Fatalf("observed rates %v are not consecutive powers of two", rates)
+		}
+	}
+	if len(rates) < 3 {
+		t.Fatalf("sampling rate never doubled: %v", rates)
+	}
+	// Level of new buffers tracks height - H + 1.
+	st := s.Stats()
+	if st.SamplingRate != uint64(1)<<uint(st.Height-1+1) {
+		t.Errorf("rate %d inconsistent with height %d (H=1)", st.SamplingRate, st.Height)
+	}
+}
+
+func TestMemoryBoundedAsNGrows(t *testing.T) {
+	cfg := Config{B: 4, K: 32, H: 2, Seed: 3}
+	s := mustSketch(t, cfg)
+	var maxMem int
+	for i := 0; i < 1_000_000; i++ {
+		s.Add(float64(i % 997))
+		if m := s.MemoryElements(); m > maxMem {
+			maxMem = m
+		}
+	}
+	// b buffers plus the query snapshot buffer at most.
+	if limit := (cfg.B + 1) * cfg.K; maxMem > limit {
+		t.Errorf("memory %d exceeded %d", maxMem, limit)
+	}
+	if s.Count() != 1_000_000 {
+		t.Errorf("count = %d", s.Count())
+	}
+}
+
+func TestQueryDoesNotDisturbState(t *testing.T) {
+	s := mustSketch(t, Config{B: 4, K: 16, H: 2, Seed: 4})
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i * 7 % 1000))
+	}
+	before := s.Stats()
+	r1, err := s.Query(testPhis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := s.Query(testPhis)
+	afterQueries := s.Stats()
+	// Memory may grow once for the snapshot buffer; everything else equal.
+	before.MemoryElements, afterQueries.MemoryElements = 0, 0
+	if before != afterQueries {
+		t.Errorf("query changed stats: %+v vs %+v", before, afterQueries)
+	}
+	if !slices.Equal(r1, r2) {
+		t.Error("repeated queries disagreed")
+	}
+	// Interleaving queries with adds must not corrupt the stream results:
+	// same input + same seed with queries on every step equals no queries.
+	s2 := mustSketch(t, Config{B: 4, K: 16, H: 2, Seed: 4})
+	s3 := mustSketch(t, Config{B: 4, K: 16, H: 2, Seed: 4})
+	for i := 0; i < 5000; i++ {
+		v := float64(i * 13 % 4999)
+		s2.Add(v)
+		s3.Add(v)
+		if i%37 == 0 {
+			if _, err := s2.QueryOne(0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a, _ := s2.Query(testPhis)
+	b, _ := s3.Query(testPhis)
+	if !slices.Equal(a, b) {
+		t.Errorf("interleaved queries changed results: %v vs %v", a, b)
+	}
+}
+
+func TestQueryBadPhi(t *testing.T) {
+	s := mustSketch(t, Config{B: 4, K: 8, H: 2, Seed: 1})
+	s.Add(1)
+	if _, err := s.Query([]float64{0}); err == nil {
+		t.Error("phi=0 accepted")
+	}
+	if _, err := s.Query([]float64{1.0001}); err == nil {
+		t.Error("phi>1 accepted")
+	}
+}
+
+func TestResetReproduces(t *testing.T) {
+	s := mustSketch(t, Config{B: 4, K: 16, H: 2, Seed: 11})
+	feed := func() {
+		for i := 0; i < 20_000; i++ {
+			s.Add(float64((i * 31) % 9973))
+		}
+	}
+	feed()
+	first, err := s.Query(testPhis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Height() != 0 {
+		t.Fatal("Reset left state")
+	}
+	feed()
+	second, _ := s.Query(testPhis)
+	if !slices.Equal(first, second) {
+		t.Errorf("Reset run differs: %v vs %v", first, second)
+	}
+}
+
+func TestSketchWithDuplicatesOnly(t *testing.T) {
+	s := mustSketch(t, Config{B: 3, K: 8, H: 1, Seed: 6})
+	for i := 0; i < 50_000; i++ {
+		s.Add(3.5)
+	}
+	got, err := s.Query(testPhis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 3.5 {
+			t.Fatalf("constant stream returned %v", v)
+		}
+	}
+}
+
+func TestSketchIntegerType(t *testing.T) {
+	// The sketch is generic; drive it with ints.
+	s, err := NewSketch[int](Config{B: 4, K: 32, H: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		s.Add((i * 7919) % 10_000)
+	}
+	med, err := s.QueryOne(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(med)-5000) > 0.1*10_000 {
+		t.Errorf("int median estimate %d too far from 5000", med)
+	}
+}
+
+func TestSketchStringType(t *testing.T) {
+	s, err := NewSketch[string](Config{B: 4, K: 16, H: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"apple", "banana", "cherry", "date", "elder", "fig", "grape"}
+	for i := 0; i < 700; i++ {
+		s.Add(words[i%len(words)])
+	}
+	med, err := s.QueryOne(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != "date" {
+		t.Errorf("string median %q, want %q", med, "date")
+	}
+}
+
+func TestStatsProgression(t *testing.T) {
+	s := mustSketch(t, Config{B: 3, K: 8, H: 1, Seed: 10})
+	st := s.Stats()
+	if st.N != 0 || st.Leaves != 0 || st.Collapses != 0 {
+		t.Errorf("fresh stats %+v", st)
+	}
+	for i := 0; i < 10_000; i++ {
+		s.Add(float64(i))
+	}
+	st = s.Stats()
+	if st.N != 10_000 || st.Leaves == 0 || st.Collapses == 0 || st.Height < 1 {
+		t.Errorf("stats after stream: %+v", st)
+	}
+	if st.CollapseWeight < st.Collapses {
+		t.Errorf("weight sum %d below collapse count %d", st.CollapseWeight, st.Collapses)
+	}
+	if got := s.Config(); got.B != 3 || got.K != 8 {
+		t.Errorf("Config() = %+v", got)
+	}
+}
+
+func TestSketchWithMunroPatersonPolicy(t *testing.T) {
+	s, err := NewSketch[float64](Config{B: 6, K: 64, H: 3, Seed: 12, Policy: policy.MunroPaterson()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Uniform(100_000, 13))
+	s.AddAll(data)
+	got, err := s.QueryOne(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := exact.RankError(data, got, 0.5, 0.05); e != 0 {
+		t.Errorf("MP-policy sketch median off by %d ranks", e)
+	}
+}
+
+func TestSketchWithSchedule(t *testing.T) {
+	// A lazy allocation schedule must not change correctness, only the
+	// allocation pattern.
+	cfg := Config{B: 4, K: 32, H: 2, Seed: 14, Schedule: []uint64{0, 1, 4, 12}}
+	s := mustSketch(t, cfg)
+	data := stream.Collect(stream.Shuffled(5000, 15))
+	var maxAllocAt1Leaf int
+	for i, v := range data {
+		s.Add(v)
+		if i < 32 { // within the first leaf
+			if a := s.Stats().Allocated; a > maxAllocAt1Leaf {
+				maxAllocAt1Leaf = a
+			}
+		}
+	}
+	if maxAllocAt1Leaf > 1 {
+		t.Errorf("allocated %d buffers during first leaf despite schedule", maxAllocAt1Leaf)
+	}
+	got, err := s.QueryOne(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := exact.RankError(data, got, 0.5, 0.05); e != 0 {
+		t.Errorf("scheduled sketch median off by %d ranks", e)
+	}
+}

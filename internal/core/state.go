@@ -1,0 +1,201 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/policy"
+)
+
+// BufferState is the checkpointable content of one buffer.
+type BufferState[T cmp.Ordered] struct {
+	// Data holds the committed elements (length = fill).
+	Data   []T
+	Weight uint64
+	Level  int
+	State  uint8 // buffer.State
+}
+
+// FillState is the checkpointable content of an in-flight New operation.
+type FillState[T cmp.Ordered] struct {
+	// BufferIndex locates the buffer being filled within TreeState.Buffers.
+	BufferIndex int
+	// InBlock is the number of elements consumed from the current block;
+	// Keep is the block's current reservoir candidate (valid when
+	// InBlock > 0).
+	InBlock uint64
+	Keep    T
+	// HasKeep distinguishes a zero-valued candidate from no candidate.
+	HasKeep bool
+}
+
+// TreeState is the checkpointable content of a collapse tree: counters,
+// collapser parity and all allocated buffers in allocation order. It is
+// shared by the unknown-N sketch (core) and the known-N sketch (mrl98).
+type TreeState[T cmp.Ordered] struct {
+	Leaves uint64
+	Height int
+
+	// Collapser state.
+	EvenLow         bool
+	Collapses       uint64
+	CollapseWeights uint64
+
+	Buffers []BufferState[T]
+}
+
+// SnapshotTree captures the tree's complete state (element slices copied).
+func (t *Tree[T]) SnapshotTree() TreeState[T] {
+	st := TreeState[T]{Leaves: t.leaves, Height: t.height}
+	st.EvenLow, st.Collapses, st.CollapseWeights = t.col.State()
+	for _, b := range t.bufs {
+		st.Buffers = append(st.Buffers, BufferState[T]{
+			Data:   append([]T(nil), b.Data[:b.Fill]...),
+			Weight: b.Weight,
+			Level:  b.Level,
+			State:  uint8(b.State),
+		})
+	}
+	return st
+}
+
+// RestoreTree loads a state captured with SnapshotTree into a freshly
+// constructed tree (same k and b budget).
+func (t *Tree[T]) RestoreTree(st TreeState[T]) error {
+	if len(st.Buffers) > t.maxBuffers {
+		return fmt.Errorf("core: snapshot has %d buffers for budget %d", len(st.Buffers), t.maxBuffers)
+	}
+	t.leaves = st.Leaves
+	t.height = st.Height
+	t.col.SetState(st.EvenLow, st.Collapses, st.CollapseWeights)
+	t.bufs = nil
+	for i, bs := range st.Buffers {
+		if len(bs.Data) > t.k {
+			return fmt.Errorf("core: buffer %d holds %d elements for capacity %d", i, len(bs.Data), t.k)
+		}
+		b := buffer.New[T](t.k)
+		copy(b.Data, bs.Data)
+		b.Fill = len(bs.Data)
+		b.Weight = bs.Weight
+		b.Level = bs.Level
+		b.State = buffer.State(bs.State)
+		if b.State > buffer.Full {
+			return fmt.Errorf("core: buffer %d has invalid state %d", i, bs.State)
+		}
+		if b.State == buffer.Full && b.Fill != t.k {
+			return fmt.Errorf("core: buffer %d marked full with %d/%d elements", i, b.Fill, t.k)
+		}
+		t.bufs = append(t.bufs, b)
+	}
+	return nil
+}
+
+// BufferAt returns the i-th allocated buffer (in allocation order); nil if
+// out of range. Used to reattach an in-flight fill after RestoreTree.
+func (t *Tree[T]) BufferAt(i int) *buffer.Buffer[T] {
+	if i < 0 || i >= len(t.bufs) {
+		return nil
+	}
+	return t.bufs[i]
+}
+
+// IndexOf returns the allocation index of b, or -1.
+func (t *Tree[T]) IndexOf(b *buffer.Buffer[T]) int {
+	for i, x := range t.bufs {
+		if x == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// SketchState is a complete, serializable snapshot of an unknown-N sketch.
+// Restoring it yields a sketch that behaves identically to the original on
+// all future Adds and Queries.
+type SketchState[T cmp.Ordered] struct {
+	// Layout.
+	B, K, H    int
+	PolicyName string
+	Seed       uint64
+	Schedule   []uint64
+
+	// Progress.
+	N    uint64
+	Tree TreeState[T]
+
+	// In-flight fill, if any.
+	Fill *FillState[T]
+
+	// RNG state.
+	RNG [4]uint64
+
+	// Eps and Delta are caller metadata (the guarantees the layout was
+	// solved for); core neither sets nor interprets them, but they ride
+	// along in checkpoints so higher layers can restore their accessors.
+	Eps, Delta float64
+}
+
+// Snapshot captures the sketch's complete state. The snapshot shares no
+// storage with the sketch (element slices are copied).
+func (s *Sketch[T]) Snapshot() SketchState[T] {
+	polName := "mrl"
+	if s.cfg.Policy != nil {
+		polName = s.cfg.Policy.Name()
+	}
+	st := SketchState[T]{
+		B: s.cfg.B, K: s.cfg.K, H: s.cfg.H,
+		PolicyName: polName,
+		Seed:       s.cfg.Seed,
+		Schedule:   append([]uint64(nil), s.cfg.Schedule...),
+		N:          s.n,
+		Tree:       s.tree.SnapshotTree(),
+		RNG:        s.rg.State(),
+	}
+	if s.fill != nil {
+		inBlock, keep := s.fill.Progress()
+		st.Fill = &FillState[T]{
+			BufferIndex: s.tree.IndexOf(s.fillBuf),
+			InBlock:     inBlock, Keep: keep, HasKeep: inBlock > 0,
+		}
+	}
+	return st
+}
+
+// Restore reconstructs a sketch from a snapshot.
+func Restore[T cmp.Ordered](st SketchState[T]) (*Sketch[T], error) {
+	pol, err := policy.ByName(st.PolicyName)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := NewSketch[T](Config{
+		B: st.B, K: st.K, H: st.H,
+		Policy: pol, Seed: st.Seed, Schedule: st.Schedule,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.RNG == ([4]uint64{}) {
+		return nil, fmt.Errorf("core: snapshot has empty RNG state")
+	}
+	sk.rg.SetState(st.RNG)
+	sk.n = st.N
+	if err := sk.tree.RestoreTree(st.Tree); err != nil {
+		return nil, err
+	}
+	if st.Fill != nil {
+		fb := sk.tree.BufferAt(st.Fill.BufferIndex)
+		if fb == nil {
+			return nil, fmt.Errorf("core: fill buffer index %d out of range", st.Fill.BufferIndex)
+		}
+		if fb.State != buffer.Empty || fb.Weight == 0 {
+			return nil, fmt.Errorf("core: fill buffer %d not in mid-fill state", st.Fill.BufferIndex)
+		}
+		if st.Fill.InBlock >= fb.Weight {
+			return nil, fmt.Errorf("core: fill progress %d exceeds rate %d", st.Fill.InBlock, fb.Weight)
+		}
+		sk.fillBuf = fb
+		sk.fill = buffer.ResumeFill(fb, st.Fill.InBlock, st.Fill.Keep, sk.rg)
+	}
+	return sk, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestSnapshotRestoreDirect(t *testing.T) {
+	s := mustSketch(t, Config{B: 4, K: 13, H: 2, Seed: 21})
+	data := stream.Collect(stream.Uniform(7_777, 22)) // ends mid-fill
+	s.AddAll(data)
+	st := s.Snapshot()
+	r, err := Restore[float64](st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the original must not affect the restored copy (deep copy).
+	s.Add(1e9)
+	more := stream.Collect(stream.Normal(2_000, 23, 0, 1))
+	r2, err := Restore[float64](st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddAll(more)
+	r2.AddAll(more)
+	a, _ := r.Query(testPhis)
+	b, _ := r2.Query(testPhis)
+	if !slices.Equal(a, b) {
+		t.Errorf("two restores of the same snapshot diverge: %v vs %v", a, b)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	s := mustSketch(t, Config{B: 3, K: 8, H: 1, Seed: 5})
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	st := s.Snapshot()
+	// Scribble over the snapshot's buffers; the sketch must be unaffected.
+	before, _ := s.QueryOne(0.5)
+	for i := range st.Tree.Buffers {
+		for j := range st.Tree.Buffers[i].Data {
+			st.Tree.Buffers[i].Data[j] = -1
+		}
+	}
+	after, _ := s.QueryOne(0.5)
+	if before != after {
+		t.Error("snapshot aliases sketch storage")
+	}
+}
+
+func TestTreeAccessors(t *testing.T) {
+	tr, err := NewTree[int](7, 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.K() != 7 || tr.MaxBuffers() != 3 {
+		t.Errorf("K=%d MaxBuffers=%d", tr.K(), tr.MaxBuffers())
+	}
+	if tr.BufferAt(0) != nil || tr.BufferAt(-1) != nil {
+		t.Error("BufferAt on empty tree should be nil")
+	}
+	b := tr.AcquireEmpty()
+	if tr.BufferAt(0) != b {
+		t.Error("BufferAt(0) mismatch")
+	}
+	if tr.IndexOf(b) != 0 {
+		t.Error("IndexOf mismatch")
+	}
+	other, _ := NewTree[int](7, 3, nil, nil)
+	if tr.IndexOf(other.AcquireEmpty()) != -1 {
+		t.Error("foreign buffer should index -1")
+	}
+}
+
+func TestRestoreTreeRejectsBadStates(t *testing.T) {
+	tr, _ := NewTree[int](4, 2, nil, nil)
+	if err := tr.RestoreTree(TreeState[int]{Buffers: make([]BufferState[int], 3)}); err == nil {
+		t.Error("too many buffers accepted")
+	}
+	if err := tr.RestoreTree(TreeState[int]{Buffers: []BufferState[int]{
+		{Data: []int{1, 2, 3, 4, 5}},
+	}}); err == nil {
+		t.Error("overfull buffer accepted")
+	}
+	if err := tr.RestoreTree(TreeState[int]{Buffers: []BufferState[int]{
+		{Data: []int{1}, State: 9},
+	}}); err == nil {
+		t.Error("bad state byte accepted")
+	}
+	if err := tr.RestoreTree(TreeState[int]{Buffers: []BufferState[int]{
+		{Data: []int{1}, State: 2}, // full with 1/4 elements
+	}}); err == nil {
+		t.Error("short full buffer accepted")
+	}
+}
+
+func TestSketchLeavesAccessor(t *testing.T) {
+	s := mustSketch(t, Config{B: 3, K: 4, H: 1, Seed: 1})
+	for i := 0; i < 40; i++ {
+		s.Add(float64(i))
+	}
+	if s.Leaves() == 0 {
+		t.Error("leaves accessor returned 0")
+	}
+}
+
+func TestShipEmptyAndRestoreEmptyRNG(t *testing.T) {
+	s := mustSketch(t, Config{B: 3, K: 4, H: 1, Seed: 1})
+	full, partial, n := s.Ship()
+	if full != nil || partial != nil || n != 0 {
+		t.Error("empty ship returned data")
+	}
+	st := SketchState[float64]{B: 3, K: 4, H: 1, PolicyName: "mrl"}
+	if _, err := Restore[float64](st); err == nil {
+		t.Error("zero RNG state accepted")
+	}
+}

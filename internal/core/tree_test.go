@@ -1,0 +1,232 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/policy"
+	"repro/internal/rng"
+	"repro/internal/xmath"
+)
+
+func TestNewTreeValidation(t *testing.T) {
+	if _, err := NewTree[int](0, 3, nil, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewTree[int](4, 1, nil, nil); err == nil {
+		t.Error("b=1 accepted")
+	}
+	if _, err := NewTree[int](4, 3, nil, []uint64{0, 0}); err == nil {
+		t.Error("short schedule accepted")
+	}
+	if _, err := NewTree[int](4, 3, nil, []uint64{0, 5, 6}); err == nil {
+		t.Error("deadlocking schedule accepted")
+	}
+	if _, err := NewTree[int](4, 3, nil, []uint64{0, 1, 0}); err == nil {
+		t.Error("decreasing schedule accepted")
+	}
+	tr, err := NewTree[int](4, 3, nil, []uint64{0, 1, 7})
+	if err != nil || tr == nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	if tr.Policy().Name() != "mrl" {
+		t.Error("default policy should be mrl")
+	}
+}
+
+// fillLeaf acquires a buffer, fills it with n sequential values at rate 1,
+// level 0, and completes the leaf.
+func fillLeaf(t *testing.T, tr *Tree[int], rg *rng.RNG, base int) {
+	t.Helper()
+	buf := tr.AcquireEmpty()
+	buf.Level = 0
+	f := buffer.StartFill(buf, 1, rg)
+	for i := 0; ; i++ {
+		if f.Push(base + i) {
+			break
+		}
+	}
+	tr.LeafDone(buf)
+}
+
+func TestTreeLazyAllocation(t *testing.T) {
+	tr, _ := NewTree[int](4, 5, nil, nil)
+	if tr.Allocated() != 0 || tr.MemoryElements() != 0 {
+		t.Error("tree allocated buffers up front")
+	}
+	rg := rng.New(1)
+	fillLeaf(t, tr, rg, 0)
+	if tr.Allocated() != 1 {
+		t.Errorf("allocated %d after one leaf", tr.Allocated())
+	}
+	for i := 1; i < 5; i++ {
+		fillLeaf(t, tr, rg, i*10)
+	}
+	if tr.Allocated() != 5 || tr.MemoryElements() != 20 {
+		t.Errorf("allocated %d (mem %d) after five leaves", tr.Allocated(), tr.MemoryElements())
+	}
+	// Sixth leaf must trigger a collapse, not an allocation.
+	fillLeaf(t, tr, rg, 50)
+	if tr.Allocated() != 5 {
+		t.Errorf("allocated %d after collapse-forced leaf", tr.Allocated())
+	}
+	if c, _ := tr.CollapseCount(); c != 1 {
+		t.Errorf("collapses = %d, want 1", c)
+	}
+}
+
+// TestTreeFigure2 reproduces the structural behaviour of the paper's
+// Figure 2 (b = 5, no sampling): the first collapse merges all five weight-1
+// leaves into a weight-5 level-1 buffer; subsequent rounds produce level-1
+// buffers of weights 4, 3 and 2; and the collapse that first reaches
+// height 2 merges weights 5+4+3+2+1 = 15.
+func TestTreeFigure2(t *testing.T) {
+	tr, _ := NewTree[int](2, 5, policy.MRL(), nil)
+	rg := rng.New(7)
+	leaves := 0
+	next := func() {
+		fillLeaf(t, tr, rg, leaves*100)
+		leaves++
+	}
+	for i := 0; i < 5; i++ {
+		next()
+	}
+	if tr.Height() != 0 {
+		t.Fatalf("height %d before first collapse", tr.Height())
+	}
+	next() // forces collapse of the five level-0 buffers
+	if tr.Height() != 1 {
+		t.Fatalf("height %d after first collapse, want 1", tr.Height())
+	}
+	var w5 *buffer.Buffer[int]
+	for _, b := range tr.NonEmpty() {
+		if b.Level == 1 {
+			w5 = b
+		}
+	}
+	if w5 == nil || w5.Weight != 5 {
+		t.Fatalf("first collapse output weight = %v, want 5", w5)
+	}
+	// Drive until height 2; the total number of leaves must be 15 and the
+	// top buffer's weight 15 (all 15 unit leaves funneled up).
+	for tr.Height() < 2 {
+		next()
+	}
+	if leaves != 15+1 { // the 16th leaf triggered the height-2 collapse
+		t.Errorf("height 2 reached after %d leaves, want 16th trigger", leaves)
+	}
+	var top *buffer.Buffer[int]
+	for _, b := range tr.NonEmpty() {
+		if b.Level == 2 {
+			top = b
+		}
+	}
+	if top == nil || top.Weight != 15 {
+		t.Fatalf("height-2 buffer weight = %v, want 15", top)
+	}
+}
+
+// leavesToHeight drives a tree with unit leaves until it reaches height h
+// and returns how many completed leaves preceded the first height-h buffer.
+func leavesToHeight(t *testing.T, b, h int) uint64 {
+	t.Helper()
+	tr, _ := NewTree[int](1, b, policy.MRL(), nil)
+	rg := rng.New(3)
+	for tr.Height() < h {
+		fillLeaf(t, tr, rg, int(tr.Leaves()))
+	}
+	// The leaf that triggered the final collapse is already counted; the
+	// paper's L_d counts leaves strictly before the onset, so subtract it.
+	return tr.Leaves() - 1
+}
+
+// TestLeafCountFormula pins the leaf-capacity formula the optimizer uses:
+// a b-buffer MRL tree first reaches height h after C(b+h-1, h) leaves.
+func TestLeafCountFormula(t *testing.T) {
+	for _, b := range []int{2, 3, 5, 7} {
+		for h := 1; h <= 4; h++ {
+			got := leavesToHeight(t, b, h)
+			want := xmath.Binomial(b+h-1, h)
+			if got != want {
+				t.Errorf("b=%d h=%d: leaves=%d, want C(%d,%d)=%d", b, h, got, b+h-1, h, want)
+			}
+		}
+	}
+}
+
+func TestTreeMunroPatersonShape(t *testing.T) {
+	// Binary policy: within the 2^b−1 leaf capacity every collapse merges an
+	// equal-level pair, so all buffer weights are powers of two (unit leaves).
+	tr, _ := NewTree[int](2, 4, policy.MunroPaterson(), nil)
+	rg := rng.New(5)
+	for i := 0; i < 15; i++ { // 2^4 − 1
+		fillLeaf(t, tr, rg, i*10)
+	}
+	for _, b := range tr.NonEmpty() {
+		if b.Weight&(b.Weight-1) != 0 {
+			t.Errorf("MP collapse produced non-power-of-two weight %d", b.Weight)
+		}
+	}
+}
+
+func TestTreeScheduleDelaysAllocation(t *testing.T) {
+	// Third buffer only after 4 leaves: before that the tree must collapse
+	// its two buffers to make room.
+	tr, _ := NewTree[int](2, 3, policy.MRL(), []uint64{0, 1, 4})
+	rg := rng.New(9)
+	for i := 0; i < 3; i++ {
+		fillLeaf(t, tr, rg, i*10)
+	}
+	if tr.Allocated() != 2 {
+		t.Errorf("allocated %d with schedule, want 2", tr.Allocated())
+	}
+	for i := 3; i < 6; i++ {
+		fillLeaf(t, tr, rg, i*10)
+	}
+	if tr.Allocated() != 3 {
+		t.Errorf("allocated %d after schedule threshold, want 3", tr.Allocated())
+	}
+}
+
+func TestTreeReset(t *testing.T) {
+	tr, _ := NewTree[int](2, 3, nil, nil)
+	rg := rng.New(11)
+	for i := 0; i < 7; i++ {
+		fillLeaf(t, tr, rg, i)
+	}
+	tr.Reset(true)
+	if tr.Height() != 0 || tr.Leaves() != 0 || len(tr.NonEmpty()) != 0 {
+		t.Error("Reset(true) left state behind")
+	}
+	if tr.Allocated() != 3 {
+		t.Error("Reset(true) released buffers")
+	}
+	tr.Reset(false)
+	if tr.Allocated() != 0 {
+		t.Error("Reset(false) kept buffers")
+	}
+}
+
+func TestCollapseOncePanicsWithoutFullBuffers(t *testing.T) {
+	tr, _ := NewTree[int](2, 3, nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tr.CollapseOnce()
+}
+
+func TestTreeWeightConservationNoSampling(t *testing.T) {
+	// With rate-1 leaves the total weighted count equals the number of
+	// pushed elements, no matter how many collapses happened.
+	tr, _ := NewTree[int](5, 4, policy.MRL(), nil)
+	rg := rng.New(13)
+	const leaves = 100
+	for i := 0; i < leaves; i++ {
+		fillLeaf(t, tr, rg, i*1000)
+	}
+	if got := buffer.TotalWeightedCount(tr.NonEmpty()); got != leaves*5 {
+		t.Errorf("weighted count %d, want %d", got, leaves*5)
+	}
+}

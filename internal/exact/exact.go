@@ -1,0 +1,219 @@
+// Package exact computes exact order statistics. It is the ground truth the
+// tests and benchmarks compare the approximate algorithms against, and it
+// also implements the selection substrate the paper's antecedents discuss
+// (Blum–Floyd–Pratt–Rivest–Tarjan linear-time selection, Section 1.5).
+package exact
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+)
+
+// Quantile returns the φ-quantile of data under the paper's definition: the
+// element at position ⌈φ·N⌉ (1-based) of the sorted sequence, with φ ∈ (0, 1].
+// data is not modified. It panics on empty data or φ out of range.
+func Quantile[T cmp.Ordered](data []T, phi float64) T {
+	return Select(slices.Clone(data), QuantileIndex(len(data), phi))
+}
+
+// QuantileIndex converts φ into the 0-based index of the φ-quantile in a
+// sorted sequence of length n: ⌈φ·n⌉ − 1 clamped to [0, n−1].
+func QuantileIndex(n int, phi float64) int {
+	if n <= 0 {
+		panic("exact: empty data")
+	}
+	if phi <= 0 || phi > 1 {
+		panic(fmt.Sprintf("exact: phi %v out of (0,1]", phi))
+	}
+	idx := int(ceil(phi * float64(n)))
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > n {
+		idx = n
+	}
+	return idx - 1
+}
+
+func ceil(x float64) float64 {
+	i := float64(int64(x))
+	if x > i {
+		return i + 1
+	}
+	return i
+}
+
+// Rank returns the 1-based rank range [lo, hi] that value v occupies in data:
+// lo = 1 + |{x : x < v}| and hi = |{x : x ≤ v}|. When v does not occur in
+// data, hi = lo − 1 and the pair brackets the insertion point. data is not
+// modified.
+func Rank[T cmp.Ordered](data []T, v T) (lo, hi int) {
+	var less, leq int
+	for _, x := range data {
+		if x < v {
+			less++
+		}
+		if x <= v {
+			leq++
+		}
+	}
+	return less + 1, leq
+}
+
+// RankError returns the distance, in ranks, from value v to the acceptable
+// rank window [⌈(φ−ε)N⌉, ⌈(φ+ε)N⌉] in data; 0 means v is an ε-approximate
+// φ-quantile. The window is expressed in the paper's rank units (1-based).
+func RankError[T cmp.Ordered](data []T, v T, phi, eps float64) int {
+	n := len(data)
+	if n == 0 {
+		panic("exact: empty data")
+	}
+	loWant := int(ceil((phi - eps) * float64(n)))
+	hiWant := int(ceil((phi + eps) * float64(n)))
+	if loWant < 1 {
+		loWant = 1
+	}
+	if hiWant > n {
+		hiWant = n
+	}
+	lo, hi := Rank(data, v)
+	if hi < lo { // v absent: occupies the empty window at the insertion point
+		hi = lo - 1
+	}
+	// v's attainable ranks are [lo, max(lo, hi)]; error is the gap to the
+	// target window.
+	if hi < lo {
+		hi = lo
+	}
+	switch {
+	case hi < loWant:
+		return loWant - hi
+	case lo > hiWant:
+		return lo - hiWant
+	default:
+		return 0
+	}
+}
+
+// Select returns the element with 0-based index k in the sorted order of
+// data, rearranging data in the process (expected linear time, worst-case
+// linear via median-of-medians fallback). It panics if k is out of range.
+func Select[T cmp.Ordered](data []T, k int) T {
+	if k < 0 || k >= len(data) {
+		panic(fmt.Sprintf("exact: Select index %d out of range [0,%d)", k, len(data)))
+	}
+	lo, hi := 0, len(data)-1
+	depth := 0
+	maxDepth := 2 * log2(len(data))
+	for {
+		if lo == hi {
+			return data[lo]
+		}
+		if hi-lo < 12 {
+			insertionSort(data[lo : hi+1])
+			return data[k]
+		}
+		var pivot T
+		if depth > maxDepth {
+			// Quickselect has degraded; fall back to the deterministic
+			// median-of-medians pivot to guarantee linear time.
+			pivot = medianOfMedians(data[lo : hi+1])
+		} else {
+			pivot = medianOfThree(data[lo], data[(lo+hi)/2], data[hi])
+		}
+		lt, gt := threeWayPartition(data, lo, hi, pivot)
+		switch {
+		case k < lt:
+			hi = lt - 1
+		case k > gt:
+			lo = gt + 1
+		default:
+			return pivot
+		}
+		depth++
+	}
+}
+
+// threeWayPartition partitions data[lo..hi] into < pivot, == pivot, > pivot
+// and returns the bounds [lt, gt] of the equal run.
+func threeWayPartition[T cmp.Ordered](data []T, lo, hi int, pivot T) (lt, gt int) {
+	i := lo
+	lt, gt = lo, hi
+	for i <= gt {
+		switch {
+		case data[i] < pivot:
+			data[i], data[lt] = data[lt], data[i]
+			i++
+			lt++
+		case data[i] > pivot:
+			data[i], data[gt] = data[gt], data[i]
+			gt--
+		default:
+			i++
+		}
+	}
+	return lt, gt
+}
+
+func medianOfThree[T cmp.Ordered](a, b, c T) T {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// medianOfMedians returns the BFPRT pivot: the median of the medians of
+// groups of five. It copies the group medians so the caller's data order is
+// only perturbed by its own partitioning.
+func medianOfMedians[T cmp.Ordered](data []T) T {
+	medians := make([]T, 0, (len(data)+4)/5)
+	for i := 0; i < len(data); i += 5 {
+		j := i + 5
+		if j > len(data) {
+			j = len(data)
+		}
+		g := slices.Clone(data[i:j])
+		insertionSort(g)
+		medians = append(medians, g[len(g)/2])
+	}
+	if len(medians) == 1 {
+		return medians[0]
+	}
+	return Select(medians, len(medians)/2)
+}
+
+func insertionSort[T cmp.Ordered](a []T) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// Quantiles returns the exact φᵢ-quantiles for each φ in phis, sorting a
+// clone of data once. It is the bulk ground-truth helper used by tests.
+func Quantiles[T cmp.Ordered](data []T, phis []float64) []T {
+	sorted := slices.Clone(data)
+	slices.Sort(sorted)
+	out := make([]T, len(phis))
+	for i, phi := range phis {
+		out[i] = sorted[QuantileIndex(len(sorted), phi)]
+	}
+	return out
+}

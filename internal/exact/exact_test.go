@@ -1,0 +1,251 @@
+package exact
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestQuantileIndex(t *testing.T) {
+	cases := []struct {
+		n    int
+		phi  float64
+		want int
+	}{
+		{10, 0.5, 4},  // ceil(5) = 5 -> index 4
+		{10, 0.05, 0}, // ceil(0.5) = 1 -> index 0
+		{10, 1.0, 9},  // max
+		{10, 0.11, 1}, // ceil(1.1) = 2 -> index 1
+		{1, 0.5, 0},
+		{7, 0.5, 3}, // ceil(3.5) = 4 -> index 3 (the median definition)
+	}
+	for _, c := range cases {
+		if got := QuantileIndex(c.n, c.phi); got != c.want {
+			t.Errorf("QuantileIndex(%d, %v) = %d, want %d", c.n, c.phi, got, c.want)
+		}
+	}
+}
+
+func TestQuantileIndexPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { QuantileIndex(0, 0.5) },
+		func() { QuantileIndex(10, 0) },
+		func() { QuantileIndex(10, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantileAgainstSort(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(500)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = r.Float64()
+		}
+		sorted := slices.Clone(data)
+		slices.Sort(sorted)
+		for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			want := sorted[QuantileIndex(n, phi)]
+			if got := Quantile(data, phi); got != want {
+				t.Fatalf("trial %d n=%d phi=%v: got %v, want %v", trial, n, phi, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantileDoesNotModifyInput(t *testing.T) {
+	data := []int{5, 3, 1, 4, 2}
+	orig := slices.Clone(data)
+	Quantile(data, 0.5)
+	if !slices.Equal(data, orig) {
+		t.Errorf("Quantile modified its input: %v", data)
+	}
+}
+
+func TestSelectMatchesSort(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(300)
+		data := make([]int, n)
+		for i := range data {
+			data[i] = r.Intn(50) // plenty of duplicates
+		}
+		sorted := slices.Clone(data)
+		slices.Sort(sorted)
+		for k := 0; k < n; k++ {
+			work := slices.Clone(data)
+			if got := Select(work, k); got != sorted[k] {
+				t.Fatalf("Select(k=%d) = %v, want %v", k, got, sorted[k])
+			}
+		}
+	}
+}
+
+func TestSelectQuick(t *testing.T) {
+	f := func(data []int16, kRaw uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		k := int(kRaw) % len(data)
+		sorted := make([]int16, len(data))
+		copy(sorted, data)
+		slices.Sort(sorted)
+		work := make([]int16, len(data))
+		copy(work, data)
+		return Select(work, k) == sorted[k]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectAdversarialSorted(t *testing.T) {
+	// Sorted and reverse-sorted inputs exercise the median-of-medians
+	// fallback path deterministically via pivot degradation.
+	n := 5000
+	asc := make([]int, n)
+	desc := make([]int, n)
+	for i := 0; i < n; i++ {
+		asc[i] = i
+		desc[i] = n - 1 - i
+	}
+	for _, k := range []int{0, 1, n / 2, n - 2, n - 1} {
+		if got := Select(slices.Clone(asc), k); got != k {
+			t.Errorf("Select(asc, %d) = %d", k, got)
+		}
+		if got := Select(slices.Clone(desc), k); got != k {
+			t.Errorf("Select(desc, %d) = %d", k, got)
+		}
+	}
+}
+
+func TestSelectAllEqual(t *testing.T) {
+	data := make([]int, 1000)
+	for i := range data {
+		data[i] = 7
+	}
+	for _, k := range []int{0, 500, 999} {
+		if got := Select(slices.Clone(data), k); got != 7 {
+			t.Errorf("Select(all-equal, %d) = %d", k, got)
+		}
+	}
+}
+
+func TestSelectPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Select([]int{1, 2}, 2)
+}
+
+func TestRank(t *testing.T) {
+	data := []int{1, 2, 2, 2, 5}
+	cases := []struct {
+		v      int
+		lo, hi int
+	}{
+		{0, 1, 0}, // below everything
+		{1, 1, 1},
+		{2, 2, 4},
+		{3, 5, 4}, // absent, between 2s and 5
+		{5, 5, 5},
+		{9, 6, 5}, // above everything
+	}
+	for _, c := range cases {
+		lo, hi := Rank(data, c.v)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("Rank(%d) = (%d,%d), want (%d,%d)", c.v, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestRankErrorInsideWindow(t *testing.T) {
+	// 100 distinct values 0..99; median window for eps=0.1 is ranks [40,60].
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	if e := RankError(data, 49, 0.5, 0.1); e != 0 {
+		t.Errorf("value at rank 50 should be inside the window, err=%d", e)
+	}
+	if e := RankError(data, 39, 0.5, 0.1); e != 0 {
+		t.Errorf("value at rank 40 (window edge) should pass, err=%d", e)
+	}
+	if e := RankError(data, 38, 0.5, 0.1); e != 1 {
+		t.Errorf("value at rank 39 should be 1 below window, err=%d", e)
+	}
+	if e := RankError(data, 99, 0.5, 0.1); e != 40 {
+		t.Errorf("max value: err=%d, want 40", e)
+	}
+}
+
+func TestRankErrorDuplicates(t *testing.T) {
+	// A duplicated value occupies a rank range; any overlap with the target
+	// window counts as success.
+	data := []float64{1, 2, 2, 2, 2, 2, 2, 2, 2, 10}
+	// value 2 spans ranks 2..9; median window (phi=0.5, eps=0) is rank 5.
+	if e := RankError(data, 2, 0.5, 0); e != 0 {
+		t.Errorf("duplicate spanning the target should pass, err=%d", e)
+	}
+	if e := RankError(data, 10, 0.5, 0); e == 0 {
+		t.Error("value 10 (rank 10) should fail the exact-median check")
+	}
+}
+
+func TestRankErrorAbsentValue(t *testing.T) {
+	data := []float64{10, 20, 30, 40}
+	// 25 would insert at rank 3; window for phi=0.5 eps=0 is rank 2.
+	if e := RankError(data, 25, 0.5, 0); e != 1 {
+		t.Errorf("absent value error = %d, want 1", e)
+	}
+}
+
+func TestQuantilesBulk(t *testing.T) {
+	r := rng.New(3)
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = r.Float64()
+	}
+	phis := []float64{0.1, 0.5, 0.9}
+	got := Quantiles(data, phis)
+	for i, phi := range phis {
+		if want := Quantile(data, phi); got[i] != want {
+			t.Errorf("Quantiles[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestQuantileStrings(t *testing.T) {
+	// The generic machinery must work for non-numeric ordered types.
+	data := []string{"pear", "apple", "fig", "date", "cherry"}
+	if got := Quantile(data, 0.5); got != "date" {
+		t.Errorf("string median = %q, want %q", got, "date")
+	}
+}
+
+func BenchmarkSelect1e6(b *testing.B) {
+	r := rng.New(4)
+	data := make([]float64, 1_000_000)
+	for i := range data {
+		data[i] = r.Float64()
+	}
+	work := make([]float64, len(data))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, data)
+		Select(work, len(work)/2)
+	}
+}

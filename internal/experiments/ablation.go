@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/optimize"
+	"repro/internal/policy"
+	"repro/internal/stream"
+	"repro/internal/xmath"
+)
+
+// PolicyAblationRow compares one collapse policy under a fixed (b, k)
+// budget in the deterministic regime.
+type PolicyAblationRow struct {
+	Policy string
+	// WorstErrFrac is the worst observed |rank error|/(ε·N) across
+	// distributions at the capacity stream length.
+	WorstErrFrac float64
+	// Height is the tree height at the end of the run; lower means the
+	// policy packs more stream into the same budget at a given error.
+	Height int
+	// Leaves consumed.
+	Leaves uint64
+}
+
+// PolicyAblationResult is the E-ABL/policy experiment: the MRL policy vs
+// Munro–Paterson vs ARS under identical budgets — the design comparison the
+// framework paper motivates.
+type PolicyAblationResult struct {
+	B, K int
+	N    uint64
+	Eps  float64
+	Rows []PolicyAblationRow
+}
+
+// PolicyAblation runs the policy comparison with b buffers of k elements
+// over streams of n elements, evaluating against budget ε.
+func PolicyAblation(b, k int, n uint64, eps float64) (PolicyAblationResult, error) {
+	res := PolicyAblationResult{B: b, K: k, N: n, Eps: eps}
+	for _, pol := range []policy.Policy{policy.MRL(), policy.MunroPaterson(), policy.ARS()} {
+		row := PolicyAblationRow{Policy: pol.Name()}
+		for _, mk := range []func(uint64) stream.Source{
+			func(seed uint64) stream.Source { return stream.Shuffled(n, seed) },
+			func(uint64) stream.Source { return stream.Sorted(n) },
+			func(seed uint64) stream.Source { return stream.BlockAdversarial(n, seed, 2048) },
+		} {
+			src := mk(99)
+			// Keep the whole run in the deterministic regime: onset high.
+			s, err := core.NewSketch[float64](core.Config{B: b, K: k, H: 40, Seed: 7, Policy: pol})
+			if err != nil {
+				return res, err
+			}
+			data := stream.Collect(src)
+			s.AddAll(data)
+			got, err := s.Query([]float64{0.1, 0.5, 0.9})
+			if err != nil {
+				return res, err
+			}
+			for i, phi := range []float64{0.1, 0.5, 0.9} {
+				d := exact.RankError(data, got[i], phi, 0)
+				if frac := float64(d) / (eps * float64(n)); frac > row.WorstErrFrac {
+					row.WorstErrFrac = frac
+				}
+			}
+			st := s.Stats()
+			if st.Height > row.Height {
+				row.Height = st.Height
+			}
+			row.Leaves = st.Leaves
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render produces the experiment's table.
+func (r PolicyAblationResult) Render() Table {
+	t := Table{
+		Title: fmt.Sprintf("E-ABL/policy: collapse policies at b=%d k=%d, N=%d (deterministic regime)",
+			r.B, r.K, r.N),
+		Columns: []string{"policy", "worst |err|/(eps N)", "tree height", "leaves"},
+		Notes: []string{
+			"same memory budget; lower height at the same stream length means less rank error absorbed per collapse",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Policy, fmt.Sprintf("%.3f", row.WorstErrFrac),
+			fmt.Sprint(row.Height), fmt.Sprint(row.Leaves),
+		})
+	}
+	return t
+}
+
+// AlphaAblationRow is one α point.
+type AlphaAblationRow struct {
+	Alpha  float64
+	K      int
+	Memory uint64
+}
+
+// AlphaAblationResult is the E-ABL/alpha experiment: how the ε split
+// between sampling error ((1−α)ε) and tree error (αε) drives memory, and
+// where the optimizer's balance point falls (paper Section 4.5 fixes
+// α = 0.5 for the asymptotic analysis; the solver does better).
+type AlphaAblationResult struct {
+	Eps, Delta   float64
+	B, H         int
+	Rows         []AlphaAblationRow
+	SolverAlpha  float64
+	SolverMemory uint64
+}
+
+// AlphaAblation sweeps α for the solver's chosen (b, h).
+func AlphaAblation(eps, delta float64) (AlphaAblationResult, error) {
+	res := AlphaAblationResult{Eps: eps, Delta: delta}
+	best, err := optimize.UnknownN(eps, delta)
+	if err != nil {
+		return res, err
+	}
+	res.B, res.H = best.B, best.H
+	res.SolverAlpha, res.SolverMemory = best.Alpha, best.Memory
+	ld, ls := optimize.LeafCounts(best.B, best.H)
+	minLeaf := math.Min(float64(ld), 8.0/3.0*float64(ls))
+	c := optimize.TreeConstant(float64(ld) / float64(ls))
+	for _, alpha := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		k1 := math.Log(2/delta) / (2 * (1 - alpha) * (1 - alpha) * eps * eps * minLeaf)
+		k2 := (float64(res.H) + c) / (2 * alpha * eps)
+		k3 := (float64(res.H) + 1) / (2 * eps)
+		k := int(math.Ceil(math.Max(k1, math.Max(k2, k3))))
+		res.Rows = append(res.Rows, AlphaAblationRow{
+			Alpha: alpha, K: k, Memory: xmath.SatMul(uint64(res.B), uint64(k)),
+		})
+	}
+	return res, nil
+}
+
+// Render produces the experiment's table.
+func (r AlphaAblationResult) Render() Table {
+	t := Table{
+		Title: fmt.Sprintf("E-ABL/alpha: memory vs eps split, eps=%g delta=%g (b=%d h=%d)",
+			r.Eps, r.Delta, r.B, r.H),
+		Columns: []string{"alpha (tree share)", "k", "memory b*k"},
+		Notes: []string{
+			fmt.Sprintf("solver's balance point: alpha=%.3f memory=%d", r.SolverAlpha, r.SolverMemory),
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", row.Alpha), fmt.Sprint(row.K), fmt.Sprint(row.Memory),
+		})
+	}
+	return t
+}
+
+// OnsetAblationRow is one onset-height point.
+type OnsetAblationRow struct {
+	H      int
+	B, K   int
+	Memory uint64
+}
+
+// OnsetAblationResult is the E-ABL/onset experiment: memory as a function
+// of the sampling-onset height h, holding the solver free to pick b and k.
+// Low h forces huge buffers (Eq 1 has few unsampled leaves); high h forces
+// tall trees (Eq 2's h term); the optimum is in between.
+type OnsetAblationResult struct {
+	Eps, Delta float64
+	Rows       []OnsetAblationRow
+}
+
+// OnsetAblation sweeps h.
+func OnsetAblation(eps, delta float64) (OnsetAblationResult, error) {
+	res := OnsetAblationResult{Eps: eps, Delta: delta}
+	sb := math.Log(2/delta) / (2 * eps * eps)
+	for h := 1; h <= 14; h++ {
+		bestMem := uint64(math.MaxUint64)
+		bestB, bestK := 0, 0
+		for b := 2; b <= optimize.SearchLimit; b++ {
+			ld, ls := optimize.LeafCounts(b, h)
+			if ls == 0 {
+				continue
+			}
+			minLeaf := math.Min(float64(ld), 8.0/3.0*float64(ls))
+			c := optimize.TreeConstant(float64(ld) / float64(ls))
+			// Reuse the solver's inner structure: ternary search on alpha.
+			lo, hi := 1e-9, 1-1e-9
+			kOf := func(a float64) float64 {
+				k1 := sb / (minLeaf * (1 - a) * (1 - a))
+				k2 := (float64(h) + c) / (2 * a * eps)
+				return math.Max(k1, k2)
+			}
+			for i := 0; i < 120; i++ {
+				m1 := lo + (hi-lo)/3
+				m2 := hi - (hi-lo)/3
+				if kOf(m1) <= kOf(m2) {
+					hi = m2
+				} else {
+					lo = m1
+				}
+			}
+			kf := math.Max(kOf((lo+hi)/2), (float64(h)+1)/(2*eps))
+			if kf > 1e12 {
+				continue
+			}
+			k := int(math.Ceil(kf))
+			if mem := xmath.SatMul(uint64(b), uint64(k)); mem < bestMem {
+				bestMem, bestB, bestK = mem, b, k
+			}
+		}
+		if bestB != 0 {
+			res.Rows = append(res.Rows, OnsetAblationRow{H: h, B: bestB, K: bestK, Memory: bestMem})
+		}
+	}
+	return res, nil
+}
+
+// Render produces the experiment's table.
+func (r OnsetAblationResult) Render() Table {
+	t := Table{
+		Title:   fmt.Sprintf("E-ABL/onset: memory vs sampling-onset height h, eps=%g delta=%g", r.Eps, r.Delta),
+		Columns: []string{"h", "best b", "best k", "memory b*k"},
+		Notes: []string{
+			"low h starves the sampling constraint (few unsampled leaves); high h inflates the tree constraint",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(row.H), fmt.Sprint(row.B), fmt.Sprint(row.K), fmt.Sprint(row.Memory),
+		})
+	}
+	return t
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/optimize"
+	"repro/internal/stream"
+)
+
+// AccuracyConfig parameterizes the E-ACC experiment.
+type AccuracyConfig struct {
+	Eps, Delta float64
+	N          uint64
+	Trials     int // independent seeds per distribution
+	Phis       []float64
+}
+
+// DefaultAccuracyConfig is the configuration used by qbench and the bench
+// harness.
+func DefaultAccuracyConfig() AccuracyConfig {
+	return AccuracyConfig{
+		Eps: 0.01, Delta: 1e-3, N: 300_000, Trials: 3,
+		Phis: []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99},
+	}
+}
+
+// AccuracyRow summarizes one distribution.
+type AccuracyRow struct {
+	Source    string
+	Queries   int     // quantile estimates checked
+	Failures  int     // estimates outside the ±ε window
+	WorstFrac float64 // worst observed |rank error| as a fraction of ε·N
+}
+
+// AccuracyResult is the E-ACC experiment: observed rank error of the
+// unknown-N algorithm at its solved parameters, across value distributions
+// and arrival orders (the paper's data-independence requirement,
+// Section 1.3).
+type AccuracyResult struct {
+	Config AccuracyConfig
+	Params optimize.Params
+	Rows   []AccuracyRow
+}
+
+// Accuracy runs the experiment.
+func Accuracy(cfg AccuracyConfig) (AccuracyResult, error) {
+	res := AccuracyResult{Config: cfg}
+	params, err := optimize.UnknownN(cfg.Eps, cfg.Delta)
+	if err != nil {
+		return res, err
+	}
+	res.Params = params
+	sources := func(seed uint64) []stream.Source {
+		return []stream.Source{
+			stream.Uniform(cfg.N, seed),
+			stream.Normal(cfg.N, seed, 0, 1),
+			stream.Exponential(cfg.N, seed, 1),
+			stream.Zipf(cfg.N, seed, 1.3, 1<<28),
+			stream.Sorted(cfg.N),
+			stream.Reversed(cfg.N),
+			stream.BlockAdversarial(cfg.N, seed, 4096),
+			stream.Sales(cfg.N, seed),
+			stream.Drift(cfg.N, seed, 0, 1, 0.001),
+			stream.Mixture(cfg.N, seed, 0.3, 0, 1, 50, 5),
+		}
+	}
+	byName := map[string]*AccuracyRow{}
+	order := []string{}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		seed := uint64(trial)*7919 + 1
+		for _, src := range sources(seed) {
+			name := baseName(src.Name())
+			row, ok := byName[name]
+			if !ok {
+				row = &AccuracyRow{Source: name}
+				byName[name] = row
+				order = append(order, name)
+			}
+			s, err := core.NewSketch[float64](core.Config{
+				B: params.B, K: params.K, H: params.H, Seed: seed * 31,
+			})
+			if err != nil {
+				return res, err
+			}
+			data := stream.Collect(src)
+			s.AddAll(data)
+			got, err := s.Query(cfg.Phis)
+			if err != nil {
+				return res, err
+			}
+			for i, phi := range cfg.Phis {
+				row.Queries++
+				e := exact.RankError(data, got[i], phi, cfg.Eps)
+				if e != 0 {
+					row.Failures++
+				}
+				// Distance in ranks from the exact quantile's rank window
+				// center, as a fraction of the allowed εN.
+				frac := (float64(e) + 0) / (cfg.Eps * float64(len(data)))
+				if e == 0 {
+					// Within window; measure distance to exact for the
+					// "how much margin" statistic.
+					d := exact.RankError(data, got[i], phi, 0)
+					frac = float64(d) / (cfg.Eps * float64(len(data)))
+				} else {
+					frac = 1 + frac
+				}
+				if frac > row.WorstFrac {
+					row.WorstFrac = frac
+				}
+			}
+		}
+	}
+	for _, name := range order {
+		res.Rows = append(res.Rows, *byName[name])
+	}
+	return res, nil
+}
+
+func baseName(full string) string {
+	for i, r := range full {
+		if r == '(' {
+			return full[:i]
+		}
+	}
+	return full
+}
+
+// TotalFailures sums failures across distributions.
+func (r AccuracyResult) TotalFailures() (failures, queries int) {
+	for _, row := range r.Rows {
+		failures += row.Failures
+		queries += row.Queries
+	}
+	return
+}
+
+// Render produces the experiment's table.
+func (r AccuracyResult) Render() Table {
+	fails, total := r.TotalFailures()
+	t := Table{
+		Title: fmt.Sprintf("E-ACC: observed accuracy, eps=%g delta=%g N=%d (b=%d k=%d h=%d)",
+			r.Config.Eps, r.Config.Delta, r.Config.N, r.Params.B, r.Params.K, r.Params.H),
+		Columns: []string{"distribution", "queries", "outside eps window", "worst |error| / (eps N)"},
+		Notes: []string{
+			fmt.Sprintf("total: %d/%d estimates outside the eps window (delta budget %g per estimate)",
+				fails, total, r.Config.Delta),
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Source, fmt.Sprint(row.Queries), fmt.Sprint(row.Failures),
+			fmt.Sprintf("%.3f", row.WorstFrac),
+		})
+	}
+	return t
+}

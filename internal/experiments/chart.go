@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	Name   string
+	Points [][2]float64 // (x, y)
+}
+
+// chartMarks are assigned to series in order.
+var chartMarks = []byte{'*', '+', 'o', 'x', '#'}
+
+// RenderChart draws series on a width×height ASCII grid with linear axes,
+// used by qbench to visualize Figures 4 and 5 without any plotting
+// dependency.
+func RenderChart(title, xLabel, yLabel string, width, height int, series []Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // anchor y at 0: these are memory plots
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p[0])
+			maxX = math.Max(maxX, p[0])
+			maxY = math.Max(maxY, p[1])
+		}
+	}
+	if !(maxX > minX) || !(maxY > minY) {
+		return title + ": nothing to plot\n"
+	}
+	maxY *= 1.05 // headroom
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := chartMarks[si%len(chartMarks)]
+		for _, p := range s.Points {
+			col := int(math.Round((p[0] - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((p[1] - minY) / (maxY - minY) * float64(height-1)))
+			r := height - 1 - row
+			if r < 0 || r >= height || col < 0 || col >= width {
+				continue
+			}
+			if grid[r][col] != ' ' && grid[r][col] != mark {
+				grid[r][col] = '@' // overlap of different series
+			} else {
+				grid[r][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yTop := fmt.Sprintf("%.0f", maxY)
+	yBot := fmt.Sprintf("%.0f", minY)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yBot)
+		case height / 2:
+			mid := fmt.Sprintf("%.0f", (maxY+minY)/2)
+			label = fmt.Sprintf("%*s", pad, mid)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*g%*g   (%s)\n", strings.Repeat(" ", pad), width/2, minX, width-width/2, maxX, xLabel)
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", chartMarks[si%len(chartMarks)], s.Name))
+	}
+	fmt.Fprintf(&b, "%s  y: %s;  %s\n", strings.Repeat(" ", pad), yLabel, strings.Join(legend, ", "))
+	return b.String()
+}
+
+// Chart renders Figure 4 as an ASCII plot.
+func (r Figure4Result) Chart() string {
+	known := Series{Name: "known-N"}
+	unknown := Series{Name: "unknown-N"}
+	for _, p := range r.Points {
+		known.Points = append(known.Points, [2]float64{p.Log10N, float64(p.KnownN)})
+		unknown.Points = append(unknown.Points, [2]float64{p.Log10N, float64(p.Unknown)})
+	}
+	return RenderChart("Figure 4: memory vs log10(N)", "log10 N", "memory (elements)",
+		64, 16, []Series{known, unknown})
+}
+
+// Chart renders Figure 5 as an ASCII plot.
+func (r Figure5Result) Chart() string {
+	sched := Series{Name: "schedule"}
+	known := Series{Name: "known-N"}
+	caps := Series{Name: "user cap"}
+	for _, p := range r.Points {
+		sched.Points = append(sched.Points, [2]float64{p.Log10N, float64(p.Scheduled)})
+		known.Points = append(known.Points, [2]float64{p.Log10N, float64(p.KnownN)})
+		if p.UserCap > 0 {
+			caps.Points = append(caps.Points, [2]float64{p.Log10N, float64(p.UserCap)})
+		}
+	}
+	return RenderChart("Figure 5: buffer-allocation schedule vs known-N", "log10 N", "memory (elements)",
+		64, 16, []Series{sched, known, caps})
+}

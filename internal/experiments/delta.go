@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/optimize"
+	"repro/internal/stream"
+)
+
+// DeltaConfig parameterizes the E-DELTA experiment.
+type DeltaConfig struct {
+	Eps, Delta float64
+	N          uint64
+	Trials     int
+	// Scales are the fractions of the solver's buffer size k to test;
+	// 1.0 is the provisioned configuration, smaller values deliberately
+	// violate the constraints to show where failures set in.
+	Scales []float64
+}
+
+// DefaultDeltaConfig uses a loose δ so that the provisioned row's failure
+// budget is non-trivial and the under-provisioned rows fail visibly.
+func DefaultDeltaConfig() DeltaConfig {
+	return DeltaConfig{
+		Eps: 0.05, Delta: 0.1, N: 30_000, Trials: 60,
+		Scales: []float64{0.1, 0.2, 0.4, 1.0},
+	}
+}
+
+// DeltaRow is one provisioning level.
+type DeltaRow struct {
+	Scale    float64
+	K        int
+	Failures int
+	Trials   int
+}
+
+// Rate returns the observed failure fraction.
+func (r DeltaRow) Rate() float64 { return float64(r.Failures) / float64(r.Trials) }
+
+// DeltaResult is the E-DELTA experiment: the observed failure rate of the
+// median estimate across independent trials, at the solver's buffer size
+// and at deliberately under-provisioned fractions of it. At scale 1.0 the
+// observed rate must sit below δ (the analysis is conservative, so it is
+// usually far below); shrinking k pushes the rate up, confirming the
+// constraints bind where the analysis says they do.
+type DeltaResult struct {
+	Config DeltaConfig
+	Params optimize.Params
+	Rows   []DeltaRow
+}
+
+// Delta runs the experiment.
+func Delta(cfg DeltaConfig) (DeltaResult, error) {
+	res := DeltaResult{Config: cfg}
+	params, err := optimize.UnknownN(cfg.Eps, cfg.Delta)
+	if err != nil {
+		return res, err
+	}
+	res.Params = params
+	for _, scale := range cfg.Scales {
+		k := int(float64(params.K) * scale)
+		if k < 2 {
+			k = 2
+		}
+		row := DeltaRow{Scale: scale, K: k, Trials: cfg.Trials}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := uint64(trial)*2654435761 + 17
+			s, err := core.NewSketch[float64](core.Config{
+				B: params.B, K: k, H: params.H, Seed: seed,
+			})
+			if err != nil {
+				return res, err
+			}
+			data := stream.Collect(stream.Uniform(cfg.N, seed+1))
+			s.AddAll(data)
+			got, err := s.QueryOne(0.5)
+			if err != nil {
+				return res, err
+			}
+			if exact.RankError(data, got, 0.5, cfg.Eps) != 0 {
+				row.Failures++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// ProvisionedRate returns the observed failure rate at scale 1.0.
+func (r DeltaResult) ProvisionedRate() float64 {
+	for _, row := range r.Rows {
+		if row.Scale == 1.0 {
+			return row.Rate()
+		}
+	}
+	return -1
+}
+
+// Render produces the experiment's table.
+func (r DeltaResult) Render() Table {
+	t := Table{
+		Title: fmt.Sprintf("E-DELTA: observed failure rate vs provisioning, eps=%g delta=%g, %d trials of N=%d",
+			r.Config.Eps, r.Config.Delta, r.Config.Trials, r.Config.N),
+		Columns: []string{"k / k*", "k", "failures", "observed rate", "budget delta"},
+		Notes: []string{
+			fmt.Sprintf("solver parameters: b=%d k*=%d h=%d", r.Params.B, r.Params.K, r.Params.H),
+			"rates above delta are expected only at under-provisioned k (the constraints bind)",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", row.Scale), fmt.Sprint(row.K),
+			fmt.Sprintf("%d/%d", row.Failures, row.Trials),
+			fmt.Sprintf("%.3f", row.Rate()), f(r.Config.Delta),
+		})
+	}
+	return t
+}

@@ -1,0 +1,68 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the validation experiments DESIGN.md adds (accuracy,
+// extreme values, parallel merge, reservoir baseline, ablations). Each
+// experiment is a pure function returning a structured result with a
+// text renderer, so the same code backs both the qbench CLI and the
+// testing.B benchmark harness, and tests can assert on the numbers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a generic text table: a title, column headers and string rows.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// kib formats an element count the way the paper's tables do ("4.84 K"),
+// with K = 1024 elements.
+func kib(elems uint64) string {
+	return fmt.Sprintf("%.2f K", float64(elems)/1024)
+}
+
+func f(v float64) string { return fmt.Sprintf("%g", v) }

@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-header"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	out := tab.String()
+	for _, want := range []string{"== demo ==", "long-header", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKibFormat(t *testing.T) {
+	if got := kib(1024); got != "1.00 K" {
+		t.Errorf("kib(1024) = %q", got)
+	}
+	if got := kib(4957); got != "4.84 K" {
+		t.Errorf("kib(4957) = %q", got)
+	}
+}
+
+func TestTable1Claims(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(Table1Epsilons) {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// The paper's headline claim.
+	if ratio := r.MaxRatio(); ratio > 2 || ratio < 1 {
+		t.Errorf("unknown/known ratio %v outside (1, 2]", ratio)
+	}
+	// Memory decreases as eps loosens, row over row.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Unknown[0].Memory <= r.Rows[i-1].Unknown[0].Memory {
+			t.Errorf("memory not increasing as eps tightens at row %d", i)
+		}
+	}
+	if out := r.Render().String(); !strings.Contains(out, "Table 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable2Claims(t *testing.T) {
+	r, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		// Memory must be non-decreasing in p and grow slowly.
+		for i := 1; i < len(row.PerP); i++ {
+			if row.PerP[i].Memory < row.PerP[i-1].Memory {
+				t.Errorf("eps=%v: memory decreased from p=%d to p=%d",
+					row.Eps, Table2QuantileCounts[i-1], Table2QuantileCounts[i])
+			}
+		}
+		if g := row.GrowthFactor(); g > 1.5 {
+			t.Errorf("eps=%v: p growth factor %v too large", row.Eps, g)
+		}
+		// Precompute exceeds the p=1000 cost (it solves at eps/2).
+		if row.Precompute.Memory <= row.PerP[len(row.PerP)-1].Memory {
+			t.Errorf("eps=%v: precompute %d below p=1000 %d",
+				row.Eps, row.Precompute.Memory, row.PerP[len(row.PerP)-1].Memory)
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	r, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown-N constant.
+	for _, p := range r.Points {
+		if p.Unknown != r.Points[0].Unknown {
+			t.Fatal("unknown-N line not constant")
+		}
+	}
+	// Known-N non-decreasing then flat at the plateau.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].KnownN < r.Points[i-1].KnownN {
+			t.Errorf("known-N curve decreased at %v", r.Points[i].Log10N)
+		}
+	}
+	last := r.Points[len(r.Points)-1]
+	if last.KnownN != r.Plateau {
+		t.Errorf("known-N end %d != plateau %d", last.KnownN, r.Plateau)
+	}
+	// Small N: known-N cheaper than unknown-N; the gap closes at the end.
+	if r.Points[0].KnownN >= r.Points[0].Unknown {
+		t.Error("known-N not cheaper at small N")
+	}
+	if float64(last.Unknown) > 2*float64(last.KnownN) {
+		t.Error("unknown-N more than 2x known-N at large N")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	r, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for _, p := range r.Points {
+		if p.Scheduled < prev {
+			t.Errorf("schedule memory decreased at %v", p.Log10N)
+		}
+		prev = p.Scheduled
+		if p.UserCap > 0 && p.Scheduled > p.UserCap {
+			t.Errorf("schedule violates user cap at N=%d: %d > %d", p.N, p.Scheduled, p.UserCap)
+		}
+	}
+	if r.Plan.MaxMemory() != r.Points[len(r.Points)-1].Scheduled {
+		t.Error("schedule does not plateau at its peak")
+	}
+}
+
+func TestTreesMatchesClosedForms(t *testing.T) {
+	r, err := Trees(5, 2, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Height 1 at 5 leaves, height 2 (onset) at 15 leaves, rate doubles
+	// every 10 leaves thereafter.
+	want := map[int]uint64{1: 5, 2: 15, 3: 25, 4: 35}
+	for _, e := range r.Events {
+		if lv, ok := want[e.Height]; ok && e.Leaves != lv {
+			t.Errorf("height %d reached at %d leaves, want %d", e.Height, e.Leaves, lv)
+		}
+	}
+}
+
+func TestAccuracySmall(t *testing.T) {
+	cfg := DefaultAccuracyConfig()
+	cfg.N = 20_000
+	cfg.Trials = 1
+	r, err := Accuracy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails, total := r.TotalFailures()
+	if total != 10*len(cfg.Phis) {
+		t.Errorf("checked %d estimates", total)
+	}
+	if fails != 0 {
+		t.Errorf("%d estimates outside eps at solved parameters", fails)
+	}
+	if out := r.Render().String(); !strings.Contains(out, "E-ACC") {
+		t.Error("render missing title")
+	}
+}
+
+func TestExtremeSmall(t *testing.T) {
+	cfg := DefaultExtremeConfig()
+	cfg.N = 30_000
+	cfg.Trials = 1
+	r, err := Extreme(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.GeneralError == "" && row.Phi <= 0.01 {
+			if row.ExtremeK*4 > row.GeneralBK {
+				t.Errorf("phi=%v: extreme k %d not far below general %d",
+					row.Phi, row.ExtremeK, row.GeneralBK)
+			}
+		}
+		if row.Failures > 0 {
+			t.Errorf("phi=%v eps=%v: %d/%d failures", row.Phi, row.Eps, row.Failures, row.Trials)
+		}
+	}
+}
+
+func TestParallelSmall(t *testing.T) {
+	cfg := DefaultParallelConfig()
+	cfg.PerWorker = 5_000
+	cfg.WorkerCounts = []int{1, 4}
+	r, err := Parallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.Failures != 0 {
+			t.Errorf("P=%d: %d estimates outside eps", row.Workers, row.Failures)
+		}
+		if row.TotalN != uint64(row.Workers)*cfg.PerWorker {
+			t.Errorf("P=%d: total %d", row.Workers, row.TotalN)
+		}
+	}
+}
+
+func TestReservoirComparison(t *testing.T) {
+	r, err := Reservoir(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratio must grow as eps tightens (the quadratic-vs-loglinear gap).
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Ratio <= r.Rows[i-1].Ratio {
+			t.Errorf("reservoir ratio not growing: %v", r.Rows)
+		}
+	}
+	if last := r.Rows[len(r.Rows)-1]; last.Ratio < 10 {
+		t.Errorf("at eps=0.001 the reservoir should be >=10x larger, got %.1fx", last.Ratio)
+	}
+}
+
+func TestPolicyAblationSmall(t *testing.T) {
+	r, err := PolicyAblation(6, 128, 20_000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d policies", len(r.Rows))
+	}
+	// The MRL policy should not lose to the others at the same budget.
+	var mrl, worst float64
+	for _, row := range r.Rows {
+		if row.Policy == "mrl" {
+			mrl = row.WorstErrFrac
+		}
+		if row.WorstErrFrac > worst {
+			worst = row.WorstErrFrac
+		}
+	}
+	if mrl > worst {
+		t.Errorf("mrl policy (%v) worse than all others (%v)", mrl, worst)
+	}
+}
+
+func TestAlphaAblationValleyAtSolver(t *testing.T) {
+	r, err := AlphaAblation(0.01, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory at the extremes must exceed the solver's optimum.
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if first.Memory <= r.SolverMemory || last.Memory <= r.SolverMemory {
+		t.Errorf("alpha extremes (%d, %d) not above solver optimum %d",
+			first.Memory, last.Memory, r.SolverMemory)
+	}
+}
+
+func TestOnsetAblationHasInteriorOptimum(t *testing.T) {
+	r, err := OnsetAblation(0.01, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 5 {
+		t.Fatalf("only %d onset rows", len(r.Rows))
+	}
+	bestIdx := 0
+	for i, row := range r.Rows {
+		if row.Memory < r.Rows[bestIdx].Memory {
+			bestIdx = i
+		}
+	}
+	if bestIdx == 0 || bestIdx == len(r.Rows)-1 {
+		t.Errorf("onset optimum at boundary (h=%d); expected interior valley", r.Rows[bestIdx].H)
+	}
+}
+
+func TestDeltaValidation(t *testing.T) {
+	cfg := DefaultDeltaConfig()
+	cfg.N = 10_000
+	cfg.Trials = 30
+	r, err := Delta(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := r.ProvisionedRate()
+	if prov < 0 {
+		t.Fatal("no provisioned row")
+	}
+	// The provisioned configuration must respect its failure budget (with
+	// binomial slack for 30 trials: delta=0.1 => expect <= ~4 failures at
+	// 3 sigma).
+	if prov > 0.25 {
+		t.Errorf("provisioned failure rate %.2f far above delta %.2f", prov, cfg.Delta)
+	}
+	// The most under-provisioned row must fail more often than the
+	// provisioned one.
+	if r.Rows[0].Rate() <= prov {
+		t.Errorf("under-provisioned rate %.2f not above provisioned %.2f", r.Rows[0].Rate(), prov)
+	}
+	if out := r.Render().String(); !strings.Contains(out, "E-DELTA") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	s := []Series{
+		{Name: "a", Points: [][2]float64{{0, 0}, {1, 10}, {2, 20}}},
+		{Name: "b", Points: [][2]float64{{0, 20}, {1, 20}, {2, 20}}},
+	}
+	out := RenderChart("demo", "x", "y", 32, 8, s)
+	for _, want := range []string{"demo", "* a", "+ b", "(x)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Degenerate input.
+	if out := RenderChart("flat", "x", "y", 32, 8, nil); !strings.Contains(out, "nothing to plot") {
+		t.Errorf("degenerate chart: %q", out)
+	}
+}
+
+func TestFigureCharts(t *testing.T) {
+	f4, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := f4.Chart(); !strings.Contains(c, "known-N") || !strings.Contains(c, "unknown-N") {
+		t.Error("figure 4 chart missing series")
+	}
+	f5, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := f5.Chart(); !strings.Contains(c, "schedule") || !strings.Contains(c, "user cap") {
+		t.Error("figure 5 chart missing series")
+	}
+}
+
+func TestThroughputRuns(t *testing.T) {
+	r, err := Throughput(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("%d algorithms", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Elapsed <= 0 || row.MemElems <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", row.Algorithm, row)
+		}
+	}
+	if out := r.Render().String(); !strings.Contains(out, "E-THR") {
+		t.Error("render missing title")
+	}
+}

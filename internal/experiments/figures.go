@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/optimize"
+	"repro/internal/schedule"
+)
+
+// Figure4Eps and Figure4Delta are the parameters of the paper's Figure 4.
+const (
+	Figure4Eps   = 0.01
+	Figure4Delta = 1e-4
+)
+
+// Figure4Point is one x position of Figure 4.
+type Figure4Point struct {
+	Log10N  float64
+	N       uint64
+	KnownN  uint64 // memory (elements) for the known-N algorithm at this N
+	Unknown uint64 // memory for the unknown-N algorithm (constant)
+}
+
+// Figure4Result reproduces paper Figure 4: memory versus log10(N) for the
+// known-N and unknown-N algorithms at ε = 0.01, δ = 1e-4. The known-N
+// curve grows while the deterministic mode is cheaper and flattens once
+// sampling takes over; the unknown-N line is constant.
+type Figure4Result struct {
+	Points  []Figure4Point
+	Plateau uint64 // known-N sampling-mode memory
+}
+
+// Figure4 computes the curve for log10(N) in [3, 10].
+func Figure4() (Figure4Result, error) {
+	var res Figure4Result
+	u, err := optimize.UnknownN(Figure4Eps, Figure4Delta)
+	if err != nil {
+		return res, err
+	}
+	samp, err := optimize.KnownNSampling(Figure4Eps, Figure4Delta)
+	if err != nil {
+		return res, err
+	}
+	res.Plateau = samp.Memory
+	for l := 3.0; l <= 10.0; l += 0.5 {
+		n := uint64(math.Round(math.Pow(10, l)))
+		kn, err := optimize.KnownN(Figure4Eps, Figure4Delta, n)
+		if err != nil {
+			return res, fmt.Errorf("known-N at n=%d: %w", n, err)
+		}
+		res.Points = append(res.Points, Figure4Point{
+			Log10N: l, N: n, KnownN: kn.Memory, Unknown: u.Memory,
+		})
+	}
+	return res, nil
+}
+
+// Render produces the figure's data series as a table.
+func (r Figure4Result) Render() Table {
+	t := Table{
+		Title:   fmt.Sprintf("Figure 4: memory vs log10(N), eps=%g delta=%g", Figure4Eps, Figure4Delta),
+		Columns: []string{"log10(N)", "known-N (elements)", "unknown-N (elements)"},
+		Notes: []string{
+			fmt.Sprintf("known-N flattens at its sampling plateau of %s", kib(r.Plateau)),
+			"unknown-N is constant: it never needs to know N",
+		},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", p.Log10N), fmt.Sprint(p.KnownN), fmt.Sprint(p.Unknown),
+		})
+	}
+	return t
+}
+
+// Figure5Eps and Figure5Delta are the parameters of the paper's Figure 5.
+const (
+	Figure5Eps   = 0.01
+	Figure5Delta = 1e-4
+)
+
+// Figure5Point is one x position of Figure 5.
+type Figure5Point struct {
+	Log10N    float64
+	N         uint64
+	Scheduled uint64 // memory of the valid buffer-allocation schedule at N
+	KnownN    uint64 // the known-N curve for comparison
+	UserCap   uint64 // the user-specified limit at this N (0 = none)
+}
+
+// Figure5Result reproduces paper Figure 5: a valid buffer allocation
+// schedule whose memory stays within user-specified limits, plotted against
+// the known-N curve.
+type Figure5Result struct {
+	Plan   schedule.Plan
+	Points []Figure5Point
+}
+
+// Figure5 computes the curve. The user limits are chosen as in the paper's
+// narrative: keep early memory close to the known-N requirement (we cap at
+// 2× known-N at three early sizes) while allowing the full footprint later.
+func Figure5() (Figure5Result, error) {
+	var res Figure5Result
+	caps := map[uint64]uint64{}
+	var limits []schedule.Point
+	for _, n := range []uint64{10_000, 100_000, 1_000_000} {
+		kn, err := optimize.KnownN(Figure5Eps, Figure5Delta, n)
+		if err != nil {
+			return res, err
+		}
+		limits = append(limits, schedule.Point{N: n, MaxMemory: 2 * kn.Memory})
+		caps[n] = 2 * kn.Memory
+	}
+	plan, err := schedule.Find(Figure5Eps, Figure5Delta, limits, 0)
+	if err != nil {
+		return res, err
+	}
+	res.Plan = plan
+	for l := 3.0; l <= 10.0; l += 0.5 {
+		n := uint64(math.Round(math.Pow(10, l)))
+		kn, err := optimize.KnownN(Figure5Eps, Figure5Delta, n)
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, Figure5Point{
+			Log10N: l, N: n,
+			Scheduled: plan.MemoryAt(n),
+			KnownN:    kn.Memory,
+			UserCap:   caps[n],
+		})
+	}
+	return res, nil
+}
+
+// Render produces the figure's data series as a table.
+func (r Figure5Result) Render() Table {
+	t := Table{
+		Title: fmt.Sprintf("Figure 5: valid buffer allocation schedule within user limits, eps=%g delta=%g",
+			Figure5Eps, Figure5Delta),
+		Columns: []string{"log10(N)", "schedule (elements)", "known-N (elements)", "user cap"},
+		Notes: []string{
+			fmt.Sprintf("plan: b=%d k=%d onset height h=%d, thresholds (leaves) %v",
+				r.Plan.B, r.Plan.K, r.Plan.H, r.Plan.Thresholds),
+		},
+	}
+	for _, p := range r.Points {
+		cap := "-"
+		if p.UserCap > 0 {
+			cap = fmt.Sprint(p.UserCap)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", p.Log10N), fmt.Sprint(p.Scheduled), fmt.Sprint(p.KnownN), cap,
+		})
+	}
+	return t
+}

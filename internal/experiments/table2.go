@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/optimize"
+)
+
+// Table2Epsilons and Table2QuantileCounts define the grid of the paper's
+// Table 2 (memory as the number of simultaneous quantiles p grows, δ fixed
+// at 1e-3; the final column is the p-independent precomputation bound).
+var (
+	Table2Epsilons       = []float64{0.1, 0.05, 0.01, 0.005, 0.001}
+	Table2QuantileCounts = []int{1, 10, 100, 1000}
+	// Table2Delta is the fixed failure probability.
+	Table2Delta = 1e-3
+)
+
+// Table2Row is one ε line.
+type Table2Row struct {
+	Eps float64
+	// PerP[i] solves for p = Table2QuantileCounts[i] simultaneous
+	// quantiles (δ/p per-quantile budget).
+	PerP []optimize.Params
+	// Precompute is the p-independent upper bound: maintain ⌈1/ε⌉
+	// (ε/2)-approximate quantiles.
+	Precompute optimize.Params
+}
+
+// Table2Result reproduces paper Table 2.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 computes the grid.
+func Table2() (Table2Result, error) {
+	var res Table2Result
+	for _, eps := range Table2Epsilons {
+		row := Table2Row{Eps: eps}
+		for _, p := range Table2QuantileCounts {
+			sol, err := optimize.UnknownNMulti(eps, Table2Delta, p)
+			if err != nil {
+				return res, fmt.Errorf("eps=%v p=%d: %w", eps, p, err)
+			}
+			row.PerP = append(row.PerP, sol)
+		}
+		pre, err := optimize.PrecomputeBound(eps, Table2Delta)
+		if err != nil {
+			return res, fmt.Errorf("precompute eps=%v: %w", eps, err)
+		}
+		row.Precompute = pre
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// GrowthFactor returns, for the given row, memory(p=1000)/memory(p=1) — the
+// paper's point is that this is small (log log p dependence).
+func (r Table2Row) GrowthFactor() float64 {
+	return float64(r.PerP[len(r.PerP)-1].Memory) / float64(r.PerP[0].Memory)
+}
+
+// Render produces the paper-style table.
+func (r Table2Result) Render() Table {
+	cols := []string{"eps"}
+	for _, p := range Table2QuantileCounts {
+		cols = append(cols, fmt.Sprintf("p=%d", p))
+	}
+	cols = append(cols, "precompute (any p)", "growth p=1->1000")
+	t := Table{
+		Title:   fmt.Sprintf("Table 2: memory for multiple quantiles (delta = %g)", Table2Delta),
+		Columns: cols,
+		Notes: []string{
+			"memory grows O(log log p) with the number of quantiles requested",
+			"precompute column: 1/eps pre-computed (eps/2)-approximate quantiles, any p",
+		},
+	}
+	for _, row := range r.Rows {
+		cells := []string{f(row.Eps)}
+		for _, sol := range row.PerP {
+			cells = append(cells, kib(sol.Memory))
+		}
+		cells = append(cells, kib(row.Precompute.Memory), fmt.Sprintf("%.2fx", row.GrowthFactor()))
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/extreme"
+	"repro/internal/mrl98"
+	"repro/internal/multipass"
+	"repro/internal/optimize"
+	"repro/internal/reservoir"
+	"repro/internal/stream"
+)
+
+// ThroughputRow is one algorithm's measurement.
+type ThroughputRow struct {
+	Algorithm string
+	N         uint64
+	Elapsed   time.Duration
+	PerElem   time.Duration
+	MemElems  int
+}
+
+// ThroughputResult is the E-THR engineering experiment: ingest rate of each
+// algorithm at ε = 0.01, δ = 1e-3 (the precise benchmark numbers live in
+// the testing.B harness; this gives a quick comparable wall-clock view).
+type ThroughputResult struct {
+	Rows []ThroughputRow
+}
+
+// Throughput measures ingest of n uniform elements per algorithm.
+func Throughput(n uint64) (ThroughputResult, error) {
+	var res ThroughputResult
+	const eps, delta = 0.01, 1e-3
+	data := stream.Collect(stream.Uniform(n, 424242))
+
+	params, err := optimize.UnknownN(eps, delta)
+	if err != nil {
+		return res, err
+	}
+	run := func(name string, mem func() int, add func(float64)) {
+		start := time.Now()
+		for _, v := range data {
+			add(v)
+		}
+		elapsed := time.Since(start)
+		res.Rows = append(res.Rows, ThroughputRow{
+			Algorithm: name, N: n, Elapsed: elapsed,
+			PerElem: elapsed / time.Duration(n), MemElems: mem(),
+		})
+	}
+
+	sk, err := core.NewSketch[float64](core.Config{B: params.B, K: params.K, H: params.H, Seed: 1})
+	if err != nil {
+		return res, err
+	}
+	run("unknown-N sketch", sk.MemoryElements, sk.Add)
+
+	knCfg, err := mrl98.Plan(eps, delta, n)
+	if err != nil {
+		return res, err
+	}
+	kn, err := mrl98.New[float64](knCfg)
+	if err != nil {
+		return res, err
+	}
+	run("known-N [MRL98]", kn.MemoryElements, kn.Add)
+
+	rq, err := reservoir.NewQuantile[float64](eps, delta, 2)
+	if err != nil {
+		return res, err
+	}
+	run("reservoir baseline", rq.MemoryElements, rq.Add)
+
+	ex, err := extreme.NewEstimator[float64](0.01, 0.002, delta, n, 3)
+	if err != nil {
+		return res, err
+	}
+	run("extreme (phi=0.01)", ex.MemoryElements, ex.Add)
+
+	// The multi-pass EXACT baseline (paper Section 2.1): same memory as the
+	// unknown-N sketch, but it must re-scan the data several times — the
+	// cost the single-pass algorithms exist to avoid.
+	src := stream.FromSlice("throughput", data)
+	start := time.Now()
+	mres, err := multipass.Quantile(src, 0.5, int(params.Memory))
+	if err != nil {
+		return res, err
+	}
+	elapsed := time.Since(start)
+	res.Rows = append(res.Rows, ThroughputRow{
+		Algorithm: fmt.Sprintf("multipass exact (%d passes)", mres.Passes),
+		N:         n, Elapsed: elapsed,
+		PerElem:  elapsed / time.Duration(n),
+		MemElems: int(params.Memory),
+	})
+
+	return res, nil
+}
+
+// Render produces the experiment's table.
+func (r ThroughputResult) Render() Table {
+	t := Table{
+		Title:   "E-THR: single-thread ingest throughput (eps=0.01, delta=1e-3)",
+		Columns: []string{"algorithm", "N", "elapsed", "ns/element", "memory (elements)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Algorithm, fmt.Sprint(row.N), row.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprint(row.PerElem.Nanoseconds()), fmt.Sprint(row.MemElems),
+		})
+	}
+	return t
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+	"repro/internal/trace"
+)
+
+// TreeEvent is one observable transition of the collapse tree.
+type TreeEvent struct {
+	Leaves uint64 // completed New operations so far
+	Height int
+	Rate   uint64 // sampling rate in force for the next New
+}
+
+// TreesResult reproduces the structural content of the paper's Figures 2
+// and 3: the collapse-tree shape for b = 5 without sampling (Figure 2) and
+// with the non-uniform sampling schedule (Figure 3) — reported as the leaf
+// counts at which the height grows and the sampling rate doubles, plus a
+// rendered diagram of the actual tree.
+type TreesResult struct {
+	B, H      int
+	Events    []TreeEvent
+	LeafCheck []string // closed-form cross-checks
+	Diagram   string   // rendered collapse tree (compressed leaves)
+}
+
+// Trees drives a small unknown-N sketch and records every height increase.
+func Trees(b, h int, maxLeaves uint64) (TreesResult, error) {
+	res := TreesResult{B: b, H: h}
+	s, err := core.NewSketch[int](core.Config{B: b, K: 2, H: h, Seed: 1})
+	if err != nil {
+		return res, err
+	}
+	builder := trace.NewBuilder()
+	s.SetTracer(builder)
+	lastHeight := -1
+	i := 0
+	for s.Leaves() < maxLeaves {
+		s.Add(i)
+		i++
+		st := s.Stats()
+		if st.Height != lastHeight {
+			lastHeight = st.Height
+			res.Events = append(res.Events, TreeEvent{
+				Leaves: st.Leaves, Height: st.Height, Rate: st.SamplingRate,
+			})
+		}
+	}
+	res.Diagram = trace.Render(builder.Roots(), true)
+	summary := trace.Summary(builder.Roots())
+	for _, lvl := range trace.Levels(summary) {
+		res.LeafCheck = append(res.LeafCheck,
+			fmt.Sprintf("measured: %d leaves entered at level %d", summary[lvl], lvl))
+	}
+	ld, ls := optimize.LeafCounts(b, h)
+	res.LeafCheck = append(res.LeafCheck,
+		fmt.Sprintf("closed form: L_d = C(%d,%d) = %d leaves before height %d", b+h-1, h, ld, h),
+		fmt.Sprintf("closed form: L_s = C(%d,%d) = %d leaves per sampling level", b+h-2, h, ls),
+	)
+	return res, nil
+}
+
+// Render produces the trace as a table.
+func (r TreesResult) Render() Table {
+	t := Table{
+		Title:   fmt.Sprintf("Figures 2-3: collapse-tree growth for b=%d, sampling onset h=%d", r.B, r.H),
+		Columns: []string{"leaves", "tree height", "sampling rate (next New)"},
+		Notes:   r.LeafCheck,
+	}
+	for _, e := range r.Events {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(e.Leaves), fmt.Sprint(e.Height), fmt.Sprint(e.Rate),
+		})
+	}
+	return t
+}

@@ -1,0 +1,291 @@
+package extreme
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/optimize"
+	"repro/internal/stream"
+)
+
+func TestSolveValidation(t *testing.T) {
+	for _, tc := range []struct{ phi, eps, delta float64 }{
+		{0, 0.01, 0.01}, {1, 0.01, 0.01}, {0.01, 0, 0.01}, {0.01, 0.001, 0}, {0.01, 0.001, 1},
+	} {
+		if _, err := Solve(tc.phi, tc.eps, tc.delta); err == nil {
+			t.Errorf("Solve(%v) accepted", tc)
+		}
+	}
+}
+
+func TestSolveLowerTail(t *testing.T) {
+	p, err := Solve(0.01, 0.002, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Upper {
+		t.Error("phi=0.01 flagged upper")
+	}
+	if p.K < 1 || p.S < p.K {
+		t.Errorf("degenerate plan %+v", p)
+	}
+	// K ~ phi*S.
+	if ratio := float64(p.K) / float64(p.S); math.Abs(ratio-0.01) > 0.005 {
+		t.Errorf("K/S = %v, want ~0.01", ratio)
+	}
+}
+
+func TestSolveUpperTailMirrors(t *testing.T) {
+	lo, _ := Solve(0.05, 0.01, 0.001)
+	hi, err := Solve(0.95, 0.01, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hi.Upper {
+		t.Error("phi=0.95 not flagged upper")
+	}
+	if hi.K != lo.K || hi.S != lo.S {
+		t.Errorf("upper tail not symmetric: %+v vs %+v", hi, lo)
+	}
+}
+
+// TestMemoryFarBelowGeneralAlgorithm is the paper's Section 7 headline: for
+// small φ the extreme estimator's memory (K) undercuts the general
+// unknown-N algorithm's b·k by a large factor.
+func TestMemoryFarBelowGeneralAlgorithm(t *testing.T) {
+	phi, eps, delta := 0.01, 0.002, 0.0001
+	p, err := Solve(phi, eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := optimize.UnknownN(eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K*4 > gen.Memory {
+		t.Errorf("extreme memory %d not far below general %d", p.K, gen.Memory)
+	}
+}
+
+func TestEstimatorKnownNAccuracy(t *testing.T) {
+	const n = 200_000
+	const phi, eps, delta = 0.01, 0.005, 0.001
+	fails := 0
+	const trials = 20
+	for seed := uint64(1); seed <= trials; seed++ {
+		e, err := NewEstimator[float64](phi, eps, delta, n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := stream.Collect(stream.Uniform(n, seed+500))
+		e.AddAll(data)
+		got, err := e.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.RankError(data, got, phi, eps) != 0 {
+			fails++
+		}
+	}
+	// delta = 1e-3; even 1 failure in 20 trials would be a >5% rate.
+	if fails > 1 {
+		t.Errorf("%d/%d trials outside eps window (delta=%v)", fails, trials, delta)
+	}
+}
+
+func TestEstimatorUpperTailAccuracy(t *testing.T) {
+	const n = 200_000
+	const phi, eps, delta = 0.99, 0.005, 0.001
+	e, err := NewEstimator[float64](phi, eps, delta, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Normal(n, 7, 50, 10))
+	e.AddAll(data)
+	got, err := e.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rankErr := exact.RankError(data, got, phi, eps); rankErr != 0 {
+		t.Errorf("upper-tail estimate off by %d ranks", rankErr)
+	}
+}
+
+// TestEstimatorNoClampBias: when n is just above a multiple of S the
+// integer sampling rate makes the realized sample larger than S; the heap
+// must be sized for the realized sample or the query index clamps and the
+// estimate biases toward the tail (regression test for a real bug).
+func TestEstimatorNoClampBias(t *testing.T) {
+	const phi, eps, delta = 0.95, 0.01, 0.01
+	plan, err := Solve(phi, eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 2*plan.S + plan.S/10 // rate 2, realized sample ~5% above S
+	e, err := NewEstimator[float64](phi, eps, delta, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Uniform(n, 44))
+	e.AddAll(data)
+	got, err := e.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rankErr := exact.RankError(data, got, phi, eps); rankErr != 0 {
+		t.Errorf("estimate off by %d ranks at realized-sample overrun", rankErr)
+	}
+}
+
+func TestEstimatorMemoryIsK(t *testing.T) {
+	e, _ := NewEstimator[float64](0.01, 0.005, 0.001, 1_000_000, 1)
+	if e.MemoryElements() != int(e.Plan().K) {
+		t.Errorf("memory %d != K %d", e.MemoryElements(), e.Plan().K)
+	}
+}
+
+func TestEstimatorSmallStream(t *testing.T) {
+	// n < S forces rate 1: the sample is the whole stream and the estimate
+	// is near-exact. (S for these parameters is ~1.5k.)
+	const n = 1_000
+	e, err := NewEstimator[float64](0.05, 0.02, 0.01, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Plan().Rate != 1 {
+		t.Fatalf("rate %d for tiny stream", e.Plan().Rate)
+	}
+	data := stream.Collect(stream.Shuffled(n, 9))
+	e.AddAll(data)
+	got, _ := e.Query()
+	if exact.RankError(data, got, 0.05, 0.02) != 0 {
+		t.Error("small-stream estimate outside window")
+	}
+}
+
+func TestEstimatorEmptyAndPartial(t *testing.T) {
+	e, _ := NewEstimator[int](0.1, 0.05, 0.01, 1000, 1)
+	if _, err := e.Query(); err == nil {
+		t.Error("empty query accepted")
+	}
+	e.Add(42)
+	v, err := e.Query()
+	if err != nil || v != 42 {
+		t.Errorf("partial-block query = %v, %v", v, err)
+	}
+	if e.Count() != 1 {
+		t.Errorf("count %d", e.Count())
+	}
+}
+
+func TestEstimatorZeroN(t *testing.T) {
+	if _, err := NewEstimator[int](0.1, 0.05, 0.01, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestUnknownNAnytimeAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long accuracy test")
+	}
+	const phi, eps, delta = 0.01, 0.005, 0.001
+	u, err := NewUnknownN[float64](phi, eps, delta, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Exponential(300_000, 11, 1))
+	checkpoints := map[int]bool{10_000: true, 100_000: true, 300_000: true}
+	for i, v := range data {
+		u.Add(v)
+		if checkpoints[i+1] {
+			got, err := u.Query()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := exact.RankError(data[:i+1], got, phi, eps); e != 0 {
+				t.Errorf("prefix %d: estimate off by %d ranks", i+1, e)
+			}
+		}
+	}
+	if u.Count() != 300_000 {
+		t.Errorf("count %d", u.Count())
+	}
+}
+
+func TestUnknownNMemoryIsS(t *testing.T) {
+	u, _ := NewUnknownN[float64](0.01, 0.005, 0.001, 1)
+	if u.MemoryElements() != int(u.Plan().S) {
+		t.Errorf("memory %d != S %d", u.MemoryElements(), u.Plan().S)
+	}
+}
+
+func TestUnknownNEmpty(t *testing.T) {
+	u, _ := NewUnknownN[int](0.1, 0.05, 0.01, 1)
+	if _, err := u.Query(); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestBoundedHeapLowerTail(t *testing.T) {
+	h := newBoundedHeap[int](3, false)
+	for _, v := range []int{9, 1, 8, 2, 7, 3, 6, 4, 5} {
+		h.Offer(v)
+	}
+	// Keeps {1,2,3}; root (3rd smallest) = 3.
+	if v, ok := h.Root(); !ok || v != 3 {
+		t.Errorf("root = %v, %v", v, ok)
+	}
+	if h.Kth(1) != 1 || h.Kth(2) != 2 || h.Kth(3) != 3 {
+		t.Error("Kth wrong for lower tail")
+	}
+}
+
+func TestBoundedHeapUpperTail(t *testing.T) {
+	h := newBoundedHeap[int](3, true)
+	for _, v := range []int{5, 1, 9, 2, 8, 3, 7, 4, 6} {
+		h.Offer(v)
+	}
+	// Keeps {7,8,9}; root (3rd largest) = 7.
+	if v, ok := h.Root(); !ok || v != 7 {
+		t.Errorf("root = %v, %v", v, ok)
+	}
+	if h.Kth(1) != 9 || h.Kth(3) != 7 {
+		t.Error("Kth wrong for upper tail")
+	}
+}
+
+func TestBoundedHeapRandomAgainstSort(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		data := stream.Collect(stream.Uniform(500, seed))
+		for _, upper := range []bool{false, true} {
+			const k = 17
+			h := newBoundedHeap[float64](k, upper)
+			for _, v := range data {
+				h.Offer(v)
+			}
+			sorted := slices.Clone(data)
+			slices.Sort(sorted)
+			var want float64
+			if upper {
+				want = sorted[len(sorted)-k]
+			} else {
+				want = sorted[k-1]
+			}
+			if got, _ := h.Root(); got != want {
+				t.Fatalf("seed %d upper=%v: root %v, want %v", seed, upper, got, want)
+			}
+		}
+	}
+}
+
+func TestBoundedHeapEmpty(t *testing.T) {
+	h := newBoundedHeap[int](2, false)
+	if _, ok := h.Root(); ok {
+		t.Error("empty heap returned a root")
+	}
+	if h.Len() != 0 {
+		t.Error("empty heap non-zero length")
+	}
+}

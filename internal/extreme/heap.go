@@ -1,0 +1,111 @@
+package extreme
+
+import "cmp"
+
+// boundedHeap keeps the k smallest (or largest) elements offered to it,
+// using a binary max-heap (min-heap when keeping the largest) so the
+// boundary element — the estimator — is at the root.
+type boundedHeap[T cmp.Ordered] struct {
+	data []T
+	k    int
+	// upper: keep the k largest (root = minimum); otherwise keep the k
+	// smallest (root = maximum).
+	upper bool
+}
+
+func newBoundedHeap[T cmp.Ordered](k int, upper bool) *boundedHeap[T] {
+	return &boundedHeap[T]{data: make([]T, 0, k), k: k, upper: upper}
+}
+
+// before reports whether a beats b for the root position: the heap is a
+// max-heap when keeping the smallest elements and a min-heap otherwise.
+func (h *boundedHeap[T]) before(a, b T) bool {
+	if h.upper {
+		return a < b
+	}
+	return a > b
+}
+
+// Offer inserts v if it belongs among the k retained elements.
+func (h *boundedHeap[T]) Offer(v T) {
+	if len(h.data) < h.k {
+		h.data = append(h.data, v)
+		h.up(len(h.data) - 1)
+		return
+	}
+	// Root is the worst retained element; replace it if v is better.
+	if h.before(h.data[0], v) {
+		h.data[0] = v
+		h.down(0)
+	}
+}
+
+// Root returns the boundary element (k-th smallest/largest offered so far)
+// and whether the heap is non-empty.
+func (h *boundedHeap[T]) Root() (T, bool) {
+	if len(h.data) == 0 {
+		var zero T
+		return zero, false
+	}
+	return h.data[0], true
+}
+
+// Len returns the number of retained elements.
+func (h *boundedHeap[T]) Len() int { return len(h.data) }
+
+// Kth returns the boundary element when exactly j elements define the
+// estimate: the j-th smallest (largest) of the retained set, 1-based.
+// j must be in [1, Len()].
+func (h *boundedHeap[T]) Kth(j int) T {
+	// The heap is small (k elements); a partial selection is fine. We copy
+	// to avoid disturbing the heap order.
+	tmp := make([]T, len(h.data))
+	copy(tmp, h.data)
+	// Selection of the j-th from the root's direction: for a lower-tail
+	// heap (k smallest retained, max at root), the j-th smallest is the
+	// (len-j+1)-th from the max.
+	insertion(tmp)
+	if h.upper {
+		// tmp ascending; j-th largest:
+		return tmp[len(tmp)-j]
+	}
+	return tmp[j-1]
+}
+
+func insertion[T cmp.Ordered](a []T) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func (h *boundedHeap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(h.data[i], h.data[parent]) {
+			break
+		}
+		h.data[i], h.data[parent] = h.data[parent], h.data[i]
+		i = parent
+	}
+}
+
+func (h *boundedHeap[T]) down(i int) {
+	n := len(h.data)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.before(h.data[l], h.data[best]) {
+			best = l
+		}
+		if r < n && h.before(h.data[r], h.data[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.data[i], h.data[best] = h.data[best], h.data[i]
+		i = best
+	}
+}

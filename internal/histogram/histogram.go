@@ -1,0 +1,198 @@
+// Package histogram builds the paper's motivating database applications on
+// top of the quantile sketch (Section 1.1): equi-depth histograms — bucket
+// boundaries at the i/p-quantiles of a column — and splitters for value
+// range partitioning in parallel database systems. Because the underlying
+// sketch works without knowing the stream length, the histogram stays
+// accurate at all times over a dynamically growing table (Section 1.2).
+package histogram
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+)
+
+// EquiDepth maintains an approximate equi-depth histogram with p buckets
+// over a stream of unknown length. Boundaries are ε-approximate
+// (i/p)-quantiles, all simultaneously correct with probability ≥ 1−δ.
+type EquiDepth[T cmp.Ordered] struct {
+	sketch *core.Sketch[T]
+	p      int
+	min    T
+	max    T
+	hasAny bool
+}
+
+// Bucket is one histogram cell: values in (Lo, Hi] with an approximate
+// count (exactly n/p by construction, up to rank error ε·n).
+type Bucket[T cmp.Ordered] struct {
+	Lo, Hi T
+	Count  uint64
+}
+
+// New returns an equi-depth histogram with p ≥ 2 buckets. ε and δ are the
+// per-histogram guarantees; the sketch parameters are solved with the
+// failure budget split across the p−1 boundaries (paper Section 4.7).
+func New[T cmp.Ordered](p int, eps, delta float64, seed uint64) (*EquiDepth[T], error) {
+	if p < 2 {
+		return nil, fmt.Errorf("histogram: need at least 2 buckets, got %d", p)
+	}
+	params, err := optimize.UnknownNMulti(eps, delta, p-1)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.NewSketch[T](core.Config{B: params.B, K: params.K, H: params.H, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &EquiDepth[T]{sketch: s, p: p}, nil
+}
+
+// Add feeds one column value.
+func (h *EquiDepth[T]) Add(v T) {
+	if !h.hasAny || v < h.min {
+		h.min = v
+	}
+	if !h.hasAny || v > h.max {
+		h.max = v
+	}
+	h.hasAny = true
+	h.sketch.Add(v)
+}
+
+// Count returns the number of values consumed.
+func (h *EquiDepth[T]) Count() uint64 { return h.sketch.Count() }
+
+// MemoryElements returns the sketch's memory footprint in elements.
+func (h *EquiDepth[T]) MemoryElements() int { return h.sketch.MemoryElements() }
+
+// Boundaries returns the p−1 splitters: approximate (i/p)-quantiles for
+// i = 1..p−1. Callable at any time (online histogram maintenance).
+func (h *EquiDepth[T]) Boundaries() ([]T, error) {
+	phis := make([]float64, h.p-1)
+	for i := range phis {
+		phis[i] = float64(i+1) / float64(h.p)
+	}
+	return h.sketch.Query(phis)
+}
+
+// Buckets returns the full histogram: p buckets spanning [min, max] with
+// their (approximate) equal counts. The residual n mod p is assigned to the
+// final bucket.
+func (h *EquiDepth[T]) Buckets() ([]Bucket[T], error) {
+	bounds, err := h.Boundaries()
+	if err != nil {
+		return nil, err
+	}
+	n := h.sketch.Count()
+	per := n / uint64(h.p)
+	buckets := make([]Bucket[T], h.p)
+	lo := h.min
+	for i := 0; i < h.p; i++ {
+		hi := h.max
+		if i < h.p-1 {
+			hi = bounds[i]
+		}
+		count := per
+		if i == h.p-1 {
+			count = n - per*uint64(h.p-1)
+		}
+		buckets[i] = Bucket[T]{Lo: lo, Hi: hi, Count: count}
+		lo = hi
+	}
+	return buckets, nil
+}
+
+// Splitters returns p−1 values dividing the stream seen so far into p
+// approximately equal parts — the parallel-database partitioning primitive
+// (paper Section 1.1). It is an alias of Boundaries with its own name to
+// match the paper's terminology.
+func (h *EquiDepth[T]) Splitters() ([]T, error) { return h.Boundaries() }
+
+// State is a complete, serializable snapshot of an equi-depth histogram.
+type State[T cmp.Ordered] struct {
+	P        int
+	Min, Max T
+	HasAny   bool
+	Sketch   core.SketchState[T]
+}
+
+// Snapshot captures the histogram's complete state.
+func (h *EquiDepth[T]) Snapshot() State[T] {
+	return State[T]{
+		P: h.p, Min: h.min, Max: h.max, HasAny: h.hasAny,
+		Sketch: h.sketch.Snapshot(),
+	}
+}
+
+// Restore reconstructs a histogram from a snapshot.
+func Restore[T cmp.Ordered](st State[T]) (*EquiDepth[T], error) {
+	if st.P < 2 {
+		return nil, fmt.Errorf("histogram: snapshot has %d buckets", st.P)
+	}
+	sk, err := core.Restore(st.Sketch)
+	if err != nil {
+		return nil, err
+	}
+	return &EquiDepth[T]{
+		sketch: sk, p: st.P, min: st.Min, max: st.Max, hasAny: st.HasAny,
+	}, nil
+}
+
+// CDF estimates the fraction of values ≤ v from the histogram boundaries —
+// the building block of query-optimizer selectivity estimation (paper
+// Section 1.1). With p buckets and sketch error ε the estimate is within
+// 1/p + ε of the true fraction. Works for any ordered element type
+// (no numeric interpolation is attempted within buckets).
+func (h *EquiDepth[T]) CDF(v T) (float64, error) {
+	if !h.hasAny {
+		return 0, fmt.Errorf("histogram: CDF on empty histogram")
+	}
+	if v < h.min {
+		return 0, nil
+	}
+	if v >= h.max {
+		return 1, nil
+	}
+	bounds, err := h.Boundaries()
+	if err != nil {
+		return 0, err
+	}
+	// Boundaries are the (i/p)-quantiles; count how many lie at or below v
+	// and place v midway into the following bucket.
+	below := 0
+	for _, b := range bounds {
+		if b <= v {
+			below++
+		}
+	}
+	est := (float64(below) + 0.5) / float64(h.p)
+	if est > 1 {
+		est = 1
+	}
+	return est, nil
+}
+
+// Selectivity estimates the fraction of rows with lo < value ≤ hi — the
+// estimate a query optimizer needs for a range predicate. Accuracy is
+// within 2(1/p + ε).
+func (h *EquiDepth[T]) Selectivity(lo, hi T) (float64, error) {
+	if hi < lo {
+		return 0, fmt.Errorf("histogram: empty range (hi < lo)")
+	}
+	chi, err := h.CDF(hi)
+	if err != nil {
+		return 0, err
+	}
+	clo, err := h.CDF(lo)
+	if err != nil {
+		return 0, err
+	}
+	s := chi - clo
+	if s < 0 {
+		s = 0
+	}
+	return s, nil
+}

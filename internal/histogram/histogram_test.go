@@ -1,0 +1,209 @@
+package histogram
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[float64](1, 0.01, 0.001, 1); err == nil {
+		t.Error("p=1 accepted")
+	}
+	if _, err := New[float64](10, 0, 0.001, 1); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestBoundariesAreApproximateQuantiles(t *testing.T) {
+	const eps = 0.05
+	const p = 10
+	h, err := New[float64](p, eps, 0.001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Uniform(100_000, 4))
+	for _, v := range data {
+		h.Add(v)
+	}
+	bounds, err := h.Boundaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != p-1 {
+		t.Fatalf("%d boundaries for %d buckets", len(bounds), p)
+	}
+	if !slices.IsSorted(bounds) {
+		t.Errorf("boundaries not sorted: %v", bounds)
+	}
+	for i, b := range bounds {
+		phi := float64(i+1) / p
+		if e := exact.RankError(data, b, phi, eps); e != 0 {
+			t.Errorf("boundary %d (phi=%v) off by %d ranks", i, phi, e)
+		}
+	}
+}
+
+func TestBucketsPartitionRange(t *testing.T) {
+	const p = 8
+	h, err := New[int](p, 0.05, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50_000; i++ {
+		h.Add((i * 7919) % 50_000)
+	}
+	buckets, err := h.Buckets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != p {
+		t.Fatalf("%d buckets", len(buckets))
+	}
+	if buckets[0].Lo != 0 || buckets[p-1].Hi != 49_999 {
+		t.Errorf("range endpoints wrong: [%d, %d]", buckets[0].Lo, buckets[p-1].Hi)
+	}
+	var total uint64
+	for i, b := range buckets {
+		if i > 0 && b.Lo != buckets[i-1].Hi {
+			t.Errorf("bucket %d not contiguous: lo=%v prev hi=%v", i, b.Lo, buckets[i-1].Hi)
+		}
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Errorf("bucket counts sum to %d, want %d", total, h.Count())
+	}
+}
+
+// TestOnlineHistogramOverGrowingTable is the paper's Section 1.2 scenario:
+// the histogram must be accurate at every table size.
+func TestOnlineHistogramOverGrowingTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long accuracy test")
+	}
+	const eps = 0.05
+	h, err := New[float64](5, eps, 0.001, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Exponential(200_000, 8, 1))
+	checkpoints := map[int]bool{1_000: true, 25_000: true, 200_000: true}
+	for i, v := range data {
+		h.Add(v)
+		if checkpoints[i+1] {
+			bounds, err := h.Boundaries()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, b := range bounds {
+				phi := float64(j+1) / 5
+				if e := exact.RankError(data[:i+1], b, phi, eps); e != 0 {
+					t.Errorf("n=%d boundary %d off by %d ranks", i+1, j, e)
+				}
+			}
+		}
+	}
+}
+
+func TestSplittersAliasBoundaries(t *testing.T) {
+	h, _ := New[int](4, 0.1, 0.01, 9)
+	for i := 0; i < 1000; i++ {
+		h.Add(i)
+	}
+	b, err1 := h.Boundaries()
+	s, err2 := h.Splitters()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !slices.Equal(b, s) {
+		t.Errorf("splitters %v != boundaries %v", s, b)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h, _ := New[int](4, 0.1, 0.01, 9)
+	if _, err := h.Boundaries(); err == nil {
+		t.Error("empty histogram boundaries accepted")
+	}
+	if _, err := h.Buckets(); err == nil {
+		t.Error("empty histogram buckets accepted")
+	}
+}
+
+func TestCDFUniform(t *testing.T) {
+	const p = 20
+	const eps = 0.01
+	h, err := New[float64](p, eps, 0.001, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Uniform(200_000, 22))
+	for _, v := range data {
+		h.Add(v)
+	}
+	tol := 1.0/p + eps + 0.01
+	for _, v := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got, err := h.CDF(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := got - v; diff > tol || diff < -tol {
+			t.Errorf("CDF(%v) = %v, want within %v", v, got, tol)
+		}
+	}
+	// Extremes.
+	if c, _ := h.CDF(-1); c != 0 {
+		t.Errorf("CDF below min = %v", c)
+	}
+	if c, _ := h.CDF(2); c != 1 {
+		t.Errorf("CDF above max = %v", c)
+	}
+}
+
+func TestSelectivityRangePredicate(t *testing.T) {
+	const p = 20
+	h, err := New[float64](p, 0.01, 0.001, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range stream.Collect(stream.Uniform(200_000, 24)) {
+		h.Add(v)
+	}
+	got, err := h.Selectivity(0.2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.3-0.13 || got > 0.3+0.13 {
+		t.Errorf("selectivity(0.2,0.5] = %v, want ~0.3", got)
+	}
+	// Degenerate ranges.
+	if s, _ := h.Selectivity(0.5, 0.5); s != 0 {
+		t.Errorf("empty range selectivity %v", s)
+	}
+	if _, err := h.Selectivity(0.5, 0.2); err == nil {
+		t.Error("inverted range accepted")
+	}
+	// Full range.
+	if s, _ := h.Selectivity(-1, 2); s < 0.95 {
+		t.Errorf("full-range selectivity %v", s)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	h, _ := New[float64](4, 0.1, 0.01, 25)
+	if _, err := h.CDF(1); err == nil {
+		t.Error("CDF on empty histogram accepted")
+	}
+}
+
+func TestMemoryBounded(t *testing.T) {
+	h, _ := New[float64](10, 0.05, 0.01, 11)
+	for i := 0; i < 500_000; i++ {
+		h.Add(float64(i % 1000))
+	}
+	if m := h.MemoryElements(); m > 100_000 {
+		t.Errorf("histogram memory %d elements not sketch-sized", m)
+	}
+}

@@ -1,0 +1,166 @@
+// Package ingest parses numeric columns out of text inputs — the path from
+// real files (CSV exports, log-derived TSVs, plain number-per-line dumps)
+// into the quantile algorithms. It streams: nothing is buffered beyond one
+// record, so arbitrarily large files flow through the sketches in one pass.
+package ingest
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Options configures a column reader.
+type Options struct {
+	// Column selects which field to parse. For CSV: a 0-based index, or a
+	// header name when Header is true. For plain input it is ignored.
+	Column string
+	// Header indicates the first CSV record is a header row.
+	Header bool
+	// Comma is the CSV field separator (default ',').
+	Comma rune
+	// SkipBad skips unparseable values instead of failing. Skipped counts
+	// are reported by the reader.
+	SkipBad bool
+}
+
+// Reader streams float64 values from a text source.
+type Reader struct {
+	next    func() (float64, bool, error)
+	skipped uint64
+	read    uint64
+}
+
+// Next returns the next value; ok=false at end of input.
+func (r *Reader) Next() (v float64, ok bool, err error) {
+	v, ok, err = r.next()
+	if ok {
+		r.read++
+	}
+	return
+}
+
+// Skipped returns the number of unparseable values skipped (SkipBad mode).
+func (r *Reader) Skipped() uint64 { return r.skipped }
+
+// Count returns the number of values successfully read.
+func (r *Reader) Count() uint64 { return r.read }
+
+// Drain feeds every remaining value to add.
+func (r *Reader) Drain(add func(float64)) error {
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		add(v)
+	}
+}
+
+// Plain returns a Reader over whitespace-separated numbers.
+func Plain(src io.Reader, opts Options) *Reader {
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	sc.Split(bufio.ScanWords)
+	r := &Reader{}
+	token := 0
+	r.next = func() (float64, bool, error) {
+		for sc.Scan() {
+			token++
+			v, err := strconv.ParseFloat(sc.Text(), 64)
+			if err != nil {
+				if opts.SkipBad {
+					r.skipped++
+					continue
+				}
+				return 0, false, fmt.Errorf("ingest: token %d: %v", token, err)
+			}
+			return v, true, nil
+		}
+		return 0, false, sc.Err()
+	}
+	return r
+}
+
+// CSV returns a Reader over one column of CSV input.
+func CSV(src io.Reader, opts Options) (*Reader, error) {
+	cr := csv.NewReader(src)
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	col := 0
+	if opts.Header {
+		header, err := cr.Read()
+		if err != nil {
+			return nil, fmt.Errorf("ingest: reading CSV header: %w", err)
+		}
+		found := false
+		for i, name := range header {
+			if strings.EqualFold(strings.TrimSpace(name), strings.TrimSpace(opts.Column)) {
+				col = i
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Fall back to a numeric column spec even with a header.
+			idx, err := strconv.Atoi(opts.Column)
+			if err != nil {
+				return nil, fmt.Errorf("ingest: column %q not in header %v", opts.Column, header)
+			}
+			col = idx
+		}
+	} else if opts.Column != "" {
+		idx, err := strconv.Atoi(opts.Column)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: without a header, -column must be a 0-based index: %v", err)
+		}
+		col = idx
+	}
+	if col < 0 {
+		return nil, fmt.Errorf("ingest: negative column index %d", col)
+	}
+
+	r := &Reader{}
+	line := 0
+	if opts.Header {
+		line = 1
+	}
+	r.next = func() (float64, bool, error) {
+		for {
+			rec, err := cr.Read()
+			if err == io.EOF {
+				return 0, false, nil
+			}
+			if err != nil {
+				return 0, false, fmt.Errorf("ingest: %v", err)
+			}
+			line++
+			if col >= len(rec) {
+				if opts.SkipBad {
+					r.skipped++
+					continue
+				}
+				return 0, false, fmt.Errorf("ingest: line %d has %d fields, want column %d", line, len(rec), col)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[col]), 64)
+			if err != nil {
+				if opts.SkipBad {
+					r.skipped++
+					continue
+				}
+				return 0, false, fmt.Errorf("ingest: line %d column %d: %v", line, col, err)
+			}
+			return v, true, nil
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,161 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+)
+
+func collect(t *testing.T, r *Reader) []float64 {
+	t.Helper()
+	var out []float64
+	if err := r.Drain(func(v float64) { out = append(out, v) }); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPlainBasic(t *testing.T) {
+	r := Plain(strings.NewReader("1 2.5\n-3\t4e2"), Options{})
+	got := collect(t, r)
+	want := []float64{1, 2.5, -3, 400}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %v", i, got[i])
+		}
+	}
+	if r.Count() != 4 || r.Skipped() != 0 {
+		t.Errorf("count=%d skipped=%d", r.Count(), r.Skipped())
+	}
+}
+
+func TestPlainBadToken(t *testing.T) {
+	r := Plain(strings.NewReader("1 apple 3"), Options{})
+	if err := r.Drain(func(float64) {}); err == nil {
+		t.Error("bad token accepted")
+	}
+	r = Plain(strings.NewReader("1 apple 3"), Options{SkipBad: true})
+	got := collect(t, r)
+	if len(got) != 2 || r.Skipped() != 1 {
+		t.Errorf("skip mode: %v skipped=%d", got, r.Skipped())
+	}
+}
+
+func TestPlainEmpty(t *testing.T) {
+	if got := collect(t, Plain(strings.NewReader(""), Options{})); len(got) != 0 {
+		t.Errorf("empty input gave %v", got)
+	}
+}
+
+const salesCSV = `region,amount,qty
+east,10.5,1
+west,20.25,2
+east,30,3
+`
+
+func TestCSVByHeaderName(t *testing.T) {
+	r, err := CSV(strings.NewReader(salesCSV), Options{Column: "amount", Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, r)
+	if len(got) != 3 || got[0] != 10.5 || got[2] != 30 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCSVByIndex(t *testing.T) {
+	r, err := CSV(strings.NewReader(salesCSV), Options{Column: "2", Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, r)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCSVNoHeader(t *testing.T) {
+	r, err := CSV(strings.NewReader("1,10\n2,20\n"), Options{Column: "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, r)
+	if len(got) != 2 || got[1] != 20 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCSVUnknownColumn(t *testing.T) {
+	if _, err := CSV(strings.NewReader(salesCSV), Options{Column: "price", Header: true}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestCSVBadColumnSpec(t *testing.T) {
+	if _, err := CSV(strings.NewReader("1,2\n"), Options{Column: "amount"}); err == nil {
+		t.Error("name column without header accepted")
+	}
+	if _, err := CSV(strings.NewReader("1,2\n"), Options{Column: "-1"}); err == nil {
+		t.Error("negative column accepted")
+	}
+}
+
+func TestCSVBadValue(t *testing.T) {
+	bad := "region,amount\neast,oops\nwest,2\n"
+	r, err := CSV(strings.NewReader(bad), Options{Column: "amount", Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Drain(func(float64) {}); err == nil {
+		t.Error("bad value accepted")
+	}
+	r, _ = CSV(strings.NewReader(bad), Options{Column: "amount", Header: true, SkipBad: true})
+	got := collect(t, r)
+	if len(got) != 1 || got[0] != 2 || r.Skipped() != 1 {
+		t.Errorf("skip mode: %v skipped=%d", got, r.Skipped())
+	}
+}
+
+func TestCSVShortRecord(t *testing.T) {
+	data := "a,b\n1,2\n3\n"
+	r, _ := CSV(strings.NewReader(data), Options{Column: "b", Header: true})
+	if err := r.Drain(func(float64) {}); err == nil {
+		t.Error("short record accepted")
+	}
+	r, _ = CSV(strings.NewReader(data), Options{Column: "b", Header: true, SkipBad: true})
+	got := collect(t, r)
+	if len(got) != 1 || r.Skipped() != 1 {
+		t.Errorf("skip mode: %v skipped=%d", got, r.Skipped())
+	}
+}
+
+func TestCSVCustomComma(t *testing.T) {
+	r, err := CSV(strings.NewReader("x;y\n1;2\n"), Options{Column: "y", Header: true, Comma: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, r)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCSVHeaderOnEmpty(t *testing.T) {
+	if _, err := CSV(strings.NewReader(""), Options{Column: "x", Header: true}); err == nil {
+		t.Error("empty input with header accepted")
+	}
+}
+
+func TestCSVWhitespaceTrim(t *testing.T) {
+	r, err := CSV(strings.NewReader("v\n 3.5 \n"), Options{Column: "v", Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, r)
+	if len(got) != 1 || got[0] != 3.5 {
+		t.Errorf("got %v", got)
+	}
+}

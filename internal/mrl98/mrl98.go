@@ -1,0 +1,163 @@
+// Package mrl98 implements the known-N algorithms of the framework paper
+// [MRL98] that this paper's Table 1 and Figure 4 compare against: the
+// deterministic collapse-tree algorithm (Munro–Paterson, Alsabti–Ranka–Singh
+// and the MRL "new algorithm" are its policy instances) and its randomized
+// variant that feeds the tree a uniform block sample of fixed rate r chosen
+// from the advance knowledge of N.
+//
+// Unlike the unknown-N sketch in internal/core, these algorithms commit to a
+// sampling rate up front; if the stream turns out longer than declared, the
+// error guarantee is void (the Overflowed flag reports this).
+package mrl98
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/optimize"
+	"repro/internal/policy"
+	"repro/internal/rng"
+)
+
+// Config fixes a known-N sketch layout. Callers normally obtain one from
+// Plan; the fields are exposed for experiments.
+type Config struct {
+	// B buffers of K elements.
+	B, K int
+	// Rate is the fixed uniform block-sampling rate (1 = deterministic).
+	Rate uint64
+	// DeclaredN is the stream length the layout was sized for.
+	DeclaredN uint64
+	// Policy is the collapse policy; nil selects the MRL policy.
+	Policy policy.Policy
+	// Seed drives the sampling decisions.
+	Seed uint64
+}
+
+// Plan solves for a known-N layout: the cheaper of the deterministic and
+// sampling modes for a stream of exactly n elements (paper Section 4.6 /
+// Figure 4 baseline).
+func Plan(eps, delta float64, n uint64) (Config, error) {
+	p, err := optimize.KnownN(eps, delta, n)
+	if err != nil {
+		return Config{}, err
+	}
+	rate := p.Rate
+	if rate == 0 {
+		rate = optimize.SamplingRate(p, n)
+	}
+	return Config{B: p.B, K: p.K, Rate: rate, DeclaredN: n}, nil
+}
+
+// Sketch is a known-N ε-approximate quantile sketch.
+type Sketch[T cmp.Ordered] struct {
+	cfg  Config
+	tree *core.Tree[T]
+	rg   *rng.RNG
+
+	fill    *buffer.Filler[T]
+	fillBuf *buffer.Buffer[T]
+	n       uint64
+
+	snap *buffer.Buffer[T]
+}
+
+// New builds a known-N sketch from an explicit layout.
+func New[T cmp.Ordered](cfg Config) (*Sketch[T], error) {
+	if cfg.Rate == 0 {
+		cfg.Rate = 1
+	}
+	tree, err := core.NewTree[T](cfg.K, cfg.B, cfg.Policy, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch[T]{cfg: cfg, tree: tree, rg: rng.New(cfg.Seed)}, nil
+}
+
+// Add feeds one element. All leaves enter the tree at level 0 with the
+// fixed sampling rate.
+func (s *Sketch[T]) Add(v T) {
+	if s.fill == nil {
+		buf := s.tree.AcquireEmpty()
+		buf.Level = 0
+		s.fill = buffer.StartFill(buf, s.cfg.Rate, s.rg)
+		s.fillBuf = buf
+	}
+	if s.fill.Push(v) {
+		s.tree.LeafDone(s.fillBuf)
+		s.fill = nil
+		s.fillBuf = nil
+	}
+	s.n++
+}
+
+// AddAll feeds a slice of elements.
+func (s *Sketch[T]) AddAll(vs []T) {
+	for _, v := range vs {
+		s.Add(v)
+	}
+}
+
+// Count returns the number of elements consumed.
+func (s *Sketch[T]) Count() uint64 { return s.n }
+
+// Overflowed reports whether the stream exceeded the declared N, voiding
+// the approximation guarantee.
+func (s *Sketch[T]) Overflowed() bool {
+	return s.cfg.DeclaredN > 0 && s.n > s.cfg.DeclaredN
+}
+
+// Query returns the current estimates for the given quantiles in request
+// order (the Output operation). Like the unknown-N sketch it is
+// non-destructive and callable at any time.
+func (s *Sketch[T]) Query(phis []float64) ([]T, error) {
+	if s.n == 0 {
+		return nil, fmt.Errorf("mrl98: query on empty sketch")
+	}
+	bufs := s.tree.NonEmpty()
+	if s.fill != nil && s.fill.Pending() > 0 {
+		if s.snap == nil {
+			s.snap = buffer.New[T](s.cfg.K)
+		}
+		s.fill.Snapshot(s.snap)
+		bufs = append(bufs, s.snap)
+	}
+	return buffer.Output(bufs, phis)
+}
+
+// QueryOne returns the estimate for a single quantile.
+func (s *Sketch[T]) QueryOne(phi float64) (T, error) {
+	out, err := s.Query([]float64{phi})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return out[0], nil
+}
+
+// MemoryElements returns the allocated element slots (plus the query
+// snapshot buffer once used).
+func (s *Sketch[T]) MemoryElements() int {
+	m := s.tree.MemoryElements()
+	if s.snap != nil {
+		m += s.cfg.K
+	}
+	return m
+}
+
+// Height returns the collapse-tree height.
+func (s *Sketch[T]) Height() int { return s.tree.Height() }
+
+// Config returns the sketch layout.
+func (s *Sketch[T]) Config() Config { return s.cfg }
+
+// Reset clears the sketch for reuse, retaining buffer memory.
+func (s *Sketch[T]) Reset() {
+	s.tree.Reset(true)
+	s.rg = rng.New(s.cfg.Seed)
+	s.fill = nil
+	s.fillBuf = nil
+	s.n = 0
+}

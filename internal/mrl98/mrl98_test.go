@@ -1,0 +1,270 @@
+package mrl98
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/policy"
+	"repro/internal/stream"
+)
+
+var testPhis = []float64{0.01, 0.1, 0.5, 0.9, 0.99}
+
+func TestPlanModes(t *testing.T) {
+	small, err := Plan(0.01, 1e-4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Rate != 1 {
+		t.Errorf("small-n plan rate = %d, want 1", small.Rate)
+	}
+	big, err := Plan(0.01, 1e-4, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Rate < 2 {
+		t.Errorf("big-n plan rate = %d, want sampling", big.Rate)
+	}
+	if uint64(big.B)*uint64(big.K) >= 1<<40 {
+		t.Error("big-n plan memory absurd")
+	}
+}
+
+// TestDeterministicGuarantee: with rate 1 and planned parameters, every
+// prefix's estimates must be within εN of exact — with probability one.
+func TestDeterministicGuarantee(t *testing.T) {
+	const eps = 0.05
+	const n = 20_000
+	cfg, err := Plan(eps, 1e-3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Rate != 1 {
+		t.Fatalf("expected deterministic plan for n=%d, got rate %d", n, cfg.Rate)
+	}
+	for _, src := range []stream.Source{
+		stream.Shuffled(n, 1),
+		stream.Sorted(n),
+		stream.Reversed(n),
+		stream.BlockAdversarial(n, 1, 512),
+	} {
+		s, err := New[float64](cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := stream.Collect(src)
+		for i, v := range data {
+			s.Add(v)
+			if i%4999 == 0 || i == len(data)-1 {
+				got, err := s.Query(testPhis)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j, phi := range testPhis {
+					if e := exact.RankError(data[:i+1], got[j], phi, eps); e != 0 {
+						t.Errorf("%s prefix %d phi=%v: off by %d ranks", src.Name(), i+1, phi, e)
+					}
+				}
+			}
+		}
+		if s.Overflowed() {
+			t.Errorf("%s: overflow flagged at declared n", src.Name())
+		}
+	}
+}
+
+// TestSamplingAccuracy: the randomized known-N algorithm at its planned
+// parameters stays within ε at the declared N (failure probability at these
+// parameters is far below the per-seed test count).
+func TestSamplingAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long accuracy test")
+	}
+	const eps = 0.05
+	const n = 500_000
+	cfg, err := Plan(eps, 1e-3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Rate < 2 {
+		t.Fatalf("expected sampling plan for n=%d (b=%d k=%d rate=%d)", n, cfg.B, cfg.K, cfg.Rate)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg.Seed = seed
+		s, err := New[float64](cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := stream.Collect(stream.Uniform(n, seed+100))
+		s.AddAll(data)
+		got, err := s.Query(testPhis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, phi := range testPhis {
+			if e := exact.RankError(data, got[j], phi, eps); e != 0 {
+				t.Errorf("seed %d phi=%v: off by %d ranks", seed, phi, e)
+			}
+		}
+	}
+}
+
+func TestOverflowFlag(t *testing.T) {
+	cfg := Config{B: 3, K: 16, Rate: 1, DeclaredN: 100}
+	s, err := New[int](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Add(i)
+	}
+	if s.Overflowed() {
+		t.Error("overflow at exactly declared N")
+	}
+	s.Add(101)
+	if !s.Overflowed() {
+		t.Error("overflow not flagged")
+	}
+}
+
+func TestUndeclaredNNeverOverflows(t *testing.T) {
+	s, _ := New[int](Config{B: 3, K: 8, Rate: 2})
+	for i := 0; i < 1000; i++ {
+		s.Add(i)
+	}
+	if s.Overflowed() {
+		t.Error("overflow flagged with DeclaredN=0")
+	}
+}
+
+func TestDefaultRate(t *testing.T) {
+	s, err := New[int](Config{B: 3, K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config().Rate != 1 {
+		t.Errorf("default rate = %d", s.Config().Rate)
+	}
+}
+
+func TestQueryEmpty(t *testing.T) {
+	s, _ := New[int](Config{B: 3, K: 8, Rate: 1})
+	if _, err := s.Query([]float64{0.5}); err == nil {
+		t.Error("query on empty sketch should error")
+	}
+}
+
+func TestResetReproduces(t *testing.T) {
+	s, _ := New[float64](Config{B: 4, K: 32, Rate: 4, Seed: 9})
+	feed := func() {
+		for i := 0; i < 50_000; i++ {
+			s.Add(float64((i * 17) % 9973))
+		}
+	}
+	feed()
+	first, err := s.Query(testPhis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	feed()
+	second, _ := s.Query(testPhis)
+	if !slices.Equal(first, second) {
+		t.Errorf("reset run differs: %v vs %v", first, second)
+	}
+}
+
+func TestPolicyVariants(t *testing.T) {
+	// All three framework instances must deliver ε accuracy in the
+	// deterministic regime with adequate parameters.
+	const eps = 0.05
+	const n = 10_000
+	data := stream.Collect(stream.Shuffled(n, 5))
+	for _, pol := range []policy.Policy{policy.MRL(), policy.MunroPaterson(), policy.ARS()} {
+		s, err := New[float64](Config{B: 10, K: 200, Rate: 1, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AddAll(data)
+		med, err := s.QueryOne(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := exact.RankError(data, med, 0.5, eps); e != 0 {
+			t.Errorf("policy %s: median off by %d ranks", pol.Name(), e)
+		}
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	s, _ := New[int](Config{B: 4, K: 16, Rate: 1})
+	if s.MemoryElements() != 0 {
+		t.Error("memory before any input")
+	}
+	for i := 0; i < 1000; i++ {
+		s.Add(i)
+	}
+	if m := s.MemoryElements(); m > (4+1)*16 {
+		t.Errorf("memory %d exceeds b*k + snapshot", m)
+	}
+	if s.Height() == 0 {
+		t.Error("height never grew")
+	}
+}
+
+func TestSnapshotRestoreDirect(t *testing.T) {
+	s, _ := New[float64](Config{B: 4, K: 11, Rate: 3, DeclaredN: 9999, Seed: 4})
+	data := stream.Collect(stream.Uniform(5_003, 5)) // mid-fill, mid-block
+	s.AddAll(data)
+	if s.Count() != 5_003 {
+		t.Fatalf("count %d", s.Count())
+	}
+	st := s.Snapshot()
+	r, err := Restore[float64](st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	more := stream.Collect(stream.Normal(1_000, 6, 0, 1))
+	s.AddAll(more)
+	r.AddAll(more)
+	a, _ := s.Query(testPhis)
+	b, _ := r.Query(testPhis)
+	if !slices.Equal(a, b) {
+		t.Errorf("restored sketch diverged: %v vs %v", a, b)
+	}
+	// Validation paths.
+	bad := st
+	bad.PolicyName = "zzz"
+	if _, err := Restore[float64](bad); err == nil {
+		t.Error("bad policy accepted")
+	}
+	bad = st
+	bad.RNG = [4]uint64{}
+	if _, err := Restore[float64](bad); err == nil {
+		t.Error("zero RNG accepted")
+	}
+	if st.Fill != nil {
+		bad = st
+		f := *st.Fill
+		f.BufferIndex = 99
+		bad.Fill = &f
+		if _, err := Restore[float64](bad); err == nil {
+			t.Error("bad fill index accepted")
+		}
+	}
+}
+
+func TestMidFillQuery(t *testing.T) {
+	s, _ := New[int](Config{B: 3, K: 10, Rate: 3, Seed: 2})
+	for i := 0; i < 7; i++ { // mid-block, mid-buffer
+		s.Add(i)
+	}
+	v, err := s.QueryOne(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 || v > 6 {
+		t.Errorf("mid-fill query returned out-of-range %d", v)
+	}
+}

@@ -1,0 +1,88 @@
+package mrl98
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// State is a complete, serializable snapshot of a known-N sketch.
+type State[T cmp.Ordered] struct {
+	// Layout.
+	B, K       int
+	Rate       uint64
+	DeclaredN  uint64
+	PolicyName string
+	Seed       uint64
+
+	// Progress.
+	N    uint64
+	Tree core.TreeState[T]
+	Fill *core.FillState[T]
+	RNG  [4]uint64
+}
+
+// Snapshot captures the sketch's complete state (element slices copied).
+func (s *Sketch[T]) Snapshot() State[T] {
+	polName := "mrl"
+	if s.cfg.Policy != nil {
+		polName = s.cfg.Policy.Name()
+	}
+	st := State[T]{
+		B: s.cfg.B, K: s.cfg.K,
+		Rate: s.cfg.Rate, DeclaredN: s.cfg.DeclaredN,
+		PolicyName: polName, Seed: s.cfg.Seed,
+		N:    s.n,
+		Tree: s.tree.SnapshotTree(),
+		RNG:  s.rg.State(),
+	}
+	if s.fill != nil {
+		inBlock, keep := s.fill.Progress()
+		st.Fill = &core.FillState[T]{
+			BufferIndex: s.tree.IndexOf(s.fillBuf),
+			InBlock:     inBlock, Keep: keep, HasKeep: inBlock > 0,
+		}
+	}
+	return st
+}
+
+// Restore reconstructs a known-N sketch from a snapshot.
+func Restore[T cmp.Ordered](st State[T]) (*Sketch[T], error) {
+	pol, err := policy.ByName(st.PolicyName)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := New[T](Config{
+		B: st.B, K: st.K, Rate: st.Rate, DeclaredN: st.DeclaredN,
+		Policy: pol, Seed: st.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.RNG == ([4]uint64{}) {
+		return nil, fmt.Errorf("mrl98: snapshot has empty RNG state")
+	}
+	sk.rg.SetState(st.RNG)
+	sk.n = st.N
+	if err := sk.tree.RestoreTree(st.Tree); err != nil {
+		return nil, err
+	}
+	if st.Fill != nil {
+		fb := sk.tree.BufferAt(st.Fill.BufferIndex)
+		if fb == nil {
+			return nil, fmt.Errorf("mrl98: fill buffer index %d out of range", st.Fill.BufferIndex)
+		}
+		if fb.State != buffer.Empty || fb.Weight == 0 {
+			return nil, fmt.Errorf("mrl98: fill buffer %d not in mid-fill state", st.Fill.BufferIndex)
+		}
+		if st.Fill.InBlock >= fb.Weight {
+			return nil, fmt.Errorf("mrl98: fill progress %d exceeds rate %d", st.Fill.InBlock, fb.Weight)
+		}
+		sk.fillBuf = fb
+		sk.fill = buffer.ResumeFill(fb, st.Fill.InBlock, st.Fill.Keep, sk.rg)
+	}
+	return sk, nil
+}

@@ -1,0 +1,178 @@
+// Package multipass computes EXACT order statistics of a re-scannable
+// stream under a fixed memory budget by making several passes — the
+// Munro–Paterson regime the paper cites as its antecedent (Section 2.1:
+// Θ(N^(1/p)) memory is necessary and sufficient for exact selection in p
+// passes). It is the "if you can afford re-scans you don't need
+// approximation" baseline that motivates the single-pass algorithms.
+//
+// The implementation narrows a value interval known to contain the target
+// rank: each pass histograms the interval into m bins, descends into the
+// bin containing the target, and accumulates the rank offset of everything
+// below it; when the surviving elements fit in memory they are collected
+// and selected exactly. (The paper's bound is for comparison-based
+// algorithms; this value-binning variant assumes numeric elements and
+// converges in ~log_m(spread) passes, degenerating gracefully on
+// duplicate-heavy data by detecting single-valued intervals.)
+package multipass
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+// Result carries the selected value and the pass count.
+type Result struct {
+	Value  float64
+	Passes int
+}
+
+// MaxPasses bounds the interval-narrowing loop; hitting it indicates
+// adversarial values (e.g. denormal-scale clustering) rather than normal
+// operation.
+const MaxPasses = 128
+
+// Quantile returns the exact φ-quantile of src using at most memory stored
+// element values, resetting and re-reading src as needed.
+func Quantile(src stream.Source, phi float64, memory int) (Result, error) {
+	n := src.Len()
+	if n == 0 {
+		return Result{}, fmt.Errorf("multipass: empty source")
+	}
+	if phi <= 0 || phi > 1 {
+		return Result{}, fmt.Errorf("multipass: phi %v out of (0,1]", phi)
+	}
+	k := uint64(exact.QuantileIndex(int(min(n, 1<<62)), phi)) + 1
+	return Select(src, k, memory)
+}
+
+// Select returns the exact k-th smallest element (1-based) of src using at
+// most memory stored element values.
+func Select(src stream.Source, k uint64, memory int) (Result, error) {
+	n := src.Len()
+	if n == 0 {
+		return Result{}, fmt.Errorf("multipass: empty source")
+	}
+	if k < 1 || k > n {
+		return Result{}, fmt.Errorf("multipass: rank %d out of [1, %d]", k, n)
+	}
+	if memory < 8 {
+		return Result{}, fmt.Errorf("multipass: memory budget %d too small (need >= 8)", memory)
+	}
+
+	lo := math.Inf(-1) // exclusive
+	hi := math.Inf(1)  // inclusive
+	var below uint64   // elements <= lo (for finite lo), rank offset
+	passes := 0
+
+	for passes < MaxPasses {
+		// Counting pass over the current interval.
+		passes++
+		src.Reset()
+		var count uint64
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for v, ok := src.Next(); ok; v, ok = src.Next() {
+			if v != v { // NaN: undefined order, reject
+				return Result{}, fmt.Errorf("multipass: NaN in input")
+			}
+			if v > lo && v <= hi {
+				count++
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+		}
+		target := k - below
+		if count < target {
+			return Result{}, fmt.Errorf("multipass: interval lost the target (count %d < target %d)", count, target)
+		}
+		if mn == mx {
+			// Every surviving element is identical: that value holds all
+			// ranks in the interval, including the target.
+			return Result{Value: mn, Passes: passes}, nil
+		}
+		if count <= uint64(memory) {
+			// Collection pass: gather and select exactly.
+			passes++
+			src.Reset()
+			buf := make([]float64, 0, count)
+			for v, ok := src.Next(); ok; v, ok = src.Next() {
+				if v > lo && v <= hi {
+					buf = append(buf, v)
+				}
+			}
+			return Result{Value: exact.Select(buf, int(target)-1), Passes: passes}, nil
+		}
+
+		// Binning pass over (mn, mx] plus mn itself. Bin i holds values in
+		// (bounds[i], bounds[i+1]]; the boundary array is reused verbatim
+		// as the next interval's (lo, hi], so bin membership here and
+		// interval membership next pass agree exactly despite float
+		// rounding.
+		passes++
+		bins := memory
+		width := (mx - mn) / float64(bins)
+		if width <= 0 || math.IsInf(width, 0) {
+			return Result{}, fmt.Errorf("multipass: value range [%g, %g] cannot be binned", mn, mx)
+		}
+		bounds := make([]float64, bins+1)
+		bounds[0] = math.Nextafter(mn, math.Inf(-1)) // first bin includes mn
+		for i := 1; i < bins; i++ {
+			bounds[i] = mn + float64(i)*width
+		}
+		bounds[bins] = mx
+		counts := make([]uint64, bins)
+		src.Reset()
+		for v, ok := src.Next(); ok; v, ok = src.Next() {
+			if v > lo && v <= hi {
+				b := int((v - mn) / width)
+				if b < 0 {
+					b = 0
+				}
+				if b >= bins {
+					b = bins - 1
+				}
+				// Repair float-division drift against the boundary array.
+				for b > 0 && v <= bounds[b] {
+					b--
+				}
+				for b < bins-1 && v > bounds[b+1] {
+					b++
+				}
+				counts[b]++
+			}
+		}
+		// Descend into the bin holding the target rank.
+		var cum uint64
+		chosen := -1
+		for i, c := range counts {
+			if cum+c >= target {
+				chosen = i
+				break
+			}
+			cum += c
+		}
+		if chosen < 0 {
+			return Result{}, fmt.Errorf("multipass: target rank not found in bins")
+		}
+		newLo, newHi := bounds[chosen], bounds[chosen+1]
+		if newLo <= lo && newHi >= hi {
+			return Result{}, fmt.Errorf("multipass: interval stopped shrinking at [%g, %g]", lo, hi)
+		}
+		lo, hi = newLo, newHi
+		below += cum
+	}
+	return Result{}, fmt.Errorf("multipass: exceeded %d passes", MaxPasses)
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package multipass
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestSelectValidation(t *testing.T) {
+	src := stream.Sorted(100)
+	if _, err := Select(src, 0, 64); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, err := Select(src, 101, 64); err == nil {
+		t.Error("rank > n accepted")
+	}
+	if _, err := Select(src, 5, 2); err == nil {
+		t.Error("absurd memory accepted")
+	}
+	if _, err := Select(stream.Sorted(0), 1, 64); err == nil {
+		t.Error("empty source accepted")
+	}
+	if _, err := Quantile(src, 0, 64); err == nil {
+		t.Error("phi=0 accepted")
+	}
+	if _, err := Quantile(stream.Sorted(0), 0.5, 64); err == nil {
+		t.Error("empty quantile accepted")
+	}
+}
+
+func TestSelectSmallFitsInOnePassPair(t *testing.T) {
+	src := stream.Shuffled(500, 3)
+	res, err := Select(src, 250, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 249 { // shuffled 0..499, rank 250 = value 249
+		t.Errorf("value %v", res.Value)
+	}
+	if res.Passes != 2 { // count pass + collect pass
+		t.Errorf("passes %d, want 2", res.Passes)
+	}
+}
+
+func TestSelectExactAcrossDistributions(t *testing.T) {
+	const n = 200_000
+	const mem = 512
+	sources := []stream.Source{
+		stream.Uniform(n, 1),
+		stream.Normal(n, 2, 50, 10),
+		stream.Exponential(n, 3, 0.5),
+		stream.Zipf(n, 4, 1.5, 1<<20),
+		stream.Sorted(n),
+		stream.BlockAdversarial(n, 5, 4096),
+	}
+	for _, src := range sources {
+		data := stream.Collect(src)
+		src.Reset()
+		for _, phi := range []float64{0.01, 0.5, 0.99} {
+			res, err := Quantile(src, phi, mem)
+			if err != nil {
+				t.Fatalf("%s phi=%v: %v", src.Name(), phi, err)
+			}
+			want := exact.Quantile(data, phi)
+			if res.Value != want {
+				t.Errorf("%s phi=%v: got %v, want %v (%d passes)",
+					src.Name(), phi, res.Value, want, res.Passes)
+			}
+			if res.Passes > 20 {
+				t.Errorf("%s phi=%v: %d passes is excessive", src.Name(), phi, res.Passes)
+			}
+		}
+	}
+}
+
+func TestSelectDuplicateHeavy(t *testing.T) {
+	// 100k elements with only 3 distinct values.
+	data := make([]float64, 100_000)
+	for i := range data {
+		data[i] = float64(i % 3)
+	}
+	src := stream.FromSlice("dups", data)
+	res, err := Select(src, 50_000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1 {
+		t.Errorf("median of {0,1,2} repeats = %v", res.Value)
+	}
+}
+
+func TestSelectConstantStream(t *testing.T) {
+	src := stream.Constant(50_000, 7.25)
+	res, err := Select(src, 25_000, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 7.25 {
+		t.Errorf("constant stream selected %v", res.Value)
+	}
+	if res.Passes != 1 {
+		t.Errorf("constant stream took %d passes, want 1 (single-value interval)", res.Passes)
+	}
+}
+
+func TestSelectExtremeRanks(t *testing.T) {
+	const n = 100_000
+	src := stream.Shuffled(n, 9)
+	for _, k := range []uint64{1, 2, n - 1, n} {
+		res, err := Select(src, k, 256)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Value != float64(k-1) {
+			t.Errorf("k=%d: got %v", k, res.Value)
+		}
+	}
+}
+
+func TestSelectRejectsNaN(t *testing.T) {
+	src := stream.FromSlice("nan", []float64{1, math.NaN(), 3})
+	if _, err := Select(src, 2, 64); err == nil {
+		t.Error("NaN input accepted")
+	}
+}
+
+func TestPassMemoryTradeoff(t *testing.T) {
+	// Smaller memory must still succeed, with more passes.
+	const n = 300_000
+	src := stream.Uniform(n, 11)
+	data := stream.Collect(src)
+	src.Reset()
+	want := exact.Quantile(data, 0.5)
+	small, err := Quantile(src, 0.5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Reset()
+	big, err := Quantile(src, 0.5, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Value != want || big.Value != want {
+		t.Errorf("values %v / %v, want %v", small.Value, big.Value, want)
+	}
+	if small.Passes <= big.Passes {
+		t.Errorf("smaller memory should need more passes: %d vs %d", small.Passes, big.Passes)
+	}
+}
+
+func TestTinyValueRange(t *testing.T) {
+	// Values packed into a denormal-scale range still resolve (or fail
+	// loudly) rather than looping forever.
+	data := make([]float64, 10_000)
+	base := 1.0
+	for i := range data {
+		data[i] = base + float64(i%5)*math.SmallestNonzeroFloat64*4
+	}
+	src := stream.FromSlice("tiny", data)
+	res, err := Select(src, 5_000, 64)
+	if err == nil && res.Value < base {
+		t.Errorf("result %v below base", res.Value)
+	}
+}

@@ -1,0 +1,119 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Constraint is one row of an Explain report: the constraint's identity,
+// its required and provided quantities, and the slack factor
+// provided/required (≥ 1 means satisfied).
+type Constraint struct {
+	Name     string
+	Detail   string
+	Required float64
+	Provided float64
+}
+
+// Slack returns Provided/Required (∞ if nothing is required).
+func (c Constraint) Slack() float64 {
+	if c.Required == 0 {
+		return math.Inf(1)
+	}
+	return c.Provided / c.Required
+}
+
+// Satisfied reports whether the constraint holds (with float tolerance).
+func (c Constraint) Satisfied() bool { return c.Provided >= c.Required*(1-1e-9) }
+
+// Report explains a parameter set against the paper's constraint system.
+type Report struct {
+	Params      Params
+	Eps, Delta  float64
+	Constraints []Constraint
+}
+
+// AllSatisfied reports whether every constraint holds.
+func (r Report) AllSatisfied() bool {
+	for _, c := range r.Constraints {
+		if !c.Satisfied() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "parameters: b=%d k=%d h=%d alpha=%.3f memory=%d elements (eps=%g delta=%g)\n",
+		r.Params.B, r.Params.K, r.Params.H, r.Params.Alpha, r.Params.Memory, r.Eps, r.Delta)
+	fmt.Fprintf(&b, "leaf counts: L_d=%d L_s=%d (beta=%.2f)\n",
+		r.Params.Ld, r.Params.Ls, float64(r.Params.Ld)/float64(r.Params.Ls))
+	for _, c := range r.Constraints {
+		status := "ok"
+		if !c.Satisfied() {
+			status = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "  %-10s %-52s provided %12.4g  required %12.4g  slack %6.2fx  [%s]\n",
+			c.Name, c.Detail, c.Provided, c.Required, c.Slack(), status)
+	}
+	return b.String()
+}
+
+// Explain evaluates the unknown-N constraint system (Eqs 1–3) for an
+// arbitrary parameter set — the solver's own solutions show their slack,
+// and hand-picked layouts reveal which constraint they violate.
+func Explain(p Params, eps, delta float64) Report {
+	ld, ls := LeafCounts(p.B, p.H)
+	p.Ld, p.Ls = ld, ls
+	rep := Report{Params: p, Eps: eps, Delta: delta}
+	k := float64(p.K)
+	minLeaf := math.Min(float64(ld), 8.0/3.0*float64(ls))
+	alpha := p.Alpha
+	if alpha <= 0 || alpha >= 1 {
+		// No α given: grant the layout its best possible split — the α
+		// maximizing the smaller of the Eq1/Eq2 slacks (ternary search on
+		// a unimodal min of a decreasing and an increasing function).
+		beta := float64(ld) / float64(ls)
+		c := TreeConstant(beta)
+		slackMin := func(a float64) float64 {
+			s1 := minLeaf * k * 2 * (1 - a) * (1 - a) * eps * eps / math.Log(2/delta)
+			s2 := 2 * a * eps * k / (float64(p.H) + c)
+			return math.Min(s1, s2)
+		}
+		lo, hi := 1e-9, 1-1e-9
+		for i := 0; i < 200; i++ {
+			m1 := lo + (hi-lo)/3
+			m2 := hi - (hi-lo)/3
+			if slackMin(m1) >= slackMin(m2) {
+				hi = m2
+			} else {
+				lo = m1
+			}
+		}
+		alpha = (lo + hi) / 2
+		rep.Params.Alpha = alpha
+	}
+	rep.Constraints = append(rep.Constraints, Constraint{
+		Name:     "Eq1",
+		Detail:   "sampling: min(L_d, 8/3 L_s)·k >= ln(2/δ)/(2(1−α)²ε²)",
+		Provided: minLeaf * k,
+		Required: math.Log(2/delta) / (2 * (1 - alpha) * (1 - alpha) * eps * eps),
+	})
+	beta := float64(ld) / float64(ls)
+	rep.Constraints = append(rep.Constraints, Constraint{
+		Name:     "Eq2",
+		Detail:   "weighted tree: 2αεk >= h + c(β)",
+		Provided: 2 * alpha * eps * k,
+		Required: float64(p.H) + TreeConstant(beta),
+	})
+	rep.Constraints = append(rep.Constraints, Constraint{
+		Name:     "Eq3",
+		Detail:   "pre-sampling tree: 2εk >= h + 1",
+		Provided: 2 * eps * k,
+		Required: float64(p.H) + 1,
+	})
+	return rep
+}

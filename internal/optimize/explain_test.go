@@ -1,0 +1,65 @@
+package optimize
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainSolverSolutionSatisfied(t *testing.T) {
+	for _, eps := range []float64{0.05, 0.01, 0.001} {
+		p, err := UnknownN(eps, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := Explain(p, eps, 1e-4)
+		if !rep.AllSatisfied() {
+			t.Errorf("eps=%v: solver solution flagged as violating:\n%s", eps, rep)
+		}
+		// The solver binds Eq1 and Eq2 (their slack is ~1).
+		for _, c := range rep.Constraints {
+			if c.Name == "Eq1" || c.Name == "Eq2" {
+				if s := c.Slack(); s > 1.2 {
+					t.Errorf("eps=%v: %s slack %v not tight", eps, c.Name, s)
+				}
+			}
+		}
+	}
+}
+
+func TestExplainDetectsViolations(t *testing.T) {
+	rep := Explain(Params{B: 2, K: 10, H: 3}, 0.01, 1e-4)
+	if rep.AllSatisfied() {
+		t.Error("absurd layout passed")
+	}
+	out := rep.String()
+	if !strings.Contains(out, "VIOLATED") {
+		t.Errorf("report does not flag violations:\n%s", out)
+	}
+}
+
+func TestExplainPicksBestAlphaWhenUnset(t *testing.T) {
+	p, err := UnknownN(0.01, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the solver's alpha: Explain must find one that still satisfies
+	// everything (the layout is feasible, so a good alpha exists).
+	p.Alpha = 0
+	rep := Explain(p, 0.01, 1e-4)
+	if !rep.AllSatisfied() {
+		t.Errorf("alpha search failed on a feasible layout:\n%s", rep)
+	}
+	if rep.Params.Alpha <= 0 || rep.Params.Alpha >= 1 {
+		t.Errorf("chosen alpha %v out of range", rep.Params.Alpha)
+	}
+}
+
+func TestConstraintSlackEdge(t *testing.T) {
+	c := Constraint{Required: 0, Provided: 5}
+	if !c.Satisfied() {
+		t.Error("zero requirement should be satisfied")
+	}
+	if s := c.Slack(); !(s > 1e308) {
+		t.Errorf("slack with zero requirement = %v", s)
+	}
+}

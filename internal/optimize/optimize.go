@@ -1,0 +1,307 @@
+// Package optimize solves the paper's parameter-selection problems
+// (Section 4.3–4.6): given a target approximation ε and failure probability
+// δ, find the number of buffers b, buffer size k and sampling-onset height h
+// minimizing total memory b·k subject to the sampling constraint (Eq 1) and
+// the tree constraints (Eqs 2–3). It also solves the known-N problem of
+// MRL98 — the baseline the paper's Table 1 and Figure 4 compare against —
+// and the multiple-quantile and precomputation variants of Section 4.7.
+//
+// Leaf-count formulas. The collapse tree of the MRL policy with b buffers
+// first reaches height h after exactly C(b+h−1, h) unit leaves, and each
+// sampling level contributes C(b+h−2, h) leaves before the height grows
+// again (the tree re-enters a self-similar state — one full buffer plus b−1
+// empties — at every height increase). Both formulas are pinned against a
+// step-by-step tree simulation in the tests.
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xmath"
+)
+
+// SearchLimit bounds the b and h search ranges, following the paper's
+// "searching for b and h in the interval [2, 50]".
+const SearchLimit = 50
+
+// Params is a solved parameter set.
+type Params struct {
+	// B buffers of K elements; sampling onset at tree height H.
+	B, K, H int
+	// Alpha is the ε split: α·ε to the deterministic tree, (1−α)·ε to
+	// sampling. Zero when no sampling occurs.
+	Alpha float64
+	// Memory is B·K, the paper's memory metric (elements).
+	Memory uint64
+	// Sampling reports whether the solution involves random sampling.
+	Sampling bool
+	// Rate is the known-N algorithm's fixed sampling rate (1 when exact);
+	// unused (0) for unknown-N solutions, whose rate adapts at runtime.
+	Rate uint64
+	// Ld and Ls are the leaf counts of the solution's collapse tree.
+	Ld, Ls uint64
+}
+
+// LeafCounts returns L_d = C(b+h−1, h), the number of unsampled (weight-1)
+// leaves consumed before the tree first reaches height h, and
+// L_s = C(b+h−2, h), the leaves consumed per sampling level thereafter.
+func LeafCounts(b, h int) (ld, ls uint64) {
+	return xmath.Binomial(b+h-1, h), xmath.Binomial(b+h-2, h)
+}
+
+// TreeConstant returns c(β) = max_{H≥1} [(β−2)H + 2^(H+1) − 2]/(β + 2^H − 2),
+// the additive height penalty of the weighted tree constraint (Eq 2) for a
+// tree with leaf-count ratio β = L_d/L_s. The maximum is approached as
+// H→∞ where the ratio tends to 2; we evaluate H up to 64.
+func TreeConstant(beta float64) float64 {
+	c := 0.0
+	pow := 1.0
+	for bigH := 1; bigH <= 64; bigH++ {
+		pow *= 2
+		num := (beta-2)*float64(bigH) + 2*pow - 2
+		den := beta + pow - 2
+		if v := num / den; v > c {
+			c = v
+		}
+	}
+	return c
+}
+
+// samplingBound returns the right-hand side of Eq 1 divided by (1−α)²:
+// the minimum weighted-sample measure min[L_d·k, (8/3)·L_s·k] must be at
+// least ln(2/δ)/(2(1−α)²ε²).
+func samplingBound(eps, delta float64) float64 {
+	return math.Log(2/delta) / (2 * eps * eps)
+}
+
+// solveAlpha minimizes k(α) = max(a/(1−α)², b/α) over α ∈ (0,1), where the
+// first term comes from the sampling constraint and the second from the
+// tree constraint. The first term increases in α and the second decreases,
+// so the minimum is at their crossing (or at the unimodal valley); we use
+// ternary search, which handles both cases.
+func solveAlpha(a, b float64) (kMin, alpha float64) {
+	lo, hi := 1e-9, 1-1e-9
+	f := func(x float64) float64 {
+		return math.Max(a/((1-x)*(1-x)), b/x)
+	}
+	for i := 0; i < 200; i++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if f(m1) <= f(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	alpha = (lo + hi) / 2
+	return f(alpha), alpha
+}
+
+// UnknownN solves the paper's main problem: parameters for the unknown-N
+// algorithm achieving an ε-approximate φ-quantile (any φ, any prefix) with
+// probability ≥ 1−δ, minimizing memory b·k. It returns an error when no
+// parameters within the search range satisfy the constraints.
+func UnknownN(eps, delta float64) (Params, error) {
+	if err := validate(eps, delta); err != nil {
+		return Params{}, err
+	}
+	best := Params{Memory: math.MaxUint64}
+	sb := samplingBound(eps, delta)
+	for b := 2; b <= SearchLimit; b++ {
+		for h := 1; h <= SearchLimit; h++ {
+			ld, ls := LeafCounts(b, h)
+			if ls == 0 {
+				continue
+			}
+			// Eq 1: k ≥ a/(1−α)² with a = bound / min(L_d, (8/3)·L_s).
+			minLeaf := math.Min(float64(ld), 8.0/3.0*float64(ls))
+			a := sb / minLeaf
+			// Eq 2: k ≥ (h + c)/(2αε).
+			beta := float64(ld) / float64(ls)
+			c := TreeConstant(beta)
+			b2 := (float64(h) + c) / (2 * eps)
+			kFloat, alpha := solveAlpha(a, b2)
+			// Eq 3: k ≥ (h+1)/(2ε) — the pre-sampling regime.
+			b3 := (float64(h) + 1) / (2 * eps)
+			kFloat = math.Max(kFloat, b3)
+			if kFloat > 1e12 {
+				continue
+			}
+			k := int(math.Ceil(kFloat))
+			if k < 1 {
+				k = 1
+			}
+			mem := xmath.SatMul(uint64(b), uint64(k))
+			if mem < best.Memory {
+				best = Params{
+					B: b, K: k, H: h, Alpha: alpha,
+					Memory: mem, Sampling: true, Ld: ld, Ls: ls,
+				}
+			}
+		}
+	}
+	if best.Memory == math.MaxUint64 {
+		return Params{}, fmt.Errorf("optimize: no feasible unknown-N parameters for eps=%v delta=%v", eps, delta)
+	}
+	return best, nil
+}
+
+// UnknownNMulti solves the unknown-N problem for p simultaneous quantiles
+// (paper Section 4.7): by the union bound the per-quantile failure budget
+// becomes δ/p.
+func UnknownNMulti(eps, delta float64, p int) (Params, error) {
+	if p < 1 {
+		return Params{}, fmt.Errorf("optimize: quantile count p must be >= 1, got %d", p)
+	}
+	return UnknownN(eps, delta/float64(p))
+}
+
+// PrecomputeBound returns parameters for the paper's precomputation trick
+// (Section 4.7): maintain the ⌈1/ε⌉ quantiles φ = ε, 2ε, …, each
+// (ε/2)-approximate, so that any requested φ can be answered ε-approximately
+// regardless of how many quantiles are eventually asked for. This is the
+// p-independent upper bound of Table 2's last column.
+func PrecomputeBound(eps, delta float64) (Params, error) {
+	p := int(math.Ceil(1 / eps))
+	return UnknownNMulti(eps/2, delta, p)
+}
+
+// KnownNDeterministic solves the MRL98 deterministic problem: parameters
+// (b, k, tree height h) that process exactly n elements with zero failure
+// probability. Used for the small-N regime of Figure 4's known-N curve.
+func KnownNDeterministic(eps float64, n uint64) (Params, error) {
+	if eps <= 0 || eps >= 1 {
+		return Params{}, fmt.Errorf("optimize: eps %v out of (0,1)", eps)
+	}
+	if n == 0 {
+		return Params{}, fmt.Errorf("optimize: n must be positive")
+	}
+	best := Params{Memory: math.MaxUint64}
+	for b := 2; b <= SearchLimit; b++ {
+		for h := 1; h <= SearchLimit; h++ {
+			ld, _ := LeafCounts(b, h)
+			// Eq 3 analogue: tree of height ≤ h needs h+1 ≤ 2εk.
+			kTree := (float64(h) + 1) / (2 * eps)
+			// Coverage: C(b+h−1, h)·k ≥ n.
+			kCover := float64(n) / float64(ld)
+			k := int(math.Ceil(math.Max(kTree, kCover)))
+			if k < 1 {
+				k = 1
+			}
+			// Verify coverage with integer k (guards against float loss).
+			if xmath.SatMul(ld, uint64(k)) < n {
+				continue
+			}
+			mem := xmath.SatMul(uint64(b), uint64(k))
+			if mem < best.Memory {
+				best = Params{B: b, K: k, H: h, Memory: mem, Rate: 1, Ld: ld}
+			}
+		}
+	}
+	if best.Memory == math.MaxUint64 {
+		return Params{}, fmt.Errorf("optimize: no deterministic parameters for eps=%v n=%d", eps, n)
+	}
+	return best, nil
+}
+
+// KnownNSampling solves the MRL98 randomized problem in its asymptotic
+// (large-N) form: uniform sampling at a fixed rate feeds the deterministic
+// tree. The memory is independent of N; the caller derives the concrete
+// rate from n via SamplingRate.
+func KnownNSampling(eps, delta float64) (Params, error) {
+	if err := validate(eps, delta); err != nil {
+		return Params{}, err
+	}
+	best := Params{Memory: math.MaxUint64}
+	sb := samplingBound(eps, delta)
+	for b := 2; b <= SearchLimit; b++ {
+		for h := 1; h <= SearchLimit; h++ {
+			ld, _ := LeafCounts(b, h)
+			// Uniform sampling: the sample count is S = L_d·k, every block
+			// equal, so Eq 1 becomes L_d·k ≥ ln(2/δ)/(2(1−α)²ε²).
+			a := sb / float64(ld)
+			// Tree on the sample gets αε: h+1 ≤ 2αεk.
+			b2 := (float64(h) + 1) / (2 * eps)
+			kFloat, alpha := solveAlpha(a, b2)
+			if kFloat > 1e12 {
+				continue
+			}
+			k := int(math.Ceil(kFloat))
+			if k < 1 {
+				k = 1
+			}
+			mem := xmath.SatMul(uint64(b), uint64(k))
+			if mem < best.Memory {
+				best = Params{
+					B: b, K: k, H: h, Alpha: alpha,
+					Memory: mem, Sampling: true, Ld: ld,
+				}
+			}
+		}
+	}
+	if best.Memory == math.MaxUint64 {
+		return Params{}, fmt.Errorf("optimize: no sampling parameters for eps=%v delta=%v", eps, delta)
+	}
+	return best, nil
+}
+
+// KnownN returns the cheaper of the deterministic and sampling solutions
+// for a stream of exactly n elements — the paper's known-N baseline curve
+// (Figure 4).
+func KnownN(eps, delta float64, n uint64) (Params, error) {
+	det, detErr := KnownNDeterministic(eps, n)
+	samp, sampErr := KnownNSampling(eps, delta)
+	if sampErr == nil {
+		samp.Rate = SamplingRate(samp, n)
+		if samp.Rate <= 1 {
+			// Sampling buys nothing below the tree's own capacity.
+			sampErr = fmt.Errorf("optimize: sampling unnecessary at n=%d", n)
+		}
+	}
+	switch {
+	case detErr == nil && (sampErr != nil || det.Memory <= samp.Memory):
+		return det, nil
+	case sampErr == nil:
+		return samp, nil
+	default:
+		return Params{}, fmt.Errorf("optimize: no known-N parameters: %v; %v", detErr, sampErr)
+	}
+}
+
+// SamplingRate returns the fixed New rate the known-N sampling algorithm
+// uses for a stream of n elements under params p: the smallest r with
+// r·L_d·k ≥ n (at least 1).
+func SamplingRate(p Params, n uint64) uint64 {
+	cap := xmath.SatMul(p.Ld, uint64(p.K))
+	if cap == 0 {
+		return 1
+	}
+	r := xmath.CeilDiv(n, cap)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// ReservoirSize returns the sample size of the folklore reservoir-sampling
+// estimator (paper Section 2.2): a uniform sample of
+// s = ln(2/δ)/(2ε²) elements whose φ-quantile is an ε-approximate
+// φ-quantile with probability ≥ 1−δ. The entire sample must stay in
+// memory, which is the quadratic ε dependence the paper improves on.
+func ReservoirSize(eps, delta float64) (uint64, error) {
+	if err := validate(eps, delta); err != nil {
+		return 0, err
+	}
+	return xmath.HoeffdingSampleSize(eps, delta, 0), nil
+}
+
+func validate(eps, delta float64) error {
+	if eps <= 0 || eps >= 1 {
+		return fmt.Errorf("optimize: eps %v out of (0,1)", eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return fmt.Errorf("optimize: delta %v out of (0,1)", delta)
+	}
+	return nil
+}

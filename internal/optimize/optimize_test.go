@@ -1,0 +1,342 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xmath"
+)
+
+func TestLeafCounts(t *testing.T) {
+	cases := []struct {
+		b, h   int
+		ld, ls uint64
+	}{
+		{2, 1, 2, 1},
+		{3, 1, 3, 2},
+		{5, 1, 5, 4},
+		{5, 2, 15, 10},
+		{5, 3, 35, 20},
+		{7, 4, 210, 126},
+	}
+	for _, c := range cases {
+		ld, ls := LeafCounts(c.b, c.h)
+		if ld != c.ld || ls != c.ls {
+			t.Errorf("LeafCounts(%d,%d) = (%d,%d), want (%d,%d)", c.b, c.h, ld, ls, c.ld, c.ls)
+		}
+	}
+}
+
+func TestTreeConstant(t *testing.T) {
+	// β = 2 gives c = max_H (2^(H+1)−2)/2^H → 2 (approached from below;
+	// float evaluation may land a hair above).
+	c2 := TreeConstant(2)
+	if c2 < 1.9 || c2 > 2+1e-9 {
+		t.Errorf("TreeConstant(2) = %v, want ~2", c2)
+	}
+	// The constant grows roughly like log2(β): slow, bounded growth.
+	c10, c100 := TreeConstant(10), TreeConstant(100)
+	if !(c2 < c10 && c10 < c100) {
+		t.Errorf("TreeConstant should grow in beta: c(2)=%v c(10)=%v c(100)=%v", c2, c10, c100)
+	}
+	if c100 > 2+math.Log2(100) {
+		t.Errorf("TreeConstant(100) = %v grows faster than 2+log2(beta)", c100)
+	}
+	// Never negative and bounded on the solver's search range.
+	for _, beta := range []float64{1, 1.5, 2, 3, 10, 100} {
+		if c := TreeConstant(beta); c < 0 || c > 10 {
+			t.Errorf("TreeConstant(%v) = %v out of [0,10]", beta, c)
+		}
+	}
+}
+
+func TestSolveAlphaBalances(t *testing.T) {
+	k, alpha := solveAlpha(100, 100)
+	if alpha <= 0 || alpha >= 1 {
+		t.Fatalf("alpha = %v out of (0,1)", alpha)
+	}
+	// At the optimum the two constraint terms are (nearly) equal.
+	t1 := 100 / ((1 - alpha) * (1 - alpha))
+	t2 := 100 / alpha
+	if math.Abs(t1-t2)/k > 1e-6 {
+		t.Errorf("constraints unbalanced at optimum: %v vs %v", t1, t2)
+	}
+	if k < 100 {
+		t.Errorf("k = %v below either constraint's floor", k)
+	}
+}
+
+// constraintsHold verifies a returned parameter set actually satisfies the
+// three constraints it was solved under.
+func constraintsHold(t *testing.T, p Params, eps, delta float64) {
+	t.Helper()
+	k := float64(p.K)
+	// Eq 1.
+	minLeaf := math.Min(float64(p.Ld), 8.0/3.0*float64(p.Ls))
+	need := math.Log(2/delta) / (2 * (1 - p.Alpha) * (1 - p.Alpha) * eps * eps)
+	if minLeaf*k < need*(1-1e-9) {
+		t.Errorf("Eq1 violated: %v < %v", minLeaf*k, need)
+	}
+	// Eq 2.
+	beta := float64(p.Ld) / float64(p.Ls)
+	c := TreeConstant(beta)
+	if float64(p.H)+c > 2*p.Alpha*eps*k*(1+1e-9) {
+		t.Errorf("Eq2 violated: h+c=%v > 2αεk=%v", float64(p.H)+c, 2*p.Alpha*eps*k)
+	}
+	// Eq 3.
+	if float64(p.H)+1 > 2*eps*k*(1+1e-9) {
+		t.Errorf("Eq3 violated: h+1=%d > 2εk=%v", p.H+1, 2*eps*k)
+	}
+}
+
+func TestUnknownNSatisfiesConstraints(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.05, 0.01, 0.005, 0.001} {
+		for _, delta := range []float64{1e-2, 1e-3, 1e-4} {
+			p, err := UnknownN(eps, delta)
+			if err != nil {
+				t.Fatalf("eps=%v delta=%v: %v", eps, delta, err)
+			}
+			if p.B < 2 || p.B > SearchLimit || p.H < 1 || p.K < 1 {
+				t.Fatalf("degenerate params %+v", p)
+			}
+			constraintsHold(t, p, eps, delta)
+			if p.Memory != uint64(p.B)*uint64(p.K) {
+				t.Errorf("memory bookkeeping wrong: %+v", p)
+			}
+		}
+	}
+}
+
+func TestUnknownNMemoryMonotoneInEps(t *testing.T) {
+	prev := uint64(0)
+	for _, eps := range []float64{0.1, 0.05, 0.01, 0.005, 0.001} {
+		p, err := UnknownN(eps, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Memory <= prev {
+			t.Errorf("memory not increasing as eps tightens: eps=%v mem=%d prev=%d", eps, p.Memory, prev)
+		}
+		prev = p.Memory
+	}
+}
+
+func TestUnknownNMemoryGrowsSlowlyInDelta(t *testing.T) {
+	// Dependence on δ is doubly logarithmic: five orders of magnitude in δ
+	// must cost well under 2x memory.
+	loose, _ := UnknownN(0.01, 1e-2)
+	tight, _ := UnknownN(0.01, 1e-7)
+	if float64(tight.Memory) > 2*float64(loose.Memory) {
+		t.Errorf("delta dependence too strong: %d -> %d", loose.Memory, tight.Memory)
+	}
+	if tight.Memory < loose.Memory {
+		t.Errorf("tightening delta reduced memory: %d -> %d", loose.Memory, tight.Memory)
+	}
+}
+
+func TestUnknownNAtMostTwiceKnownN(t *testing.T) {
+	// The paper's Table 1 headline: the unknown-N algorithm requires no
+	// more than twice the memory of the known-N algorithm.
+	for _, eps := range []float64{0.1, 0.05, 0.01, 0.005, 0.001} {
+		for _, delta := range []float64{1e-2, 1e-3, 1e-4} {
+			u, err1 := UnknownN(eps, delta)
+			k, err2 := KnownNSampling(eps, delta)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if u.Memory < k.Memory {
+				t.Errorf("eps=%v delta=%v: unknown-N cheaper than known-N (%d < %d)",
+					eps, delta, u.Memory, k.Memory)
+			}
+			if float64(u.Memory) > 2*float64(k.Memory) {
+				t.Errorf("eps=%v delta=%v: unknown-N more than twice known-N (%d > 2*%d)",
+					eps, delta, u.Memory, k.Memory)
+			}
+		}
+	}
+}
+
+func TestUnknownNInvalidInputs(t *testing.T) {
+	for _, tc := range []struct{ eps, delta float64 }{
+		{0, 0.1}, {1, 0.1}, {-0.1, 0.1}, {0.1, 0}, {0.1, 1},
+	} {
+		if _, err := UnknownN(tc.eps, tc.delta); err == nil {
+			t.Errorf("UnknownN(%v,%v) accepted", tc.eps, tc.delta)
+		}
+	}
+}
+
+func TestUnknownNMulti(t *testing.T) {
+	p1, _ := UnknownNMulti(0.01, 1e-3, 1)
+	p100, err := UnknownNMulti(0.01, 1e-3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p100.Memory < p1.Memory {
+		t.Errorf("more quantiles cost less: %d < %d", p100.Memory, p1.Memory)
+	}
+	// O(log log p) growth: 100 quantiles well under 1.5x of one.
+	if float64(p100.Memory) > 1.5*float64(p1.Memory) {
+		t.Errorf("multi-quantile growth too fast: %d -> %d", p1.Memory, p100.Memory)
+	}
+	if _, err := UnknownNMulti(0.01, 1e-3, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+func TestPrecomputeBound(t *testing.T) {
+	pre, err := PrecomputeBound(0.01, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precompute must beat the p → ∞ trend eventually but costs more than
+	// moderate p (paper Table 2's last column exceeds the p ≤ 1000 columns).
+	p1000, _ := UnknownNMulti(0.01, 1e-3, 1000)
+	if pre.Memory <= p1000.Memory {
+		t.Errorf("precompute (%d) should cost more than p=1000 (%d)", pre.Memory, p1000.Memory)
+	}
+	// But it must stay within a small factor of it (it is eps/2, not eps^2).
+	if float64(pre.Memory) > 4*float64(p1000.Memory) {
+		t.Errorf("precompute (%d) unreasonably above p=1000 (%d)", pre.Memory, p1000.Memory)
+	}
+}
+
+func TestKnownNDeterministic(t *testing.T) {
+	for _, n := range []uint64{100, 10_000, 1_000_000, 100_000_000} {
+		p, err := KnownNDeterministic(0.01, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if xmath.SatMul(p.Ld, uint64(p.K)) < n {
+			t.Errorf("n=%d: capacity %d*%d insufficient", n, p.Ld, p.K)
+		}
+		if float64(p.H+1) > 2*0.01*float64(p.K)*(1+1e-9) {
+			t.Errorf("n=%d: tree constraint violated (h=%d k=%d)", n, p.H, p.K)
+		}
+		if p.Rate != 1 || p.Sampling {
+			t.Errorf("deterministic params claim sampling: %+v", p)
+		}
+	}
+	if _, err := KnownNDeterministic(0.01, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := KnownNDeterministic(0, 10); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestKnownNDeterministicGrowsWithN(t *testing.T) {
+	prev := uint64(0)
+	for _, n := range []uint64{1000, 100_000, 10_000_000, 1_000_000_000} {
+		p, err := KnownNDeterministic(0.01, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Memory < prev {
+			t.Errorf("deterministic memory decreased with n: %d at n=%d", p.Memory, n)
+		}
+		prev = p.Memory
+	}
+}
+
+func TestKnownNPicksCheaperMode(t *testing.T) {
+	eps, delta := 0.01, 1e-4
+	samp, _ := KnownNSampling(eps, delta)
+	// Tiny stream: deterministic wins and costs less than the plateau.
+	small, err := KnownN(eps, delta, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Sampling {
+		t.Error("small n chose sampling")
+	}
+	if small.Memory >= samp.Memory {
+		t.Errorf("small-n memory %d not below sampling plateau %d", small.Memory, samp.Memory)
+	}
+	// Huge stream: sampling wins; memory equals the plateau.
+	big, err := KnownN(eps, delta, 1<<50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !big.Sampling {
+		t.Error("huge n chose deterministic")
+	}
+	if big.Memory != samp.Memory {
+		t.Errorf("huge-n memory %d != plateau %d", big.Memory, samp.Memory)
+	}
+	if big.Rate < 2 {
+		t.Errorf("huge-n rate %d, want >= 2", big.Rate)
+	}
+}
+
+func TestSamplingRateCoversN(t *testing.T) {
+	p, _ := KnownNSampling(0.01, 1e-4)
+	for _, n := range []uint64{1, 1000, 1 << 30, 1 << 50} {
+		r := SamplingRate(p, n)
+		if r < 1 {
+			t.Fatalf("rate %d < 1", r)
+		}
+		if xmath.SatMul(xmath.SatMul(r, p.Ld), uint64(p.K)) < n {
+			t.Errorf("n=%d: rate %d gives capacity below n", n, r)
+		}
+	}
+}
+
+func TestReservoirSizeQuadratic(t *testing.T) {
+	s1, err := ReservoirSize(0.01, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := ReservoirSize(0.005, 1e-4)
+	if s2 < 3*s1 {
+		t.Errorf("reservoir size not quadratic in 1/eps: %d -> %d", s1, s2)
+	}
+	// The paper's point: reservoir sampling needs far more memory than the
+	// unknown-N algorithm at tight eps.
+	u, _ := UnknownN(0.001, 1e-4)
+	res, _ := ReservoirSize(0.001, 1e-4)
+	if res < 10*u.Memory {
+		t.Errorf("reservoir %d not clearly above unknown-N %d", res, u.Memory)
+	}
+	if _, err := ReservoirSize(0, 0.1); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+// TestSpaceComplexityScaling pins the Theorem 1 shape: memory is
+// O(ε⁻¹·log²ε⁻¹ + ε⁻¹·log²log δ⁻¹), so memory·ε / log²(1/ε) must stay
+// within a narrow constant band across three decades of ε.
+func TestSpaceComplexityScaling(t *testing.T) {
+	var ratios []float64
+	for _, eps := range []float64{0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001} {
+		p, err := UnknownN(eps, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := math.Log2(1 / eps)
+		ratios = append(ratios, float64(p.Memory)*eps/(l*l))
+	}
+	lo, hi := ratios[0], ratios[0]
+	for _, r := range ratios {
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	if hi/lo > 4 {
+		t.Errorf("memory*eps/log^2(1/eps) varies by %vx across the grid: %v", hi/lo, ratios)
+	}
+}
+
+func TestTable1Magnitudes(t *testing.T) {
+	// Loose sanity pins so regressions in the solver are caught: memory for
+	// (1%, 1e-4) must be in the low thousands of elements, and for
+	// (0.1%, 1e-4) in the tens of thousands (paper Table 1 reports 4.84K
+	// and 76.6K for its variant of the constraints).
+	p, _ := UnknownN(0.01, 1e-4)
+	if p.Memory < 1000 || p.Memory > 20_000 {
+		t.Errorf("UnknownN(0.01,1e-4) memory %d outside plausible range", p.Memory)
+	}
+	q, _ := UnknownN(0.001, 1e-4)
+	if q.Memory < 20_000 || q.Memory > 300_000 {
+		t.Errorf("UnknownN(0.001,1e-4) memory %d outside plausible range", q.Memory)
+	}
+}

@@ -1,0 +1,371 @@
+// Package parallel implements the paper's Section 6: computing approximate
+// quantiles of the union of P independent input sequences, one per worker,
+// with minimal inter-processor communication.
+//
+// Each worker runs the single-stream unknown-N algorithm on its own input.
+// When a worker's input terminates it invokes a final Collapse so it is
+// left with at most one full buffer and at most one partial buffer, which
+// it ships — tagged with weight and fill — to a coordinator ("Processor
+// P0"). The coordinator assigns level 0 to incoming full buffers and runs
+// the ordinary collapse tree over them. Incoming partial buffers are merged
+// into a single accumulator buffer B0: when the weights differ, the lighter
+// buffer is shrunk by block-sampling at the (power-of-two) weight ratio and
+// promoted to the heavier weight, exactly as the paper prescribes.
+//
+// The analysis (paper Eqs 4–6) is the single-stream analysis with the tree
+// height h replaced by h + h′, where h′ is the height of the merge tree at
+// the coordinator.
+package parallel
+
+import (
+	"cmp"
+	"fmt"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/rng"
+)
+
+// Shipment is what a worker sends to the coordinator: at most one full and
+// one partial buffer plus the worker's element count.
+type Shipment[T cmp.Ordered] struct {
+	Full    *buffer.Buffer[T]
+	Partial *buffer.Buffer[T]
+	Count   uint64
+}
+
+// Ship finalizes a worker sketch into a Shipment (the sketch is consumed).
+func Ship[T cmp.Ordered](s *core.Sketch[T]) Shipment[T] {
+	full, partial, n := s.Ship()
+	return Shipment[T]{Full: full, Partial: partial, Count: n}
+}
+
+// Coordinator merges worker shipments and answers quantile queries over the
+// aggregate stream.
+type Coordinator[T cmp.Ordered] struct {
+	k    int
+	tree *core.Tree[T]
+	rg   *rng.RNG
+
+	// b0 accumulates partial buffers (the paper's B0); b0w is its weight.
+	b0  *buffer.Buffer[T]
+	b0w uint64
+
+	n uint64
+}
+
+// NewCoordinator returns a coordinator using b buffers of k elements for
+// its merge tree (k must match the workers' buffer size). The merge tree's
+// height h′ enters the parallel constraints (Eq 5).
+func NewCoordinator[T cmp.Ordered](k, b int, seed uint64) (*Coordinator[T], error) {
+	tree, err := core.NewTree[T](k, b, policy.MRL(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator[T]{k: k, tree: tree, rg: rng.New(seed)}, nil
+}
+
+// Receive merges one worker's shipment into the coordinator state.
+func (c *Coordinator[T]) Receive(sh Shipment[T]) error {
+	c.n += sh.Count
+	if sh.Full != nil {
+		if sh.Full.K() != c.k {
+			return fmt.Errorf("parallel: worker buffer size %d != coordinator %d", sh.Full.K(), c.k)
+		}
+		c.admitFull(sh.Full.Elements(), sh.Full.Weight)
+	}
+	if sh.Partial != nil && sh.Partial.Fill > 0 {
+		if sh.Partial.K() != c.k {
+			return fmt.Errorf("parallel: worker buffer size %d != coordinator %d", sh.Partial.K(), c.k)
+		}
+		if err := c.admitPartial(sh.Partial.Elements(), sh.Partial.Weight); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// admitFull copies a full worker buffer into the merge tree as a level-0
+// leaf, retaining its weight.
+func (c *Coordinator[T]) admitFull(elems []T, w uint64) {
+	buf := c.tree.AcquireEmpty()
+	copy(buf.Data, elems)
+	buf.Fill = len(elems)
+	buf.Weight = w
+	buf.Level = 0
+	buf.State = buffer.Full
+	c.tree.LeafDone(buf)
+}
+
+// admitPartial merges a partial worker buffer into the accumulator B0,
+// equalizing weights by shrinking the lighter side (paper Section 6).
+func (c *Coordinator[T]) admitPartial(elems []T, w uint64) error {
+	if c.b0 == nil {
+		c.b0 = buffer.New[T](c.k)
+	}
+	if c.b0.Fill == 0 {
+		c.b0w = w
+	}
+	incoming := elems
+	switch {
+	case w == c.b0w:
+		// Nothing to equalize.
+	case w > c.b0w:
+		// Shrink B0 to the heavier incoming weight.
+		ratio, err := exactRatio(w, c.b0w)
+		if err != nil {
+			return err
+		}
+		c.b0.Fill = shrinkInto(c.b0.Data[:c.b0.Fill], c.b0.Data, ratio, c.rg)
+		c.b0w = w
+	default:
+		// Shrink the incoming elements.
+		ratio, err := exactRatio(c.b0w, w)
+		if err != nil {
+			return err
+		}
+		tmp := make([]T, len(elems))
+		n := shrinkInto(elems, tmp, ratio, c.rg)
+		incoming = tmp[:n]
+	}
+	for _, v := range incoming {
+		if c.b0.Fill == c.k {
+			// B0 is full: promote it into the merge tree and start afresh.
+			c.flushB0()
+		}
+		c.b0.Data[c.b0.Fill] = v
+		c.b0.Fill++
+	}
+	return nil
+}
+
+// flushB0 sorts the accumulator and admits it to the tree as a full leaf.
+func (c *Coordinator[T]) flushB0() {
+	insertionSort(c.b0.Data[:c.b0.Fill])
+	c.admitFull(c.b0.Data[:c.b0.Fill], c.b0w)
+	c.b0.Fill = 0
+}
+
+// exactRatio returns hi/lo, requiring divisibility — worker partial-buffer
+// weights are the power-of-two sampling rates of the unknown-N algorithm,
+// so the ratio is always integral in normal operation.
+func exactRatio(hi, lo uint64) (uint64, error) {
+	if lo == 0 || hi%lo != 0 {
+		return 0, fmt.Errorf("parallel: incompatible partial-buffer weights %d and %d", hi, lo)
+	}
+	return hi / lo, nil
+}
+
+// shrinkInto selects one uniformly random element from each block of ratio
+// consecutive elements of src (including a trailing short block) and writes
+// the selections to the front of dst, returning how many were written.
+// src sorted implies the output is sorted. src and dst may alias.
+func shrinkInto[T cmp.Ordered](src, dst []T, ratio uint64, rg *rng.RNG) int {
+	if ratio <= 1 {
+		n := copy(dst, src)
+		return n
+	}
+	out := 0
+	for start := 0; start < len(src); start += int(ratio) {
+		end := start + int(ratio)
+		if end > len(src) {
+			end = len(src)
+		}
+		pick := start + rg.Intn(end-start)
+		dst[out] = src[pick]
+		out++
+	}
+	return out
+}
+
+func insertionSort[T cmp.Ordered](a []T) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Ship finalizes the coordinator into a Shipment of its own — the building
+// block of the paper's multi-group aggregation ("we aggregate processors
+// into multiple groups. One designated processor in each group collects the
+// output buffers from all others in its group"). The coordinator's collapse
+// tree is reduced to at most one full buffer; the partial accumulator B0
+// ships as the partial buffer. The coordinator must not be used afterwards.
+func (c *Coordinator[T]) Ship() Shipment[T] {
+	countFull := func() (n int) {
+		for _, b := range c.tree.NonEmpty() {
+			if b.State == buffer.Full {
+				n++
+			}
+		}
+		return n
+	}
+	for countFull() >= 2 {
+		c.tree.CollapseOnce()
+	}
+	sh := Shipment[T]{Count: c.n}
+	for _, b := range c.tree.NonEmpty() {
+		if b.State == buffer.Full {
+			sh.Full = b
+		}
+	}
+	if c.b0 != nil && c.b0.Fill > 0 {
+		insertionSort(c.b0.Data[:c.b0.Fill])
+		c.b0.Weight = c.b0w
+		c.b0.State = buffer.Partial
+		sh.Partial = c.b0
+	}
+	return sh
+}
+
+// Count returns the aggregate element count received so far.
+func (c *Coordinator[T]) Count() uint64 { return c.n }
+
+// MergeHeight returns h′, the merge tree's height (Eq 5's height penalty).
+func (c *Coordinator[T]) MergeHeight() int { return c.tree.Height() }
+
+// MemoryElements returns the coordinator's allocated element slots.
+func (c *Coordinator[T]) MemoryElements() int {
+	m := c.tree.MemoryElements()
+	if c.b0 != nil {
+		m += c.k
+	}
+	return m
+}
+
+// Query returns estimates of the given quantiles over the aggregate of all
+// received streams (the final Output of paper Section 6). Non-destructive.
+func (c *Coordinator[T]) Query(phis []float64) ([]T, error) {
+	if c.n == 0 {
+		return nil, fmt.Errorf("parallel: query with no data received")
+	}
+	bufs := c.tree.NonEmpty()
+	if c.b0 != nil && c.b0.Fill > 0 {
+		snap := buffer.New[T](c.k)
+		copy(snap.Data, c.b0.Data[:c.b0.Fill])
+		snap.Fill = c.b0.Fill
+		snap.Weight = c.b0w
+		snap.State = buffer.Partial
+		insertionSort(snap.Data[:snap.Fill])
+		bufs = append(bufs, snap)
+	}
+	return buffer.Output(bufs, phis)
+}
+
+// CDF estimates the fraction of aggregate stream elements ≤ v.
+func (c *Coordinator[T]) CDF(v T) (float64, error) {
+	if c.n == 0 {
+		return 0, fmt.Errorf("parallel: CDF with no data received")
+	}
+	bufs := c.tree.NonEmpty()
+	if c.b0 != nil && c.b0.Fill > 0 {
+		snap := buffer.New[T](c.k)
+		copy(snap.Data, c.b0.Data[:c.b0.Fill])
+		snap.Fill = c.b0.Fill
+		snap.Weight = c.b0w
+		snap.State = buffer.Partial
+		insertionSort(snap.Data[:snap.Fill])
+		bufs = append(bufs, snap)
+	}
+	total := buffer.TotalWeightedCount(bufs)
+	if total == 0 {
+		return 0, fmt.Errorf("parallel: CDF with no weighted elements")
+	}
+	return float64(buffer.WeightedRank(bufs, v)) / float64(total), nil
+}
+
+// QueryOne returns the estimate for a single quantile.
+func (c *Coordinator[T]) QueryOne(phi float64) (T, error) {
+	out, err := c.Query([]float64{phi})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return out[0], nil
+}
+
+// Run executes the full parallel pipeline: one goroutine per input stream
+// feeds a worker sketch built from cfg (seeds are derived per worker), the
+// shipments are merged by a coordinator with bCoord buffers, and the
+// coordinator is returned for querying. feed is called with the worker
+// index and its sketch and must return when that worker's input is
+// exhausted.
+func Run[T cmp.Ordered](cfg core.Config, workers int, bCoord int, feed func(worker int, s *core.Sketch[T])) (*Coordinator[T], error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("parallel: need at least one worker")
+	}
+	coord, err := NewCoordinator[T](cfg.K, bCoord, cfg.Seed^0x5eed)
+	if err != nil {
+		return nil, err
+	}
+	shipments := make([]Shipment[T], workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wcfg := cfg
+			wcfg.Seed = cfg.Seed + uint64(w)*0x9e3779b9 + 1
+			s, err := core.NewSketch[T](wcfg)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			feed(w, s)
+			shipments[w] = Ship(s)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, sh := range shipments {
+		if err := coord.Receive(sh); err != nil {
+			return nil, err
+		}
+	}
+	return coord, nil
+}
+
+// RunHierarchical executes the paper's grouped variant of the parallel
+// algorithm: workers are partitioned into groups of groupSize; each group's
+// designated coordinator merges its workers' shipments, then the group
+// coordinators themselves ship to a root coordinator. This bounds the
+// fan-in at every merge point when P is very large; the analysis only sees
+// the merge-tree height grow by one extra level (paper Section 6).
+func RunHierarchical[T cmp.Ordered](cfg core.Config, workers, groupSize, bCoord int, feed func(worker int, s *core.Sketch[T])) (*Coordinator[T], error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("parallel: need at least one worker")
+	}
+	if groupSize < 1 {
+		return nil, fmt.Errorf("parallel: group size must be at least 1")
+	}
+	root, err := NewCoordinator[T](cfg.K, bCoord, cfg.Seed^0xbead)
+	if err != nil {
+		return nil, err
+	}
+	for lo := 0; lo < workers; lo += groupSize {
+		hi := lo + groupSize
+		if hi > workers {
+			hi = workers
+		}
+		gcfg := cfg
+		gcfg.Seed = cfg.Seed + uint64(lo)*0x100000001 + 3
+		group, err := Run(gcfg, hi-lo, bCoord, func(w int, s *core.Sketch[T]) {
+			feed(lo+w, s)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := root.Receive(group.Ship()); err != nil {
+			return nil, err
+		}
+	}
+	return root, nil
+}

@@ -1,0 +1,154 @@
+// Package policy implements collapse policies: the rules deciding which full
+// buffers a quantile algorithm merges when it runs out of space. The paper's
+// framework (Section 3.5–3.6) represents an algorithm as a tree of Collapse
+// operations; the policy determines the tree's shape and therefore both the
+// approximation error and the stream capacity of a given (b, k) budget.
+//
+// Three policies from the literature are provided:
+//
+//   - MRL: the paper's policy — collapse every full buffer at the lowest
+//     occupied level, promoting a lone lowest buffer upward until at least
+//     two share the lowest level (paper Section 3.6).
+//   - MunroPaterson: binary collapses of the two lowest-level buffers
+//     [MP80], the classical baseline.
+//   - ARS: collapse all level-0 buffers together; once no two level-0
+//     buffers exist, collapse everything [ARS97].
+//
+// Policies operate on buffer levels only, so they are shared by every
+// generic sketch instantiation.
+package policy
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Policy selects which full buffers to collapse.
+type Policy interface {
+	// Select receives the levels of all full buffers (at least two) and
+	// returns the indices of the buffers to collapse together plus the
+	// level to assign the collapse output. Level promotion (paper
+	// Section 3.6) is expressed by simply including the promoted buffers in
+	// the returned set with a higher output level.
+	Select(levels []int) (indices []int, outLevel int)
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// MRL returns the paper's collapse policy: find the smallest level ℓ* such
+// that at least two full buffers have level ≤ ℓ*, collapse all buffers with
+// level ≤ ℓ*, and assign the output level ℓ*+1. (A lone buffer below ℓ* is
+// exactly the paper's "increment its level until there are at least two at
+// the lowest level".)
+func MRL() Policy { return mrlPolicy{} }
+
+type mrlPolicy struct{}
+
+func (mrlPolicy) Name() string { return "mrl" }
+
+func (mrlPolicy) Select(levels []int) ([]int, int) {
+	mustAtLeastTwo(levels)
+	order := sortedByLevel(levels)
+	// ℓ* is the level of the second-lowest buffer: every buffer at or below
+	// it collapses together.
+	lstar := levels[order[1]]
+	var idx []int
+	for _, i := range order {
+		if levels[i] <= lstar {
+			idx = append(idx, i)
+		}
+	}
+	return idx, lstar + 1
+}
+
+// MunroPaterson returns the binary collapse policy of Munro & Paterson:
+// merge the lowest pair of equal-level buffers (keeping the tree a perfect
+// binary merge of 2^i-weight nodes while within the b-buffer capacity of
+// 2^b−1 leaves); past capacity, where no equal pair exists, the two lowest
+// buffers merge — the graceful-degradation behaviour the framework paper
+// ascribes to running MP beyond its sized stream length.
+func MunroPaterson() Policy { return mpPolicy{} }
+
+type mpPolicy struct{}
+
+func (mpPolicy) Name() string { return "munro-paterson" }
+
+func (mpPolicy) Select(levels []int) ([]int, int) {
+	mustAtLeastTwo(levels)
+	order := sortedByLevel(levels)
+	for i := 1; i < len(order); i++ {
+		a, b := order[i-1], order[i]
+		if levels[a] == levels[b] {
+			return []int{a, b}, levels[a] + 1
+		}
+	}
+	a, b := order[0], order[1]
+	return []int{a, b}, levels[b] + 1
+}
+
+// ARS returns the Alsabti–Ranka–Singh policy: collapse all level-0 buffers
+// in one step; when fewer than two level-0 buffers remain, collapse all
+// buffers together.
+func ARS() Policy { return arsPolicy{} }
+
+type arsPolicy struct{}
+
+func (arsPolicy) Name() string { return "ars" }
+
+func (arsPolicy) Select(levels []int) ([]int, int) {
+	mustAtLeastTwo(levels)
+	var zeros []int
+	maxLevel := 0
+	for i, l := range levels {
+		if l == 0 {
+			zeros = append(zeros, i)
+		}
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	if len(zeros) >= 2 {
+		return zeros, 1
+	}
+	all := make([]int, len(levels))
+	for i := range all {
+		all[i] = i
+	}
+	return all, maxLevel + 1
+}
+
+// ByName returns the named policy ("mrl", "munro-paterson" or "ars").
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "mrl":
+		return MRL(), nil
+	case "munro-paterson", "mp":
+		return MunroPaterson(), nil
+	case "ars":
+		return ARS(), nil
+	default:
+		return nil, fmt.Errorf("policy: unknown policy %q", name)
+	}
+}
+
+// sortedByLevel returns buffer indices ordered by ascending level (stable on
+// index for determinism).
+func sortedByLevel(levels []int) []int {
+	order := make([]int, len(levels))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortStableFunc(order, func(a, b int) int {
+		if levels[a] != levels[b] {
+			return levels[a] - levels[b]
+		}
+		return a - b
+	})
+	return order
+}
+
+func mustAtLeastTwo(levels []int) {
+	if len(levels) < 2 {
+		panic("policy: Select requires at least two full buffers")
+	}
+}

@@ -1,0 +1,173 @@
+package policy
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestMRLAllSameLevel(t *testing.T) {
+	idx, out := MRL().Select([]int{0, 0, 0, 0})
+	if !slices.Equal(idx, []int{0, 1, 2, 3}) || out != 1 {
+		t.Errorf("idx=%v out=%d", idx, out)
+	}
+}
+
+func TestMRLPromotesSingleton(t *testing.T) {
+	// Levels [0,1,1]: the lone level-0 buffer is promoted into the level-1
+	// collapse, so all three merge into a level-2 buffer.
+	idx, out := MRL().Select([]int{0, 1, 1})
+	slices.Sort(idx)
+	if !slices.Equal(idx, []int{0, 1, 2}) || out != 2 {
+		t.Errorf("idx=%v out=%d", idx, out)
+	}
+}
+
+func TestMRLPromotesThroughGap(t *testing.T) {
+	// Levels [0,2,2]: 0 promotes through 1 to 2; everything merges at level 3.
+	idx, out := MRL().Select([]int{0, 2, 2})
+	slices.Sort(idx)
+	if !slices.Equal(idx, []int{0, 1, 2}) || out != 3 {
+		t.Errorf("idx=%v out=%d", idx, out)
+	}
+}
+
+func TestMRLDistinctLevels(t *testing.T) {
+	// Levels [0,1,3]: lowest two collapse (0 promoted to meet 1) -> level 2;
+	// the level-3 buffer is untouched.
+	idx, out := MRL().Select([]int{0, 1, 3})
+	slices.Sort(idx)
+	if !slices.Equal(idx, []int{0, 1}) || out != 2 {
+		t.Errorf("idx=%v out=%d", idx, out)
+	}
+}
+
+func TestMRLLeavesHigherBuffersAlone(t *testing.T) {
+	idx, out := MRL().Select([]int{2, 0, 0, 5})
+	slices.Sort(idx)
+	if !slices.Equal(idx, []int{1, 2}) || out != 1 {
+		t.Errorf("idx=%v out=%d", idx, out)
+	}
+}
+
+func TestMunroPatersonPairs(t *testing.T) {
+	idx, out := MunroPaterson().Select([]int{0, 0, 0})
+	slices.Sort(idx)
+	if len(idx) != 2 || out != 1 {
+		t.Errorf("idx=%v out=%d", idx, out)
+	}
+}
+
+func TestMunroPatersonPrefersEqualPair(t *testing.T) {
+	// Levels [0, 2, 2]: the equal pair at level 2 merges even though a
+	// lower (lone) level-0 buffer exists.
+	idx, out := MunroPaterson().Select([]int{0, 2, 2})
+	slices.Sort(idx)
+	if !slices.Equal(idx, []int{1, 2}) || out != 3 {
+		t.Errorf("idx=%v out=%d", idx, out)
+	}
+	// The lowest equal pair wins when several exist.
+	idx, out = MunroPaterson().Select([]int{3, 3, 1, 1})
+	slices.Sort(idx)
+	if !slices.Equal(idx, []int{2, 3}) || out != 2 {
+		t.Errorf("idx=%v out=%d", idx, out)
+	}
+}
+
+func TestMunroPatersonUnevenLevels(t *testing.T) {
+	// The two lowest buffers are levels 1 and 2; output level 3.
+	idx, out := MunroPaterson().Select([]int{5, 2, 1, 4})
+	slices.Sort(idx)
+	if !slices.Equal(idx, []int{1, 2}) || out != 3 {
+		t.Errorf("idx=%v out=%d", idx, out)
+	}
+}
+
+func TestARSZeroPhase(t *testing.T) {
+	idx, out := ARS().Select([]int{0, 0, 1, 0})
+	slices.Sort(idx)
+	if !slices.Equal(idx, []int{0, 1, 3}) || out != 1 {
+		t.Errorf("idx=%v out=%d", idx, out)
+	}
+}
+
+func TestARSFinalPhase(t *testing.T) {
+	idx, out := ARS().Select([]int{1, 2, 0})
+	slices.Sort(idx)
+	if !slices.Equal(idx, []int{0, 1, 2}) || out != 3 {
+		t.Errorf("idx=%v out=%d", idx, out)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mrl", "munro-paterson", "mp", "ars"} {
+		p, err := ByName(name)
+		if err != nil || p == nil {
+			t.Errorf("ByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if MRL().Name() != "mrl" || MunroPaterson().Name() != "munro-paterson" || ARS().Name() != "ars" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestSelectPanicsOnTooFew(t *testing.T) {
+	for _, p := range []Policy{MRL(), MunroPaterson(), ARS()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", p.Name())
+				}
+			}()
+			p.Select([]int{0})
+		}()
+	}
+}
+
+// Property: every policy returns >= 2 distinct valid indices, and an output
+// level strictly above the minimum collapsed level (so trees terminate).
+func TestPolicyInvariants(t *testing.T) {
+	policies := []Policy{MRL(), MunroPaterson(), ARS()}
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		levels := make([]int, len(raw))
+		for i, v := range raw {
+			levels[i] = int(v % 6)
+		}
+		for _, p := range policies {
+			idx, out := p.Select(levels)
+			if len(idx) < 2 {
+				return false
+			}
+			seen := map[int]bool{}
+			maxCollapsed := -1
+			for _, i := range idx {
+				if i < 0 || i >= len(levels) || seen[i] {
+					return false
+				}
+				seen[i] = true
+				if levels[i] > maxCollapsed {
+					maxCollapsed = levels[i]
+				}
+			}
+			if out <= maxCollapsed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

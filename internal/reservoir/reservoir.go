@@ -1,0 +1,121 @@
+// Package reservoir implements Vitter's reservoir sampling (Algorithm R)
+// and the folklore quantile estimator built on it: keep a uniform sample of
+// s = ln(2/δ)/(2ε²) elements and report the φ-quantile of the sample.
+//
+// This is the prior-art unknown-N baseline the paper improves upon
+// (Section 2.2): correct, simple, but with memory quadratic in 1/ε because
+// the entire sample must be retained.
+package reservoir
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+	"repro/internal/xmath"
+)
+
+// Sampler maintains a uniform random sample of fixed capacity over a stream
+// of unknown length (Vitter's Algorithm R): the i-th element (1-based)
+// replaces a random reservoir slot with probability size/i.
+type Sampler[T any] struct {
+	sample []T
+	seen   uint64
+	rg     *rng.RNG
+}
+
+// NewSampler returns a Sampler with the given capacity.
+func NewSampler[T any](size int, seed uint64) (*Sampler[T], error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("reservoir: size must be positive, got %d", size)
+	}
+	return &Sampler[T]{sample: make([]T, 0, size), rg: rng.New(seed)}, nil
+}
+
+// Add offers one element to the reservoir.
+func (s *Sampler[T]) Add(v T) {
+	s.seen++
+	if len(s.sample) < cap(s.sample) {
+		s.sample = append(s.sample, v)
+		return
+	}
+	// Replace a random slot with probability size/seen.
+	if j := s.rg.Uint64n(s.seen); j < uint64(cap(s.sample)) {
+		s.sample[j] = v
+	}
+}
+
+// Seen returns the number of elements offered so far.
+func (s *Sampler[T]) Seen() uint64 { return s.seen }
+
+// Size returns the reservoir capacity.
+func (s *Sampler[T]) Size() int { return cap(s.sample) }
+
+// Sample returns the current sample. The slice aliases internal storage;
+// callers must not modify it.
+func (s *Sampler[T]) Sample() []T { return s.sample }
+
+// Reset empties the reservoir.
+func (s *Sampler[T]) Reset() {
+	s.sample = s.sample[:0]
+	s.seen = 0
+}
+
+// Quantile is the folklore ε-approximate quantile estimator over a
+// reservoir sample sized by the two-sided Hoeffding bound.
+type Quantile[T cmp.Ordered] struct {
+	s   *Sampler[T]
+	eps float64
+}
+
+// NewQuantile returns the estimator for the given ε and δ. Its memory is
+// Θ(ε⁻² log δ⁻¹) elements — the baseline of the paper's Section 2.2
+// comparison.
+func NewQuantile[T cmp.Ordered](eps, delta float64, seed uint64) (*Quantile[T], error) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("reservoir: eps/delta out of range")
+	}
+	size := xmath.HoeffdingSampleSize(eps, delta, 0)
+	if size > 1<<31 {
+		return nil, fmt.Errorf("reservoir: required sample size %d too large", size)
+	}
+	s, err := NewSampler[T](int(size), seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Quantile[T]{s: s, eps: eps}, nil
+}
+
+// Add offers one element.
+func (q *Quantile[T]) Add(v T) { q.s.Add(v) }
+
+// AddAll offers a slice of elements.
+func (q *Quantile[T]) AddAll(vs []T) {
+	for _, v := range vs {
+		q.s.Add(v)
+	}
+}
+
+// Query returns the φ-quantile of the current sample. Sorting cost is paid
+// per call; the estimator is a baseline, not a production path.
+func (q *Quantile[T]) Query(phi float64) (T, error) {
+	var zero T
+	if q.s.seen == 0 {
+		return zero, fmt.Errorf("reservoir: query on empty sample")
+	}
+	if phi <= 0 || phi > 1 {
+		return zero, fmt.Errorf("reservoir: quantile %v out of (0,1]", phi)
+	}
+	sorted := slices.Clone(q.s.Sample())
+	slices.Sort(sorted)
+	return sorted[exact.QuantileIndex(len(sorted), phi)], nil
+}
+
+// Count returns the number of elements offered.
+func (q *Quantile[T]) Count() uint64 { return q.s.Seen() }
+
+// MemoryElements returns the reservoir capacity — the estimator's memory
+// footprint in elements.
+func (q *Quantile[T]) MemoryElements() int { return q.s.Size() }

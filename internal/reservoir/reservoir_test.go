@@ -1,0 +1,151 @@
+package reservoir
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestNewSamplerValidation(t *testing.T) {
+	if _, err := NewSampler[int](0, 1); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewSampler[int](-3, 1); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestSamplerFillsThenCaps(t *testing.T) {
+	s, _ := NewSampler[int](10, 1)
+	for i := 0; i < 5; i++ {
+		s.Add(i)
+	}
+	if len(s.Sample()) != 5 {
+		t.Errorf("sample len %d, want 5", len(s.Sample()))
+	}
+	for i := 5; i < 1000; i++ {
+		s.Add(i)
+	}
+	if len(s.Sample()) != 10 || s.Size() != 10 {
+		t.Errorf("sample len %d cap %d, want 10/10", len(s.Sample()), s.Size())
+	}
+	if s.Seen() != 1000 {
+		t.Errorf("seen %d", s.Seen())
+	}
+}
+
+// TestSamplerUniformInclusion: every stream position must land in the final
+// sample with probability size/n. We test a few positions over many trials.
+func TestSamplerUniformInclusion(t *testing.T) {
+	const size, n, trials = 5, 50, 20000
+	counts := make([]int, n)
+	for tr := 0; tr < trials; tr++ {
+		s, _ := NewSampler[int](size, uint64(tr)+1)
+		for i := 0; i < n; i++ {
+			s.Add(i)
+		}
+		for _, v := range s.Sample() {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * size / n
+	sd := math.Sqrt(want * (1 - float64(size)/n))
+	for pos, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sd {
+			t.Errorf("position %d sampled %d times, want ~%.0f (sd %.1f)", pos, c, want, sd)
+		}
+	}
+}
+
+func TestSamplerReset(t *testing.T) {
+	s, _ := NewSampler[int](4, 2)
+	for i := 0; i < 100; i++ {
+		s.Add(i)
+	}
+	s.Reset()
+	if s.Seen() != 0 || len(s.Sample()) != 0 {
+		t.Error("reset incomplete")
+	}
+	s.Add(7)
+	if len(s.Sample()) != 1 || s.Sample()[0] != 7 {
+		t.Error("post-reset add failed")
+	}
+}
+
+func TestQuantileValidation(t *testing.T) {
+	if _, err := NewQuantile[float64](0, 0.1, 1); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewQuantile[float64](0.1, 0, 1); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := NewQuantile[float64](1e-6, 0.001, 1); err == nil {
+		t.Error("absurd sample size accepted")
+	}
+}
+
+func TestQuantileEmptyAndBadPhi(t *testing.T) {
+	q, _ := NewQuantile[float64](0.1, 0.01, 1)
+	if _, err := q.Query(0.5); err == nil {
+		t.Error("empty query accepted")
+	}
+	q.Add(1)
+	if _, err := q.Query(0); err == nil {
+		t.Error("phi=0 accepted")
+	}
+	if _, err := q.Query(1.1); err == nil {
+		t.Error("phi>1 accepted")
+	}
+}
+
+func TestQuantileSmallStreamExact(t *testing.T) {
+	// While n <= reservoir size the sample is the whole stream: exact.
+	q, _ := NewQuantile[float64](0.05, 0.01, 3)
+	data := stream.Collect(stream.Shuffled(500, 4))
+	q.AddAll(data)
+	if q.Count() != 500 {
+		t.Errorf("count %d", q.Count())
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9, 1.0} {
+		got, err := q.Query(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := exact.Quantile(data, phi); got != want {
+			t.Errorf("phi=%v: got %v want %v", phi, got, want)
+		}
+	}
+}
+
+func TestQuantileAccuracyLargeStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long accuracy test")
+	}
+	const eps = 0.05
+	q, err := NewQuantile[float64](eps, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Uniform(300_000, 6))
+	q.AddAll(data)
+	for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got, err := q.Query(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := exact.RankError(data, got, phi, eps); e != 0 {
+			t.Errorf("phi=%v: estimate off by %d ranks", phi, e)
+		}
+	}
+}
+
+func TestQuantileMemoryMatchesBound(t *testing.T) {
+	q, _ := NewQuantile[float64](0.01, 0.001, 1)
+	// ln(2/0.001) / (2*0.0001) = 38004.5... -> ceil
+	want := int(math.Ceil(math.Log(2/0.001) / (2 * 0.01 * 0.01)))
+	if q.MemoryElements() != want {
+		t.Errorf("memory %d, want %d", q.MemoryElements(), want)
+	}
+}

@@ -1,0 +1,154 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the repository.
+//
+// The paper's algorithms are randomized; reproducing its experiments demands
+// run-to-run determinism that is independent of Go release changes to
+// math/rand. We therefore implement xoshiro256** (Blackman & Vigna) from
+// scratch. The generator is splittable: Split derives an independent child
+// stream, which lets parallel workers and per-trial harness code draw from
+// non-overlapping streams while remaining reproducible from a single seed.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a xoshiro256** pseudo-random generator. The zero value is invalid;
+// use New. RNG is not safe for concurrent use; use Split to hand each
+// goroutine its own generator.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 is the recommended seeding function for xoshiro generators.
+type splitmix64 struct{ x uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given seed. Two generators created
+// with the same seed produce identical streams.
+func New(seed uint64) *RNG {
+	sm := splitmix64{x: seed}
+	r := &RNG{}
+	for i := range r.s {
+		r.s[i] = sm.next()
+	}
+	// Guard against the (astronomically unlikely) all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// State returns the generator's internal state for checkpointing.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured with State. It panics on the all-zero
+// state, which xoshiro cannot escape.
+func (r *RNG) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("rng: SetState with all-zero state")
+	}
+	r.s = s
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose future output is independent of the
+// receiver's. The receiver is advanced.
+func (r *RNG) Split() *RNG {
+	// Seed a fresh splitmix from the parent; this is the standard way to
+	// derive independent xoshiro streams without jump polynomials.
+	return New(r.Uint64() ^ 0xd2b74407b1ce6e93)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's nearly
+// divisionless method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// (Marsaglia) method.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided swap
+// function (Fisher–Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,298 @@
+// Package schedule implements the paper's dynamic buffer allocation
+// (Section 5): instead of allocating all b buffers up front, buffers are
+// allocated one at a time, as late as possible, so that the algorithm's
+// instantaneous memory usage tracks the known-N requirement while the
+// stream is still short — subject to user-specified memory caps at chosen
+// stream lengths.
+//
+// The construction: with buffer size k, the pre-sampling tree may grow to
+// height hmax = ⌊2εk⌋ − 1 without violating the deterministic error bound
+// (Eq 3). An m-buffer MRL tree stays within height hmax for its first
+// C(m+hmax−1, hmax) leaves, so allocating buffer m when the leaf count
+// reaches exactly that threshold keeps every prefix's output ε-approximate
+// while postponing each allocation as long as possible. Once all b buffers
+// exist the tree reaches height hmax at L_d = C(b+hmax−1, hmax) leaves and
+// the normal non-uniform sampling of the unknown-N algorithm takes over —
+// the paper's "no buffer allocation once sampling kicks in" regime. The
+// (b, k) pair is found by scanning k upward (the paper's "assigning
+// increasingly large values to k") and checking that the α interval implied
+// by Eqs 1–2 is non-empty.
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/optimize"
+	"repro/internal/xmath"
+)
+
+// Point is a user-specified memory cap: at stream length N the algorithm
+// may hold at most MaxMemory elements.
+type Point struct {
+	N         uint64
+	MaxMemory uint64
+}
+
+// Plan is a valid buffer-allocation schedule.
+type Plan struct {
+	// B buffers of K elements; sampling onset at height H (= hmax).
+	B, K, H int
+	// Alpha is a feasible ε split within the (αlo, αhi) interval.
+	Alpha float64
+	// Thresholds[i] is the number of completed leaves required before
+	// buffer i may be allocated (Thresholds[0] = 0, Thresholds[1] = 1).
+	Thresholds []uint64
+	// OnsetLeaves is L_d: the leaf count at which sampling begins.
+	OnsetLeaves uint64
+}
+
+// MaxMemory returns the plan's peak memory b·k.
+func (p Plan) MaxMemory() uint64 { return uint64(p.B) * uint64(p.K) }
+
+// MemoryAt returns the number of element slots allocated after n input
+// elements — the Figure 5 curve. Pre-sampling each leaf consumes exactly K
+// elements, so the leaf count at n is ⌊n/K⌋ (the buffer being filled is
+// counted as allocated).
+func (p Plan) MemoryAt(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	leaves := (n - 1) / uint64(p.K) // completed leaves before the element being added
+	alloc := 0
+	for _, t := range p.Thresholds {
+		if leaves >= t {
+			alloc++
+		}
+	}
+	if alloc == 0 {
+		alloc = 1
+	}
+	return uint64(alloc) * uint64(p.K)
+}
+
+// thresholds returns the allocation schedule for height cap hmax:
+// buffer i becomes allocatable at C(i+hmax−1, hmax) leaves.
+func thresholds(b, hmax int) []uint64 {
+	ts := make([]uint64, b)
+	for i := range ts {
+		ts[i] = xmath.Binomial(i+hmax-1, hmax)
+	}
+	return ts
+}
+
+// alphaInterval returns the feasible α interval (lo, hi) for parameters
+// (b, k, h): Eq 2 lower-bounds α, Eq 1 upper-bounds it.
+func alphaInterval(eps, delta float64, b, k, h int) (lo, hi float64, ok bool) {
+	ld, ls := optimize.LeafCounts(b, h)
+	if ls == 0 {
+		return 0, 0, false
+	}
+	minLeaf := math.Min(float64(ld), 8.0/3.0*float64(ls))
+	// Eq 1: (1−α)² ≥ ln(2/δ) / (2ε²·minLeaf·k).
+	q := math.Log(2/delta) / (2 * eps * eps * minLeaf * float64(k))
+	if q >= 1 {
+		return 0, 0, false
+	}
+	hi = 1 - math.Sqrt(q)
+	// Eq 2: α ≥ (h + c(β)) / (2εk).
+	beta := float64(ld) / float64(ls)
+	lo = (float64(h) + optimize.TreeConstant(beta)) / (2 * eps * float64(k))
+	if lo >= hi || lo >= 1 || hi <= 0 {
+		return lo, hi, false
+	}
+	return lo, hi, true
+}
+
+// Find searches for a buffer size k (scanning upward, as the paper
+// prescribes) whose schedule both satisfies the correctness constraints and
+// fits under every user memory cap. For each k, onset heights h are tried
+// from the Eq 3 cap downward (higher h postpones allocations further) and
+// buffer counts b from 2 upward (fewer buffers means a lower plateau);
+// the first combination whose α interval is non-empty and whose memory
+// curve meets the caps wins. kLimit bounds the search (0 selects a default
+// of 64× the unconstrained optimum's k). It returns an error when no valid
+// schedule meets the caps.
+func Find(eps, delta float64, limits []Point, kLimit int) (Plan, error) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return Plan{}, fmt.Errorf("schedule: eps/delta out of range")
+	}
+	base, err := optimize.UnknownN(eps, delta)
+	if err != nil {
+		return Plan{}, err
+	}
+	if kLimit <= 0 {
+		kLimit = base.K * 64
+	}
+	kMin := int(math.Ceil(1 / eps))
+	var best Plan
+	bestPeak := uint64(math.MaxUint64)
+	for k := kMin; k <= kLimit; k = max(k+1, k*21/20) {
+		hmax := int(2*eps*float64(k)) - 1
+		if hmax < 1 {
+			continue
+		}
+		for h := hmax; h >= 1; h-- {
+			for b := 2; b <= optimize.SearchLimit; b++ {
+				lo, hi, ok := alphaInterval(eps, delta, b, k, h)
+				if !ok {
+					continue
+				}
+				p := Plan{
+					B: b, K: k, H: h,
+					Alpha:      (lo + hi) / 2,
+					Thresholds: thresholds(b, h),
+				}
+				p.OnsetLeaves = xmath.Binomial(b+h-1, h)
+				if meetsLimits(p, limits) && p.MaxMemory() < bestPeak {
+					best, bestPeak = p, p.MaxMemory()
+				}
+				// A larger b only raises the memory curve at every N;
+				// try the next h instead.
+				break
+			}
+		}
+	}
+	if bestPeak == math.MaxUint64 {
+		return Plan{}, fmt.Errorf("schedule: no valid schedule within k <= %d meets the memory limits", kLimit)
+	}
+	return best, nil
+}
+
+// Goodness quantifies how closely a plan's memory curve tracks the known-N
+// requirement — the objective the paper says is needed to pick among the
+// "myriad of valid schedules" (Section 5). It is the mean, over a log-
+// spaced grid of stream lengths from 1e3 to 1e10, of the ratio
+// schedule-memory(N) / known-N-memory(N); 1.0 would be a schedule that
+// never uses more than an algorithm told N in advance.
+func Goodness(p Plan, eps, delta float64) (float64, error) {
+	ns, curve, err := knownCurve(eps, delta)
+	if err != nil {
+		return 0, err
+	}
+	return goodnessAgainst(p, ns, curve), nil
+}
+
+// knownCurve evaluates the known-N memory requirement on the Goodness grid.
+func knownCurve(eps, delta float64) ([]uint64, []uint64, error) {
+	var ns, curve []uint64
+	for l := 3.0; l <= 10.0; l += 0.25 {
+		n := uint64(math.Pow(10, l))
+		kn, err := optimize.KnownN(eps, delta, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		ns = append(ns, n)
+		curve = append(curve, kn.Memory)
+	}
+	return ns, curve, nil
+}
+
+func goodnessAgainst(p Plan, ns, curve []uint64) float64 {
+	var sum float64
+	for i, n := range ns {
+		sum += float64(p.MemoryAt(n)) / float64(curve[i])
+	}
+	return sum / float64(len(ns))
+}
+
+// FindBest searches the same space as Find but returns the valid,
+// limit-respecting plan with the lowest Goodness score instead of the
+// lowest peak. It costs a Goodness evaluation per candidate, so the k scan
+// is coarser; use Find when only the peak matters.
+func FindBest(eps, delta float64, limits []Point, kLimit int) (Plan, error) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return Plan{}, fmt.Errorf("schedule: eps/delta out of range")
+	}
+	base, err := optimize.UnknownN(eps, delta)
+	if err != nil {
+		return Plan{}, err
+	}
+	if kLimit <= 0 {
+		kLimit = base.K * 16
+	}
+	ns, curve, err := knownCurve(eps, delta)
+	if err != nil {
+		return Plan{}, err
+	}
+	kMin := int(math.Ceil(1 / eps))
+	var best Plan
+	bestScore := math.Inf(1)
+	for k := kMin; k <= kLimit; k = max(k+1, k*11/10) {
+		hmax := int(2*eps*float64(k)) - 1
+		if hmax < 1 {
+			continue
+		}
+		for h := hmax; h >= 1; h-- {
+			feasible := false
+			for b := 2; b <= optimize.SearchLimit; b++ {
+				lo, hi, ok := alphaInterval(eps, delta, b, k, h)
+				if !ok {
+					continue
+				}
+				p := Plan{
+					B: b, K: k, H: h,
+					Alpha:      (lo + hi) / 2,
+					Thresholds: thresholds(b, h),
+				}
+				p.OnsetLeaves = xmath.Binomial(b+h-1, h)
+				feasible = true
+				if !meetsLimits(p, limits) {
+					break
+				}
+				score := goodnessAgainst(p, ns, curve)
+				if score < bestScore {
+					best, bestScore = p, score
+				}
+				break
+			}
+			_ = feasible
+		}
+	}
+	if math.IsInf(bestScore, 1) {
+		return Plan{}, fmt.Errorf("schedule: no valid schedule within k <= %d meets the memory limits", kLimit)
+	}
+	return best, nil
+}
+
+func meetsLimits(p Plan, limits []Point) bool {
+	for _, l := range limits {
+		if p.MemoryAt(l.N) > l.MaxMemory {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the structural validity conditions of a plan:
+// thresholds non-decreasing, first two thresholds 0 and ≤ 1 (no deadlock),
+// each threshold at most the height-capped capacity of the buffers
+// preceding it, and a non-empty α interval. It returns nil for plans
+// produced by Find.
+func Validate(p Plan, eps, delta float64) error {
+	if len(p.Thresholds) != p.B {
+		return fmt.Errorf("schedule: %d thresholds for %d buffers", len(p.Thresholds), p.B)
+	}
+	if p.Thresholds[0] != 0 {
+		return fmt.Errorf("schedule: first buffer must be allocatable immediately")
+	}
+	if p.B >= 2 && p.Thresholds[1] > 1 {
+		return fmt.Errorf("schedule: second buffer delayed past first leaf (deadlock)")
+	}
+	for i := 1; i < p.B; i++ {
+		if p.Thresholds[i] < p.Thresholds[i-1] {
+			return fmt.Errorf("schedule: thresholds decrease at %d", i)
+		}
+		// With i buffers the tree exceeds height H after C(i+H−1, H)
+		// leaves; buffer i must be available by then.
+		cap := xmath.Binomial(i+p.H-1, p.H)
+		if p.Thresholds[i] > cap {
+			return fmt.Errorf("schedule: buffer %d allocated after height cap would be exceeded (%d > %d)",
+				i, p.Thresholds[i], cap)
+		}
+	}
+	if _, _, ok := alphaInterval(eps, delta, p.B, p.K, p.H); !ok {
+		return fmt.Errorf("schedule: alpha interval empty for b=%d k=%d h=%d", p.B, p.K, p.H)
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/optimize"
+	"repro/internal/stream"
+)
+
+func TestFindUnconstrained(t *testing.T) {
+	p, err := Find(0.01, 1e-4, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(p, 0.01, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	if p.Thresholds[0] != 0 || p.Thresholds[1] != 1 {
+		t.Errorf("leading thresholds %v", p.Thresholds[:2])
+	}
+	if p.OnsetLeaves == 0 {
+		t.Error("onset leaves not set")
+	}
+}
+
+func TestFindRespectsLimits(t *testing.T) {
+	// Cap early memory well below the final footprint.
+	base, _ := optimize.UnknownN(0.01, 1e-4)
+	limits := []Point{
+		{N: 10_000, MaxMemory: base.Memory / 2},
+		{N: 1 << 40, MaxMemory: base.Memory * 4},
+	}
+	p, err := Find(0.01, 1e-4, limits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range limits {
+		if got := p.MemoryAt(l.N); got > l.MaxMemory {
+			t.Errorf("memory at N=%d is %d > cap %d", l.N, got, l.MaxMemory)
+		}
+	}
+	if err := Validate(p, 0.01, 1e-4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindImpossibleLimits(t *testing.T) {
+	limits := []Point{{N: 1 << 40, MaxMemory: 10}}
+	if _, err := Find(0.01, 1e-4, limits, 2000); err == nil {
+		t.Error("impossible limits accepted")
+	}
+}
+
+func TestFindBadInputs(t *testing.T) {
+	if _, err := Find(0, 0.1, nil, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := Find(0.1, 1, nil, 0); err == nil {
+		t.Error("delta=1 accepted")
+	}
+}
+
+func TestMemoryCurveShape(t *testing.T) {
+	p, err := Find(0.01, 1e-4, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-decreasing, starts at one buffer, plateaus at B*K.
+	var prev uint64
+	plateau := p.MaxMemory()
+	for n := uint64(1); n < plateau*uint64(p.B)*10; n = n*3/2 + 1 {
+		m := p.MemoryAt(n)
+		if m < prev {
+			t.Fatalf("memory decreased at n=%d: %d -> %d", n, prev, m)
+		}
+		if m > plateau {
+			t.Fatalf("memory %d exceeds plateau %d", m, plateau)
+		}
+		prev = m
+	}
+	if p.MemoryAt(uint64(p.K)) != uint64(p.K) {
+		t.Errorf("first-leaf memory %d, want one buffer %d", p.MemoryAt(uint64(p.K)), p.K)
+	}
+	if p.MemoryAt(0) != 0 {
+		t.Error("zero-stream memory should be 0")
+	}
+}
+
+func TestScheduleBeatsUpfrontAllocationEarly(t *testing.T) {
+	// The whole point of Section 5: at small N the scheduled algorithm uses
+	// a fraction of the upfront b·k.
+	p, err := Find(0.01, 1e-4, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := p.MemoryAt(uint64(p.K * 3))
+	if small*2 > p.MaxMemory() {
+		t.Errorf("early memory %d not well below plateau %d", small, p.MaxMemory())
+	}
+}
+
+func TestValidateCatchesBadPlans(t *testing.T) {
+	good, err := Find(0.05, 1e-3, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Thresholds = append([]uint64{}, good.Thresholds...)
+	bad.Thresholds[1] = 5
+	if err := Validate(bad, 0.05, 1e-3); err == nil {
+		t.Error("deadlocking schedule validated")
+	}
+	bad2 := good
+	bad2.Thresholds = good.Thresholds[:len(good.Thresholds)-1]
+	if err := Validate(bad2, 0.05, 1e-3); err == nil {
+		t.Error("short threshold list validated")
+	}
+	if good.B > 2 {
+		bad3 := good
+		bad3.Thresholds = append([]uint64{}, good.Thresholds...)
+		// Delay a later buffer past the height-capped capacity.
+		bad3.Thresholds[good.B-1] = bad3.Thresholds[good.B-1] * 1000
+		if err := Validate(bad3, 0.05, 1e-3); err == nil {
+			t.Error("over-delayed schedule validated")
+		}
+	}
+}
+
+func TestGoodnessMetric(t *testing.T) {
+	p, err := Find(0.01, 1e-4, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Goodness(p, 0.01, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A valid schedule always costs at least as much as knowing N; a sane
+	// one stays within a small factor on average.
+	if g < 1 || g > 5 {
+		t.Errorf("goodness %v outside plausible [1, 5]", g)
+	}
+}
+
+func TestFindBestImprovesGoodness(t *testing.T) {
+	peak, err := Find(0.01, 1e-4, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := FindBest(0.01, 1e-4, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(best, 0.01, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	gPeak, _ := Goodness(peak, 0.01, 1e-4)
+	gBest, _ := Goodness(best, 0.01, 1e-4)
+	if gBest > gPeak*(1+1e-9) {
+		t.Errorf("FindBest goodness %v worse than Find's %v", gBest, gPeak)
+	}
+}
+
+func TestFindBestRespectsLimits(t *testing.T) {
+	limits := []Point{{N: 10_000, MaxMemory: 3000}}
+	p, err := FindBest(0.01, 1e-4, limits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MemoryAt(10_000); got > 3000 {
+		t.Errorf("memory at cap: %d", got)
+	}
+	if _, err := FindBest(0.01, 1e-4, []Point{{N: 1 << 40, MaxMemory: 5}}, 2000); err == nil {
+		t.Error("impossible limits accepted")
+	}
+	if _, err := FindBest(0, 0.5, nil, 0); err == nil {
+		t.Error("bad eps accepted")
+	}
+}
+
+// TestScheduledSketchEndToEnd runs the actual sketch under a found plan and
+// checks (a) the memory curve matches MemoryAt, and (b) every prefix's
+// median stays within ε — the paper's validity requirement "the output is
+// an ε-approximate φ-quantile no matter what the current value of N is".
+func TestScheduledSketchEndToEnd(t *testing.T) {
+	const eps = 0.05
+	plan, err := Find(eps, 1e-3, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{B: plan.B, K: plan.K, H: plan.H, Seed: 3, Schedule: plan.Thresholds}
+	s, err := core.NewSketch[float64](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := plan.OnsetLeaves*uint64(plan.K)/2 + 1000 // stay pre-sampling: deterministic guarantee
+	if n > 2_000_000 {
+		n = 2_000_000
+	}
+	data := stream.Collect(stream.Shuffled(n, 11))
+	for i, v := range data {
+		s.Add(v)
+		nn := uint64(i + 1)
+		if wantMem := plan.MemoryAt(nn); uint64(s.Stats().Allocated*plan.K) > wantMem {
+			t.Fatalf("n=%d: allocated %d elements, plan says %d",
+				nn, s.Stats().Allocated*plan.K, wantMem)
+		}
+		if i%5000 == 4999 || i == len(data)-1 {
+			med, err := s.QueryOne(0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := exact.RankError(data[:i+1], med, 0.5, eps); e != 0 {
+				t.Fatalf("prefix %d: median off by %d ranks", i+1, e)
+			}
+		}
+	}
+}

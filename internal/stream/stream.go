@@ -1,0 +1,294 @@
+// Package stream generates the synthetic data streams the experiments run
+// over. The paper's motivating workloads are database column scans (sales
+// tables, intermediate query results, dynamically growing tables); we model
+// them with deterministic, resettable generators covering the value
+// distributions (uniform, normal, zipf-skewed, exponential) and arrival
+// orders (random, sorted, reversed, block-adversarial) that exercise the
+// algorithms' data-independence claims (paper Section 1.3).
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Source is a finite stream of float64 values. Implementations are
+// deterministic: after Reset the exact same sequence is produced again.
+type Source interface {
+	// Next returns the next element, or ok=false when the stream is
+	// exhausted.
+	Next() (v float64, ok bool)
+	// Len returns the total number of elements the source produces per pass.
+	Len() uint64
+	// Reset rewinds the source to the beginning of its sequence.
+	Reset()
+	// Name identifies the source in experiment output.
+	Name() string
+}
+
+// Collect drains src from its current position and returns the remaining
+// elements as a slice. Callers usually Reset first.
+func Collect(src Source) []float64 {
+	out := make([]float64, 0, int(min(src.Len(), 1<<24)))
+	for {
+		v, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Slice is a Source backed by an in-memory slice.
+type Slice struct {
+	data []float64
+	pos  int
+	name string
+}
+
+// FromSlice wraps data in a Source named name. The slice is not copied.
+func FromSlice(name string, data []float64) *Slice {
+	return &Slice{data: data, name: name}
+}
+
+// Next implements Source.
+func (s *Slice) Next() (float64, bool) {
+	if s.pos >= len(s.data) {
+		return 0, false
+	}
+	v := s.data[s.pos]
+	s.pos++
+	return v, true
+}
+
+// Len implements Source.
+func (s *Slice) Len() uint64 { return uint64(len(s.data)) }
+
+// Reset implements Source.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Name implements Source.
+func (s *Slice) Name() string { return s.name }
+
+// gen is the common core of the generated sources.
+type gen struct {
+	n       uint64
+	emitted uint64
+	seed    uint64
+	r       *rng.RNG
+	name    string
+	next    func(g *gen) float64
+}
+
+func (g *gen) Next() (float64, bool) {
+	if g.emitted >= g.n {
+		return 0, false
+	}
+	g.emitted++
+	return g.next(g), true
+}
+
+func (g *gen) Len() uint64 { return g.n }
+
+func (g *gen) Reset() {
+	g.emitted = 0
+	g.r = rng.New(g.seed)
+}
+
+func (g *gen) Name() string { return g.name }
+
+func newGen(name string, n, seed uint64, next func(g *gen) float64) *gen {
+	return &gen{n: n, seed: seed, r: rng.New(seed), name: name, next: next}
+}
+
+// Uniform returns n i.i.d. Uniform[0,1) values.
+func Uniform(n, seed uint64) Source {
+	return newGen(fmt.Sprintf("uniform(n=%d)", n), n, seed, func(g *gen) float64 {
+		return g.r.Float64()
+	})
+}
+
+// Normal returns n i.i.d. Normal(mu, sigma) values.
+func Normal(n, seed uint64, mu, sigma float64) Source {
+	return newGen(fmt.Sprintf("normal(n=%d,mu=%g,sigma=%g)", n, mu, sigma), n, seed,
+		func(g *gen) float64 { return mu + sigma*g.r.NormFloat64() })
+}
+
+// Exponential returns n i.i.d. Exponential(rate) values — a heavily skewed
+// distribution typical of sales or latency columns.
+func Exponential(n, seed uint64, rate float64) Source {
+	if rate <= 0 {
+		panic("stream: Exponential rate must be positive")
+	}
+	return newGen(fmt.Sprintf("exp(n=%d,rate=%g)", n, rate), n, seed,
+		func(g *gen) float64 { return g.r.ExpFloat64() / rate })
+}
+
+// Sorted returns 0, 1, 2, …, n−1 in increasing order: the arrival pattern of
+// a clustered index scan and a worst case for naive sampling schemes.
+func Sorted(n uint64) Source {
+	return newGen(fmt.Sprintf("sorted(n=%d)", n), n, 0, func(g *gen) float64 {
+		return float64(g.emitted - 1)
+	})
+}
+
+// Reversed returns n−1, n−2, …, 0.
+func Reversed(n uint64) Source {
+	return newGen(fmt.Sprintf("reversed(n=%d)", n), n, 0, func(g *gen) float64 {
+		return float64(g.n - g.emitted)
+	})
+}
+
+// BlockAdversarial emits values so that consecutive fixed-size blocks come
+// alternately from the far low and far high ends of the value domain, then
+// creep toward the middle. This stresses the collapse tree: every buffer
+// holds elements from a narrow band, maximizing the rank uncertainty a
+// collapse must absorb.
+func BlockAdversarial(n, seed uint64, blockSize int) Source {
+	if blockSize <= 0 {
+		blockSize = 1024
+	}
+	return newGen(fmt.Sprintf("adversarial(n=%d,block=%d)", n, blockSize), n, seed,
+		func(g *gen) float64 {
+			i := g.emitted - 1
+			block := i / uint64(blockSize)
+			within := float64(i%uint64(blockSize)) / float64(blockSize)
+			half := float64(block/2) * float64(blockSize)
+			if block%2 == 0 {
+				// low band creeping up
+				return half + within*float64(blockSize)
+			}
+			// high band creeping down
+			return float64(g.n) - half - within*float64(blockSize)
+		})
+}
+
+// Zipf returns n i.i.d. Zipf(s, v, imax)-distributed ranks in [0, imax],
+// modelling highly skewed categorical measures (e.g. per-franchise sales
+// counts, paper Section 1.1). Uses rejection-inversion (Hörmann &
+// Derflinger), implemented from scratch; s > 1.
+func Zipf(n, seed uint64, s float64, imax uint64) Source {
+	z := newZipf(s, imax)
+	return newGen(fmt.Sprintf("zipf(n=%d,s=%g,imax=%d)", n, s, imax), n, seed,
+		func(g *gen) float64 { return float64(z.draw(g.r)) })
+}
+
+// zipf implements rejection-inversion sampling for the Zipf distribution
+// P(k) ∝ (v+k)^(−s) on k ∈ [0, imax] with v = 1.
+type zipf struct {
+	s, v             float64
+	imax             float64
+	oneminusQ        float64 // 1−s
+	oneminusQinv     float64 // 1/(1−s)
+	hxm, hx0minusHxm float64
+}
+
+func newZipf(s float64, imax uint64) *zipf {
+	if s <= 1 {
+		panic("stream: Zipf requires s > 1")
+	}
+	z := &zipf{s: s, v: 1, imax: float64(imax)}
+	z.oneminusQ = 1 - s
+	z.oneminusQinv = 1 / z.oneminusQ
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0minusHxm = z.h(0.5) - math.Exp(math.Log(z.v)*(-s)) - z.hxm
+	return z
+}
+
+// h is the antiderivative used by rejection-inversion.
+func (z *zipf) h(x float64) float64 {
+	return math.Exp(z.oneminusQ*math.Log(z.v+x)) * z.oneminusQinv
+}
+
+func (z *zipf) hinv(x float64) float64 {
+	return math.Exp(z.oneminusQinv*math.Log(z.oneminusQ*x)) - z.v
+}
+
+func (z *zipf) draw(r *rng.RNG) uint64 {
+	for {
+		u := z.hxm + r.Float64()*z.hx0minusHxm
+		x := z.hinv(u)
+		k := math.Floor(x + 0.5)
+		if k < 0 {
+			k = 0
+		}
+		if k-x <= 0.01 || u >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.s) {
+			return uint64(k)
+		}
+	}
+}
+
+// Shuffled returns a random permutation of 0, 1, …, n−1. Unlike the i.i.d.
+// generators every value is distinct, so exact ranks are unambiguous —
+// convenient for tight accuracy assertions. Requires n to fit in memory.
+func Shuffled(n, seed uint64) Source {
+	if n > 1<<28 {
+		panic("stream: Shuffled stream too large to materialize")
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	r := rng.New(seed)
+	r.Shuffle(len(data), func(i, j int) { data[i], data[j] = data[j], data[i] })
+	return FromSlice(fmt.Sprintf("shuffled(n=%d)", n), data)
+}
+
+// Constant returns n copies of value c — the degenerate duplicate-heavy
+// stream (every quantile is c).
+func Constant(n uint64, c float64) Source {
+	return newGen(fmt.Sprintf("constant(n=%d,c=%g)", n, c), n, 0,
+		func(g *gen) float64 { return c })
+}
+
+// Drift returns n values whose distribution shifts continuously over the
+// stream: Normal(mu0 + driftPerElem·i, sigma). A value distribution that
+// changes over time stresses the unknown-N algorithm's non-uniform
+// sampling — early (heavily sampled) elements come from a different
+// distribution than late (lightly sampled) ones, yet the rank guarantee
+// must still hold over the union.
+func Drift(n, seed uint64, mu0, sigma, driftPerElem float64) Source {
+	return newGen(fmt.Sprintf("drift(n=%d,mu0=%g,rate=%g)", n, mu0, driftPerElem), n, seed,
+		func(g *gen) float64 {
+			mu := mu0 + driftPerElem*float64(g.emitted-1)
+			return mu + sigma*g.r.NormFloat64()
+		})
+}
+
+// Mixture returns n values drawn from a two-component mixture: with
+// probability w the value is Normal(muA, sigmaA), otherwise
+// Normal(muB, sigmaB) — a bimodal column (e.g. weekday/weekend traffic).
+func Mixture(n, seed uint64, w, muA, sigmaA, muB, sigmaB float64) Source {
+	if w < 0 || w > 1 {
+		panic("stream: mixture weight out of [0,1]")
+	}
+	return newGen(fmt.Sprintf("mixture(n=%d,w=%g)", n, w), n, seed,
+		func(g *gen) float64 {
+			if g.r.Float64() < w {
+				return muA + sigmaA*g.r.NormFloat64()
+			}
+			return muB + sigmaB*g.r.NormFloat64()
+		})
+}
+
+// Sales models a quarterly sales fact column: a log-normal body with a small
+// fraction of extreme outliers, the workload motivating the paper's
+// extreme-quantile use case (95th/99th percentile of franchise sales).
+func Sales(n, seed uint64) Source {
+	return newGen(fmt.Sprintf("sales(n=%d)", n), n, seed, func(g *gen) float64 {
+		v := math.Exp(3 + 0.8*g.r.NormFloat64()) // log-normal body
+		if g.r.Float64() < 0.001 {
+			v *= 50 + 100*g.r.Float64() // rare mega-orders
+		}
+		return v
+	})
+}

@@ -1,0 +1,299 @@
+package stream
+
+import (
+	"math"
+	"slices"
+	"testing"
+)
+
+// drain pulls every element and checks the emitted count matches Len.
+func drain(t *testing.T, s Source) []float64 {
+	t.Helper()
+	out := Collect(s)
+	if uint64(len(out)) != s.Len() {
+		t.Fatalf("%s: emitted %d elements, Len() = %d", s.Name(), len(out), s.Len())
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatalf("%s: Next succeeded after exhaustion", s.Name())
+	}
+	return out
+}
+
+func TestResetReproducesSequence(t *testing.T) {
+	sources := []Source{
+		Uniform(1000, 42),
+		Normal(1000, 42, 5, 2),
+		Exponential(1000, 42, 0.5),
+		Zipf(1000, 42, 1.5, 1<<20),
+		Sorted(1000),
+		Reversed(1000),
+		BlockAdversarial(1000, 42, 64),
+		Shuffled(1000, 42),
+		Drift(1000, 42, 0, 1, 0.01),
+		Mixture(1000, 42, 0.5, 0, 1, 10, 1),
+		Constant(1000, 3.25),
+		Sales(1000, 42),
+	}
+	for _, s := range sources {
+		first := drain(t, s)
+		s.Reset()
+		second := drain(t, s)
+		if !slices.Equal(first, second) {
+			t.Errorf("%s: Reset did not reproduce the sequence", s.Name())
+		}
+	}
+}
+
+func TestSortedAndReversed(t *testing.T) {
+	asc := drain(t, Sorted(100))
+	for i, v := range asc {
+		if v != float64(i) {
+			t.Fatalf("Sorted[%d] = %v", i, v)
+		}
+	}
+	desc := drain(t, Reversed(100))
+	for i, v := range desc {
+		if v != float64(99-i) {
+			t.Fatalf("Reversed[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	out := drain(t, Shuffled(500, 7))
+	sortedOut := slices.Clone(out)
+	slices.Sort(sortedOut)
+	for i, v := range sortedOut {
+		if v != float64(i) {
+			t.Fatalf("Shuffled missing value %d (got %v)", i, v)
+		}
+	}
+	// Must not be the identity permutation.
+	identity := true
+	for i, v := range out {
+		if v != float64(i) {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Error("Shuffled produced the identity permutation")
+	}
+}
+
+func TestUniformRangeAndMean(t *testing.T) {
+	out := drain(t, Uniform(100000, 3))
+	var sum float64
+	for _, v := range out {
+		if v < 0 || v >= 1 {
+			t.Fatalf("uniform value out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(len(out)); math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean %v", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	out := drain(t, Normal(200000, 5, 10, 3))
+	var sum, sumSq float64
+	for _, v := range out {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(out))
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("normal mean %v, want ~10", mean)
+	}
+	if math.Abs(sd-3) > 0.05 {
+		t.Errorf("normal sd %v, want ~3", sd)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	out := drain(t, Exponential(200000, 7, 2))
+	var sum float64
+	for _, v := range out {
+		if v < 0 {
+			t.Fatalf("negative exponential value %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(len(out)); math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("exponential mean %v, want ~0.5", mean)
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Exponential(10, 1, 0)
+}
+
+func TestZipfSkewAndRange(t *testing.T) {
+	const imax = 1 << 20
+	out := drain(t, Zipf(200000, 11, 2.0, imax))
+	zeros := 0
+	for _, v := range out {
+		if v < 0 || v > imax {
+			t.Fatalf("zipf value out of range: %v", v)
+		}
+		if v == 0 {
+			zeros++
+		}
+	}
+	// With s=2 the mass at rank 0 is about 1/zeta(2) ~ 0.61.
+	frac := float64(zeros) / float64(len(out))
+	if frac < 0.5 || frac > 0.72 {
+		t.Errorf("zipf(2) mass at 0 = %v, want ~0.61", frac)
+	}
+}
+
+func TestZipfPanicsOnBadS(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Zipf(10, 1, 1.0, 100)
+}
+
+func TestBlockAdversarialCoversDomain(t *testing.T) {
+	const n = 4096
+	out := drain(t, BlockAdversarial(n, 1, 256))
+	lo, hi := out[0], out[0]
+	for _, v := range out {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo > float64(n)/8 || hi < float64(n)*7/8 {
+		t.Errorf("adversarial stream range [%v,%v] does not span the domain", lo, hi)
+	}
+	// First block must be low values, second block high values.
+	if out[0] > float64(n)/2 {
+		t.Errorf("first block should be low, got %v", out[0])
+	}
+	if out[300] < float64(n)/2 {
+		t.Errorf("second block should be high, got %v", out[300])
+	}
+}
+
+func TestBlockAdversarialDefaultBlock(t *testing.T) {
+	s := BlockAdversarial(10, 1, 0) // blockSize <= 0 takes the default
+	if got := len(drain(t, s)); got != 10 {
+		t.Errorf("emitted %d", got)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	for _, v := range drain(t, Constant(50, 9.5)) {
+		if v != 9.5 {
+			t.Fatalf("constant emitted %v", v)
+		}
+	}
+}
+
+func TestSalesPositiveSkewed(t *testing.T) {
+	out := drain(t, Sales(100000, 13))
+	var sum float64
+	var over float64
+	for _, v := range out {
+		if v <= 0 {
+			t.Fatalf("sales value not positive: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(len(out))
+	for _, v := range out {
+		if v > mean {
+			over++
+		}
+	}
+	// Right-skew: well under half the values exceed the mean.
+	if frac := over / float64(len(out)); frac > 0.45 {
+		t.Errorf("sales distribution not right-skewed: %v above mean", frac)
+	}
+}
+
+func TestDriftShiftsOverTime(t *testing.T) {
+	out := drain(t, Drift(100_000, 17, 0, 1, 0.001))
+	var early, late float64
+	for _, v := range out[:10_000] {
+		early += v
+	}
+	for _, v := range out[90_000:] {
+		late += v
+	}
+	early /= 10_000
+	late /= 10_000
+	// Mean drifts by 0.001/elem: late mean ~95, early mean ~5.
+	if late-early < 80 {
+		t.Errorf("drift too small: early mean %v, late mean %v", early, late)
+	}
+}
+
+func TestMixtureBimodal(t *testing.T) {
+	out := drain(t, Mixture(100_000, 19, 0.3, 0, 1, 100, 1))
+	var nearA, nearB int
+	for _, v := range out {
+		if math.Abs(v) < 10 {
+			nearA++
+		}
+		if math.Abs(v-100) < 10 {
+			nearB++
+		}
+	}
+	fa := float64(nearA) / float64(len(out))
+	fb := float64(nearB) / float64(len(out))
+	if math.Abs(fa-0.3) > 0.02 || math.Abs(fb-0.7) > 0.02 {
+		t.Errorf("mixture weights off: %v near A, %v near B", fa, fb)
+	}
+}
+
+func TestMixturePanicsOnBadWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Mixture(10, 1, 1.5, 0, 1, 1, 1)
+}
+
+func TestFromSlice(t *testing.T) {
+	s := FromSlice("x", []float64{3, 1, 2})
+	if s.Len() != 3 || s.Name() != "x" {
+		t.Fatal("FromSlice metadata wrong")
+	}
+	got := drain(t, s)
+	if !slices.Equal(got, []float64{3, 1, 2}) {
+		t.Errorf("FromSlice order changed: %v", got)
+	}
+	s.Reset()
+	if v, ok := s.Next(); !ok || v != 3 {
+		t.Error("Reset on slice source failed")
+	}
+}
+
+func TestCollectPartiallyDrained(t *testing.T) {
+	s := Sorted(10)
+	s.Next()
+	s.Next()
+	rest := Collect(s)
+	if len(rest) != 8 || rest[0] != 2 {
+		t.Errorf("Collect after partial drain: %v", rest)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := Collect(Uniform(100, 1))
+	b := Collect(Uniform(100, 2))
+	if slices.Equal(a, b) {
+		t.Error("different seeds produced identical streams")
+	}
+}

@@ -1,0 +1,188 @@
+// Package trace reconstructs and renders the logical collapse tree of a
+// quantile sketch from the structural events emitted by core.Tree's Tracer
+// hook. It exists to reproduce the paper's Figures 2 and 3 — the tree
+// diagrams with per-node weights — as verifiable program output rather than
+// hand-drawn pictures.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one logical buffer in the collapse tree's history. Leaves have no
+// children; collapse outputs carry the merged inputs as children.
+type Node struct {
+	ID       uint64
+	Level    int
+	Weight   uint64
+	Children []*Node
+
+	// runLen > 1 marks a synthetic node standing for a run of identical
+	// sibling leaves (used only during compressed rendering).
+	runLen int
+}
+
+// Builder implements core.Tracer, accumulating the forest of live nodes.
+type Builder struct {
+	live  map[uint64]*Node
+	order []uint64 // creation order of live roots, for stable rendering
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{live: make(map[uint64]*Node)}
+}
+
+// Leaf implements core.Tracer.
+func (b *Builder) Leaf(id uint64, level int, weight uint64) {
+	b.live[id] = &Node{ID: id, Level: level, Weight: weight}
+	b.order = append(b.order, id)
+}
+
+// Collapse implements core.Tracer.
+func (b *Builder) Collapse(in []uint64, out uint64, level int, weight uint64) {
+	node := &Node{ID: out, Level: level, Weight: weight}
+	for _, id := range in {
+		if child, ok := b.live[id]; ok {
+			node.Children = append(node.Children, child)
+			delete(b.live, id)
+		}
+	}
+	b.live[out] = node
+	b.order = append(b.order, out)
+}
+
+// Roots returns the current live nodes (the buffers an Output would scan),
+// in creation order — the children of the paper's conceptual root.
+func (b *Builder) Roots() []*Node {
+	roots := make([]*Node, 0, len(b.live))
+	for _, id := range b.order {
+		if n, ok := b.live[id]; ok && !contains(roots, n) {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+func contains(ns []*Node, n *Node) bool {
+	for _, x := range ns {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// CountLeaves returns the number of leaf descendants of n (n itself if it
+// is a leaf).
+func CountLeaves(n *Node) uint64 {
+	if len(n.Children) == 0 {
+		return 1
+	}
+	var c uint64
+	for _, ch := range n.Children {
+		c += CountLeaves(ch)
+	}
+	return c
+}
+
+// Render draws the forest with box-drawing characters. When compress is
+// true, runs of sibling leaves with equal level and weight are shown as a
+// single "n leaves" line — the form the paper's figures use for wide trees.
+func Render(roots []*Node, compress bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(root: Output over %d buffer(s))\n", len(roots))
+	for i, r := range roots {
+		renderNode(&b, r, "", i == len(roots)-1, compress)
+	}
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, prefix string, last bool, compress bool) {
+	branch, childPrefix := "├── ", prefix+"│   "
+	if last {
+		branch, childPrefix = "└── ", prefix+"    "
+	}
+	kind := "node"
+	if len(n.Children) == 0 {
+		kind = "leaf"
+	}
+	fmt.Fprintf(b, "%s%s[%s w=%d L%d]\n", prefix, branch, kind, n.Weight, n.Level)
+
+	children := n.Children
+	if compress {
+		children = nil
+		// Group consecutive leaf children with identical (level, weight).
+		i := 0
+		for i < len(n.Children) {
+			c := n.Children[i]
+			if len(c.Children) != 0 {
+				children = append(children, c)
+				i++
+				continue
+			}
+			j := i
+			for j < len(n.Children) && len(n.Children[j].Children) == 0 &&
+				n.Children[j].Level == c.Level && n.Children[j].Weight == c.Weight {
+				j++
+			}
+			if j-i >= 3 {
+				children = append(children, &Node{
+					ID: c.ID, Level: c.Level, Weight: c.Weight,
+					Children: nil,
+					// run length is smuggled via a sentinel child-less node
+					// handled below.
+				})
+				children[len(children)-1].runLen = j - i
+			} else {
+				for ; i < j; i++ {
+					children = append(children, n.Children[i])
+				}
+			}
+			i = j
+		}
+	}
+	for i, c := range children {
+		if c.runLen > 1 {
+			br := "├── "
+			if i == len(children)-1 {
+				br = "└── "
+			}
+			fmt.Fprintf(b, "%s%s%d leaves [w=%d L%d]\n", childPrefix, br, c.runLen, c.Weight, c.Level)
+			continue
+		}
+		renderNode(b, c, childPrefix, i == len(children)-1, compress)
+	}
+}
+
+// Summary returns per-level leaf counts of the forest — the L_d / L_s / L_H
+// quantities of the paper's analysis, measured from the actual execution.
+func Summary(roots []*Node) map[int]uint64 {
+	counts := make(map[int]uint64)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if len(n.Children) == 0 {
+			counts[n.Level]++
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return counts
+}
+
+// Levels returns the sorted level keys of a Summary.
+func Levels(summary map[int]uint64) []int {
+	out := make([]int, 0, len(summary))
+	for l := range summary {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}

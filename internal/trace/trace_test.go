@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+
+	"repro/internal/buffer"
+)
+
+// driveTree grows a traced b-buffer tree with n unit leaves of size k.
+func driveTree(t *testing.T, b, k, n int) (*core.Tree[int], *Builder) {
+	t.Helper()
+	tr, err := core.NewTree[int](k, b, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bld := NewBuilder()
+	tr.SetTracer(bld)
+	rg := rng.New(1)
+	for i := 0; i < n; i++ {
+		buf := tr.AcquireEmpty()
+		buf.Level = 0
+		f := buffer.StartFill(buf, 1, rg)
+		for j := 0; ; j++ {
+			if f.Push(i*100 + j) {
+				break
+			}
+		}
+		tr.LeafDone(buf)
+	}
+	return tr, bld
+}
+
+// TestFigure2Tree reconstructs the paper's Figure 2: b = 5, 15 unit leaves,
+// one collapse tree of height 2 with child weights 5, 4, 3, 2, 1.
+func TestFigure2Tree(t *testing.T) {
+	tree, bld := driveTree(t, 5, 2, 16) // the 16th leaf forces the final collapse
+	if tree.Height() != 2 {
+		t.Fatalf("height %d", tree.Height())
+	}
+	roots := bld.Roots()
+	// Live: the weight-15 level-2 node plus the 16th leaf.
+	var top *Node
+	for _, r := range roots {
+		if r.Level == 2 {
+			top = r
+		}
+	}
+	if top == nil || top.Weight != 15 {
+		t.Fatalf("no weight-15 level-2 root: %+v", roots)
+	}
+	if got := CountLeaves(top); got != 15 {
+		t.Errorf("top subsumes %d leaves, want 15", got)
+	}
+	weights := make([]uint64, 0, len(top.Children))
+	for _, c := range top.Children {
+		weights = append(weights, c.Weight)
+	}
+	// Figure 2's children of the final collapse: 5, 4, 3, 2 (level-1
+	// collapse outputs) and 1 (the promoted lone leaf).
+	want := map[uint64]bool{5: false, 4: false, 3: false, 2: false, 1: false}
+	for _, w := range weights {
+		if _, ok := want[w]; !ok {
+			t.Errorf("unexpected child weight %d", w)
+		}
+		want[w] = true
+	}
+	for w, seen := range want {
+		if !seen {
+			t.Errorf("missing child weight %d (got %v)", w, weights)
+		}
+	}
+}
+
+func TestSummaryCountsLeaves(t *testing.T) {
+	_, bld := driveTree(t, 4, 2, 10)
+	counts := Summary(bld.Roots())
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("summary counts %d leaves, want 10", total)
+	}
+	if ls := Levels(counts); len(ls) == 0 || ls[0] != 0 {
+		t.Errorf("levels %v", ls)
+	}
+}
+
+func TestRenderPlain(t *testing.T) {
+	_, bld := driveTree(t, 3, 2, 4)
+	out := Render(bld.Roots(), false)
+	for _, want := range []string{"root: Output", "leaf w=1 L0", "└──"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCompressed(t *testing.T) {
+	_, bld := driveTree(t, 6, 2, 7) // one collapse of six unit leaves
+	out := Render(bld.Roots(), true)
+	if !strings.Contains(out, "6 leaves [w=1 L0]") {
+		t.Errorf("compressed render missing leaf run:\n%s", out)
+	}
+	// Uncompressed shows each leaf.
+	plain := Render(bld.Roots(), false)
+	if strings.Count(plain, "leaf w=1 L0") != 7 {
+		t.Errorf("plain render leaf count wrong:\n%s", plain)
+	}
+}
+
+func TestBuilderHandlesUnknownIDs(t *testing.T) {
+	b := NewBuilder()
+	// A collapse naming an ID never seen must not panic (robustness for
+	// tracers attached mid-run).
+	b.Collapse([]uint64{99}, 1, 1, 5)
+	roots := b.Roots()
+	if len(roots) != 1 || roots[0].Weight != 5 {
+		t.Errorf("roots: %+v", roots)
+	}
+}

@@ -1,0 +1,201 @@
+// Package xmath collects the probabilistic and combinatorial helpers used by
+// the quantile algorithms: Hoeffding tail bounds (paper Lemma 1), the
+// Kullback–Leibler divergence and Stein-lemma sample sizing (paper Section 7),
+// and overflow-safe binomial coefficients used to count collapse-tree leaves
+// (paper Section 4.5).
+package xmath
+
+import "math"
+
+// MaxCount is the saturation value returned by counting helpers whose true
+// value would overflow. It is large enough that any constraint comparison
+// against realistic stream sizes behaves as "infinite".
+const MaxCount = math.MaxUint64 / 4
+
+// HoeffdingTail returns the Hoeffding upper bound on
+// Pr[|X − E X| ≥ λ] for X = Σ Xᵢ with 0 ≤ Xᵢ ≤ nᵢ:
+//
+//	2·exp(−2λ² / Σ nᵢ²).
+//
+// sumSquares is Σ nᵢ². The bound is clamped to [0, 1].
+func HoeffdingTail(lambda, sumSquares float64) float64 {
+	if sumSquares <= 0 {
+		return 0
+	}
+	p := 2 * math.Exp(-2*lambda*lambda/sumSquares)
+	return math.Min(p, 1)
+}
+
+// HoeffdingSampleSize returns the minimum number of equal-weight samples t
+// such that the weighted (φ±αε)-quantiles of the sample are ε-approximate
+// φ-quantiles of the base data with probability at least 1−δ. This is the
+// known-N uniform-sampling bound: t ≥ ln(2/δ) / (2(1−α)²ε²), with α the
+// fraction of ε budgeted to the deterministic tree (α = 0 for a plain
+// sample-and-pick estimator).
+func HoeffdingSampleSize(eps, delta, alpha float64) uint64 {
+	if eps <= 0 || delta <= 0 || delta >= 1 || alpha < 0 || alpha >= 1 {
+		return MaxCount
+	}
+	sampErr := (1 - alpha) * eps
+	t := math.Log(2/delta) / (2 * sampErr * sampErr)
+	if t >= float64(MaxCount) {
+		return MaxCount
+	}
+	return uint64(math.Ceil(t))
+}
+
+// KLBernoulli returns the Kullback–Leibler divergence D(p‖q) between
+// Bernoulli(p) and Bernoulli(q) in nats:
+//
+//	D(p‖q) = p·ln(p/q) + (1−p)·ln((1−p)/(1−q)).
+//
+// Conventions: 0·ln(0/q) = 0; the divergence is +Inf when q ∈ {0,1} differs
+// from p. Both arguments must lie in [0, 1].
+func KLBernoulli(p, q float64) float64 {
+	if p < 0 || p > 1 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	var d float64
+	switch {
+	case p == 0:
+		// 0·ln 0 term vanishes.
+	case q == 0:
+		return math.Inf(1)
+	default:
+		d += p * math.Log(p/q)
+	}
+	switch {
+	case p == 1:
+	case q == 1:
+		return math.Inf(1)
+	default:
+		d += (1 - p) * math.Log((1-p)/(1-q))
+	}
+	return d
+}
+
+// SteinSampleSize returns the minimum uniform sample size s such that, by
+// Stein's lemma (paper Section 7), the k = ⌈φ·s⌉-th smallest element of the
+// sample is an ε-approximate φ-quantile with probability at least 1−δ:
+//
+//	exp(−s·D(φ‖φ−ε)) + exp(−s·D(φ‖φ+ε)) ≤ δ.
+//
+// We size s with the weaker of the two divergences and a union-bound factor
+// of two: s ≥ ln(2/δ) / min[D(φ‖φ−ε), D(φ‖φ+ε)]. For the φ ≤ ε corner the
+// lower tail cannot fail (the minimum qualifies) and only the upper
+// divergence applies.
+func SteinSampleSize(phi, eps, delta float64) uint64 {
+	if eps <= 0 || delta <= 0 || delta >= 1 || phi <= 0 || phi >= 1 {
+		return MaxCount
+	}
+	d := math.Inf(1)
+	if lo := phi - eps; lo > 0 {
+		d = math.Min(d, KLBernoulli(phi, lo))
+	}
+	if hi := phi + eps; hi < 1 {
+		d = math.Min(d, KLBernoulli(phi, hi))
+	}
+	if math.IsInf(d, 1) {
+		// Both tails are impossible only when ε covers the whole range;
+		// a single sample suffices.
+		return 1
+	}
+	if d <= 0 {
+		// The divergence is mathematically positive here, but for ε many
+		// orders below φ the two log terms cancel catastrophically and can
+		// round to zero or slightly negative. Saturate rather than report
+		// an absurdly small sample.
+		return MaxCount
+	}
+	s := math.Log(2/delta) / d
+	if s >= float64(MaxCount) {
+		return MaxCount
+	}
+	if s < 1 {
+		return 1
+	}
+	return uint64(math.Ceil(s))
+}
+
+// Binomial returns C(n, r) saturating at MaxCount on overflow. It returns 0
+// when r < 0 or r > n.
+func Binomial(n, r int) uint64 {
+	if r < 0 || n < 0 || r > n {
+		return 0
+	}
+	if r > n-r {
+		r = n - r
+	}
+	var c uint64 = 1
+	for i := 1; i <= r; i++ {
+		// c = c * (n-r+i) / i, keeping exactness: i! divides any product
+		// of i consecutive integers, and we divide at each step.
+		num := uint64(n - r + i)
+		if c > MaxCount/num {
+			return MaxCount
+		}
+		c = c * num / uint64(i)
+	}
+	if c > MaxCount {
+		return MaxCount
+	}
+	return c
+}
+
+// CeilDiv returns ⌈a/b⌉ for positive b.
+func CeilDiv(a, b uint64) uint64 {
+	if b == 0 {
+		panic("xmath: CeilDiv by zero")
+	}
+	return (a + b - 1) / b
+}
+
+// SatMul returns a·b saturating at MaxCount.
+func SatMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > MaxCount/b {
+		return MaxCount
+	}
+	return a * b
+}
+
+// SatAdd returns a+b saturating at MaxCount.
+func SatAdd(a, b uint64) uint64 {
+	if a > MaxCount-b {
+		return MaxCount
+	}
+	return a + b
+}
+
+// Pow2 returns 2^i saturating at MaxCount for large i.
+func Pow2(i int) uint64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= 62 {
+		return MaxCount
+	}
+	v := uint64(1) << uint(i)
+	if v > MaxCount {
+		return MaxCount
+	}
+	return v
+}
+
+// MinUint64 returns the smaller of a and b.
+func MinUint64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxUint64 returns the larger of a and b.
+func MaxUint64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

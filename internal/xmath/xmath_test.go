@@ -1,0 +1,259 @@
+package xmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHoeffdingTailBasics(t *testing.T) {
+	if got := HoeffdingTail(0, 10); got != 1 {
+		t.Errorf("zero deviation should clamp to 1, got %v", got)
+	}
+	if got := HoeffdingTail(5, 0); got != 0 {
+		t.Errorf("zero variance should give 0, got %v", got)
+	}
+	// Monotone decreasing in lambda.
+	prev := 1.0
+	for lambda := 1.0; lambda < 100; lambda *= 2 {
+		p := HoeffdingTail(lambda, 1000)
+		if p > prev {
+			t.Errorf("tail bound not monotone at lambda=%v: %v > %v", lambda, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestHoeffdingTailValue(t *testing.T) {
+	// t coin flips in {0,1}: Pr[|X-EX| >= lambda] <= 2 exp(-2 lambda^2 / t).
+	got := HoeffdingTail(50, 1000)
+	want := 2 * math.Exp(-2*2500/1000)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("HoeffdingTail = %v, want %v", got, want)
+	}
+}
+
+func TestHoeffdingSampleSizeSufficient(t *testing.T) {
+	for _, tc := range []struct{ eps, delta, alpha float64 }{
+		{0.01, 0.001, 0},
+		{0.01, 0.001, 0.5},
+		{0.1, 0.05, 0.3},
+		{0.001, 0.0001, 0.7},
+	} {
+		s := HoeffdingSampleSize(tc.eps, tc.delta, tc.alpha)
+		if s == MaxCount {
+			t.Fatalf("unexpected saturation for %+v", tc)
+		}
+		// Plugging s back into the two-sided Hoeffding bound (each sample
+		// weight 1) must give failure probability <= delta.
+		lambda := (1 - tc.alpha) * tc.eps * float64(s)
+		if p := HoeffdingTail(lambda, float64(s)); p > tc.delta*(1+1e-9) {
+			t.Errorf("sample size %d insufficient for %+v: p=%v", s, tc, p)
+		}
+	}
+}
+
+func TestHoeffdingSampleSizeGrowsWithPrecision(t *testing.T) {
+	s1 := HoeffdingSampleSize(0.01, 0.001, 0.5)
+	s2 := HoeffdingSampleSize(0.005, 0.001, 0.5)
+	if s2 < 4*s1-4 {
+		t.Errorf("halving eps should ~quadruple samples: %d -> %d", s1, s2)
+	}
+}
+
+func TestHoeffdingSampleSizeInvalid(t *testing.T) {
+	for _, tc := range []struct{ eps, delta, alpha float64 }{
+		{0, 0.1, 0}, {-1, 0.1, 0}, {0.1, 0, 0}, {0.1, 1, 0}, {0.1, 0.1, 1}, {0.1, 0.1, -0.1},
+	} {
+		if s := HoeffdingSampleSize(tc.eps, tc.delta, tc.alpha); s != MaxCount {
+			t.Errorf("invalid input %+v should saturate, got %d", tc, s)
+		}
+	}
+}
+
+func TestKLBernoulliProperties(t *testing.T) {
+	if d := KLBernoulli(0.3, 0.3); d != 0 {
+		t.Errorf("D(p||p) = %v, want 0", d)
+	}
+	if d := KLBernoulli(0.5, 0); !math.IsInf(d, 1) {
+		t.Errorf("D(0.5||0) = %v, want +Inf", d)
+	}
+	if d := KLBernoulli(0.5, 1); !math.IsInf(d, 1) {
+		t.Errorf("D(0.5||1) = %v, want +Inf", d)
+	}
+	if d := KLBernoulli(0, 0.5); math.Abs(d-math.Log(2)) > 1e-12 {
+		t.Errorf("D(0||0.5) = %v, want ln 2", d)
+	}
+	if d := KLBernoulli(1, 0.5); math.Abs(d-math.Log(2)) > 1e-12 {
+		t.Errorf("D(1||0.5) = %v, want ln 2", d)
+	}
+	if !math.IsNaN(KLBernoulli(-0.1, 0.5)) || !math.IsNaN(KLBernoulli(0.5, 1.1)) {
+		t.Error("out-of-range arguments should give NaN")
+	}
+}
+
+func TestKLBernoulliNonNegative(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := float64(a) / 65536
+		q := float64(b%65534+1) / 65536 // keep q in (0,1)
+		d := KLBernoulli(p, q)
+		return d >= 0 && !math.IsNaN(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKLBernoulliExceedsQuadratic(t *testing.T) {
+	// Pinsker-flavored sanity: D(p||q) >= 2 (p-q)^2.
+	f := func(a, b uint16) bool {
+		p := float64(a%65534+1) / 65536
+		q := float64(b%65534+1) / 65536
+		return KLBernoulli(p, q) >= 2*(p-q)*(p-q)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteinSampleSizeSufficient(t *testing.T) {
+	for _, tc := range []struct{ phi, eps, delta float64 }{
+		{0.01, 0.001, 0.0001},
+		{0.05, 0.01, 0.001},
+		{0.5, 0.01, 0.001},
+		{0.99, 0.005, 0.0001},
+	} {
+		s := SteinSampleSize(tc.phi, tc.eps, tc.delta)
+		if s == MaxCount {
+			t.Fatalf("unexpected saturation for %+v", tc)
+		}
+		// The defining inequality must hold at s.
+		var p float64
+		if lo := tc.phi - tc.eps; lo > 0 {
+			p += math.Exp(-float64(s) * KLBernoulli(tc.phi, lo))
+		}
+		if hi := tc.phi + tc.eps; hi < 1 {
+			p += math.Exp(-float64(s) * KLBernoulli(tc.phi, hi))
+		}
+		if p > tc.delta*(1+1e-9) {
+			t.Errorf("s=%d insufficient for %+v: p=%v", s, tc, p)
+		}
+	}
+}
+
+func TestSteinBeatsHoeffdingForExtremes(t *testing.T) {
+	// The paper's Section 7 claim: for small phi the KL sizing needs far
+	// fewer samples than the Hoeffding/reservoir sizing.
+	phi, eps, delta := 0.01, 0.002, 0.0001
+	stein := SteinSampleSize(phi, eps, delta)
+	hoeff := HoeffdingSampleSize(eps, delta, 0)
+	if stein*5 > hoeff {
+		t.Errorf("Stein sizing %d not clearly below Hoeffding %d for extreme phi", stein, hoeff)
+	}
+}
+
+func TestSteinSampleSizeCancellationSaturates(t *testing.T) {
+	// Regression: for ε many orders below φ the KL divergence underflows
+	// via cancellation; the sizing must saturate, not return a tiny sample.
+	if s := SteinSampleSize(0.5, 1e-9, 1e-4); s != MaxCount {
+		t.Errorf("cancellation case returned %d, want saturation", s)
+	}
+}
+
+func TestSteinSampleSizeEdge(t *testing.T) {
+	if s := SteinSampleSize(0, 0.1, 0.1); s != MaxCount {
+		t.Errorf("phi=0 should saturate, got %d", s)
+	}
+	if s := SteinSampleSize(0.5, 0.6, 0.1); s != 1 {
+		t.Errorf("eps covering whole range should need 1 sample, got %d", s)
+	}
+}
+
+func TestBinomialSmall(t *testing.T) {
+	cases := []struct {
+		n, r int
+		want uint64
+	}{
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {5, 2, 10}, {10, 5, 252},
+		{52, 5, 2598960}, {5, 6, 0}, {5, -1, 0}, {-1, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.r); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.r, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for r := 1; r < n; r++ {
+			want := Binomial(n-1, r-1) + Binomial(n-1, r)
+			if got := Binomial(n, r); got != want {
+				t.Fatalf("Pascal identity fails at C(%d,%d): %d != %d", n, r, got, want)
+			}
+		}
+	}
+}
+
+func TestBinomialSaturates(t *testing.T) {
+	if got := Binomial(200, 100); got != MaxCount {
+		t.Errorf("C(200,100) should saturate, got %d", got)
+	}
+	// Symmetric argument reduction keeps small-r cases exact even for huge n.
+	if got := Binomial(1000, 1); got != 1000 {
+		t.Errorf("C(1000,1) = %d, want 1000", got)
+	}
+}
+
+func TestSaturatingArithmetic(t *testing.T) {
+	if got := SatMul(MaxCount, 2); got != MaxCount {
+		t.Errorf("SatMul overflow = %d", got)
+	}
+	if got := SatMul(3, 7); got != 21 {
+		t.Errorf("SatMul(3,7) = %d", got)
+	}
+	if got := SatMul(0, MaxCount); got != 0 {
+		t.Errorf("SatMul(0,max) = %d", got)
+	}
+	if got := SatAdd(MaxCount, 1); got != MaxCount {
+		t.Errorf("SatAdd overflow = %d", got)
+	}
+	if got := SatAdd(2, 2); got != 4 {
+		t.Errorf("SatAdd(2,2) = %d", got)
+	}
+}
+
+func TestPow2(t *testing.T) {
+	if Pow2(-1) != 0 || Pow2(0) != 1 || Pow2(10) != 1024 {
+		t.Error("Pow2 basic values wrong")
+	}
+	if Pow2(100) != MaxCount {
+		t.Error("Pow2 should saturate for large exponents")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 1, 0}, {1, 1, 1}, {5, 2, 3}, {6, 2, 3}, {7, 2, 4},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CeilDiv by zero did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestMinMaxUint64(t *testing.T) {
+	if MinUint64(3, 5) != 3 || MinUint64(5, 3) != 3 {
+		t.Error("MinUint64 wrong")
+	}
+	if MaxUint64(3, 5) != 5 || MaxUint64(5, 3) != 5 {
+		t.Error("MaxUint64 wrong")
+	}
+}

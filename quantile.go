@@ -1,0 +1,388 @@
+// Package quantile computes ε-approximate quantiles (order statistics) of
+// large data streams in a single pass using very little memory, implementing
+// Manku, Rajagopalan & Lindsay, "Random Sampling Techniques for Space
+// Efficient Online Computation of Order Statistics of Large Datasets"
+// (SIGMOD 1999) and the framework algorithms of its predecessor [MRL98].
+//
+// The headline type is Sketch: a streaming quantile summary that does NOT
+// need to know the stream length in advance, whose memory footprint is
+// O(ε⁻¹·log²ε⁻¹ + ε⁻¹·log²log δ⁻¹) elements — independent of the stream
+// length — and whose estimates are within rank ε·N of exact with
+// probability at least 1−δ, at every prefix of the stream:
+//
+//	s, _ := quantile.New[float64](0.01, 1e-4)
+//	for _, v := range column {
+//		s.Add(v)
+//	}
+//	median, _ := s.Quantile(0.5)
+//
+// Also provided, mirroring the paper:
+//
+//   - KnownN: the MRL98 known-length baseline (deterministic collapse tree,
+//     optionally fed by fixed-rate uniform sampling).
+//   - Extreme / ExtremeUnknownN: the Section 7 estimators for quantiles
+//     near 0 or 1, using a fraction of the general algorithm's memory.
+//   - Reservoir: the folklore reservoir-sampling baseline (Section 2.2).
+//   - EquiDepth: equi-depth histograms and splitters over growing tables.
+//   - Merge: the Section 6 parallel/distributed merge of worker sketches.
+package quantile
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/extreme"
+	"repro/internal/histogram"
+	"repro/internal/mrl98"
+	"repro/internal/optimize"
+	"repro/internal/parallel"
+	"repro/internal/policy"
+	"repro/internal/reservoir"
+	"repro/internal/schedule"
+)
+
+// options collects the knobs shared by the constructors.
+type options struct {
+	seed       uint64
+	policyName string
+	b, k, h    int // explicit layout override (all three set together)
+	limits     []MemoryLimit
+}
+
+// Option customizes a constructor.
+type Option func(*options) error
+
+// WithSeed fixes the pseudo-random seed, making the data structure's
+// sampling decisions — and therefore its outputs — reproducible.
+func WithSeed(seed uint64) Option {
+	return func(o *options) error {
+		o.seed = seed
+		return nil
+	}
+}
+
+// WithPolicy selects the collapse policy: "mrl" (default, the paper's),
+// "munro-paterson" or "ars".
+func WithPolicy(name string) Option {
+	return func(o *options) error {
+		if _, err := policy.ByName(name); err != nil {
+			return err
+		}
+		o.policyName = name
+		return nil
+	}
+}
+
+// WithLayout overrides the solved (b, k, h) layout — b buffers of k
+// elements, sampling onset at tree height h. For experiments; the ε/δ
+// guarantee is the caller's responsibility under an explicit layout.
+func WithLayout(b, k, h int) Option {
+	return func(o *options) error {
+		if b < 2 || k < 1 || h < 1 {
+			return fmt.Errorf("quantile: invalid layout b=%d k=%d h=%d", b, k, h)
+		}
+		o.b, o.k, o.h = b, k, h
+		return nil
+	}
+}
+
+// MemoryLimit caps the sketch's memory (in elements) once the stream has
+// reached N elements. Used with WithMemoryBudget.
+type MemoryLimit struct {
+	N           uint64
+	MaxElements uint64
+}
+
+// WithMemoryBudget requests a lazy buffer-allocation schedule (paper
+// Section 5) keeping instantaneous memory under the given caps while the
+// stream is short. Incompatible with WithLayout.
+func WithMemoryBudget(limits ...MemoryLimit) Option {
+	return func(o *options) error {
+		if len(limits) == 0 {
+			return fmt.Errorf("quantile: WithMemoryBudget needs at least one limit")
+		}
+		o.limits = limits
+		return nil
+	}
+}
+
+func buildOptions(opts []Option) (options, error) {
+	var o options
+	o.policyName = "mrl"
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return o, err
+		}
+	}
+	return o, nil
+}
+
+func (o options) pol() policy.Policy {
+	p, _ := policy.ByName(o.policyName)
+	return p
+}
+
+// Sketch is the unknown-N ε-approximate quantile sketch (the paper's main
+// algorithm). Not safe for concurrent use; build one per goroutine and
+// combine with Merge, or use Concurrent.
+//
+// Element ordering follows Go's < operator. float NaN values have no
+// defined order (they sort before every other value and can surface as
+// estimates); filter NaNs out before Add if the stream may contain them.
+type Sketch[T cmp.Ordered] struct {
+	inner *core.Sketch[T]
+	eps   float64
+	delta float64
+}
+
+// New returns a Sketch guaranteeing, for any φ and any stream prefix, an
+// estimate within rank ε·N of the exact φ-quantile with probability at
+// least 1−δ. Parameters (b, k, h) are solved by the Section 4.5 optimizer
+// unless overridden.
+func New[T cmp.Ordered](eps, delta float64, opts ...Option) (*Sketch[T], error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{Policy: o.pol(), Seed: o.seed}
+	switch {
+	case o.limits != nil && o.b != 0:
+		return nil, fmt.Errorf("quantile: WithMemoryBudget and WithLayout are mutually exclusive")
+	case o.limits != nil:
+		pts := make([]schedule.Point, len(o.limits))
+		for i, l := range o.limits {
+			pts[i] = schedule.Point{N: l.N, MaxMemory: l.MaxElements}
+		}
+		plan, err := schedule.Find(eps, delta, pts, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg.B, cfg.K, cfg.H, cfg.Schedule = plan.B, plan.K, plan.H, plan.Thresholds
+	case o.b != 0:
+		cfg.B, cfg.K, cfg.H = o.b, o.k, o.h
+	default:
+		p, err := optimize.UnknownN(eps, delta)
+		if err != nil {
+			return nil, err
+		}
+		cfg.B, cfg.K, cfg.H = p.B, p.K, p.H
+	}
+	inner, err := core.NewSketch[T](cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch[T]{inner: inner, eps: eps, delta: delta}, nil
+}
+
+// Add feeds one element.
+func (s *Sketch[T]) Add(v T) { s.inner.Add(v) }
+
+// AddAll feeds a slice of elements.
+func (s *Sketch[T]) AddAll(vs []T) { s.inner.AddAll(vs) }
+
+// Quantile returns the current estimate of the φ-quantile, φ ∈ (0, 1].
+// It may be called at any time and does not disturb the sketch.
+func (s *Sketch[T]) Quantile(phi float64) (T, error) { return s.inner.QueryOne(phi) }
+
+// Quantiles returns estimates for several quantiles in request order.
+func (s *Sketch[T]) Quantiles(phis []float64) ([]T, error) { return s.inner.Query(phis) }
+
+// Median is shorthand for Quantile(0.5).
+func (s *Sketch[T]) Median() (T, error) { return s.inner.QueryOne(0.5) }
+
+// CDF estimates the fraction of stream elements ≤ v (the inverse of
+// Quantile), with the same ε rank-error guarantee. Useful for selectivity
+// estimation: the fraction of rows in (lo, hi] is CDF(hi) − CDF(lo).
+func (s *Sketch[T]) CDF(v T) (float64, error) { return s.inner.CDF(v) }
+
+// Count returns the number of elements consumed.
+func (s *Sketch[T]) Count() uint64 { return s.inner.Count() }
+
+// MemoryElements returns the current memory footprint in element slots.
+func (s *Sketch[T]) MemoryElements() int { return s.inner.MemoryElements() }
+
+// Epsilon returns the configured rank-error bound.
+func (s *Sketch[T]) Epsilon() float64 { return s.eps }
+
+// Delta returns the configured failure probability.
+func (s *Sketch[T]) Delta() float64 { return s.delta }
+
+// Reset clears the sketch for reuse, retaining allocated memory.
+func (s *Sketch[T]) Reset() { s.inner.Reset() }
+
+// Stats exposes the sketch's internal counters (tree height, sampling
+// rate, collapse counts) for instrumentation and experiments.
+func (s *Sketch[T]) Stats() core.Stats { return s.inner.Stats() }
+
+// KnownN is the MRL98 known-length sketch: cheaper than Sketch when the
+// stream length is declared in advance, but its guarantee is void if the
+// stream overruns the declaration.
+type KnownN[T cmp.Ordered] struct {
+	inner *mrl98.Sketch[T]
+}
+
+// NewKnownN returns a known-N sketch sized for exactly n elements.
+func NewKnownN[T cmp.Ordered](n uint64, eps, delta float64, opts ...Option) (*KnownN[T], error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	var cfg mrl98.Config
+	if o.b != 0 {
+		cfg = mrl98.Config{B: o.b, K: o.k, Rate: 1, DeclaredN: n}
+	} else {
+		cfg, err = mrl98.Plan(eps, delta, n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg.Policy = o.pol()
+	cfg.Seed = o.seed
+	inner, err := mrl98.New[T](cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &KnownN[T]{inner: inner}, nil
+}
+
+// Add feeds one element.
+func (s *KnownN[T]) Add(v T) { s.inner.Add(v) }
+
+// AddAll feeds a slice of elements.
+func (s *KnownN[T]) AddAll(vs []T) { s.inner.AddAll(vs) }
+
+// Quantile returns the current estimate of the φ-quantile.
+func (s *KnownN[T]) Quantile(phi float64) (T, error) { return s.inner.QueryOne(phi) }
+
+// Quantiles returns estimates for several quantiles in request order.
+func (s *KnownN[T]) Quantiles(phis []float64) ([]T, error) { return s.inner.Query(phis) }
+
+// Count returns the number of elements consumed.
+func (s *KnownN[T]) Count() uint64 { return s.inner.Count() }
+
+// Overflowed reports whether the stream exceeded the declared length,
+// voiding the guarantee.
+func (s *KnownN[T]) Overflowed() bool { return s.inner.Overflowed() }
+
+// MemoryElements returns the memory footprint in element slots.
+func (s *KnownN[T]) MemoryElements() int { return s.inner.MemoryElements() }
+
+// Extreme is the Section 7 estimator for a single extreme quantile of a
+// stream of declared length, using only k = ⌈φ·s⌉ elements of memory.
+type Extreme[T cmp.Ordered] = extreme.Estimator[T]
+
+// NewExtreme returns the known-N extreme-quantile estimator for the
+// φ-quantile of a stream of n elements.
+func NewExtreme[T cmp.Ordered](phi, eps, delta float64, n uint64, opts ...Option) (*Extreme[T], error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return extreme.NewEstimator[T](phi, eps, delta, n, o.seed)
+}
+
+// ExtremeUnknownN is the unknown-length extreme-quantile estimator
+// (reservoir-backed, memory s = k/φ — still far below the general
+// reservoir for small tails).
+type ExtremeUnknownN[T cmp.Ordered] = extreme.UnknownN[T]
+
+// NewExtremeUnknownN returns the unknown-N extreme estimator.
+func NewExtremeUnknownN[T cmp.Ordered](phi, eps, delta float64, opts ...Option) (*ExtremeUnknownN[T], error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return extreme.NewUnknownN[T](phi, eps, delta, o.seed)
+}
+
+// Reservoir is the folklore baseline: a uniform sample of
+// ln(2/δ)/(2ε²) elements whose quantiles estimate the stream's.
+type Reservoir[T cmp.Ordered] = reservoir.Quantile[T]
+
+// NewReservoir returns the reservoir-sampling baseline estimator.
+func NewReservoir[T cmp.Ordered](eps, delta float64, opts ...Option) (*Reservoir[T], error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return reservoir.NewQuantile[T](eps, delta, o.seed)
+}
+
+// EquiDepth maintains an approximate equi-depth histogram over a stream of
+// unknown length.
+type EquiDepth[T cmp.Ordered] = histogram.EquiDepth[T]
+
+// NewEquiDepth returns a p-bucket equi-depth histogram whose boundaries are
+// all simultaneously ε-approximate with probability ≥ 1−δ.
+func NewEquiDepth[T cmp.Ordered](p int, eps, delta float64, opts ...Option) (*EquiDepth[T], error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return histogram.New[T](p, eps, delta, o.seed)
+}
+
+// Merged answers quantile queries over the union of several workers'
+// streams (the Section 6 coordinator).
+type Merged[T cmp.Ordered] struct {
+	coord *parallel.Coordinator[T]
+}
+
+// Merge combines worker sketches into a single queryable summary. The
+// workers must share a buffer size (guaranteed when they were built with
+// the same ε and δ). Each sketch is consumed by the merge.
+func Merge[T cmp.Ordered](sketches ...*Sketch[T]) (*Merged[T], error) {
+	if len(sketches) == 0 {
+		return nil, fmt.Errorf("quantile: Merge needs at least one sketch")
+	}
+	k := sketches[0].inner.Config().K
+	coord, err := parallel.NewCoordinator[T](k, sketches[0].inner.Config().B, 0x5eed)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sketches {
+		if err := coord.Receive(parallel.Ship(s.inner)); err != nil {
+			return nil, err
+		}
+	}
+	return &Merged[T]{coord: coord}, nil
+}
+
+// Quantile returns the estimate of the φ-quantile over the merged streams.
+func (m *Merged[T]) Quantile(phi float64) (T, error) { return m.coord.QueryOne(phi) }
+
+// Quantiles returns estimates for several quantiles in request order.
+func (m *Merged[T]) Quantiles(phis []float64) ([]T, error) { return m.coord.Query(phis) }
+
+// CDF estimates the fraction of merged stream elements ≤ v.
+func (m *Merged[T]) CDF(v T) (float64, error) { return m.coord.CDF(v) }
+
+// Count returns the aggregate element count.
+func (m *Merged[T]) Count() uint64 { return m.coord.Count() }
+
+// Plan reports the solved memory plan for the given guarantees without
+// building a sketch — b buffers of k elements, onset height h, and the
+// total footprint in elements.
+type Plan struct {
+	B, K, H int
+	Memory  uint64
+}
+
+// PlanUnknownN returns the unknown-N memory plan for (ε, δ).
+func PlanUnknownN(eps, delta float64) (Plan, error) {
+	p, err := optimize.UnknownN(eps, delta)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{B: p.B, K: p.K, H: p.H, Memory: p.Memory}, nil
+}
+
+// PlanKnownN returns the known-N memory plan for (ε, δ) and stream length n.
+func PlanKnownN(eps, delta float64, n uint64) (Plan, error) {
+	p, err := optimize.KnownN(eps, delta, n)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{B: p.B, K: p.K, H: p.H, Memory: p.Memory}, nil
+}

@@ -1,0 +1,400 @@
+package quantile
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[float64](0, 0.01); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := New[float64](0.01, 0); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := New[float64](0.01, 0.001, WithPolicy("bogus")); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if _, err := New[float64](0.01, 0.001, WithLayout(1, 0, 0)); err == nil {
+		t.Error("bad layout accepted")
+	}
+	if _, err := New[float64](0.01, 0.001, WithLayout(4, 64, 2), WithMemoryBudget(MemoryLimit{N: 1, MaxElements: 1})); err == nil {
+		t.Error("layout+budget accepted")
+	}
+	if _, err := New[float64](0.01, 0.001, WithMemoryBudget()); err == nil {
+		t.Error("empty budget accepted")
+	}
+}
+
+// TestEndToEndSolvedParameters is the system-level guarantee check: the
+// optimizer's parameters driving the real sketch on real streams stay
+// within ε at every checkpoint.
+func TestEndToEndSolvedParameters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long accuracy test")
+	}
+	const eps, delta = 0.02, 1e-3
+	const n = 400_000
+	phis := []float64{0.01, 0.1, 0.5, 0.9, 0.99}
+	for _, src := range []stream.Source{
+		stream.Uniform(n, 21),
+		stream.Zipf(n, 22, 1.2, 1<<30),
+		stream.Sorted(n),
+		stream.BlockAdversarial(n, 23, 4096),
+	} {
+		s, err := New[float64](eps, delta, WithSeed(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := stream.Collect(src)
+		s.AddAll(data)
+		got, err := s.Quantiles(phis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, phi := range phis {
+			if e := exact.RankError(data, got[i], phi, eps); e != 0 {
+				t.Errorf("%s phi=%v: off by %d ranks (eps window %v)", src.Name(), phi, e, eps*n)
+			}
+		}
+		if s.Count() != n {
+			t.Errorf("count %d", s.Count())
+		}
+		if s.Epsilon() != eps || s.Delta() != delta {
+			t.Error("accessors wrong")
+		}
+	}
+}
+
+func TestSketchMemoryMatchesPlan(t *testing.T) {
+	const eps, delta = 0.01, 1e-4
+	plan, err := PlanUnknownN(eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New[float64](eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2_000_000; i++ {
+		s.Add(float64(i * 2654435761 % 1_000_003))
+	}
+	// Allocated memory never exceeds plan B*K plus one snapshot buffer.
+	if got := uint64(s.MemoryElements()); got > plan.Memory+uint64(plan.K) {
+		t.Errorf("memory %d exceeds plan %d + snapshot", got, plan.Memory)
+	}
+	if s.Stats().SamplingRate < 2 {
+		t.Error("sampling never began on a 2M stream")
+	}
+}
+
+func TestMedianShorthand(t *testing.T) {
+	s, _ := New[int](0.1, 0.01, WithSeed(1))
+	for i := 1; i <= 999; i++ {
+		s.Add(i)
+	}
+	med, err := s.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med < 400 || med > 600 {
+		t.Errorf("median %d", med)
+	}
+}
+
+func TestResetKeepsGuarantee(t *testing.T) {
+	s, _ := New[float64](0.05, 0.01, WithSeed(5))
+	data1 := stream.Collect(stream.Uniform(50_000, 1))
+	s.AddAll(data1)
+	m1, _ := s.Median()
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatal("count after reset")
+	}
+	s.AddAll(data1)
+	m2, _ := s.Median()
+	if m1 != m2 {
+		t.Errorf("reset changed results: %v vs %v", m1, m2)
+	}
+}
+
+func TestKnownNAgainstUnknownN(t *testing.T) {
+	const eps, delta = 0.05, 1e-3
+	const n = 100_000
+	data := stream.Collect(stream.Normal(n, 31, 0, 1))
+	kn, err := NewKnownN[float64](n, eps, delta, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn.AddAll(data)
+	if kn.Overflowed() {
+		t.Error("overflow at declared length")
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got, err := kn.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := exact.RankError(data, got, phi, eps); e != 0 {
+			t.Errorf("known-N phi=%v off by %d ranks", phi, e)
+		}
+	}
+	// Known-N must not use more memory than unknown-N at the same (ε, δ).
+	un, _ := PlanUnknownN(eps, delta)
+	if got := uint64(kn.MemoryElements()); got > un.Memory+un.Memory/1 {
+		t.Errorf("known-N memory %d far above unknown-N plan %d", got, un.Memory)
+	}
+}
+
+func TestKnownNOverflow(t *testing.T) {
+	kn, _ := NewKnownN[int](100, 0.1, 0.01)
+	for i := 0; i < 101; i++ {
+		kn.Add(i)
+	}
+	if !kn.Overflowed() {
+		t.Error("overflow undetected")
+	}
+}
+
+func TestExtremeEndToEnd(t *testing.T) {
+	const n = 200_000
+	const phi, eps, delta = 0.99, 0.005, 1e-3
+	e, err := NewExtreme[float64](phi, eps, delta, n, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Sales(n, 8))
+	e.AddAll(data)
+	got, err := e.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rankErr := exact.RankError(data, got, phi, eps); rankErr != 0 {
+		t.Errorf("99th percentile off by %d ranks", rankErr)
+	}
+	// The memory advantage is the whole point.
+	gen, _ := PlanUnknownN(eps, delta)
+	if uint64(e.MemoryElements())*4 > gen.Memory {
+		t.Errorf("extreme memory %d not far below general %d", e.MemoryElements(), gen.Memory)
+	}
+}
+
+func TestExtremeUnknownNEndToEnd(t *testing.T) {
+	const phi, eps, delta = 0.01, 0.005, 1e-3
+	e, err := NewExtremeUnknownN[float64](phi, eps, delta, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Exponential(150_000, 10, 1))
+	e.AddAll(data)
+	got, err := e.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rankErr := exact.RankError(data, got, phi, eps); rankErr != 0 {
+		t.Errorf("1st percentile off by %d ranks", rankErr)
+	}
+}
+
+func TestReservoirEndToEnd(t *testing.T) {
+	r, err := NewReservoir[float64](0.05, 0.01, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Uniform(100_000, 12))
+	r.AddAll(data)
+	got, err := r.Query(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := exact.RankError(data, got, 0.5, 0.05); e != 0 {
+		t.Errorf("reservoir median off by %d ranks", e)
+	}
+}
+
+func TestEquiDepthEndToEnd(t *testing.T) {
+	h, err := NewEquiDepth[float64](10, 0.05, 0.01, WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Normal(80_000, 14, 100, 20))
+	for _, v := range data {
+		h.Add(v)
+	}
+	bounds, err := h.Boundaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bounds {
+		phi := float64(i+1) / 10
+		if e := exact.RankError(data, b, phi, 0.05); e != 0 {
+			t.Errorf("boundary %d off by %d ranks", i, e)
+		}
+	}
+}
+
+func TestMergeEndToEnd(t *testing.T) {
+	const eps, delta = 0.05, 1e-3
+	const per = 40_000
+	var all []float64
+	var sketches []*Sketch[float64]
+	for w := 0; w < 4; w++ {
+		s, err := New[float64](eps, delta, WithSeed(uint64(w)+50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk := stream.Collect(stream.Normal(per, uint64(w)+60, float64(w*10), 5))
+		s.AddAll(chunk)
+		all = append(all, chunk...)
+		sketches = append(sketches, s)
+	}
+	m, err := Merge(sketches...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != uint64(len(all)) {
+		t.Errorf("merged count %d", m.Count())
+	}
+	got, err := m.Quantiles([]float64{0.25, 0.5, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, phi := range []float64{0.25, 0.5, 0.75} {
+		if e := exact.RankError(all, got[i], phi, eps); e != 0 {
+			t.Errorf("merged phi=%v off by %d ranks", phi, e)
+		}
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	if _, err := Merge[float64](); err == nil {
+		t.Error("empty merge accepted")
+	}
+}
+
+func TestMemoryBudgetOption(t *testing.T) {
+	plan, _ := PlanUnknownN(0.05, 1e-3)
+	s, err := New[float64](0.05, 1e-3, WithMemoryBudget(
+		MemoryLimit{N: uint64(plan.K * 2), MaxElements: plan.Memory / 2},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Shuffled(100_000, 15))
+	for i, v := range data {
+		s.Add(v)
+		if i+1 == plan.K*2 {
+			if got := uint64(s.MemoryElements()); got > plan.Memory/2 {
+				t.Errorf("budgeted sketch used %d at N=%d, cap %d", got, i+1, plan.Memory/2)
+			}
+		}
+	}
+	med, err := s.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := exact.RankError(data, med, 0.5, 0.05); e != 0 {
+		t.Errorf("budgeted sketch median off by %d ranks", e)
+	}
+}
+
+func TestPolicyOptions(t *testing.T) {
+	for _, pol := range []string{"mrl", "munro-paterson", "ars"} {
+		s, err := New[float64](0.05, 0.01, WithPolicy(pol), WithSeed(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := stream.Collect(stream.Uniform(60_000, 18))
+		s.AddAll(data)
+		med, err := s.Median()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := exact.RankError(data, med, 0.5, 0.05); e != 0 {
+			t.Errorf("policy %s median off by %d ranks", pol, e)
+		}
+	}
+}
+
+func TestPlanAccessors(t *testing.T) {
+	u, err := PlanUnknownN(0.01, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := PlanKnownN(0.01, 1e-4, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Memory == 0 || k.Memory == 0 {
+		t.Error("plans empty")
+	}
+	if u.Memory < k.Memory {
+		t.Error("unknown-N plan cheaper than known-N")
+	}
+	if _, err := PlanUnknownN(0, 0.1); err == nil {
+		t.Error("bad plan accepted")
+	}
+	if _, err := PlanKnownN(0, 0.1, 10); err == nil {
+		t.Error("bad known plan accepted")
+	}
+}
+
+func TestGenericStringSketch(t *testing.T) {
+	s, err := New[string](0.1, 0.01, WithSeed(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"ant", "bee", "cat", "dog", "emu", "fox", "gnu"}
+	for i := 0; i < 7000; i++ {
+		s.Add(words[i%len(words)])
+	}
+	med, err := s.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != "dog" {
+		t.Errorf("string median %q", med)
+	}
+}
+
+// TestNaNInputsDoNotPanicOrHang: NaN has no defined order; the documented
+// behaviour is "filter them", but feeding them anyway must degrade to
+// odd estimates, never to a panic or an infinite loop.
+func TestNaNInputsDoNotPanicOrHang(t *testing.T) {
+	s, _ := New[float64](0.05, 0.01, WithSeed(30))
+	for i := 0; i < 20_000; i++ {
+		if i%97 == 0 {
+			s.Add(math.NaN())
+		} else {
+			s.Add(float64(i))
+		}
+	}
+	if s.Count() != 20_000 {
+		t.Errorf("count %d", s.Count())
+	}
+	// Must return without hanging; the value itself is unspecified.
+	if _, err := s.Median(); err != nil {
+		t.Errorf("median errored: %v", err)
+	}
+}
+
+func TestQuantilesOrderPreserved(t *testing.T) {
+	s, _ := New[int](0.1, 0.01, WithSeed(20))
+	for i := 0; i < 10_000; i++ {
+		s.Add(i)
+	}
+	got, err := s.Quantiles([]float64{0.9, 0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(got[0] > got[2] && got[2] > got[1]) {
+		t.Errorf("order not preserved: %v", got)
+	}
+	if !slices.IsSorted([]int{got[1], got[2], got[0]}) {
+		t.Errorf("values inconsistent: %v", got)
+	}
+}

@@ -1,0 +1,123 @@
+package quantile
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/histogram"
+	"repro/internal/mrl98"
+	"repro/internal/parallel"
+)
+
+// ElementCodec serializes individual sketch elements; pass one to
+// Checkpoint/RestoreSketch and MarshalShipment/MergeShipments. Built-in
+// codecs cover the common column types; implement the interface for custom
+// ordered types.
+type ElementCodec[T any] = codec.Element[T]
+
+// Float64Codec returns the element codec for float64 sketches.
+func Float64Codec() ElementCodec[float64] { return codec.Float64() }
+
+// Int64Codec returns the element codec for int64 sketches.
+func Int64Codec() ElementCodec[int64] { return codec.Int64() }
+
+// IntCodec returns the element codec for int sketches.
+func IntCodec() ElementCodec[int] { return codec.Int() }
+
+// StringCodec returns the element codec for string sketches.
+func StringCodec() ElementCodec[string] { return codec.String() }
+
+// Checkpoint serializes the sketch's complete state — including the
+// in-flight fill and the random generator — to a compact, CRC-protected
+// binary blob. RestoreSketch reconstructs a sketch that behaves
+// identically on all future Adds and Queries, so long-lived summaries
+// (e.g. histograms over ever-growing tables) survive process restarts.
+func (s *Sketch[T]) Checkpoint(ec ElementCodec[T]) ([]byte, error) {
+	st := s.inner.Snapshot()
+	st.Eps, st.Delta = s.eps, s.delta
+	return codec.MarshalSketch(st, ec)
+}
+
+// RestoreSketch reconstructs a sketch from a Checkpoint blob.
+func RestoreSketch[T cmp.Ordered](blob []byte, ec ElementCodec[T]) (*Sketch[T], error) {
+	st, err := codec.UnmarshalSketch(blob, ec)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.Restore(st)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch[T]{inner: inner, eps: st.Eps, delta: st.Delta}, nil
+}
+
+// Checkpoint serializes the known-N sketch's complete state (see
+// Sketch.Checkpoint).
+func (s *KnownN[T]) Checkpoint(ec ElementCodec[T]) ([]byte, error) {
+	return codec.MarshalKnownN(s.inner.Snapshot(), ec)
+}
+
+// RestoreKnownN reconstructs a known-N sketch from a Checkpoint blob.
+func RestoreKnownN[T cmp.Ordered](blob []byte, ec ElementCodec[T]) (*KnownN[T], error) {
+	st, err := codec.UnmarshalKnownN(blob, ec)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := mrl98.Restore(st)
+	if err != nil {
+		return nil, err
+	}
+	return &KnownN[T]{inner: inner}, nil
+}
+
+// CheckpointEquiDepth serializes a histogram's complete state (boundaries
+// sketch, extremes and bucket count) — the paper's Section 1.2 "histogram
+// of a dynamically growing table" survives process restarts. (A free
+// function because EquiDepth is a type alias.)
+func CheckpointEquiDepth[T cmp.Ordered](h *EquiDepth[T], ec ElementCodec[T]) ([]byte, error) {
+	return codec.MarshalHistogram(h.Snapshot(), ec)
+}
+
+// RestoreEquiDepth reconstructs a histogram from a Checkpoint blob.
+func RestoreEquiDepth[T cmp.Ordered](blob []byte, ec ElementCodec[T]) (*EquiDepth[T], error) {
+	st, err := codec.UnmarshalHistogram(blob, ec)
+	if err != nil {
+		return nil, err
+	}
+	return histogram.Restore(st)
+}
+
+// MarshalShipment finalizes the sketch (consuming it, as in a worker whose
+// input stream ended) and serializes the resulting Section 6 shipment —
+// at most one full and one partial buffer plus the element count — for
+// transmission to a coordinator on another machine. The blob is typically
+// a few kilobytes regardless of how much data the worker consumed.
+func (s *Sketch[T]) MarshalShipment(ec ElementCodec[T]) ([]byte, error) {
+	return codec.MarshalShipment(parallel.Ship(s.inner), ec)
+}
+
+// MergeShipments reconstructs worker shipments from their serialized form
+// and merges them into a queryable summary — the distributed counterpart
+// of Merge. k and b size the coordinator's merge tree; k must match the
+// workers' buffer size (it is validated per shipment).
+func MergeShipments[T cmp.Ordered](k, b int, seed uint64, ec ElementCodec[T], blobs ...[]byte) (*Merged[T], error) {
+	if len(blobs) == 0 {
+		return nil, fmt.Errorf("quantile: MergeShipments needs at least one shipment")
+	}
+	coord, err := parallel.NewCoordinator[T](k, b, seed)
+	if err != nil {
+		return nil, err
+	}
+	for i, blob := range blobs {
+		sh, err := codec.UnmarshalShipment(blob, ec)
+		if err != nil {
+			return nil, fmt.Errorf("quantile: shipment %d: %w", i, err)
+		}
+		if err := coord.Receive(sh); err != nil {
+			return nil, fmt.Errorf("quantile: shipment %d: %w", i, err)
+		}
+	}
+	return &Merged[T]{coord: coord}, nil
+}

@@ -1,0 +1,208 @@
+package quantile
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestCheckpointRestoreEquivalence(t *testing.T) {
+	s, err := New[float64](0.02, 1e-3, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Uniform(120_000, 9))
+	half := len(data) / 2
+	for _, v := range data[:half] {
+		s.Add(v)
+	}
+	blob, err := s.Checkpoint(Float64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSketch[float64](blob, Float64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Epsilon() != 0.02 || restored.Delta() != 1e-3 {
+		t.Errorf("metadata lost: eps=%v delta=%v", restored.Epsilon(), restored.Delta())
+	}
+	for _, v := range data[half:] {
+		s.Add(v)
+		restored.Add(v)
+	}
+	phis := []float64{0.1, 0.5, 0.9}
+	a, _ := s.Quantiles(phis)
+	b, _ := restored.Quantiles(phis)
+	if !slices.Equal(a, b) {
+		t.Errorf("checkpointed sketch diverged: %v vs %v", a, b)
+	}
+	for i, phi := range phis {
+		if e := exact.RankError(data, b[i], phi, 0.02); e != 0 {
+			t.Errorf("restored sketch phi=%v off by %d ranks", phi, e)
+		}
+	}
+}
+
+func TestCheckpointGarbageRejected(t *testing.T) {
+	if _, err := RestoreSketch[float64](nil, Float64Codec()); err == nil {
+		t.Error("nil blob accepted")
+	}
+	if _, err := RestoreSketch[float64]([]byte("not a sketch"), Float64Codec()); err == nil {
+		t.Error("garbage blob accepted")
+	}
+}
+
+func TestShipmentsMergeAcrossTheWire(t *testing.T) {
+	const eps, delta = 0.05, 1e-3
+	const per = 30_000
+	var all []float64
+	var blobs [][]byte
+	var k, b int
+	for w := 0; w < 4; w++ {
+		s, err := New[float64](eps, delta, WithSeed(uint64(w)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk := stream.Collect(stream.Exponential(per, uint64(w)+10, 0.5))
+		s.AddAll(chunk)
+		all = append(all, chunk...)
+		plan, _ := PlanUnknownN(eps, delta)
+		k, b = plan.K, plan.B
+		blob, err := s.MarshalShipment(Float64Codec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wire format must be small: a few buffers, not the data.
+		if len(blob) > 64*1024 {
+			t.Errorf("worker %d shipment is %d bytes", w, len(blob))
+		}
+		blobs = append(blobs, blob)
+	}
+	m, err := MergeShipments(k, b, 7, Float64Codec(), blobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != uint64(len(all)) {
+		t.Errorf("merged count %d want %d", m.Count(), len(all))
+	}
+	for _, phi := range []float64{0.25, 0.5, 0.75} {
+		got, err := m.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := exact.RankError(all, got, phi, eps); e != 0 {
+			t.Errorf("wire-merged phi=%v off by %d ranks", phi, e)
+		}
+	}
+}
+
+func TestMergeShipmentsValidation(t *testing.T) {
+	if _, err := MergeShipments(8, 4, 1, Float64Codec()); err == nil {
+		t.Error("no shipments accepted")
+	}
+	if _, err := MergeShipments(8, 4, 1, Float64Codec(), []byte("junk")); err == nil {
+		t.Error("junk shipment accepted")
+	}
+}
+
+func TestKnownNCheckpointPublicAPI(t *testing.T) {
+	const n = 60_000
+	s, err := NewKnownN[float64](n, 0.05, 1e-3, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Uniform(n, 22))
+	half := len(data) / 2
+	s.AddAll(data[:half])
+	blob, err := s.Checkpoint(Float64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreKnownN[float64](blob, Float64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddAll(data[half:])
+	r.AddAll(data[half:])
+	a, _ := s.Quantile(0.5)
+	b, _ := r.Quantile(0.5)
+	if a != b {
+		t.Errorf("known-N checkpoint diverged: %v vs %v", a, b)
+	}
+	if e := exact.RankError(data, b, 0.5, 0.05); e != 0 {
+		t.Errorf("restored known-N median off by %d ranks", e)
+	}
+	if r.Overflowed() {
+		t.Error("overflow flagged spuriously")
+	}
+	if _, err := RestoreKnownN[float64]([]byte("zzz"), Float64Codec()); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestEquiDepthCheckpoint(t *testing.T) {
+	h, err := NewEquiDepth[float64](8, 0.05, 1e-3, WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Normal(60_000, 32, 10, 2))
+	half := len(data) / 2
+	for _, v := range data[:half] {
+		h.Add(v)
+	}
+	blob, err := CheckpointEquiDepth(h, Float64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreEquiDepth[float64](blob, Float64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range data[half:] {
+		h.Add(v)
+		r.Add(v)
+	}
+	a, err1 := h.Boundaries()
+	b, err2 := r.Boundaries()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !slices.Equal(a, b) {
+		t.Errorf("restored histogram boundaries diverge: %v vs %v", a, b)
+	}
+	// Buckets rely on the persisted min/max.
+	ba, _ := h.Buckets()
+	bb, _ := r.Buckets()
+	if ba[0].Lo != bb[0].Lo || ba[len(ba)-1].Hi != bb[len(bb)-1].Hi {
+		t.Error("restored histogram extremes diverge")
+	}
+	if _, err := RestoreEquiDepth[float64]([]byte("junk"), Float64Codec()); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCheckpointIntSketch(t *testing.T) {
+	s, err := New[int](0.05, 1e-2, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		s.Add(i % 1000)
+	}
+	blob, err := s.Checkpoint(IntCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreSketch[int](blob, IntCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Median()
+	b, _ := r.Median()
+	if a != b {
+		t.Errorf("int medians diverge: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,108 @@
+package quantile
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+)
+
+// Universal is the paper's Section 4.7 precomputation construction: a
+// sketch sized so that the ⌈1/ε⌉ grid quantiles φ = ε, 2ε, … are all
+// simultaneously (ε/2)-approximate with probability ≥ 1−δ. Any requested φ
+// is answered from the nearest grid point, which costs at most another ε/2
+// of rank error — so the ε guarantee holds for an UNBOUNDED number of
+// distinct quantile queries, with memory independent of how many are ever
+// asked. Use it when φ is not known in advance (ad-hoc dashboards,
+// equi-depth histograms with a bucket count chosen later).
+type Universal[T cmp.Ordered] struct {
+	inner *core.Sketch[T]
+	eps   float64
+	delta float64
+	grid  []float64
+}
+
+// NewUniversal returns a Universal sketch for the given guarantees.
+func NewUniversal[T cmp.Ordered](eps, delta float64, opts ...Option) (*Universal[T], error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := optimize.PrecomputeBound(eps, delta)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewSketch[T](core.Config{
+		B: p.B, K: p.K, H: p.H, Policy: o.pol(), Seed: o.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := int(math.Ceil(1 / eps))
+	grid := make([]float64, n)
+	for i := range grid {
+		grid[i] = math.Min(1, float64(i+1)*eps)
+	}
+	return &Universal[T]{inner: inner, eps: eps, delta: delta, grid: grid}, nil
+}
+
+// Add feeds one element.
+func (u *Universal[T]) Add(v T) { u.inner.Add(v) }
+
+// AddAll feeds a slice of elements.
+func (u *Universal[T]) AddAll(vs []T) { u.inner.AddAll(vs) }
+
+// Count returns the number of elements consumed.
+func (u *Universal[T]) Count() uint64 { return u.inner.Count() }
+
+// MemoryElements returns the memory footprint in element slots.
+func (u *Universal[T]) MemoryElements() int { return u.inner.MemoryElements() }
+
+// GridSize returns the number of maintained grid quantiles (⌈1/ε⌉).
+func (u *Universal[T]) GridSize() int { return len(u.grid) }
+
+// Nearest returns the grid quantile a query for phi is answered from.
+func (u *Universal[T]) Nearest(phi float64) (float64, error) {
+	if phi <= 0 || phi > 1 {
+		return 0, fmt.Errorf("quantile: phi %v out of (0,1]", phi)
+	}
+	i := int(math.Round(phi/u.eps)) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(u.grid) {
+		i = len(u.grid) - 1
+	}
+	return u.grid[i], nil
+}
+
+// Quantile answers a query for any φ from the nearest grid quantile.
+func (u *Universal[T]) Quantile(phi float64) (T, error) {
+	var zero T
+	g, err := u.Nearest(phi)
+	if err != nil {
+		return zero, err
+	}
+	return u.inner.QueryOne(g)
+}
+
+// Quantiles answers several queries in request order.
+func (u *Universal[T]) Quantiles(phis []float64) ([]T, error) {
+	gs := make([]float64, len(phis))
+	for i, phi := range phis {
+		g, err := u.Nearest(phi)
+		if err != nil {
+			return nil, err
+		}
+		gs[i] = g
+	}
+	return u.inner.Query(gs)
+}
+
+// Epsilon returns the configured rank-error bound.
+func (u *Universal[T]) Epsilon() float64 { return u.eps }
+
+// Delta returns the configured failure probability.
+func (u *Universal[T]) Delta() float64 { return u.delta }

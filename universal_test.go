@@ -1,0 +1,115 @@
+package quantile
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestUniversalValidation(t *testing.T) {
+	if _, err := NewUniversal[float64](0, 0.1); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewUniversal[float64](0.05, 0.01, WithPolicy("zzz")); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestUniversalGrid(t *testing.T) {
+	u, err := NewUniversal[float64](0.05, 1e-3, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.GridSize() != 20 {
+		t.Errorf("grid size %d, want 20", u.GridSize())
+	}
+	cases := []struct{ phi, want float64 }{
+		{0.5, 0.5},
+		{0.51, 0.5},
+		{0.53, 0.55},
+		{0.001, 0.05}, // below the first grid point
+		{1.0, 1.0},
+		{0.999, 1.0},
+	}
+	for _, c := range cases {
+		g, err := u.Nearest(c.phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(g-c.want) > 1e-12 {
+			t.Errorf("Nearest(%v) = %v, want %v", c.phi, g, c.want)
+		}
+	}
+	if _, err := u.Nearest(0); err == nil {
+		t.Error("phi=0 accepted")
+	}
+	if _, err := u.Nearest(1.01); err == nil {
+		t.Error("phi>1 accepted")
+	}
+}
+
+func TestUniversalManyArbitraryQueries(t *testing.T) {
+	const eps = 0.05
+	u, err := NewUniversal[float64](eps, 1e-3, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Uniform(100_000, 3))
+	u.AddAll(data)
+	if u.Count() != 100_000 {
+		t.Errorf("count %d", u.Count())
+	}
+	// A dense sweep of arbitrary (non-grid) quantiles; every answer must be
+	// eps-approximate. Skip the extreme edges where grid rounding to the
+	// first/last point is the documented behaviour.
+	for phi := 0.06; phi < 0.97; phi += 0.013 {
+		got, err := u.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := exact.RankError(data, got, phi, eps); e != 0 {
+			t.Errorf("phi=%v off by %d ranks", phi, e)
+		}
+	}
+}
+
+func TestUniversalBatch(t *testing.T) {
+	u, _ := NewUniversal[float64](0.1, 1e-2, WithSeed(4))
+	for i := 0; i < 10_000; i++ {
+		u.Add(float64(i))
+	}
+	phis := []float64{0.93, 0.12, 0.5}
+	got, err := u.Quantiles(phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(got[0] > got[2] && got[2] > got[1]) {
+		t.Errorf("batch order wrong: %v", got)
+	}
+	if _, err := u.Quantiles([]float64{0.5, -1}); err == nil {
+		t.Error("bad phi in batch accepted")
+	}
+}
+
+func TestUniversalMemoryIndependentOfQueries(t *testing.T) {
+	u, _ := NewUniversal[float64](0.05, 1e-3, WithSeed(5))
+	for i := 0; i < 50_000; i++ {
+		u.Add(float64(i))
+	}
+	before := u.MemoryElements()
+	for i := 0; i < 1000; i++ {
+		phi := 0.001 + 0.998*float64(i)/999
+		if _, err := u.Quantile(phi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Allow the one-time query snapshot buffer.
+	if after := u.MemoryElements(); after > before+u.inner.Config().K {
+		t.Errorf("memory grew with queries: %d -> %d", before, after)
+	}
+	if u.Epsilon() != 0.05 || u.Delta() != 1e-3 {
+		t.Error("accessors wrong")
+	}
+}
