@@ -1,0 +1,513 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	quantile "repro"
+	"repro/internal/codec"
+	"repro/internal/parallel"
+)
+
+// CoordinatorConfig configures a merge coordinator.
+type CoordinatorConfig struct {
+	// Eps and Delta are the guarantee parameters every worker must have
+	// been built with; they determine the shared buffer size k, and a
+	// mismatched shipment is rejected (mergeq's compatibility rule).
+	Eps, Delta float64
+
+	// Seed drives the coordinator's block-sampling decisions.
+	Seed uint64
+
+	// CheckpointPath, when non-empty, is the file the merged state is
+	// persisted to. If the file exists at construction time the state is
+	// restored from it.
+	CheckpointPath string
+
+	// CheckpointInterval is how often Run writes a checkpoint
+	// (default 30s; ignored when CheckpointPath is empty).
+	CheckpointInterval time.Duration
+
+	// MaxBodyBytes bounds a shipment POST body (default 8 MiB).
+	MaxBodyBytes int64
+
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+
+	// now is a test hook; nil means time.Now.
+	now func() time.Time
+}
+
+// Coordinator is the Section 6 "Processor P0" as a network service: it
+// accepts worker shipments on POST /v1/ship, deduplicates retransmissions
+// by (worker, epoch), merges through the paper's collapse tree, answers
+// aggregate queries, and checkpoints its state to disk for crash recovery.
+type Coordinator struct {
+	cfg  CoordinatorConfig
+	plan quantile.Plan
+	mux  *http.ServeMux
+	m    metrics
+
+	start time.Time
+
+	mu      sync.Mutex
+	merge   *parallel.Coordinator[float64]
+	seen    map[string]map[uint64]struct{}
+	workers map[string]*WorkerStatus
+}
+
+// NewCoordinator builds a coordinator for the given guarantees, restoring
+// state from cfg.CheckpointPath if a checkpoint exists there.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	plan, err := quantile.PlanUnknownN(cfg.Eps, cfg.Delta)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		plan:    plan,
+		mux:     http.NewServeMux(),
+		start:   cfg.now(),
+		seen:    make(map[string]map[uint64]struct{}),
+		workers: make(map[string]*WorkerStatus),
+	}
+	c.merge, err = parallel.NewCoordinator[float64](plan.K, plan.B, cfg.Seed^0xc00d)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointPath != "" {
+		if err := c.restore(cfg.CheckpointPath); err != nil {
+			return nil, err
+		}
+	}
+	c.mux.HandleFunc("POST "+ShipPath, c.handleShip)
+	c.mux.HandleFunc("GET /quantile", c.handleQuantile)
+	c.mux.HandleFunc("GET /cdf", c.handleCDF)
+	c.mux.HandleFunc("GET /histogram", c.handleHistogram)
+	c.mux.HandleFunc("GET /stats", c.handleStats)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Count returns the aggregate element count merged so far.
+func (c *Coordinator) Count() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.merge.Count()
+}
+
+// Run blocks until ctx is cancelled, writing periodic checkpoints when
+// configured. A final checkpoint is written on the way out, so a graceful
+// shutdown loses nothing.
+func (c *Coordinator) Run(ctx context.Context) {
+	if c.cfg.CheckpointPath == "" {
+		<-ctx.Done()
+		return
+	}
+	t := time.NewTicker(c.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := c.CheckpointNow(); err != nil {
+				c.cfg.Logf("cluster: checkpoint: %v", err)
+			}
+		case <-ctx.Done():
+			if err := c.CheckpointNow(); err != nil {
+				c.cfg.Logf("cluster: final checkpoint: %v", err)
+			}
+			return
+		}
+	}
+}
+
+// checkpointFile is the on-disk envelope: the dedup table and per-worker
+// view ride along with the CRC-protected merge-state blob, so a restart
+// also remembers which (worker, epoch) pairs were already counted.
+type checkpointFile struct {
+	SavedAt time.Time               `json:"saved_at"`
+	Eps     float64                 `json:"eps"`
+	Delta   float64                 `json:"delta"`
+	Seen    map[string][]uint64     `json:"seen"`
+	Workers map[string]WorkerStatus `json:"workers"`
+	Merge   []byte                  `json:"merge"`
+}
+
+// CheckpointNow writes the coordinator's state to cfg.CheckpointPath
+// atomically (temp file + rename).
+func (c *Coordinator) CheckpointNow() error {
+	if c.cfg.CheckpointPath == "" {
+		return fmt.Errorf("cluster: no checkpoint path configured")
+	}
+	c.mu.Lock()
+	st := c.merge.Snapshot()
+	seen := make(map[string][]uint64, len(c.seen))
+	for id, epochs := range c.seen {
+		list := make([]uint64, 0, len(epochs))
+		for e := range epochs {
+			list = append(list, e)
+		}
+		seen[id] = list
+	}
+	workers := make(map[string]WorkerStatus, len(c.workers))
+	for id, ws := range c.workers {
+		workers[id] = *ws
+	}
+	c.mu.Unlock()
+
+	blob, err := codec.MarshalCoordinator(st, codec.Float64())
+	if err != nil {
+		c.m.checkpointErrors.Add(1)
+		return err
+	}
+	data, err := json.Marshal(checkpointFile{
+		SavedAt: c.cfg.now(),
+		Eps:     c.cfg.Eps,
+		Delta:   c.cfg.Delta,
+		Seen:    seen,
+		Workers: workers,
+		Merge:   blob,
+	})
+	if err != nil {
+		c.m.checkpointErrors.Add(1)
+		return err
+	}
+	dir := filepath.Dir(c.cfg.CheckpointPath)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		c.m.checkpointErrors.Add(1)
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		c.m.checkpointErrors.Add(1)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		c.m.checkpointErrors.Add(1)
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.cfg.CheckpointPath); err != nil {
+		c.m.checkpointErrors.Add(1)
+		return err
+	}
+	c.m.checkpoints.Add(1)
+	return nil
+}
+
+// restore loads a checkpoint written by CheckpointNow. A missing file is
+// a clean first start; a present-but-unreadable one is an error (silently
+// dropping acknowledged data would be worse than refusing to start).
+func (c *Coordinator) restore(path string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("cluster: checkpoint %s: %w", path, err)
+	}
+	if f.Eps != c.cfg.Eps || f.Delta != c.cfg.Delta {
+		return fmt.Errorf("cluster: checkpoint %s was written with eps=%g delta=%g, coordinator runs eps=%g delta=%g",
+			path, f.Eps, f.Delta, c.cfg.Eps, c.cfg.Delta)
+	}
+	st, err := codec.UnmarshalCoordinator(f.Merge, codec.Float64())
+	if err != nil {
+		return fmt.Errorf("cluster: checkpoint %s: %w", path, err)
+	}
+	merge, err := parallel.RestoreCoordinator(st)
+	if err != nil {
+		return fmt.Errorf("cluster: checkpoint %s: %w", path, err)
+	}
+	c.merge = merge
+	c.seen = make(map[string]map[uint64]struct{}, len(f.Seen))
+	for id, list := range f.Seen {
+		epochs := make(map[uint64]struct{}, len(list))
+		for _, e := range list {
+			epochs[e] = struct{}{}
+		}
+		c.seen[id] = epochs
+	}
+	c.workers = make(map[string]*WorkerStatus, len(f.Workers))
+	for id, ws := range f.Workers {
+		w := ws
+		c.workers[id] = &w
+	}
+	c.m.elements.Add(merge.Count())
+	c.cfg.Logf("cluster: restored checkpoint %s (%d elements, %d workers, saved %s)",
+		path, merge.Count(), len(c.workers), f.SavedAt.Format(time.RFC3339))
+	return nil
+}
+
+func (c *Coordinator) handleShip(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	var env Envelope
+	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			c.m.shipmentsRejected.Add(1)
+			writeShipError(w, http.StatusRequestEntityTooLarge, "shipment body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		c.m.shipmentsRejected.Add(1)
+		writeShipError(w, http.StatusBadRequest, "decoding envelope: %v", err)
+		return
+	}
+	c.m.shipmentsReceived.Add(1)
+	if err := env.Validate(); err != nil {
+		c.m.shipmentsRejected.Add(1)
+		writeShipError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// mergeq's compatibility rule: eps/delta (and therefore k) must match.
+	if env.Eps != c.cfg.Eps || env.Delta != c.cfg.Delta {
+		c.m.shipmentsRejected.Add(1)
+		writeShipError(w, http.StatusConflict,
+			"worker %s built with eps=%g delta=%g, coordinator runs eps=%g delta=%g",
+			env.Worker, env.Eps, env.Delta, c.cfg.Eps, c.cfg.Delta)
+		return
+	}
+	sh, err := codec.UnmarshalShipment(env.Blob, codec.Float64())
+	if err != nil {
+		c.m.shipmentsRejected.Add(1)
+		writeShipError(w, http.StatusBadRequest, "decoding shipment: %v", err)
+		return
+	}
+	if sh.Count != env.Count {
+		c.m.shipmentsRejected.Add(1)
+		writeShipError(w, http.StatusBadRequest, "envelope count %d != shipment count %d", env.Count, sh.Count)
+		return
+	}
+	if k := shipmentK(sh); k != 0 && k != c.plan.K {
+		c.m.shipmentsRejected.Add(1)
+		writeShipError(w, http.StatusConflict, "worker buffer size %d != coordinator %d", k, c.plan.K)
+		return
+	}
+
+	c.mu.Lock()
+	if _, dup := c.seen[env.Worker][env.Epoch]; dup {
+		ws := c.workers[env.Worker]
+		ws.Duplicates++
+		total := c.merge.Count()
+		c.mu.Unlock()
+		c.m.shipmentsDeduped.Add(1)
+		writeJSON(w, http.StatusOK, ShipResult{Status: StatusDuplicate, Count: total})
+		return
+	}
+	// Receive mutates state before it can fail on a pathological shipment,
+	// so snapshot first and roll back on error — a rejected shipment must
+	// leave the aggregate untouched.
+	undo := c.merge.Snapshot()
+	begin := time.Now()
+	if err := c.merge.Receive(sh); err != nil {
+		if rb, rerr := parallel.RestoreCoordinator(undo); rerr == nil {
+			c.merge = rb
+		}
+		c.mu.Unlock()
+		c.m.shipmentsRejected.Add(1)
+		writeShipError(w, http.StatusConflict, "merging shipment: %v", err)
+		return
+	}
+	c.m.mergeNanos.Add(uint64(time.Since(begin)))
+	c.m.merges.Add(1)
+	if c.seen[env.Worker] == nil {
+		c.seen[env.Worker] = make(map[uint64]struct{})
+	}
+	c.seen[env.Worker][env.Epoch] = struct{}{}
+	ws := c.workers[env.Worker]
+	if ws == nil {
+		ws = &WorkerStatus{}
+		c.workers[env.Worker] = ws
+	}
+	if env.Epoch > ws.LastEpoch {
+		ws.LastEpoch = env.Epoch
+	}
+	ws.LastSeen = c.cfg.now()
+	ws.Count += env.Count
+	ws.Shipments++
+	total := c.merge.Count()
+	c.mu.Unlock()
+
+	c.m.shipmentsAccepted.Add(1)
+	c.m.bytesIngested.Add(uint64(len(env.Blob)))
+	c.m.elements.Add(env.Count)
+	c.cfg.Logf("cluster: accepted %s epoch %d (%d elements, total %d)", env.Worker, env.Epoch, env.Count, total)
+	writeJSON(w, http.StatusOK, ShipResult{Status: StatusAccepted, Count: total})
+}
+
+// shipmentK reports the buffer size a shipment was built with (0 if it
+// carries no buffers).
+func shipmentK(sh parallel.Shipment[float64]) int {
+	if sh.Full != nil {
+		return sh.Full.K()
+	}
+	if sh.Partial != nil {
+		return sh.Partial.K()
+	}
+	return 0
+}
+
+func (c *Coordinator) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("phi")
+	if raw == "" {
+		raw = "0.5"
+	}
+	var phis []float64
+	for _, part := range strings.Split(raw, ",") {
+		phi, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || phi <= 0 || phi > 1 {
+			writeError(w, http.StatusBadRequest, "bad phi %q", part)
+			return
+		}
+		phis = append(phis, phi)
+	}
+	c.mu.Lock()
+	vals, err := c.merge.Query(phis)
+	c.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	out := make(map[string]float64, len(phis))
+	for i, phi := range phis {
+		out[strconv.FormatFloat(phi, 'g', -1, 64)] = vals[i]
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleCDF(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("v")
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad v %q", raw)
+		return
+	}
+	c.mu.Lock()
+	frac, err := c.merge.CDF(v)
+	c.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"v": v, "cdf": frac})
+}
+
+func (c *Coordinator) handleHistogram(w http.ResponseWriter, r *http.Request) {
+	buckets := 10
+	if raw := r.URL.Query().Get("buckets"); raw != "" {
+		b, err := strconv.Atoi(raw)
+		if err != nil || b < 2 || b > 1000 {
+			writeError(w, http.StatusBadRequest, "bad buckets %q", raw)
+			return
+		}
+		buckets = b
+	}
+	phis := make([]float64, buckets-1)
+	for i := range phis {
+		phis[i] = float64(i+1) / float64(buckets)
+	}
+	c.mu.Lock()
+	bounds, err := c.merge.Query(phis)
+	rows := c.merge.Count()
+	c.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"buckets":    buckets,
+		"boundaries": bounds,
+		"rows":       rows,
+	})
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	count := c.merge.Count()
+	mem := c.merge.MemoryElements()
+	height := c.merge.MergeHeight()
+	nWorkers := len(c.workers)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role":            "coordinator",
+		"count":           count,
+		"memory_elements": mem,
+		"merge_height":    height,
+		"workers":         nWorkers,
+		"eps":             c.cfg.Eps,
+		"delta":           c.cfg.Delta,
+		"layout":          map[string]int{"b": c.plan.B, "k": c.plan.K},
+		"uptime_seconds":  c.cfg.now().Sub(c.start).Seconds(),
+	})
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	count := c.merge.Count()
+	workers := make(map[string]WorkerStatus, len(c.workers))
+	for id, ws := range c.workers {
+		workers[id] = *ws
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"count":          count,
+		"workers":        workers,
+		"uptime_seconds": c.cfg.now().Sub(c.start).Seconds(),
+	})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	workers := make(map[string]WorkerStatus, len(c.workers))
+	for id, ws := range c.workers {
+		workers[id] = *ws
+	}
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	now := c.cfg.now()
+	c.m.writeProm(w, workers, now, now.Sub(c.start))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeShipError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ShipResult{Status: "rejected", Error: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the coordinator's observability counters. All fields are
+// monotonic except the per-worker lag, which is derived at scrape time.
+type metrics struct {
+	shipmentsReceived atomic.Uint64 // every POST that parsed as an envelope
+	shipmentsAccepted atomic.Uint64
+	shipmentsRejected atomic.Uint64 // config mismatch, bad blob, merge failure
+	shipmentsDeduped  atomic.Uint64 // retransmissions dropped by (worker, epoch)
+	bytesIngested     atomic.Uint64 // envelope body bytes accepted
+	elements          atomic.Uint64 // aggregate element count represented
+
+	mergeNanos atomic.Uint64 // cumulative time inside Receive
+	merges     atomic.Uint64
+
+	checkpoints      atomic.Uint64
+	checkpointErrors atomic.Uint64
+}
+
+// writeProm renders the counters in Prometheus text exposition format.
+// workers supplies the per-worker view for the lag gauge; now anchors the
+// lag computation.
+func (m *metrics) writeProm(w io.Writer, workers map[string]WorkerStatus, now time.Time, uptime time.Duration) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("cluster_shipments_received_total", "Shipment envelopes parsed from POST "+ShipPath+".", m.shipmentsReceived.Load())
+	counter("cluster_shipments_accepted_total", "Shipments merged into the aggregate summary.", m.shipmentsAccepted.Load())
+	counter("cluster_shipments_rejected_total", "Shipments rejected (config mismatch or malformed).", m.shipmentsRejected.Load())
+	counter("cluster_shipments_deduped_total", "Retransmitted shipments dropped by (worker, epoch) dedup.", m.shipmentsDeduped.Load())
+	counter("cluster_bytes_ingested_total", "Envelope body bytes accepted.", m.bytesIngested.Load())
+	counter("cluster_elements_total", "Stream elements represented by accepted shipments.", m.elements.Load())
+	counter("cluster_merge_seconds_count", "Number of merge operations.", m.merges.Load())
+	fmt.Fprintf(w, "# HELP cluster_merge_seconds_sum Cumulative seconds spent merging shipments.\n# TYPE cluster_merge_seconds_sum counter\ncluster_merge_seconds_sum %g\n",
+		time.Duration(m.mergeNanos.Load()).Seconds())
+	counter("cluster_checkpoints_total", "Checkpoints written.", m.checkpoints.Load())
+	counter("cluster_checkpoint_errors_total", "Checkpoint attempts that failed.", m.checkpointErrors.Load())
+	fmt.Fprintf(w, "# HELP cluster_uptime_seconds Seconds since the coordinator started.\n# TYPE cluster_uptime_seconds gauge\ncluster_uptime_seconds %g\n", uptime.Seconds())
+
+	if len(workers) == 0 {
+		return
+	}
+	ids := make([]string, 0, len(workers))
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(w, "# HELP cluster_worker_lag_seconds Seconds since the last accepted shipment, per worker.\n# TYPE cluster_worker_lag_seconds gauge\n")
+	for _, id := range ids {
+		fmt.Fprintf(w, "cluster_worker_lag_seconds{worker=%q} %g\n", id, now.Sub(workers[id].LastSeen).Seconds())
+	}
+	fmt.Fprintf(w, "# HELP cluster_worker_last_epoch Highest epoch accepted, per worker.\n# TYPE cluster_worker_last_epoch gauge\n")
+	for _, id := range ids {
+		fmt.Fprintf(w, "cluster_worker_last_epoch{worker=%q} %d\n", id, workers[id].LastEpoch)
+	}
+	fmt.Fprintf(w, "# HELP cluster_worker_elements_total Elements accepted, per worker.\n# TYPE cluster_worker_elements_total counter\n")
+	for _, id := range ids {
+		fmt.Fprintf(w, "cluster_worker_elements_total{worker=%q} %d\n", id, workers[id].Count)
+	}
+}

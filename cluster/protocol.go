@@ -1,0 +1,82 @@
+// Package cluster runs the paper's Section 6 parallel merge over a
+// network: long-lived Worker nodes ingest their local streams into
+// concurrent sketches, periodically finalize the current window into a
+// shipment (at most one full and one partial buffer — a few kilobytes no
+// matter how much data the window carried) and POST it to a Coordinator,
+// which merges every worker's shipments through the Section 6 collapse
+// tree and answers quantile, CDF and histogram queries over the union
+// stream.
+//
+// The error analysis is the paper's: each shipped window is an independent
+// single-stream summary with tree height h, and the coordinator stacks a
+// merge tree of height h′ on top, so the aggregate guarantee is the
+// single-stream bound with h replaced by h + h′ (paper Eqs 4–6).
+//
+// The transport is fault-tolerant in both directions. Workers retry failed
+// shipments with exponential backoff and jitter and queue undelivered
+// epochs for the next cycle; the coordinator deduplicates by (worker,
+// epoch), so a shipment that was delivered but whose acknowledgement was
+// lost is never double-counted. The coordinator checkpoints its merged
+// state to disk on an interval and restores it on restart, so a crash
+// loses at most one checkpoint interval of acknowledged data.
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// ShipPath is the coordinator endpoint workers POST shipments to.
+const ShipPath = "/v1/ship"
+
+// Envelope is the wire form of one worker shipment: identity and epoch
+// for deduplication, the guarantee parameters for compatibility checking,
+// and the serialized Section 6 shipment itself. encoding/json transports
+// Blob as base64.
+type Envelope struct {
+	Worker string  `json:"worker"`
+	Epoch  uint64  `json:"epoch"`
+	Eps    float64 `json:"eps"`
+	Delta  float64 `json:"delta"`
+	Count  uint64  `json:"count"`
+	Blob   []byte  `json:"blob"`
+}
+
+// Validate checks the envelope's self-consistency before it is sent or
+// merged.
+func (e *Envelope) Validate() error {
+	switch {
+	case e.Worker == "":
+		return fmt.Errorf("cluster: envelope missing worker id")
+	case e.Epoch == 0:
+		return fmt.Errorf("cluster: envelope epoch must be positive")
+	case e.Count == 0:
+		return fmt.Errorf("cluster: envelope carries no data")
+	case len(e.Blob) == 0:
+		return fmt.Errorf("cluster: envelope missing shipment blob")
+	}
+	return nil
+}
+
+// Shipment statuses returned by the coordinator.
+const (
+	StatusAccepted  = "accepted"
+	StatusDuplicate = "duplicate"
+)
+
+// ShipResult is the coordinator's response to a shipment POST.
+type ShipResult struct {
+	Status string `json:"status"`          // StatusAccepted or StatusDuplicate
+	Count  uint64 `json:"count"`           // coordinator's aggregate element count
+	Error  string `json:"error,omitempty"` // set on rejection responses
+}
+
+// WorkerStatus is the coordinator's view of one worker, reported by
+// /healthz and driving the per-worker lag metric.
+type WorkerStatus struct {
+	LastEpoch  uint64    `json:"last_epoch"`
+	LastSeen   time.Time `json:"last_seen"`
+	Count      uint64    `json:"count"`      // elements accepted from this worker
+	Shipments  uint64    `json:"shipments"`  // shipments accepted
+	Duplicates uint64    `json:"duplicates"` // retransmissions deduplicated
+}

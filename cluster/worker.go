@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+
+	quantile "repro"
+)
+
+// WorkerConfig configures a shipping worker.
+type WorkerConfig struct {
+	// ID identifies this worker to the coordinator; (ID, epoch) is the
+	// deduplication key, so it must be unique per worker and stable across
+	// that worker's lifetime.
+	ID string
+
+	// CoordinatorURL is the coordinator's base URL, e.g. "http://host:9090".
+	CoordinatorURL string
+
+	// ShipInterval is how often Run cuts and ships an epoch (default 5s).
+	ShipInterval time.Duration
+
+	// RequestTimeout bounds one shipment POST (default 10s).
+	RequestTimeout time.Duration
+
+	// MaxRetries is how many times a failed POST is retried within one
+	// ship cycle before the epoch is parked for the next cycle (default 5).
+	MaxRetries int
+
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// retries (defaults 200ms and 5s); each delay is jittered by a factor
+	// in [0.5, 1.5) so a worker fleet does not retry in lockstep.
+	BackoffBase, BackoffMax time.Duration
+
+	// MaxPending bounds the undelivered-epoch queue kept across ship
+	// cycles while the coordinator is unreachable (default 64); beyond it
+	// the oldest epoch is dropped and counted in Stats().Dropped.
+	MaxPending int
+
+	// Client issues the POSTs; nil builds one from RequestTimeout.
+	Client *http.Client
+
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *WorkerConfig) fillDefaults() error {
+	if cfg.ID == "" {
+		return fmt.Errorf("cluster: worker needs an ID")
+	}
+	if cfg.CoordinatorURL == "" {
+		return fmt.Errorf("cluster: worker needs a coordinator URL")
+	}
+	if cfg.ShipInterval <= 0 {
+		cfg.ShipInterval = 5 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 5
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 200 * time.Millisecond
+	}
+	if cfg.BackoffMax < cfg.BackoffBase {
+		cfg.BackoffMax = 5 * time.Second
+		if cfg.BackoffMax < cfg.BackoffBase {
+			cfg.BackoffMax = cfg.BackoffBase
+		}
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 64
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.RequestTimeout}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// WorkerStats is a snapshot of a worker's shipping counters.
+type WorkerStats struct {
+	Epoch   uint64 // epochs cut so far
+	Shipped uint64 // epochs acknowledged by the coordinator
+	Retries uint64 // individual POSTs that failed and were retried
+	Dropped uint64 // epochs abandoned (rejected, or pending overflow)
+	Pending int    // epochs cut but not yet acknowledged
+}
+
+// Worker wraps a concurrent sketch and periodically ships its contents to
+// a coordinator: the paper's Section 6 worker as a long-lived node. Local
+// ingest (Sketch().Add, or the httpapi surface sharing the same sketch)
+// continues unblocked while shipments are in flight; each epoch's summary
+// is a few kilobytes regardless of how much data the window carried.
+type Worker struct {
+	cfg    WorkerConfig
+	sketch *quantile.Concurrent[float64]
+
+	mu      sync.Mutex // serializes ship cycles and guards the fields below
+	epoch   uint64
+	pending []Envelope
+	stats   WorkerStats
+}
+
+// NewWorker wraps sketch in a shipping worker. The sketch's eps/delta must
+// match the coordinator's or every shipment will be rejected.
+func NewWorker(sketch *quantile.Concurrent[float64], cfg WorkerConfig) (*Worker, error) {
+	if sketch == nil {
+		return nil, fmt.Errorf("cluster: worker needs a sketch")
+	}
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	return &Worker{cfg: cfg, sketch: sketch}, nil
+}
+
+// Sketch returns the wrapped sketch (shared with local ingest surfaces).
+func (w *Worker) Sketch() *quantile.Concurrent[float64] { return w.sketch }
+
+// Stats returns a snapshot of the shipping counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.stats
+	st.Epoch = w.epoch
+	st.Pending = len(w.pending)
+	return st
+}
+
+// Run ships on cfg.ShipInterval until ctx is cancelled, then makes one
+// final drain attempt (with a fresh timeout) so a graceful shutdown ships
+// the tail of the stream.
+func (w *Worker) Run(ctx context.Context) {
+	t := time.NewTicker(w.cfg.ShipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := w.ShipOnce(ctx); err != nil && ctx.Err() == nil {
+				w.cfg.Logf("cluster: worker %s: %v", w.cfg.ID, err)
+			}
+		case <-ctx.Done():
+			drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), w.cfg.RequestTimeout)
+			if err := w.ShipOnce(drainCtx); err != nil {
+				w.cfg.Logf("cluster: worker %s: final drain: %v", w.cfg.ID, err)
+			}
+			cancel()
+			return
+		}
+	}
+}
+
+// ShipOnce cuts the current window into a new epoch (if it holds data) and
+// attempts to deliver every pending epoch, oldest first, retrying each
+// failed POST with exponential backoff and jitter. Undelivered epochs stay
+// queued for the next cycle; the coordinator's (worker, epoch) dedup makes
+// redelivery after a lost acknowledgement harmless.
+func (w *Worker) ShipOnce(ctx context.Context) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	blob, count, err := w.sketch.ShipAndReset(quantile.Float64Codec())
+	if err != nil {
+		return fmt.Errorf("finalizing epoch: %w", err)
+	}
+	if count > 0 {
+		w.epoch++
+		w.pending = append(w.pending, Envelope{
+			Worker: w.cfg.ID,
+			Epoch:  w.epoch,
+			Eps:    w.sketch.Epsilon(),
+			Delta:  w.sketch.Delta(),
+			Count:  count,
+			Blob:   blob,
+		})
+	}
+	for over := len(w.pending) - w.cfg.MaxPending; over > 0; over-- {
+		w.cfg.Logf("cluster: worker %s: pending overflow, dropping epoch %d", w.cfg.ID, w.pending[0].Epoch)
+		w.pending = w.pending[1:]
+		w.stats.Dropped++
+	}
+
+	for len(w.pending) > 0 {
+		env := w.pending[0]
+		err := w.deliver(ctx, env)
+		switch {
+		case err == nil:
+			w.pending = w.pending[1:]
+			w.stats.Shipped++
+		case isPermanent(err):
+			// The coordinator understood the shipment and refused it
+			// (config mismatch, malformed blob); retrying cannot help.
+			w.cfg.Logf("cluster: worker %s: epoch %d rejected: %v", w.cfg.ID, env.Epoch, err)
+			w.pending = w.pending[1:]
+			w.stats.Dropped++
+		default:
+			return fmt.Errorf("epoch %d undelivered (kept pending): %w", env.Epoch, err)
+		}
+	}
+	return nil
+}
+
+// permanentError marks a delivery failure that retrying cannot fix.
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+func isPermanent(err error) bool {
+	var p permanentError
+	return errors.As(err, &p)
+}
+
+// deliver POSTs one envelope, retrying transient failures with backoff.
+func (w *Worker) deliver(ctx context.Context, env Envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return permanentError{fmt.Errorf("encoding envelope: %w", err)}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= w.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			w.stats.Retries++
+			if err := sleepCtx(ctx, w.backoff(attempt)); err != nil {
+				return err
+			}
+		}
+		lastErr = w.post(ctx, body)
+		if lastErr == nil || isPermanent(lastErr) {
+			return lastErr
+		}
+		w.cfg.Logf("cluster: worker %s: epoch %d attempt %d: %v", w.cfg.ID, env.Epoch, attempt+1, lastErr)
+	}
+	return lastErr
+}
+
+// post performs a single shipment POST. A 2xx (including the coordinator's
+// "duplicate" answer for a retransmission) is success; a 4xx is permanent;
+// anything else — network error, timeout, 5xx — is retryable.
+func (w *Worker) post(ctx context.Context, body []byte) error {
+	ctx, cancel := context.WithTimeout(ctx, w.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.CoordinatorURL+ShipPath, bytes.NewReader(body))
+	if err != nil {
+		return permanentError{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return permanentError{fmt.Errorf("coordinator: %s: %s", resp.Status, firstLine(payload))}
+	default:
+		return fmt.Errorf("coordinator: %s: %s", resp.Status, firstLine(payload))
+	}
+}
+
+// backoff returns the jittered exponential delay before retry `attempt`
+// (1-based): base·2^(attempt−1) capped at max, scaled by [0.5, 1.5).
+func (w *Worker) backoff(attempt int) time.Duration {
+	d := w.cfg.BackoffBase << (attempt - 1)
+	if d > w.cfg.BackoffMax || d <= 0 {
+		d = w.cfg.BackoffMax
+	}
+	return time.Duration((0.5 + rand.Float64()) * float64(d))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			b = b[:i]
+			break
+		}
+	}
+	return string(b)
+}

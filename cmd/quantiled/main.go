@@ -1,43 +1,245 @@
-// Command quantiled serves streaming quantiles over HTTP: a sidecar
-// process that accepts numbers and answers percentile, CDF and histogram
-// queries with the paper's memory guarantees.
+// Command quantiled serves streaming quantiles over HTTP. It runs in three
+// roles:
+//
+//   - standalone (default): the original sidecar — accept numbers, answer
+//     percentile, CDF and histogram queries with the paper's memory
+//     guarantees.
+//   - worker: the same ingest surface, plus a Section 6 shipping loop that
+//     periodically finalizes the current window and POSTs it to a
+//     coordinator, with retries, backoff and an undelivered-epoch queue.
+//   - coordinator: accepts worker shipments on POST /v1/ship, deduplicates
+//     retransmissions, merges through the paper's collapse tree, answers
+//     aggregate queries, and checkpoints its state to disk for crash
+//     recovery.
+//
+// Standalone:
 //
 //	quantiled -addr :8080 -eps 0.01 -delta 1e-4
 //	curl -d "$(seq 1 100000)" localhost:8080/add
 //	curl 'localhost:8080/quantile?phi=0.5,0.99'
-//	curl 'localhost:8080/cdf?v=42000'
-//	curl 'localhost:8080/histogram?buckets=10'
-//	curl  localhost:8080/stats
+//
+// A fleet:
+//
+//	quantiled -role coordinator -addr :9090 -checkpoint /var/lib/quantiled.ckpt
+//	quantiled -role worker -addr :8081 -coordinator http://localhost:9090 -ship-interval 5s
+//	quantiled -role worker -addr :8082 -coordinator http://localhost:9090 -ship-interval 5s
+//	curl -d "$(seq 1 50000)"      localhost:8081/add
+//	curl -d "$(seq 50001 100000)" localhost:8082/add
+//	curl 'localhost:9090/quantile?phi=0.5,0.99'   # union of both workers
+//	curl  localhost:9090/healthz
+//	curl  localhost:9090/metrics
+//
+// All roles serve with read/write/idle timeouts and drain gracefully on
+// SIGINT/SIGTERM: workers ship their tail window, the coordinator writes a
+// final checkpoint.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
 	quantile "repro"
+	"repro/cluster"
 	"repro/httpapi"
 )
 
-func main() {
-	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		eps    = flag.Float64("eps", 0.01, "rank-error bound")
-		delta  = flag.Float64("delta", 1e-4, "failure probability")
-		shards = flag.Int("shards", 0, "concurrency shards (0 = default)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-	)
-	flag.Parse()
+type config struct {
+	addr   string
+	eps    float64
+	delta  float64
+	shards int
+	seed   uint64
 
-	srv, err := httpapi.New(*eps, *delta, *shards, quantile.WithSeed(*seed))
+	role           string
+	coordinatorURL string
+	workerID       string
+	shipInterval   time.Duration
+
+	checkpoint         string
+	checkpointInterval time.Duration
+
+	maxBodyBytes int64
+}
+
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	fs := flag.NewFlagSet("quantiled", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.Float64Var(&cfg.eps, "eps", 0.01, "rank-error bound")
+	fs.Float64Var(&cfg.delta, "delta", 1e-4, "failure probability")
+	fs.IntVar(&cfg.shards, "shards", 0, "concurrency shards (0 = default)")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "random seed")
+	fs.StringVar(&cfg.role, "role", "standalone", "standalone, worker or coordinator")
+	fs.StringVar(&cfg.coordinatorURL, "coordinator", "", "coordinator base URL (worker role)")
+	fs.StringVar(&cfg.workerID, "worker-id", "", "stable worker identity (worker role; default hostname+addr)")
+	fs.DurationVar(&cfg.shipInterval, "ship-interval", 5*time.Second, "how often a worker ships its window")
+	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "coordinator checkpoint file (coordinator role; empty disables)")
+	fs.DurationVar(&cfg.checkpointInterval, "checkpoint-interval", 30*time.Second, "how often the coordinator checkpoints")
+	fs.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", 0, "request body cap in bytes (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	switch cfg.role {
+	case "standalone", "coordinator":
+	case "worker":
+		if cfg.coordinatorURL == "" {
+			return cfg, fmt.Errorf("worker role requires -coordinator URL")
+		}
+		if cfg.workerID == "" {
+			host, err := os.Hostname()
+			if err != nil {
+				host = "worker"
+			}
+			cfg.workerID = host + cfg.addr
+		}
+	default:
+		return cfg, fmt.Errorf("unknown role %q (want standalone, worker or coordinator)", cfg.role)
+	}
+	return cfg, nil
+}
+
+// service bundles a role's HTTP surface with its background loop. run
+// blocks until ctx is cancelled and returns only after the role's final
+// act — a worker's tail shipment, a coordinator's last checkpoint.
+type service struct {
+	handler http.Handler
+	run     func(ctx context.Context)
+	banner  string
+}
+
+func newService(cfg config, logf func(format string, args ...any)) (*service, error) {
+	switch cfg.role {
+	case "standalone":
+		srv, err := httpapi.New(cfg.eps, cfg.delta, cfg.shards, quantile.WithSeed(cfg.seed))
+		if err != nil {
+			return nil, err
+		}
+		srv.SetMaxBodyBytes(cfg.maxBodyBytes)
+		return &service{
+			handler: srv.Handler(),
+			run:     func(ctx context.Context) { <-ctx.Done() },
+			banner:  fmt.Sprintf("standalone (eps=%g delta=%g)", cfg.eps, cfg.delta),
+		}, nil
+
+	case "worker":
+		srv, err := httpapi.New(cfg.eps, cfg.delta, cfg.shards, quantile.WithSeed(cfg.seed))
+		if err != nil {
+			return nil, err
+		}
+		srv.SetMaxBodyBytes(cfg.maxBodyBytes)
+		w, err := cluster.NewWorker(srv.Sketch(), cluster.WorkerConfig{
+			ID:             cfg.workerID,
+			CoordinatorURL: cfg.coordinatorURL,
+			ShipInterval:   cfg.shipInterval,
+			Logf:           logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &service{
+			handler: srv.Handler(),
+			run:     w.Run,
+			banner: fmt.Sprintf("worker %q shipping to %s every %s (eps=%g delta=%g)",
+				cfg.workerID, cfg.coordinatorURL, cfg.shipInterval, cfg.eps, cfg.delta),
+		}, nil
+
+	case "coordinator":
+		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Eps:                cfg.eps,
+			Delta:              cfg.delta,
+			Seed:               cfg.seed,
+			CheckpointPath:     cfg.checkpoint,
+			CheckpointInterval: cfg.checkpointInterval,
+			MaxBodyBytes:       cfg.maxBodyBytes,
+			Logf:               logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		banner := fmt.Sprintf("coordinator (eps=%g delta=%g", cfg.eps, cfg.delta)
+		if cfg.checkpoint != "" {
+			banner += fmt.Sprintf(", checkpointing to %s every %s", cfg.checkpoint, cfg.checkpointInterval)
+		}
+		return &service{handler: coord.Handler(), run: coord.Run, banner: banner + ")"}, nil
+	}
+	return nil, fmt.Errorf("unknown role %q", cfg.role)
+}
+
+// serve runs the hardened HTTP server until ctx is cancelled, then drains:
+// stop accepting, finish in-flight requests, and only then cancel the
+// background loop so a coordinator's final checkpoint includes every
+// acknowledged shipment.
+func serve(ctx context.Context, cfg config, svc *service, logf func(format string, args ...any)) error {
+	hs := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           svc.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       5 * time.Minute,
+	}
+
+	bgCtx, bgCancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		svc.run(bgCtx)
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logf("quantiled %s listening on %s", cfg.role, cfg.addr)
+
+	var serveErr error
+	select {
+	case serveErr = <-errc:
+		// Listener failed; fall through to stop the background loop.
+	case <-ctx.Done():
+		logf("quantiled: signal received, draining")
+		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		if err := hs.Shutdown(shCtx); err != nil {
+			logf("quantiled: shutdown: %v", err)
+		}
+		cancel()
+	}
+	bgCancel()
+	wg.Wait()
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "quantiled: %v\n", err)
+		os.Exit(2)
+	}
+	svc, err := newService(cfg, log.Printf)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "quantiled: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("quantiled listening on %s (eps=%g delta=%g)", *addr, *eps, *delta)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	log.Printf("quantiled: %s", svc.banner)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, cfg, svc, log.Printf); err != nil {
 		log.Fatal(err)
 	}
 }

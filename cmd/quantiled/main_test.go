@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func discardLogf(string, ...any) {}
+
+func TestParseFlagsRoles(t *testing.T) {
+	if _, err := parseFlags([]string{"-role", "standalone"}, io.Discard); err != nil {
+		t.Errorf("standalone: %v", err)
+	}
+	if _, err := parseFlags([]string{"-role", "coordinator", "-checkpoint", "/tmp/x.ckpt"}, io.Discard); err != nil {
+		t.Errorf("coordinator: %v", err)
+	}
+	cfg, err := parseFlags([]string{"-role", "worker", "-coordinator", "http://localhost:9090", "-addr", ":8081"}, io.Discard)
+	if err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if cfg.workerID == "" {
+		t.Error("worker id not defaulted")
+	}
+	if _, err := parseFlags([]string{"-role", "worker"}, io.Discard); err == nil {
+		t.Error("worker without -coordinator accepted")
+	}
+	if _, err := parseFlags([]string{"-role", "replicant"}, io.Discard); err == nil {
+		t.Error("unknown role accepted")
+	}
+}
+
+// TestWorkerCoordinatorServices wires a worker service to a coordinator
+// service the way main does, exercising the full flag-to-fleet path.
+func TestWorkerCoordinatorServices(t *testing.T) {
+	ccfg, err := parseFlags([]string{"-role", "coordinator", "-eps", "0.02", "-delta", "1e-3"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvc, err := newService(ccfg, discardLogf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(csvc.handler)
+	defer cs.Close()
+
+	wcfg, err := parseFlags([]string{
+		"-role", "worker", "-coordinator", cs.URL,
+		"-worker-id", "w-test", "-eps", "0.02", "-delta", "1e-3",
+		"-ship-interval", "20ms",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsvc, err := newService(wcfg, discardLogf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := httptest.NewServer(wsvc.handler)
+	defer ws.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		wsvc.run(ctx)
+		close(done)
+	}()
+
+	var feed strings.Builder
+	for i := 0; i < 10_000; i++ {
+		feed.WriteString("1 ")
+	}
+	resp, err := http.Post(ws.URL+"/add", "text/plain", strings.NewReader(feed.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Cancel triggers the worker's final drain; everything must arrive.
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker loop did not stop")
+	}
+	resp, err = http.Get(cs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"count":10000`) {
+		t.Errorf("coordinator healthz after drain: %s", body)
+	}
+}
+
+func TestServeStopsOnCancel(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := newService(cfg, discardLogf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, cfg, svc, discardLogf) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("serve did not return after cancellation")
+	}
+}

@@ -20,6 +20,7 @@ type Concurrent[T cmp.Ordered] struct {
 	eps, delta float64
 	shards     []*cShard[T]
 	ctr        atomic.Uint64
+	epochs     atomic.Uint64
 	seed       uint64
 }
 
@@ -172,3 +173,54 @@ func (c *Concurrent[T]) Epsilon() float64 { return c.eps }
 
 // Delta returns the configured failure probability.
 func (c *Concurrent[T]) Delta() float64 { return c.delta }
+
+// Shards returns the number of ingest shards.
+func (c *Concurrent[T]) Shards() int { return len(c.shards) }
+
+// Layout returns the per-shard memory layout: b buffers of k elements,
+// sampling onset at tree height h.
+func (c *Concurrent[T]) Layout() (b, k, h int) {
+	cfg := c.shards[0].sk.Config()
+	return cfg.B, cfg.K, cfg.H
+}
+
+// shipAndReset consumes the sketch's current contents into a single
+// Section 6 shipment and installs fresh shard sketches, so the next epoch
+// starts empty. It is the cluster worker's epoch cycle: ship the window,
+// keep ingesting. Concurrent Adds racing the sweep land either in the
+// returned shipment or in the next epoch — never in both, never lost.
+func (c *Concurrent[T]) shipAndReset() (parallel.Shipment[T], error) {
+	gen := c.epochs.Add(1)
+	var old []*core.Sketch[T]
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		if sh.sk.Count() > 0 {
+			cfg := sh.sk.Config()
+			cfg.Seed = c.seed + uint64(i)*0x9e3779b97f4a7c15 + gen*0x2545f4914f6cdd1d + 1
+			fresh, err := core.NewSketch[T](cfg)
+			if err != nil {
+				sh.mu.Unlock()
+				return parallel.Shipment[T]{}, err
+			}
+			old = append(old, sh.sk)
+			sh.sk = fresh
+		}
+		sh.mu.Unlock()
+	}
+	if len(old) == 0 {
+		return parallel.Shipment[T]{}, nil
+	}
+	// Merge the consumed shards through a private Section 6 coordinator
+	// and re-ship its state, yielding one bounded-size shipment per epoch.
+	cfg := old[0].Config()
+	coord, err := parallel.NewCoordinator[T](cfg.K, cfg.B, c.seed^gen^0x51ed)
+	if err != nil {
+		return parallel.Shipment[T]{}, err
+	}
+	for _, sk := range old {
+		if err := coord.Receive(parallel.Ship(sk)); err != nil {
+			return parallel.Shipment[T]{}, err
+		}
+	}
+	return coord.Ship(), nil
+}

@@ -15,21 +15,30 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	quantile "repro"
 	"repro/internal/ingest"
 )
 
+// DefaultMaxBodyBytes caps a POST /add body unless overridden with
+// SetMaxBodyBytes: generous for bulk loads, but bounded so a misbehaving
+// client cannot stream forever into one request.
+const DefaultMaxBodyBytes = 64 << 20
+
 // Server wraps a concurrent sketch behind HTTP endpoints.
 type Server struct {
-	sketch *quantile.Concurrent[float64]
-	eps    float64
-	delta  float64
-	mux    *http.ServeMux
+	sketch  *quantile.Concurrent[float64]
+	eps     float64
+	delta   float64
+	maxBody int64
+	start   time.Time
+	mux     *http.ServeMux
 }
 
 // New returns a Server with the given guarantees and shard count
@@ -39,7 +48,12 @@ func New(eps, delta float64, shards int, opts ...quantile.Option) (*Server, erro
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{sketch: c, eps: eps, delta: delta, mux: http.NewServeMux()}
+	s := &Server{
+		sketch: c, eps: eps, delta: delta,
+		maxBody: DefaultMaxBodyBytes,
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
+	}
 	s.mux.HandleFunc("POST /add", s.handleAdd)
 	s.mux.HandleFunc("GET /quantile", s.handleQuantile)
 	s.mux.HandleFunc("GET /cdf", s.handleCDF)
@@ -55,6 +69,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // alongside the HTTP surface).
 func (s *Server) Sketch() *quantile.Concurrent[float64] { return s.sketch }
 
+// SetMaxBodyBytes overrides the POST /add body cap (n <= 0 restores the
+// default). Call before serving.
+func (s *Server) SetMaxBodyBytes(n int64) {
+	if n <= 0 {
+		n = DefaultMaxBodyBytes
+	}
+	s.maxBody = n
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -66,12 +89,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
-	reader := ingest.Plain(r.Body, ingest.Options{})
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	reader := ingest.Plain(body, ingest.Options{})
 	var added uint64
 	if err := reader.Drain(func(v float64) {
 		s.sketch.Add(v)
 		added++
 	}); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"body exceeds %d bytes (accepted %d values; split the load into smaller requests)", tooBig.Limit, added)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "parsing body after %d values: %v", added, err)
 		return
 	}
@@ -146,10 +176,14 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	b, k, h := s.sketch.Layout()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"count":           s.sketch.Count(),
 		"memory_elements": s.sketch.MemoryElements(),
 		"eps":             s.eps,
 		"delta":           s.delta,
+		"shards":          s.sketch.Shards(),
+		"layout":          map[string]int{"b": b, "k": k, "h": h},
+		"uptime_seconds":  time.Since(s.start).Seconds(),
 	})
 }

@@ -132,6 +132,45 @@ func TestStatsEndpoint(t *testing.T) {
 	if out["count"].(float64) != 3 || out["eps"].(float64) != 0.02 {
 		t.Errorf("stats: %v", out)
 	}
+	if out["shards"].(float64) != 4 {
+		t.Errorf("stats shards: %v", out["shards"])
+	}
+	layout, ok := out["layout"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats layout missing: %v", out)
+	}
+	plan, err := quantile.PlanUnknownN(0.02, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(layout["b"].(float64)) != plan.B || int(layout["k"].(float64)) != plan.K || int(layout["h"].(float64)) != plan.H {
+		t.Errorf("stats layout %v, want b=%d k=%d h=%d", layout, plan.B, plan.K, plan.H)
+	}
+	uptime, ok := out["uptime_seconds"].(float64)
+	if !ok || uptime < 0 {
+		t.Errorf("stats uptime_seconds: %v", out["uptime_seconds"])
+	}
+}
+
+func TestAddBodyTooLarge(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.SetMaxBodyBytes(64)
+	var body strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintln(&body, i)
+	}
+	code, out := post(t, ts.URL+"/add", body.String())
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413 (%v)", code, out)
+	}
+	if _, ok := out["error"]; !ok {
+		t.Errorf("413 response carries no JSON error: %v", out)
+	}
+	// Under the limit still works.
+	code, out = post(t, ts.URL+"/add", "1 2 3")
+	if code != http.StatusOK || out["added"].(float64) != 3 {
+		t.Errorf("small body after 413: %d %v", code, out)
+	}
 }
 
 func TestErrorResponses(t *testing.T) {

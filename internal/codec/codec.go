@@ -242,8 +242,9 @@ var magic = []byte("MRLQ")
 
 // Frame kinds.
 const (
-	kindSketch    = 1
-	kindShipment  = 2
-	kindKnownN    = 3
-	kindHistogram = 4
+	kindSketch      = 1
+	kindShipment    = 2
+	kindKnownN      = 3
+	kindHistogram   = 4
+	kindCoordinator = 5
 )

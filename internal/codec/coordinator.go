@@ -1,0 +1,102 @@
+package codec
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// MarshalCoordinator serializes a Section 6 coordinator snapshot — the
+// crash-recovery checkpoint of a long-lived merge service. The blob is
+// bounded by the coordinator's memory budget (b·k elements plus B0), not
+// by how much data it has merged.
+func MarshalCoordinator[T cmp.Ordered](st parallel.CoordState[T], ec Element[T]) ([]byte, error) {
+	w := &writer{}
+	w.uvarint(uint64(st.K))
+	w.uvarint(uint64(st.B))
+	w.uvarint(st.N)
+	for _, s := range st.RNG {
+		w.uvarint(s)
+	}
+	encodeTreeState(w, st.Tree, ec)
+	w.bool(st.B0 != nil)
+	if st.B0 != nil {
+		w.uvarint(st.B0.Weight)
+		w.uvarint(uint64(len(st.B0.Data)))
+		for _, v := range st.B0.Data {
+			w.buf = ec.Append(w.buf, v)
+		}
+	}
+	return frame(kindCoordinator, ec.Name(), w.buf), nil
+}
+
+// UnmarshalCoordinator decodes a snapshot serialized by MarshalCoordinator.
+func UnmarshalCoordinator[T cmp.Ordered](data []byte, ec Element[T]) (parallel.CoordState[T], error) {
+	var st parallel.CoordState[T]
+	payload, err := unframe(data, kindCoordinator, ec.Name())
+	if err != nil {
+		return st, err
+	}
+	r := &reader{buf: payload}
+	fail := func(err error) (parallel.CoordState[T], error) {
+		return parallel.CoordState[T]{}, fmt.Errorf("codec: coordinator: %w", err)
+	}
+	var u uint64
+	if u, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	if u == 0 || u > 1<<20 {
+		return fail(fmt.Errorf("absurd buffer size %d", u))
+	}
+	st.K = int(u)
+	if u, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	if u < 2 || u > 1<<16 {
+		return fail(fmt.Errorf("absurd buffer budget %d", u))
+	}
+	st.B = int(u)
+	if st.N, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	for i := range st.RNG {
+		if st.RNG[i], err = r.uvarint(); err != nil {
+			return fail(err)
+		}
+	}
+	if st.Tree, err = decodeTreeState(r, st.K, ec); err != nil {
+		return fail(err)
+	}
+	present, err := r.bool()
+	if err != nil {
+		return fail(err)
+	}
+	if present {
+		b0 := &core.BufferState[T]{State: uint8(buffer.Partial)}
+		if b0.Weight, err = r.uvarint(); err != nil {
+			return fail(err)
+		}
+		fill, err := r.uvarint()
+		if err != nil {
+			return fail(err)
+		}
+		if fill > uint64(st.K) {
+			return fail(fmt.Errorf("B0 fill %d exceeds k=%d", fill, st.K))
+		}
+		for j := uint64(0); j < fill; j++ {
+			var v T
+			if v, r.buf, err = ec.Decode(r.buf); err != nil {
+				return fail(err)
+			}
+			b0.Data = append(b0.Data, v)
+		}
+		st.B0 = b0
+	}
+	if len(r.buf) != 0 {
+		return fail(fmt.Errorf("%d trailing bytes", len(r.buf)))
+	}
+	return st, nil
+}

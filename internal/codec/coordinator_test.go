@@ -1,0 +1,87 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+func builtCoordinator(t *testing.T) *parallel.Coordinator[float64] {
+	t.Helper()
+	coord, err := parallel.NewCoordinator[float64](160, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		s, err := core.NewSketch[float64](core.Config{B: 5, K: 160, H: 3, Seed: uint64(w + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 15_000; i++ {
+			s.Add(float64(w*15_000 + i))
+		}
+		if err := coord.Receive(parallel.Ship(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return coord
+}
+
+func TestCoordinatorRoundTrip(t *testing.T) {
+	coord := builtCoordinator(t)
+	blob, err := MarshalCoordinator(coord.Snapshot(), Float64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := UnmarshalCoordinator(blob, Float64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := parallel.RestoreCoordinator(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != coord.Count() {
+		t.Fatalf("count %d != %d", restored.Count(), coord.Count())
+	}
+	phis := []float64{0.05, 0.5, 0.95}
+	want, err := coord.Query(phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Query(phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range phis {
+		if got[i] != want[i] {
+			t.Errorf("phi=%g: %v != %v", phis[i], got[i], want[i])
+		}
+	}
+}
+
+func TestCoordinatorCorruptionDetected(t *testing.T) {
+	coord := builtCoordinator(t)
+	blob, err := MarshalCoordinator(coord.Snapshot(), Float64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xff
+	if _, err := UnmarshalCoordinator(blob, Float64()); err == nil {
+		t.Error("corrupted coordinator blob decoded without error")
+	}
+	if _, err := UnmarshalCoordinator(blob[:8], Float64()); err == nil {
+		t.Error("truncated coordinator blob decoded without error")
+	}
+	// Wrong kind: a shipment frame must not decode as a coordinator.
+	s, _ := core.NewSketch[float64](core.Config{B: 5, K: 160, H: 3, Seed: 1})
+	s.Add(1)
+	ship, err := MarshalShipment(parallel.Ship(s), Float64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalCoordinator(ship, Float64()); err == nil {
+		t.Error("shipment frame decoded as coordinator")
+	}
+}

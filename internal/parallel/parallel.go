@@ -224,6 +224,73 @@ func (c *Coordinator[T]) Ship() Shipment[T] {
 // Count returns the aggregate element count received so far.
 func (c *Coordinator[T]) Count() uint64 { return c.n }
 
+// CoordState is a complete, serializable snapshot of a Coordinator: the
+// merge tree, the partial-buffer accumulator B0 and the random generator.
+// Restoring it yields a coordinator that behaves identically on all future
+// Receives and Queries — the crash-recovery checkpoint of a long-lived
+// merge service.
+type CoordState[T cmp.Ordered] struct {
+	// Layout: k-element buffers, b-buffer merge-tree budget.
+	K, B int
+
+	// Progress.
+	N    uint64
+	Tree core.TreeState[T]
+
+	// B0 is the partial-buffer accumulator if it holds elements; its
+	// Weight field carries the accumulator weight.
+	B0 *core.BufferState[T]
+
+	// RNG state.
+	RNG [4]uint64
+}
+
+// Snapshot captures the coordinator's complete state. The snapshot shares
+// no storage with the coordinator (element slices are copied).
+func (c *Coordinator[T]) Snapshot() CoordState[T] {
+	st := CoordState[T]{
+		K:    c.k,
+		B:    c.tree.MaxBuffers(),
+		N:    c.n,
+		Tree: c.tree.SnapshotTree(),
+		RNG:  c.rg.State(),
+	}
+	if c.b0 != nil && c.b0.Fill > 0 {
+		st.B0 = &core.BufferState[T]{
+			Data:   append([]T(nil), c.b0.Data[:c.b0.Fill]...),
+			Weight: c.b0w,
+			State:  uint8(buffer.Partial),
+		}
+	}
+	return st
+}
+
+// RestoreCoordinator reconstructs a coordinator from a snapshot.
+func RestoreCoordinator[T cmp.Ordered](st CoordState[T]) (*Coordinator[T], error) {
+	c, err := NewCoordinator[T](st.K, st.B, 0)
+	if err != nil {
+		return nil, err
+	}
+	if st.RNG == ([4]uint64{}) {
+		return nil, fmt.Errorf("parallel: snapshot has empty RNG state")
+	}
+	c.rg.SetState(st.RNG)
+	if err := c.tree.RestoreTree(st.Tree); err != nil {
+		return nil, err
+	}
+	c.n = st.N
+	if st.B0 != nil {
+		if len(st.B0.Data) > st.K {
+			return nil, fmt.Errorf("parallel: B0 holds %d elements for capacity %d", len(st.B0.Data), st.K)
+		}
+		c.b0 = buffer.New[T](st.K)
+		copy(c.b0.Data, st.B0.Data)
+		c.b0.Fill = len(st.B0.Data)
+		c.b0w = st.B0.Weight
+	}
+	return c, nil
+}
+
 // MergeHeight returns h′, the merge tree's height (Eq 5's height penalty).
 func (c *Coordinator[T]) MergeHeight() int { return c.tree.Height() }
 

@@ -1,0 +1,95 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// feedWorker builds a worker sketch over [lo, hi) and ships it.
+func feedWorker(t *testing.T, seed uint64, lo, hi int) Shipment[float64] {
+	t.Helper()
+	s, err := core.NewSketch[float64](workerCfg(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := lo; i < hi; i++ {
+		s.Add(float64(i))
+	}
+	return Ship(s)
+}
+
+func TestCoordinatorSnapshotRestore(t *testing.T) {
+	coord, err := NewCoordinator[float64](160, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		if err := coord.Receive(feedWorker(t, uint64(w+1), w*20_000, (w+1)*20_000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	restored, err := RestoreCoordinator(coord.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != coord.Count() {
+		t.Fatalf("restored count %d != %d", restored.Count(), coord.Count())
+	}
+
+	phis := []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+	want, err := coord.Query(phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Query(phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range phis {
+		if got[i] != want[i] {
+			t.Errorf("phi=%g: restored %v != original %v", phis[i], got[i], want[i])
+		}
+	}
+
+	// Behavioral identity: both coordinators must accept further shipments
+	// and keep answering identically (the RNG state travelled too).
+	extra := feedWorker(t, 9, 60_000, 75_000)
+	extra2 := feedWorker(t, 9, 60_000, 75_000)
+	if err := coord.Receive(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Receive(extra2); err != nil {
+		t.Fatal(err)
+	}
+	want, _ = coord.Query(phis)
+	got, _ = restored.Query(phis)
+	for i := range phis {
+		if got[i] != want[i] {
+			t.Errorf("post-receive phi=%g: restored %v != original %v", phis[i], got[i], want[i])
+		}
+	}
+}
+
+func TestRestoreCoordinatorRejectsBadState(t *testing.T) {
+	coord, err := NewCoordinator[float64](160, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Receive(feedWorker(t, 3, 0, 1_000)); err != nil {
+		t.Fatal(err)
+	}
+	st := coord.Snapshot()
+	st.RNG = [4]uint64{}
+	if _, err := RestoreCoordinator(st); err == nil {
+		t.Error("restore accepted empty RNG state")
+	}
+	st = coord.Snapshot()
+	if st.B0 != nil {
+		st.B0.Data = make([]float64, st.K+1)
+		if _, err := RestoreCoordinator(st); err == nil {
+			t.Error("restore accepted oversized B0")
+		}
+	}
+}

@@ -98,6 +98,28 @@ func (s *Sketch[T]) MarshalShipment(ec ElementCodec[T]) ([]byte, error) {
 	return codec.MarshalShipment(parallel.Ship(s.inner), ec)
 }
 
+// ShipAndReset finalizes the concurrent sketch's current contents into a
+// single Section 6 shipment blob and resets every shard, so the next call
+// covers only data added since this one — the epoch cycle of a cluster
+// worker that periodically ships its window to a coordinator. The returned
+// count is the number of elements the shipment represents; when nothing
+// was added since the last cycle the blob is nil and the count zero.
+// Safe to call while other goroutines keep adding.
+func (c *Concurrent[T]) ShipAndReset(ec ElementCodec[T]) ([]byte, uint64, error) {
+	sh, err := c.shipAndReset()
+	if err != nil {
+		return nil, 0, err
+	}
+	if sh.Count == 0 {
+		return nil, 0, nil
+	}
+	blob, err := codec.MarshalShipment(sh, ec)
+	if err != nil {
+		return nil, 0, err
+	}
+	return blob, sh.Count, nil
+}
+
 // MergeShipments reconstructs worker shipments from their serialized form
 // and merges them into a queryable summary — the distributed counterpart
 // of Merge. k and b size the coordinator's merge tree; k must match the

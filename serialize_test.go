@@ -206,3 +206,79 @@ func TestCheckpointIntSketch(t *testing.T) {
 		t.Errorf("int medians diverge: %d vs %d", a, b)
 	}
 }
+
+func TestConcurrentShipAndReset(t *testing.T) {
+	c, err := NewConcurrent[float64](0.02, 1e-3, 4, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n1, n2 = 40_000, 20_000
+	for i := 0; i < n1; i++ {
+		c.Add(float64(i))
+	}
+	blob1, count1, err := c.ShipAndReset(Float64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count1 != n1 {
+		t.Fatalf("epoch 1 shipped %d elements, want %d", count1, n1)
+	}
+	if c.Count() != 0 {
+		t.Fatalf("sketch holds %d elements after reset", c.Count())
+	}
+	for i := 0; i < n2; i++ {
+		c.Add(float64(n1 + i))
+	}
+	blob2, count2, err := c.ShipAndReset(Float64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count2 != n2 {
+		t.Fatalf("epoch 2 shipped %d elements, want %d", count2, n2)
+	}
+
+	// An idle epoch ships nothing.
+	blob3, count3, err := c.ShipAndReset(Float64Codec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob3 != nil || count3 != 0 {
+		t.Fatalf("idle epoch shipped blob=%v count=%d", blob3 != nil, count3)
+	}
+
+	// The two epochs merge into a summary of the full stream.
+	plan, err := PlanUnknownN(0.02, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MergeShipments(plan.K, plan.B, 3, Float64Codec(), blob1, blob2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != n1+n2 {
+		t.Fatalf("merged count %d, want %d", m.Count(), n1+n2)
+	}
+	med, err := m.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := float64(n1+n2) / 2
+	if diff := med - exact; diff < -0.05*float64(n1+n2) || diff > 0.05*float64(n1+n2) {
+		t.Errorf("merged median %v too far from %v", med, exact)
+	}
+}
+
+func TestConcurrentShardsAndLayout(t *testing.T) {
+	c, err := NewConcurrent[float64](0.01, 1e-4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 3 {
+		t.Errorf("Shards() = %d, want 3", c.Shards())
+	}
+	b, k, h := c.Layout()
+	plan, _ := PlanUnknownN(0.01, 1e-4)
+	if b != plan.B || k != plan.K || h != plan.H {
+		t.Errorf("Layout() = (%d,%d,%d), want (%d,%d,%d)", b, k, h, plan.B, plan.K, plan.H)
+	}
+}
