@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts time for the cluster. Workers use it to pace ship cycles
+// and retry backoff; the coordinator uses it to timestamp shipments,
+// checkpoints and metrics. Production code uses SystemClock; the sim
+// package substitutes a virtual clock so multi-node runs replay
+// deterministically from a seed with no wall-clock dependence.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in the
+	// latter case. Virtual clocks advance instantly instead of blocking.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// SystemClock returns the wall-clock Clock used outside tests.
+func SystemClock() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) Sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -469,3 +469,101 @@ func TestWorkerRunGracefulDrain(t *testing.T) {
 		t.Errorf("coordinator count %d after drain, want 8000", got)
 	}
 }
+
+// TestShipErrorsAreStructured pins the ship path's error contract: every
+// rejection — body too large, malformed JSON, eps/delta mismatch, buffer-k
+// mismatch, count mismatch, incomplete envelope — returns the right status
+// code AND a parseable ShipResult JSON body with status "rejected" and a
+// human-readable error, so workers can log the cause instead of a raw
+// HTTP status line.
+func TestShipErrorsAreStructured(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Eps: testEps, Delta: testDelta, Seed: 4, MaxBodyBytes: 16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	valid := func() Envelope {
+		var env Envelope
+		if err := json.Unmarshal(shipEnvelope(t, "w", 1, shuffled(0, 500, 1)), &env); err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	marshal := func(env Envelope) []byte {
+		body, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	// A blob built at a different eps carries a different buffer size k;
+	// relabeling its envelope with the coordinator's eps/delta gets past
+	// the parameter check and must then trip the k check.
+	mismatchedK := func() Envelope {
+		sk, err := quantile.NewConcurrent[float64](0.1, testDelta, 1, quantile.WithSeed(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk.AddAll(shuffled(0, 500, 2))
+		blob, count, err := sk.ShipAndReset(quantile.Float64Codec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Envelope{Worker: "w", Epoch: 1, Eps: testEps, Delta: testDelta, Count: count, Blob: blob}
+	}
+
+	cases := []struct {
+		name    string
+		body    []byte
+		status  int
+		errPart string
+	}{
+		{"oversized body", marshal(func() Envelope {
+			env := valid()
+			env.Blob = make([]byte, 32<<10)
+			return env
+		}()), http.StatusRequestEntityTooLarge, "exceeds"},
+		{"malformed JSON", []byte(`{"worker": "w", "epoch":`), http.StatusBadRequest, "decoding envelope"},
+		{"eps mismatch", marshal(func() Envelope { env := valid(); env.Eps = 0.05; return env }()),
+			http.StatusConflict, "eps=0.05"},
+		{"delta mismatch", marshal(func() Envelope { env := valid(); env.Delta = 0.5; return env }()),
+			http.StatusConflict, "delta=0.5"},
+		{"k mismatch", marshal(mismatchedK()), http.StatusConflict, "buffer size"},
+		{"count mismatch", marshal(func() Envelope { env := valid(); env.Count += 7; return env }()),
+			http.StatusBadRequest, "count"},
+		{"missing worker id", marshal(func() Envelope { env := valid(); env.Worker = ""; return env }()),
+			http.StatusBadRequest, "worker id"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+ShipPath, "application/json", bytes.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != c.status {
+				t.Errorf("status %d, want %d", resp.StatusCode, c.status)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type %q, want application/json", ct)
+			}
+			var res ShipResult
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				t.Fatalf("body is not a ShipResult: %v", err)
+			}
+			if res.Status != StatusRejected {
+				t.Errorf("status field %q, want %q", res.Status, StatusRejected)
+			}
+			if !strings.Contains(res.Error, c.errPart) {
+				t.Errorf("error %q does not mention %q", res.Error, c.errPart)
+			}
+		})
+	}
+	if got := coord.Count(); got != 0 {
+		t.Errorf("rejections leaked %d elements into the aggregate", got)
+	}
+}

@@ -40,11 +40,13 @@ type CoordinatorConfig struct {
 	// MaxBodyBytes bounds a shipment POST body (default 8 MiB).
 	MaxBodyBytes int64
 
+	// Clock supplies time for shipment bookkeeping, checkpoints and
+	// metrics; nil means the system clock. The sim package injects a
+	// virtual clock here.
+	Clock Clock
+
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
-
-	// now is a test hook; nil means time.Now.
-	now func() time.Time
 }
 
 // Coordinator is the Section 6 "Processor P0" as a network service: it
@@ -81,14 +83,14 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	if cfg.now == nil {
-		cfg.now = time.Now
+	if cfg.Clock == nil {
+		cfg.Clock = SystemClock()
 	}
 	c := &Coordinator{
 		cfg:     cfg,
 		plan:    plan,
 		mux:     http.NewServeMux(),
-		start:   cfg.now(),
+		start:   cfg.Clock.Now(),
 		seen:    make(map[string]map[uint64]struct{}),
 		workers: make(map[string]*WorkerStatus),
 	}
@@ -121,6 +123,22 @@ func (c *Coordinator) Count() uint64 {
 	return c.merge.Count()
 }
 
+// Quantiles returns estimates of the given quantiles over the union of
+// every accepted shipment — the same answers GET /quantile serves, exposed
+// directly for in-process callers (the sim harness, embedding services).
+func (c *Coordinator) Quantiles(phis []float64) ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.merge.Query(phis)
+}
+
+// CDF estimates the fraction of aggregate stream elements ≤ v.
+func (c *Coordinator) CDF(v float64) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.merge.CDF(v)
+}
+
 // Run blocks until ctx is cancelled, writing periodic checkpoints when
 // configured. A final checkpoint is written on the way out, so a graceful
 // shutdown loses nothing.
@@ -129,19 +147,15 @@ func (c *Coordinator) Run(ctx context.Context) {
 		<-ctx.Done()
 		return
 	}
-	t := time.NewTicker(c.cfg.CheckpointInterval)
-	defer t.Stop()
 	for {
-		select {
-		case <-t.C:
-			if err := c.CheckpointNow(); err != nil {
-				c.cfg.Logf("cluster: checkpoint: %v", err)
-			}
-		case <-ctx.Done():
+		if err := c.cfg.Clock.Sleep(ctx, c.cfg.CheckpointInterval); err != nil {
 			if err := c.CheckpointNow(); err != nil {
 				c.cfg.Logf("cluster: final checkpoint: %v", err)
 			}
 			return
+		}
+		if err := c.CheckpointNow(); err != nil {
+			c.cfg.Logf("cluster: checkpoint: %v", err)
 		}
 	}
 }
@@ -186,7 +200,7 @@ func (c *Coordinator) CheckpointNow() error {
 		return err
 	}
 	data, err := json.Marshal(checkpointFile{
-		SavedAt: c.cfg.now(),
+		SavedAt: c.cfg.Clock.Now(),
 		Eps:     c.cfg.Eps,
 		Delta:   c.cfg.Delta,
 		Seen:    seen,
@@ -282,35 +296,38 @@ func (c *Coordinator) handleShip(w http.ResponseWriter, r *http.Request) {
 		writeShipError(w, http.StatusBadRequest, "decoding envelope: %v", err)
 		return
 	}
+	status, res := c.Ingest(env)
+	writeJSON(w, status, res)
+}
+
+// Ingest validates env and merges its shipment into the aggregate,
+// returning an HTTP-style status code and the coordinator's verdict. It is
+// the transport-independent core of POST /v1/ship, shared by the HTTP
+// handler and the sim package's in-memory transport.
+func (c *Coordinator) Ingest(env Envelope) (int, ShipResult) {
 	c.m.shipmentsReceived.Add(1)
-	if err := env.Validate(); err != nil {
+	reject := func(status int, format string, args ...any) (int, ShipResult) {
 		c.m.shipmentsRejected.Add(1)
-		writeShipError(w, http.StatusBadRequest, "%v", err)
-		return
+		return status, ShipResult{Status: StatusRejected, Error: fmt.Sprintf(format, args...)}
+	}
+	if err := env.Validate(); err != nil {
+		return reject(http.StatusBadRequest, "%v", err)
 	}
 	// mergeq's compatibility rule: eps/delta (and therefore k) must match.
 	if env.Eps != c.cfg.Eps || env.Delta != c.cfg.Delta {
-		c.m.shipmentsRejected.Add(1)
-		writeShipError(w, http.StatusConflict,
+		return reject(http.StatusConflict,
 			"worker %s built with eps=%g delta=%g, coordinator runs eps=%g delta=%g",
 			env.Worker, env.Eps, env.Delta, c.cfg.Eps, c.cfg.Delta)
-		return
 	}
 	sh, err := codec.UnmarshalShipment(env.Blob, codec.Float64())
 	if err != nil {
-		c.m.shipmentsRejected.Add(1)
-		writeShipError(w, http.StatusBadRequest, "decoding shipment: %v", err)
-		return
+		return reject(http.StatusBadRequest, "decoding shipment: %v", err)
 	}
 	if sh.Count != env.Count {
-		c.m.shipmentsRejected.Add(1)
-		writeShipError(w, http.StatusBadRequest, "envelope count %d != shipment count %d", env.Count, sh.Count)
-		return
+		return reject(http.StatusBadRequest, "envelope count %d != shipment count %d", env.Count, sh.Count)
 	}
 	if k := shipmentK(sh); k != 0 && k != c.plan.K {
-		c.m.shipmentsRejected.Add(1)
-		writeShipError(w, http.StatusConflict, "worker buffer size %d != coordinator %d", k, c.plan.K)
-		return
+		return reject(http.StatusConflict, "worker buffer size %d != coordinator %d", k, c.plan.K)
 	}
 
 	c.mu.Lock()
@@ -320,24 +337,22 @@ func (c *Coordinator) handleShip(w http.ResponseWriter, r *http.Request) {
 		total := c.merge.Count()
 		c.mu.Unlock()
 		c.m.shipmentsDeduped.Add(1)
-		writeJSON(w, http.StatusOK, ShipResult{Status: StatusDuplicate, Count: total})
-		return
+		return http.StatusOK, ShipResult{Status: StatusDuplicate, Count: total}
 	}
 	// Receive mutates state before it can fail on a pathological shipment,
 	// so snapshot first and roll back on error — a rejected shipment must
 	// leave the aggregate untouched.
 	undo := c.merge.Snapshot()
-	begin := time.Now()
+	begin := c.cfg.Clock.Now()
 	if err := c.merge.Receive(sh); err != nil {
 		if rb, rerr := parallel.RestoreCoordinator(undo); rerr == nil {
 			c.merge = rb
 		}
 		c.mu.Unlock()
 		c.m.shipmentsRejected.Add(1)
-		writeShipError(w, http.StatusConflict, "merging shipment: %v", err)
-		return
+		return http.StatusConflict, ShipResult{Status: StatusRejected, Error: fmt.Sprintf("merging shipment: %v", err)}
 	}
-	c.m.mergeNanos.Add(uint64(time.Since(begin)))
+	c.m.mergeNanos.Add(uint64(c.cfg.Clock.Now().Sub(begin)))
 	c.m.merges.Add(1)
 	if c.seen[env.Worker] == nil {
 		c.seen[env.Worker] = make(map[uint64]struct{})
@@ -351,7 +366,7 @@ func (c *Coordinator) handleShip(w http.ResponseWriter, r *http.Request) {
 	if env.Epoch > ws.LastEpoch {
 		ws.LastEpoch = env.Epoch
 	}
-	ws.LastSeen = c.cfg.now()
+	ws.LastSeen = c.cfg.Clock.Now()
 	ws.Count += env.Count
 	ws.Shipments++
 	total := c.merge.Count()
@@ -361,7 +376,7 @@ func (c *Coordinator) handleShip(w http.ResponseWriter, r *http.Request) {
 	c.m.bytesIngested.Add(uint64(len(env.Blob)))
 	c.m.elements.Add(env.Count)
 	c.cfg.Logf("cluster: accepted %s epoch %d (%d elements, total %d)", env.Worker, env.Epoch, env.Count, total)
-	writeJSON(w, http.StatusOK, ShipResult{Status: StatusAccepted, Count: total})
+	return http.StatusOK, ShipResult{Status: StatusAccepted, Count: total}
 }
 
 // shipmentK reports the buffer size a shipment was built with (0 if it
@@ -390,9 +405,7 @@ func (c *Coordinator) handleQuantile(w http.ResponseWriter, r *http.Request) {
 		}
 		phis = append(phis, phi)
 	}
-	c.mu.Lock()
-	vals, err := c.merge.Query(phis)
-	c.mu.Unlock()
+	vals, err := c.Quantiles(phis)
 	if err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
@@ -411,9 +424,7 @@ func (c *Coordinator) handleCDF(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad v %q", raw)
 		return
 	}
-	c.mu.Lock()
-	frac, err := c.merge.CDF(v)
-	c.mu.Unlock()
+	frac, err := c.CDF(v)
 	if err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
@@ -466,7 +477,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		"eps":             c.cfg.Eps,
 		"delta":           c.cfg.Delta,
 		"layout":          map[string]int{"b": c.plan.B, "k": c.plan.K},
-		"uptime_seconds":  c.cfg.now().Sub(c.start).Seconds(),
+		"uptime_seconds":  c.cfg.Clock.Now().Sub(c.start).Seconds(),
 	})
 }
 
@@ -482,7 +493,7 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":         "ok",
 		"count":          count,
 		"workers":        workers,
-		"uptime_seconds": c.cfg.now().Sub(c.start).Seconds(),
+		"uptime_seconds": c.cfg.Clock.Now().Sub(c.start).Seconds(),
 	})
 }
 
@@ -494,7 +505,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	now := c.cfg.now()
+	now := c.cfg.Clock.Now()
 	c.m.writeProm(w, workers, now, now.Sub(c.start))
 }
 
@@ -509,5 +520,5 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func writeShipError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, ShipResult{Status: "rejected", Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, ShipResult{Status: StatusRejected, Error: fmt.Sprintf(format, args...)})
 }

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	quantile "repro"
+	"repro/internal/stream"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// fixedClock is a Clock pinned to a settable instant: scrape-time fields
+// (uptime, per-worker lag, merge timing) become exact constants, so the
+// observability surfaces can be golden-file tested byte for byte.
+type fixedClock struct{ t time.Time }
+
+func (c *fixedClock) Now() time.Time { return c.t }
+func (c *fixedClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.t = c.t.Add(d)
+	return nil
+}
+
+// goldenCoordinator builds a coordinator in a fully pinned state: fixed
+// clock, fixed seeds, two workers' deterministic shipments, one
+// retransmission (exercising dedup) and one rejection.
+func goldenCoordinator(t *testing.T) *Coordinator {
+	t.Helper()
+	clock := &fixedClock{t: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)}
+	coord, err := NewCoordinator(CoordinatorConfig{Eps: 0.02, Delta: 1e-3, Seed: 5, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stream.Collect(stream.Shuffled(4000, 17))
+	var dup Envelope
+	for i, id := range []string{"w0", "w1"} {
+		sk, err := quantile.NewConcurrent[float64](0.02, 1e-3, 1, quantile.WithSeed(uint64(100+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk.AddAll(data[i*2000 : (i+1)*2000])
+		blob, n, err := sk.ShipAndReset(quantile.Float64Codec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := Envelope{Worker: id, Epoch: 1, Eps: 0.02, Delta: 1e-3, Count: n, Blob: blob}
+		if status, res := coord.Ingest(env); status != 200 || res.Status != StatusAccepted {
+			t.Fatalf("seed shipment %s: status %d %+v", id, status, res)
+		}
+		dup = env
+	}
+	// A retransmission and a config-mismatch rejection, so every counter
+	// in the exposition is nonzero-or-meaningfully-zero by construction.
+	if status, res := coord.Ingest(dup); status != 200 || res.Status != StatusDuplicate {
+		t.Fatalf("duplicate: status %d %+v", status, res)
+	}
+	bad := dup
+	bad.Eps = 0.05
+	if status, _ := coord.Ingest(bad); status != 409 {
+		t.Fatalf("mismatched eps: status %d, want 409", status)
+	}
+	return coord
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file (run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestMetricsGolden pins the Prometheus exposition format: metric names,
+// HELP/TYPE lines, label shapes and values. Dashboards and alert rules
+// parse this surface, so drift must be deliberate.
+func TestMetricsGolden(t *testing.T) {
+	coord := goldenCoordinator(t)
+	rec := httptest.NewRecorder()
+	coord.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	checkGolden(t, "metrics.golden", rec.Body.Bytes())
+}
+
+// TestStatsGolden pins the /stats JSON schema — field names, layout block,
+// parameter echo — as clients see it.
+func TestStatsGolden(t *testing.T) {
+	coord := goldenCoordinator(t)
+	rec := httptest.NewRecorder()
+	coord.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /stats: %d", rec.Code)
+	}
+	var indented bytes.Buffer
+	if err := json.Indent(&indented, rec.Body.Bytes(), "", "  "); err != nil {
+		t.Fatalf("/stats is not valid JSON: %v", err)
+	}
+	checkGolden(t, "stats.golden", indented.Bytes())
+}

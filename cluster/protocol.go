@@ -62,6 +62,7 @@ func (e *Envelope) Validate() error {
 const (
 	StatusAccepted  = "accepted"
 	StatusDuplicate = "duplicate"
+	StatusRejected  = "rejected"
 )
 
 // ShipResult is the coordinator's response to a shipment POST.

@@ -1,0 +1,427 @@
+// Package sim runs the cluster subsystem as a deterministic simulation:
+// an in-memory Transport with seeded fault plans (dropped, duplicated,
+// delayed/reordered shipments, lost acknowledgements, coordinator crash +
+// restart from checkpoint) and a virtual Clock, driven single-threaded so
+// that any multi-worker run replays byte-identically from a single seed.
+//
+// The point is falsifiability: the cluster's fault-tolerance claims (no
+// element lost, no element double-counted, answers within ε·N rank error
+// with probability ≥ 1−δ) are probabilistic and order-dependent, so a
+// failing run must be replayable exactly. Everything the simulation does —
+// every shipment attempt, injected fault, accepted epoch, checkpoint and
+// final answer — is appended to a transcript; two runs with the same
+// Config produce identical transcripts, so a transcript diff pinpoints the
+// first divergence and a transcript hash is a regression fingerprint.
+package sim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	quantile "repro"
+	"repro/cluster"
+	"repro/internal/rng"
+)
+
+// VirtualClock is a deterministic cluster.Clock: Now returns simulated
+// time and Sleep advances it instantly instead of blocking. It is not
+// goroutine-safe; the simulation is single-threaded by design.
+type VirtualClock struct {
+	now time.Time
+}
+
+// simEpoch is the fixed simulation start time; any constant works, a round
+// date keeps transcripts readable.
+var simEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// NewVirtualClock returns a clock starting at the simulation epoch.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{now: simEpoch} }
+
+// Now implements cluster.Clock.
+func (c *VirtualClock) Now() time.Time { return c.now }
+
+// Sleep implements cluster.Clock: simulated time jumps by d immediately.
+func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.now = c.now.Add(d)
+	return nil
+}
+
+// Advance moves simulated time forward by d.
+func (c *VirtualClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// FaultPlan gives the per-attempt probabilities of each injected network
+// fault. All zeros is a perfect network. Faults are rolled from the
+// simulation's seeded generator, so a plan plus a seed is a complete,
+// replayable failure schedule.
+type FaultPlan struct {
+	// DropProb loses the request before the coordinator sees it; the
+	// worker observes a transient error and retries.
+	DropProb float64
+
+	// DupProb delivers the envelope twice (network-level duplication);
+	// the coordinator must deduplicate the second copy.
+	DupProb float64
+
+	// LostAckProb delivers the envelope but loses the acknowledgement;
+	// the worker observes a transient error and retransmits an envelope
+	// the coordinator has already counted.
+	LostAckProb float64
+
+	// DelayProb holds the envelope back and delivers it DelaySends
+	// shipment attempts later — by which time younger epochs have usually
+	// arrived, so held envelopes reach the coordinator out of order. The
+	// worker observes a transient error and retransmits.
+	DelayProb float64
+
+	// DelaySends is how many subsequent attempts a held envelope waits
+	// before delivery (default 3).
+	DelaySends int
+}
+
+// Config describes one simulated cluster.
+type Config struct {
+	// Eps and Delta are the shared guarantee parameters.
+	Eps, Delta float64
+
+	// Seed determines everything: sketch sampling, fault rolls, retry
+	// jitter. Same Config (including Seed) ⇒ byte-identical transcript.
+	Seed uint64
+
+	// Workers is the number of shipping workers (default 2).
+	Workers int
+
+	// Shards is each worker's concurrent-sketch shard count (default 1;
+	// the simulation feeds single-threaded, so one shard keeps blobs
+	// minimal without changing guarantees).
+	Shards int
+
+	// Faults is the network fault plan.
+	Faults FaultPlan
+
+	// CheckpointPath enables coordinator crash/restart: the coordinator
+	// checkpoints here at the end of every cycle, Crash discards its
+	// in-memory state, and Restart rebuilds it from this file.
+	CheckpointPath string
+
+	// MaxRetries bounds delivery attempts per epoch per cycle (default 8).
+	MaxRetries int
+}
+
+// Cluster is one simulated deployment: a coordinator, a fleet of workers
+// and the fault-injecting transport between them, all sharing a virtual
+// clock. Drive it with Feed/Cycle (plus Crash/Restart), then query.
+type Cluster struct {
+	cfg     Config
+	clock   *VirtualClock
+	net     *Transport
+	workers []*cluster.Worker
+
+	cycleNum int
+	fed      uint64
+	buf      bytes.Buffer
+}
+
+// New builds a simulated cluster. It fails only on invalid guarantee
+// parameters.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
+	if cfg.Faults.DelaySends <= 0 {
+		cfg.Faults.DelaySends = 3
+	}
+	cl := &Cluster{cfg: cfg, clock: NewVirtualClock()}
+	cl.net = &Transport{
+		clock: cl.clock,
+		rg:    rng.New(cfg.Seed ^ 0xfa417),
+		plan:  cfg.Faults,
+		logf:  cl.logf,
+	}
+	coord, err := cl.newCoordinator()
+	if err != nil {
+		return nil, err
+	}
+	cl.net.coord = coord
+	for i := 0; i < cfg.Workers; i++ {
+		sk, err := quantile.NewConcurrent[float64](cfg.Eps, cfg.Delta, cfg.Shards,
+			quantile.WithSeed(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15+1))
+		if err != nil {
+			return nil, err
+		}
+		w, err := cluster.NewWorker(sk, cluster.WorkerConfig{
+			ID:          fmt.Sprintf("w%d", i),
+			Transport:   cl.net,
+			Clock:       cl.clock,
+			Seed:        cfg.Seed + uint64(i)*2654435761 + 3,
+			MaxRetries:  cfg.MaxRetries,
+			BackoffBase: 10 * time.Millisecond,
+			BackoffMax:  160 * time.Millisecond,
+			Logf:        cl.logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cl.workers = append(cl.workers, w)
+	}
+	return cl, nil
+}
+
+func (cl *Cluster) newCoordinator() (*cluster.Coordinator, error) {
+	return cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Eps:            cl.cfg.Eps,
+		Delta:          cl.cfg.Delta,
+		Seed:           cl.cfg.Seed ^ 0x51c0,
+		CheckpointPath: cl.cfg.CheckpointPath,
+		Clock:          cl.clock,
+		Logf:           cl.logf,
+	})
+}
+
+// logf appends one line to the transcript, stamped with virtual time. The
+// checkpoint path (host-dependent: temp dirs differ run to run) is
+// scrubbed so transcripts stay byte-comparable across processes.
+func (cl *Cluster) logf(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	if cl.cfg.CheckpointPath != "" {
+		line = strings.ReplaceAll(line, cl.cfg.CheckpointPath, "<checkpoint>")
+	}
+	fmt.Fprintf(&cl.buf, "[t=%9.3f] %s\n", cl.clock.Now().Sub(simEpoch).Seconds(), line)
+}
+
+// Feed adds vals to worker w's sketch (its local ingest stream).
+func (cl *Cluster) Feed(w int, vals []float64) {
+	cl.workers[w].Sketch().AddAll(vals)
+	cl.fed += uint64(len(vals))
+}
+
+// Fed returns the total number of elements fed so far.
+func (cl *Cluster) Fed() uint64 { return cl.fed }
+
+// Cycle runs one ship cycle: every worker (in index order) cuts its window
+// and attempts delivery, held shipments due this cycle are flushed, and —
+// when checkpointing is configured and the coordinator is up — a
+// checkpoint is written. Transient delivery failures are expected under
+// fault plans and are recorded, not returned.
+func (cl *Cluster) Cycle() error {
+	cl.cycleNum++
+	cl.clock.Advance(time.Second)
+	cl.logf("sim: -- cycle %d --", cl.cycleNum)
+	for i, w := range cl.workers {
+		if err := w.ShipOnce(context.Background()); err != nil {
+			cl.logf("sim: worker w%d: %v", i, err)
+		}
+	}
+	cl.net.flush(false)
+	if cl.cfg.CheckpointPath != "" && cl.net.coord != nil {
+		if err := cl.net.coord.CheckpointNow(); err != nil {
+			return fmt.Errorf("sim: checkpoint: %w", err)
+		}
+		cl.logf("sim: checkpoint written (count=%d)", cl.net.coord.Count())
+	}
+	return nil
+}
+
+// Crash takes the coordinator down, discarding its in-memory state; only
+// the last end-of-cycle checkpoint survives. Requires CheckpointPath.
+func (cl *Cluster) Crash() error {
+	if cl.cfg.CheckpointPath == "" {
+		return fmt.Errorf("sim: Crash requires a CheckpointPath")
+	}
+	if cl.net.coord == nil {
+		return fmt.Errorf("sim: coordinator already down")
+	}
+	cl.logf("sim: coordinator CRASH (in-memory count=%d discarded)", cl.net.coord.Count())
+	cl.net.coord = nil
+	return nil
+}
+
+// Restart rebuilds the coordinator from its checkpoint file and puts it
+// back on the network.
+func (cl *Cluster) Restart() error {
+	if cl.net.coord != nil {
+		return fmt.Errorf("sim: coordinator is not down")
+	}
+	coord, err := cl.newCoordinator()
+	if err != nil {
+		return fmt.Errorf("sim: restart: %w", err)
+	}
+	cl.net.coord = coord
+	cl.logf("sim: coordinator RESTART (restored count=%d)", coord.Count())
+	return nil
+}
+
+// Drain runs extra cycles (no new data) until every fed element is
+// acknowledged by the coordinator or maxCycles elapse. With any fault
+// probability below 1 the retries converge quickly; failure to converge is
+// an infrastructure bug, not a statistical event, hence the error.
+func (cl *Cluster) Drain(maxCycles int) error {
+	for i := 0; i < maxCycles; i++ {
+		if cl.net.coord != nil && cl.net.coord.Count() == cl.fed && !cl.net.holding() {
+			cl.logf("sim: drained, count=%d", cl.fed)
+			return nil
+		}
+		if err := cl.Cycle(); err != nil {
+			return err
+		}
+	}
+	if cl.net.coord == nil {
+		return fmt.Errorf("sim: drain with coordinator down")
+	}
+	cl.net.flush(true)
+	if got := cl.net.coord.Count(); got != cl.fed {
+		return fmt.Errorf("sim: drained %d cycles but coordinator has %d of %d elements", maxCycles, got, cl.fed)
+	}
+	cl.logf("sim: drained, count=%d", cl.fed)
+	return nil
+}
+
+// Count returns the coordinator's aggregate element count (0 while down).
+func (cl *Cluster) Count() uint64 {
+	if cl.net.coord == nil {
+		return 0
+	}
+	return cl.net.coord.Count()
+}
+
+// Coordinator returns the live coordinator (nil while crashed).
+func (cl *Cluster) Coordinator() *cluster.Coordinator { return cl.net.coord }
+
+// WorkerStats returns each worker's shipping counters.
+func (cl *Cluster) WorkerStats() []cluster.WorkerStats {
+	out := make([]cluster.WorkerStats, len(cl.workers))
+	for i, w := range cl.workers {
+		out[i] = w.Stats()
+	}
+	return out
+}
+
+// Quantiles queries the coordinator and records the answers in the
+// transcript, so final answers are part of the byte-identical replay.
+func (cl *Cluster) Quantiles(phis []float64) ([]float64, error) {
+	if cl.net.coord == nil {
+		return nil, fmt.Errorf("sim: query with coordinator down")
+	}
+	vals, err := cl.net.coord.Quantiles(phis)
+	if err != nil {
+		return nil, err
+	}
+	for i, phi := range phis {
+		cl.logf("sim: quantile phi=%g -> %g", phi, vals[i])
+	}
+	return vals, nil
+}
+
+// Transcript returns the full simulation log: every shipment attempt,
+// injected fault, accepted epoch, checkpoint, crash/restart and recorded
+// answer, stamped with virtual time.
+func (cl *Cluster) Transcript() []byte { return bytes.Clone(cl.buf.Bytes()) }
+
+// heldEnvelope is a delayed shipment waiting in the network.
+type heldEnvelope struct {
+	env cluster.Envelope
+	due int // deliver when Transport.sends reaches this
+}
+
+// Transport is the in-memory fault-injecting cluster.Transport. It
+// delivers envelopes straight into the coordinator's Ingest, rolling the
+// fault plan from its seeded generator on every attempt.
+type Transport struct {
+	clock *VirtualClock
+	rg    *rng.RNG
+	plan  FaultPlan
+	coord *cluster.Coordinator // nil while crashed
+	held  []heldEnvelope
+	sends int
+	logf  func(format string, args ...any)
+}
+
+// Ship implements cluster.Transport.
+func (t *Transport) Ship(ctx context.Context, env cluster.Envelope) (cluster.ShipResult, error) {
+	t.sends++
+	t.flush(false)
+	// Fixed draw count per attempt keeps the fault schedule stable no
+	// matter which branch wins.
+	rDelay, rDrop, rDup, rAck := t.rg.Float64(), t.rg.Float64(), t.rg.Float64(), t.rg.Float64()
+	tag := fmt.Sprintf("sim: net %s/%d", env.Worker, env.Epoch)
+	if t.coord == nil {
+		t.logf("%s -> coordinator down", tag)
+		return cluster.ShipResult{}, fmt.Errorf("sim: coordinator down")
+	}
+	switch {
+	case rDelay < t.plan.DelayProb:
+		t.held = append(t.held, heldEnvelope{env: env, due: t.sends + t.plan.DelaySends})
+		t.logf("%s -> delayed until send %d", tag, t.sends+t.plan.DelaySends)
+		return cluster.ShipResult{}, fmt.Errorf("sim: request delayed in network")
+	case rDrop < t.plan.DropProb:
+		t.logf("%s -> dropped", tag)
+		return cluster.ShipResult{}, fmt.Errorf("sim: request dropped")
+	case rDup < t.plan.DupProb:
+		status, res := t.deliver(env)
+		t.logf("%s -> %s (duplicated in flight)", tag, res.Status)
+		_, res2 := t.deliver(env)
+		t.logf("%s -> %s (network duplicate)", tag, res2.Status)
+		return t.finish(status, res)
+	case rAck < t.plan.LostAckProb:
+		status, res := t.deliver(env)
+		t.logf("%s -> %s but ACK LOST (status %d)", tag, res.Status, status)
+		return cluster.ShipResult{}, fmt.Errorf("sim: acknowledgement lost")
+	default:
+		status, res := t.deliver(env)
+		t.logf("%s -> %s", tag, res.Status)
+		return t.finish(status, res)
+	}
+}
+
+// deliver hands one envelope to the coordinator.
+func (t *Transport) deliver(env cluster.Envelope) (int, cluster.ShipResult) {
+	return t.coord.Ingest(env)
+}
+
+// finish maps an Ingest verdict onto Transport error semantics, mirroring
+// HTTPTransport's status-code mapping.
+func (t *Transport) finish(status int, res cluster.ShipResult) (cluster.ShipResult, error) {
+	switch {
+	case status >= 200 && status < 300:
+		return res, nil
+	case status >= 400 && status < 500:
+		return cluster.ShipResult{}, cluster.Permanent(fmt.Errorf("coordinator: status %d: %s", status, res.Error))
+	default:
+		return cluster.ShipResult{}, fmt.Errorf("coordinator: status %d: %s", status, res.Error)
+	}
+}
+
+// flush delivers held envelopes that have come due (all of them when all
+// is true) while the coordinator is up. Envelopes that come due during an
+// outage are lost with the outage — exactly what a real delayed packet
+// aimed at a dead host would suffer.
+func (t *Transport) flush(all bool) {
+	var keep []heldEnvelope
+	for _, h := range t.held {
+		if !all && h.due > t.sends {
+			keep = append(keep, h)
+			continue
+		}
+		if t.coord == nil {
+			t.logf("sim: net %s/%d held copy -> lost (coordinator down)", h.env.Worker, h.env.Epoch)
+			continue
+		}
+		_, res := t.deliver(h.env)
+		t.logf("sim: net %s/%d held copy delivered late -> %s", h.env.Worker, h.env.Epoch, res.Status)
+	}
+	t.held = keep
+}
+
+// holding reports whether any delayed envelopes are still in the network.
+func (t *Transport) holding() bool { return len(t.held) > 0 }

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+const (
+	testEps   = 0.02
+	testDelta = 1e-3
+)
+
+// feedRoundRobin deals data across the cluster's workers in round-robin
+// chunks, the way the conformance harness does.
+func feedRoundRobin(t *testing.T, cl *Cluster, data []float64, workers, chunk int) {
+	t.Helper()
+	for i := 0; i < len(data); i += chunk {
+		end := i + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		cl.Feed((i / chunk) % workers, data[i:end])
+	}
+}
+
+// checkQuantiles asserts every queried φ is an ε-approximate quantile of
+// data. With δ=1e-3 and a handful of queries a failure here is
+// overwhelmingly a bug, not bad luck (the statistical treatment lives in
+// internal/conformance).
+func checkQuantiles(t *testing.T, cl *Cluster, data []float64) {
+	t.Helper()
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	phis := []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+	vals, err := cl.Quantiles(phis)
+	if err != nil {
+		t.Fatalf("Quantiles: %v", err)
+	}
+	for i, phi := range phis {
+		if e := exact.RankError(sorted, vals[i], phi, testEps); e != 0 {
+			t.Errorf("phi=%g: estimate %g off by %d ranks beyond eps=%g", phi, vals[i], e, testEps)
+		}
+	}
+}
+
+func run(t *testing.T, cfg Config, data []float64) *Cluster {
+	t.Helper()
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Interleave feeding and shipping so each worker cuts several epochs.
+	third := len(data) / 3
+	for i := 0; i < 3; i++ {
+		lo, hi := i*third, (i+1)*third
+		if i == 2 {
+			hi = len(data)
+		}
+		feedRoundRobin(t, cl, data[lo:hi], cfg.Workers, 500)
+		if err := cl.Cycle(); err != nil {
+			t.Fatalf("Cycle: %v", err)
+		}
+	}
+	if err := cl.Drain(50); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	return cl
+}
+
+func TestPerfectNetworkExactCount(t *testing.T) {
+	data := stream.Collect(stream.Shuffled(8000, 7))
+	cl := run(t, Config{Eps: testEps, Delta: testDelta, Seed: 42, Workers: 3}, data)
+	if got := cl.Count(); got != uint64(len(data)) {
+		t.Fatalf("coordinator count = %d, fed %d", got, len(data))
+	}
+	checkQuantiles(t, cl, data)
+}
+
+func TestFaultyNetworkLosesAndDuplicatesNothing(t *testing.T) {
+	data := stream.Collect(stream.Zipf(6000, 11, 1.2, 1<<20))
+	cfg := Config{
+		Eps: testEps, Delta: testDelta, Seed: 1337, Workers: 3,
+		Faults: FaultPlan{
+			DropProb:    0.25,
+			DupProb:     0.15,
+			LostAckProb: 0.15,
+			DelayProb:   0.10,
+			DelaySends:  2,
+		},
+	}
+	cl := run(t, cfg, data)
+	// The one invariant everything hangs on: despite drops, duplicates,
+	// lost acks and reordering, the coordinator counted every element
+	// exactly once.
+	if got := cl.Count(); got != uint64(len(data)) {
+		t.Fatalf("coordinator count = %d, fed %d (elements lost or double-counted)", got, len(data))
+	}
+	checkQuantiles(t, cl, data)
+
+	// The plan must actually have injected faults and exercised dedup,
+	// otherwise this test is vacuous.
+	var retries uint64
+	for _, ws := range cl.WorkerStats() {
+		retries += ws.Retries
+	}
+	if retries == 0 {
+		t.Error("fault plan injected no retries; fault injection is not firing")
+	}
+	if !bytes.Contains(cl.Transcript(), []byte("duplicate")) {
+		t.Error("transcript records no deduplicated shipment; dedup path not exercised")
+	}
+}
+
+func TestCrashRestartFromCheckpoint(t *testing.T) {
+	data := stream.Collect(stream.Uniform(6000, 3))
+	cfg := Config{
+		Eps: testEps, Delta: testDelta, Seed: 99, Workers: 2,
+		Faults:         FaultPlan{DropProb: 0.2, LostAckProb: 0.1},
+		CheckpointPath: filepath.Join(t.TempDir(), "checkpoint.json"),
+	}
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	half := len(data) / 2
+	feedRoundRobin(t, cl, data[:half], cfg.Workers, 500)
+	for i := 0; i < 2; i++ {
+		if err := cl.Cycle(); err != nil {
+			t.Fatalf("Cycle: %v", err)
+		}
+	}
+	if err := cl.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	// Workers keep ingesting and attempting delivery during the outage;
+	// their epochs park and redeliver after restart.
+	feedRoundRobin(t, cl, data[half:], cfg.Workers, 500)
+	if err := cl.Cycle(); err != nil {
+		t.Fatalf("Cycle during outage: %v", err)
+	}
+	if err := cl.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if err := cl.Drain(50); err != nil {
+		t.Fatalf("Drain after restart: %v", err)
+	}
+	if got := cl.Count(); got != uint64(len(data)) {
+		t.Fatalf("coordinator count after crash/restart = %d, fed %d", got, len(data))
+	}
+	checkQuantiles(t, cl, data)
+	if !bytes.Contains(cl.Transcript(), []byte("CRASH")) || !bytes.Contains(cl.Transcript(), []byte("RESTART")) {
+		t.Error("transcript does not record the crash/restart")
+	}
+}
+
+// TestTranscriptByteIdentical is the determinism contract: the same Config
+// (same seed, same fault plan, same feeding schedule) must produce a
+// byte-identical transcript, including across coordinator crash/restart
+// with its host-dependent checkpoint path scrubbed.
+func TestTranscriptByteIdentical(t *testing.T) {
+	runOnce := func(dir string) []byte {
+		data := stream.Collect(stream.Zipf(5000, 21, 1.1, 1<<16))
+		cfg := Config{
+			Eps: testEps, Delta: testDelta, Seed: 2024, Workers: 3,
+			Faults: FaultPlan{
+				DropProb:    0.2,
+				DupProb:     0.1,
+				LostAckProb: 0.1,
+				DelayProb:   0.1,
+				DelaySends:  2,
+			},
+			CheckpointPath: filepath.Join(dir, "checkpoint.json"),
+		}
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		feedRoundRobin(t, cl, data[:2500], cfg.Workers, 250)
+		if err := cl.Cycle(); err != nil {
+			t.Fatalf("Cycle: %v", err)
+		}
+		if err := cl.Crash(); err != nil {
+			t.Fatalf("Crash: %v", err)
+		}
+		feedRoundRobin(t, cl, data[2500:], cfg.Workers, 250)
+		if err := cl.Cycle(); err != nil {
+			t.Fatalf("Cycle during outage: %v", err)
+		}
+		if err := cl.Restart(); err != nil {
+			t.Fatalf("Restart: %v", err)
+		}
+		if err := cl.Drain(50); err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+		if _, err := cl.Quantiles([]float64{0.25, 0.5, 0.75}); err != nil {
+			t.Fatalf("Quantiles: %v", err)
+		}
+		return cl.Transcript()
+	}
+
+	// Distinct temp dirs force distinct checkpoint paths: the transcripts
+	// must still match byte for byte.
+	a := runOnce(t.TempDir())
+	b := runOnce(t.TempDir())
+	if !bytes.Equal(a, b) {
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := i - 200
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("transcripts diverge at byte %d:\nrun A: ...%s\nrun B: ...%s",
+			i, a[lo:min(i+200, len(a))], b[lo:min(i+200, len(b))])
+	}
+	if len(a) == 0 {
+		t.Fatal("empty transcript")
+	}
+}
+
+// TestSeedChangesTranscript guards against the transcript accidentally
+// ignoring the seed (which would make TestTranscriptByteIdentical vacuous).
+func TestSeedChangesTranscript(t *testing.T) {
+	runSeed := func(seed uint64) []byte {
+		data := stream.Collect(stream.Uniform(4000, 5))
+		cl, err := New(Config{
+			Eps: testEps, Delta: testDelta, Seed: seed, Workers: 2,
+			Faults: FaultPlan{DropProb: 0.5},
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		// Many small epochs: dozens of fault rolls, and any drop inserts a
+		// seed-jittered backoff into the virtual timeline, so two seeds
+		// agreeing byte-for-byte would need every roll to coincide.
+		for i := 0; i < len(data); i += 500 {
+			cl.Feed(0, data[i:i+250])
+			cl.Feed(1, data[i+250:i+500])
+			if err := cl.Cycle(); err != nil {
+				t.Fatalf("Cycle: %v", err)
+			}
+		}
+		if err := cl.Drain(50); err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+		return cl.Transcript()
+	}
+	if bytes.Equal(runSeed(1), runSeed(2)) {
+		t.Fatal("different seeds produced identical transcripts under a lossy fault plan")
+	}
+}
+
+func TestVirtualClockAdvancesOnlyOnDemand(t *testing.T) {
+	c := NewVirtualClock()
+	t0 := c.Now()
+	if got := c.Now(); !got.Equal(t0) {
+		t.Fatalf("Now moved without Advance/Sleep: %v -> %v", t0, got)
+	}
+	c.Advance(3e9) // 3s
+	if got := c.Now().Sub(t0).Seconds(); got != 3 {
+		t.Fatalf("Advance(3s) moved clock by %gs", got)
+	}
+}
+
+func TestCrashWithoutCheckpointRefused(t *testing.T) {
+	cl, err := New(Config{Eps: testEps, Delta: testDelta, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := cl.Crash(); err == nil {
+		t.Fatal("Crash without CheckpointPath should be refused")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func ExampleCluster() {
+	cl, _ := New(Config{Eps: 0.05, Delta: 1e-3, Seed: 7, Workers: 2})
+	cl.Feed(0, stream.Collect(stream.Sorted(500)))
+	cl.Feed(1, stream.Collect(stream.Reversed(500)))
+	_ = cl.Drain(20)
+	fmt.Println("count:", cl.Count())
+	// Output:
+	// count: 1000
+}

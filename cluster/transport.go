@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport delivers one shipment envelope to the coordinator and returns
+// its verdict. A nil error means the envelope was delivered and the result
+// carries the coordinator's answer (accepted or duplicate). A permanent
+// error (see Permanent/IsPermanent) means the coordinator understood the
+// shipment and refused it — retrying cannot help. Any other error is
+// transient: network failure, timeout, coordinator outage — the caller
+// should retry.
+//
+// Production workers use HTTPTransport; the sim package provides an
+// in-memory transport with seeded fault injection so cluster runs replay
+// deterministically.
+type Transport interface {
+	Ship(ctx context.Context, env Envelope) (ShipResult, error)
+}
+
+// permanentError marks a delivery failure that retrying cannot fix.
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so IsPermanent reports true: a Transport returns it
+// for rejections where retrying the identical envelope cannot succeed
+// (config mismatch, malformed blob).
+func Permanent(err error) error { return permanentError{err} }
+
+// IsPermanent reports whether err (or anything it wraps) was marked with
+// Permanent.
+func IsPermanent(err error) bool {
+	var p permanentError
+	return errors.As(err, &p)
+}
+
+// HTTPTransport ships envelopes to a coordinator over HTTP — the
+// production Transport. It POSTs JSON envelopes to BaseURL+ShipPath and
+// maps the response: 2xx parses into a ShipResult, 4xx is a permanent
+// rejection, anything else (network error, timeout, 5xx) is transient.
+type HTTPTransport struct {
+	// BaseURL is the coordinator's base URL, e.g. "http://host:9090".
+	BaseURL string
+
+	// Client issues the POSTs; nil means http.DefaultClient.
+	Client *http.Client
+
+	// RequestTimeout bounds one shipment POST when positive.
+	RequestTimeout time.Duration
+}
+
+// Ship implements Transport.
+func (t *HTTPTransport) Ship(ctx context.Context, env Envelope) (ShipResult, error) {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return ShipResult{}, Permanent(fmt.Errorf("encoding envelope: %w", err))
+	}
+	if t.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t.RequestTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.BaseURL+ShipPath, bytes.NewReader(body))
+	if err != nil {
+		return ShipResult{}, Permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return ShipResult{}, err
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		var res ShipResult
+		if err := json.Unmarshal(payload, &res); err != nil {
+			// A 2xx acknowledges delivery even if the body is mangled.
+			res = ShipResult{Status: StatusAccepted}
+		}
+		return res, nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return ShipResult{}, Permanent(fmt.Errorf("coordinator: %s: %s", resp.Status, firstLine(payload)))
+	default:
+		return ShipResult{}, fmt.Errorf("coordinator: %s: %s", resp.Status, firstLine(payload))
+	}
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			b = b[:i]
+			break
+		}
+	}
+	return string(b)
+}

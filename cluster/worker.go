@@ -1,18 +1,15 @@
 package cluster
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
-	"math/rand/v2"
+	"hash/fnv"
 	"net/http"
 	"sync"
 	"time"
 
 	quantile "repro"
+	"repro/internal/rng"
 )
 
 // WorkerConfig configures a shipping worker.
@@ -23,7 +20,16 @@ type WorkerConfig struct {
 	ID string
 
 	// CoordinatorURL is the coordinator's base URL, e.g. "http://host:9090".
+	// Required unless a Transport is supplied.
 	CoordinatorURL string
+
+	// Transport delivers envelopes to the coordinator; nil builds an
+	// HTTPTransport from CoordinatorURL, Client and RequestTimeout.
+	Transport Transport
+
+	// Clock paces ship cycles and retry backoff; nil means the system
+	// clock. The sim package injects a virtual clock here.
+	Clock Clock
 
 	// ShipInterval is how often Run cuts and ships an epoch (default 5s).
 	ShipInterval time.Duration
@@ -31,7 +37,7 @@ type WorkerConfig struct {
 	// RequestTimeout bounds one shipment POST (default 10s).
 	RequestTimeout time.Duration
 
-	// MaxRetries is how many times a failed POST is retried within one
+	// MaxRetries is how many times a failed delivery is retried within one
 	// ship cycle before the epoch is parked for the next cycle (default 5).
 	MaxRetries int
 
@@ -45,7 +51,13 @@ type WorkerConfig struct {
 	// the oldest epoch is dropped and counted in Stats().Dropped.
 	MaxPending int
 
-	// Client issues the POSTs; nil builds one from RequestTimeout.
+	// Seed drives the retry jitter deterministically; 0 derives a seed
+	// from ID, so distinct workers still jitter apart while any single
+	// worker's behavior replays exactly from its configuration.
+	Seed uint64
+
+	// Client issues the POSTs when Transport is nil; nil builds one from
+	// RequestTimeout.
 	Client *http.Client
 
 	// Logf receives operational log lines; nil discards them.
@@ -56,8 +68,8 @@ func (cfg *WorkerConfig) fillDefaults() error {
 	if cfg.ID == "" {
 		return fmt.Errorf("cluster: worker needs an ID")
 	}
-	if cfg.CoordinatorURL == "" {
-		return fmt.Errorf("cluster: worker needs a coordinator URL")
+	if cfg.CoordinatorURL == "" && cfg.Transport == nil {
+		return fmt.Errorf("cluster: worker needs a coordinator URL or a transport")
 	}
 	if cfg.ShipInterval <= 0 {
 		cfg.ShipInterval = 5 * time.Second
@@ -85,6 +97,21 @@ func (cfg *WorkerConfig) fillDefaults() error {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: cfg.RequestTimeout}
 	}
+	if cfg.Transport == nil {
+		cfg.Transport = &HTTPTransport{
+			BaseURL:        cfg.CoordinatorURL,
+			Client:         cfg.Client,
+			RequestTimeout: cfg.RequestTimeout,
+		}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = SystemClock()
+	}
+	if cfg.Seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(cfg.ID))
+		cfg.Seed = h.Sum64() | 1
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -95,7 +122,7 @@ func (cfg *WorkerConfig) fillDefaults() error {
 type WorkerStats struct {
 	Epoch   uint64 // epochs cut so far
 	Shipped uint64 // epochs acknowledged by the coordinator
-	Retries uint64 // individual POSTs that failed and were retried
+	Retries uint64 // individual deliveries that failed and were retried
 	Dropped uint64 // epochs abandoned (rejected, or pending overflow)
 	Pending int    // epochs cut but not yet acknowledged
 }
@@ -110,6 +137,7 @@ type Worker struct {
 	sketch *quantile.Concurrent[float64]
 
 	mu      sync.Mutex // serializes ship cycles and guards the fields below
+	rg      *rng.RNG   // retry jitter; guarded by mu
 	epoch   uint64
 	pending []Envelope
 	stats   WorkerStats
@@ -124,7 +152,7 @@ func NewWorker(sketch *quantile.Concurrent[float64], cfg WorkerConfig) (*Worker,
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	return &Worker{cfg: cfg, sketch: sketch}, nil
+	return &Worker{cfg: cfg, sketch: sketch, rg: rng.New(cfg.Seed)}, nil
 }
 
 // Sketch returns the wrapped sketch (shared with local ingest surfaces).
@@ -144,15 +172,8 @@ func (w *Worker) Stats() WorkerStats {
 // final drain attempt (with a fresh timeout) so a graceful shutdown ships
 // the tail of the stream.
 func (w *Worker) Run(ctx context.Context) {
-	t := time.NewTicker(w.cfg.ShipInterval)
-	defer t.Stop()
 	for {
-		select {
-		case <-t.C:
-			if err := w.ShipOnce(ctx); err != nil && ctx.Err() == nil {
-				w.cfg.Logf("cluster: worker %s: %v", w.cfg.ID, err)
-			}
-		case <-ctx.Done():
+		if err := w.cfg.Clock.Sleep(ctx, w.cfg.ShipInterval); err != nil {
 			drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), w.cfg.RequestTimeout)
 			if err := w.ShipOnce(drainCtx); err != nil {
 				w.cfg.Logf("cluster: worker %s: final drain: %v", w.cfg.ID, err)
@@ -160,14 +181,17 @@ func (w *Worker) Run(ctx context.Context) {
 			cancel()
 			return
 		}
+		if err := w.ShipOnce(ctx); err != nil && ctx.Err() == nil {
+			w.cfg.Logf("cluster: worker %s: %v", w.cfg.ID, err)
+		}
 	}
 }
 
 // ShipOnce cuts the current window into a new epoch (if it holds data) and
 // attempts to deliver every pending epoch, oldest first, retrying each
-// failed POST with exponential backoff and jitter. Undelivered epochs stay
-// queued for the next cycle; the coordinator's (worker, epoch) dedup makes
-// redelivery after a lost acknowledgement harmless.
+// failed delivery with exponential backoff and jitter. Undelivered epochs
+// stay queued for the next cycle; the coordinator's (worker, epoch) dedup
+// makes redelivery after a lost acknowledgement harmless.
 func (w *Worker) ShipOnce(ctx context.Context) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -200,7 +224,7 @@ func (w *Worker) ShipOnce(ctx context.Context) error {
 		case err == nil:
 			w.pending = w.pending[1:]
 			w.stats.Shipped++
-		case isPermanent(err):
+		case IsPermanent(err):
 			// The coordinator understood the shipment and refused it
 			// (config mismatch, malformed blob); retrying cannot help.
 			w.cfg.Logf("cluster: worker %s: epoch %d rejected: %v", w.cfg.ID, env.Epoch, err)
@@ -213,65 +237,23 @@ func (w *Worker) ShipOnce(ctx context.Context) error {
 	return nil
 }
 
-// permanentError marks a delivery failure that retrying cannot fix.
-type permanentError struct{ err error }
-
-func (e permanentError) Error() string { return e.err.Error() }
-func (e permanentError) Unwrap() error { return e.err }
-
-func isPermanent(err error) bool {
-	var p permanentError
-	return errors.As(err, &p)
-}
-
-// deliver POSTs one envelope, retrying transient failures with backoff.
+// deliver ships one envelope, retrying transient failures with backoff.
 func (w *Worker) deliver(ctx context.Context, env Envelope) error {
-	body, err := json.Marshal(env)
-	if err != nil {
-		return permanentError{fmt.Errorf("encoding envelope: %w", err)}
-	}
 	var lastErr error
 	for attempt := 0; attempt <= w.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			w.stats.Retries++
-			if err := sleepCtx(ctx, w.backoff(attempt)); err != nil {
+			if err := w.cfg.Clock.Sleep(ctx, w.backoff(attempt)); err != nil {
 				return err
 			}
 		}
-		lastErr = w.post(ctx, body)
-		if lastErr == nil || isPermanent(lastErr) {
+		_, lastErr = w.cfg.Transport.Ship(ctx, env)
+		if lastErr == nil || IsPermanent(lastErr) {
 			return lastErr
 		}
 		w.cfg.Logf("cluster: worker %s: epoch %d attempt %d: %v", w.cfg.ID, env.Epoch, attempt+1, lastErr)
 	}
 	return lastErr
-}
-
-// post performs a single shipment POST. A 2xx (including the coordinator's
-// "duplicate" answer for a retransmission) is success; a 4xx is permanent;
-// anything else — network error, timeout, 5xx — is retryable.
-func (w *Worker) post(ctx context.Context, body []byte) error {
-	ctx, cancel := context.WithTimeout(ctx, w.cfg.RequestTimeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.CoordinatorURL+ShipPath, bytes.NewReader(body))
-	if err != nil {
-		return permanentError{err}
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.cfg.Client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	payload, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-	switch {
-	case resp.StatusCode >= 200 && resp.StatusCode < 300:
-		return nil
-	case resp.StatusCode >= 400 && resp.StatusCode < 500:
-		return permanentError{fmt.Errorf("coordinator: %s: %s", resp.Status, firstLine(payload))}
-	default:
-		return fmt.Errorf("coordinator: %s: %s", resp.Status, firstLine(payload))
-	}
 }
 
 // backoff returns the jittered exponential delay before retry `attempt`
@@ -281,26 +263,5 @@ func (w *Worker) backoff(attempt int) time.Duration {
 	if d > w.cfg.BackoffMax || d <= 0 {
 		d = w.cfg.BackoffMax
 	}
-	return time.Duration((0.5 + rand.Float64()) * float64(d))
-}
-
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
-	}
-}
-
-func firstLine(b []byte) string {
-	for i, c := range b {
-		if c == '\n' {
-			b = b[:i]
-			break
-		}
-	}
-	return string(b)
+	return time.Duration((0.5 + w.rg.Float64()) * float64(d))
 }

@@ -1,14 +1,18 @@
 // Command qsim explores the paper's parameter space: given ε and δ it
 // prints the solved layouts for every algorithm variant, the constraint
-// slack of the unknown-N solution, and optional sweeps.
+// slack of the unknown-N solution, and optional sweeps. With -cluster it
+// instead runs the deterministic cluster simulation's ε–δ conformance
+// grid and emits a machine-readable JSON report.
 //
 //	qsim -eps 0.01 -delta 1e-4
 //	qsim -eps 0.01 -delta 1e-4 -n 1e8          # known-N mode decision at N
 //	qsim -eps 0.01 -delta 1e-4 -explain 6,652,7  # explain a hand-picked b,k,h
 //	qsim -sweep-eps                              # memory across the ε grid
+//	qsim -cluster -trials 100 -seed 1            # cluster conformance grid
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/conformance"
 	"repro/internal/extreme"
 	"repro/internal/optimize"
 )
@@ -36,9 +41,49 @@ func run(args []string, w io.Writer) error {
 		phi      = fs.Float64("phi", 0, "extreme quantile to size (0 = skip)")
 		explainS = fs.String("explain", "", "explain a layout given as b,k,h")
 		sweepEps = fs.Bool("sweep-eps", false, "print memory across the standard ε grid")
+
+		cluster    = fs.Bool("cluster", false, "run the cluster-simulation conformance grid, print a JSON report")
+		trials     = fs.Int("trials", 0, "with -cluster: seeded trials per scenario (0 = default 100)")
+		clusterN   = fs.Int("cluster-n", 0, "with -cluster: elements per trial (0 = default 6000)")
+		workers    = fs.Int("workers", 0, "with -cluster: simulated workers per trial (0 = default 3)")
+		seed       = fs.Uint64("seed", 0, "with -cluster: base seed for the grid (0 = default 1)")
+		clusterEps = fs.String("cluster-eps", "", "with -cluster: comma-separated ε list (default 0.01,0.001)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cluster {
+		cfg := conformance.Config{
+			Delta:   *delta,
+			Trials:  *trials,
+			N:       *clusterN,
+			Workers: *workers,
+			Seed:    *seed,
+		}
+		if *clusterEps != "" {
+			for _, part := range strings.Split(*clusterEps, ",") {
+				e, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+				if err != nil || e <= 0 || e >= 1 {
+					return fmt.Errorf("-cluster-eps component %q: want ε in (0, 1)", part)
+				}
+				cfg.Eps = append(cfg.Eps, e)
+			}
+		}
+		rep, err := conformance.Run(cfg)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		if !rep.Pass {
+			return fmt.Errorf("conformance grid FAILED: %d failures in %d queries (see report)",
+				rep.TotalFailures, rep.TotalQueries)
+		}
+		return nil
 	}
 
 	if *sweepEps {

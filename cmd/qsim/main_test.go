@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/conformance"
 )
 
 func runQsim(t *testing.T, args ...string) string {
@@ -76,5 +79,44 @@ func TestErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+func TestClusterConformanceMode(t *testing.T) {
+	// A deliberately tiny grid: the full acceptance grid runs in
+	// internal/conformance's TestAcceptanceGrid; here we verify the CLI
+	// wiring, flag plumbing and JSON shape.
+	out := runQsim(t, "-cluster", "-trials", "2", "-cluster-n", "1500",
+		"-workers", "2", "-seed", "9", "-cluster-eps", "0.02", "-delta", "1e-3")
+	var rep conformance.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not a JSON report: %v\n%s", err, out)
+	}
+	if !rep.Pass {
+		t.Fatalf("tiny grid failed conformance:\n%s", out)
+	}
+	if rep.Trials != 2 || rep.N != 1500 || rep.Workers != 2 || rep.Seed != 9 || rep.Delta != 1e-3 {
+		t.Fatalf("flags not plumbed into report: %+v", rep)
+	}
+	if want := 5 * 3; len(rep.Scenarios) != want {
+		t.Fatalf("got %d scenarios, want %d (5 orders x 3 faults x 1 eps)", len(rep.Scenarios), want)
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.Eps != 0.02 {
+			t.Fatalf("scenario eps %g, want 0.02", sc.Eps)
+		}
+		if sc.TailP <= 0 || sc.TailP > 1 {
+			t.Fatalf("scenario %s/%s has tail_p %g outside (0, 1]", sc.Order, sc.Fault, sc.TailP)
+		}
+	}
+}
+
+func TestClusterBadEpsList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-cluster", "-cluster-eps", "0.01,nope"}, &out); err == nil {
+		t.Fatal("malformed -cluster-eps accepted")
+	}
+	if err := run([]string{"-cluster", "-cluster-eps", "1.5"}, &out); err == nil {
+		t.Fatal("out-of-range -cluster-eps accepted")
 	}
 }

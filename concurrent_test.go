@@ -122,3 +122,87 @@ func TestConcurrentBadOptions(t *testing.T) {
 		t.Error("bad policy accepted")
 	}
 }
+
+// TestShipAndResetRacingAddsAccounting races ShipAndReset epoch cuts
+// against a fleet of concurrently adding goroutines and audits the books:
+// every element added must land in exactly one cut epoch or the final
+// sweep — none lost, none double-counted. This is the invariant the
+// cluster worker's shipping loop (and therefore the coordinator's exact
+// accounting) stands on. Run under -race it also checks the sweep's
+// locking discipline.
+func TestShipAndResetRacingAddsAccounting(t *testing.T) {
+	const (
+		adders   = 8
+		perAdder = 5000
+		cuts     = 25
+	)
+	c, err := NewConcurrent[float64](0.05, 1e-3, 4, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < adders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perAdder; i++ {
+				c.Add(float64(g*perAdder + i))
+			}
+		}(g)
+	}
+	close(start)
+
+	var blobs [][]byte
+	var shipped uint64
+	for i := 0; i < cuts; i++ {
+		blob, n, err := c.ShipAndReset(Float64Codec())
+		if err != nil {
+			t.Fatalf("cut %d: %v", i, err)
+		}
+		if (n == 0) != (blob == nil) {
+			t.Fatalf("cut %d: count %d with blob presence %v", i, n, blob != nil)
+		}
+		if n > 0 {
+			shipped += n
+			blobs = append(blobs, blob)
+		}
+	}
+	wg.Wait()
+	// Final sweep after all adders are done collects the tail.
+	blob, n, err := c.ShipAndReset(Float64Codec())
+	if err != nil {
+		t.Fatalf("final cut: %v", err)
+	}
+	if n > 0 {
+		shipped += n
+		blobs = append(blobs, blob)
+	}
+
+	const total = adders * perAdder
+	if shipped != total {
+		t.Fatalf("shipped %d elements across %d epochs, added %d (lost or double-counted)", shipped, len(blobs), total)
+	}
+	if got := c.Count(); got != 0 {
+		t.Fatalf("sketch still holds %d elements after the final cut", got)
+	}
+
+	// The blobs must also merge back into a coherent summary of the full
+	// stream: count exact, median within the eps window of 0.5.
+	_, k, _ := c.Layout()
+	merged, err := MergeShipments(k, 6, 99, Float64Codec(), blobs...)
+	if err != nil {
+		t.Fatalf("MergeShipments: %v", err)
+	}
+	if merged.Count() != total {
+		t.Fatalf("merged count %d, want %d", merged.Count(), total)
+	}
+	med, err := merged.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := 0.45*total, 0.55*total; med < lo || med > hi {
+		t.Fatalf("merged median %g outside [%g, %g]", med, lo, hi)
+	}
+}

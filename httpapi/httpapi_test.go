@@ -237,3 +237,75 @@ func TestConcurrentClients(t *testing.T) {
 		t.Errorf("final count %d", srv.Sketch().Count())
 	}
 }
+
+// TestErrorsAreStructuredJSON pins the error contract across the API:
+// every failure — oversized body, malformed input, bad parameters, empty
+// sketch — responds with Content-Type application/json and a non-empty
+// "error" field, never a bare status line or text/plain body.
+func TestErrorsAreStructuredJSON(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.SetMaxBodyBytes(64)
+
+	checkStructured := func(name string, resp *http.Response, wantStatus int) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type %q, want application/json", name, ct)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Errorf("%s: body is not JSON: %v", name, err)
+			return
+		}
+		msg, ok := out["error"].(string)
+		if !ok || msg == "" {
+			t.Errorf("%s: no error message in %v", name, out)
+		}
+	}
+
+	// Empty-sketch query first: a malformed /add below still ingests the
+	// values preceding the parse error, so order matters here.
+	resp, err := http.Get(ts.URL + "/quantile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStructured("empty /quantile", resp, http.StatusConflict)
+
+	// 413 via MaxBytesReader.
+	var big strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintln(&big, i)
+	}
+	resp, err = http.Post(ts.URL+"/add", "text/plain", strings.NewReader(big.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStructured("oversized /add", resp, http.StatusRequestEntityTooLarge)
+
+	// Malformed body.
+	resp, err = http.Post(ts.URL+"/add", "text/plain", strings.NewReader("1 2 pear"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStructured("malformed /add", resp, http.StatusBadRequest)
+
+	// Bad parameters.
+	gets := []struct {
+		name, path string
+		status     int
+	}{
+		{"bad phi", "/quantile?phi=2", http.StatusBadRequest},
+		{"bad v", "/cdf?v=xyz", http.StatusBadRequest},
+		{"bad buckets", "/histogram?buckets=1", http.StatusBadRequest},
+	}
+	for _, g := range gets {
+		resp, err := http.Get(ts.URL + g.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkStructured(g.name, resp, g.status)
+	}
+}

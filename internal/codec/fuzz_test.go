@@ -77,3 +77,72 @@ func FuzzUnmarshalShipment(f *testing.F) {
 		_, _ = UnmarshalShipment(data, Float64())
 	})
 }
+
+func seedCoordinatorBlob(tb testing.TB) []byte {
+	tb.Helper()
+	coord, err := parallel.NewCoordinator[float64](8, 4, 5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s, err := core.NewSketch[float64](core.Config{B: 4, K: 8, H: 2, Seed: uint64(10 + i)})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for _, v := range stream.Collect(stream.Uniform(200, uint64(20+i))) {
+			s.Add(v)
+		}
+		if err := coord.Receive(parallel.Ship(s)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	blob, err := MarshalCoordinator(coord.Snapshot(), Float64())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return blob
+}
+
+// FuzzUnmarshalCoordinator targets the checkpoint frame (kind 5): the
+// coordinator restores this blob from disk at startup, so a truncated or
+// corrupted checkpoint must produce a clean error — never a panic — and
+// anything that does decode must also survive RestoreCoordinator's
+// invariant checks and basic use.
+func FuzzUnmarshalCoordinator(f *testing.F) {
+	valid := seedCoordinatorBlob(f)
+	f.Add([]byte{})
+	f.Add([]byte("MRLQ"))
+	f.Add(valid)
+	for _, cut := range []int{1, len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	for _, flip := range []int{8, len(valid) / 3, len(valid) - 9} {
+		corrupt := append([]byte(nil), valid...)
+		corrupt[flip] ^= 0xff
+		f.Add(corrupt)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := UnmarshalCoordinator(data, Float64())
+		if err != nil {
+			return
+		}
+		coord, err := parallel.RestoreCoordinator(st)
+		if err != nil {
+			return
+		}
+		// A restored coordinator must function: keep merging and querying.
+		s, err := core.NewSketch[float64](core.Config{B: st.B, K: st.K, H: 2, Seed: 7})
+		if err != nil {
+			return
+		}
+		for i := 0; i < 50; i++ {
+			s.Add(float64(i))
+		}
+		if err := coord.Receive(parallel.Ship(s)); err != nil {
+			return
+		}
+		if _, err := coord.Query([]float64{0.5}); err != nil {
+			t.Fatalf("coordinator with %d elements cannot answer: %v", coord.Count(), err)
+		}
+	})
+}

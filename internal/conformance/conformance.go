@@ -1,0 +1,347 @@
+// Package conformance statistically validates the cluster's ε–δ guarantee
+// end to end: it drives many independently seeded deterministic simulations
+// (cluster/sim) per scenario — stream order × fault plan × ε — queries a
+// battery of φ values against the exact oracle after every run, and checks
+// that the observed per-query failure rate is consistent with the promised
+// δ via an exact binomial tail bound.
+//
+// The statistical reading. Each query is, by the paper's guarantee, a
+// Bernoulli trial failing (rank error beyond ε·N) with probability ≤ δ.
+// Treating the q queries of a scenario as independent, the probability of
+// seeing ≥ f failures is at most BinomialUpperTail(q, f, δ); a scenario
+// fails when that tail drops below Threshold, i.e. when the observed
+// failures would be astronomically surprising under an honest δ. Queries
+// within one trial share a sketch and are positively correlated, so the
+// independence reading is an approximation — but E[failures] ≤ q·δ holds
+// regardless (linearity needs no independence), and the tail threshold is
+// set so far out (default 1e-6) that only a systematic violation, not
+// correlation structure, can cross it. At the stream sizes used here the
+// algorithm has not yet reached its sampling onset, so the expected failure
+// count is in fact zero and any failure at all indicates a real defect;
+// the machinery still measures, rather than assumes, that outcome.
+//
+// Separately from the statistics, every trial asserts exact accounting:
+// the coordinator must end with precisely the number of elements fed,
+// whatever the fault plan dropped, duplicated, delayed or crashed —
+// a mismatch fails the scenario outright as an infrastructure error.
+package conformance
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/cluster/sim"
+	"repro/internal/exact"
+	"repro/internal/stream"
+	"repro/internal/xmath"
+)
+
+// Order is a named stream-order generator.
+type Order struct {
+	Name string
+	Gen  func(n, seed uint64) []float64
+}
+
+// DefaultOrders covers the arrival patterns the paper's analysis treats as
+// adversarial or typical: pre-sorted, reverse-sorted, random, heavy-tailed,
+// and duplicate-heavy (a tiny value domain, so rank windows span ties).
+func DefaultOrders() []Order {
+	return []Order{
+		{"sorted", func(n, seed uint64) []float64 { return stream.Collect(stream.Sorted(n)) }},
+		{"reversed", func(n, seed uint64) []float64 { return stream.Collect(stream.Reversed(n)) }},
+		{"random", func(n, seed uint64) []float64 { return stream.Collect(stream.Shuffled(n, seed)) }},
+		{"zipf", func(n, seed uint64) []float64 { return stream.Collect(stream.Zipf(n, seed, 1.2, 1<<20)) }},
+		{"dup-heavy", func(n, seed uint64) []float64 { return stream.Collect(stream.Zipf(n, seed, 1.1, 64)) }},
+	}
+}
+
+// Fault is a named network fault plan, optionally with a mid-run
+// coordinator crash + restart from checkpoint.
+type Fault struct {
+	Name         string
+	Plan         sim.FaultPlan
+	CrashRestart bool
+}
+
+// DefaultFaults exercises a clean network, a hostile one (drops,
+// duplicates, lost acks, reordering), and a coordinator crash/restart.
+func DefaultFaults() []Fault {
+	return []Fault{
+		{Name: "clean"},
+		{Name: "lossy", Plan: sim.FaultPlan{
+			DropProb: 0.20, DupProb: 0.10, LostAckProb: 0.10, DelayProb: 0.10, DelaySends: 2,
+		}},
+		{Name: "crash-restart", CrashRestart: true, Plan: sim.FaultPlan{
+			DropProb: 0.10, LostAckProb: 0.10,
+		}},
+	}
+}
+
+// Config parameterizes a conformance run. Zero values select the defaults
+// noted on each field; Defaults() in full builds the acceptance grid.
+type Config struct {
+	Eps    []float64 // guarantee ε values (default {0.01, 0.001})
+	Delta  float64   // guarantee δ (default 1e-3)
+	Trials int       // seeded trials per scenario (default 100)
+	N      int       // elements per trial (default 6000)
+
+	Workers int       // simulated workers per trial (default 3)
+	Cycles  int       // feed/ship interleavings per trial (default 3)
+	Phis    []float64 // quantiles queried per trial (default {0.01, 0.25, 0.5, 0.75, 0.99})
+
+	// Threshold is the binomial-tail alarm level: a scenario fails when
+	// Pr[failures ≥ observed | per-query rate δ] < Threshold (default 1e-6).
+	Threshold float64
+
+	// Seed derives every trial's simulation seed (default 1).
+	Seed uint64
+
+	// Parallelism bounds concurrently running trials (default GOMAXPROCS).
+	// Trials are deterministic per (scenario, index) seed, so results do
+	// not depend on scheduling.
+	Parallelism int
+
+	Orders []Order // stream orders (default DefaultOrders)
+	Faults []Fault // fault plans (default DefaultFaults)
+}
+
+func (cfg *Config) fillDefaults() {
+	if len(cfg.Eps) == 0 {
+		cfg.Eps = []float64{0.01, 0.001}
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 1e-3
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 100
+	}
+	if cfg.N <= 0 {
+		cfg.N = 6000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 3
+	}
+	if len(cfg.Phis) == 0 {
+		cfg.Phis = []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 1e-6
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if len(cfg.Orders) == 0 {
+		cfg.Orders = DefaultOrders()
+	}
+	if len(cfg.Faults) == 0 {
+		cfg.Faults = DefaultFaults()
+	}
+}
+
+// ScenarioResult is one cell of the grid: a stream order × fault plan × ε
+// combination across cfg.Trials seeded simulations.
+type ScenarioResult struct {
+	Order  string  `json:"order"`
+	Fault  string  `json:"fault"`
+	Eps    float64 `json:"eps"`
+	Trials int     `json:"trials"`
+
+	// Queries is Trials × len(Phis); Failures counts queries whose answer
+	// fell beyond ε·N ranks of the exact oracle's window.
+	Queries  int `json:"queries"`
+	Failures int `json:"failures"`
+
+	// MaxRankError is the worst excess (in ranks past the ε·N window) seen
+	// across every query of the scenario; 0 when all queries conformed.
+	MaxRankError int `json:"max_rank_error"`
+
+	// TailP is Pr[X ≥ Failures] for X ~ Binomial(Queries, δ): how
+	// surprising the observed failures are if the guarantee holds.
+	TailP float64 `json:"tail_p"`
+
+	// Errors lists infrastructure failures (count mismatch, drain stall);
+	// any entry fails the scenario regardless of statistics.
+	Errors []string `json:"errors,omitempty"`
+
+	Pass bool `json:"pass"`
+}
+
+// Report is the machine-readable output of a conformance run.
+type Report struct {
+	Delta     float64   `json:"delta"`
+	Trials    int       `json:"trials_per_scenario"`
+	N         int       `json:"n_per_trial"`
+	Workers   int       `json:"workers"`
+	Cycles    int       `json:"cycles"`
+	Phis      []float64 `json:"phis"`
+	Threshold float64   `json:"threshold"`
+	Seed      uint64    `json:"seed"`
+
+	Scenarios []ScenarioResult `json:"scenarios"`
+
+	TotalQueries  int  `json:"total_queries"`
+	TotalFailures int  `json:"total_failures"`
+	Pass          bool `json:"pass"`
+}
+
+// trialOutcome is what one simulation contributes to its scenario.
+type trialOutcome struct {
+	failures int
+	queries  int
+	maxErr   int
+	err      error
+}
+
+// Run executes the full grid and returns the report. The only error return
+// is infrastructure-level (temp dir creation); guarantee violations are
+// reported in the Report, not as an error.
+func Run(cfg Config) (Report, error) {
+	cfg.fillDefaults()
+	rep := Report{
+		Delta: cfg.Delta, Trials: cfg.Trials, N: cfg.N, Workers: cfg.Workers,
+		Cycles: cfg.Cycles, Phis: cfg.Phis, Threshold: cfg.Threshold, Seed: cfg.Seed,
+		Pass: true,
+	}
+	ckptDir, err := os.MkdirTemp("", "conformance-*")
+	if err != nil {
+		return Report{}, err
+	}
+	defer os.RemoveAll(ckptDir)
+
+	sem := make(chan struct{}, cfg.Parallelism)
+	for _, order := range cfg.Orders {
+		for _, fault := range cfg.Faults {
+			for _, eps := range cfg.Eps {
+				sc := ScenarioResult{Order: order.Name, Fault: fault.Name, Eps: eps, Trials: cfg.Trials}
+				outcomes := make([]trialOutcome, cfg.Trials)
+				var wg sync.WaitGroup
+				for i := 0; i < cfg.Trials; i++ {
+					wg.Add(1)
+					sem <- struct{}{}
+					go func(i int) {
+						defer wg.Done()
+						defer func() { <-sem }()
+						seed := trialSeed(cfg.Seed, order.Name, fault.Name, eps, i)
+						ckpt := ""
+						if fault.CrashRestart {
+							ckpt = filepath.Join(ckptDir, fmt.Sprintf("%s-%s-%g-%d.json", order.Name, fault.Name, eps, i))
+						}
+						outcomes[i] = runTrial(cfg, order, fault, eps, seed, ckpt)
+					}(i)
+				}
+				wg.Wait()
+				for _, out := range outcomes {
+					sc.Queries += out.queries
+					sc.Failures += out.failures
+					if out.maxErr > sc.MaxRankError {
+						sc.MaxRankError = out.maxErr
+					}
+					if out.err != nil {
+						sc.Errors = append(sc.Errors, out.err.Error())
+					}
+				}
+				sort.Strings(sc.Errors)
+				sc.TailP = xmath.BinomialUpperTail(sc.Queries, sc.Failures, cfg.Delta)
+				sc.Pass = len(sc.Errors) == 0 && sc.TailP >= cfg.Threshold
+				rep.TotalQueries += sc.Queries
+				rep.TotalFailures += sc.Failures
+				if !sc.Pass {
+					rep.Pass = false
+				}
+				rep.Scenarios = append(rep.Scenarios, sc)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// trialSeed derives a deterministic per-trial seed from the scenario
+// coordinates, so any single trial can be replayed in isolation.
+func trialSeed(base uint64, order, fault string, eps float64, trial int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%g|%d", base, order, fault, eps, trial)
+	return h.Sum64() | 1
+}
+
+// runTrial runs one seeded simulation and scores its queries against the
+// exact oracle.
+func runTrial(cfg Config, order Order, fault Fault, eps float64, seed uint64, ckpt string) trialOutcome {
+	data := order.Gen(uint64(cfg.N), seed)
+	cl, err := sim.New(sim.Config{
+		Eps:            eps,
+		Delta:          cfg.Delta,
+		Seed:           seed,
+		Workers:        cfg.Workers,
+		Faults:         fault.Plan,
+		CheckpointPath: ckpt,
+	})
+	if err != nil {
+		return trialOutcome{err: err}
+	}
+	// Crash after the first cycle's checkpoint, run one cycle against the
+	// outage (epochs park and retry), then restart from the checkpoint.
+	crashAfter, restartAfter := -1, -1
+	if fault.CrashRestart {
+		crashAfter, restartAfter = 0, 1
+	}
+	per := cfg.N / cfg.Cycles
+	for c := 0; c < cfg.Cycles; c++ {
+		lo, hi := c*per, (c+1)*per
+		if c == cfg.Cycles-1 {
+			hi = cfg.N
+		}
+		for i := lo; i < hi; i += 500 {
+			end := i + 500
+			if end > hi {
+				end = hi
+			}
+			cl.Feed((i/500)%cfg.Workers, data[i:end])
+		}
+		if err := cl.Cycle(); err != nil {
+			return trialOutcome{err: err}
+		}
+		if c == crashAfter {
+			if err := cl.Crash(); err != nil {
+				return trialOutcome{err: err}
+			}
+		}
+		if c == restartAfter {
+			if err := cl.Restart(); err != nil {
+				return trialOutcome{err: err}
+			}
+		}
+	}
+	if err := cl.Drain(100); err != nil {
+		return trialOutcome{err: err}
+	}
+	// Exact accounting first: every fed element counted exactly once.
+	if got := cl.Count(); got != uint64(cfg.N) {
+		return trialOutcome{err: fmt.Errorf("count %d after drain, fed %d", got, cfg.N)}
+	}
+	vals, err := cl.Quantiles(cfg.Phis)
+	if err != nil {
+		return trialOutcome{err: err}
+	}
+	var out trialOutcome
+	for i, phi := range cfg.Phis {
+		out.queries++
+		if e := exact.RankError(data, vals[i], phi, eps); e != 0 {
+			out.failures++
+			if e > out.maxErr {
+				out.maxErr = e
+			}
+		}
+	}
+	return out
+}

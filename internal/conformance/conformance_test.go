@@ -1,0 +1,147 @@
+package conformance
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/cluster/sim"
+	"repro/internal/exact"
+	"repro/internal/xmath"
+)
+
+// smallConfig is a quick grid for property tests: full order × fault
+// coverage, few trials.
+func smallConfig() Config {
+	return Config{
+		Eps:    []float64{0.02},
+		Trials: 4,
+		N:      2000,
+		Cycles: 2,
+		Seed:   7,
+	}
+}
+
+func TestRunSmallGridPasses(t *testing.T) {
+	rep, err := Run(smallConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Pass {
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		t.Fatalf("small grid failed conformance:\n%s", b)
+	}
+	wantScenarios := len(DefaultOrders()) * len(DefaultFaults())
+	if len(rep.Scenarios) != wantScenarios {
+		t.Fatalf("got %d scenarios, want %d", len(rep.Scenarios), wantScenarios)
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.Queries != sc.Trials*5 {
+			t.Errorf("%s/%s: %d queries for %d trials", sc.Order, sc.Fault, sc.Queries, sc.Trials)
+		}
+	}
+}
+
+// TestRunDeterministic: the whole report — every counter, every tail
+// probability — must replay identically from the same Config, regardless
+// of trial scheduling across goroutines.
+func TestRunDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Parallelism = 4 // deliberately racy scheduling; results must not care
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cfg.Parallelism = 1
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("reports differ across parallelism:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestTrialSeedsDistinct(t *testing.T) {
+	seen := make(map[uint64]string)
+	for _, order := range []string{"sorted", "random"} {
+		for _, fault := range []string{"clean", "lossy"} {
+			for _, eps := range []float64{0.01, 0.001} {
+				for i := 0; i < 50; i++ {
+					s := trialSeed(1, order, fault, eps, i)
+					key := order + fault
+					if prev, dup := seen[s]; dup {
+						t.Fatalf("seed collision between %q and %q", prev, key)
+					}
+					seen[s] = key
+				}
+			}
+		}
+	}
+}
+
+// TestDetectsBrokenGuarantee checks the harness has power: answers from a
+// coarse ε=0.05 sketch, judged against a near-exact window, must register
+// failures and trip the binomial alarm. A conformance harness that cannot
+// fail is not a test.
+func TestDetectsBrokenGuarantee(t *testing.T) {
+	const buildEps, judgeEps = 0.05, 1e-4
+	order := DefaultOrders()[2] // random
+	phis := []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+	var failures, queries int
+	for i := 0; i < 30; i++ {
+		seed := trialSeed(7, order.Name, "clean", buildEps, i)
+		data := order.Gen(2000, seed)
+		cl, err := sim.New(sim.Config{Eps: buildEps, Delta: 1e-3, Seed: seed, Workers: 3})
+		if err != nil {
+			t.Fatalf("sim.New: %v", err)
+		}
+		for j := 0; j < len(data); j += 500 {
+			cl.Feed((j/500)%3, data[j:j+500])
+		}
+		if err := cl.Drain(20); err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+		vals, err := cl.Quantiles(phis)
+		if err != nil {
+			t.Fatalf("Quantiles: %v", err)
+		}
+		for j, phi := range phis {
+			queries++
+			if exact.RankError(data, vals[j], phi, judgeEps) != 0 {
+				failures++
+			}
+		}
+	}
+	if failures == 0 {
+		t.Fatalf("judging eps=%g answers against eps=%g produced zero failures in %d queries; harness has no power", buildEps, judgeEps, queries)
+	}
+	if tail := xmath.BinomialUpperTail(queries, failures, 1e-3); tail >= 1e-6 {
+		t.Fatalf("binomial alarm did not trip: %d/%d failures, tail %g", failures, queries, tail)
+	}
+}
+
+// TestAcceptanceGrid runs the conformance grid from the issue's acceptance
+// criteria: ≥5 stream orders × ≥100 seeded trials per configuration with
+// ε ∈ {0.01, 0.001}, under fault injection including a coordinator
+// crash/restart, checking observed failures against δ with an exact
+// binomial tail bound. Short mode keeps the full scenario coverage but
+// downscales trials and stream length so the suite stays fast under -race.
+func TestAcceptanceGrid(t *testing.T) {
+	cfg := Config{Seed: 2026}
+	if testing.Short() {
+		cfg.Trials = 5
+		cfg.N = 2000
+		cfg.Cycles = 2
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Pass {
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		t.Fatalf("conformance grid failed:\n%s", b)
+	}
+	t.Logf("conformance: %d scenarios, %d queries, %d failures",
+		len(rep.Scenarios), rep.TotalQueries, rep.TotalFailures)
+}

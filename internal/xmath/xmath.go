@@ -117,6 +117,40 @@ func SteinSampleSize(phi, eps, delta float64) uint64 {
 	return uint64(math.Ceil(s))
 }
 
+// BinomialUpperTail returns Pr[X ≥ k] for X ~ Binomial(n, p), computed as
+// an exact log-space sum (no normal or Chernoff approximation), so it stays
+// accurate in the far tail where conformance testing lives: it answers "if
+// each trial really failed with probability ≤ p, how surprising are k
+// observed failures out of n?". A tiny result is evidence the true failure
+// rate exceeds p.
+func BinomialUpperTail(n, k int, p float64) float64 {
+	switch {
+	case n < 0 || math.IsNaN(p):
+		return math.NaN()
+	case k <= 0:
+		return 1
+	case k > n || p <= 0:
+		return 0
+	case p >= 1:
+		return 1
+	}
+	// Sum from the largest term downward for accuracy; terms of a binomial
+	// pmf past the mode decay geometrically, so the sum converges fast.
+	lp, lq := math.Log(p), math.Log1p(-p)
+	lgN, _ := math.Lgamma(float64(n + 1))
+	var sum float64
+	for i := k; i <= n; i++ {
+		lgI, _ := math.Lgamma(float64(i + 1))
+		lgNI, _ := math.Lgamma(float64(n - i + 1))
+		term := math.Exp(lgN - lgI - lgNI + float64(i)*lp + float64(n-i)*lq)
+		sum += term
+		if term < sum*1e-18 {
+			break
+		}
+	}
+	return math.Min(sum, 1)
+}
+
 // Binomial returns C(n, r) saturating at MaxCount on overflow. It returns 0
 // when r < 0 or r > n.
 func Binomial(n, r int) uint64 {

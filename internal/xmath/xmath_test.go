@@ -257,3 +257,91 @@ func TestMinMaxUint64(t *testing.T) {
 		t.Error("MaxUint64 wrong")
 	}
 }
+
+func TestBinomialUpperTailEdges(t *testing.T) {
+	cases := []struct {
+		n, k int
+		p    float64
+		want float64
+	}{
+		{10, 0, 0.3, 1},   // Pr[X >= 0] = 1
+		{10, -2, 0.3, 1},  // negative threshold: certain
+		{10, 11, 0.3, 0},  // beyond n: impossible
+		{10, 5, 0, 0},     // p=0: no successes ever
+		{10, 5, 1, 1},     // p=1: all successes
+		{0, 0, 0.5, 1},    // empty trial run
+	}
+	for _, c := range cases {
+		if got := BinomialUpperTail(c.n, c.k, c.p); got != c.want {
+			t.Errorf("BinomialUpperTail(%d, %d, %g) = %g, want %g", c.n, c.k, c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(BinomialUpperTail(-1, 0, 0.5)) {
+		t.Error("negative n should be NaN")
+	}
+	if !math.IsNaN(BinomialUpperTail(10, 3, math.NaN())) {
+		t.Error("NaN p should be NaN")
+	}
+}
+
+// TestBinomialUpperTailExactSmall cross-checks against a direct pmf sum for
+// small n where float64 arithmetic is trivially exact enough.
+func TestBinomialUpperTailExactSmall(t *testing.T) {
+	direct := func(n, k int, p float64) float64 {
+		var sum float64
+		for i := k; i <= n; i++ {
+			sum += float64(Binomial(n, i)) * math.Pow(p, float64(i)) * math.Pow(1-p, float64(n-i))
+		}
+		return sum
+	}
+	for _, n := range []int{1, 2, 5, 13, 30} {
+		for _, p := range []float64{0.01, 0.1, 0.5, 0.9} {
+			for k := 0; k <= n; k++ {
+				want := direct(n, k, p)
+				got := BinomialUpperTail(n, k, p)
+				if diff := math.Abs(got - want); diff > 1e-12*math.Max(want, 1e-300) && diff > 1e-15 {
+					t.Fatalf("n=%d k=%d p=%g: got %g want %g", n, k, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBinomialUpperTailFarTail checks the regime conformance uses: large n,
+// tiny p, k well past the mean. The exact log-space sum must not underflow
+// to zero where the true probability is ~1e-30.
+func TestBinomialUpperTailFarTail(t *testing.T) {
+	// n=10000, p=1e-3: mean 10. Pr[X >= 60] is astronomically small but
+	// positive, and must be monotone decreasing in k.
+	prev := 1.1
+	for _, k := range []int{0, 5, 10, 20, 40, 60} {
+		got := BinomialUpperTail(10000, k, 1e-3)
+		if got <= 0 || got > 1 {
+			t.Fatalf("k=%d: tail %g out of (0, 1]", k, got)
+		}
+		if got >= prev && k > 0 {
+			t.Fatalf("k=%d: tail %g not decreasing (prev %g)", k, got, prev)
+		}
+		prev = got
+	}
+	// Sanity anchor: Pr[X >= 1] = 1 - (1-p)^n.
+	want := 1 - math.Pow(1-1e-3, 10000)
+	if got := BinomialUpperTail(10000, 1, 1e-3); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Pr[X>=1] = %g, want %g", got, want)
+	}
+	// At the mean the tail is around 1/2, never minuscule.
+	if got := BinomialUpperTail(10000, 10, 1e-3); got < 0.3 || got > 0.8 {
+		t.Fatalf("Pr[X>=mean] = %g, expected near 0.5", got)
+	}
+}
+
+func TestBinomialUpperTailMonotoneInP(t *testing.T) {
+	prev := -1.0
+	for _, p := range []float64{1e-4, 1e-3, 1e-2, 0.1, 0.5} {
+		got := BinomialUpperTail(200, 7, p)
+		if got < prev {
+			t.Fatalf("tail not monotone in p: p=%g gave %g after %g", p, got, prev)
+		}
+		prev = got
+	}
+}
