@@ -12,6 +12,7 @@ package quantile
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/experiments"
@@ -265,6 +266,57 @@ func BenchmarkThroughputUnknownN(b *testing.B) {
 	}
 }
 
+// prefillToRate drives a sketch into the sampling regime until the next New
+// operation would sample at least at the given rate, so the benchmark body
+// measures the skip-sampling fast path rather than the rate-1 warmup.
+func prefillToRate(b *testing.B, s *Sketch[float64], data []float64, rate uint64) {
+	b.Helper()
+	for s.Stats().SamplingRate < rate {
+		s.AddAll(data)
+		if s.Count() > 1<<32 {
+			b.Fatalf("sketch never reached sampling rate %d", rate)
+		}
+	}
+}
+
+// BenchmarkAddAllBulk measures bulk ingest through AddAll with the sketch
+// already in the sampling regime (rate >= 8) — the tentpole fast path. The
+// ISSUE acceptance criterion is >= 2x over BenchmarkAddAllNaive here.
+func BenchmarkAddAllBulk(b *testing.B) {
+	data := benchData(1 << 16)
+	s, err := New[float64](0.01, 1e-3, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prefillToRate(b, s, data, 8)
+	b.SetBytes(8)
+	b.ResetTimer()
+	for n := b.N; n > 0; {
+		c := len(data)
+		if c > n {
+			c = n
+		}
+		s.AddAll(data[:c])
+		n -= c
+	}
+}
+
+// BenchmarkAddAllNaive is the per-element control for BenchmarkAddAllBulk:
+// the same stream, sketch state and sampling rate, fed through Add.
+func BenchmarkAddAllNaive(b *testing.B) {
+	data := benchData(1 << 16)
+	s, err := New[float64](0.01, 1e-3, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prefillToRate(b, s, data, 8)
+	b.SetBytes(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(data[i&(1<<16-1)])
+	}
+}
+
 // BenchmarkThroughputKnownN measures the MRL98 known-N sketch's Add.
 func BenchmarkThroughputKnownN(b *testing.B) {
 	data := benchData(1 << 20)
@@ -419,6 +471,44 @@ func BenchmarkConcurrentAdd(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkConcurrentAddAll measures chunked bulk ingest into the sharded
+// sketch at several goroutine counts; each goroutine feeds its own slice of
+// the stream through AddAll.
+func BenchmarkConcurrentAddAll(b *testing.B) {
+	data := benchData(1 << 16)
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			c, err := NewConcurrent[float64](0.01, 1e-3, 8, WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(8)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N / g
+			for w := 0; w < g; w++ {
+				n := per
+				if w == 0 {
+					n += b.N % g
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for n > 0 {
+						chunk := len(data)
+						if chunk > n {
+							chunk = n
+						}
+						c.AddAll(data[:chunk])
+						n -= chunk
+					}
+				}(n)
+			}
+			wg.Wait()
+		})
+	}
 }
 
 // BenchmarkHistogram measures equi-depth boundary extraction over a loaded

@@ -1,0 +1,62 @@
+package quantile
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// TestAddAllCheckpointIdentical is the end-to-end bulk-ingest property: a
+// per-element Add loop, one whole-slice AddAll, and a randomly chunked
+// AddAll must leave checkpoints that are byte-for-byte equal — including
+// after the stream has pushed the sketch deep into the sampling regime
+// (rate >= 8), where the skip-sampling fast path does the work.
+func TestAddAllCheckpointIdentical(t *testing.T) {
+	ec := Float64Codec()
+	for _, seed := range []uint64{1, 7, 12345} {
+		for _, n := range []uint64{100, 5_000, 300_000} {
+			data := stream.Collect(stream.Uniform(n, seed^0x51de))
+
+			checkpoint := func(feed func(s *Sketch[float64])) ([]byte, uint64) {
+				s, err := New[float64](0.05, 1e-3, WithSeed(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				feed(s)
+				blob, err := s.Checkpoint(ec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return blob, s.Stats().SamplingRate
+			}
+
+			scalar, _ := checkpoint(func(s *Sketch[float64]) {
+				for _, v := range data {
+					s.Add(v)
+				}
+			})
+			bulk, rate := checkpoint(func(s *Sketch[float64]) { s.AddAll(data) })
+			chunked, _ := checkpoint(func(s *Sketch[float64]) {
+				chunker := rng.New(seed ^ 0xc4)
+				rest := data
+				for len(rest) > 0 {
+					c := 1 + int(chunker.Uint64n(uint64(len(rest))))
+					s.AddAll(rest[:c])
+					rest = rest[c:]
+				}
+			})
+
+			if !bytes.Equal(scalar, bulk) {
+				t.Errorf("seed=%d n=%d: whole-slice AddAll checkpoint differs from Add loop", seed, n)
+			}
+			if !bytes.Equal(scalar, chunked) {
+				t.Errorf("seed=%d n=%d: chunked AddAll checkpoint differs from Add loop", seed, n)
+			}
+			if n == 300_000 && rate < 8 {
+				t.Errorf("seed=%d n=%d: sampling rate %d, want >= 8 (test must cover the skip-sampling regime)", seed, n, rate)
+			}
+		}
+	}
+}

@@ -10,23 +10,30 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/perf"
 )
 
 var experimentOrder = []string{
 	"table1", "table2", "fig4", "fig5", "trees",
 	"accuracy", "extreme", "parallel", "reservoir", "delta", "ablation", "throughput",
+	"perf",
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink stream sizes for a fast smoke run")
+	jsonPath := flag.String("json", "", "perf: write the E-PERF report as JSON to this file")
+	baselinePath := flag.String("baseline", "", "perf: compare against this baseline JSON and fail on regression")
+	tolerance := flag.Float64("tolerance", 0.25, "perf: allowed ns/elem regression fraction vs the baseline")
+	benchN := flag.Int("bench-n", 0, "perf: per-op stream size (0 selects the default; -quick shrinks it)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qbench [-quick] [experiment ...]\nexperiments: %v\n", experimentOrder)
+		fmt.Fprintf(os.Stderr, "usage: qbench [-quick] [-json file] [-baseline file] [-tolerance frac] [-bench-n n] [experiment ...]\nexperiments: %v\n", experimentOrder)
 	}
 	flag.Parse()
 
@@ -35,11 +42,62 @@ func main() {
 		names = experimentOrder
 	}
 	for _, name := range names {
-		if err := run(os.Stdout, name, *quick); err != nil {
+		var err error
+		if name == "perf" {
+			err = runPerf(os.Stdout, *quick, *benchN, *jsonPath, *baselinePath, *tolerance)
+		} else {
+			err = run(os.Stdout, name, *quick)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "qbench %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
+}
+
+// runPerf executes the E-PERF harness, optionally persisting the JSON
+// report and gating against a baseline (the CI bench-smoke job).
+func runPerf(w io.Writer, quick bool, benchN int, jsonPath, baselinePath string, tolerance float64) error {
+	cfg := perf.DefaultConfig()
+	if quick {
+		cfg.N = 1 << 17
+	}
+	if benchN > 0 {
+		cfg.N = benchN
+	}
+	rep, err := perf.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, rep.Render())
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(jsonPath, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	if baselinePath != "" {
+		blob, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		var base perf.Report
+		if err := json.Unmarshal(blob, &base); err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+		}
+		if violations := perf.Compare(rep, base, tolerance); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "qbench perf: REGRESSION: %s\n", v)
+			}
+			return fmt.Errorf("%d row(s) regressed vs %s", len(violations), baselinePath)
+		}
+		fmt.Fprintf(w, "bench gate: all rows within %d%% of %s\n", int(tolerance*100), baselinePath)
+	}
+	return nil
 }
 
 func run(w io.Writer, name string, quick bool) error {

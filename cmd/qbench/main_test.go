@@ -21,12 +21,21 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"delta":      "E-DELTA",
 		"ablation":   "E-ABL",
 		"throughput": "E-THR",
+		"perf":       "E-PERF",
 	}
 	for _, name := range experimentOrder {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			var out strings.Builder
-			if err := run(&out, name, true); err != nil {
+			var err error
+			if name == "perf" {
+				// perf has its own dispatcher; a tiny stream keeps the
+				// smoke run fast (1 rep is the self-timed minimum).
+				err = runPerf(&out, true, 1<<12, "", "", 0.25)
+			} else {
+				err = run(&out, name, true)
+			}
+			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
 			if want := wantTitle[name]; want == "" || !strings.Contains(out.String(), want) {

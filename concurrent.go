@@ -78,11 +78,42 @@ func (c *Concurrent[T]) Add(v T) {
 	sh.mu.Unlock()
 }
 
-// AddAll feeds a slice of elements.
+// addAllChunk is how many elements AddAll feeds per shard-lock
+// acquisition: large enough to amortize the lock and dispatch to the
+// bulk fill path, small enough that chunks from concurrent callers
+// interleave across shards.
+const addAllChunk = 2048
+
+// AddAll feeds a slice of elements. The slice is split into chunks and
+// each chunk is ingested under a single shard lock via the sketch's bulk
+// path, so the per-element cost is a fraction of calling Add in a loop.
 func (c *Concurrent[T]) AddAll(vs []T) {
-	for _, v := range vs {
-		c.Add(v)
+	for len(vs) > 0 {
+		n := len(vs)
+		if n > addAllChunk {
+			n = addAllChunk
+		}
+		c.addChunk(vs[:n])
+		vs = vs[n:]
 	}
+}
+
+// addChunk routes one chunk to a free shard, mirroring Add's TryLock scan.
+func (c *Concurrent[T]) addChunk(vs []T) {
+	start := c.ctr.Add(1)
+	n := uint64(len(c.shards))
+	for i := uint64(0); i < n; i++ {
+		sh := c.shards[(start+i)%n]
+		if sh.mu.TryLock() {
+			sh.sk.AddAll(vs)
+			sh.mu.Unlock()
+			return
+		}
+	}
+	sh := c.shards[start%n]
+	sh.mu.Lock()
+	sh.sk.AddAll(vs)
+	sh.mu.Unlock()
 }
 
 // Count returns the total number of elements consumed.

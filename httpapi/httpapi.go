@@ -92,10 +92,22 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	reader := ingest.Plain(body, ingest.Options{})
 	var added uint64
-	if err := reader.Drain(func(v float64) {
-		s.sketch.Add(v)
-		added++
-	}); err != nil {
+	// Batch parsed values and feed them through the sketch's bulk path —
+	// one shard-lock acquisition per batch instead of per value.
+	batch := make([]float64, 0, 4096)
+	flush := func() {
+		s.sketch.AddAll(batch)
+		added += uint64(len(batch))
+		batch = batch[:0]
+	}
+	err := reader.Drain(func(v float64) {
+		batch = append(batch, v)
+		if len(batch) == cap(batch) {
+			flush()
+		}
+	})
+	flush() // values parsed before an error are still accepted
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge,

@@ -106,18 +106,34 @@ func (b *Buffer[T]) FillFrom(pull func() (T, bool), r uint64, rg *rng.RNG) uint6
 	}
 }
 
-// Filler performs the New operation incrementally, one pushed element at a
-// time — the shape required by a streaming Add API where input arrives
-// push-style rather than pull-style. Within each block of r pushed elements
-// it retains a uniformly random one (reservoir-of-one, so the choice is
-// uniform even if the stream ends mid-block).
+// Filler performs the New operation incrementally — the shape required by a
+// streaming Add API where input arrives push-style rather than pull-style.
+// Within each block of r pushed elements it retains a uniformly random one.
+//
+// The retained position is drawn up front: at the first element of each
+// block the Filler draws a single target position uniform over [1, r]
+// (skip-sampling in the style of Vitter's reservoir Algorithm Z — one RNG
+// draw per accepted element instead of one coin flip per stream element).
+// Push latches the element at the target position as it streams past;
+// PushBulk skips straight to it by indexing, never touching the r−1
+// rejected elements of the block. Both paths draw random numbers at exactly
+// the block starts, so any mix of Push and PushBulk calls over the same
+// input yields byte-identical buffer and RNG state under the same seed.
+//
+// If the stream ends before the target position materializes, Finish keeps
+// the last element seen (the trailing incomplete block is absorbed by the
+// k′ terms the paper's analysis drops, exactly as before).
 type Filler[T cmp.Ordered] struct {
 	buf     *Buffer[T]
 	rate    uint64
 	inBlock uint64
-	keep    T
-	rg      *rng.RNG
-	done    bool
+	// target is the 1-based position within the current block whose element
+	// is kept; 0 when no block is underway. keep holds the element at
+	// position min(inBlock, target) — the latched candidate.
+	target uint64
+	keep   T
+	rg     *rng.RNG
+	done   bool
 }
 
 // StartFill begins a New operation on the given empty buffer with sampling
@@ -134,6 +150,32 @@ func StartFill[T cmp.Ordered](b *Buffer[T], r uint64, rg *rng.RNG) *Filler[T] {
 	return &Filler[T]{buf: b, rate: r, rg: rg}
 }
 
+// drawTarget picks the kept position of a fresh block, uniform over [1, r].
+// Rate 1 draws nothing: the single element of every block is the target.
+func (f *Filler[T]) drawTarget() uint64 {
+	if f.rate == 1 {
+		return 1
+	}
+	return 1 + f.rg.Uint64n(f.rate)
+}
+
+// commitBlock appends the latched candidate to the buffer and resets the
+// block state, returning true when the buffer has just become Full.
+func (f *Filler[T]) commitBlock() bool {
+	b := f.buf
+	b.Data[b.Fill] = f.keep
+	b.Fill++
+	f.inBlock = 0
+	f.target = 0
+	if b.Fill == len(b.Data) {
+		b.State = Full
+		slices.Sort(b.Data)
+		f.done = true
+		return true
+	}
+	return false
+}
+
 // Push feeds one input element. It returns true when the buffer has just
 // become Full (k complete blocks consumed); the Filler must not be used
 // afterwards.
@@ -141,32 +183,84 @@ func (f *Filler[T]) Push(v T) bool {
 	if f.done {
 		panic("buffer: Push after fill completed")
 	}
+	if f.inBlock == 0 {
+		f.target = f.drawTarget()
+	}
 	f.inBlock++
-	// Keep the j-th element of the block with probability 1/j so the kept
-	// element is uniform over however much of the block materializes.
-	if f.inBlock == 1 || f.rg.Uint64n(f.inBlock) == 0 {
+	if f.inBlock <= f.target {
 		f.keep = v
 	}
 	if f.inBlock < f.rate {
 		return false
 	}
-	f.buf.Data[f.buf.Fill] = f.keep
-	f.buf.Fill++
-	f.inBlock = 0
-	if f.buf.Fill == len(f.buf.Data) {
-		f.buf.State = Full
-		slices.Sort(f.buf.Data)
-		f.done = true
-		return true
+	return f.commitBlock()
+}
+
+// PushBulk feeds a batch of input elements, consuming from vs until the
+// buffer becomes Full or vs is exhausted. It returns how many elements were
+// consumed and whether the buffer has just become Full (in which case the
+// Filler must not be used afterwards, and the caller owns the rest of vs).
+//
+// This is the batched fast path: at rate 1 the input is slab-copied with
+// copy; at rate r each whole block costs one RNG draw and one indexed load,
+// skipping the r−1 rejected elements entirely. The draw schedule is
+// identical to Push's, so mixing the two paths preserves byte-identical
+// state under a fixed seed.
+func (f *Filler[T]) PushBulk(vs []T) (consumed int, full bool) {
+	if f.done {
+		panic("buffer: PushBulk after fill completed")
 	}
-	return false
+	b := f.buf
+	if f.rate == 1 {
+		m := copy(b.Data[b.Fill:], vs)
+		b.Fill += m
+		if b.Fill == len(b.Data) {
+			b.State = Full
+			slices.Sort(b.Data)
+			f.done = true
+			return m, true
+		}
+		return m, false
+	}
+	i, n := 0, len(vs)
+	for i < n {
+		if f.inBlock == 0 {
+			f.target = f.drawTarget()
+		}
+		need := f.rate - f.inBlock // elements left to complete the block
+		avail := uint64(n - i)
+		if avail < need {
+			// The block does not complete within vs: advance the candidate
+			// to position min(inBlock+avail, target) and carry the state.
+			if f.inBlock < f.target {
+				off := f.target - f.inBlock // 1-based offset into vs[i:]
+				if off > avail {
+					off = avail
+				}
+				f.keep = vs[i+int(off)-1]
+			}
+			f.inBlock += avail
+			return n, false
+		}
+		// The block completes inside vs: the kept element sits at the target
+		// position (already latched if the block began in an earlier call).
+		if f.inBlock < f.target {
+			f.keep = vs[i+int(f.target-f.inBlock)-1]
+		}
+		i += int(need)
+		if f.commitBlock() {
+			return i, true
+		}
+	}
+	return i, false
 }
 
 // Finish finalizes a fill whose input ran dry: a trailing incomplete block
-// contributes its kept element (at full weight r — the paper's analysis
-// absorbs this in the k′ terms it drops), and the buffer is marked Partial
-// (or Full if the last block happened to complete the buffer). Finish is
-// idempotent.
+// contributes its latched candidate (at full weight r — the paper's
+// analysis absorbs this in the k′ terms it drops), and the buffer is marked
+// Partial (or Full if the last block happened to complete the buffer).
+// When the incomplete block ended before its target position, the candidate
+// is the block's last element. Finish is idempotent.
 func (f *Filler[T]) Finish() {
 	if f.done {
 		return
@@ -187,10 +281,11 @@ func (f *Filler[T]) Finish() {
 }
 
 // Progress returns the fill's mid-block state for checkpointing: how many
-// elements of the current block have been consumed and the candidate kept
-// so far (meaningful only when inBlock > 0).
-func (f *Filler[T]) Progress() (inBlock uint64, keep T) {
-	return f.inBlock, f.keep
+// elements of the current block have been consumed, the block's drawn
+// target position, and the candidate latched so far (target and keep are
+// meaningful only when inBlock > 0).
+func (f *Filler[T]) Progress() (inBlock, target uint64, keep T) {
+	return f.inBlock, f.target, f.keep
 }
 
 // Rate returns the fill's sampling rate.
@@ -199,7 +294,7 @@ func (f *Filler[T]) Rate() uint64 { return f.rate }
 // ResumeFill reconstructs a Filler from checkpointed state: a buffer that
 // was mid-fill (Empty state, Weight = rate, Fill elements committed) plus
 // the in-block progress from Progress.
-func ResumeFill[T cmp.Ordered](b *Buffer[T], inBlock uint64, keep T, rg *rng.RNG) *Filler[T] {
+func ResumeFill[T cmp.Ordered](b *Buffer[T], inBlock, target uint64, keep T, rg *rng.RNG) *Filler[T] {
 	if b.State != Empty {
 		panic("buffer: ResumeFill on a finalized buffer")
 	}
@@ -209,7 +304,13 @@ func ResumeFill[T cmp.Ordered](b *Buffer[T], inBlock uint64, keep T, rg *rng.RNG
 	if inBlock >= b.Weight {
 		panic("buffer: ResumeFill in-block progress exceeds the rate")
 	}
-	return &Filler[T]{buf: b, rate: b.Weight, inBlock: inBlock, keep: keep, rg: rg}
+	if inBlock > 0 && (target == 0 || target > b.Weight) {
+		panic("buffer: ResumeFill target outside the block")
+	}
+	if inBlock == 0 && target != 0 {
+		panic("buffer: ResumeFill target without in-block progress")
+	}
+	return &Filler[T]{buf: b, rate: b.Weight, inBlock: inBlock, target: target, keep: keep, rg: rg}
 }
 
 // Pending reports how many elements the underlying buffer currently holds,
@@ -263,7 +364,13 @@ func (c *cursor[T]) weight() uint64 { return c.buf.Weight }
 // index range [lo, hi] (1-based, inclusive) that its copies occupy. emit
 // returns false to stop early.
 func mergeWalk[T cmp.Ordered](bufs []*Buffer[T], emit func(v T, lo, hi uint64) bool) {
-	cursors := make([]cursor[T], 0, len(bufs))
+	// Small inputs (every real layout) walk from a stack-allocated cursor
+	// array so anytime queries do not allocate per call.
+	var stack [16]cursor[T]
+	cursors := stack[:0]
+	if len(bufs) > len(stack) {
+		cursors = make([]cursor[T], 0, len(bufs))
+	}
 	for _, b := range bufs {
 		if b.Fill > 0 {
 			cursors = append(cursors, cursor[T]{buf: b})
@@ -306,6 +413,23 @@ type Collapser[T cmp.Ordered] struct {
 	// tests that check the tree constraints.
 	Collapses uint64
 	WeightSum uint64
+
+	// Pooled tournament-merge storage, grown once and reused by every
+	// collapse so the hot path performs no per-collapse allocation.
+	cursors []cursor[T]
+	nodes   []int
+
+	// sortBaseline switches Collapse to the materialize-and-sort reference
+	// implementation. Test-only: benchmarks compare the merge against it and
+	// correctness tests cross-check the two.
+	sortBaseline bool
+	sortScratch  []weighted[T]
+}
+
+// weighted is one element of the materialized baseline's working set.
+type weighted[T cmp.Ordered] struct {
+	v T
+	w uint64
 }
 
 // NewCollapser returns a Collapser for buffers of capacity k.
@@ -369,7 +493,7 @@ func (c *Collapser[T]) Collapse(bufs []*Buffer[T], dst *Buffer[T]) {
 
 	out := c.scratch[:0]
 	target := first
-	mergeWalk(bufs, func(v T, lo, hi uint64) bool {
+	emit := func(v T, lo, hi uint64) bool {
 		for target >= lo && target <= hi {
 			out = append(out, v)
 			if len(out) == k {
@@ -378,7 +502,12 @@ func (c *Collapser[T]) Collapse(bufs []*Buffer[T], dst *Buffer[T]) {
 			target += wOut
 		}
 		return true
-	})
+	}
+	if c.sortBaseline {
+		c.sortWalk(bufs, emit)
+	} else {
+		c.tournamentWalk(bufs, emit)
+	}
 	if len(out) != k {
 		// Unreachable for full inputs: the weighted sequence has k·wOut
 		// elements and targets fit inside it.
@@ -397,6 +526,93 @@ func (c *Collapser[T]) Collapse(bufs []*Buffer[T], dst *Buffer[T]) {
 
 	c.Collapses++
 	c.WeightSum += wOut
+}
+
+// tournamentWalk is the Collapse-side weighted merge: a loser-tree-style
+// tournament over the sorted input runs, costing O(log b) comparisons per
+// emitted element instead of mergeWalk's O(b) linear scan, with all working
+// storage pooled on the Collapser. Emission order (and tie-breaking by
+// input index) matches mergeWalk exactly.
+func (c *Collapser[T]) tournamentWalk(bufs []*Buffer[T], emit func(v T, lo, hi uint64) bool) {
+	cur := c.cursors[:0]
+	for _, b := range bufs {
+		if b.Fill > 0 {
+			cur = append(cur, cursor[T]{buf: b})
+		}
+	}
+	c.cursors = cur // retain grown storage
+	m := len(cur)
+	if m == 0 {
+		return
+	}
+	// t[m..2m-1] are the leaves (leaf m+i is cursor i); t[j] for j in [1, m)
+	// is the winner of the match between t[2j] and t[2j+1]; t[1] is the
+	// overall winner. An exhausted cursor loses every match; ties go to the
+	// lower cursor index, matching mergeWalk's strict-< scan.
+	if cap(c.nodes) < 2*m {
+		c.nodes = make([]int, 2*m)
+	}
+	t := c.nodes[:2*m]
+	play := func(a, b int) int {
+		switch {
+		case cur[b].done():
+			return a
+		case cur[a].done():
+			return b
+		case cur[b].head() < cur[a].head():
+			return b
+		default:
+			return a
+		}
+	}
+	for i := 0; i < m; i++ {
+		t[m+i] = i
+	}
+	for j := m - 1; j >= 1; j-- {
+		t[j] = play(t[2*j], t[2*j+1])
+	}
+	var cum uint64
+	for {
+		w := t[1]
+		cr := &cur[w]
+		if cr.done() {
+			return
+		}
+		wt := cr.weight()
+		if !emit(cr.head(), cum+1, cum+wt) {
+			return
+		}
+		cum += wt
+		cr.pos++
+		// Replay the matches from w's leaf up to the root.
+		for j := (m + w) / 2; j >= 1; j /= 2 {
+			t[j] = play(t[2*j], t[2*j+1])
+		}
+	}
+}
+
+// sortWalk is the pre-merge reference implementation of the Collapse walk:
+// materialize every (element, weight) pair, sort, and scan. Kept (behind
+// the Collapser's test-only sortBaseline flag) so benchmarks can quantify
+// the tournament merge and tests can cross-check it.
+func (c *Collapser[T]) sortWalk(bufs []*Buffer[T], emit func(v T, lo, hi uint64) bool) {
+	pairs := c.sortScratch[:0]
+	for _, b := range bufs {
+		for _, v := range b.Elements() {
+			pairs = append(pairs, weighted[T]{v: v, w: b.Weight})
+		}
+	}
+	c.sortScratch = pairs
+	slices.SortStableFunc(pairs, func(a, b weighted[T]) int {
+		return cmp.Compare(a.v, b.v)
+	})
+	var cum uint64
+	for _, p := range pairs {
+		if !emit(p.v, cum+1, cum+p.w) {
+			return
+		}
+		cum += p.w
+	}
 }
 
 // TotalWeightedCount returns Σ Fill·Weight over the buffers: the weighted

@@ -1,0 +1,317 @@
+package buffer
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/xmath"
+)
+
+// TestPushBulkMatchesPush is the bulk-path equivalence property at the
+// buffer layer: for every rate and seed, feeding a stream through PushBulk
+// in arbitrary chunkings yields exactly the buffer contents, fill progress
+// and RNG state of the per-element Push loop.
+func TestPushBulkMatchesPush(t *testing.T) {
+	const k = 64
+	for _, rate := range []uint64{1, 2, 3, 7, 8, 64} {
+		for _, seed := range []uint64{1, 2, 99} {
+			// A stream long enough to leave a trailing incomplete block.
+			n := int(rate)*k + int(rate)/2 + 1
+			stream := make([]int, n)
+			sr := rng.New(seed ^ 0xdead)
+			for i := range stream {
+				stream[i] = int(sr.Uint64n(1000))
+			}
+
+			// Reference: per-element Push.
+			refBuf := New[int](k)
+			refRG := rng.New(seed)
+			ref := StartFill(refBuf, rate, refRG)
+			refConsumed := 0
+			for _, v := range stream {
+				refConsumed++
+				if ref.Push(v) {
+					break
+				}
+			}
+
+			// Bulk: random chunk sizes, interleaving a few scalar pushes.
+			chunker := rng.New(seed ^ 0xbeef)
+			gotBuf := New[int](k)
+			gotRG := rng.New(seed)
+			got := StartFill(gotBuf, rate, gotRG)
+			gotConsumed, rest := 0, stream
+			for len(rest) > 0 && gotConsumed < refConsumed {
+				if chunker.Uint64n(4) == 0 {
+					gotConsumed++
+					if got.Push(rest[0]) {
+						break
+					}
+					rest = rest[1:]
+					continue
+				}
+				c := 1 + int(chunker.Uint64n(uint64(len(rest))))
+				m, full := got.PushBulk(rest[:c])
+				gotConsumed += m
+				rest = rest[m:]
+				if full {
+					break
+				}
+			}
+
+			name := fmt.Sprintf("rate=%d seed=%d", rate, seed)
+			if gotConsumed != refConsumed {
+				t.Fatalf("%s: bulk consumed %d, scalar %d", name, gotConsumed, refConsumed)
+			}
+			if refBuf.State != gotBuf.State || refBuf.Fill != gotBuf.Fill {
+				t.Fatalf("%s: state/fill mismatch: scalar %v/%d, bulk %v/%d",
+					name, refBuf.State, refBuf.Fill, gotBuf.State, gotBuf.Fill)
+			}
+			for i := 0; i < refBuf.Fill; i++ {
+				if refBuf.Data[i] != gotBuf.Data[i] {
+					t.Fatalf("%s: element %d: scalar %d, bulk %d", name, i, refBuf.Data[i], gotBuf.Data[i])
+				}
+			}
+			if refRG.State() != gotRG.State() {
+				t.Fatalf("%s: RNG states diverged", name)
+			}
+			ri, rt, rk := ref.Progress()
+			gi, gt, gk := got.Progress()
+			// keep is only meaningful while a block is underway; the slab-copy
+			// path legitimately leaves it untouched between blocks.
+			if ri != gi || rt != gt || (ri > 0 && rk != gk) {
+				t.Fatalf("%s: progress mismatch: scalar (%d,%d,%d), bulk (%d,%d,%d)",
+					name, ri, rt, rk, gi, gt, gk)
+			}
+		}
+	}
+}
+
+// TestPushBulkTrailingBlock pins the carry semantics across chunk
+// boundaries: a block split over several PushBulk calls latches the same
+// candidate Push would.
+func TestPushBulkTrailingBlock(t *testing.T) {
+	const k, rate = 4, 8
+	for split := 1; split < rate; split++ {
+		a := New[int](k)
+		fa := StartFill(a, rate, rng.New(5))
+		b := New[int](k)
+		fb := StartFill(b, rate, rng.New(5))
+		stream := make([]int, rate*k)
+		for i := range stream {
+			stream[i] = i
+		}
+		for _, v := range stream {
+			fa.Push(v)
+		}
+		rest := stream
+		for len(rest) > 0 {
+			c := split
+			if c > len(rest) {
+				c = len(rest)
+			}
+			m, _ := fb.PushBulk(rest[:c])
+			rest = rest[m:]
+		}
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("split=%d: element %d: scalar %d, bulk %d", split, i, a.Data[i], b.Data[i])
+			}
+		}
+	}
+}
+
+// TestSkipSamplingBinomial is the statistical acceptance check: with the
+// pre-drawn-target schedule, the element accepted from each block is
+// uniform over the block's r positions, so over M blocks the count of
+// acceptances at any fixed position is Binomial(M, 1/r). Both tails are
+// required to be unremarkable at a once-in-10⁹ level (seeded, so stable).
+func TestSkipSamplingBinomial(t *testing.T) {
+	const blocks = 2000
+	const tailFloor = 1e-9
+	for _, r := range []uint64{2, 8, 64} {
+		for _, push := range []string{"scalar", "bulk"} {
+			buf := New[int](blocks)
+			f := StartFill(buf, r, rng.New(31337*r))
+			stream := make([]int, int(r)*blocks)
+			for i := range stream {
+				stream[i] = i
+			}
+			if push == "scalar" {
+				for _, v := range stream {
+					f.Push(v)
+				}
+			} else {
+				rest := stream
+				for len(rest) > 0 {
+					m, full := f.PushBulk(rest)
+					rest = rest[m:]
+					if full {
+						break
+					}
+				}
+			}
+			if buf.State != Full {
+				t.Fatalf("r=%d %s: buffer not full", r, push)
+			}
+			counts := make([]int, r)
+			for _, v := range buf.Elements() {
+				counts[uint64(v)%r]++
+			}
+			p := 1 / float64(r)
+			for pos, c := range counts {
+				upper := xmath.BinomialUpperTail(blocks, c, p)
+				lower := 1 - xmath.BinomialUpperTail(blocks, c+1, p)
+				if upper < tailFloor || lower < tailFloor {
+					t.Errorf("r=%d %s: position %d accepted %d/%d times (upper tail %.3g, lower tail %.3g)",
+						r, push, pos, c, blocks, upper, lower)
+				}
+			}
+		}
+	}
+}
+
+// TestCollapseTournamentMatchesSort cross-checks the tournament merge
+// against the materialize-and-sort reference walk on identical inputs,
+// including duplicate values across buffers and even-weight parity state.
+func TestCollapseTournamentMatchesSort(t *testing.T) {
+	const k = 32
+	for trial := 0; trial < 50; trial++ {
+		seed := uint64(trial + 1)
+		gen := rng.New(seed)
+		nBufs := 2 + int(gen.Uint64n(5))
+		build := func() ([]*Buffer[int], *Buffer[int]) {
+			g := rng.New(seed) // same buffers for both arms
+			g.Uint64n(5)      // mirror the nBufs draw
+			bufs := make([]*Buffer[int], nBufs)
+			for i := range bufs {
+				b := New[int](k)
+				for j := 0; j < k; j++ {
+					b.Data[j] = int(g.Uint64n(40)) // heavy duplication
+				}
+				insertSortInts(b.Data)
+				b.Fill = k
+				b.Weight = uint64(1) << g.Uint64n(4)
+				b.State = Full
+				bufs[i] = b
+			}
+			return bufs, bufs[int(g.Uint64n(uint64(nBufs)))]
+		}
+
+		mergeBufs, mergeDst := build()
+		sortBufs, sortDst := build()
+
+		cm := NewCollapser[int](k)
+		cs := NewCollapser[int](k)
+		cs.sortBaseline = true
+		// Exercise both parity branches.
+		if trial%2 == 1 {
+			cm.evenLow = false
+			cs.evenLow = false
+		}
+		cm.Collapse(mergeBufs, mergeDst)
+		cs.Collapse(sortBufs, sortDst)
+
+		if mergeDst.Weight != sortDst.Weight || mergeDst.Fill != sortDst.Fill {
+			t.Fatalf("trial %d: weight/fill mismatch", trial)
+		}
+		for i := 0; i < k; i++ {
+			if mergeDst.Data[i] != sortDst.Data[i] {
+				t.Fatalf("trial %d: element %d: merge %d, sort %d",
+					trial, i, mergeDst.Data[i], sortDst.Data[i])
+			}
+		}
+		if cm.evenLow != cs.evenLow {
+			t.Fatalf("trial %d: parity diverged", trial)
+		}
+	}
+}
+
+func insertSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// collapseBench times Collapse with either walk; each iteration re-fills
+// the input buffers from a pristine copy (the refill cost is identical in
+// both arms).
+func collapseBench(b *testing.B, sortBaseline bool, nBufs, k int) {
+	gen := rng.New(42)
+	pristine := make([][]int, nBufs)
+	weights := make([]uint64, nBufs)
+	for i := range pristine {
+		data := make([]int, k)
+		for j := range data {
+			data[j] = int(gen.Uint64n(1 << 30))
+		}
+		insertSortInts(data)
+		pristine[i] = data
+		weights[i] = uint64(1) << gen.Uint64n(4)
+	}
+	bufs := make([]*Buffer[int], nBufs)
+	for i := range bufs {
+		bufs[i] = New[int](k)
+	}
+	c := NewCollapser[int](k)
+	c.sortBaseline = sortBaseline
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, buf := range bufs {
+			copy(buf.Data, pristine[j])
+			buf.Fill = k
+			buf.Weight = weights[j]
+			buf.State = Full
+		}
+		c.Collapse(bufs, bufs[0])
+	}
+}
+
+func BenchmarkCollapseMerge(b *testing.B) { collapseBench(b, false, 6, 1024) }
+func BenchmarkCollapseSort(b *testing.B)  { collapseBench(b, true, 6, 1024) }
+
+// fillerBench times a complete buffer fill at the given rate through
+// either path.
+func fillerBench(b *testing.B, bulk bool, rate uint64) {
+	const k = 1024
+	n := int(rate) * k
+	stream := make([]float64, n)
+	gen := rng.New(7)
+	for i := range stream {
+		stream[i] = float64(gen.Uint64n(1 << 40))
+	}
+	buf := New[float64](k)
+	rg := rng.New(1)
+	b.SetBytes(int64(n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Clear()
+		f := StartFill(buf, rate, rg)
+		if bulk {
+			rest := stream
+			for len(rest) > 0 {
+				m, full := f.PushBulk(rest)
+				rest = rest[m:]
+				if full {
+					break
+				}
+			}
+		} else {
+			for _, v := range stream {
+				if f.Push(v) {
+					break
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFillScalarRate1(b *testing.B)  { fillerBench(b, false, 1) }
+func BenchmarkFillBulkRate1(b *testing.B)    { fillerBench(b, true, 1) }
+func BenchmarkFillScalarRate8(b *testing.B)  { fillerBench(b, false, 8) }
+func BenchmarkFillBulkRate8(b *testing.B)    { fillerBench(b, true, 8) }
+func BenchmarkFillScalarRate64(b *testing.B) { fillerBench(b, false, 64) }
+func BenchmarkFillBulkRate64(b *testing.B)   { fillerBench(b, true, 64) }

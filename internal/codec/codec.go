@@ -27,8 +27,47 @@ type Element[T any] interface {
 	Name() string
 }
 
+// Bulk is an optional extension of Element for codecs that can move whole
+// element slices per call (typically fixed-width representations). The
+// encoders use it when available so buffer payloads are marshalled without
+// per-element interface dispatch; the wire format is unchanged.
+type Bulk[T any] interface {
+	Element[T]
+	// AppendBulk encodes every element of vs onto dst.
+	AppendBulk(dst []byte, vs []T) []byte
+	// DecodeBulk fills dst with len(dst) decoded values, returning the
+	// remaining bytes.
+	DecodeBulk(src []byte, dst []T) (rest []byte, err error)
+}
+
+// appendElems encodes vs onto dst via the bulk path when ec supports it.
+func appendElems[T any](dst []byte, ec Element[T], vs []T) []byte {
+	if bc, ok := ec.(Bulk[T]); ok {
+		return bc.AppendBulk(dst, vs)
+	}
+	for _, v := range vs {
+		dst = ec.Append(dst, v)
+	}
+	return dst
+}
+
+// decodeElems fills dst with len(dst) values from src via the bulk path
+// when ec supports it.
+func decodeElems[T any](src []byte, ec Element[T], dst []T) ([]byte, error) {
+	if bc, ok := ec.(Bulk[T]); ok {
+		return bc.DecodeBulk(src, dst)
+	}
+	var err error
+	for i := range dst {
+		if dst[i], src, err = ec.Decode(src); err != nil {
+			return nil, err
+		}
+	}
+	return src, nil
+}
+
 // Float64 returns the codec for float64 elements (fixed 8-byte IEEE 754,
-// little endian).
+// little endian). It implements Bulk.
 func Float64() Element[float64] { return float64Codec{} }
 
 type float64Codec struct{}
@@ -44,6 +83,26 @@ func (float64Codec) Decode(src []byte) (float64, []byte, error) {
 		return 0, nil, fmt.Errorf("codec: short float64")
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(src)), src[8:], nil
+}
+
+func (float64Codec) AppendBulk(dst []byte, vs []float64) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, 8*len(vs))...)
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(dst[off+8*i:], math.Float64bits(v))
+	}
+	return dst
+}
+
+func (float64Codec) DecodeBulk(src []byte, dst []float64) ([]byte, error) {
+	n := 8 * len(dst)
+	if len(src) < n {
+		return nil, fmt.Errorf("codec: short float64 block")
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return src[n:], nil
 }
 
 // Int64 returns the codec for int64 elements (zig-zag varint).
@@ -236,7 +295,10 @@ func unframe(data []byte, wantKind byte, wantCodec string) ([]byte, error) {
 	return r.buf, nil
 }
 
-const version = 1
+// version 2 added FillState.Target (the pre-drawn in-block keep position
+// introduced with skip-sampling); version-1 blobs are rejected rather than
+// silently misread.
+const version = 2
 
 var magic = []byte("MRLQ")
 

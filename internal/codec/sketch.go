@@ -125,9 +125,7 @@ func MarshalShipment[T cmp.Ordered](sh parallel.Shipment[T], ec Element[T]) ([]b
 		w.uvarint(b.Weight)
 		w.byte(uint8(b.State))
 		w.uvarint(uint64(b.Fill))
-		for _, v := range b.Elements() {
-			w.buf = ec.Append(w.buf, v)
-		}
+		w.buf = appendElems(w.buf, ec, b.Elements())
 	}
 	appendBuf(sh.Full)
 	appendBuf(sh.Partial)
@@ -176,12 +174,8 @@ func UnmarshalShipment[T cmp.Ordered](data []byte, ec Element[T]) (parallel.Ship
 		if fill > k {
 			return nil, fmt.Errorf("fill %d exceeds capacity %d", fill, k)
 		}
-		for j := uint64(0); j < fill; j++ {
-			var v T
-			if v, r.buf, err = ec.Decode(r.buf); err != nil {
-				return nil, err
-			}
-			b.Data[j] = v
+		if r.buf, err = decodeElems(r.buf, ec, b.Data[:fill]); err != nil {
+			return nil, err
 		}
 		b.Fill = int(fill)
 		return b, nil

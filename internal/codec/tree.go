@@ -20,9 +20,7 @@ func encodeTreeState[T cmp.Ordered](w *writer, st core.TreeState[T], ec Element[
 		w.varint(int64(b.Level))
 		w.byte(b.State)
 		w.uvarint(uint64(len(b.Data)))
-		for _, v := range b.Data {
-			w.buf = ec.Append(w.buf, v)
-		}
+		w.buf = appendElems(w.buf, ec, b.Data)
 	}
 }
 
@@ -75,12 +73,11 @@ func decodeTreeState[T cmp.Ordered](r *reader, k int, ec Element[T]) (core.TreeS
 		if fill > uint64(k) {
 			return st, fmt.Errorf("buffer fill %d exceeds k=%d", fill, k)
 		}
-		for j := uint64(0); j < fill; j++ {
-			var v T
-			if v, r.buf, err = ec.Decode(r.buf); err != nil {
+		if fill > 0 {
+			bs.Data = make([]T, fill)
+			if r.buf, err = decodeElems(r.buf, ec, bs.Data); err != nil {
 				return st, err
 			}
-			bs.Data = append(bs.Data, v)
 		}
 		st.Buffers = append(st.Buffers, bs)
 	}
@@ -95,6 +92,7 @@ func encodeFillState[T cmp.Ordered](w *writer, fs *core.FillState[T], ec Element
 	}
 	w.uvarint(uint64(fs.BufferIndex))
 	w.uvarint(fs.InBlock)
+	w.uvarint(fs.Target)
 	w.bool(fs.HasKeep)
 	if fs.HasKeep {
 		w.buf = ec.Append(w.buf, fs.Keep)
@@ -114,6 +112,9 @@ func decodeFillState[T cmp.Ordered](r *reader, ec Element[T]) (*core.FillState[T
 	}
 	fs.BufferIndex = int(u)
 	if fs.InBlock, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if fs.Target, err = r.uvarint(); err != nil {
 		return nil, err
 	}
 	if fs.HasKeep, err = r.bool(); err != nil {

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestQueryAllocsMidFill pins the anytime-query allocation budget: after the
+// pooled scratch (snapshot buffer + output set) is warm, a repeated Query on
+// a sketch with an in-flight fill allocates only Output's two result slices.
+func TestQueryAllocsMidFill(t *testing.T) {
+	s, err := NewSketch[float64](Config{B: 5, K: 64, H: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough elements to build tree structure and land mid-fill.
+	n := 5*64 + 17
+	for i := 0; i < n; i++ {
+		s.Add(float64(i % 257))
+	}
+	if s.fill == nil || s.fill.Pending() == 0 {
+		t.Fatal("test setup: expected an in-flight fill with pending elements")
+	}
+	phis := []float64{0.1, 0.5, 0.9}
+	if _, err := s.Query(phis); err != nil { // warm the pools
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.Query(phis); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Output allocates its reqs and out slices; everything else is pooled.
+	if allocs > 3 {
+		t.Fatalf("mid-fill Query allocates %.0f objects per run, want <= 3", allocs)
+	}
+}
+
+// TestCDFAllocsMidFill is the same budget for the CDF probe, which has no
+// per-call result slice at all.
+func TestCDFAllocsMidFill(t *testing.T) {
+	s, err := NewSketch[float64](Config{B: 5, K: 64, H: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 5*64 + 17
+	for i := 0; i < n; i++ {
+		s.Add(float64(i % 257))
+	}
+	if _, err := s.CDF(128); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.CDF(128); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("mid-fill CDF allocates %.0f objects per run, want 0", allocs)
+	}
+}

@@ -41,7 +41,8 @@ type Sketch[T cmp.Ordered] struct {
 	fillBuf *buffer.Buffer[T]
 	n       uint64
 
-	snap *buffer.Buffer[T] // scratch for anytime queries mid-fill
+	snap     *buffer.Buffer[T]   // scratch for anytime queries mid-fill
+	queryBuf []*buffer.Buffer[T] // pooled scratch for the Output buffer set
 }
 
 // NewSketch builds a Sketch from an explicit layout.
@@ -63,14 +64,7 @@ func NewSketch[T cmp.Ordered](cfg Config) (*Sketch[T], error) {
 // Add feeds one element to the sketch.
 func (s *Sketch[T]) Add(v T) {
 	if s.fill == nil {
-		buf := s.tree.AcquireEmpty()
-		// The sampling rate and entry level are functions of the tree
-		// height at the moment the New operation starts (Section 3.7);
-		// AcquireEmpty may have just collapsed and raised the height.
-		rate, level := s.rateAndLevel()
-		buf.Level = level
-		s.fill = buffer.StartFill(buf, rate, s.rg)
-		s.fillBuf = buf
+		s.startFill()
 	}
 	if s.fill.Push(v) {
 		s.tree.LeafDone(s.fillBuf)
@@ -80,10 +74,36 @@ func (s *Sketch[T]) Add(v T) {
 	s.n++
 }
 
-// AddAll feeds a slice of elements.
+// startFill begins a New operation on a freshly acquired buffer.
+func (s *Sketch[T]) startFill() {
+	buf := s.tree.AcquireEmpty()
+	// The sampling rate and entry level are functions of the tree
+	// height at the moment the New operation starts (Section 3.7);
+	// AcquireEmpty may have just collapsed and raised the height.
+	rate, level := s.rateAndLevel()
+	buf.Level = level
+	s.fill = buffer.StartFill(buf, rate, s.rg)
+	s.fillBuf = buf
+}
+
+// AddAll feeds a slice of elements through the bulk fill path: each fill
+// buffer consumes as much of the slice as it can in one PushBulk call
+// (a slab copy at rate 1, skip-sampling at rate r), crossing buffer
+// boundaries without per-element dispatch. Under a fixed seed the
+// resulting sketch state is byte-identical to a per-element Add loop.
 func (s *Sketch[T]) AddAll(vs []T) {
-	for _, v := range vs {
-		s.Add(v)
+	for len(vs) > 0 {
+		if s.fill == nil {
+			s.startFill()
+		}
+		n, full := s.fill.PushBulk(vs)
+		s.n += uint64(n)
+		vs = vs[n:]
+		if full {
+			s.tree.LeafDone(s.fillBuf)
+			s.fill = nil
+			s.fillBuf = nil
+		}
 	}
 }
 
@@ -120,7 +140,15 @@ func (s *Sketch[T]) Query(phis []float64) ([]T, error) {
 	if s.n == 0 {
 		return nil, fmt.Errorf("core: query on empty sketch")
 	}
-	bufs := s.tree.NonEmpty()
+	bufs := s.outputSet()
+	return buffer.Output(bufs, phis)
+}
+
+// outputSet assembles the buffer set an Output operation runs over,
+// reusing the pooled scratch slice (and snapshot buffer, mid-fill) so
+// repeated anytime queries do not allocate.
+func (s *Sketch[T]) outputSet() []*buffer.Buffer[T] {
+	bufs := s.tree.NonEmptyAppend(s.queryBuf[:0])
 	if s.fill != nil && s.fill.Pending() > 0 {
 		if s.snap == nil {
 			s.snap = buffer.New[T](s.cfg.K)
@@ -128,7 +156,8 @@ func (s *Sketch[T]) Query(phis []float64) ([]T, error) {
 		s.fill.Snapshot(s.snap)
 		bufs = append(bufs, s.snap)
 	}
-	return buffer.Output(bufs, phis)
+	s.queryBuf = bufs
+	return bufs
 }
 
 // CDF estimates the fraction of stream elements ≤ v — the inverse of
@@ -138,14 +167,7 @@ func (s *Sketch[T]) CDF(v T) (float64, error) {
 	if s.n == 0 {
 		return 0, fmt.Errorf("core: CDF on empty sketch")
 	}
-	bufs := s.tree.NonEmpty()
-	if s.fill != nil && s.fill.Pending() > 0 {
-		if s.snap == nil {
-			s.snap = buffer.New[T](s.cfg.K)
-		}
-		s.fill.Snapshot(s.snap)
-		bufs = append(bufs, s.snap)
-	}
+	bufs := s.outputSet()
 	total := buffer.TotalWeightedCount(bufs)
 	if total == 0 {
 		return 0, fmt.Errorf("core: CDF with no weighted elements")

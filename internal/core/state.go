@@ -22,10 +22,13 @@ type FillState[T cmp.Ordered] struct {
 	// BufferIndex locates the buffer being filled within TreeState.Buffers.
 	BufferIndex int
 	// InBlock is the number of elements consumed from the current block;
-	// Keep is the block's current reservoir candidate (valid when
+	// Keep is the block's current sample candidate (valid when
 	// InBlock > 0).
 	InBlock uint64
 	Keep    T
+	// Target is the pre-drawn 1-based in-block position of the element the
+	// block will keep (0 when no block is underway). See buffer.Filler.
+	Target uint64
 	// HasKeep distinguishes a zero-valued candidate from no candidate.
 	HasKeep bool
 }
@@ -153,10 +156,10 @@ func (s *Sketch[T]) Snapshot() SketchState[T] {
 		RNG:        s.rg.State(),
 	}
 	if s.fill != nil {
-		inBlock, keep := s.fill.Progress()
+		inBlock, target, keep := s.fill.Progress()
 		st.Fill = &FillState[T]{
 			BufferIndex: s.tree.IndexOf(s.fillBuf),
-			InBlock:     inBlock, Keep: keep, HasKeep: inBlock > 0,
+			InBlock:     inBlock, Target: target, Keep: keep, HasKeep: inBlock > 0,
 		}
 	}
 	return st
@@ -194,8 +197,14 @@ func Restore[T cmp.Ordered](st SketchState[T]) (*Sketch[T], error) {
 		if st.Fill.InBlock >= fb.Weight {
 			return nil, fmt.Errorf("core: fill progress %d exceeds rate %d", st.Fill.InBlock, fb.Weight)
 		}
+		if st.Fill.InBlock > 0 && (st.Fill.Target < 1 || st.Fill.Target > fb.Weight) {
+			return nil, fmt.Errorf("core: fill target %d outside block of rate %d", st.Fill.Target, fb.Weight)
+		}
+		if st.Fill.InBlock == 0 && st.Fill.Target != 0 {
+			return nil, fmt.Errorf("core: fill target %d with no block underway", st.Fill.Target)
+		}
 		sk.fillBuf = fb
-		sk.fill = buffer.ResumeFill(fb, st.Fill.InBlock, st.Fill.Keep, sk.rg)
+		sk.fill = buffer.ResumeFill(fb, st.Fill.InBlock, st.Fill.Target, st.Fill.Keep, sk.rg)
 	}
 	return sk, nil
 }

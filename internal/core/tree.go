@@ -200,13 +200,19 @@ func (t *Tree[T]) LeafDone(b *buffer.Buffer[T]) {
 // NonEmpty returns all buffers currently holding data (Full or Partial),
 // the set an Output operation runs over.
 func (t *Tree[T]) NonEmpty() []*buffer.Buffer[T] {
-	out := make([]*buffer.Buffer[T], 0, len(t.bufs))
+	return t.NonEmptyAppend(nil)
+}
+
+// NonEmptyAppend appends the non-empty buffers to dst and returns the
+// extended slice. Passing a recycled dst[:0] makes repeated anytime queries
+// allocation-free once the slice has grown to the working-set size.
+func (t *Tree[T]) NonEmptyAppend(dst []*buffer.Buffer[T]) []*buffer.Buffer[T] {
 	for _, b := range t.bufs {
 		if b.State != buffer.Empty {
-			out = append(out, b)
+			dst = append(dst, b)
 		}
 	}
-	return out
+	return dst
 }
 
 // Reset returns the tree to its initial state, keeping allocated buffers

@@ -1,0 +1,65 @@
+package mrl98_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/mrl98"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// TestAddAllStateIdentical proves the bulk-ingest contract for the known-N
+// sketch at fixed sampling rates: for every rate, an AddAll of the whole
+// stream, a chunked AddAll, and a per-element Add loop leave byte-identical
+// codec frames.
+func TestAddAllStateIdentical(t *testing.T) {
+	ec := codec.Float64()
+	for _, rate := range []uint64{1, 2, 8, 64} {
+		rate := rate
+		t.Run(fmt.Sprintf("rate=%d", rate), func(t *testing.T) {
+			const k, b = 128, 6
+			n := rate*uint64(k)*4 + rate/2 + 3 // trailing partial block
+			data := stream.Collect(stream.Uniform(n, 0xabc^rate))
+			cfg := mrl98.Config{B: b, K: k, Rate: rate, DeclaredN: n, Seed: 42}
+
+			frame := func(feed func(s *mrl98.Sketch[float64])) []byte {
+				s, err := mrl98.New[float64](cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				feed(s)
+				blob, err := codec.MarshalKnownN(s.Snapshot(), ec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return blob
+			}
+
+			scalar := frame(func(s *mrl98.Sketch[float64]) {
+				for _, v := range data {
+					s.Add(v)
+				}
+			})
+			bulk := frame(func(s *mrl98.Sketch[float64]) { s.AddAll(data) })
+			chunked := frame(func(s *mrl98.Sketch[float64]) {
+				chunker := rng.New(rate)
+				rest := data
+				for len(rest) > 0 {
+					c := 1 + int(chunker.Uint64n(uint64(len(rest))))
+					s.AddAll(rest[:c])
+					rest = rest[c:]
+				}
+			})
+
+			if !bytes.Equal(scalar, bulk) {
+				t.Errorf("whole-slice AddAll state differs from Add loop (%d vs %d bytes)", len(bulk), len(scalar))
+			}
+			if !bytes.Equal(scalar, chunked) {
+				t.Errorf("chunked AddAll state differs from Add loop (%d vs %d bytes)", len(chunked), len(scalar))
+			}
+		})
+	}
+}

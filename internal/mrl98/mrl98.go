@@ -61,7 +61,8 @@ type Sketch[T cmp.Ordered] struct {
 	fillBuf *buffer.Buffer[T]
 	n       uint64
 
-	snap *buffer.Buffer[T]
+	snap     *buffer.Buffer[T]
+	queryBuf []*buffer.Buffer[T]
 }
 
 // New builds a known-N sketch from an explicit layout.
@@ -80,10 +81,7 @@ func New[T cmp.Ordered](cfg Config) (*Sketch[T], error) {
 // fixed sampling rate.
 func (s *Sketch[T]) Add(v T) {
 	if s.fill == nil {
-		buf := s.tree.AcquireEmpty()
-		buf.Level = 0
-		s.fill = buffer.StartFill(buf, s.cfg.Rate, s.rg)
-		s.fillBuf = buf
+		s.startFill()
 	}
 	if s.fill.Push(v) {
 		s.tree.LeafDone(s.fillBuf)
@@ -93,10 +91,29 @@ func (s *Sketch[T]) Add(v T) {
 	s.n++
 }
 
-// AddAll feeds a slice of elements.
+func (s *Sketch[T]) startFill() {
+	buf := s.tree.AcquireEmpty()
+	buf.Level = 0
+	s.fill = buffer.StartFill(buf, s.cfg.Rate, s.rg)
+	s.fillBuf = buf
+}
+
+// AddAll feeds a slice of elements through the bulk fill path; see
+// core.Sketch.AddAll. State is byte-identical to an Add loop under a
+// fixed seed.
 func (s *Sketch[T]) AddAll(vs []T) {
-	for _, v := range vs {
-		s.Add(v)
+	for len(vs) > 0 {
+		if s.fill == nil {
+			s.startFill()
+		}
+		n, full := s.fill.PushBulk(vs)
+		s.n += uint64(n)
+		vs = vs[n:]
+		if full {
+			s.tree.LeafDone(s.fillBuf)
+			s.fill = nil
+			s.fillBuf = nil
+		}
 	}
 }
 
@@ -116,7 +133,7 @@ func (s *Sketch[T]) Query(phis []float64) ([]T, error) {
 	if s.n == 0 {
 		return nil, fmt.Errorf("mrl98: query on empty sketch")
 	}
-	bufs := s.tree.NonEmpty()
+	bufs := s.tree.NonEmptyAppend(s.queryBuf[:0])
 	if s.fill != nil && s.fill.Pending() > 0 {
 		if s.snap == nil {
 			s.snap = buffer.New[T](s.cfg.K)
@@ -124,6 +141,7 @@ func (s *Sketch[T]) Query(phis []float64) ([]T, error) {
 		s.fill.Snapshot(s.snap)
 		bufs = append(bufs, s.snap)
 	}
+	s.queryBuf = bufs
 	return buffer.Output(bufs, phis)
 }
 

@@ -40,10 +40,10 @@ func (s *Sketch[T]) Snapshot() State[T] {
 		RNG:  s.rg.State(),
 	}
 	if s.fill != nil {
-		inBlock, keep := s.fill.Progress()
+		inBlock, target, keep := s.fill.Progress()
 		st.Fill = &core.FillState[T]{
 			BufferIndex: s.tree.IndexOf(s.fillBuf),
-			InBlock:     inBlock, Keep: keep, HasKeep: inBlock > 0,
+			InBlock:     inBlock, Target: target, Keep: keep, HasKeep: inBlock > 0,
 		}
 	}
 	return st
@@ -81,8 +81,14 @@ func Restore[T cmp.Ordered](st State[T]) (*Sketch[T], error) {
 		if st.Fill.InBlock >= fb.Weight {
 			return nil, fmt.Errorf("mrl98: fill progress %d exceeds rate %d", st.Fill.InBlock, fb.Weight)
 		}
+		if st.Fill.InBlock > 0 && (st.Fill.Target < 1 || st.Fill.Target > fb.Weight) {
+			return nil, fmt.Errorf("mrl98: fill target %d outside block of rate %d", st.Fill.Target, fb.Weight)
+		}
+		if st.Fill.InBlock == 0 && st.Fill.Target != 0 {
+			return nil, fmt.Errorf("mrl98: fill target %d with no block underway", st.Fill.Target)
+		}
 		sk.fillBuf = fb
-		sk.fill = buffer.ResumeFill(fb, st.Fill.InBlock, st.Fill.Keep, sk.rg)
+		sk.fill = buffer.ResumeFill(fb, st.Fill.InBlock, st.Fill.Target, st.Fill.Keep, sk.rg)
 	}
 	return sk, nil
 }

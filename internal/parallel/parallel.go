@@ -130,13 +130,14 @@ func (c *Coordinator[T]) admitPartial(elems []T, w uint64) error {
 		n := shrinkInto(elems, tmp, ratio, c.rg)
 		incoming = tmp[:n]
 	}
-	for _, v := range incoming {
+	for len(incoming) > 0 {
 		if c.b0.Fill == c.k {
 			// B0 is full: promote it into the merge tree and start afresh.
 			c.flushB0()
 		}
-		c.b0.Data[c.b0.Fill] = v
-		c.b0.Fill++
+		n := copy(c.b0.Data[c.b0.Fill:], incoming)
+		c.b0.Fill += n
+		incoming = incoming[n:]
 	}
 	return nil
 }

@@ -1,0 +1,333 @@
+// Package perf is the repository's ingest-performance harness (experiment
+// E-PERF): it measures the hot paths end to end — bulk and scalar unknown-N
+// ingest, known-N, the reservoir and extreme baselines, the sharded
+// concurrent sketch, and the cluster coordinator's shipment ingest — and
+// emits a machine-readable report (BENCH_3.json) that CI compares against
+// a checked-in baseline to catch throughput regressions.
+//
+// Unlike the testing.B micro-benchmarks in bench_test.go, this harness is
+// self-timed (min over a few repetitions) so it can run as a plain binary
+// in CI, and it carries a calibration row — a fixed pure-Go workload — so a
+// baseline recorded on one machine can be compared on another by scaling
+// with the calibration ratio.
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	quantile "repro"
+	"repro/cluster"
+	"repro/internal/experiments"
+	"repro/internal/stream"
+)
+
+// Row is one measured ingest path.
+type Row struct {
+	// Name identifies the path; baseline comparison matches rows by name.
+	Name string `json:"name"`
+	// Elems is how many elements one op ingests.
+	Elems int `json:"elems"`
+	// NsPerElem is the best-of-reps wall time per element.
+	NsPerElem float64 `json:"ns_per_elem"`
+	// ElemsPerSec is the corresponding throughput.
+	ElemsPerSec float64 `json:"elems_per_sec"`
+	// AllocsPerOp is the heap-allocation count of the best rep (the timed
+	// ingest only; per-rep setup is excluded).
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+}
+
+// Report is the full E-PERF result, serialized as BENCH_<PR>.json.
+type Report struct {
+	// Schema names the JSON layout so future changes can be versioned.
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// N is the stream size each single-sketch row ingests per op.
+	N    int `json:"n"`
+	Reps int `json:"reps"`
+	// CalibrationNsPerElem is the fixed splitmix64 workload's per-element
+	// cost on this machine; comparisons across machines divide it out.
+	CalibrationNsPerElem float64 `json:"calibration_ns_per_elem"`
+	Rows                 []Row  `json:"rows"`
+}
+
+// Config sizes a harness run.
+type Config struct {
+	// N is the per-op stream size (default 1<<20).
+	N int
+	// Reps is how many times each op runs; the fastest rep is reported
+	// (default 5, plus one untimed warmup — enough to damp scheduler noise
+	// on the concurrent rows below the CI gate's tolerance).
+	Reps int
+}
+
+// DefaultConfig returns the baseline-generation configuration.
+func DefaultConfig() Config { return Config{N: 1 << 20, Reps: 5} }
+
+const schemaName = "qbench-perf/v1"
+
+// calSink keeps the calibration loop's result live.
+var calSink uint64
+
+// calibrate times the fixed reference workload: n splitmix64 steps.
+func calibrate(n, reps int) float64 {
+	best := 0.0
+	for r := 0; r < reps+1; r++ {
+		x := uint64(0x9e3779b97f4a7c15)
+		var acc uint64
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			x += 0x9e3779b97f4a7c15
+			z := x
+			z ^= z >> 30
+			z *= 0xbf58476d1ce4e5b9
+			z ^= z >> 27
+			z *= 0x94d049bb133111eb
+			z ^= z >> 31
+			acc += z
+		}
+		el := float64(time.Since(start).Nanoseconds()) / float64(n)
+		calSink += acc
+		if r == 0 {
+			continue // warmup
+		}
+		if best == 0 || el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+// measure runs setup+op reps+1 times (first rep is an untimed warmup) and
+// returns the fastest op's wall time and its heap-allocation count. Only op
+// is timed; setup rebuilds state between reps.
+func measure(reps int, setup, op func()) (ns int64, allocs uint64) {
+	var ms0, ms1 runtime.MemStats
+	for r := 0; r < reps+1; r++ {
+		setup()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		op()
+		el := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&ms1)
+		if r == 0 {
+			continue
+		}
+		if ns == 0 || el < ns {
+			ns = el
+			allocs = ms1.Mallocs - ms0.Mallocs
+		}
+	}
+	return ns, allocs
+}
+
+// Run executes the full E-PERF suite.
+func Run(cfg Config) (Report, error) {
+	if cfg.N <= 0 {
+		cfg.N = 1 << 20
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 3
+	}
+	const eps, delta = 0.01, 1e-3
+	data := stream.Collect(stream.Uniform(uint64(cfg.N), 0xbe9c4))
+
+	rep := Report{
+		Schema:    schemaName,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		N:         cfg.N,
+		Reps:      cfg.Reps,
+	}
+	rep.CalibrationNsPerElem = calibrate(cfg.N, cfg.Reps)
+
+	addRow := func(name string, elems int, setup, op func()) {
+		ns, allocs := measure(cfg.Reps, setup, op)
+		perElem := float64(ns) / float64(elems)
+		rep.Rows = append(rep.Rows, Row{
+			Name: name, Elems: elems,
+			NsPerElem:   perElem,
+			ElemsPerSec: 1e9 / perElem,
+			AllocsPerOp: allocs,
+		})
+	}
+
+	// Unknown-N: the same sketch via the bulk and the scalar path. Reset
+	// reinstalls the seed, so every rep performs identical work.
+	bulk, err := quantile.New[float64](eps, delta, quantile.WithSeed(1))
+	if err != nil {
+		return rep, err
+	}
+	addRow("unknown-n-bulk", cfg.N, bulk.Reset, func() { bulk.AddAll(data) })
+
+	scalar, err := quantile.New[float64](eps, delta, quantile.WithSeed(1))
+	if err != nil {
+		return rep, err
+	}
+	addRow("unknown-n-scalar", cfg.N, scalar.Reset, func() {
+		for _, v := range data {
+			scalar.Add(v)
+		}
+	})
+
+	// Known-N commits to its sampling rate up front; rebuilt per rep (the
+	// root API exposes no Reset), with construction outside the timing.
+	var kn *quantile.KnownN[float64]
+	addRow("known-n", cfg.N, func() {
+		kn, err = quantile.NewKnownN[float64](uint64(cfg.N), eps, delta, quantile.WithSeed(1))
+	}, func() { kn.AddAll(data) })
+	if err != nil {
+		return rep, err
+	}
+
+	var rq *quantile.Reservoir[float64]
+	addRow("reservoir", cfg.N, func() {
+		rq, err = quantile.NewReservoir[float64](eps, delta, quantile.WithSeed(1))
+	}, func() {
+		for _, v := range data {
+			rq.Add(v)
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	var ex *quantile.Extreme[float64]
+	addRow("extreme", cfg.N, func() {
+		ex, err = quantile.NewExtreme[float64](0.01, 0.002, delta, uint64(cfg.N), quantile.WithSeed(1))
+	}, func() {
+		for _, v := range data {
+			ex.Add(v)
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	var con *quantile.Concurrent[float64]
+	addRow("concurrent", cfg.N, func() {
+		con, err = quantile.NewConcurrent[float64](eps, delta, 8, quantile.WithSeed(1))
+	}, func() { con.AddAll(data) })
+	if err != nil {
+		return rep, err
+	}
+
+	// Cluster ingest: the coordinator's full /v1/ship path (validate,
+	// dedup, decode, merge) over pre-built worker epochs.
+	envs, total, err := buildEnvelopes(eps, delta, cfg.N)
+	if err != nil {
+		return rep, err
+	}
+	var coord *cluster.Coordinator
+	addRow("cluster-ingest", int(total), func() {
+		coord, err = cluster.NewCoordinator(cluster.CoordinatorConfig{Eps: eps, Delta: delta, Seed: 7})
+	}, func() {
+		for _, env := range envs {
+			if status, res := coord.Ingest(env); res.Status != cluster.StatusAccepted {
+				err = fmt.Errorf("perf: shipment rejected (%d): %s", status, res.Error)
+				return
+			}
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	return rep, nil
+}
+
+// buildEnvelopes cuts the benchmark stream into 8 worker epochs, each a
+// serialized Section 6 shipment ready for Coordinator.Ingest.
+func buildEnvelopes(eps, delta float64, n int) ([]cluster.Envelope, uint64, error) {
+	const epochs = 8
+	sk, err := quantile.NewConcurrent[float64](eps, delta, 4, quantile.WithSeed(99))
+	if err != nil {
+		return nil, 0, err
+	}
+	data := stream.Collect(stream.Uniform(uint64(n), 0x5ca1e))
+	chunk := len(data) / epochs
+	var envs []cluster.Envelope
+	var total uint64
+	for e := 0; e < epochs; e++ {
+		sk.AddAll(data[e*chunk : (e+1)*chunk])
+		blob, count, err := sk.ShipAndReset(quantile.Float64Codec())
+		if err != nil {
+			return nil, 0, err
+		}
+		total += count
+		envs = append(envs, cluster.Envelope{
+			Worker: "bench-worker",
+			Epoch:  uint64(e + 1),
+			Eps:    eps,
+			Delta:  delta,
+			Count:  count,
+			Blob:   blob,
+		})
+	}
+	return envs, total, nil
+}
+
+// Compare checks cur against a baseline: a row regresses when its ns/elem
+// exceeds the baseline's by more than tolerance (a fraction, e.g. 0.25)
+// after scaling the baseline by the machines' calibration ratio. It returns
+// one message per violation; empty means the gate passes.
+//
+// The runs must use the same stream size: per-element costs carry fixed
+// overheads (most visibly the cluster rows' per-envelope decode) that are
+// amortized differently at different N, so cross-size comparison is
+// rejected outright rather than silently misleading.
+func Compare(cur, base Report, tolerance float64) []string {
+	if cur.N != base.N {
+		return []string{fmt.Sprintf(
+			"stream size mismatch: this run used n=%d but the baseline was recorded at n=%d; rerun with -bench-n %d",
+			cur.N, base.N, base.N)}
+	}
+	scale := 1.0
+	if base.CalibrationNsPerElem > 0 && cur.CalibrationNsPerElem > 0 {
+		scale = cur.CalibrationNsPerElem / base.CalibrationNsPerElem
+	}
+	baseRows := make(map[string]Row, len(base.Rows))
+	for _, r := range base.Rows {
+		baseRows[r.Name] = r
+	}
+	var violations []string
+	for _, r := range cur.Rows {
+		b, ok := baseRows[r.Name]
+		if !ok {
+			continue // new row: no baseline yet
+		}
+		delete(baseRows, r.Name)
+		allowed := b.NsPerElem * scale * (1 + tolerance)
+		if r.NsPerElem > allowed {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.1f ns/elem exceeds baseline %.1f ns/elem (allowed %.1f after %.2fx calibration scaling, tolerance %d%%)",
+				r.Name, r.NsPerElem, b.NsPerElem, allowed, scale, int(tolerance*100)))
+		}
+	}
+	for name := range baseRows {
+		violations = append(violations, fmt.Sprintf("%s: row present in baseline but missing from this run", name))
+	}
+	return violations
+}
+
+// Render produces the harness's human-readable table.
+func (r Report) Render() experiments.Table {
+	t := experiments.Table{
+		Title: fmt.Sprintf("E-PERF: ingest throughput (n=%d, best of %d; calibration %.2f ns/elem)",
+			r.N, r.Reps, r.CalibrationNsPerElem),
+		Columns: []string{"path", "elems/op", "ns/elem", "elems/sec", "allocs/op"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Name, fmt.Sprint(row.Elems),
+			fmt.Sprintf("%.1f", row.NsPerElem),
+			fmt.Sprintf("%.0f", row.ElemsPerSec),
+			fmt.Sprint(row.AllocsPerOp),
+		})
+	}
+	return t
+}
