@@ -511,6 +511,68 @@ func BenchmarkConcurrentAddAll(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryRebuild measures the old query cost model: every iteration
+// mutates the sketch first, so Quantile cannot reuse the cached view and
+// pays a full coordinator merge + view build. Control for
+// BenchmarkQueryCached; the acceptance criterion is >= 50x between them.
+func BenchmarkQueryRebuild(b *testing.B) {
+	c, err := NewConcurrent[float64](0.01, 1e-3, 8, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := benchData(1 << 20)
+	c.AddAll(data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(data[i&(1<<20-1)])
+		if _, err := c.Quantile(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryCached measures single-phi Quantile against an unchanged
+// sketch: after the first rebuild every call is a version check plus one
+// binary search on the immutable view — zero allocations.
+func BenchmarkQueryCached(b *testing.B) {
+	c, err := NewConcurrent[float64](0.01, 1e-3, 8, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.AddAll(benchData(1 << 20))
+	if _, err := c.Quantile(0.5); err != nil { // warm the view
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phi := float64(i&1023+1) / 1024
+		if _, err := c.Quantile(phi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryCachedCDF is the CDF analogue of BenchmarkQueryCached.
+func BenchmarkQueryCachedCDF(b *testing.B) {
+	c, err := NewConcurrent[float64](0.01, 1e-3, 8, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.AddAll(benchData(1 << 20))
+	if _, err := c.CDF(0.5); err != nil { // warm the view
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CDF(float64(i&1023) / 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHistogram measures equi-depth boundary extraction over a loaded
 // histogram.
 func BenchmarkHistogram(b *testing.B) {

@@ -11,11 +11,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	quantile "repro"
 	"repro/internal/codec"
 	"repro/internal/parallel"
+	"repro/internal/view"
 )
 
 // CoordinatorConfig configures a merge coordinator.
@@ -53,6 +55,12 @@ type CoordinatorConfig struct {
 // accepts worker shipments on POST /v1/ship, deduplicates retransmissions
 // by (worker, epoch), merges through the paper's collapse tree, answers
 // aggregate queries, and checkpoints its state to disk for crash recovery.
+//
+// Read endpoints (/quantile, /cdf, /histogram) are served from an immutable
+// merged view cached behind an atomic pointer and keyed on a version
+// counter that every accepted shipment bumps: between shipments, queries
+// are lock-free binary searches over the frozen view, and after a shipment
+// exactly one reader rebuilds it (singleflight) while the rest wait.
 type Coordinator struct {
 	cfg  CoordinatorConfig
 	plan quantile.Plan
@@ -65,6 +73,20 @@ type Coordinator struct {
 	merge   *parallel.Coordinator[float64]
 	seen    map[string]map[uint64]struct{}
 	workers map[string]*WorkerStatus
+	// version counts state-changing merges (accepted shipments, restores);
+	// written while holding mu, read lock-free by the query warm path.
+	version atomic.Uint64
+
+	cache atomic.Pointer[coordView]
+	// buildMu serializes view rebuilds so a shipment burst followed by a
+	// query burst costs one merge walk, not one per query.
+	buildMu sync.Mutex
+}
+
+// coordView pairs the immutable query view with the version it was built at.
+type coordView struct {
+	v       *view.View[float64]
+	version uint64
 }
 
 // NewCoordinator builds a coordinator for the given guarantees, restoring
@@ -123,20 +145,57 @@ func (c *Coordinator) Count() uint64 {
 	return c.merge.Count()
 }
 
+// view returns the current query view, rebuilding it only when an accepted
+// shipment (or a restore) has changed the aggregate since the cached one
+// was built. The warm path takes no locks: one atomic load and a version
+// compare.
+func (c *Coordinator) view() (*view.View[float64], error) {
+	ver := c.version.Load()
+	if cv := c.cache.Load(); cv != nil && cv.version == ver {
+		c.m.viewHits.Add(1)
+		return cv.v, nil
+	}
+	c.m.viewMisses.Add(1)
+	c.buildMu.Lock()
+	defer c.buildMu.Unlock()
+	if cv := c.cache.Load(); cv != nil && cv.version == c.version.Load() {
+		return cv.v, nil
+	}
+	// Build under mu: the merge tree must not change mid-walk. The version
+	// is read under the same critical section, so the cached key exactly
+	// matches the state the view froze.
+	c.mu.Lock()
+	ver = c.version.Load()
+	v, err := c.merge.View()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	c.cache.Store(&coordView{v: v, version: ver})
+	c.m.viewRebuilds.Add(1)
+	return v, nil
+}
+
 // Quantiles returns estimates of the given quantiles over the union of
 // every accepted shipment — the same answers GET /quantile serves, exposed
 // directly for in-process callers (the sim harness, embedding services).
+// Served from the cached view; only the result slice is allocated.
 func (c *Coordinator) Quantiles(phis []float64) ([]float64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.merge.Query(phis)
+	v, err := c.view()
+	if err != nil {
+		return nil, err
+	}
+	return v.Quantiles(phis)
 }
 
-// CDF estimates the fraction of aggregate stream elements ≤ v.
+// CDF estimates the fraction of aggregate stream elements ≤ v. On a warm
+// view this is a single binary search.
 func (c *Coordinator) CDF(v float64) (float64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.merge.CDF(v)
+	vw, err := c.view()
+	if err != nil {
+		return 0, err
+	}
+	return vw.CDF(v), nil
 }
 
 // Run blocks until ctx is cancelled, writing periodic checkpoints when
@@ -276,6 +335,7 @@ func (c *Coordinator) restore(path string) error {
 		w := ws
 		c.workers[id] = &w
 	}
+	c.version.Add(1)
 	c.m.elements.Add(merge.Count())
 	c.cfg.Logf("cluster: restored checkpoint %s (%d elements, %d workers, saved %s)",
 		path, merge.Count(), len(c.workers), f.SavedAt.Format(time.RFC3339))
@@ -370,6 +430,7 @@ func (c *Coordinator) Ingest(env Envelope) (int, ShipResult) {
 	ws.Count += env.Count
 	ws.Shipments++
 	total := c.merge.Count()
+	c.version.Add(1) // invalidate the cached query view
 	c.mu.Unlock()
 
 	c.m.shipmentsAccepted.Add(1)
@@ -446,10 +507,12 @@ func (c *Coordinator) handleHistogram(w http.ResponseWriter, r *http.Request) {
 	for i := range phis {
 		phis[i] = float64(i+1) / float64(buckets)
 	}
-	c.mu.Lock()
-	bounds, err := c.merge.Query(phis)
-	rows := c.merge.Count()
-	c.mu.Unlock()
+	v, err := c.view()
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	bounds, err := v.Quantiles(phis)
 	if err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
@@ -457,7 +520,7 @@ func (c *Coordinator) handleHistogram(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"buckets":    buckets,
 		"boundaries": bounds,
-		"rows":       rows,
+		"rows":       v.N(),
 	})
 }
 

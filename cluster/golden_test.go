@@ -69,6 +69,18 @@ func goldenCoordinator(t *testing.T) *Coordinator {
 	if status, _ := coord.Ingest(bad); status != 409 {
 		t.Fatalf("mismatched eps: status %d, want 409", status)
 	}
+	// Three reads against an unchanged aggregate: the first misses the view
+	// cache and rebuilds, the next two hit — pinning all three cache
+	// counters at meaningful values in the golden exposition.
+	if _, err := coord.Quantiles([]float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Quantiles([]float64{0.25, 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.CDF(2000); err != nil {
+		t.Fatal(err)
+	}
 	return coord
 }
 

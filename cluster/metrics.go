@@ -21,6 +21,10 @@ type metrics struct {
 	mergeNanos atomic.Uint64 // cumulative time inside Receive
 	merges     atomic.Uint64
 
+	viewHits     atomic.Uint64 // queries answered from the cached view
+	viewMisses   atomic.Uint64 // queries that found the cached view stale
+	viewRebuilds atomic.Uint64 // view reconstructions actually performed
+
 	checkpoints      atomic.Uint64
 	checkpointErrors atomic.Uint64
 }
@@ -41,6 +45,9 @@ func (m *metrics) writeProm(w io.Writer, workers map[string]WorkerStatus, now ti
 	counter("cluster_merge_seconds_count", "Number of merge operations.", m.merges.Load())
 	fmt.Fprintf(w, "# HELP cluster_merge_seconds_sum Cumulative seconds spent merging shipments.\n# TYPE cluster_merge_seconds_sum counter\ncluster_merge_seconds_sum %g\n",
 		time.Duration(m.mergeNanos.Load()).Seconds())
+	counter("cluster_view_hits_total", "Queries answered from the cached immutable view.", m.viewHits.Load())
+	counter("cluster_view_misses_total", "Queries that found the cached view stale or absent.", m.viewMisses.Load())
+	counter("cluster_view_rebuilds_total", "Query-view reconstructions performed (misses minus rebuilds waited on another reader's rebuild).", m.viewRebuilds.Load())
 	counter("cluster_checkpoints_total", "Checkpoints written.", m.checkpoints.Load())
 	counter("cluster_checkpoint_errors_total", "Checkpoint attempts that failed.", m.checkpointErrors.Load())
 	fmt.Fprintf(w, "# HELP cluster_uptime_seconds Seconds since the coordinator started.\n# TYPE cluster_uptime_seconds gauge\ncluster_uptime_seconds %g\n", uptime.Seconds())

@@ -8,25 +8,58 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/view"
 )
 
 // Concurrent is a goroutine-safe quantile summary. Internally it shards
 // the stream across independent unknown-N sketches (each shard sees a
 // ~1/P slice of the stream, which preserves the guarantee — the algorithm
-// is arrival-order oblivious) and answers queries by snapshotting the
-// shards and merging the snapshots through the Section 6 coordinator, so
-// queries never block ingestion for long and never disturb shard state.
+// is arrival-order oblivious). Queries are served from an immutable merged
+// view — a single sorted weighted array built once from a Section 6
+// coordinator merge of shard snapshots — cached behind an atomic pointer
+// and keyed on a monotonic version counter that every mutation bumps.
+// Between mutations, any number of readers answer from the same view by
+// binary search with zero allocations and zero lock traffic; after a
+// mutation, the first reader (and only that reader — rebuilds are
+// singleflight) pays one re-merge, and everyone else either reuses the old
+// view or waits for exactly the one rebuild in flight.
 type Concurrent[T cmp.Ordered] struct {
 	eps, delta float64
 	shards     []*cShard[T]
 	ctr        atomic.Uint64
 	epochs     atomic.Uint64
 	seed       uint64
+
+	// version is bumped after every completed mutation; the cached view
+	// remembers the version it was built at, so version equality means the
+	// view still reflects every acknowledged write.
+	version atomic.Uint64
+	cache   atomic.Pointer[cachedView[T]]
+	// buildMu serializes view rebuilds (singleflight): under steady ingest
+	// N concurrent readers trigger one merge, not N.
+	buildMu sync.Mutex
+
+	viewHits     atomic.Uint64
+	viewMisses   atomic.Uint64
+	viewRebuilds atomic.Uint64
 }
 
 type cShard[T cmp.Ordered] struct {
 	mu sync.Mutex
 	sk *core.Sketch[T]
+
+	// count and mem mirror sk.Count() / sk.MemoryElements(); they are
+	// written under mu and read lock-free, so Count() and MemoryElements()
+	// never touch a shard mutex.
+	count atomic.Uint64
+	mem   atomic.Int64
+}
+
+// cachedView pairs an immutable query view with the version counter value
+// it was built at.
+type cachedView[T cmp.Ordered] struct {
+	v       *view.View[T]
+	version uint64
 }
 
 // NewConcurrent returns a goroutine-safe sketch with the given shard
@@ -53,9 +86,18 @@ func NewConcurrent[T cmp.Ordered](eps, delta float64, shards int, opts ...Option
 		if err != nil {
 			return nil, err
 		}
-		c.shards = append(c.shards, &cShard[T]{sk: sk})
+		sh := &cShard[T]{sk: sk}
+		sh.mem.Store(int64(sk.MemoryElements()))
+		c.shards = append(c.shards, sh)
 	}
 	return c, nil
+}
+
+// sync refreshes a shard's lock-free counter mirrors; call with sh.mu held
+// after mutating sh.sk.
+func (sh *cShard[T]) sync() {
+	sh.count.Store(sh.sk.Count())
+	sh.mem.Store(int64(sh.sk.MemoryElements()))
 }
 
 // Add feeds one element. Safe for concurrent use; under contention the
@@ -67,7 +109,9 @@ func (c *Concurrent[T]) Add(v T) {
 		sh := c.shards[(start+i)%n]
 		if sh.mu.TryLock() {
 			sh.sk.Add(v)
+			sh.sync()
 			sh.mu.Unlock()
+			c.version.Add(1)
 			return
 		}
 	}
@@ -75,7 +119,9 @@ func (c *Concurrent[T]) Add(v T) {
 	sh := c.shards[start%n]
 	sh.mu.Lock()
 	sh.sk.Add(v)
+	sh.sync()
 	sh.mu.Unlock()
+	c.version.Add(1)
 }
 
 // addAllChunk is how many elements AddAll feeds per shard-lock
@@ -106,23 +152,27 @@ func (c *Concurrent[T]) addChunk(vs []T) {
 		sh := c.shards[(start+i)%n]
 		if sh.mu.TryLock() {
 			sh.sk.AddAll(vs)
+			sh.sync()
 			sh.mu.Unlock()
+			c.version.Add(1)
 			return
 		}
 	}
 	sh := c.shards[start%n]
 	sh.mu.Lock()
 	sh.sk.AddAll(vs)
+	sh.sync()
 	sh.mu.Unlock()
+	c.version.Add(1)
 }
 
-// Count returns the total number of elements consumed.
+// Count returns the total number of elements consumed. It reads per-shard
+// atomic mirrors and takes no locks, so it is safe to poll at any rate;
+// under concurrent ingest it reflects every completed Add/AddAll chunk.
 func (c *Concurrent[T]) Count() uint64 {
 	var n uint64
 	for _, sh := range c.shards {
-		sh.mu.Lock()
-		n += sh.sk.Count()
-		sh.mu.Unlock()
+		n += sh.count.Load()
 	}
 	return n
 }
@@ -158,45 +208,97 @@ func (c *Concurrent[T]) merge() (*parallel.Coordinator[T], error) {
 	return coord, nil
 }
 
-// Quantiles returns estimates over everything added so far, in request
-// order. Safe to call while other goroutines keep adding; the result
-// reflects some consistent-per-shard prefix of the concurrent stream.
-func (c *Concurrent[T]) Quantiles(phis []float64) ([]T, error) {
+// buildView runs one coordinator merge and freezes it into a view.
+func (c *Concurrent[T]) buildView() (*view.View[T], error) {
 	coord, err := c.merge()
 	if err != nil {
 		return nil, err
 	}
-	return coord.Query(phis)
+	return coord.View()
 }
 
-// CDF estimates the fraction of elements ≤ v across all shards.
+// view returns the current query view, rebuilding it only when a mutation
+// has landed since the cached one was built. The fast path is two atomic
+// loads and no allocations.
+func (c *Concurrent[T]) view() (*view.View[T], error) {
+	ver := c.version.Load()
+	if cv := c.cache.Load(); cv != nil && cv.version == ver {
+		c.viewHits.Add(1)
+		return cv.v, nil
+	}
+	c.viewMisses.Add(1)
+	c.buildMu.Lock()
+	defer c.buildMu.Unlock()
+	// Re-check under the build lock: another reader may have rebuilt while
+	// this one waited, and no further mutation invalidated it.
+	ver = c.version.Load()
+	if cv := c.cache.Load(); cv != nil && cv.version == ver {
+		return cv.v, nil
+	}
+	// Read the version BEFORE snapshotting: writes racing the snapshot may
+	// or may not be captured, but they bump the counter past ver, so the
+	// next query after this rebuild sees a stale cache and rebuilds again —
+	// an acknowledged write is never invisible for longer than one rebuild.
+	ver = c.version.Load()
+	v, err := c.buildView()
+	if err != nil {
+		return nil, err
+	}
+	c.cache.Store(&cachedView[T]{v: v, version: ver})
+	c.viewRebuilds.Add(1)
+	return v, nil
+}
+
+// Quantiles returns estimates over everything added so far, in request
+// order. Safe to call while other goroutines keep adding; the result
+// reflects some consistent-per-shard prefix of the concurrent stream.
+// Served from the cached view: only the result slice is allocated.
+func (c *Concurrent[T]) Quantiles(phis []float64) ([]T, error) {
+	v, err := c.view()
+	if err != nil {
+		return nil, err
+	}
+	return v.Quantiles(phis)
+}
+
+// CDF estimates the fraction of elements ≤ v across all shards. On a warm
+// view this is a single binary search with zero allocations.
 func (c *Concurrent[T]) CDF(v T) (float64, error) {
-	coord, err := c.merge()
+	vw, err := c.view()
 	if err != nil {
 		return 0, err
 	}
-	return coord.CDF(v)
+	return vw.CDF(v), nil
 }
 
-// Quantile returns a single estimate.
+// Quantile returns a single estimate. On a warm view this is a single
+// binary search with zero allocations.
 func (c *Concurrent[T]) Quantile(phi float64) (T, error) {
-	out, err := c.Quantiles([]float64{phi})
+	v, err := c.view()
 	if err != nil {
 		var zero T
 		return zero, err
 	}
-	return out[0], nil
+	return v.Quantile(phi)
 }
 
-// MemoryElements returns the summed shard footprints.
+// ViewStats reports the query-cache counters: hits answered straight from
+// the cached view, misses that found it stale (or absent), and the merges
+// actually performed. misses − rebuilds is the singleflight savings:
+// queries that waited out someone else's rebuild instead of running their
+// own.
+func (c *Concurrent[T]) ViewStats() (hits, misses, rebuilds uint64) {
+	return c.viewHits.Load(), c.viewMisses.Load(), c.viewRebuilds.Load()
+}
+
+// MemoryElements returns the summed shard footprints, read lock-free from
+// per-shard atomic mirrors.
 func (c *Concurrent[T]) MemoryElements() int {
-	m := 0
+	var m int64
 	for _, sh := range c.shards {
-		sh.mu.Lock()
-		m += sh.sk.MemoryElements()
-		sh.mu.Unlock()
+		m += sh.mem.Load()
 	}
-	return m
+	return int(m)
 }
 
 // Epsilon returns the configured rank-error bound.
@@ -235,9 +337,11 @@ func (c *Concurrent[T]) shipAndReset() (parallel.Shipment[T], error) {
 			}
 			old = append(old, sh.sk)
 			sh.sk = fresh
+			sh.sync()
 		}
 		sh.mu.Unlock()
 	}
+	c.version.Add(1)
 	if len(old) == 0 {
 		return parallel.Shipment[T]{}, nil
 	}

@@ -1,0 +1,298 @@
+package quantile
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+// stridedChunks builds a stream whose addAllChunk-aligned chunks are each a
+// stride-spaced covering of [0, 1): chunk c holds {(m·numChunks+c)/N}. A
+// Concurrent shard ingests whole chunks under one lock hold, so any view
+// snapshot taken mid-ingest covers a union U of complete chunks — and by
+// construction the exact CDF of any such union satisfies
+// |CDF_U(x) − x| ≤ 1/addAllChunk, making the ε·N rank bound checkable
+// against a closed form at every instant, not only at the end.
+func stridedChunks(numChunks int) []float64 {
+	n := numChunks * addAllChunk
+	data := make([]float64, n)
+	for c := 0; c < numChunks; c++ {
+		for m := 0; m < addAllChunk; m++ {
+			data[c*addAllChunk+m] = float64(m*numChunks+c) / float64(n)
+		}
+	}
+	return data
+}
+
+// TestConcurrentViewRaceUnderIngest hammers the cached-view query path from
+// 8 reader goroutines while 8 writers AddAll, asserting under the race
+// detector that every mid-flight answer satisfies the ε·N rank bound for
+// the snapshot it was served from (via the strided-chunk closed form), and
+// that the final answers satisfy the bound against internal/exact over the
+// full union.
+func TestConcurrentViewRaceUnderIngest(t *testing.T) {
+	const eps = 0.05
+	const writers, readers = 8, 8
+	numChunks := 64
+	if testing.Short() {
+		numChunks = 32
+	}
+	data := stridedChunks(numChunks)
+	c, err := NewConcurrent[float64](eps, 1e-3, writers, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-flight tolerance: sketch rank error ε (in value space, since the
+	// union's values are ~uniform on [0,1)) plus the strided-union
+	// discretization 1/addAllChunk, plus slack for the trailing-block
+	// weighting of partial fills.
+	tol := eps + 4.0/float64(addAllChunk)
+
+	perW := numChunks / writers * addAllChunk
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c.AddAll(data[w*perW : (w+1)*perW])
+		}(w)
+	}
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func(r int) {
+			defer rg.Done()
+			phis := []float64{0.1, 0.5, 0.9}
+			for !done.Load() {
+				qs, err := c.Quantiles(phis)
+				if err != nil {
+					continue // nothing ingested yet
+				}
+				for i, phi := range phis {
+					if math.Abs(qs[i]-phi) > tol {
+						t.Errorf("mid-flight Quantile(%v) = %v, outside ±%v", phi, qs[i], tol)
+						return
+					}
+				}
+				for _, x := range []float64{0.25, 0.75} {
+					cdf, err := c.CDF(x)
+					if err != nil {
+						continue
+					}
+					if math.Abs(cdf-x) > tol {
+						t.Errorf("mid-flight CDF(%v) = %v, outside ±%v", x, cdf, tol)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	done.Store(true)
+	rg.Wait()
+
+	if c.Count() != uint64(len(data)) {
+		t.Fatalf("count %d want %d", c.Count(), len(data))
+	}
+	for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		q, err := c.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := exact.RankError(data, q, phi, eps); e != 0 {
+			t.Errorf("final phi=%v off by %d ranks", phi, e)
+		}
+	}
+	hits, misses, rebuilds := c.ViewStats()
+	if rebuilds == 0 || rebuilds > misses {
+		t.Errorf("view stats hits=%d misses=%d rebuilds=%d", hits, misses, rebuilds)
+	}
+}
+
+// TestConcurrentViewAgreesWithMerge is the consistency property: on random
+// streams the cached view's quantiles and CDF must agree exactly with a
+// fresh coordinator merge over the same shard states (the pre-view query
+// path), and the view's CDF must be monotone.
+func TestConcurrentViewAgreesWithMerge(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		c, err := NewConcurrent[float64](0.02, 1e-3, 4, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := stream.Collect(stream.Normal(30_000, seed+100, 50, 12))
+		c.AddAll(data)
+
+		phis := []float64{0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1}
+		got, err := c.Quantiles(phis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord, err := c.merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := coord.Query(phis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, phi := range phis {
+			if got[i] != want[i] {
+				t.Errorf("seed %d: view Quantile(%v) = %v, merge = %v", seed, phi, got[i], want[i])
+			}
+		}
+		prev := -1.0
+		for x := 0.0; x <= 100; x += 2.5 {
+			gotCDF, err := c.CDF(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCDF, err := coord.CDF(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotCDF != wantCDF {
+				t.Errorf("seed %d: view CDF(%v) = %v, merge = %v", seed, x, gotCDF, wantCDF)
+			}
+			if gotCDF < prev {
+				t.Errorf("seed %d: CDF(%v) = %v not monotone (prev %v)", seed, x, gotCDF, prev)
+			}
+			prev = gotCDF
+		}
+	}
+}
+
+// TestConcurrentViewInvalidation pins the cache contract: repeated queries
+// against an unchanged sketch reuse one view; any mutation (Add, AddAll,
+// ShipAndReset) invalidates it exactly once.
+func TestConcurrentViewInvalidation(t *testing.T) {
+	c, err := NewConcurrent[float64](0.05, 1e-3, 2, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddAll(stream.Collect(stream.Uniform(10_000, 8)))
+
+	mustQuery := func() {
+		t.Helper()
+		if _, err := c.Quantile(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustQuery()
+	_, _, r0 := c.ViewStats()
+	if r0 != 1 {
+		t.Fatalf("first query performed %d rebuilds, want 1", r0)
+	}
+	for i := 0; i < 10; i++ {
+		mustQuery()
+		if _, err := c.CDF(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, _, r1 := c.ViewStats()
+	if r1 != 1 {
+		t.Errorf("steady-state queries rebuilt %d times, want 1", r1)
+	}
+	if hits < 20 {
+		t.Errorf("steady-state queries hit %d times, want >= 20", hits)
+	}
+
+	c.Add(0.5)
+	mustQuery()
+	if _, _, r := c.ViewStats(); r != 2 {
+		t.Errorf("query after Add rebuilt %d times total, want 2", r)
+	}
+	c.AddAll([]float64{0.1, 0.2})
+	mustQuery()
+	if _, _, r := c.ViewStats(); r != 3 {
+		t.Errorf("query after AddAll rebuilt %d times total, want 3", r)
+	}
+
+	if _, _, err := c.ShipAndReset(Float64Codec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Quantile(0.5); err == nil {
+		t.Error("query after ShipAndReset drained everything should error")
+	}
+}
+
+// TestConcurrentCachedQueryAllocs asserts the acceptance criterion:
+// cached Quantile and CDF perform zero allocations.
+func TestConcurrentCachedQueryAllocs(t *testing.T) {
+	c, err := NewConcurrent[float64](0.01, 1e-3, 8, WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddAll(stream.Collect(stream.Uniform(200_000, 3)))
+	if _, err := c.Quantile(0.5); err != nil { // warm the view
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := c.Quantile(0.99); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("cached Quantile allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := c.CDF(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("cached CDF allocates %v per run, want 0", n)
+	}
+}
+
+// TestConcurrentLockFreeCounters checks Count and MemoryElements reflect
+// completed ingestion exactly once writers quiesce, and Version advances
+// with every mutation path.
+func TestConcurrentLockFreeCounters(t *testing.T) {
+	c, err := NewConcurrent[float64](0.05, 1e-3, 4, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 0 {
+		t.Fatalf("fresh Count = %d", c.Count())
+	}
+	data := stream.Collect(stream.Uniform(40_000, 5))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c.AddAll(data[g*10_000 : (g+1)*10_000])
+		}(g)
+	}
+	wg.Wait()
+	if c.Count() != 40_000 {
+		t.Errorf("Count = %d want 40000", c.Count())
+	}
+	if c.MemoryElements() <= 0 {
+		t.Errorf("MemoryElements = %d", c.MemoryElements())
+	}
+
+	s, err := New[float64](0.05, 1e-3, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := s.Version()
+	s.Add(1)
+	if s.Version() == v0 {
+		t.Error("Add did not bump Version")
+	}
+	v1 := s.Version()
+	s.AddAll([]float64{1, 2, 3})
+	if s.Version() == v1 {
+		t.Error("AddAll did not bump Version")
+	}
+	v2 := s.Version()
+	s.Reset()
+	if s.Version() == v2 {
+		t.Error("Reset did not bump Version")
+	}
+}

@@ -189,6 +189,7 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	b, k, h := s.sketch.Layout()
+	hits, misses, rebuilds := s.sketch.ViewStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"count":           s.sketch.Count(),
 		"memory_elements": s.sketch.MemoryElements(),
@@ -196,6 +197,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"delta":           s.delta,
 		"shards":          s.sketch.Shards(),
 		"layout":          map[string]int{"b": b, "k": k, "h": h},
+		"view_cache":      map[string]uint64{"hits": hits, "misses": misses, "rebuilds": rebuilds},
 		"uptime_seconds":  time.Since(s.start).Seconds(),
 	})
 }

@@ -400,6 +400,16 @@ func mergeWalk[T cmp.Ordered](bufs []*Buffer[T], emit func(v T, lo, hi uint64) b
 	}
 }
 
+// Walk visits the weighted sorted union of the buffers without materializing
+// it: for each element in weighted sorted order it calls emit with the element
+// and the 1-based inclusive weighted index range [lo, hi] its copies occupy.
+// emit returns false to stop early. It is the building block Output and the
+// CDF estimators share, exported so query-serving layers (internal/view) can
+// materialize the same weighted order exactly once.
+func Walk[T cmp.Ordered](bufs []*Buffer[T], emit func(v T, lo, hi uint64) bool) {
+	mergeWalk(bufs, emit)
+}
+
 // Collapser performs Collapse operations, owning the scratch storage and the
 // even-weight parity bit that alternates between the two valid position
 // offsets on successive even-weight collapses (paper Section 3.2).

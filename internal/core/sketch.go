@@ -40,6 +40,7 @@ type Sketch[T cmp.Ordered] struct {
 	fill    *buffer.Filler[T]
 	fillBuf *buffer.Buffer[T]
 	n       uint64
+	version uint64
 
 	snap     *buffer.Buffer[T]   // scratch for anytime queries mid-fill
 	queryBuf []*buffer.Buffer[T] // pooled scratch for the Output buffer set
@@ -72,6 +73,7 @@ func (s *Sketch[T]) Add(v T) {
 		s.fillBuf = nil
 	}
 	s.n++
+	s.version++
 }
 
 // startFill begins a New operation on a freshly acquired buffer.
@@ -92,6 +94,9 @@ func (s *Sketch[T]) startFill() {
 // boundaries without per-element dispatch. Under a fixed seed the
 // resulting sketch state is byte-identical to a per-element Add loop.
 func (s *Sketch[T]) AddAll(vs []T) {
+	if len(vs) > 0 {
+		s.version++
+	}
 	for len(vs) > 0 {
 		if s.fill == nil {
 			s.startFill()
@@ -128,6 +133,13 @@ func (s *Sketch[T]) SamplingRate() uint64 {
 
 // Count returns the number of elements consumed so far.
 func (s *Sketch[T]) Count() uint64 { return s.n }
+
+// Version returns a monotonic counter bumped by every mutation (Add,
+// AddAll, Ship, Reset). Query-serving layers key cached derived state —
+// most importantly the immutable query view (internal/view) — on it: an
+// unchanged version guarantees the sketch's answerable contents are
+// byte-identical to when the cache was built.
+func (s *Sketch[T]) Version() uint64 { return s.version }
 
 // Height returns the current collapse-tree height.
 func (s *Sketch[T]) Height() int { return s.tree.Height() }
@@ -240,6 +252,7 @@ func (s *Sketch[T]) SetTracer(tr Tracer) { s.tree.SetTracer(tr) }
 // with the consumed element count. The sketch must not be used afterwards
 // except via Reset.
 func (s *Sketch[T]) Ship() (full, partial *buffer.Buffer[T], n uint64) {
+	s.version++
 	if s.fill != nil {
 		s.fill.Finish()
 		if s.fillBuf.State == buffer.Full {
@@ -279,4 +292,5 @@ func (s *Sketch[T]) Reset() {
 	s.fill = nil
 	s.fillBuf = nil
 	s.n = 0
+	s.version++
 }

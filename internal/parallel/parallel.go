@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/policy"
 	"repro/internal/rng"
+	"repro/internal/view"
 )
 
 // Shipment is what a worker sends to the coordinator: at most one full and
@@ -304,12 +305,11 @@ func (c *Coordinator[T]) MemoryElements() int {
 	return m
 }
 
-// Query returns estimates of the given quantiles over the aggregate of all
-// received streams (the final Output of paper Section 6). Non-destructive.
-func (c *Coordinator[T]) Query(phis []float64) ([]T, error) {
-	if c.n == 0 {
-		return nil, fmt.Errorf("parallel: query with no data received")
-	}
+// outputSet assembles the buffer set the Output operation runs over: the
+// merge tree's live buffers plus, when the accumulator B0 holds elements, a
+// sorted snapshot of it (B0 itself stays unsorted so further admits can
+// keep appending).
+func (c *Coordinator[T]) outputSet() []*buffer.Buffer[T] {
 	bufs := c.tree.NonEmpty()
 	if c.b0 != nil && c.b0.Fill > 0 {
 		snap := buffer.New[T](c.k)
@@ -320,7 +320,16 @@ func (c *Coordinator[T]) Query(phis []float64) ([]T, error) {
 		insertionSort(snap.Data[:snap.Fill])
 		bufs = append(bufs, snap)
 	}
-	return buffer.Output(bufs, phis)
+	return bufs
+}
+
+// Query returns estimates of the given quantiles over the aggregate of all
+// received streams (the final Output of paper Section 6). Non-destructive.
+func (c *Coordinator[T]) Query(phis []float64) ([]T, error) {
+	if c.n == 0 {
+		return nil, fmt.Errorf("parallel: query with no data received")
+	}
+	return buffer.Output(c.outputSet(), phis)
 }
 
 // CDF estimates the fraction of aggregate stream elements ≤ v.
@@ -328,21 +337,24 @@ func (c *Coordinator[T]) CDF(v T) (float64, error) {
 	if c.n == 0 {
 		return 0, fmt.Errorf("parallel: CDF with no data received")
 	}
-	bufs := c.tree.NonEmpty()
-	if c.b0 != nil && c.b0.Fill > 0 {
-		snap := buffer.New[T](c.k)
-		copy(snap.Data, c.b0.Data[:c.b0.Fill])
-		snap.Fill = c.b0.Fill
-		snap.Weight = c.b0w
-		snap.State = buffer.Partial
-		insertionSort(snap.Data[:snap.Fill])
-		bufs = append(bufs, snap)
-	}
+	bufs := c.outputSet()
 	total := buffer.TotalWeightedCount(bufs)
 	if total == 0 {
 		return 0, fmt.Errorf("parallel: CDF with no weighted elements")
 	}
 	return float64(buffer.WeightedRank(bufs, v)) / float64(total), nil
+}
+
+// View freezes the coordinator's current aggregate into an immutable
+// query-ready view (internal/view): the weighted merge the Output operation
+// performs per query is done once, and the returned view answers any
+// φ-quantile or CDF point by binary search with zero allocations. The view
+// shares no storage with the coordinator; further Receives do not affect it.
+func (c *Coordinator[T]) View() (*view.View[T], error) {
+	if c.n == 0 {
+		return nil, fmt.Errorf("parallel: query with no data received")
+	}
+	return view.FromBuffers(c.outputSet(), c.n)
 }
 
 // QueryOne returns the estimate for a single quantile.

@@ -1,9 +1,13 @@
-// Package perf is the repository's ingest-performance harness (experiment
-// E-PERF): it measures the hot paths end to end — bulk and scalar unknown-N
-// ingest, known-N, the reservoir and extreme baselines, the sharded
-// concurrent sketch, and the cluster coordinator's shipment ingest — and
-// emits a machine-readable report (BENCH_3.json) that CI compares against
-// a checked-in baseline to catch throughput regressions.
+// Package perf is the repository's performance harness (experiment E-PERF):
+// it measures the hot paths end to end — bulk and scalar unknown-N ingest,
+// known-N, the reservoir and extreme baselines, the sharded concurrent
+// sketch, the cluster coordinator's shipment ingest, and the query-serving
+// path (cold view rebuild, cached single-φ and CDF lookups, queries racing
+// ingest) — and emits a machine-readable report (BENCH_4.json) that CI
+// compares against a checked-in baseline to catch throughput regressions.
+//
+// Ingest rows report ns per stream element; query rows report ns per query
+// (their Elems field is the number of queries one op performs).
 //
 // Unlike the testing.B micro-benchmarks in bench_test.go, this harness is
 // self-timed (min over a few repetitions) so it can run as a plain binary
@@ -15,6 +19,8 @@ package perf
 import (
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	quantile "repro"
@@ -216,6 +222,110 @@ func Run(cfg Config) (Report, error) {
 		return rep, err
 	}
 
+	// Query rows: the zero-rebuild serving path. One sharded sketch holds
+	// the full stream; queries are answered from its cached immutable view.
+	qc, err := quantile.NewConcurrent[float64](eps, delta, 8, quantile.WithSeed(2))
+	if err != nil {
+		return rep, err
+	}
+	qc.AddAll(data)
+
+	// query-rebuild is the pre-view cost model — every query preceded by a
+	// mutation, so each one pays the full coordinator merge the old code
+	// paid unconditionally. The cached rows below divide this out.
+	const rebuildQueries = 64
+	addRow("query-rebuild", rebuildQueries, func() {}, func() {
+		for i := 0; i < rebuildQueries; i++ {
+			qc.Add(data[i])
+			if _, qerr := qc.Quantile(0.5); qerr != nil {
+				err = qerr
+				return
+			}
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	// Cached single-φ: steady-state reads against an unchanged sketch. The
+	// φ sweep defeats a branch-predicted constant binary search.
+	const cachedQueries = 1 << 18
+	addRow("query-cached-phi", cachedQueries, func() { _, err = qc.Quantile(0.5) }, func() {
+		for i := 0; i < cachedQueries; i++ {
+			phi := float64(i&1023+1) / 1024
+			if _, qerr := qc.Quantile(phi); qerr != nil {
+				err = qerr
+				return
+			}
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	addRow("query-cached-cdf", cachedQueries, func() { _, err = qc.CDF(0.5) }, func() {
+		for i := 0; i < cachedQueries; i++ {
+			if _, qerr := qc.CDF(float64(i&1023) / 1024); qerr != nil {
+				err = qerr
+				return
+			}
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	// Queries racing ingest: 2 writers stream bulk chunks while 8 readers
+	// query — the cache invalidates constantly, so this measures the
+	// singleflight rebuild path under contention.
+	const ingestQueries = 64
+	var quc *quantile.Concurrent[float64]
+	addRow("query-under-ingest", ingestQueries, func() {
+		quc, err = quantile.NewConcurrent[float64](eps, delta, 8, quantile.WithSeed(3))
+		if err == nil {
+			quc.AddAll(data)
+		}
+	}, func() {
+		var stop atomic.Bool
+		var wwg, rwg sync.WaitGroup
+		chunk := 4096
+		if chunk > len(data) {
+			chunk = len(data)
+		}
+		span := len(data) - chunk + 1 // valid start offsets
+		for w := 0; w < 2; w++ {
+			wwg.Add(1)
+			go func(w int) {
+				defer wwg.Done()
+				for off := (w * chunk) % span; !stop.Load(); off = (off + chunk) % span {
+					quc.AddAll(data[off : off+chunk])
+				}
+			}(w)
+		}
+		var qerr atomic.Value
+		for r := 0; r < 8; r++ {
+			rwg.Add(1)
+			go func() {
+				defer rwg.Done()
+				for i := 0; i < ingestQueries/8; i++ {
+					if _, e := quc.Quantile(0.5); e != nil {
+						qerr.Store(e)
+						return
+					}
+				}
+			}()
+		}
+		rwg.Wait()
+		stop.Store(true)
+		wwg.Wait()
+		if e, ok := qerr.Load().(error); ok {
+			err = e
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
 	// Cluster ingest: the coordinator's full /v1/ship path (validate,
 	// dedup, decode, merge) over pre-built worker epochs.
 	envs, total, err := buildEnvelopes(eps, delta, cfg.N)
@@ -317,7 +427,7 @@ func Compare(cur, base Report, tolerance float64) []string {
 // Render produces the harness's human-readable table.
 func (r Report) Render() experiments.Table {
 	t := experiments.Table{
-		Title: fmt.Sprintf("E-PERF: ingest throughput (n=%d, best of %d; calibration %.2f ns/elem)",
+		Title: fmt.Sprintf("E-PERF: ingest + query throughput (n=%d, best of %d; calibration %.2f ns/elem)",
 			r.N, r.Reps, r.CalibrationNsPerElem),
 		Columns: []string{"path", "elems/op", "ns/elem", "elems/sec", "allocs/op"},
 	}

@@ -1,0 +1,160 @@
+// Package view provides an immutable, query-ready representation of a
+// weighted-buffer quantile summary: a single sorted array of distinct values
+// with a cumulative-weight prefix sum.
+//
+// A View is the paper's OUTPUT operation (Section 3.3) precomputed: OUTPUT
+// conceptually makes w(X) copies of every element of every buffer, sorts the
+// union, and reads off the element at position ⌈φ·Σ fillᵢ·wᵢ⌉. The View
+// performs that weighted merge exactly once at construction and stores the
+// resulting order as (value, cumulative weight) pairs, so every subsequent
+// φ-quantile — and every CDF point, which is the inverse lookup — is a
+// binary search over the prefix sums: O(log m) time, zero allocations, on a
+// structure that is never mutated and therefore safe to share across any
+// number of concurrent readers without locks.
+//
+// This is how production quantile-serving systems (KLL sketches, t-digest)
+// answer read-heavy traffic: queries hit a compacted snapshot; ingestion
+// invalidates and rebuilds it out of band. MRL99's weighted buffers admit
+// the identical treatment because OUTPUT is a pure function of the buffer
+// multiset.
+package view
+
+import (
+	"cmp"
+	"fmt"
+	"sort"
+
+	"repro/internal/buffer"
+)
+
+// View is an immutable weighted summary snapshot. The zero value is not
+// useful; build one with FromBuffers. All methods are safe for unlimited
+// concurrent use.
+type View[T cmp.Ordered] struct {
+	// vals holds the distinct element values in ascending order; cum[i] is
+	// the total weight of every element ≤ vals[i] (a strictly increasing
+	// prefix sum ending at total).
+	vals []T
+	cum  []uint64
+
+	// total is the weighted element count Σ fillᵢ·wᵢ the view stands for;
+	// n is the true stream element count reported by the summary.
+	total uint64
+	n     uint64
+}
+
+// FromBuffers builds a View over the weighted sorted union of the buffers,
+// copying everything it needs — the buffers may be reused or mutated freely
+// afterwards. n is the stream element count the summary attributes to the
+// buffers (reported by N). It errors when the buffers hold no weighted
+// elements, mirroring the Output operation.
+func FromBuffers[T cmp.Ordered](bufs []*buffer.Buffer[T], n uint64) (*View[T], error) {
+	total := buffer.TotalWeightedCount(bufs)
+	if total == 0 {
+		return nil, fmt.Errorf("view: build over empty buffer set")
+	}
+	elems := 0
+	for _, b := range bufs {
+		elems += b.Fill
+	}
+	v := &View[T]{
+		vals:  make([]T, 0, elems),
+		cum:   make([]uint64, 0, elems),
+		total: total,
+		n:     n,
+	}
+	buffer.Walk(bufs, func(x T, lo, hi uint64) bool {
+		// Coalesce duplicates: equal values are one entry whose cumulative
+		// weight absorbs every copy, shrinking the view and keeping both
+		// lookup directions a search over strictly increasing arrays.
+		if m := len(v.vals); m > 0 && v.vals[m-1] == x {
+			v.cum[m-1] = hi
+		} else {
+			v.vals = append(v.vals, x)
+			v.cum = append(v.cum, hi)
+		}
+		return true
+	})
+	return v, nil
+}
+
+// N returns the stream element count the view stands for.
+func (v *View[T]) N() uint64 { return v.n }
+
+// TotalWeight returns the weighted element count Σ fillᵢ·wᵢ.
+func (v *View[T]) TotalWeight() uint64 { return v.total }
+
+// Size returns the number of distinct values stored.
+func (v *View[T]) Size() int { return len(v.vals) }
+
+// Min returns the smallest value in the view.
+func (v *View[T]) Min() T { return v.vals[0] }
+
+// Max returns the largest value in the view.
+func (v *View[T]) Max() T { return v.vals[len(v.vals)-1] }
+
+// rank converts φ into the 1-based weighted target position ⌈φ·total⌉,
+// clamped to [1, total] (the Output operation's position arithmetic).
+func (v *View[T]) rank(phi float64) uint64 {
+	t := uint64(float64(v.total) * phi)
+	if float64(t) < float64(v.total)*phi {
+		t++
+	}
+	if t < 1 {
+		t = 1
+	}
+	if t > v.total {
+		t = v.total
+	}
+	return t
+}
+
+// Quantile returns the φ-quantile estimate, φ ∈ (0, 1]: the value whose
+// weighted copies cover position ⌈φ·total⌉. It performs no allocations on
+// the success path.
+func (v *View[T]) Quantile(phi float64) (T, error) {
+	if phi <= 0 || phi > 1 {
+		var zero T
+		return zero, fmt.Errorf("view: quantile %v out of (0,1]", phi)
+	}
+	target := v.rank(phi)
+	// First index with cum[i] >= target; cum is strictly increasing and
+	// ends at total >= target, so the search always lands in range.
+	lo, hi := 0, len(v.cum)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v.cum[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return v.vals[lo], nil
+}
+
+// Quantiles returns estimates for several quantiles in request order. Only
+// the result slice is allocated.
+func (v *View[T]) Quantiles(phis []float64) ([]T, error) {
+	out := make([]T, len(phis))
+	for i, phi := range phis {
+		q, err := v.Quantile(phi)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// CDF estimates the fraction of stream elements ≤ x: the cumulative weight
+// at the largest stored value ≤ x over the total weight. It performs no
+// allocations.
+func (v *View[T]) CDF(x T) float64 {
+	// First index with vals[i] > x; the entry before it (if any) carries
+	// the cumulative weight of everything ≤ x.
+	i := sort.Search(len(v.vals), func(i int) bool { return v.vals[i] > x })
+	if i == 0 {
+		return 0
+	}
+	return float64(v.cum[i-1]) / float64(v.total)
+}

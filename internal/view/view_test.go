@@ -1,0 +1,158 @@
+package view
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/buffer"
+)
+
+// randomBuffers builds a random weighted buffer set: nb buffers of capacity
+// k, power-of-two weights, mixed full/partial fills — the shapes a
+// coordinator merge actually produces.
+func randomBuffers(r *rand.Rand, nb, k int) []*buffer.Buffer[float64] {
+	bufs := make([]*buffer.Buffer[float64], nb)
+	for i := range bufs {
+		b := buffer.New[float64](k)
+		fill := 1 + r.Intn(k)
+		for j := 0; j < fill; j++ {
+			b.Data[j] = r.Float64()
+		}
+		sort.Float64s(b.Data[:fill])
+		b.Fill = fill
+		b.Weight = uint64(1) << r.Intn(6)
+		b.State = buffer.Full
+		if fill < k {
+			b.State = buffer.Partial
+		}
+		bufs[i] = b
+	}
+	return bufs
+}
+
+// TestViewMatchesOutput pins the defining property: for every φ the view
+// answers exactly what the paper's Output operation answers over the same
+// buffer set, and CDF matches WeightedRank/TotalWeightedCount.
+func TestViewMatchesOutput(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		bufs := randomBuffers(r, 1+r.Intn(8), 1+r.Intn(64))
+		total := buffer.TotalWeightedCount(bufs)
+		v, err := FromBuffers(bufs, total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.TotalWeight() != total {
+			t.Fatalf("total weight %d, want %d", v.TotalWeight(), total)
+		}
+		phis := []float64{1e-9, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+		for i := 0; i < 20; i++ {
+			phis = append(phis, r.Float64())
+		}
+		want, err := buffer.Output(bufs, phis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := v.Quantiles(phis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, phi := range phis {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: Quantile(%v) = %v, Output = %v", trial, phi, got[i], want[i])
+			}
+		}
+		for i := 0; i < 40; i++ {
+			x := r.Float64()*1.2 - 0.1
+			want := float64(buffer.WeightedRank(bufs, x)) / float64(total)
+			if got := v.CDF(x); got != want {
+				t.Fatalf("trial %d: CDF(%v) = %v, WeightedRank ratio = %v", trial, x, got, want)
+			}
+		}
+	}
+}
+
+// TestViewMonotone checks both lookup directions are monotone: quantiles
+// nondecreasing in φ, CDF nondecreasing in x, and the two are consistent
+// (CDF(Quantile(φ)) ≥ φ up to the weighted-position granularity).
+func TestViewMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	bufs := randomBuffers(r, 6, 128)
+	v, err := FromBuffers(bufs, buffer.TotalWeightedCount(bufs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevQ float64
+	var prevC float64
+	for i := 1; i <= 1000; i++ {
+		phi := float64(i) / 1000
+		q, err := v.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q < prevQ {
+			t.Fatalf("Quantile(%v) = %v < previous %v", phi, q, prevQ)
+		}
+		prevQ = q
+		x := -0.1 + 1.2*float64(i)/1000
+		c := v.CDF(x)
+		if c < prevC {
+			t.Fatalf("CDF(%v) = %v < previous %v", x, c, prevC)
+		}
+		prevC = c
+		if got := v.CDF(q); got < phi-1e-12 {
+			t.Fatalf("CDF(Quantile(%v)) = %v < φ", phi, got)
+		}
+	}
+	if v.Min() > v.Max() {
+		t.Fatalf("Min %v > Max %v", v.Min(), v.Max())
+	}
+}
+
+// TestViewErrors pins the failure modes: empty buffer sets and out-of-range φ.
+func TestViewErrors(t *testing.T) {
+	if _, err := FromBuffers[float64](nil, 0); err == nil {
+		t.Error("FromBuffers accepted an empty set")
+	}
+	b := buffer.New[float64](4)
+	if _, err := FromBuffers([]*buffer.Buffer[float64]{b}, 0); err == nil {
+		t.Error("FromBuffers accepted a weightless set")
+	}
+	b.Data[0], b.Fill, b.Weight, b.State = 1, 1, 2, buffer.Partial
+	v, err := FromBuffers([]*buffer.Buffer[float64]{b}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phi := range []float64{0, -1, 1.001} {
+		if _, err := v.Quantile(phi); err == nil {
+			t.Errorf("Quantile(%v) accepted", phi)
+		}
+	}
+	if q, _ := v.Quantile(1); q != 1 {
+		t.Errorf("Quantile(1) = %v", q)
+	}
+	if v.N() != 2 || v.Size() != 1 {
+		t.Errorf("N=%d Size=%d", v.N(), v.Size())
+	}
+}
+
+// TestViewZeroAlloc asserts the query hot paths allocate nothing.
+func TestViewZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	bufs := randomBuffers(r, 8, 256)
+	v, err := FromBuffers(bufs, buffer.TotalWeightedCount(bufs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := v.Quantile(0.9); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Quantile allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { v.CDF(0.5) }); n != 0 {
+		t.Errorf("CDF allocates %v per run", n)
+	}
+}

@@ -211,6 +211,11 @@ func (s *Sketch[T]) Delta() float64 { return s.delta }
 // Reset clears the sketch for reuse, retaining allocated memory.
 func (s *Sketch[T]) Reset() { s.inner.Reset() }
 
+// Version returns a monotonic counter bumped by every mutation. Callers
+// caching state derived from the sketch (materialized views, serialized
+// snapshots) can skip refreshing while the version is unchanged.
+func (s *Sketch[T]) Version() uint64 { return s.inner.Version() }
+
 // Stats exposes the sketch's internal counters (tree height, sampling
 // rate, collapse counts) for instrumentation and experiments.
 func (s *Sketch[T]) Stats() core.Stats { return s.inner.Stats() }
