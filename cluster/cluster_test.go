@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -23,12 +25,24 @@ const (
 	testDelta = 1e-3
 )
 
+// testLogWriter routes component logs into the test log.
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t: t}, nil))
+}
+
 func newTestCoordinator(t *testing.T, checkpoint string) *Coordinator {
 	t.Helper()
 	c, err := NewCoordinator(CoordinatorConfig{
 		Eps: testEps, Delta: testDelta, Seed: 99,
 		CheckpointPath: checkpoint,
-		Logf:           t.Logf,
+		Logger:         testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -47,7 +61,7 @@ func newTestWorker(t *testing.T, id, url string) *Worker {
 		CoordinatorURL: url,
 		BackoffBase:    time.Millisecond,
 		BackoffMax:     5 * time.Millisecond,
-		Logf:           t.Logf,
+		Logger:         testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -389,7 +403,7 @@ func TestWorkerRetryBackoffRecovers(t *testing.T) {
 	if got := coord.Count(); got != 30_000 {
 		t.Errorf("coordinator count %d, want 30000 (no duplicate counting)", got)
 	}
-	if deduped := coord.m.shipmentsDeduped.Load(); deduped != rejectN-1 {
+	if deduped := coord.m.shipmentsDeduped.Value(); deduped != rejectN-1 {
 		t.Errorf("deduped %d retransmissions, want %d", deduped, rejectN-1)
 	}
 
@@ -565,5 +579,126 @@ func TestShipErrorsAreStructured(t *testing.T) {
 	}
 	if got := coord.Count(); got != 0 {
 		t.Errorf("rejections leaked %d elements into the aggregate", got)
+	}
+}
+
+// stuckTransport always fails with a transient error, so every delivery
+// runs the full retry/backoff ladder.
+type stuckTransport struct{}
+
+func (stuckTransport) Ship(context.Context, Envelope) (ShipResult, error) {
+	return ShipResult{}, fmt.Errorf("transient: coordinator unreachable")
+}
+
+// stuckClock signals the first backoff sleep and then blocks until
+// released, freezing a ship cycle mid-backoff on demand.
+type stuckClock struct {
+	once     sync.Once
+	sleeping chan struct{} // closed when the first Sleep begins
+	release  chan struct{} // closing it lets every Sleep return
+}
+
+func newStuckClock() *stuckClock {
+	return &stuckClock{sleeping: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (c *stuckClock) Now() time.Time { return time.Now() }
+
+func (c *stuckClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.once.Do(func() { close(c.sleeping) })
+	select {
+	case <-c.release:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TestStatsDoesNotBlockDuringBackoff is the regression test for the
+// lock-hold bug: ShipOnce used to hold the worker mutex across the whole
+// delivery loop, backoff sleeps included, so Stats() (and any other
+// observer) froze for up to MaxRetries×BackoffMax whenever the coordinator
+// was unreachable. With the cycle frozen inside its first backoff sleep,
+// Stats must still return promptly and see the cut epoch as pending.
+func TestStatsDoesNotBlockDuringBackoff(t *testing.T) {
+	sk, err := quantile.NewConcurrent[float64](testEps, testDelta, 1, quantile.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newStuckClock()
+	w, err := NewWorker(sk, WorkerConfig{
+		ID:        "stuck-w",
+		Transport: stuckTransport{},
+		Clock:     clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Sketch().AddAll(shuffled(0, 1_000, 1))
+
+	done := make(chan error, 1)
+	go func() {
+		done <- w.ShipOnce(context.Background())
+	}()
+	<-clk.sleeping // the cycle is now parked inside its first backoff sleep
+
+	statsCh := make(chan WorkerStats, 1)
+	go func() { statsCh <- w.Stats() }()
+	select {
+	case st := <-statsCh:
+		if st.Epoch != 1 || st.Pending != 1 || st.Shipped != 0 {
+			t.Errorf("mid-backoff stats: %+v, want epoch 1 pending 1", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stats() blocked while ShipOnce was sleeping in backoff")
+	}
+
+	close(clk.release)
+	if err := <-done; err == nil {
+		t.Error("ShipOnce succeeded against a transport that always fails")
+	}
+	if st := w.Stats(); st.Pending != 1 {
+		t.Errorf("epoch not kept pending after failed cycle: %+v", st)
+	}
+}
+
+// TestCoordinatorRejectsNonFiniteQueryParams is the regression test for the
+// NaN validation hole: strconv.ParseFloat happily parses "NaN" and "Inf",
+// and NaN compares false against everything, so `phi <= 0 || phi > 1`
+// waved NaN through into the rank arithmetic (and /cdf had no finite check
+// at all). Every non-finite query parameter must be a 400.
+func TestCoordinatorRejectsNonFiniteQueryParams(t *testing.T) {
+	coord := newTestCoordinator(t, "")
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	// Seed data so a wrongly-admitted value would reach the view math.
+	if status, res := postShipment(t, srv.URL, shipEnvelope(t, "w", 1, shuffled(0, 1_000, 1))); status != http.StatusOK {
+		t.Fatalf("seed shipment: %d %+v", status, res)
+	}
+
+	for _, path := range []string{
+		"/quantile?phi=NaN",
+		"/quantile?phi=Inf",
+		"/quantile?phi=-Inf",
+		"/quantile?phi=0.5,NaN", // a bad entry poisons the whole list
+		"/cdf?v=NaN",
+		"/cdf?v=Inf",
+		"/cdf?v=-Inf",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d (body %s), want 400", path, resp.StatusCode, body)
+		}
+	}
+
+	// Finite queries still work after the rejects.
+	med := queryQuantiles(t, srv.URL, []float64{0.5})["0.5"]
+	if diff := med - 500; diff < -testEps*1_000 || diff > testEps*1_000 {
+		t.Errorf("median %v too far from 500 after rejected queries", med)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -16,6 +18,7 @@ import (
 
 	quantile "repro"
 	"repro/internal/codec"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/view"
 )
@@ -47,8 +50,13 @@ type CoordinatorConfig struct {
 	// virtual clock here.
 	Clock Clock
 
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs; nil discards them.
+	Logger *slog.Logger
+
+	// Registry receives the coordinator's metrics and backs GET /metrics;
+	// nil builds a private registry (exposed via Registry()). Supply one to
+	// share a scrape surface with co-located components.
+	Registry *obs.Registry
 }
 
 // Coordinator is the Section 6 "Processor P0" as a network service: it
@@ -102,11 +110,14 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Discard()
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = SystemClock()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
 	}
 	c := &Coordinator{
 		cfg:     cfg,
@@ -116,6 +127,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		seen:    make(map[string]map[uint64]struct{}),
 		workers: make(map[string]*WorkerStatus),
 	}
+	c.m = newMetrics(cfg.Registry,
+		func() float64 { return c.cfg.Clock.Now().Sub(c.start).Seconds() },
+		c.workerSnapshot)
 	c.merge, err = parallel.NewCoordinator[float64](plan.K, plan.B, cfg.Seed^0xc00d)
 	if err != nil {
 		return nil, err
@@ -138,11 +152,26 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 // Handler returns the coordinator's HTTP handler.
 func (c *Coordinator) Handler() http.Handler { return c.mux }
 
+// Registry returns the registry backing GET /metrics.
+func (c *Coordinator) Registry() *obs.Registry { return c.cfg.Registry }
+
 // Count returns the aggregate element count merged so far.
 func (c *Coordinator) Count() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.merge.Count()
+}
+
+// workerSnapshot copies the per-worker status table plus the scrape
+// timestamp for the metrics worker block.
+func (c *Coordinator) workerSnapshot() (map[string]WorkerStatus, time.Time) {
+	c.mu.Lock()
+	workers := make(map[string]WorkerStatus, len(c.workers))
+	for id, ws := range c.workers {
+		workers[id] = *ws
+	}
+	c.mu.Unlock()
+	return workers, c.cfg.Clock.Now()
 }
 
 // view returns the current query view, rebuilding it only when an accepted
@@ -152,10 +181,10 @@ func (c *Coordinator) Count() uint64 {
 func (c *Coordinator) view() (*view.View[float64], error) {
 	ver := c.version.Load()
 	if cv := c.cache.Load(); cv != nil && cv.version == ver {
-		c.m.viewHits.Add(1)
+		c.m.viewHits.Inc()
 		return cv.v, nil
 	}
-	c.m.viewMisses.Add(1)
+	c.m.viewMisses.Inc()
 	c.buildMu.Lock()
 	defer c.buildMu.Unlock()
 	if cv := c.cache.Load(); cv != nil && cv.version == c.version.Load() {
@@ -164,6 +193,7 @@ func (c *Coordinator) view() (*view.View[float64], error) {
 	// Build under mu: the merge tree must not change mid-walk. The version
 	// is read under the same critical section, so the cached key exactly
 	// matches the state the view froze.
+	begin := c.cfg.Clock.Now()
 	c.mu.Lock()
 	ver = c.version.Load()
 	v, err := c.merge.View()
@@ -172,7 +202,8 @@ func (c *Coordinator) view() (*view.View[float64], error) {
 		return nil, err
 	}
 	c.cache.Store(&coordView{v: v, version: ver})
-	c.m.viewRebuilds.Add(1)
+	c.m.viewRebuilds.Inc()
+	c.m.viewRebuildSeconds.Observe(c.cfg.Clock.Now().Sub(begin).Seconds())
 	return v, nil
 }
 
@@ -209,12 +240,12 @@ func (c *Coordinator) Run(ctx context.Context) {
 	for {
 		if err := c.cfg.Clock.Sleep(ctx, c.cfg.CheckpointInterval); err != nil {
 			if err := c.CheckpointNow(); err != nil {
-				c.cfg.Logf("cluster: final checkpoint: %v", err)
+				c.cfg.Logger.Error("final checkpoint failed", "err", err.Error())
 			}
 			return
 		}
 		if err := c.CheckpointNow(); err != nil {
-			c.cfg.Logf("cluster: checkpoint: %v", err)
+			c.cfg.Logger.Error("checkpoint failed", "err", err.Error())
 		}
 	}
 }
@@ -255,7 +286,7 @@ func (c *Coordinator) CheckpointNow() error {
 
 	blob, err := codec.MarshalCoordinator(st, codec.Float64())
 	if err != nil {
-		c.m.checkpointErrors.Add(1)
+		c.m.checkpointErrors.Inc()
 		return err
 	}
 	data, err := json.Marshal(checkpointFile{
@@ -267,30 +298,30 @@ func (c *Coordinator) CheckpointNow() error {
 		Merge:   blob,
 	})
 	if err != nil {
-		c.m.checkpointErrors.Add(1)
+		c.m.checkpointErrors.Inc()
 		return err
 	}
 	dir := filepath.Dir(c.cfg.CheckpointPath)
 	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
 	if err != nil {
-		c.m.checkpointErrors.Add(1)
+		c.m.checkpointErrors.Inc()
 		return err
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		c.m.checkpointErrors.Add(1)
+		c.m.checkpointErrors.Inc()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		c.m.checkpointErrors.Add(1)
+		c.m.checkpointErrors.Inc()
 		return err
 	}
 	if err := os.Rename(tmp.Name(), c.cfg.CheckpointPath); err != nil {
-		c.m.checkpointErrors.Add(1)
+		c.m.checkpointErrors.Inc()
 		return err
 	}
-	c.m.checkpoints.Add(1)
+	c.m.checkpoints.Inc()
 	return nil
 }
 
@@ -337,8 +368,9 @@ func (c *Coordinator) restore(path string) error {
 	}
 	c.version.Add(1)
 	c.m.elements.Add(merge.Count())
-	c.cfg.Logf("cluster: restored checkpoint %s (%d elements, %d workers, saved %s)",
-		path, merge.Count(), len(c.workers), f.SavedAt.Format(time.RFC3339))
+	c.cfg.Logger.Info("restored checkpoint",
+		"path", path, "elements", merge.Count(), "workers", len(c.workers),
+		"saved", f.SavedAt.Format(time.RFC3339))
 	return nil
 }
 
@@ -348,11 +380,11 @@ func (c *Coordinator) handleShip(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			c.m.shipmentsRejected.Add(1)
+			c.m.shipmentsRejected.Inc()
 			writeShipError(w, http.StatusRequestEntityTooLarge, "shipment body exceeds %d bytes", tooBig.Limit)
 			return
 		}
-		c.m.shipmentsRejected.Add(1)
+		c.m.shipmentsRejected.Inc()
 		writeShipError(w, http.StatusBadRequest, "decoding envelope: %v", err)
 		return
 	}
@@ -365,9 +397,9 @@ func (c *Coordinator) handleShip(w http.ResponseWriter, r *http.Request) {
 // the transport-independent core of POST /v1/ship, shared by the HTTP
 // handler and the sim package's in-memory transport.
 func (c *Coordinator) Ingest(env Envelope) (int, ShipResult) {
-	c.m.shipmentsReceived.Add(1)
+	c.m.shipmentsReceived.Inc()
 	reject := func(status int, format string, args ...any) (int, ShipResult) {
-		c.m.shipmentsRejected.Add(1)
+		c.m.shipmentsRejected.Inc()
 		return status, ShipResult{Status: StatusRejected, Error: fmt.Sprintf(format, args...)}
 	}
 	if err := env.Validate(); err != nil {
@@ -396,7 +428,7 @@ func (c *Coordinator) Ingest(env Envelope) (int, ShipResult) {
 		ws.Duplicates++
 		total := c.merge.Count()
 		c.mu.Unlock()
-		c.m.shipmentsDeduped.Add(1)
+		c.m.shipmentsDeduped.Inc()
 		return http.StatusOK, ShipResult{Status: StatusDuplicate, Count: total}
 	}
 	// Receive mutates state before it can fail on a pathological shipment,
@@ -409,11 +441,11 @@ func (c *Coordinator) Ingest(env Envelope) (int, ShipResult) {
 			c.merge = rb
 		}
 		c.mu.Unlock()
-		c.m.shipmentsRejected.Add(1)
+		c.m.shipmentsRejected.Inc()
 		return http.StatusConflict, ShipResult{Status: StatusRejected, Error: fmt.Sprintf("merging shipment: %v", err)}
 	}
-	c.m.mergeNanos.Add(uint64(c.cfg.Clock.Now().Sub(begin)))
-	c.m.merges.Add(1)
+	c.m.mergeSeconds.Add(c.cfg.Clock.Now().Sub(begin).Seconds())
+	c.m.merges.Inc()
 	if c.seen[env.Worker] == nil {
 		c.seen[env.Worker] = make(map[uint64]struct{})
 	}
@@ -433,10 +465,11 @@ func (c *Coordinator) Ingest(env Envelope) (int, ShipResult) {
 	c.version.Add(1) // invalidate the cached query view
 	c.mu.Unlock()
 
-	c.m.shipmentsAccepted.Add(1)
+	c.m.shipmentsAccepted.Inc()
 	c.m.bytesIngested.Add(uint64(len(env.Blob)))
 	c.m.elements.Add(env.Count)
-	c.cfg.Logf("cluster: accepted %s epoch %d (%d elements, total %d)", env.Worker, env.Epoch, env.Count, total)
+	c.cfg.Logger.Info("accepted shipment",
+		"worker", env.Worker, "epoch", env.Epoch, "elements", env.Count, "total", total)
 	return http.StatusOK, ShipResult{Status: StatusAccepted, Count: total}
 }
 
@@ -460,7 +493,10 @@ func (c *Coordinator) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	var phis []float64
 	for _, part := range strings.Split(raw, ",") {
 		phi, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil || phi <= 0 || phi > 1 {
+		// ParseFloat accepts "NaN", and NaN compares false against
+		// everything, so the range check alone would wave it through into
+		// the rank arithmetic; reject non-finite values by name.
+		if err != nil || math.IsNaN(phi) || math.IsInf(phi, 0) || phi <= 0 || phi > 1 {
 			writeError(w, http.StatusBadRequest, "bad phi %q", part)
 			return
 		}
@@ -481,7 +517,10 @@ func (c *Coordinator) handleQuantile(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleCDF(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.Query().Get("v")
 	v, err := strconv.ParseFloat(raw, 64)
-	if err != nil {
+	// NaN poisons the view's binary search (every comparison is false);
+	// infinities are formally orderable but signal a caller bug just the
+	// same, so the whole non-finite class is a 400.
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 		writeError(w, http.StatusBadRequest, "bad v %q", raw)
 		return
 	}
@@ -561,15 +600,8 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	c.mu.Lock()
-	workers := make(map[string]WorkerStatus, len(c.workers))
-	for id, ws := range c.workers {
-		workers[id] = *ws
-	}
-	c.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	now := c.cfg.Clock.Now()
-	c.m.writeProm(w, workers, now, now.Sub(c.start))
+	w.Header().Set("Content-Type", obs.ContentType)
+	c.cfg.Registry.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

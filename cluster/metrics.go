@@ -4,54 +4,71 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// metrics holds the coordinator's observability counters. All fields are
-// monotonic except the per-worker lag, which is derived at scrape time.
+// metrics bundles the coordinator's registry-backed observability counters.
+// All fields are monotonic except the per-worker lag block, which is
+// derived at scrape time from the worker table.
+//
+// Registration order below is load-bearing: the /metrics surface predates
+// the obs registry and is pinned byte-for-byte by testdata/metrics.golden,
+// and obs exposes families in first-registration order. New metrics must be
+// registered after every existing one (the golden diff stays append-only).
 type metrics struct {
-	shipmentsReceived atomic.Uint64 // every POST that parsed as an envelope
-	shipmentsAccepted atomic.Uint64
-	shipmentsRejected atomic.Uint64 // config mismatch, bad blob, merge failure
-	shipmentsDeduped  atomic.Uint64 // retransmissions dropped by (worker, epoch)
-	bytesIngested     atomic.Uint64 // envelope body bytes accepted
-	elements          atomic.Uint64 // aggregate element count represented
+	shipmentsReceived *obs.Counter // every POST that parsed as an envelope
+	shipmentsAccepted *obs.Counter
+	shipmentsRejected *obs.Counter // config mismatch, bad blob, merge failure
+	shipmentsDeduped  *obs.Counter // retransmissions dropped by (worker, epoch)
+	bytesIngested     *obs.Counter // envelope body bytes accepted
+	elements          *obs.Counter // aggregate element count represented
 
-	mergeNanos atomic.Uint64 // cumulative time inside Receive
-	merges     atomic.Uint64
+	merges       *obs.Counter      // number of Receive merges
+	mergeSeconds *obs.FloatCounter // cumulative time inside Receive
 
-	viewHits     atomic.Uint64 // queries answered from the cached view
-	viewMisses   atomic.Uint64 // queries that found the cached view stale
-	viewRebuilds atomic.Uint64 // view reconstructions actually performed
+	viewHits     *obs.Counter // queries answered from the cached view
+	viewMisses   *obs.Counter // queries that found the cached view stale
+	viewRebuilds *obs.Counter // view reconstructions actually performed
 
-	checkpoints      atomic.Uint64
-	checkpointErrors atomic.Uint64
+	checkpoints      *obs.Counter
+	checkpointErrors *obs.Counter
+
+	viewRebuildSeconds *obs.Histogram // time to rebuild the cached query view
 }
 
-// writeProm renders the counters in Prometheus text exposition format.
-// workers supplies the per-worker view for the lag gauge; now anchors the
-// lag computation.
-func (m *metrics) writeProm(w io.Writer, workers map[string]WorkerStatus, now time.Time, uptime time.Duration) {
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+// newMetrics registers the coordinator's metrics on reg in golden exposition
+// order. uptime and workers are scrape-time callbacks: uptime reports
+// seconds since start, workers snapshots the per-worker status table for
+// the trailing lag/epoch/elements block.
+func newMetrics(reg *obs.Registry, uptime func() float64, workers func() (map[string]WorkerStatus, time.Time)) metrics {
+	m := metrics{
+		shipmentsReceived: reg.Counter("cluster_shipments_received_total", "Shipment envelopes parsed from POST "+ShipPath+"."),
+		shipmentsAccepted: reg.Counter("cluster_shipments_accepted_total", "Shipments merged into the aggregate summary."),
+		shipmentsRejected: reg.Counter("cluster_shipments_rejected_total", "Shipments rejected (config mismatch or malformed)."),
+		shipmentsDeduped:  reg.Counter("cluster_shipments_deduped_total", "Retransmitted shipments dropped by (worker, epoch) dedup."),
+		bytesIngested:     reg.Counter("cluster_bytes_ingested_total", "Envelope body bytes accepted."),
+		elements:          reg.Counter("cluster_elements_total", "Stream elements represented by accepted shipments."),
+		merges:            reg.Counter("cluster_merge_seconds_count", "Number of merge operations."),
+		mergeSeconds:      reg.FloatCounter("cluster_merge_seconds_sum", "Cumulative seconds spent merging shipments."),
+		viewHits:          reg.Counter("cluster_view_hits_total", "Queries answered from the cached immutable view."),
+		viewMisses:        reg.Counter("cluster_view_misses_total", "Queries that found the cached view stale or absent."),
+		viewRebuilds:      reg.Counter("cluster_view_rebuilds_total", "Query-view reconstructions performed (misses minus rebuilds waited on another reader's rebuild)."),
+		checkpoints:       reg.Counter("cluster_checkpoints_total", "Checkpoints written."),
+		checkpointErrors:  reg.Counter("cluster_checkpoint_errors_total", "Checkpoint attempts that failed."),
 	}
-	counter("cluster_shipments_received_total", "Shipment envelopes parsed from POST "+ShipPath+".", m.shipmentsReceived.Load())
-	counter("cluster_shipments_accepted_total", "Shipments merged into the aggregate summary.", m.shipmentsAccepted.Load())
-	counter("cluster_shipments_rejected_total", "Shipments rejected (config mismatch or malformed).", m.shipmentsRejected.Load())
-	counter("cluster_shipments_deduped_total", "Retransmitted shipments dropped by (worker, epoch) dedup.", m.shipmentsDeduped.Load())
-	counter("cluster_bytes_ingested_total", "Envelope body bytes accepted.", m.bytesIngested.Load())
-	counter("cluster_elements_total", "Stream elements represented by accepted shipments.", m.elements.Load())
-	counter("cluster_merge_seconds_count", "Number of merge operations.", m.merges.Load())
-	fmt.Fprintf(w, "# HELP cluster_merge_seconds_sum Cumulative seconds spent merging shipments.\n# TYPE cluster_merge_seconds_sum counter\ncluster_merge_seconds_sum %g\n",
-		time.Duration(m.mergeNanos.Load()).Seconds())
-	counter("cluster_view_hits_total", "Queries answered from the cached immutable view.", m.viewHits.Load())
-	counter("cluster_view_misses_total", "Queries that found the cached view stale or absent.", m.viewMisses.Load())
-	counter("cluster_view_rebuilds_total", "Query-view reconstructions performed (misses minus rebuilds waited on another reader's rebuild).", m.viewRebuilds.Load())
-	counter("cluster_checkpoints_total", "Checkpoints written.", m.checkpoints.Load())
-	counter("cluster_checkpoint_errors_total", "Checkpoint attempts that failed.", m.checkpointErrors.Load())
-	fmt.Fprintf(w, "# HELP cluster_uptime_seconds Seconds since the coordinator started.\n# TYPE cluster_uptime_seconds gauge\ncluster_uptime_seconds %g\n", uptime.Seconds())
+	reg.GaugeFunc("cluster_uptime_seconds", "Seconds since the coordinator started.", uptime)
+	reg.Collect("cluster_worker", func(w io.Writer) { writeWorkerProm(w, workers) })
+	m.viewRebuildSeconds = reg.Histogram("cluster_view_rebuild_seconds",
+		"Time to rebuild the cached query view after it was invalidated.", nil)
+	return m
+}
 
+// writeWorkerProm renders the per-worker gauge block (nothing when no
+// worker has shipped yet), sorted by worker id for stable scrapes.
+func writeWorkerProm(w io.Writer, snapshot func() (map[string]WorkerStatus, time.Time)) {
+	workers, now := snapshot()
 	if len(workers) == 0 {
 		return
 	}

@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"time"
 
@@ -168,7 +169,7 @@ func New(cfg Config) (*Cluster, error) {
 			MaxRetries:  cfg.MaxRetries,
 			BackoffBase: 10 * time.Millisecond,
 			BackoffMax:  160 * time.Millisecond,
-			Logf:        cl.logf,
+			Logger:      cl.logger(),
 		})
 		if err != nil {
 			return nil, err
@@ -185,7 +186,7 @@ func (cl *Cluster) newCoordinator() (*cluster.Coordinator, error) {
 		Seed:           cl.cfg.Seed ^ 0x51c0,
 		CheckpointPath: cl.cfg.CheckpointPath,
 		Clock:          cl.clock,
-		Logf:           cl.logf,
+		Logger:         cl.logger(),
 	})
 }
 
@@ -199,6 +200,45 @@ func (cl *Cluster) logf(format string, args ...any) {
 	}
 	fmt.Fprintf(&cl.buf, "[t=%9.3f] %s\n", cl.clock.Now().Sub(simEpoch).Seconds(), line)
 }
+
+// logger adapts the transcript to slog for the cluster components.
+func (cl *Cluster) logger() *slog.Logger {
+	return slog.New(&transcriptHandler{logf: cl.logf})
+}
+
+// transcriptHandler renders slog records as single deterministic
+// "msg key=value ..." lines through the cluster's transcript logf. The
+// record's wall-clock timestamp is deliberately ignored: the transcript is
+// stamped with virtual time by logf, and letting real time through would
+// break byte-identical replay.
+type transcriptHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+}
+
+func (h *transcriptHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *transcriptHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Message)
+	emit := func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		return true
+	}
+	for _, a := range h.attrs {
+		emit(a)
+	}
+	r.Attrs(emit)
+	h.logf("%s", b.String())
+	return nil
+}
+
+func (h *transcriptHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return &transcriptHandler{logf: h.logf, attrs: merged}
+}
+
+func (h *transcriptHandler) WithGroup(string) slog.Handler { return h }
 
 // Feed adds vals to worker w's sketch (its local ingest stream).
 func (cl *Cluster) Feed(w int, vals []float64) {

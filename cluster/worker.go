@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	quantile "repro"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -60,8 +62,14 @@ type WorkerConfig struct {
 	// RequestTimeout.
 	Client *http.Client
 
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs; nil discards them.
+	Logger *slog.Logger
+
+	// Registry receives the worker's shipping metrics (epochs cut, delivery
+	// attempts, retries, drops, backoff time, pending-queue depth), every
+	// series labeled with the worker ID so a fleet can share one registry.
+	// nil keeps them in a private registry.
+	Registry *obs.Registry
 }
 
 func (cfg *WorkerConfig) fillDefaults() error {
@@ -112,8 +120,11 @@ func (cfg *WorkerConfig) fillDefaults() error {
 		h.Write([]byte(cfg.ID))
 		cfg.Seed = h.Sum64() | 1
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Discard()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
 	}
 	return nil
 }
@@ -127,6 +138,32 @@ type WorkerStats struct {
 	Pending int    // epochs cut but not yet acknowledged
 }
 
+// workerMetrics are the worker's registry-backed shipping counters,
+// labeled by worker ID.
+type workerMetrics struct {
+	epochsCut      *obs.Counter
+	attempts       *obs.Counter
+	retries        *obs.Counter
+	shipped        *obs.Counter
+	dropped        *obs.Counter
+	backoffSeconds *obs.FloatCounter
+}
+
+func newWorkerMetrics(reg *obs.Registry, id string, pending func() int) workerMetrics {
+	labeled := func(name string) string { return fmt.Sprintf("%s{worker=%q}", name, id) }
+	m := workerMetrics{
+		epochsCut:      reg.Counter(labeled("cluster_ship_epochs_cut_total"), "Epochs finalized from the local sketch."),
+		attempts:       reg.Counter(labeled("cluster_ship_attempts_total"), "Shipment delivery attempts, including retries."),
+		retries:        reg.Counter(labeled("cluster_ship_retries_total"), "Delivery attempts beyond the first, per epoch delivery."),
+		shipped:        reg.Counter(labeled("cluster_ship_epochs_shipped_total"), "Epochs acknowledged by the coordinator."),
+		dropped:        reg.Counter(labeled("cluster_ship_epochs_dropped_total"), "Epochs abandoned (rejected by the coordinator, or pending overflow)."),
+		backoffSeconds: reg.FloatCounter(labeled("cluster_ship_backoff_seconds_total"), "Cumulative time spent sleeping between delivery retries."),
+	}
+	reg.GaugeFunc(labeled("cluster_ship_pending_epochs"), "Epochs cut but not yet acknowledged.",
+		func() float64 { return float64(pending()) })
+	return m
+}
+
 // Worker wraps a concurrent sketch and periodically ships its contents to
 // a coordinator: the paper's Section 6 worker as a long-lived node. Local
 // ingest (Sketch().Add, or the httpapi surface sharing the same sketch)
@@ -135,9 +172,20 @@ type WorkerStats struct {
 type Worker struct {
 	cfg    WorkerConfig
 	sketch *quantile.Concurrent[float64]
+	m      workerMetrics
 
-	mu      sync.Mutex // serializes ship cycles and guards the fields below
-	rg      *rng.RNG   // retry jitter; guarded by mu
+	// shipMu serializes ship cycles end-to-end (Run's ticks, explicit
+	// ShipOnce callers, the final drain), so pending epochs are never
+	// delivered twice by overlapping cycles. It is held across network
+	// calls and backoff sleeps — which is exactly why it must NOT be the
+	// lock Stats() takes.
+	shipMu sync.Mutex
+
+	// mu guards the bookkeeping below and is only ever held for a few
+	// field accesses — never across a delivery or a sleep — so Stats()
+	// stays responsive throughout a coordinator outage.
+	mu      sync.Mutex
+	rg      *rng.RNG // retry jitter; guarded by mu
 	epoch   uint64
 	pending []Envelope
 	stats   WorkerStats
@@ -152,13 +200,20 @@ func NewWorker(sketch *quantile.Concurrent[float64], cfg WorkerConfig) (*Worker,
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	return &Worker{cfg: cfg, sketch: sketch, rg: rng.New(cfg.Seed)}, nil
+	w := &Worker{cfg: cfg, sketch: sketch, rg: rng.New(cfg.Seed)}
+	w.m = newWorkerMetrics(cfg.Registry, cfg.ID, func() int { return w.Stats().Pending })
+	return w, nil
 }
 
 // Sketch returns the wrapped sketch (shared with local ingest surfaces).
 func (w *Worker) Sketch() *quantile.Concurrent[float64] { return w.sketch }
 
-// Stats returns a snapshot of the shipping counters.
+// Registry returns the registry carrying the worker's shipping metrics.
+func (w *Worker) Registry() *obs.Registry { return w.cfg.Registry }
+
+// Stats returns a snapshot of the shipping counters. It never blocks on an
+// in-flight delivery: ship cycles hold their own lock across retries, and
+// the counters are guarded separately.
 func (w *Worker) Stats() WorkerStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -176,13 +231,13 @@ func (w *Worker) Run(ctx context.Context) {
 		if err := w.cfg.Clock.Sleep(ctx, w.cfg.ShipInterval); err != nil {
 			drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), w.cfg.RequestTimeout)
 			if err := w.ShipOnce(drainCtx); err != nil {
-				w.cfg.Logf("cluster: worker %s: final drain: %v", w.cfg.ID, err)
+				w.cfg.Logger.Warn("final drain failed", "worker", w.cfg.ID, "err", err.Error())
 			}
 			cancel()
 			return
 		}
 		if err := w.ShipOnce(ctx); err != nil && ctx.Err() == nil {
-			w.cfg.Logf("cluster: worker %s: %v", w.cfg.ID, err)
+			w.cfg.Logger.Warn("ship cycle incomplete", "worker", w.cfg.ID, "err", err.Error())
 		}
 	}
 }
@@ -192,16 +247,23 @@ func (w *Worker) Run(ctx context.Context) {
 // failed delivery with exponential backoff and jitter. Undelivered epochs
 // stay queued for the next cycle; the coordinator's (worker, epoch) dedup
 // makes redelivery after a lost acknowledgement harmless.
+//
+// Cycles are serialized by their own mutex; the counters Stats() reads are
+// only locked for the queue edits, so a coordinator outage (up to
+// MaxRetries backoff sleeps per pending epoch) never freezes observers.
 func (w *Worker) ShipOnce(ctx context.Context) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.shipMu.Lock()
+	defer w.shipMu.Unlock()
 
 	blob, count, err := w.sketch.ShipAndReset(quantile.Float64Codec())
 	if err != nil {
 		return fmt.Errorf("finalizing epoch: %w", err)
 	}
+
+	w.mu.Lock()
 	if count > 0 {
 		w.epoch++
+		w.m.epochsCut.Inc()
 		w.pending = append(w.pending, Envelope{
 			Worker: w.cfg.ID,
 			Epoch:  w.epoch,
@@ -211,25 +273,40 @@ func (w *Worker) ShipOnce(ctx context.Context) error {
 			Blob:   blob,
 		})
 	}
+	var overflowed []uint64
 	for over := len(w.pending) - w.cfg.MaxPending; over > 0; over-- {
-		w.cfg.Logf("cluster: worker %s: pending overflow, dropping epoch %d", w.cfg.ID, w.pending[0].Epoch)
+		overflowed = append(overflowed, w.pending[0].Epoch)
 		w.pending = w.pending[1:]
 		w.stats.Dropped++
 	}
+	// Snapshot the delivery queue; only this cycle (under shipMu) appends
+	// to or pops from pending, so the snapshot stays aligned with its head.
+	queue := append([]Envelope(nil), w.pending...)
+	w.mu.Unlock()
 
-	for len(w.pending) > 0 {
-		env := w.pending[0]
+	for _, epoch := range overflowed {
+		w.m.dropped.Inc()
+		w.cfg.Logger.Warn("pending overflow, dropping epoch", "worker", w.cfg.ID, "epoch", epoch)
+	}
+
+	for _, env := range queue {
 		err := w.deliver(ctx, env)
 		switch {
 		case err == nil:
+			w.mu.Lock()
 			w.pending = w.pending[1:]
 			w.stats.Shipped++
+			w.mu.Unlock()
+			w.m.shipped.Inc()
 		case IsPermanent(err):
 			// The coordinator understood the shipment and refused it
 			// (config mismatch, malformed blob); retrying cannot help.
-			w.cfg.Logf("cluster: worker %s: epoch %d rejected: %v", w.cfg.ID, env.Epoch, err)
+			w.cfg.Logger.Warn("epoch rejected", "worker", w.cfg.ID, "epoch", env.Epoch, "err", err.Error())
+			w.mu.Lock()
 			w.pending = w.pending[1:]
 			w.stats.Dropped++
+			w.mu.Unlock()
+			w.m.dropped.Inc()
 		default:
 			return fmt.Errorf("epoch %d undelivered (kept pending): %w", env.Epoch, err)
 		}
@@ -238,27 +315,37 @@ func (w *Worker) ShipOnce(ctx context.Context) error {
 }
 
 // deliver ships one envelope, retrying transient failures with backoff.
+// It is called without w.mu held and takes it only to bump counters and
+// draw jitter.
 func (w *Worker) deliver(ctx context.Context, env Envelope) error {
 	var lastErr error
 	for attempt := 0; attempt <= w.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
+			w.mu.Lock()
 			w.stats.Retries++
-			if err := w.cfg.Clock.Sleep(ctx, w.backoff(attempt)); err != nil {
+			d := w.backoffLocked(attempt)
+			w.mu.Unlock()
+			w.m.retries.Inc()
+			w.m.backoffSeconds.Add(d.Seconds())
+			if err := w.cfg.Clock.Sleep(ctx, d); err != nil {
 				return err
 			}
 		}
+		w.m.attempts.Inc()
 		_, lastErr = w.cfg.Transport.Ship(ctx, env)
 		if lastErr == nil || IsPermanent(lastErr) {
 			return lastErr
 		}
-		w.cfg.Logf("cluster: worker %s: epoch %d attempt %d: %v", w.cfg.ID, env.Epoch, attempt+1, lastErr)
+		w.cfg.Logger.Info("delivery attempt failed",
+			"worker", w.cfg.ID, "epoch", env.Epoch, "attempt", attempt+1, "err", lastErr.Error())
 	}
 	return lastErr
 }
 
-// backoff returns the jittered exponential delay before retry `attempt`
-// (1-based): base·2^(attempt−1) capped at max, scaled by [0.5, 1.5).
-func (w *Worker) backoff(attempt int) time.Duration {
+// backoffLocked returns the jittered exponential delay before retry
+// `attempt` (1-based): base·2^(attempt−1) capped at max, scaled by
+// [0.5, 1.5). Callers must hold w.mu (for the jitter generator).
+func (w *Worker) backoffLocked(attempt int) time.Duration {
 	d := w.cfg.BackoffBase << (attempt - 1)
 	if d > w.cfg.BackoffMax || d <= 0 {
 		d = w.cfg.BackoffMax

@@ -29,6 +29,16 @@
 //	curl  localhost:9090/healthz
 //	curl  localhost:9090/metrics
 //
+// Observability: every role serves Prometheus metrics on GET /metrics
+// (workers expose their shipping counters on the same registry as the
+// ingest surface). Logs are structured (-log-format text|json,
+// -log-level debug|info|warn|error), and -debug-addr starts a separate
+// net/http/pprof listener — separate so profiling endpoints are never
+// exposed on the public port:
+//
+//	quantiled -log-format json -log-level debug -debug-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//
 // All roles serve with read/write/idle timeouts and drain gracefully on
 // SIGINT/SIGTERM: workers ship their tail window, the coordinator writes a
 // final checkpoint.
@@ -40,8 +50,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -51,6 +63,7 @@ import (
 	quantile "repro"
 	"repro/cluster"
 	"repro/httpapi"
+	"repro/internal/obs"
 )
 
 type config struct {
@@ -69,6 +82,10 @@ type config struct {
 	checkpointInterval time.Duration
 
 	maxBodyBytes int64
+
+	logLevel  string
+	logFormat string
+	debugAddr string
 }
 
 func parseFlags(args []string, stderr io.Writer) (config, error) {
@@ -87,8 +104,17 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "coordinator checkpoint file (coordinator role; empty disables)")
 	fs.DurationVar(&cfg.checkpointInterval, "checkpoint-interval", 30*time.Second, "how often the coordinator checkpoints")
 	fs.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", 0, "request body cap in bytes (0 = default)")
+	fs.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug, info, warn or error")
+	fs.StringVar(&cfg.logFormat, "log-format", "text", "log format: text or json")
+	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "separate listen address for net/http/pprof (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
+	}
+	if _, err := obs.ParseLevel(cfg.logLevel); err != nil {
+		return cfg, err
+	}
+	if cfg.logFormat != "text" && cfg.logFormat != "json" {
+		return cfg, fmt.Errorf("unknown log format %q (want text or json)", cfg.logFormat)
 	}
 	switch cfg.role {
 	case "standalone", "coordinator":
@@ -118,7 +144,7 @@ type service struct {
 	banner  string
 }
 
-func newService(cfg config, logf func(format string, args ...any)) (*service, error) {
+func newService(cfg config, logger *slog.Logger) (*service, error) {
 	switch cfg.role {
 	case "standalone":
 		srv, err := httpapi.New(cfg.eps, cfg.delta, cfg.shards, quantile.WithSeed(cfg.seed))
@@ -126,6 +152,7 @@ func newService(cfg config, logf func(format string, args ...any)) (*service, er
 			return nil, err
 		}
 		srv.SetMaxBodyBytes(cfg.maxBodyBytes)
+		srv.SetLogger(logger)
 		return &service{
 			handler: srv.Handler(),
 			run:     func(ctx context.Context) { <-ctx.Done() },
@@ -138,11 +165,15 @@ func newService(cfg config, logf func(format string, args ...any)) (*service, er
 			return nil, err
 		}
 		srv.SetMaxBodyBytes(cfg.maxBodyBytes)
+		srv.SetLogger(logger)
 		w, err := cluster.NewWorker(srv.Sketch(), cluster.WorkerConfig{
 			ID:             cfg.workerID,
 			CoordinatorURL: cfg.coordinatorURL,
 			ShipInterval:   cfg.shipInterval,
-			Logf:           logf,
+			Logger:         logger,
+			// Shipping counters land on the ingest surface's registry, so
+			// the worker's GET /metrics covers both.
+			Registry: srv.Registry(),
 		})
 		if err != nil {
 			return nil, err
@@ -162,7 +193,7 @@ func newService(cfg config, logf func(format string, args ...any)) (*service, er
 			CheckpointPath:     cfg.checkpoint,
 			CheckpointInterval: cfg.checkpointInterval,
 			MaxBodyBytes:       cfg.maxBodyBytes,
-			Logf:               logf,
+			Logger:             logger,
 		})
 		if err != nil {
 			return nil, err
@@ -176,11 +207,42 @@ func newService(cfg config, logf func(format string, args ...any)) (*service, er
 	return nil, fmt.Errorf("unknown role %q", cfg.role)
 }
 
+// debugMux returns the pprof surface served on -debug-addr. Handlers are
+// registered explicitly instead of importing net/http/pprof for its
+// DefaultServeMux side effect, so nothing profiling-related ever leaks
+// onto the public mux.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startDebugServer serves pprof on addr until stop is called, returning
+// the bound address (useful with a ":0" addr).
+func startDebugServer(addr string, logger *slog.Logger) (stop func(), boundAddr string, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("debug listener: %w", err)
+	}
+	ds := &http.Server{Handler: debugMux(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := ds.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Warn("debug server stopped", "err", err.Error())
+		}
+	}()
+	logger.Info("pprof debug server listening", "addr", ln.Addr().String())
+	return func() { _ = ds.Close() }, ln.Addr().String(), nil
+}
+
 // serve runs the hardened HTTP server until ctx is cancelled, then drains:
 // stop accepting, finish in-flight requests, and only then cancel the
 // background loop so a coordinator's final checkpoint includes every
 // acknowledged shipment.
-func serve(ctx context.Context, cfg config, svc *service, logf func(format string, args ...any)) error {
+func serve(ctx context.Context, cfg config, svc *service, logger *slog.Logger) error {
 	hs := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           svc.handler,
@@ -188,6 +250,14 @@ func serve(ctx context.Context, cfg config, svc *service, logf func(format strin
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       5 * time.Minute,
+	}
+
+	if cfg.debugAddr != "" {
+		stopDebug, _, err := startDebugServer(cfg.debugAddr, logger)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
 	}
 
 	bgCtx, bgCancel := context.WithCancel(context.Background())
@@ -200,17 +270,17 @@ func serve(ctx context.Context, cfg config, svc *service, logf func(format strin
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	logf("quantiled %s listening on %s", cfg.role, cfg.addr)
+	logger.Info("quantiled listening", "role", cfg.role, "addr", cfg.addr)
 
 	var serveErr error
 	select {
 	case serveErr = <-errc:
 		// Listener failed; fall through to stop the background loop.
 	case <-ctx.Done():
-		logf("quantiled: signal received, draining")
+		logger.Info("signal received, draining")
 		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		if err := hs.Shutdown(shCtx); err != nil {
-			logf("quantiled: shutdown: %v", err)
+			logger.Warn("shutdown", "err", err.Error())
 		}
 		cancel()
 	}
@@ -231,15 +301,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "quantiled: %v\n", err)
 		os.Exit(2)
 	}
-	svc, err := newService(cfg, log.Printf)
+	logger, err := obs.NewLogger(os.Stderr, cfg.logFormat, cfg.logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "quantiled: %v\n", err)
+		os.Exit(2)
+	}
+	svc, err := newService(cfg, logger)
+	if err != nil {
+		logger.Error("startup failed", "err", err.Error())
 		os.Exit(1)
 	}
-	log.Printf("quantiled: %s", svc.banner)
+	logger.Info("starting", "banner", svc.banner)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serve(ctx, cfg, svc, log.Printf); err != nil {
-		log.Fatal(err)
+	if err := serve(ctx, cfg, svc, logger); err != nil {
+		logger.Error("serve failed", "err", err.Error())
+		os.Exit(1)
 	}
 }

@@ -8,9 +8,9 @@ import (
 	"strings"
 	"testing"
 	"time"
-)
 
-func discardLogf(string, ...any) {}
+	"repro/internal/obs"
+)
 
 func TestParseFlagsRoles(t *testing.T) {
 	if _, err := parseFlags([]string{"-role", "standalone"}, io.Discard); err != nil {
@@ -34,6 +34,22 @@ func TestParseFlagsRoles(t *testing.T) {
 	}
 }
 
+func TestParseFlagsLogging(t *testing.T) {
+	cfg, err := parseFlags([]string{"-log-level", "debug", "-log-format", "json", "-debug-addr", "127.0.0.1:0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.logLevel != "debug" || cfg.logFormat != "json" || cfg.debugAddr != "127.0.0.1:0" {
+		t.Errorf("logging flags not captured: %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-log-level", "loud"}, io.Discard); err == nil {
+		t.Error("unknown log level accepted")
+	}
+	if _, err := parseFlags([]string{"-log-format", "yaml"}, io.Discard); err == nil {
+		t.Error("unknown log format accepted")
+	}
+}
+
 // TestWorkerCoordinatorServices wires a worker service to a coordinator
 // service the way main does, exercising the full flag-to-fleet path.
 func TestWorkerCoordinatorServices(t *testing.T) {
@@ -41,7 +57,7 @@ func TestWorkerCoordinatorServices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	csvc, err := newService(ccfg, discardLogf)
+	csvc, err := newService(ccfg, obs.Discard())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +72,7 @@ func TestWorkerCoordinatorServices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wsvc, err := newService(wcfg, discardLogf)
+	wsvc, err := newService(wcfg, obs.Discard())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,6 +112,22 @@ func TestWorkerCoordinatorServices(t *testing.T) {
 	if !strings.Contains(string(body), `"count":10000`) {
 		t.Errorf("coordinator healthz after drain: %s", body)
 	}
+
+	// The worker's shipping counters share the ingest surface's registry.
+	resp, err = http.Get(ws.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`http_requests_total{endpoint="add"} 1`,
+		`cluster_ship_epochs_shipped_total{worker="w-test"}`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("worker /metrics missing %q:\n%s", want, prom)
+		}
+	}
 }
 
 func TestServeStopsOnCancel(t *testing.T) {
@@ -103,13 +135,13 @@ func TestServeStopsOnCancel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, err := newService(cfg, discardLogf)
+	svc, err := newService(cfg, obs.Discard())
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, cfg, svc, discardLogf) }()
+	go func() { done <- serve(ctx, cfg, svc, obs.Discard()) }()
 	time.Sleep(50 * time.Millisecond)
 	cancel()
 	select {
@@ -119,5 +151,40 @@ func TestServeStopsOnCancel(t *testing.T) {
 		}
 	case <-time.After(20 * time.Second):
 		t.Fatal("serve did not return after cancellation")
+	}
+}
+
+// TestDebugServerServesPprof pins the -debug-addr surface: the profiling
+// index and the symbol endpoint must answer on the side listener.
+func TestDebugServerServesPprof(t *testing.T) {
+	stop, addr, err := startDebugServer("127.0.0.1:0", obs.Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/symbol"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d (%s)", path, resp.StatusCode, body)
+		}
+	}
+	// The profiling surface must NOT be on the public mux of any role.
+	cfg, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := newService(cfg, obs.Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	svc.handler.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code == http.StatusOK {
+		t.Error("pprof index answered on the public mux")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/parallel"
@@ -39,9 +40,10 @@ type Concurrent[T cmp.Ordered] struct {
 	// N concurrent readers trigger one merge, not N.
 	buildMu sync.Mutex
 
-	viewHits     atomic.Uint64
-	viewMisses   atomic.Uint64
-	viewRebuilds atomic.Uint64
+	viewHits         atomic.Uint64
+	viewMisses       atomic.Uint64
+	viewRebuilds     atomic.Uint64
+	viewRebuildNanos atomic.Uint64
 }
 
 type cShard[T cmp.Ordered] struct {
@@ -240,10 +242,12 @@ func (c *Concurrent[T]) view() (*view.View[T], error) {
 	// next query after this rebuild sees a stale cache and rebuilds again —
 	// an acknowledged write is never invisible for longer than one rebuild.
 	ver = c.version.Load()
+	begin := time.Now()
 	v, err := c.buildView()
 	if err != nil {
 		return nil, err
 	}
+	c.viewRebuildNanos.Add(uint64(time.Since(begin)))
 	c.cache.Store(&cachedView[T]{v: v, version: ver})
 	c.viewRebuilds.Add(1)
 	return v, nil
@@ -289,6 +293,13 @@ func (c *Concurrent[T]) Quantile(phi float64) (T, error) {
 // own.
 func (c *Concurrent[T]) ViewStats() (hits, misses, rebuilds uint64) {
 	return c.viewHits.Load(), c.viewMisses.Load(), c.viewRebuilds.Load()
+}
+
+// ViewRebuildSeconds returns the cumulative wall time spent rebuilding the
+// cached query view — the merge cost the singleflight cache amortizes over
+// every read between mutations.
+func (c *Concurrent[T]) ViewRebuildSeconds() float64 {
+	return time.Duration(c.viewRebuildNanos.Load()).Seconds()
 }
 
 // MemoryElements returns the summed shard footprints, read lock-free from

@@ -4,19 +4,27 @@
 // goroutine-safe sharded sketch, so concurrent ingest and query requests
 // are fine.
 //
-// Endpoints (JSON responses):
+// Endpoints (JSON responses unless noted):
 //
 //	POST /add        whitespace-separated numbers in the body
 //	GET  /quantile   ?phi=0.5,0.95,0.99
 //	GET  /cdf        ?v=123.4
 //	GET  /histogram  ?buckets=10
 //	GET  /stats
+//	GET  /metrics    Prometheus text format
+//
+// Every endpoint is instrumented: request/error counters, latency
+// histograms and in-flight gauges per endpoint, plus sketch-level gauges
+// (element count, memory footprint, view-cache counters), all served on
+// GET /metrics from the server's obs.Registry.
 package httpapi
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -24,6 +32,7 @@ import (
 
 	quantile "repro"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 )
 
 // DefaultMaxBodyBytes caps a POST /add body unless overridden with
@@ -39,6 +48,12 @@ type Server struct {
 	maxBody int64
 	start   time.Time
 	mux     *http.ServeMux
+	reg     *obs.Registry
+	logger  *slog.Logger
+
+	// clock stamps request latencies; tests substitute a fixed clock so the
+	// /metrics exposition is byte-deterministic.
+	clock func() time.Time
 }
 
 // New returns a Server with the given guarantees and shard count
@@ -53,12 +68,25 @@ func New(eps, delta float64, shards int, opts ...quantile.Option) (*Server, erro
 		maxBody: DefaultMaxBodyBytes,
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
+		reg:     obs.NewRegistry(),
+		logger:  obs.Discard(),
+		clock:   time.Now,
 	}
-	s.mux.HandleFunc("POST /add", s.handleAdd)
-	s.mux.HandleFunc("GET /quantile", s.handleQuantile)
-	s.mux.HandleFunc("GET /cdf", s.handleCDF)
-	s.mux.HandleFunc("GET /histogram", s.handleHistogram)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("POST /add", s.instrument("add", s.handleAdd))
+	s.mux.Handle("GET /quantile", s.instrument("quantile", s.handleQuantile))
+	s.mux.Handle("GET /cdf", s.instrument("cdf", s.handleCDF))
+	s.mux.Handle("GET /histogram", s.instrument("histogram", s.handleHistogram))
+	s.mux.Handle("GET /stats", s.instrument("stats", s.handleStats))
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.reg.CounterFunc("sketch_elements_total", "Stream elements consumed by the sketch.", s.sketch.Count)
+	s.reg.GaugeFunc("sketch_memory_elements", "Elements resident in sketch buffers (the paper's space bound).",
+		func() float64 { return float64(s.sketch.MemoryElements()) })
+	s.reg.CounterFunc("sketch_view_hits_total", "Queries answered from the cached immutable view.",
+		func() uint64 { h, _, _ := s.sketch.ViewStats(); return h })
+	s.reg.CounterFunc("sketch_view_misses_total", "Queries that found the cached view stale or absent.",
+		func() uint64 { _, m, _ := s.sketch.ViewStats(); return m })
+	s.reg.CounterFunc("sketch_view_rebuilds_total", "Query-view reconstructions performed.",
+		func() uint64 { _, _, r := s.sketch.ViewStats(); return r })
 	return s, nil
 }
 
@@ -69,6 +97,20 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // alongside the HTTP surface).
 func (s *Server) Sketch() *quantile.Concurrent[float64] { return s.sketch }
 
+// Registry returns the registry behind GET /metrics. Co-located components
+// (a cluster worker sharing this server's sketch, say) can register their
+// own metrics on it to share the scrape surface.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SetLogger routes request-level logs (errors, oversized bodies) to l.
+// Call before serving; nil restores the discard logger.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = obs.Discard()
+	}
+	s.logger = l
+}
+
 // SetMaxBodyBytes overrides the POST /add body cap (n <= 0 restores the
 // default). Call before serving.
 func (s *Server) SetMaxBodyBytes(n int64) {
@@ -76,6 +118,40 @@ func (s *Server) SetMaxBodyBytes(n int64) {
 		n = DefaultMaxBodyBytes
 	}
 	s.maxBody = n
+}
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint handler with its per-endpoint metrics:
+// request and error counters, an in-flight gauge, and a latency histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	label := func(name string) string { return fmt.Sprintf("%s{endpoint=%q}", name, endpoint) }
+	requests := s.reg.Counter(label("http_requests_total"), "HTTP requests handled, by endpoint.")
+	errors := s.reg.Counter(label("http_request_errors_total"), "HTTP requests answered with status >= 400, by endpoint.")
+	inflight := s.reg.Gauge(label("http_requests_in_flight"), "Requests currently being handled, by endpoint.")
+	latency := s.reg.Histogram(label("http_request_seconds"), "Request handling latency in seconds, by endpoint.", nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		inflight.Inc()
+		defer inflight.Dec()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		begin := s.clock()
+		h(rec, r)
+		latency.Observe(s.clock().Sub(begin).Seconds())
+		if rec.status >= 400 {
+			errors.Inc()
+			s.logger.Debug("request failed", "endpoint", endpoint, "status", rec.status, "url", r.URL.String())
+		}
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -128,7 +204,10 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	var phis []float64
 	for _, part := range strings.Split(raw, ",") {
 		phi, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil || phi <= 0 || phi > 1 {
+		// ParseFloat accepts "NaN", and NaN compares false against
+		// everything, so the range check alone would wave it through into
+		// the rank arithmetic; reject non-finite values by name.
+		if err != nil || math.IsNaN(phi) || math.IsInf(phi, 0) || phi <= 0 || phi > 1 {
 			writeError(w, http.StatusBadRequest, "bad phi %q", part)
 			return
 		}
@@ -149,7 +228,10 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.Query().Get("v")
 	v, err := strconv.ParseFloat(raw, 64)
-	if err != nil {
+	// NaN poisons the view's binary search (every comparison is false);
+	// infinities are formally orderable but signal a caller bug just the
+	// same, so the whole non-finite class is a 400.
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 		writeError(w, http.StatusBadRequest, "bad v %q", raw)
 		return
 	}
@@ -197,7 +279,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"delta":           s.delta,
 		"shards":          s.sketch.Shards(),
 		"layout":          map[string]int{"b": b, "k": k, "h": h},
-		"view_cache":      map[string]uint64{"hits": hits, "misses": misses, "rebuilds": rebuilds},
-		"uptime_seconds":  time.Since(s.start).Seconds(),
+		"view_cache": map[string]any{
+			"hits": hits, "misses": misses, "rebuilds": rebuilds,
+			"rebuild_seconds": s.sketch.ViewRebuildSeconds(),
+		},
+		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
 }

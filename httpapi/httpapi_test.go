@@ -1,17 +1,25 @@
 package httpapi
 
 import (
+	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	quantile "repro"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files instead of comparing")
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
@@ -307,5 +315,102 @@ func TestErrorsAreStructuredJSON(t *testing.T) {
 			t.Fatal(err)
 		}
 		checkStructured(g.name, resp, g.status)
+	}
+}
+
+// TestRejectsNonFiniteQueryParams is the regression test for the NaN
+// hole: ParseFloat happily returns NaN/±Inf, and because NaN compares
+// false against everything the old `phi <= 0 || phi > 1` range check
+// waved it straight into the rank arithmetic (and v=NaN into the CDF
+// binary search). All non-finite parameters must be a 400.
+func TestRejectsNonFiniteQueryParams(t *testing.T) {
+	_, ts := newTestServer(t)
+	post(t, ts.URL+"/add", "1 2 3 4 5 6 7 8 9 10")
+	// "+Inf" is unusable in a query string (the + decodes to a space),
+	// but ParseFloat("Inf") yields +Inf, so the positive case is covered.
+	for _, url := range []string{
+		"/quantile?phi=NaN",
+		"/quantile?phi=Inf",
+		"/quantile?phi=-Inf",
+		"/quantile?phi=0.5,NaN", // non-finite hidden in a multi-phi list
+		"/cdf?v=NaN",
+		"/cdf?v=Inf",
+		"/cdf?v=-Inf",
+	} {
+		if code, body := get(t, ts.URL+url); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (body %v), want 400", url, code, body)
+		}
+	}
+	// Finite queries still work after the rejects.
+	code, out := get(t, ts.URL+"/quantile?phi=0.5")
+	if code != http.StatusOK {
+		t.Fatalf("finite quantile status %d", code)
+	}
+	if v := out["0.5"].(float64); math.IsNaN(v) {
+		t.Errorf("median is NaN")
+	}
+	if code, out := get(t, ts.URL+"/cdf?v=5"); code != http.StatusOK || math.IsNaN(out["cdf"].(float64)) {
+		t.Errorf("finite cdf: status %d, out %v", code, out)
+	}
+}
+
+// TestMetricsGolden pins the full Prometheus exposition of an
+// instrumented server after a deterministic traffic pattern. The server's
+// clock is substituted so every request observes exactly 1ms of latency,
+// which makes the histogram buckets byte-stable.
+func TestMetricsGolden(t *testing.T) {
+	s, err := New(0.02, 1e-3, 1, quantile.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1_700_000_000, 0)
+	ticks := 0
+	s.clock = func() time.Time {
+		ticks++
+		return base.Add(time.Duration(ticks) * time.Millisecond)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var body strings.Builder
+	for i := 1; i <= 1000; i++ {
+		fmt.Fprintln(&body, i)
+	}
+	post(t, ts.URL+"/add", body.String())
+	get(t, ts.URL+"/quantile?phi=0.5")
+	get(t, ts.URL+"/quantile?phi=0.9")
+	get(t, ts.URL+"/cdf?v=500")
+	get(t, ts.URL+"/histogram?buckets=4")
+	get(t, ts.URL+"/stats")
+	get(t, ts.URL+"/quantile?phi=NaN") // exercises the error counter
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type %q", ct)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("metrics exposition drifted from golden file (run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }

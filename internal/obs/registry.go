@@ -1,0 +1,322 @@
+// Package obs is the repository's observability layer: a dependency-free
+// metrics registry with Prometheus text-format exposition, and small
+// helpers for building log/slog structured loggers.
+//
+// The registry exists because every serving surface in this repo —
+// httpapi, the cluster coordinator, the cluster worker — needs the same
+// three primitives (monotonic counters, point-in-time gauges, fixed-bucket
+// latency histograms) scraped through the same endpoint, and pulling in a
+// metrics dependency is out of bounds for a reproduction repo. All
+// mutation paths are single atomic operations, so instrumenting a hot
+// path costs nanoseconds and never takes a lock; exposition walks the
+// registry under one mutex.
+//
+// Exposition preserves registration order rather than sorting by name.
+// That is deliberate: the cluster coordinator's /metrics surface predates
+// this package and is pinned byte-for-byte by a golden file, so the fold
+// into the registry must reproduce its exact line order.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ContentType is the Prometheus text exposition format content type.
+const ContentType = "text/plain; version=0.0.4"
+
+// DefBuckets are the default latency histogram bucket upper bounds, in
+// seconds. They span sub-millisecond cache hits to multi-second merges.
+var DefBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// metric is one exposable time series (or series group, for histograms).
+type metric interface {
+	expose(w io.Writer)
+}
+
+// family groups every series sharing a metric name: one HELP/TYPE header,
+// then each series in registration order.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	series  []metric
+	byFull  map[string]metric
+	collect func(io.Writer) // raw exposition block (scrape-time collector)
+}
+
+func (f *family) expose(w io.Writer) {
+	if f.collect != nil {
+		f.collect(w)
+		return
+	}
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	for _, s := range f.series {
+		s.expose(w)
+	}
+}
+
+// Registry holds metrics and renders them in Prometheus text format.
+// The zero value is not useful; construct with NewRegistry. All methods
+// are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// splitName separates a full series name like `requests_total{path="/add"}`
+// into the family name and the label block (without braces; empty when the
+// name carries no labels).
+func splitName(full string) (fam, labels string) {
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		return full[:i], strings.TrimSuffix(full[i+1:], "}")
+	}
+	return full, ""
+}
+
+// register files a series under its family, creating the family on first
+// sight. Re-registering an identical full name returns the existing series
+// (callers may instrument construction paths idempotently); a name reused
+// with a different metric kind panics — that is a programming error.
+func (r *Registry) register(full, help, typ string, mk func() metric) metric {
+	fam, _ := splitName(full)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[fam]
+	if f == nil {
+		f = &family{name: fam, help: help, typ: typ, byFull: make(map[string]metric)}
+		r.byName[fam] = f
+		r.families = append(r.families, f)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", fam, f.typ, typ))
+	}
+	if existing, ok := f.byFull[full]; ok {
+		return existing
+	}
+	m := mk()
+	f.byFull[full] = m
+	f.series = append(f.series, m)
+	return m
+}
+
+// Collect registers a raw exposition block rendered at scrape time, in
+// registration order with everything else. name must be unique; it is only
+// a registry key, the callback writes whatever exposition text it wants
+// (including its own HELP/TYPE lines). Use this for metric groups derived
+// from scrape-time state, like per-entity gauges over a dynamic set.
+func (r *Registry) Collect(name string, f func(io.Writer)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[name] != nil {
+		panic(fmt.Sprintf("obs: collector %s already registered", name))
+	}
+	fam := &family{name: name, collect: f}
+	r.byName[name] = fam
+	r.families = append(r.families, fam)
+}
+
+// WritePrometheus renders every registered metric in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.expose(w)
+	}
+}
+
+// Handler returns an HTTP handler serving the text exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	full string
+	v    atomic.Uint64
+}
+
+// Counter returns the counter registered under name (which may carry a
+// label block, e.g. `requests_total{path="/add"}`), creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, "counter", func() metric { return &Counter{full: name} }).(*Counter)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) expose(w io.Writer) { fmt.Fprintf(w, "%s %d\n", c.full, c.v.Load()) }
+
+// FloatCounter is a monotonically increasing float64 (cumulative seconds,
+// mostly). Add is a CAS loop on the bit pattern.
+type FloatCounter struct {
+	full string
+	bits atomic.Uint64
+}
+
+// FloatCounter returns the float counter registered under name.
+func (r *Registry) FloatCounter(name, help string) *FloatCounter {
+	return r.register(name, help, "counter", func() metric { return &FloatCounter{full: name} }).(*FloatCounter)
+}
+
+// Add accumulates d.
+func (c *FloatCounter) Add(d float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *FloatCounter) expose(w io.Writer) { fmt.Fprintf(w, "%s %g\n", c.full, c.Value()) }
+
+// Gauge is a settable integer value (queue depths, in-flight requests).
+type Gauge struct {
+	full string
+	v    atomic.Int64
+}
+
+// Gauge returns the gauge registered under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, "gauge", func() metric { return &Gauge{full: name} }).(*Gauge)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) expose(w io.Writer) { fmt.Fprintf(w, "%s %d\n", g.full, g.v.Load()) }
+
+// funcMetric renders a scrape-time callback.
+type funcMetric struct {
+	full   string
+	format func() string
+}
+
+func (m *funcMetric) expose(w io.Writer) { fmt.Fprintf(w, "%s %s\n", m.full, m.format()) }
+
+// GaugeFunc registers a gauge whose float value is computed at scrape time
+// (uptimes, derived depths).
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.register(name, help, "gauge", func() metric {
+		return &funcMetric{full: name, format: func() string {
+			return strconv.FormatFloat(f(), 'g', -1, 64)
+		}}
+	})
+}
+
+// CounterFunc registers a counter whose value is read from an external
+// monotonic source at scrape time.
+func (r *Registry) CounterFunc(name, help string, f func() uint64) {
+	r.register(name, help, "counter", func() metric {
+		return &funcMetric{full: name, format: func() string {
+			return strconv.FormatUint(f(), 10)
+		}}
+	})
+}
+
+// Histogram is a fixed-bucket distribution with cumulative Prometheus
+// exposition: name_bucket{le="..."} lines, name_sum and name_count.
+type Histogram struct {
+	fam    string
+	labels string
+	uppers []float64
+	counts []atomic.Uint64 // one per upper bound, +Inf bucket at the end
+	sum    FloatCounter
+	count  atomic.Uint64
+}
+
+// Histogram returns the histogram registered under name (which may carry a
+// label block) with the given ascending bucket upper bounds; nil uses
+// DefBuckets. Bucket layout is fixed at first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	fam, labels := splitName(name)
+	return r.register(name, help, "histogram", func() metric {
+		h := &Histogram{fam: fam, labels: labels, uppers: append([]float64(nil), buckets...)}
+		h.counts = make([]atomic.Uint64, len(h.uppers)+1)
+		return h
+	}).(*Histogram)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.uppers, v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+func (h *Histogram) series(suffix, labels string) string {
+	if labels == "" {
+		return h.fam + suffix
+	}
+	return h.fam + suffix + "{" + labels + "}"
+}
+
+func (h *Histogram) expose(w io.Writer) {
+	var cum uint64
+	for i, upper := range h.uppers {
+		cum += h.counts[i].Load()
+		le := `le="` + strconv.FormatFloat(upper, 'g', -1, 64) + `"`
+		if h.labels != "" {
+			le = h.labels + "," + le
+		}
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", h.fam, le, cum)
+	}
+	le := `le="+Inf"`
+	if h.labels != "" {
+		le = h.labels + "," + le
+	}
+	cum += h.counts[len(h.uppers)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s} %d\n", h.fam, le, cum)
+	fmt.Fprintf(w, "%s %g\n", h.series("_sum", h.labels), h.sum.Value())
+	fmt.Fprintf(w, "%s %d\n", h.series("_count", h.labels), h.count.Load())
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Total requests.")
+	c.Inc()
+	c.Add(4)
+	g := r.Gauge("in_flight", "In-flight requests.")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	f := r.FloatCounter("busy_seconds_total", "Cumulative busy time.")
+	f.Add(0.25)
+	f.Add(0.25)
+
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	want := "# HELP requests_total Total requests.\n" +
+		"# TYPE requests_total counter\n" +
+		"requests_total 5\n" +
+		"# HELP in_flight In-flight requests.\n" +
+		"# TYPE in_flight gauge\n" +
+		"in_flight 1\n" +
+		"# HELP busy_seconds_total Cumulative busy time.\n" +
+		"# TYPE busy_seconds_total counter\n" +
+		"busy_seconds_total 0.5\n"
+	if b.String() != want {
+		t.Errorf("exposition:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestRegistrationOrderPreserved pins the property the cluster golden file
+// depends on: families render in first-registration order, never sorted.
+func TestRegistrationOrderPreserved(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zebra_total", "z")
+	r.Counter("alpha_total", "a")
+	r.GaugeFunc("mid_gauge", "m", func() float64 { return 2.5 })
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	zi := strings.Index(b.String(), "zebra_total")
+	ai := strings.Index(b.String(), "alpha_total")
+	mi := strings.Index(b.String(), "mid_gauge")
+	if zi < 0 || ai < 0 || mi < 0 || !(zi < ai && ai < mi) {
+		t.Errorf("families out of registration order:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "mid_gauge 2.5\n") {
+		t.Errorf("GaugeFunc value missing:\n%s", b.String())
+	}
+}
+
+func TestLabeledSeriesShareFamilyHeader(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`requests_total{endpoint="add"}`, "Total requests.").Add(3)
+	r.Counter(`requests_total{endpoint="quantile"}`, "Total requests.").Add(7)
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	out := b.String()
+	if got := strings.Count(out, "# TYPE requests_total counter"); got != 1 {
+		t.Errorf("want exactly one TYPE header, got %d:\n%s", got, out)
+	}
+	for _, line := range []string{
+		`requests_total{endpoint="add"} 3`,
+		`requests_total{endpoint="quantile"} 7`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestReregisteringReturnsSameMetric(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "d")
+	b := r.Counter("dup_total", "d")
+	if a != b {
+		t.Fatal("re-registering the same name returned a distinct counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("re-registered counter does not share state")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as counter then gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	r.Gauge("x_total", "x")
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 2.56`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d", h.Count())
+	}
+	// A value exactly on a bucket boundary lands in that bucket (le is ≤).
+	h2 := r.Histogram("edge_seconds", "Edge.", []float64{1})
+	h2.Observe(1)
+	var b2 bytes.Buffer
+	r.WritePrometheus(&b2)
+	if !strings.Contains(b2.String(), `edge_seconds_bucket{le="1"} 1`+"\n") {
+		t.Errorf("boundary observation not in le=1 bucket:\n%s", b2.String())
+	}
+}
+
+func TestLabeledHistogramMergesLabelWithLe(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`req_seconds{endpoint="add"}`, "Latency.", []float64{0.5})
+	h.Observe(0.1)
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, line := range []string{
+		`req_seconds_bucket{endpoint="add",le="0.5"} 1`,
+		`req_seconds_bucket{endpoint="add",le="+Inf"} 1`,
+		`req_seconds_sum{endpoint="add"} 0.1`,
+		`req_seconds_count{endpoint="add"} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestCollectBlockRendersInOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("before_total", "b").Inc()
+	r.Collect("dynamic", func(w io.Writer) {
+		fmt.Fprintf(w, "dynamic_gauge{id=%q} 7\n", "x")
+	})
+	r.Counter("after_total", "a").Inc()
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	out := b.String()
+	bi := strings.Index(out, "before_total 1")
+	di := strings.Index(out, `dynamic_gauge{id="x"} 7`)
+	ai := strings.Index(out, "after_total 1")
+	if !(bi >= 0 && di > bi && ai > di) {
+		t.Errorf("collector block out of order:\n%s", out)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "s").Add(2)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "served_total 2\n") {
+		t.Errorf("body:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentMutation runs under -race in CI: every mutation path must
+// be safe without external locking.
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "r")
+	f := r.FloatCounter("race_seconds_total", "r")
+	g := r.Gauge("race_gauge", "r")
+	h := r.Histogram("race_hist", "r", []float64{0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				f.Add(0.5)
+				g.Inc()
+				h.Observe(0.25)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.WritePrometheus(io.Discard)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 8000 || f.Value() != 4000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("lost updates: c=%d f=%g g=%d h=%d", c.Value(), f.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var b bytes.Buffer
+	lg, err := NewLogger(&b, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("suppressed")
+	lg.Warn("kept", "k", 1)
+	out := b.String()
+	if strings.Contains(out, "suppressed") || !strings.Contains(out, `"msg":"kept"`) {
+		t.Errorf("json logger output: %s", out)
+	}
+	if _, err := NewLogger(io.Discard, "yaml", "info"); err == nil {
+		t.Error("NewLogger accepted an unknown format")
+	}
+	if _, err := NewLogger(io.Discard, "text", "loud"); err == nil {
+		t.Error("NewLogger accepted an unknown level")
+	}
+	Discard().Info("dropped") // must not panic
+}

@@ -52,27 +52,45 @@ func (b *Builder) Collapse(in []uint64, out uint64, level int, weight uint64) {
 	}
 	b.live[out] = node
 	b.order = append(b.order, out)
+	// Every collapse retires its inputs from live but their IDs linger in
+	// order; without pruning, order grows by one entry per leaf and per
+	// collapse for the lifetime of the sketch. Compact once dead entries
+	// dominate — each surviving ID is copied at most once per doubling, so
+	// the cost stays amortized O(1) per event and len(order) stays within a
+	// small constant factor of the live root count.
+	if len(b.order) > 2*len(b.live)+16 {
+		b.compact()
+	}
+}
+
+// compact drops dead IDs from order, preserving creation order.
+func (b *Builder) compact() {
+	kept := b.order[:0]
+	for _, id := range b.order {
+		if _, ok := b.live[id]; ok {
+			kept = append(kept, id)
+		}
+	}
+	b.order = kept
 }
 
 // Roots returns the current live nodes (the buffers an Output would scan),
 // in creation order — the children of the paper's conceptual root.
 func (b *Builder) Roots() []*Node {
 	roots := make([]*Node, 0, len(b.live))
+	seen := make(map[uint64]struct{}, len(b.live))
 	for _, id := range b.order {
-		if n, ok := b.live[id]; ok && !contains(roots, n) {
-			roots = append(roots, n)
+		n, ok := b.live[id]
+		if !ok {
+			continue
 		}
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		roots = append(roots, n)
 	}
 	return roots
-}
-
-func contains(ns []*Node, n *Node) bool {
-	for _, x := range ns {
-		if x == n {
-			return true
-		}
-	}
-	return false
 }
 
 // CountLeaves returns the number of leaf descendants of n (n itself if it

@@ -113,6 +113,33 @@ func TestRenderCompressed(t *testing.T) {
 	}
 }
 
+// TestOrderDoesNotLeak is the regression test for the Builder memory leak:
+// order used to accumulate one entry per leaf and per collapse forever (and
+// Roots deduplicated via an O(n²) linear scan over it). After thousands of
+// collapses the bookkeeping must stay proportional to the live root count,
+// not the event count.
+func TestOrderDoesNotLeak(t *testing.T) {
+	const n = 5000
+	_, bld := driveTree(t, 5, 2, n)
+	live := len(bld.live)
+	if got, bound := len(bld.order), 2*live+16; got > bound {
+		t.Errorf("order holds %d entries for %d live roots (bound %d): collapse pruning is not firing", got, live, bound)
+	}
+	// The pruned bookkeeping still reports exactly the live forest, with
+	// every fed leaf accounted for once.
+	roots := bld.Roots()
+	if len(roots) != live {
+		t.Errorf("Roots() returned %d nodes, live map holds %d", len(roots), live)
+	}
+	var total uint64
+	for _, r := range roots {
+		total += CountLeaves(r)
+	}
+	if total != n {
+		t.Errorf("forest accounts for %d leaves, fed %d", total, n)
+	}
+}
+
 func TestBuilderHandlesUnknownIDs(t *testing.T) {
 	b := NewBuilder()
 	// A collapse naming an ID never seen must not panic (robustness for

@@ -22,6 +22,7 @@ package view
 import (
 	"cmp"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/buffer"
@@ -113,7 +114,9 @@ func (v *View[T]) rank(phi float64) uint64 {
 // weighted copies cover position ⌈φ·total⌉. It performs no allocations on
 // the success path.
 func (v *View[T]) Quantile(phi float64) (T, error) {
-	if phi <= 0 || phi > 1 {
+	// NaN compares false against everything, so it would sail through the
+	// range check below and poison the rank arithmetic; reject it by name.
+	if math.IsNaN(phi) || phi <= 0 || phi > 1 {
 		var zero T
 		return zero, fmt.Errorf("view: quantile %v out of (0,1]", phi)
 	}
