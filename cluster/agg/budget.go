@@ -1,0 +1,24 @@
+package agg
+
+import "fmt"
+
+// PerLevelEps splits a root-level target ε across a distribution tree of
+// the given height (number of summary-producing hops: 2 for the classic
+// worker → coordinator layout, 3 with one aggregation tier between them).
+//
+// Every node in the tree — workers, aggregators, and the root — is built
+// with the returned per-node ε, so every hop's summary stays within ε/h of
+// its input and the composition at the root stays within the target ε.
+// This is the standard error-splitting discipline for hierarchical
+// mergeable summaries (cf. the ε/h rule for height-2 MapReduce layouts,
+// and the paper's own h + h′ analysis, where replacing h by the taller
+// tree's height is exactly a tighter per-level budget).
+func PerLevelEps(epsRoot float64, height int) (float64, error) {
+	if !(epsRoot > 0 && epsRoot < 1) {
+		return 0, fmt.Errorf("agg: root eps %g outside (0, 1)", epsRoot)
+	}
+	if height < 1 {
+		return 0, fmt.Errorf("agg: tree height %d < 1", height)
+	}
+	return epsRoot / float64(height), nil
+}

@@ -1,0 +1,119 @@
+// Package agg is the multi-level aggregation tier: nodes that are
+// coordinators toward their children and workers toward their parent, so
+// the paper's Section 6 merge composes into trees of any height. The
+// h + h′ analysis already covers this shape — error grows with the height
+// of the distribution graph, not its fan-in — which is why the tier can
+// scale fan-in without touching the core algorithm, provided every node
+// runs with the per-level ε budget (see PerLevelEps).
+package agg
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring assigning worker IDs to aggregator nodes.
+// Each node is placed at `replicas` pseudo-random points on a 64-bit
+// circle; a key belongs to the first node point at or after its own hash.
+// Adding or removing a node therefore only moves the keys falling in that
+// node's arcs — the property the tier relies on for elastic scaling, and
+// the one the property tests pin.
+//
+// Ring is a value-style structure with no internal locking; guard it
+// externally if topology changes race with lookups.
+type Ring struct {
+	replicas int
+	points   []point // sorted by (hash, node)
+	nodes    map[string]struct{}
+}
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring. replicas is the number of circle points
+// per node (more points → smoother load spread at the cost of memory);
+// non-positive means the default 128.
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 128
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]struct{})}
+}
+
+// Len returns the number of nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the node names in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Add places node on the ring; adding a present node is a no-op.
+func (r *Ring) Add(node string) {
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hash: ringHash(fmt.Sprintf("%s#%d", node, i)), node: node})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+}
+
+// Remove takes node off the ring; removing an absent node is a no-op.
+func (r *Ring) Remove(node string) {
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Assign maps key to its owning node. The second return is false only when
+// the ring is empty.
+func (r *Ring) Assign(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := ringHash(key)
+	// First point at or after h, wrapping to the start of the circle.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node, true
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV-1a's high bits barely avalanche on short keys ("w0", "a1"…),
+	// which would collapse every short ID into one arc of the circle; a
+	// 64-bit finalizer (murmur fmix64) spreads them.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

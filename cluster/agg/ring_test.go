@@ -1,0 +1,200 @@
+package agg
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("w%d", i)
+	}
+	return keys
+}
+
+func assignAll(t *testing.T, r *Ring, keys []string) map[string]string {
+	t.Helper()
+	owner := make(map[string]string, len(keys))
+	for _, k := range keys {
+		node, ok := r.Assign(k)
+		if !ok {
+			t.Fatalf("Assign(%q) on a %d-node ring returned no owner", k, r.Len())
+		}
+		owner[k] = node
+	}
+	return owner
+}
+
+func TestRingEmptyAndBasics(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Assign("w0"); ok {
+		t.Fatal("empty ring assigned an owner")
+	}
+	r.Add("a0")
+	r.Add("a0") // duplicate add is a no-op
+	if r.Len() != 1 {
+		t.Fatalf("Len after duplicate add: %d", r.Len())
+	}
+	if node, ok := r.Assign("anything"); !ok || node != "a0" {
+		t.Fatalf("single-node ring assigned %q, %v", node, ok)
+	}
+	r.Remove("a0")
+	r.Remove("a0") // duplicate remove is a no-op
+	if _, ok := r.Assign("w0"); ok {
+		t.Fatal("drained ring still assigns")
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(64)
+		r.Add("a1")
+		r.Add("a0")
+		r.Add("a2")
+		return r
+	}
+	a, b := build(), build()
+	for _, k := range ringKeys(200) {
+		x, _ := a.Assign(k)
+		y, _ := b.Assign(k)
+		if x != y {
+			t.Fatalf("Assign(%q) differs across identical rings: %q vs %q", k, x, y)
+		}
+	}
+}
+
+// TestRingLoadSpread pins the load-balance property the tier relies on:
+// with the default replica count, no node owns more than twice its fair
+// share of a large key population, and every node owns something. The
+// bound is loose — consistent hashing trades perfect balance for minimal
+// movement — but a regression to the pre-finalizer hash (which parked ALL
+// short worker IDs on one node) fails it by an order of magnitude.
+func TestRingLoadSpread(t *testing.T) {
+	for _, nodes := range []int{2, 3, 5, 8} {
+		r := NewRing(0)
+		for i := 0; i < nodes; i++ {
+			r.Add(fmt.Sprintf("a%d", i))
+		}
+		const keys = 10_000
+		load := make(map[string]int)
+		for _, k := range ringKeys(keys) {
+			n, _ := r.Assign(k)
+			load[n]++
+		}
+		if len(load) != nodes {
+			t.Fatalf("%d nodes: only %d received keys: %v", nodes, len(load), load)
+		}
+		fair := float64(keys) / float64(nodes)
+		for n, c := range load {
+			if float64(c) > 2*fair {
+				t.Errorf("%d nodes: %s owns %d keys, over 2x the fair share %.0f", nodes, n, c, fair)
+			}
+			if float64(c) < fair/4 {
+				t.Errorf("%d nodes: %s owns %d keys, under a quarter of the fair share %.0f", nodes, n, c, fair)
+			}
+		}
+	}
+}
+
+// TestRingShortIDSpread is the regression test for the fmix64 finalizer:
+// the tier's real key population is tiny IDs like "w0".."w15", whose raw
+// FNV-1a hashes cluster so badly that every one of them landed on a single
+// node of a two-node ring.
+func TestRingShortIDSpread(t *testing.T) {
+	r := NewRing(0)
+	r.Add("a0")
+	r.Add("a1")
+	load := make(map[string]int)
+	for _, k := range ringKeys(16) {
+		n, _ := r.Assign(k)
+		load[n]++
+	}
+	if load["a0"] == 0 || load["a1"] == 0 {
+		t.Fatalf("16 short worker IDs all parked on one node: %v", load)
+	}
+}
+
+// TestRingMinimalMovementOnLeave: removing a node may only re-home the keys
+// that node owned; every other key keeps its owner.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"a0", "a1", "a2", "a3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := ringKeys(2000)
+	before := assignAll(t, r, keys)
+	r.Remove("a2")
+	after := assignAll(t, r, keys)
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			if before[k] != "a2" {
+				t.Fatalf("key %q moved %s -> %s though its owner stayed on the ring", k, before[k], after[k])
+			}
+			moved++
+		} else if before[k] == "a2" {
+			t.Fatalf("key %q still assigned to removed node", k)
+		}
+	}
+	// The removed node's keys must all have moved, and only them.
+	owned := 0
+	for _, n := range before {
+		if n == "a2" {
+			owned++
+		}
+	}
+	if moved != owned {
+		t.Fatalf("%d keys moved, but the removed node owned %d", moved, owned)
+	}
+}
+
+// TestRingMinimalMovementOnJoin: adding a node may only claim keys for
+// itself; no key moves between pre-existing nodes. The expected take is
+// roughly 1/(n+1) of the population.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"a0", "a1", "a2"} {
+		r.Add(n)
+	}
+	keys := ringKeys(4000)
+	before := assignAll(t, r, keys)
+	r.Add("a3")
+	after := assignAll(t, r, keys)
+	claimed := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			if after[k] != "a3" {
+				t.Fatalf("key %q moved %s -> %s on join of an unrelated node", k, before[k], after[k])
+			}
+			claimed++
+		}
+	}
+	fair := float64(len(keys)) / 4
+	if math.Abs(float64(claimed)-fair) > fair {
+		t.Errorf("joining node claimed %d keys; want within (0, 2x] of the fair share %.0f", claimed, fair)
+	}
+	if claimed == 0 {
+		t.Error("joining node claimed nothing")
+	}
+}
+
+// TestRingJoinLeaveRoundTrip: add then remove restores the exact prior
+// assignment — consistent hashing has no hysteresis.
+func TestRingJoinLeaveRoundTrip(t *testing.T) {
+	r := NewRing(0)
+	r.Add("a0")
+	r.Add("a1")
+	keys := ringKeys(500)
+	before := assignAll(t, r, keys)
+	r.Add("a9")
+	r.Remove("a9")
+	after := assignAll(t, r, keys)
+	for _, k := range keys {
+		if before[k] != after[k] {
+			t.Fatalf("key %q: %s before join/leave, %s after", k, before[k], after[k])
+		}
+	}
+}

@@ -430,7 +430,7 @@ func TestWorkerParksEpochsDuringOutage(t *testing.T) {
 	defer srv.Close()
 
 	w := newTestWorker(t, "parked-w", srv.URL)
-	w.cfg.MaxRetries = 1
+	w.ship.cfg.MaxRetries = 1
 	ctx := context.Background()
 
 	down.Store(true)

@@ -33,6 +33,20 @@ type CoordinatorConfig struct {
 	// Seed drives the coordinator's block-sampling decisions.
 	Seed uint64
 
+	// Level is this merge point's tier in a multi-level aggregation tree,
+	// counted as hops below the root: 0 (the default) is the root, 1 an
+	// aggregator shipping to the root, and so on. The level is stamped into
+	// checkpoints, so a node refuses to restore state written at a
+	// different tier.
+	Level int
+
+	// CheckpointExtra, when non-nil, rides additional durable state inside
+	// the checkpoint file: Save is called on every checkpoint and Load on
+	// restore (only when the file carries extra state). The aggregation
+	// tier uses it to persist its upstream Shipper queue alongside the
+	// merge state, keeping the two halves crash-consistent.
+	CheckpointExtra CheckpointExtra
+
 	// CheckpointPath, when non-empty, is the file the merged state is
 	// persisted to. If the file exists at construction time the state is
 	// restored from it.
@@ -59,6 +73,15 @@ type CoordinatorConfig struct {
 	Registry *obs.Registry
 }
 
+// CheckpointExtra persists auxiliary node state inside the coordinator's
+// checkpoint file, atomically with the merge state.
+type CheckpointExtra interface {
+	// Save returns the state to embed in the checkpoint.
+	Save() (json.RawMessage, error)
+	// Load restores state embedded by Save.
+	Load(json.RawMessage) error
+}
+
 // Coordinator is the Section 6 "Processor P0" as a network service: it
 // accepts worker shipments on POST /v1/ship, deduplicates retransmissions
 // by (worker, epoch), merges through the paper's collapse tree, answers
@@ -81,6 +104,9 @@ type Coordinator struct {
 	merge   *parallel.Coordinator[float64]
 	seen    map[string]map[uint64]struct{}
 	workers map[string]*WorkerStatus
+	// shipGen counts ShipAndReset cuts (aggregator mode) so every
+	// replacement merge state gets a fresh deterministic seed.
+	shipGen uint64
 	// version counts state-changing merges (accepted shipments, restores);
 	// written while holding mu, read lock-free by the query warm path.
 	version atomic.Uint64
@@ -134,6 +160,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.merge.SetLevel(cfg.Level)
 	if cfg.CheckpointPath != "" {
 		if err := c.restore(cfg.CheckpointPath); err != nil {
 			return nil, err
@@ -160,6 +187,65 @@ func (c *Coordinator) Count() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.merge.Count()
+}
+
+// Summary is a point-in-time description of the merge state, shared by
+// /stats handlers here and in the aggregation tier.
+type Summary struct {
+	Count          uint64 // elements represented by the aggregate
+	MemoryElements int    // elements resident in the collapse tree + B0
+	MergeHeight    int    // h′, the merge tree's height
+	Children       int    // distinct senders that have shipped here
+	B, K           int    // buffer layout (Eq 3's b and k)
+}
+
+// Summarize snapshots the merge-state numbers the stats surfaces report.
+func (c *Coordinator) Summarize() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Summary{
+		Count:          c.merge.Count(),
+		MemoryElements: c.merge.MemoryElements(),
+		MergeHeight:    c.merge.MergeHeight(),
+		Children:       len(c.workers),
+		B:              c.plan.B,
+		K:              c.plan.K,
+	}
+}
+
+// ShipAndReset collapses the merged state into a single shipment blob (as
+// codec.MarshalShipment bytes) and installs a fresh, empty merge state in
+// its place, returning the blob and the element count it represents. An
+// empty aggregate returns (nil, 0, nil) — no epoch should be cut.
+//
+// This is the aggregator half-turn: everything the node accepted from its
+// children since the last cut moves upstream as one summary whose size is
+// bounded by the memory budget, not the data volume. Dedup state is kept —
+// a child retransmitting an old epoch after our cut must still be refused.
+func (c *Coordinator) ShipAndReset() ([]byte, uint64, error) {
+	c.mu.Lock()
+	if c.merge.Count() == 0 {
+		c.mu.Unlock()
+		return nil, 0, nil
+	}
+	c.shipGen++
+	fresh, err := parallel.NewCoordinator[float64](c.plan.K, c.plan.B,
+		c.cfg.Seed^0xc00d^(c.shipGen*0x9e3779b97f4a7c15))
+	if err != nil {
+		c.mu.Unlock()
+		return nil, 0, err
+	}
+	fresh.SetLevel(c.cfg.Level)
+	sh := c.merge.Ship() // consumes the old merge state
+	c.merge = fresh
+	c.version.Add(1) // queries now answer from the (empty) new window
+	c.mu.Unlock()
+
+	blob, err := codec.MarshalShipment(sh, codec.Float64())
+	if err != nil {
+		return nil, 0, err
+	}
+	return blob, sh.Count, nil
 }
 
 // workerSnapshot copies the per-worker status table plus the scrape
@@ -257,9 +343,13 @@ type checkpointFile struct {
 	SavedAt time.Time               `json:"saved_at"`
 	Eps     float64                 `json:"eps"`
 	Delta   float64                 `json:"delta"`
+	Level   int                     `json:"level,omitempty"`
 	Seen    map[string][]uint64     `json:"seen"`
 	Workers map[string]WorkerStatus `json:"workers"`
 	Merge   []byte                  `json:"merge"`
+	// Extra carries CheckpointExtra state (the aggregation tier's upstream
+	// ship queue); absent for plain root coordinators.
+	Extra json.RawMessage `json:"extra,omitempty"`
 }
 
 // CheckpointNow writes the coordinator's state to cfg.CheckpointPath
@@ -289,13 +379,22 @@ func (c *Coordinator) CheckpointNow() error {
 		c.m.checkpointErrors.Inc()
 		return err
 	}
+	var extra json.RawMessage
+	if c.cfg.CheckpointExtra != nil {
+		if extra, err = c.cfg.CheckpointExtra.Save(); err != nil {
+			c.m.checkpointErrors.Inc()
+			return fmt.Errorf("cluster: checkpoint extra state: %w", err)
+		}
+	}
 	data, err := json.Marshal(checkpointFile{
 		SavedAt: c.cfg.Clock.Now(),
 		Eps:     c.cfg.Eps,
 		Delta:   c.cfg.Delta,
+		Level:   c.cfg.Level,
 		Seen:    seen,
 		Workers: workers,
 		Merge:   blob,
+		Extra:   extra,
 	})
 	if err != nil {
 		c.m.checkpointErrors.Inc()
@@ -348,6 +447,12 @@ func (c *Coordinator) restore(path string) error {
 	if err != nil {
 		return fmt.Errorf("cluster: checkpoint %s: %w", path, err)
 	}
+	// Restoring state across tiers would splice a differently-budgeted
+	// summary into the tree; the codec-level tag makes that a refusal.
+	if st.Level != c.cfg.Level {
+		return fmt.Errorf("cluster: checkpoint %s was written at level %d, node runs at level %d",
+			path, st.Level, c.cfg.Level)
+	}
 	merge, err := parallel.RestoreCoordinator(st)
 	if err != nil {
 		return fmt.Errorf("cluster: checkpoint %s: %w", path, err)
@@ -368,6 +473,11 @@ func (c *Coordinator) restore(path string) error {
 	}
 	c.version.Add(1)
 	c.m.elements.Add(merge.Count())
+	if c.cfg.CheckpointExtra != nil && len(f.Extra) > 0 {
+		if err := c.cfg.CheckpointExtra.Load(f.Extra); err != nil {
+			return fmt.Errorf("cluster: checkpoint %s: extra state: %w", path, err)
+		}
+	}
 	c.cfg.Logger.Info("restored checkpoint",
 		"path", path, "elements", merge.Count(), "workers", len(c.workers),
 		"saved", f.SavedAt.Format(time.RFC3339))
@@ -564,21 +674,16 @@ func (c *Coordinator) handleHistogram(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
-	c.mu.Lock()
-	count := c.merge.Count()
-	mem := c.merge.MemoryElements()
-	height := c.merge.MergeHeight()
-	nWorkers := len(c.workers)
-	c.mu.Unlock()
+	s := c.Summarize()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"role":            "coordinator",
-		"count":           count,
-		"memory_elements": mem,
-		"merge_height":    height,
-		"workers":         nWorkers,
+		"count":           s.Count,
+		"memory_elements": s.MemoryElements,
+		"merge_height":    s.MergeHeight,
+		"workers":         s.Children,
 		"eps":             c.cfg.Eps,
 		"delta":           c.cfg.Delta,
-		"layout":          map[string]int{"b": c.plan.B, "k": c.plan.K},
+		"layout":          map[string]int{"b": s.B, "k": s.K},
 		"uptime_seconds":  c.cfg.Clock.Now().Sub(c.start).Seconds(),
 	})
 }

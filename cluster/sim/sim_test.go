@@ -7,6 +7,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/cluster/agg"
 	"repro/internal/exact"
 	"repro/internal/stream"
 )
@@ -25,7 +26,7 @@ func feedRoundRobin(t *testing.T, cl *Cluster, data []float64, workers, chunk in
 		if end > len(data) {
 			end = len(data)
 		}
-		cl.Feed((i / chunk) % workers, data[i:end])
+		cl.Feed((i/chunk)%workers, data[i:end])
 	}
 }
 
@@ -276,6 +277,157 @@ func TestCrashWithoutCheckpointRefused(t *testing.T) {
 	}
 	if err := cl.Crash(); err == nil {
 		t.Fatal("Crash without CheckpointPath should be refused")
+	}
+}
+
+// nodeEps3 is the per-node budget for a 3-level tree targeting testEps at
+// the root: every node (worker, aggregator, root) runs with ε/h, and the
+// answers are judged against the root target.
+func nodeEps3(t *testing.T) float64 {
+	t.Helper()
+	eps, err := agg.PerLevelEps(testEps, 3)
+	if err != nil {
+		t.Fatalf("PerLevelEps: %v", err)
+	}
+	return eps
+}
+
+// TestThreeLevelFaultyNetworkExactCount runs the full 3-level tree —
+// workers ship to ring-assigned aggregators, aggregators ship merged
+// windows to the root — under a lossy, duplicating, reordering network,
+// and demands the root counts every element exactly once and answers
+// within the root-level ε.
+func TestThreeLevelFaultyNetworkExactCount(t *testing.T) {
+	data := stream.Collect(stream.Zipf(6000, 13, 1.2, 1<<20))
+	cfg := Config{
+		Eps: nodeEps3(t), Delta: testDelta, Seed: 4242, Workers: 4, Aggregators: 2,
+		Faults: FaultPlan{
+			DropProb:    0.2,
+			DupProb:     0.1,
+			LostAckProb: 0.1,
+			DelayProb:   0.1,
+			DelaySends:  2,
+		},
+	}
+	cl := run(t, cfg, data)
+	if got := cl.Count(); got != uint64(len(data)) {
+		t.Fatalf("root count = %d, fed %d (elements lost or double-counted crossing the tier)", got, len(data))
+	}
+	checkQuantiles(t, cl, data)
+	// Both tiers must actually have shipped: a mis-routed topology where
+	// workers bypass the aggregators would still pass the count check.
+	if !bytes.Contains(cl.Transcript(), []byte("net a0/")) && !bytes.Contains(cl.Transcript(), []byte("net a1/")) {
+		t.Error("transcript records no aggregator->root shipments; tier not exercised")
+	}
+}
+
+// TestAggregatorCrashRestartFromCheckpoint crashes an aggregator mid-run,
+// losing its in-memory residue and upstream queue, and verifies the
+// restart restores both from its checkpoint: no element lost, none
+// double-counted (a regressed epoch counter would collide with epochs the
+// root already deduplicates).
+func TestAggregatorCrashRestartFromCheckpoint(t *testing.T) {
+	data := stream.Collect(stream.Uniform(6000, 17))
+	cfg := Config{
+		Eps: nodeEps3(t), Delta: testDelta, Seed: 77, Workers: 4, Aggregators: 2,
+		Faults:         FaultPlan{DropProb: 0.15, LostAckProb: 0.1},
+		CheckpointPath: filepath.Join(t.TempDir(), "checkpoint.json"),
+	}
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	half := len(data) / 2
+	feedRoundRobin(t, cl, data[:half], cfg.Workers, 500)
+	for i := 0; i < 2; i++ {
+		if err := cl.Cycle(); err != nil {
+			t.Fatalf("Cycle: %v", err)
+		}
+	}
+	if err := cl.CrashAggregator(0); err != nil {
+		t.Fatalf("CrashAggregator: %v", err)
+	}
+	// Workers assigned to the dead aggregator keep cutting epochs; they
+	// park and redeliver after the restart.
+	feedRoundRobin(t, cl, data[half:], cfg.Workers, 500)
+	if err := cl.Cycle(); err != nil {
+		t.Fatalf("Cycle during outage: %v", err)
+	}
+	if err := cl.RestartAggregator(0); err != nil {
+		t.Fatalf("RestartAggregator: %v", err)
+	}
+	if err := cl.Drain(50); err != nil {
+		t.Fatalf("Drain after restart: %v", err)
+	}
+	if got := cl.Count(); got != uint64(len(data)) {
+		t.Fatalf("root count after aggregator crash/restart = %d, fed %d", got, len(data))
+	}
+	checkQuantiles(t, cl, data)
+}
+
+// TestThreeLevelTranscriptByteIdentical extends the determinism contract
+// to the 3-level topology: one seed must replay byte-identically through
+// worker→aggregator→root shipping, fault injection on both hops, and an
+// aggregator crash-restart-from-checkpoint.
+func TestThreeLevelTranscriptByteIdentical(t *testing.T) {
+	runOnce := func(dir string) []byte {
+		data := stream.Collect(stream.Zipf(5000, 23, 1.1, 1<<16))
+		cfg := Config{
+			Eps: nodeEps3(t), Delta: testDelta, Seed: 31337, Workers: 4, Aggregators: 2,
+			Faults: FaultPlan{
+				DropProb:    0.2,
+				DupProb:     0.1,
+				LostAckProb: 0.1,
+				DelayProb:   0.1,
+				DelaySends:  2,
+			},
+			CheckpointPath: filepath.Join(dir, "checkpoint.json"),
+		}
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		feedRoundRobin(t, cl, data[:2500], cfg.Workers, 250)
+		if err := cl.Cycle(); err != nil {
+			t.Fatalf("Cycle: %v", err)
+		}
+		if err := cl.CrashAggregator(1); err != nil {
+			t.Fatalf("CrashAggregator: %v", err)
+		}
+		feedRoundRobin(t, cl, data[2500:], cfg.Workers, 250)
+		if err := cl.Cycle(); err != nil {
+			t.Fatalf("Cycle during outage: %v", err)
+		}
+		if err := cl.RestartAggregator(1); err != nil {
+			t.Fatalf("RestartAggregator: %v", err)
+		}
+		if err := cl.Drain(50); err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+		if _, err := cl.Quantiles([]float64{0.25, 0.5, 0.75}); err != nil {
+			t.Fatalf("Quantiles: %v", err)
+		}
+		return cl.Transcript()
+	}
+
+	a := runOnce(t.TempDir())
+	b := runOnce(t.TempDir())
+	if !bytes.Equal(a, b) {
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := i - 200
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("3-level transcripts diverge at byte %d:\nrun A: ...%s\nrun B: ...%s",
+			i, a[lo:min(i+200, len(a))], b[lo:min(i+200, len(b))])
+	}
+	for _, marker := range []string{"CRASH", "RESTART", "net a1/"} {
+		if !bytes.Contains(a, []byte(marker)) {
+			t.Errorf("3-level transcript missing %q", marker)
+		}
 	}
 }
 

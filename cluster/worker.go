@@ -3,15 +3,12 @@ package cluster
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"log/slog"
 	"net/http"
-	"sync"
 	"time"
 
 	quantile "repro"
 	"repro/internal/obs"
-	"repro/internal/rng"
 )
 
 // WorkerConfig configures a shipping worker.
@@ -85,23 +82,6 @@ func (cfg *WorkerConfig) fillDefaults() error {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 10 * time.Second
 	}
-	if cfg.MaxRetries < 0 {
-		cfg.MaxRetries = 0
-	} else if cfg.MaxRetries == 0 {
-		cfg.MaxRetries = 5
-	}
-	if cfg.BackoffBase <= 0 {
-		cfg.BackoffBase = 200 * time.Millisecond
-	}
-	if cfg.BackoffMax < cfg.BackoffBase {
-		cfg.BackoffMax = 5 * time.Second
-		if cfg.BackoffMax < cfg.BackoffBase {
-			cfg.BackoffMax = cfg.BackoffBase
-		}
-	}
-	if cfg.MaxPending <= 0 {
-		cfg.MaxPending = 64
-	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: cfg.RequestTimeout}
 	}
@@ -115,21 +95,19 @@ func (cfg *WorkerConfig) fillDefaults() error {
 	if cfg.Clock == nil {
 		cfg.Clock = SystemClock()
 	}
-	if cfg.Seed == 0 {
-		h := fnv.New64a()
-		h.Write([]byte(cfg.ID))
-		cfg.Seed = h.Sum64() | 1
-	}
 	if cfg.Logger == nil {
 		cfg.Logger = obs.Discard()
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	// MaxRetries, backoff, MaxPending and Seed keep their zero values here:
+	// the embedded Shipper resolves them with the same defaults, so a
+	// worker and an aggregator configured alike retry alike.
 	return nil
 }
 
-// WorkerStats is a snapshot of a worker's shipping counters.
+// WorkerStats is a snapshot of a node's shipping counters.
 type WorkerStats struct {
 	Epoch   uint64 // epochs cut so far
 	Shipped uint64 // epochs acknowledged by the coordinator
@@ -138,57 +116,18 @@ type WorkerStats struct {
 	Pending int    // epochs cut but not yet acknowledged
 }
 
-// workerMetrics are the worker's registry-backed shipping counters,
-// labeled by worker ID.
-type workerMetrics struct {
-	epochsCut      *obs.Counter
-	attempts       *obs.Counter
-	retries        *obs.Counter
-	shipped        *obs.Counter
-	dropped        *obs.Counter
-	backoffSeconds *obs.FloatCounter
-}
-
-func newWorkerMetrics(reg *obs.Registry, id string, pending func() int) workerMetrics {
-	labeled := func(name string) string { return fmt.Sprintf("%s{worker=%q}", name, id) }
-	m := workerMetrics{
-		epochsCut:      reg.Counter(labeled("cluster_ship_epochs_cut_total"), "Epochs finalized from the local sketch."),
-		attempts:       reg.Counter(labeled("cluster_ship_attempts_total"), "Shipment delivery attempts, including retries."),
-		retries:        reg.Counter(labeled("cluster_ship_retries_total"), "Delivery attempts beyond the first, per epoch delivery."),
-		shipped:        reg.Counter(labeled("cluster_ship_epochs_shipped_total"), "Epochs acknowledged by the coordinator."),
-		dropped:        reg.Counter(labeled("cluster_ship_epochs_dropped_total"), "Epochs abandoned (rejected by the coordinator, or pending overflow)."),
-		backoffSeconds: reg.FloatCounter(labeled("cluster_ship_backoff_seconds_total"), "Cumulative time spent sleeping between delivery retries."),
-	}
-	reg.GaugeFunc(labeled("cluster_ship_pending_epochs"), "Epochs cut but not yet acknowledged.",
-		func() float64 { return float64(pending()) })
-	return m
-}
-
 // Worker wraps a concurrent sketch and periodically ships its contents to
 // a coordinator: the paper's Section 6 worker as a long-lived node. Local
 // ingest (Sketch().Add, or the httpapi surface sharing the same sketch)
 // continues unblocked while shipments are in flight; each epoch's summary
 // is a few kilobytes regardless of how much data the window carried.
+//
+// The queueing, retry and backoff machinery lives in Shipper, shared with
+// the aggregation tier; Worker contributes the sketch-cutting half.
 type Worker struct {
 	cfg    WorkerConfig
 	sketch *quantile.Concurrent[float64]
-	m      workerMetrics
-
-	// shipMu serializes ship cycles end-to-end (Run's ticks, explicit
-	// ShipOnce callers, the final drain), so pending epochs are never
-	// delivered twice by overlapping cycles. It is held across network
-	// calls and backoff sleeps — which is exactly why it must NOT be the
-	// lock Stats() takes.
-	shipMu sync.Mutex
-
-	// mu guards the bookkeeping below and is only ever held for a few
-	// field accesses — never across a delivery or a sleep — so Stats()
-	// stays responsive throughout a coordinator outage.
-	mu      sync.Mutex
-	rg      *rng.RNG // retry jitter; guarded by mu
-	epoch   uint64
-	pending []Envelope
-	stats   WorkerStats
+	ship   *Shipper
 }
 
 // NewWorker wraps sketch in a shipping worker. The sketch's eps/delta must
@@ -200,9 +139,22 @@ func NewWorker(sketch *quantile.Concurrent[float64], cfg WorkerConfig) (*Worker,
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	w := &Worker{cfg: cfg, sketch: sketch, rg: rng.New(cfg.Seed)}
-	w.m = newWorkerMetrics(cfg.Registry, cfg.ID, func() int { return w.Stats().Pending })
-	return w, nil
+	ship, err := NewShipper(ShipperConfig{
+		ID:          cfg.ID,
+		Transport:   cfg.Transport,
+		Clock:       cfg.Clock,
+		MaxRetries:  cfg.MaxRetries,
+		BackoffBase: cfg.BackoffBase,
+		BackoffMax:  cfg.BackoffMax,
+		MaxPending:  cfg.MaxPending,
+		Seed:        cfg.Seed,
+		Logger:      cfg.Logger,
+		Registry:    cfg.Registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{cfg: cfg, sketch: sketch, ship: ship}, nil
 }
 
 // Sketch returns the wrapped sketch (shared with local ingest surfaces).
@@ -214,14 +166,7 @@ func (w *Worker) Registry() *obs.Registry { return w.cfg.Registry }
 // Stats returns a snapshot of the shipping counters. It never blocks on an
 // in-flight delivery: ship cycles hold their own lock across retries, and
 // the counters are guarded separately.
-func (w *Worker) Stats() WorkerStats {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	st := w.stats
-	st.Epoch = w.epoch
-	st.Pending = len(w.pending)
-	return st
-}
+func (w *Worker) Stats() WorkerStats { return w.ship.Stats() }
 
 // Run ships on cfg.ShipInterval until ctx is cancelled, then makes one
 // final drain attempt (with a fresh timeout) so a graceful shutdown ships
@@ -247,108 +192,8 @@ func (w *Worker) Run(ctx context.Context) {
 // failed delivery with exponential backoff and jitter. Undelivered epochs
 // stay queued for the next cycle; the coordinator's (worker, epoch) dedup
 // makes redelivery after a lost acknowledgement harmless.
-//
-// Cycles are serialized by their own mutex; the counters Stats() reads are
-// only locked for the queue edits, so a coordinator outage (up to
-// MaxRetries backoff sleeps per pending epoch) never freezes observers.
 func (w *Worker) ShipOnce(ctx context.Context) error {
-	w.shipMu.Lock()
-	defer w.shipMu.Unlock()
-
-	blob, count, err := w.sketch.ShipAndReset(quantile.Float64Codec())
-	if err != nil {
-		return fmt.Errorf("finalizing epoch: %w", err)
-	}
-
-	w.mu.Lock()
-	if count > 0 {
-		w.epoch++
-		w.m.epochsCut.Inc()
-		w.pending = append(w.pending, Envelope{
-			Worker: w.cfg.ID,
-			Epoch:  w.epoch,
-			Eps:    w.sketch.Epsilon(),
-			Delta:  w.sketch.Delta(),
-			Count:  count,
-			Blob:   blob,
-		})
-	}
-	var overflowed []uint64
-	for over := len(w.pending) - w.cfg.MaxPending; over > 0; over-- {
-		overflowed = append(overflowed, w.pending[0].Epoch)
-		w.pending = w.pending[1:]
-		w.stats.Dropped++
-	}
-	// Snapshot the delivery queue; only this cycle (under shipMu) appends
-	// to or pops from pending, so the snapshot stays aligned with its head.
-	queue := append([]Envelope(nil), w.pending...)
-	w.mu.Unlock()
-
-	for _, epoch := range overflowed {
-		w.m.dropped.Inc()
-		w.cfg.Logger.Warn("pending overflow, dropping epoch", "worker", w.cfg.ID, "epoch", epoch)
-	}
-
-	for _, env := range queue {
-		err := w.deliver(ctx, env)
-		switch {
-		case err == nil:
-			w.mu.Lock()
-			w.pending = w.pending[1:]
-			w.stats.Shipped++
-			w.mu.Unlock()
-			w.m.shipped.Inc()
-		case IsPermanent(err):
-			// The coordinator understood the shipment and refused it
-			// (config mismatch, malformed blob); retrying cannot help.
-			w.cfg.Logger.Warn("epoch rejected", "worker", w.cfg.ID, "epoch", env.Epoch, "err", err.Error())
-			w.mu.Lock()
-			w.pending = w.pending[1:]
-			w.stats.Dropped++
-			w.mu.Unlock()
-			w.m.dropped.Inc()
-		default:
-			return fmt.Errorf("epoch %d undelivered (kept pending): %w", env.Epoch, err)
-		}
-	}
-	return nil
-}
-
-// deliver ships one envelope, retrying transient failures with backoff.
-// It is called without w.mu held and takes it only to bump counters and
-// draw jitter.
-func (w *Worker) deliver(ctx context.Context, env Envelope) error {
-	var lastErr error
-	for attempt := 0; attempt <= w.cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			w.mu.Lock()
-			w.stats.Retries++
-			d := w.backoffLocked(attempt)
-			w.mu.Unlock()
-			w.m.retries.Inc()
-			w.m.backoffSeconds.Add(d.Seconds())
-			if err := w.cfg.Clock.Sleep(ctx, d); err != nil {
-				return err
-			}
-		}
-		w.m.attempts.Inc()
-		_, lastErr = w.cfg.Transport.Ship(ctx, env)
-		if lastErr == nil || IsPermanent(lastErr) {
-			return lastErr
-		}
-		w.cfg.Logger.Info("delivery attempt failed",
-			"worker", w.cfg.ID, "epoch", env.Epoch, "attempt", attempt+1, "err", lastErr.Error())
-	}
-	return lastErr
-}
-
-// backoffLocked returns the jittered exponential delay before retry
-// `attempt` (1-based): base·2^(attempt−1) capped at max, scaled by
-// [0.5, 1.5). Callers must hold w.mu (for the jitter generator).
-func (w *Worker) backoffLocked(attempt int) time.Duration {
-	d := w.cfg.BackoffBase << (attempt - 1)
-	if d > w.cfg.BackoffMax || d <= 0 {
-		d = w.cfg.BackoffMax
-	}
-	return time.Duration((0.5 + w.rg.Float64()) * float64(d))
+	return w.ship.ShipCycle(ctx, w.sketch.Epsilon(), w.sketch.Delta(), func() ([]byte, uint64, error) {
+		return w.sketch.ShipAndReset(quantile.Float64Codec())
+	})
 }

@@ -9,6 +9,7 @@
 //	qsim -eps 0.01 -delta 1e-4 -explain 6,652,7  # explain a hand-picked b,k,h
 //	qsim -sweep-eps                              # memory across the ε grid
 //	qsim -cluster -trials 100 -seed 1            # cluster conformance grid
+//	qsim -cluster -heights 3 -aggregators 2      # 3-level tree scenarios only
 package main
 
 import (
@@ -42,12 +43,14 @@ func run(args []string, w io.Writer) error {
 		explainS = fs.String("explain", "", "explain a layout given as b,k,h")
 		sweepEps = fs.Bool("sweep-eps", false, "print memory across the standard ε grid")
 
-		cluster    = fs.Bool("cluster", false, "run the cluster-simulation conformance grid, print a JSON report")
-		trials     = fs.Int("trials", 0, "with -cluster: seeded trials per scenario (0 = default 100)")
-		clusterN   = fs.Int("cluster-n", 0, "with -cluster: elements per trial (0 = default 6000)")
-		workers    = fs.Int("workers", 0, "with -cluster: simulated workers per trial (0 = default 3)")
-		seed       = fs.Uint64("seed", 0, "with -cluster: base seed for the grid (0 = default 1)")
-		clusterEps = fs.String("cluster-eps", "", "with -cluster: comma-separated ε list (default 0.01,0.001)")
+		cluster     = fs.Bool("cluster", false, "run the cluster-simulation conformance grid, print a JSON report")
+		trials      = fs.Int("trials", 0, "with -cluster: seeded trials per scenario (0 = default 100)")
+		clusterN    = fs.Int("cluster-n", 0, "with -cluster: elements per trial (0 = default 6000)")
+		workers     = fs.Int("workers", 0, "with -cluster: simulated workers per trial (0 = default 3)")
+		seed        = fs.Uint64("seed", 0, "with -cluster: base seed for the grid (0 = default 1)")
+		clusterEps  = fs.String("cluster-eps", "", "with -cluster: comma-separated ε list (default 0.01,0.001)")
+		heights     = fs.String("heights", "", "with -cluster: comma-separated tree heights, each 2 or 3 (default 2,3)")
+		aggregators = fs.Int("aggregators", 0, "with -cluster: aggregator nodes in height-3 trees (0 = default 2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,11 +58,21 @@ func run(args []string, w io.Writer) error {
 
 	if *cluster {
 		cfg := conformance.Config{
-			Delta:   *delta,
-			Trials:  *trials,
-			N:       *clusterN,
-			Workers: *workers,
-			Seed:    *seed,
+			Delta:       *delta,
+			Trials:      *trials,
+			N:           *clusterN,
+			Workers:     *workers,
+			Seed:        *seed,
+			Aggregators: *aggregators,
+		}
+		if *heights != "" {
+			for _, part := range strings.Split(*heights, ",") {
+				h, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil || h < 2 || h > 3 {
+					return fmt.Errorf("-heights component %q: want 2 or 3", part)
+				}
+				cfg.Heights = append(cfg.Heights, h)
+			}
 		}
 		if *clusterEps != "" {
 			for _, part := range strings.Split(*clusterEps, ",") {

@@ -87,7 +87,8 @@ func TestClusterConformanceMode(t *testing.T) {
 	// internal/conformance's TestAcceptanceGrid; here we verify the CLI
 	// wiring, flag plumbing and JSON shape.
 	out := runQsim(t, "-cluster", "-trials", "2", "-cluster-n", "1500",
-		"-workers", "2", "-seed", "9", "-cluster-eps", "0.02", "-delta", "1e-3")
+		"-workers", "2", "-seed", "9", "-cluster-eps", "0.02", "-delta", "1e-3",
+		"-heights", "2,3", "-aggregators", "2")
 	var rep conformance.Report
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("output is not a JSON report: %v\n%s", err, out)
@@ -98,15 +99,50 @@ func TestClusterConformanceMode(t *testing.T) {
 	if rep.Trials != 2 || rep.N != 1500 || rep.Workers != 2 || rep.Seed != 9 || rep.Delta != 1e-3 {
 		t.Fatalf("flags not plumbed into report: %+v", rep)
 	}
-	if want := 5 * 3; len(rep.Scenarios) != want {
-		t.Fatalf("got %d scenarios, want %d (5 orders x 3 faults x 1 eps)", len(rep.Scenarios), want)
+	if got, want := rep.Heights, []int{2, 3}; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("heights not plumbed into report: %v", got)
 	}
+	// Height 2: 5 orders x 3 non-aggregator faults. Height 3 adds the
+	// aggregator crash fault: 5 orders x 4 faults.
+	if want := 5*3 + 5*4; len(rep.Scenarios) != want {
+		t.Fatalf("got %d scenarios, want %d (heights 2,3 x 5 orders x faults x 1 eps)", len(rep.Scenarios), want)
+	}
+	sawH3 := false
 	for _, sc := range rep.Scenarios {
 		if sc.Eps != 0.02 {
 			t.Fatalf("scenario eps %g, want 0.02", sc.Eps)
 		}
 		if sc.TailP <= 0 || sc.TailP > 1 {
-			t.Fatalf("scenario %s/%s has tail_p %g outside (0, 1]", sc.Order, sc.Fault, sc.TailP)
+			t.Fatalf("scenario h%d/%s/%s has tail_p %g outside (0, 1]", sc.Height, sc.Order, sc.Fault, sc.TailP)
+		}
+		if sc.Height == 3 {
+			sawH3 = true
+		}
+	}
+	if !sawH3 {
+		t.Fatal("no height-3 scenarios in report")
+	}
+}
+
+func TestClusterHeightsFlag(t *testing.T) {
+	// A single-height run keeps the grid to exactly that height's scenarios.
+	out := runQsim(t, "-cluster", "-trials", "1", "-cluster-n", "1000",
+		"-workers", "2", "-seed", "3", "-cluster-eps", "0.05", "-delta", "1e-3",
+		"-heights", "2")
+	var rep conformance.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not a JSON report: %v\n%s", err, out)
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.Height != 2 {
+			t.Fatalf("-heights 2 produced a height-%d scenario", sc.Height)
+		}
+	}
+
+	var sink strings.Builder
+	for _, bad := range []string{"1", "4", "x", "2,,3"} {
+		if err := run([]string{"-cluster", "-heights", bad}, &sink); err == nil {
+			t.Errorf("-heights %q accepted", bad)
 		}
 	}
 }

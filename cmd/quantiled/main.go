@@ -1,4 +1,4 @@
-// Command quantiled serves streaming quantiles over HTTP. It runs in three
+// Command quantiled serves streaming quantiles over HTTP. It runs in four
 // roles:
 //
 //   - standalone (default): the original sidecar — accept numbers, answer
@@ -11,6 +11,13 @@
 //     retransmissions, merges through the paper's collapse tree, answers
 //     aggregate queries, and checkpoints its state to disk for crash
 //     recovery.
+//   - aggregator: a mid-tier node that is both — a coordinator toward its
+//     children (same /v1/ship surface and dedup) and a worker toward its
+//     parent (-parent), periodically cutting its merged window and shipping
+//     it upstream. -level states how many hops below the root it sits.
+//     Every node in one tree must run the same ε and δ; for a tree of
+//     height h, give each node the per-level budget ε_root/h (see
+//     cluster/agg.PerLevelEps and DESIGN.md).
 //
 // Standalone:
 //
@@ -28,6 +35,15 @@
 //	curl 'localhost:9090/quantile?phi=0.5,0.99'   # union of both workers
 //	curl  localhost:9090/healthz
 //	curl  localhost:9090/metrics
+//
+// A three-level tree (root ε=0.01 → per-node ε=0.01/3; workers point at
+// their ring-assigned aggregator instead of the root):
+//
+//	quantiled -role coordinator -addr :9090 -eps 0.00333 -delta 1e-4
+//	quantiled -role aggregator -addr :9091 -parent http://localhost:9090 -level 1 \
+//	    -eps 0.00333 -delta 1e-4 -checkpoint /var/lib/quantiled-a1.ckpt
+//	quantiled -role worker -addr :8081 -coordinator http://localhost:9091 \
+//	    -eps 0.00333 -delta 1e-4
 //
 // Observability: every role serves Prometheus metrics on GET /metrics
 // (workers expose their shipping counters on the same registry as the
@@ -62,6 +78,7 @@ import (
 
 	quantile "repro"
 	"repro/cluster"
+	"repro/cluster/agg"
 	"repro/httpapi"
 	"repro/internal/obs"
 )
@@ -77,6 +94,9 @@ type config struct {
 	coordinatorURL string
 	workerID       string
 	shipInterval   time.Duration
+
+	parentURL string
+	level     int
 
 	checkpoint         string
 	checkpointInterval time.Duration
@@ -97,12 +117,14 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.Float64Var(&cfg.delta, "delta", 1e-4, "failure probability")
 	fs.IntVar(&cfg.shards, "shards", 0, "concurrency shards (0 = default)")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "random seed")
-	fs.StringVar(&cfg.role, "role", "standalone", "standalone, worker or coordinator")
+	fs.StringVar(&cfg.role, "role", "standalone", "standalone, worker, coordinator or aggregator")
 	fs.StringVar(&cfg.coordinatorURL, "coordinator", "", "coordinator base URL (worker role)")
-	fs.StringVar(&cfg.workerID, "worker-id", "", "stable worker identity (worker role; default hostname+addr)")
-	fs.DurationVar(&cfg.shipInterval, "ship-interval", 5*time.Second, "how often a worker ships its window")
-	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "coordinator checkpoint file (coordinator role; empty disables)")
-	fs.DurationVar(&cfg.checkpointInterval, "checkpoint-interval", 30*time.Second, "how often the coordinator checkpoints")
+	fs.StringVar(&cfg.workerID, "worker-id", "", "stable node identity (worker and aggregator roles; default hostname+addr)")
+	fs.DurationVar(&cfg.shipInterval, "ship-interval", 5*time.Second, "how often a worker or aggregator ships its window")
+	fs.StringVar(&cfg.parentURL, "parent", "", "parent base URL (aggregator role)")
+	fs.IntVar(&cfg.level, "level", 0, "tier of an aggregator, hops below the root (aggregator role; default 1)")
+	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "checkpoint file (coordinator and aggregator roles; empty disables)")
+	fs.DurationVar(&cfg.checkpointInterval, "checkpoint-interval", 30*time.Second, "how often a coordinator or aggregator checkpoints")
 	fs.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", 0, "request body cap in bytes (0 = default)")
 	fs.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug, info, warn or error")
 	fs.StringVar(&cfg.logFormat, "log-format", "text", "log format: text or json")
@@ -122,17 +144,47 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 		if cfg.coordinatorURL == "" {
 			return cfg, fmt.Errorf("worker role requires -coordinator URL")
 		}
-		if cfg.workerID == "" {
-			host, err := os.Hostname()
-			if err != nil {
-				host = "worker"
-			}
-			cfg.workerID = host + cfg.addr
+		defaultNodeID(&cfg)
+	case "aggregator":
+		if cfg.parentURL == "" {
+			return cfg, fmt.Errorf("aggregator role requires -parent URL")
 		}
+		if cfg.level == 0 {
+			cfg.level = 1
+		}
+		if cfg.level < 1 {
+			return cfg, fmt.Errorf("-level %d invalid: aggregators sit at level ≥ 1 (level 0 is the root coordinator)", cfg.level)
+		}
+		defaultNodeID(&cfg)
 	default:
-		return cfg, fmt.Errorf("unknown role %q (want standalone, worker or coordinator)", cfg.role)
+		return cfg, fmt.Errorf("unknown role %q (want standalone, worker, coordinator or aggregator)", cfg.role)
+	}
+	// Cross-role flags that would otherwise be silently ignored.
+	if cfg.role != "aggregator" {
+		if cfg.parentURL != "" {
+			return cfg, fmt.Errorf("-parent is only meaningful with -role aggregator (role is %q)", cfg.role)
+		}
+		if cfg.level != 0 {
+			return cfg, fmt.Errorf("-level is only meaningful with -role aggregator (role is %q)", cfg.role)
+		}
+	}
+	if cfg.role == "aggregator" && cfg.coordinatorURL != "" {
+		return cfg, fmt.Errorf("aggregators ship to -parent, not -coordinator; drop -coordinator or use -role worker")
 	}
 	return cfg, nil
+}
+
+// defaultNodeID fills workerID for the roles that identify themselves to a
+// parent; (id, epoch) is the parent's dedup key, so it should be stable.
+func defaultNodeID(cfg *config) {
+	if cfg.workerID != "" {
+		return
+	}
+	host, err := os.Hostname()
+	if err != nil {
+		host = cfg.role
+	}
+	cfg.workerID = host + cfg.addr
 }
 
 // service bundles a role's HTTP surface with its background loop. run
@@ -203,6 +255,30 @@ func newService(cfg config, logger *slog.Logger) (*service, error) {
 			banner += fmt.Sprintf(", checkpointing to %s every %s", cfg.checkpoint, cfg.checkpointInterval)
 		}
 		return &service{handler: coord.Handler(), run: coord.Run, banner: banner + ")"}, nil
+
+	case "aggregator":
+		a, err := agg.New(agg.Config{
+			ID:                 cfg.workerID,
+			Level:              cfg.level,
+			Eps:                cfg.eps,
+			Delta:              cfg.delta,
+			ParentURL:          cfg.parentURL,
+			ShipInterval:       cfg.shipInterval,
+			Seed:               cfg.seed,
+			CheckpointPath:     cfg.checkpoint,
+			CheckpointInterval: cfg.checkpointInterval,
+			MaxBodyBytes:       cfg.maxBodyBytes,
+			Logger:             logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		banner := fmt.Sprintf("aggregator %q level %d shipping to %s every %s (eps=%g delta=%g",
+			cfg.workerID, cfg.level, cfg.parentURL, cfg.shipInterval, cfg.eps, cfg.delta)
+		if cfg.checkpoint != "" {
+			banner += fmt.Sprintf(", checkpointing to %s every %s", cfg.checkpoint, cfg.checkpointInterval)
+		}
+		return &service{handler: a.Handler(), run: a.Run, banner: banner + ")"}, nil
 	}
 	return nil, fmt.Errorf("unknown role %q", cfg.role)
 }

@@ -34,6 +34,34 @@ func TestParseFlagsRoles(t *testing.T) {
 	}
 }
 
+func TestParseFlagsAggregator(t *testing.T) {
+	cfg, err := parseFlags([]string{"-role", "aggregator", "-parent", "http://localhost:9090", "-addr", ":9091"}, io.Discard)
+	if err != nil {
+		t.Fatalf("aggregator: %v", err)
+	}
+	if cfg.level != 1 {
+		t.Errorf("level not defaulted to 1: %d", cfg.level)
+	}
+	if cfg.workerID == "" {
+		t.Error("aggregator id not defaulted")
+	}
+	if cfg2, err := parseFlags([]string{"-role", "aggregator", "-parent", "http://p", "-level", "2"}, io.Discard); err != nil || cfg2.level != 2 {
+		t.Errorf("explicit -level 2: cfg=%+v err=%v", cfg2, err)
+	}
+	for _, bad := range [][]string{
+		{"-role", "aggregator"}, // no parent
+		{"-role", "aggregator", "-parent", "http://p", "-level", "-1"},             // level below the tier
+		{"-role", "aggregator", "-parent", "http://p", "-coordinator", "http://c"}, // wrong upstream flag
+		{"-role", "worker", "-coordinator", "http://c", "-parent", "http://p"},     // -parent outside aggregator role
+		{"-role", "coordinator", "-level", "1"},                                    // -level outside aggregator role
+		{"-role", "standalone", "-parent", "http://p"},
+	} {
+		if _, err := parseFlags(bad, io.Discard); err == nil {
+			t.Errorf("args %v accepted", bad)
+		}
+	}
+}
+
 func TestParseFlagsLogging(t *testing.T) {
 	cfg, err := parseFlags([]string{"-log-level", "debug", "-log-format", "json", "-debug-addr", "127.0.0.1:0"}, io.Discard)
 	if err != nil {
@@ -126,6 +154,120 @@ func TestWorkerCoordinatorServices(t *testing.T) {
 	} {
 		if !strings.Contains(string(prom), want) {
 			t.Errorf("worker /metrics missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+// TestThreeLevelServices chains worker → aggregator → coordinator the way
+// main would wire a height-3 tree, and checks every element fed at the leaf
+// reaches the root through the mid-tier after the drains.
+func TestThreeLevelServices(t *testing.T) {
+	ccfg, err := parseFlags([]string{"-role", "coordinator", "-eps", "0.01", "-delta", "1e-3"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvc, err := newService(ccfg, obs.Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(csvc.handler)
+	defer cs.Close()
+
+	acfg, err := parseFlags([]string{
+		"-role", "aggregator", "-parent", cs.URL, "-level", "1",
+		"-worker-id", "a-test", "-eps", "0.01", "-delta", "1e-3",
+		"-ship-interval", "20ms",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asvc, err := newService(acfg, obs.Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := httptest.NewServer(asvc.handler)
+	defer as.Close()
+
+	wcfg, err := parseFlags([]string{
+		"-role", "worker", "-coordinator", as.URL,
+		"-worker-id", "w-test", "-eps", "0.01", "-delta", "1e-3",
+		"-ship-interval", "20ms",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsvc, err := newService(wcfg, obs.Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := httptest.NewServer(wsvc.handler)
+	defer ws.Close()
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	actx, acancel := context.WithCancel(context.Background())
+	wdone, adone := make(chan struct{}), make(chan struct{})
+	go func() { asvc.run(actx); close(adone) }()
+	go func() { wsvc.run(wctx); close(wdone) }()
+
+	var feed strings.Builder
+	for i := 0; i < 5_000; i++ {
+		feed.WriteString("2 ")
+	}
+	resp, err := http.Post(ws.URL+"/add", "text/plain", strings.NewReader(feed.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Leaf drains into the mid-tier, then the mid-tier drains into the root.
+	wcancel()
+	select {
+	case <-wdone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker loop did not stop")
+	}
+	acancel()
+	select {
+	case <-adone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("aggregator loop did not stop")
+	}
+
+	resp, err = http.Get(cs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"count":5000`) {
+		t.Errorf("root healthz after two-stage drain: %s", body)
+	}
+
+	// The mid-tier's /stats declares its role, and /metrics carries both
+	// its coordinator-side and shipping-side series.
+	resp, err = http.Get(as.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{`"role":"aggregator"`, `"level":1`, `"id":"a-test"`} {
+		if !strings.Contains(string(stats), want) {
+			t.Errorf("aggregator /stats missing %s:\n%s", want, stats)
+		}
+	}
+	resp, err = http.Get(as.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`cluster_ship_epochs_shipped_total{worker="a-test"}`,
+		"cluster_shipments_accepted_total",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("aggregator /metrics missing %q:\n%s", want, prom)
 		}
 	}
 }

@@ -30,6 +30,10 @@ func MarshalCoordinator[T cmp.Ordered](st parallel.CoordState[T], ec Element[T])
 			w.buf = ec.Append(w.buf, v)
 		}
 	}
+	// Trailing level tag, added for the multi-level aggregation tier. It is
+	// decoded as optional so frames written before the tag existed (always
+	// root state) still round-trip as level 0.
+	w.uvarint(uint64(st.Level))
 	return frame(kindCoordinator, ec.Name(), w.buf), nil
 }
 
@@ -94,6 +98,16 @@ func UnmarshalCoordinator[T cmp.Ordered](data []byte, ec Element[T]) (parallel.C
 			b0.Data = append(b0.Data, v)
 		}
 		st.B0 = b0
+	}
+	if len(r.buf) != 0 {
+		// Optional trailing level tag (absent in pre-tier frames → level 0).
+		if u, err = r.uvarint(); err != nil {
+			return fail(err)
+		}
+		if u > 255 {
+			return fail(fmt.Errorf("absurd level %d", u))
+		}
+		st.Level = int(u)
 	}
 	if len(r.buf) != 0 {
 		return fail(fmt.Errorf("%d trailing bytes", len(r.buf)))

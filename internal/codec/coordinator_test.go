@@ -61,6 +61,73 @@ func TestCoordinatorRoundTrip(t *testing.T) {
 	}
 }
 
+// legacyMarshalCoordinator reproduces the pre-aggregation-tier encoding:
+// identical to MarshalCoordinator except it omits the trailing level tag.
+// Checkpoints written by older binaries have exactly this layout.
+func legacyMarshalCoordinator(st parallel.CoordState[float64], ec Element[float64]) []byte {
+	w := &writer{}
+	w.uvarint(uint64(st.K))
+	w.uvarint(uint64(st.B))
+	w.uvarint(st.N)
+	for _, s := range st.RNG {
+		w.uvarint(s)
+	}
+	encodeTreeState(w, st.Tree, ec)
+	w.bool(st.B0 != nil)
+	if st.B0 != nil {
+		w.uvarint(st.B0.Weight)
+		w.uvarint(uint64(len(st.B0.Data)))
+		for _, v := range st.B0.Data {
+			w.buf = ec.Append(w.buf, v)
+		}
+	}
+	return frame(kindCoordinator, ec.Name(), w.buf)
+}
+
+// TestCoordinatorLevelTag pins the aggregation-tier level tag: it round
+// trips, frames without it (older checkpoints) decode as level 0, and a
+// nonsense tier is rejected.
+func TestCoordinatorLevelTag(t *testing.T) {
+	coord := builtCoordinator(t)
+	for _, level := range []int{0, 1, 7, 255} {
+		st := coord.Snapshot()
+		st.Level = level
+		blob, err := MarshalCoordinator(st, Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalCoordinator(blob, Float64())
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if got.Level != level {
+			t.Errorf("level %d round-tripped as %d", level, got.Level)
+		}
+	}
+
+	legacy := legacyMarshalCoordinator(coord.Snapshot(), Float64())
+	got, err := UnmarshalCoordinator(legacy, Float64())
+	if err != nil {
+		t.Fatalf("legacy frame without level tag rejected: %v", err)
+	}
+	if got.Level != 0 {
+		t.Errorf("legacy frame decoded as level %d, want 0", got.Level)
+	}
+	if got.N == 0 {
+		t.Error("legacy frame lost its contents")
+	}
+
+	st := coord.Snapshot()
+	st.Level = 256
+	blob, err := MarshalCoordinator(st, Float64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalCoordinator(blob, Float64()); err == nil {
+		t.Error("level 256 decoded; want rejection")
+	}
+}
+
 func TestCoordinatorCorruptionDetected(t *testing.T) {
 	coord := builtCoordinator(t)
 	blob, err := MarshalCoordinator(coord.Snapshot(), Float64())

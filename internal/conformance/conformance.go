@@ -1,9 +1,16 @@
 // Package conformance statistically validates the cluster's ε–δ guarantee
 // end to end: it drives many independently seeded deterministic simulations
-// (cluster/sim) per scenario — stream order × fault plan × ε — queries a
-// battery of φ values against the exact oracle after every run, and checks
-// that the observed per-query failure rate is consistent with the promised
-// δ via an exact binomial tail bound.
+// (cluster/sim) per scenario — tree height × stream order × fault plan × ε
+// — queries a battery of φ values against the exact oracle after every
+// run, and checks that the observed per-query failure rate is consistent
+// with the promised δ via an exact binomial tail bound.
+//
+// Height 2 is the classic worker → coordinator layout, run exactly as
+// deployed (every node at the target ε; the paper's h + h′ analysis
+// absorbs the merge hop). Height 3 inserts the aggregation tier and runs
+// every node at the per-level ε/h split (agg.PerLevelEps), while still
+// judging the root's answers against the un-split target ε — the grid
+// therefore measures the composition claim, not just each hop.
 //
 // The statistical reading. Each query is, by the paper's guarantee, a
 // Bernoulli trial failing (rank error beyond ε·N) with probability ≤ δ.
@@ -35,6 +42,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/cluster/agg"
 	"repro/cluster/sim"
 	"repro/internal/exact"
 	"repro/internal/stream"
@@ -60,16 +68,22 @@ func DefaultOrders() []Order {
 	}
 }
 
-// Fault is a named network fault plan, optionally with a mid-run
-// coordinator crash + restart from checkpoint.
+// Fault is a named network fault plan, optionally with a mid-run crash +
+// restart from checkpoint of the root coordinator or of an aggregator.
 type Fault struct {
 	Name         string
 	Plan         sim.FaultPlan
 	CrashRestart bool
+
+	// AggCrashRestart crashes aggregator 0 mid-run and restarts it from
+	// its checkpoint; the scenario only exists at heights with an
+	// aggregation tier and is skipped at height 2.
+	AggCrashRestart bool
 }
 
 // DefaultFaults exercises a clean network, a hostile one (drops,
-// duplicates, lost acks, reordering), and a coordinator crash/restart.
+// duplicates, lost acks, reordering), a coordinator crash/restart, and —
+// on trees tall enough to have one — an aggregator crash/restart.
 func DefaultFaults() []Fault {
 	return []Fault{
 		{Name: "clean"},
@@ -77,6 +91,9 @@ func DefaultFaults() []Fault {
 			DropProb: 0.20, DupProb: 0.10, LostAckProb: 0.10, DelayProb: 0.10, DelaySends: 2,
 		}},
 		{Name: "crash-restart", CrashRestart: true, Plan: sim.FaultPlan{
+			DropProb: 0.10, LostAckProb: 0.10,
+		}},
+		{Name: "agg-crash-restart", AggCrashRestart: true, Plan: sim.FaultPlan{
 			DropProb: 0.10, LostAckProb: 0.10,
 		}},
 	}
@@ -93,6 +110,16 @@ type Config struct {
 	Workers int       // simulated workers per trial (default 3)
 	Cycles  int       // feed/ship interleavings per trial (default 3)
 	Phis    []float64 // quantiles queried per trial (default {0.01, 0.25, 0.5, 0.75, 0.99})
+
+	// Heights lists the tree heights to grid over (default {2, 3}; only 2
+	// and 3 are supported). Height 2 is worker → root; height 3 inserts
+	// Aggregators level-1 nodes, with every node built at the ε/h split of
+	// the scenario's target ε.
+	Heights []int
+
+	// Aggregators is the level-1 tier size for height-3 scenarios
+	// (default 2).
+	Aggregators int
 
 	// Threshold is the binomial-tail alarm level: a scenario fails when
 	// Pr[failures ≥ observed | per-query rate δ] < Threshold (default 1e-6).
@@ -132,6 +159,12 @@ func (cfg *Config) fillDefaults() {
 	if len(cfg.Phis) == 0 {
 		cfg.Phis = []float64{0.01, 0.25, 0.5, 0.75, 0.99}
 	}
+	if len(cfg.Heights) == 0 {
+		cfg.Heights = []int{2, 3}
+	}
+	if cfg.Aggregators <= 0 {
+		cfg.Aggregators = 2
+	}
 	if cfg.Threshold <= 0 {
 		cfg.Threshold = 1e-6
 	}
@@ -149,9 +182,10 @@ func (cfg *Config) fillDefaults() {
 	}
 }
 
-// ScenarioResult is one cell of the grid: a stream order × fault plan × ε
-// combination across cfg.Trials seeded simulations.
+// ScenarioResult is one cell of the grid: a height × stream order × fault
+// plan × ε combination across cfg.Trials seeded simulations.
 type ScenarioResult struct {
+	Height int     `json:"height"`
 	Order  string  `json:"order"`
 	Fault  string  `json:"fault"`
 	Eps    float64 `json:"eps"`
@@ -179,14 +213,16 @@ type ScenarioResult struct {
 
 // Report is the machine-readable output of a conformance run.
 type Report struct {
-	Delta     float64   `json:"delta"`
-	Trials    int       `json:"trials_per_scenario"`
-	N         int       `json:"n_per_trial"`
-	Workers   int       `json:"workers"`
-	Cycles    int       `json:"cycles"`
-	Phis      []float64 `json:"phis"`
-	Threshold float64   `json:"threshold"`
-	Seed      uint64    `json:"seed"`
+	Delta       float64   `json:"delta"`
+	Trials      int       `json:"trials_per_scenario"`
+	N           int       `json:"n_per_trial"`
+	Workers     int       `json:"workers"`
+	Heights     []int     `json:"heights"`
+	Aggregators int       `json:"aggregators"`
+	Cycles      int       `json:"cycles"`
+	Phis        []float64 `json:"phis"`
+	Threshold   float64   `json:"threshold"`
+	Seed        uint64    `json:"seed"`
 
 	Scenarios []ScenarioResult `json:"scenarios"`
 
@@ -208,8 +244,14 @@ type trialOutcome struct {
 // reported in the Report, not as an error.
 func Run(cfg Config) (Report, error) {
 	cfg.fillDefaults()
+	for _, h := range cfg.Heights {
+		if h != 2 && h != 3 {
+			return Report{}, fmt.Errorf("conformance: unsupported tree height %d (2 and 3 are supported)", h)
+		}
+	}
 	rep := Report{
 		Delta: cfg.Delta, Trials: cfg.Trials, N: cfg.N, Workers: cfg.Workers,
+		Heights: cfg.Heights, Aggregators: cfg.Aggregators,
 		Cycles: cfg.Cycles, Phis: cfg.Phis, Threshold: cfg.Threshold, Seed: cfg.Seed,
 		Pass: true,
 	}
@@ -220,46 +262,51 @@ func Run(cfg Config) (Report, error) {
 	defer os.RemoveAll(ckptDir)
 
 	sem := make(chan struct{}, cfg.Parallelism)
-	for _, order := range cfg.Orders {
-		for _, fault := range cfg.Faults {
-			for _, eps := range cfg.Eps {
-				sc := ScenarioResult{Order: order.Name, Fault: fault.Name, Eps: eps, Trials: cfg.Trials}
-				outcomes := make([]trialOutcome, cfg.Trials)
-				var wg sync.WaitGroup
-				for i := 0; i < cfg.Trials; i++ {
-					wg.Add(1)
-					sem <- struct{}{}
-					go func(i int) {
-						defer wg.Done()
-						defer func() { <-sem }()
-						seed := trialSeed(cfg.Seed, order.Name, fault.Name, eps, i)
-						ckpt := ""
-						if fault.CrashRestart {
-							ckpt = filepath.Join(ckptDir, fmt.Sprintf("%s-%s-%g-%d.json", order.Name, fault.Name, eps, i))
+	for _, height := range cfg.Heights {
+		for _, order := range cfg.Orders {
+			for _, fault := range cfg.Faults {
+				if fault.AggCrashRestart && height < 3 {
+					continue // no aggregation tier to crash
+				}
+				for _, eps := range cfg.Eps {
+					sc := ScenarioResult{Height: height, Order: order.Name, Fault: fault.Name, Eps: eps, Trials: cfg.Trials}
+					outcomes := make([]trialOutcome, cfg.Trials)
+					var wg sync.WaitGroup
+					for i := 0; i < cfg.Trials; i++ {
+						wg.Add(1)
+						sem <- struct{}{}
+						go func(i int) {
+							defer wg.Done()
+							defer func() { <-sem }()
+							seed := trialSeed(cfg.Seed, height, order.Name, fault.Name, eps, i)
+							ckpt := ""
+							if fault.CrashRestart || fault.AggCrashRestart {
+								ckpt = filepath.Join(ckptDir, fmt.Sprintf("h%d-%s-%s-%g-%d.json", height, order.Name, fault.Name, eps, i))
+							}
+							outcomes[i] = runTrial(cfg, height, order, fault, eps, seed, ckpt)
+						}(i)
+					}
+					wg.Wait()
+					for _, out := range outcomes {
+						sc.Queries += out.queries
+						sc.Failures += out.failures
+						if out.maxErr > sc.MaxRankError {
+							sc.MaxRankError = out.maxErr
 						}
-						outcomes[i] = runTrial(cfg, order, fault, eps, seed, ckpt)
-					}(i)
-				}
-				wg.Wait()
-				for _, out := range outcomes {
-					sc.Queries += out.queries
-					sc.Failures += out.failures
-					if out.maxErr > sc.MaxRankError {
-						sc.MaxRankError = out.maxErr
+						if out.err != nil {
+							sc.Errors = append(sc.Errors, out.err.Error())
+						}
 					}
-					if out.err != nil {
-						sc.Errors = append(sc.Errors, out.err.Error())
+					sort.Strings(sc.Errors)
+					sc.TailP = xmath.BinomialUpperTail(sc.Queries, sc.Failures, cfg.Delta)
+					sc.Pass = len(sc.Errors) == 0 && sc.TailP >= cfg.Threshold
+					rep.TotalQueries += sc.Queries
+					rep.TotalFailures += sc.Failures
+					if !sc.Pass {
+						rep.Pass = false
 					}
+					rep.Scenarios = append(rep.Scenarios, sc)
 				}
-				sort.Strings(sc.Errors)
-				sc.TailP = xmath.BinomialUpperTail(sc.Queries, sc.Failures, cfg.Delta)
-				sc.Pass = len(sc.Errors) == 0 && sc.TailP >= cfg.Threshold
-				rep.TotalQueries += sc.Queries
-				rep.TotalFailures += sc.Failures
-				if !sc.Pass {
-					rep.Pass = false
-				}
-				rep.Scenarios = append(rep.Scenarios, sc)
 			}
 		}
 	}
@@ -268,21 +315,32 @@ func Run(cfg Config) (Report, error) {
 
 // trialSeed derives a deterministic per-trial seed from the scenario
 // coordinates, so any single trial can be replayed in isolation.
-func trialSeed(base uint64, order, fault string, eps float64, trial int) uint64 {
+func trialSeed(base uint64, height int, order, fault string, eps float64, trial int) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%s|%g|%d", base, order, fault, eps, trial)
+	fmt.Fprintf(h, "%d|h%d|%s|%s|%g|%d", base, height, order, fault, eps, trial)
 	return h.Sum64() | 1
 }
 
 // runTrial runs one seeded simulation and scores its queries against the
-// exact oracle.
-func runTrial(cfg Config, order Order, fault Fault, eps float64, seed uint64, ckpt string) trialOutcome {
+// exact oracle. At height 3 every node is built with the ε/h split of eps
+// while the queries are still judged against eps itself — the root-level
+// target a user of the tree was promised.
+func runTrial(cfg Config, height int, order Order, fault Fault, eps float64, seed uint64, ckpt string) trialOutcome {
 	data := order.Gen(uint64(cfg.N), seed)
+	nodeEps, aggregators := eps, 0
+	if height >= 3 {
+		aggregators = cfg.Aggregators
+		var err error
+		if nodeEps, err = agg.PerLevelEps(eps, height); err != nil {
+			return trialOutcome{err: err}
+		}
+	}
 	cl, err := sim.New(sim.Config{
-		Eps:            eps,
+		Eps:            nodeEps,
 		Delta:          cfg.Delta,
 		Seed:           seed,
 		Workers:        cfg.Workers,
+		Aggregators:    aggregators,
 		Faults:         fault.Plan,
 		CheckpointPath: ckpt,
 	})
@@ -291,8 +349,9 @@ func runTrial(cfg Config, order Order, fault Fault, eps float64, seed uint64, ck
 	}
 	// Crash after the first cycle's checkpoint, run one cycle against the
 	// outage (epochs park and retry), then restart from the checkpoint.
+	// Aggregator crashes target node a0 on the same schedule.
 	crashAfter, restartAfter := -1, -1
-	if fault.CrashRestart {
+	if fault.CrashRestart || fault.AggCrashRestart {
 		crashAfter, restartAfter = 0, 1
 	}
 	per := cfg.N / cfg.Cycles
@@ -312,12 +371,22 @@ func runTrial(cfg Config, order Order, fault Fault, eps float64, seed uint64, ck
 			return trialOutcome{err: err}
 		}
 		if c == crashAfter {
-			if err := cl.Crash(); err != nil {
+			if fault.AggCrashRestart {
+				err = cl.CrashAggregator(0)
+			} else {
+				err = cl.Crash()
+			}
+			if err != nil {
 				return trialOutcome{err: err}
 			}
 		}
 		if c == restartAfter {
-			if err := cl.Restart(); err != nil {
+			if fault.AggCrashRestart {
+				err = cl.RestartAggregator(0)
+			} else {
+				err = cl.Restart()
+			}
+			if err != nil {
 				return trialOutcome{err: err}
 			}
 		}
@@ -336,6 +405,8 @@ func runTrial(cfg Config, order Order, fault Fault, eps float64, seed uint64, ck
 	var out trialOutcome
 	for i, phi := range cfg.Phis {
 		out.queries++
+		// Judged against eps (the root target), not nodeEps: composition
+		// across the tree's hops is exactly what is under test.
 		if e := exact.RankError(data, vals[i], phi, eps); e != 0 {
 			out.failures++
 			if e > out.maxErr {

@@ -2,6 +2,7 @@ package conformance
 
 import (
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -31,14 +32,30 @@ func TestRunSmallGridPasses(t *testing.T) {
 		b, _ := json.MarshalIndent(rep, "", "  ")
 		t.Fatalf("small grid failed conformance:\n%s", b)
 	}
-	wantScenarios := len(DefaultOrders()) * len(DefaultFaults())
+	// Height 2 skips the aggregator-crash fault (no tier to crash);
+	// height 3 runs the full fault list.
+	aggFaults := 0
+	for _, f := range DefaultFaults() {
+		if f.AggCrashRestart {
+			aggFaults++
+		}
+	}
+	wantScenarios := len(DefaultOrders()) * (2*len(DefaultFaults()) - aggFaults)
 	if len(rep.Scenarios) != wantScenarios {
 		t.Fatalf("got %d scenarios, want %d", len(rep.Scenarios), wantScenarios)
 	}
+	byHeight := map[int]int{}
 	for _, sc := range rep.Scenarios {
+		byHeight[sc.Height]++
 		if sc.Queries != sc.Trials*5 {
-			t.Errorf("%s/%s: %d queries for %d trials", sc.Order, sc.Fault, sc.Queries, sc.Trials)
+			t.Errorf("h%d/%s/%s: %d queries for %d trials", sc.Height, sc.Order, sc.Fault, sc.Queries, sc.Trials)
 		}
+	}
+	if byHeight[2] == 0 || byHeight[3] == 0 {
+		t.Fatalf("grid missing a height: %v", byHeight)
+	}
+	if byHeight[3] != byHeight[2]+len(DefaultOrders())*aggFaults {
+		t.Errorf("height-3 grid should add exactly the aggregator-crash scenarios: %v", byHeight)
 	}
 }
 
@@ -64,16 +81,18 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestTrialSeedsDistinct(t *testing.T) {
 	seen := make(map[uint64]string)
-	for _, order := range []string{"sorted", "random"} {
-		for _, fault := range []string{"clean", "lossy"} {
-			for _, eps := range []float64{0.01, 0.001} {
-				for i := 0; i < 50; i++ {
-					s := trialSeed(1, order, fault, eps, i)
-					key := order + fault
-					if prev, dup := seen[s]; dup {
-						t.Fatalf("seed collision between %q and %q", prev, key)
+	for _, height := range []int{2, 3} {
+		for _, order := range []string{"sorted", "random"} {
+			for _, fault := range []string{"clean", "lossy"} {
+				for _, eps := range []float64{0.01, 0.001} {
+					for i := 0; i < 50; i++ {
+						s := trialSeed(1, height, order, fault, eps, i)
+						key := fmt.Sprintf("h%d%s%s", height, order, fault)
+						if prev, dup := seen[s]; dup {
+							t.Fatalf("seed collision between %q and %q", prev, key)
+						}
+						seen[s] = key
 					}
-					seen[s] = key
 				}
 			}
 		}
@@ -90,7 +109,7 @@ func TestDetectsBrokenGuarantee(t *testing.T) {
 	phis := []float64{0.01, 0.25, 0.5, 0.75, 0.99}
 	var failures, queries int
 	for i := 0; i < 30; i++ {
-		seed := trialSeed(7, order.Name, "clean", buildEps, i)
+		seed := trialSeed(7, 2, order.Name, "clean", buildEps, i)
 		data := order.Gen(2000, seed)
 		cl, err := sim.New(sim.Config{Eps: buildEps, Delta: 1e-3, Seed: seed, Workers: 3})
 		if err != nil {
@@ -133,6 +152,12 @@ func TestAcceptanceGrid(t *testing.T) {
 		cfg.Trials = 5
 		cfg.N = 2000
 		cfg.Cycles = 2
+	} else {
+		// Full mode runs the flat 2-level grid here; the height-3 grid has
+		// its own test binary (internal/conformance/multilevel) so that on
+		// one core each stays inside go test's default per-package timeout.
+		// Short mode above is cheap enough to cover both heights at once.
+		cfg.Heights = []int{2}
 	}
 	rep, err := Run(cfg)
 	if err != nil {

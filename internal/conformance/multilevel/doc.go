@@ -1,0 +1,7 @@
+// Package multilevel hosts the height-3 (workers → aggregators → root)
+// acceptance grid in its own test binary. At 100 trials per scenario the
+// full grid runs for minutes on one core, and go test budgets its
+// timeout per package — splitting the tree grid from the flat-fleet grid
+// in internal/conformance keeps both inside it. Short mode is cheap, so
+// internal/conformance covers both heights there and this package skips.
+package multilevel

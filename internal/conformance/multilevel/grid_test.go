@@ -1,0 +1,38 @@
+package multilevel
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+// TestAcceptanceGridHeight3 runs the full 3-level acceptance grid from
+// the aggregation-tier issue: every stream order × every fault plan
+// (including aggregator crash-restart) × ε ∈ {0.01, 0.001}, 100 seeded
+// trials per scenario, every node at the ε/3 per-level budget, every
+// answer judged against the ROOT ε with the exact binomial tail bound.
+func TestAcceptanceGridHeight3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode covers height 3 in internal/conformance's downscaled grid")
+	}
+	rep, err := conformance.Run(conformance.Config{Seed: 2026, Heights: []int{3}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Pass {
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		t.Fatalf("height-3 conformance grid failed:\n%s", b)
+	}
+	want := len(conformance.DefaultOrders()) * len(conformance.DefaultFaults()) * 2 // ε ∈ {0.01, 0.001}
+	if len(rep.Scenarios) != want {
+		t.Fatalf("got %d scenarios, want %d", len(rep.Scenarios), want)
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.Height != 3 {
+			t.Fatalf("scenario %s/%s at height %d in the height-3 grid", sc.Order, sc.Fault, sc.Height)
+		}
+	}
+	t.Logf("height-3 conformance: %d scenarios, %d queries, %d failures",
+		len(rep.Scenarios), rep.TotalQueries, rep.TotalFailures)
+}

@@ -54,6 +54,13 @@ type Coordinator[T cmp.Ordered] struct {
 	b0  *buffer.Buffer[T]
 	b0w uint64
 
+	// level tags the tier this merge state serves in a multi-level
+	// aggregation tree, counted as hops below the root: 0 is the root
+	// merge point, 1 an aggregator feeding the root, and so on. The tag
+	// rides snapshots so a checkpoint cannot be restored into a node at a
+	// different tier.
+	level int
+
 	n uint64
 }
 
@@ -245,17 +252,22 @@ type CoordState[T cmp.Ordered] struct {
 
 	// RNG state.
 	RNG [4]uint64
+
+	// Level is the tier tag (hops below the root). Snapshots written
+	// before the multi-level tier existed decode as level 0, the root.
+	Level int
 }
 
 // Snapshot captures the coordinator's complete state. The snapshot shares
 // no storage with the coordinator (element slices are copied).
 func (c *Coordinator[T]) Snapshot() CoordState[T] {
 	st := CoordState[T]{
-		K:    c.k,
-		B:    c.tree.MaxBuffers(),
-		N:    c.n,
-		Tree: c.tree.SnapshotTree(),
-		RNG:  c.rg.State(),
+		K:     c.k,
+		B:     c.tree.MaxBuffers(),
+		N:     c.n,
+		Tree:  c.tree.SnapshotTree(),
+		RNG:   c.rg.State(),
+		Level: c.level,
 	}
 	if c.b0 != nil && c.b0.Fill > 0 {
 		st.B0 = &core.BufferState[T]{
@@ -281,6 +293,7 @@ func RestoreCoordinator[T cmp.Ordered](st CoordState[T]) (*Coordinator[T], error
 		return nil, err
 	}
 	c.n = st.N
+	c.level = st.Level
 	if st.B0 != nil {
 		if len(st.B0.Data) > st.K {
 			return nil, fmt.Errorf("parallel: B0 holds %d elements for capacity %d", len(st.B0.Data), st.K)
@@ -295,6 +308,12 @@ func RestoreCoordinator[T cmp.Ordered](st CoordState[T]) (*Coordinator[T], error
 
 // MergeHeight returns h′, the merge tree's height (Eq 5's height penalty).
 func (c *Coordinator[T]) MergeHeight() int { return c.tree.Height() }
+
+// Level returns the tier tag (hops below the root; 0 = root).
+func (c *Coordinator[T]) Level() int { return c.level }
+
+// SetLevel tags the merge state with its tier in a multi-level tree.
+func (c *Coordinator[T]) SetLevel(level int) { c.level = level }
 
 // MemoryElements returns the coordinator's allocated element slots.
 func (c *Coordinator[T]) MemoryElements() int {
