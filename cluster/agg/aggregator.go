@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/cluster"
+	"repro/internal/engine"
 	"repro/internal/obs"
 )
 
@@ -31,6 +32,11 @@ type Config struct {
 	// split of the root target, NOT the root target itself. Every node in
 	// one tree must share them (the compatibility rule applies per hop).
 	Eps, Delta float64
+
+	// Engine names the sketch engine this node merges and ships ("mrl99",
+	// "kll" or "gk"; empty means mrl99). The whole tree must run one
+	// engine: mismatched shipments are refused permanently at every hop.
+	Engine string
 
 	// ParentURL is the parent's base URL. Required unless a Transport is
 	// supplied.
@@ -128,6 +134,17 @@ func (cfg *Config) fillDefaults() error {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	// Normalize once so the upstream envelope tag and the coordinator's
+	// engine agree; mrl99 maps to the empty tag to keep legacy wire bytes.
+	name, err := engine.Normalize(cfg.Engine)
+	if err != nil {
+		return err
+	}
+	if name == engine.MRL99 {
+		cfg.Engine = ""
+	} else {
+		cfg.Engine = name
+	}
 	return nil
 }
 
@@ -172,6 +189,7 @@ func New(cfg Config) (*Aggregator, error) {
 	// constructor restores the checkpoint, which loads the ship queue.
 	ship, err := cluster.NewShipper(cluster.ShipperConfig{
 		ID:          cfg.ID,
+		Engine:      cfg.Engine,
 		Transport:   cfg.Transport,
 		Clock:       cfg.Clock,
 		MaxRetries:  cfg.MaxRetries,
@@ -188,6 +206,7 @@ func New(cfg Config) (*Aggregator, error) {
 	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
 		Eps:                cfg.Eps,
 		Delta:              cfg.Delta,
+		Engine:             cfg.Engine,
 		Seed:               cfg.Seed,
 		Level:              cfg.Level,
 		CheckpointExtra:    shipperExtra{ship},
@@ -269,6 +288,7 @@ func (a *Aggregator) handleStats(w http.ResponseWriter, r *http.Request) {
 	ship := a.ship.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"role":            "aggregator",
+		"engine":          s.Engine,
 		"id":              a.cfg.ID,
 		"level":           a.cfg.Level,
 		"parent":          a.cfg.ParentURL,

@@ -18,6 +18,7 @@ import (
 
 	quantile "repro"
 	"repro/internal/codec"
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/view"
@@ -29,6 +30,12 @@ type CoordinatorConfig struct {
 	// been built with; they determine the shared buffer size k, and a
 	// mismatched shipment is rejected (mergeq's compatibility rule).
 	Eps, Delta float64
+
+	// Engine names the sketch engine this node merges ("mrl99", "kll" or
+	// "gk"; empty means mrl99). Every worker must ship the same engine —
+	// a shipment tagged with a different engine is refused with a 409, the
+	// permanent-rejection class shippers drop without retrying.
+	Engine string
 
 	// Seed drives the coordinator's block-sampling decisions.
 	Seed uint64
@@ -100,8 +107,14 @@ type Coordinator struct {
 
 	start time.Time
 
+	// engName is the normalized engine this node merges; eng is non-nil
+	// only for non-mrl99 engines — the default stack keeps the original
+	// parallel.Coordinator path (and its wire/checkpoint bytes) untouched.
+	engName string
+
 	mu      sync.Mutex
 	merge   *parallel.Coordinator[float64]
+	eng     engine.Engine
 	seen    map[string]map[uint64]struct{}
 	workers map[string]*WorkerStatus
 	// shipGen counts ShipAndReset cuts (aggregator mode) so every
@@ -145,10 +158,15 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	engName, err := engine.Normalize(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
 	c := &Coordinator{
 		cfg:     cfg,
 		plan:    plan,
 		mux:     http.NewServeMux(),
+		engName: engName,
 		start:   cfg.Clock.Now(),
 		seen:    make(map[string]map[uint64]struct{}),
 		workers: make(map[string]*WorkerStatus),
@@ -156,11 +174,18 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	c.m = newMetrics(cfg.Registry,
 		func() float64 { return c.cfg.Clock.Now().Sub(c.start).Seconds() },
 		c.workerSnapshot)
-	c.merge, err = parallel.NewCoordinator[float64](plan.K, plan.B, cfg.Seed^0xc00d)
-	if err != nil {
-		return nil, err
+	if engName != engine.MRL99 {
+		c.eng, err = engine.New(engName, cfg.Eps, cfg.Delta, cfg.Seed^0xc00d)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		c.merge, err = parallel.NewCoordinator[float64](plan.K, plan.B, cfg.Seed^0xc00d)
+		if err != nil {
+			return nil, err
+		}
+		c.merge.SetLevel(cfg.Level)
 	}
-	c.merge.SetLevel(cfg.Level)
 	if cfg.CheckpointPath != "" {
 		if err := c.restore(cfg.CheckpointPath); err != nil {
 			return nil, err
@@ -186,6 +211,15 @@ func (c *Coordinator) Registry() *obs.Registry { return c.cfg.Registry }
 func (c *Coordinator) Count() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.countLocked()
+}
+
+// countLocked reads the aggregate count from whichever merge state this
+// node runs. Callers hold c.mu.
+func (c *Coordinator) countLocked() uint64 {
+	if c.eng != nil {
+		return c.eng.Count()
+	}
 	return c.merge.Count()
 }
 
@@ -194,15 +228,24 @@ func (c *Coordinator) Count() uint64 {
 type Summary struct {
 	Count          uint64 // elements represented by the aggregate
 	MemoryElements int    // elements resident in the collapse tree + B0
-	MergeHeight    int    // h′, the merge tree's height
+	MergeHeight    int    // h′, the merge tree's height (0 for non-tree engines)
 	Children       int    // distinct senders that have shipped here
-	B, K           int    // buffer layout (Eq 3's b and k)
+	B, K           int    // buffer layout (Eq 3's b and k; 0 for non-MRL99 engines)
+	Engine         string // normalized engine name this node merges
 }
 
 // Summarize snapshots the merge-state numbers the stats surfaces report.
 func (c *Coordinator) Summarize() Summary {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.eng != nil {
+		return Summary{
+			Count:          c.eng.Count(),
+			MemoryElements: c.eng.MemoryElements(),
+			Children:       len(c.workers),
+			Engine:         c.engName,
+		}
+	}
 	return Summary{
 		Count:          c.merge.Count(),
 		MemoryElements: c.merge.MemoryElements(),
@@ -210,6 +253,7 @@ func (c *Coordinator) Summarize() Summary {
 		Children:       len(c.workers),
 		B:              c.plan.B,
 		K:              c.plan.K,
+		Engine:         c.engName,
 	}
 }
 
@@ -224,6 +268,14 @@ func (c *Coordinator) Summarize() Summary {
 // a child retransmitting an old epoch after our cut must still be refused.
 func (c *Coordinator) ShipAndReset() ([]byte, uint64, error) {
 	c.mu.Lock()
+	if c.eng != nil {
+		blob, count, err := c.eng.Ship()
+		if count > 0 {
+			c.version.Add(1) // queries now answer from the emptied state
+		}
+		c.mu.Unlock()
+		return blob, count, err
+	}
 	if c.merge.Count() == 0 {
 		c.mu.Unlock()
 		return nil, 0, nil
@@ -282,7 +334,13 @@ func (c *Coordinator) view() (*view.View[float64], error) {
 	begin := c.cfg.Clock.Now()
 	c.mu.Lock()
 	ver = c.version.Load()
-	v, err := c.merge.View()
+	var v *view.View[float64]
+	var err error
+	if c.eng != nil {
+		v, err = c.eng.View()
+	} else {
+		v, err = c.merge.View()
+	}
 	c.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -340,10 +398,13 @@ func (c *Coordinator) Run(ctx context.Context) {
 // view ride along with the CRC-protected merge-state blob, so a restart
 // also remembers which (worker, epoch) pairs were already counted.
 type checkpointFile struct {
-	SavedAt time.Time               `json:"saved_at"`
-	Eps     float64                 `json:"eps"`
-	Delta   float64                 `json:"delta"`
-	Level   int                     `json:"level,omitempty"`
+	SavedAt time.Time `json:"saved_at"`
+	Eps     float64   `json:"eps"`
+	Delta   float64   `json:"delta"`
+	Level   int       `json:"level,omitempty"`
+	// Engine tags checkpoints written by non-mrl99 nodes; absent in files
+	// written by the default stack, which stay byte-compatible.
+	Engine  string                  `json:"engine,omitempty"`
 	Seen    map[string][]uint64     `json:"seen"`
 	Workers map[string]WorkerStatus `json:"workers"`
 	Merge   []byte                  `json:"merge"`
@@ -359,7 +420,14 @@ func (c *Coordinator) CheckpointNow() error {
 		return fmt.Errorf("cluster: no checkpoint path configured")
 	}
 	c.mu.Lock()
-	st := c.merge.Snapshot()
+	var blob []byte
+	var blobErr error
+	var st parallel.CoordState[float64]
+	if c.eng != nil {
+		blob, blobErr = c.eng.Checkpoint()
+	} else {
+		st = c.merge.Snapshot()
+	}
 	seen := make(map[string][]uint64, len(c.seen))
 	for id, epochs := range c.seen {
 		list := make([]uint64, 0, len(epochs))
@@ -374,11 +442,14 @@ func (c *Coordinator) CheckpointNow() error {
 	}
 	c.mu.Unlock()
 
-	blob, err := codec.MarshalCoordinator(st, codec.Float64())
-	if err != nil {
-		c.m.checkpointErrors.Inc()
-		return err
+	if c.eng == nil {
+		blob, blobErr = codec.MarshalCoordinator(st, codec.Float64())
 	}
+	if blobErr != nil {
+		c.m.checkpointErrors.Inc()
+		return blobErr
+	}
+	var err error
 	var extra json.RawMessage
 	if c.cfg.CheckpointExtra != nil {
 		if extra, err = c.cfg.CheckpointExtra.Save(); err != nil {
@@ -386,11 +457,16 @@ func (c *Coordinator) CheckpointNow() error {
 			return fmt.Errorf("cluster: checkpoint extra state: %w", err)
 		}
 	}
+	engTag := ""
+	if c.engName != engine.MRL99 {
+		engTag = c.engName
+	}
 	data, err := json.Marshal(checkpointFile{
 		SavedAt: c.cfg.Clock.Now(),
 		Eps:     c.cfg.Eps,
 		Delta:   c.cfg.Delta,
 		Level:   c.cfg.Level,
+		Engine:  engTag,
 		Seen:    seen,
 		Workers: workers,
 		Merge:   blob,
@@ -443,21 +519,35 @@ func (c *Coordinator) restore(path string) error {
 		return fmt.Errorf("cluster: checkpoint %s was written with eps=%g delta=%g, coordinator runs eps=%g delta=%g",
 			path, f.Eps, f.Delta, c.cfg.Eps, c.cfg.Delta)
 	}
-	st, err := codec.UnmarshalCoordinator(f.Merge, codec.Float64())
-	if err != nil {
-		return fmt.Errorf("cluster: checkpoint %s: %w", path, err)
+	fileEng := f.Engine
+	if fileEng == "" {
+		fileEng = engine.MRL99
 	}
-	// Restoring state across tiers would splice a differently-budgeted
-	// summary into the tree; the codec-level tag makes that a refusal.
-	if st.Level != c.cfg.Level {
-		return fmt.Errorf("cluster: checkpoint %s was written at level %d, node runs at level %d",
-			path, st.Level, c.cfg.Level)
+	if fileEng != c.engName {
+		return fmt.Errorf("cluster: checkpoint %s was written with engine %q, node runs engine %q",
+			path, fileEng, c.engName)
 	}
-	merge, err := parallel.RestoreCoordinator(st)
-	if err != nil {
-		return fmt.Errorf("cluster: checkpoint %s: %w", path, err)
+	if c.eng != nil {
+		if err := c.eng.Restore(f.Merge); err != nil {
+			return fmt.Errorf("cluster: checkpoint %s: %w", path, err)
+		}
+	} else {
+		st, err := codec.UnmarshalCoordinator(f.Merge, codec.Float64())
+		if err != nil {
+			return fmt.Errorf("cluster: checkpoint %s: %w", path, err)
+		}
+		// Restoring state across tiers would splice a differently-budgeted
+		// summary into the tree; the codec-level tag makes that a refusal.
+		if st.Level != c.cfg.Level {
+			return fmt.Errorf("cluster: checkpoint %s was written at level %d, node runs at level %d",
+				path, st.Level, c.cfg.Level)
+		}
+		merge, err := parallel.RestoreCoordinator(st)
+		if err != nil {
+			return fmt.Errorf("cluster: checkpoint %s: %w", path, err)
+		}
+		c.merge = merge
 	}
-	c.merge = merge
 	c.seen = make(map[string]map[uint64]struct{}, len(f.Seen))
 	for id, list := range f.Seen {
 		epochs := make(map[uint64]struct{}, len(list))
@@ -472,14 +562,15 @@ func (c *Coordinator) restore(path string) error {
 		c.workers[id] = &w
 	}
 	c.version.Add(1)
-	c.m.elements.Add(merge.Count())
+	count := c.countLocked()
+	c.m.elements.Add(count)
 	if c.cfg.CheckpointExtra != nil && len(f.Extra) > 0 {
 		if err := c.cfg.CheckpointExtra.Load(f.Extra); err != nil {
 			return fmt.Errorf("cluster: checkpoint %s: extra state: %w", path, err)
 		}
 	}
 	c.cfg.Logger.Info("restored checkpoint",
-		"path", path, "elements", merge.Count(), "workers", len(c.workers),
+		"path", path, "elements", count, "workers", len(c.workers),
 		"saved", f.SavedAt.Format(time.RFC3339))
 	return nil
 }
@@ -521,38 +612,69 @@ func (c *Coordinator) Ingest(env Envelope) (int, ShipResult) {
 			"worker %s built with eps=%g delta=%g, coordinator runs eps=%g delta=%g",
 			env.Worker, env.Eps, env.Delta, c.cfg.Eps, c.cfg.Delta)
 	}
-	sh, err := codec.UnmarshalShipment(env.Blob, codec.Float64())
-	if err != nil {
-		return reject(http.StatusBadRequest, "decoding shipment: %v", err)
+	// Mixed-engine shipments are refused before any decode attempt: the
+	// blobs are not convertible, so this is a permanent (409) rejection.
+	envEng := env.Engine
+	if envEng == "" {
+		envEng = engine.MRL99
 	}
-	if sh.Count != env.Count {
-		return reject(http.StatusBadRequest, "envelope count %d != shipment count %d", env.Count, sh.Count)
+	if envEng != c.engName {
+		c.m.engineMismatch.Inc()
+		return reject(http.StatusConflict,
+			"worker %s ships engine %q, coordinator runs engine %q",
+			env.Worker, envEng, c.engName)
 	}
-	if k := shipmentK(sh); k != 0 && k != c.plan.K {
-		return reject(http.StatusConflict, "worker buffer size %d != coordinator %d", k, c.plan.K)
+	var sh parallel.Shipment[float64]
+	if c.eng == nil {
+		var err error
+		sh, err = codec.UnmarshalShipment(env.Blob, codec.Float64())
+		if err != nil {
+			return reject(http.StatusBadRequest, "decoding shipment: %v", err)
+		}
+		if sh.Count != env.Count {
+			return reject(http.StatusBadRequest, "envelope count %d != shipment count %d", env.Count, sh.Count)
+		}
+		if k := shipmentK(sh); k != 0 && k != c.plan.K {
+			return reject(http.StatusConflict, "worker buffer size %d != coordinator %d", k, c.plan.K)
+		}
 	}
 
 	c.mu.Lock()
 	if _, dup := c.seen[env.Worker][env.Epoch]; dup {
 		ws := c.workers[env.Worker]
 		ws.Duplicates++
-		total := c.merge.Count()
+		total := c.countLocked()
 		c.mu.Unlock()
 		c.m.shipmentsDeduped.Inc()
 		return http.StatusOK, ShipResult{Status: StatusDuplicate, Count: total}
 	}
-	// Receive mutates state before it can fail on a pathological shipment,
-	// so snapshot first and roll back on error — a rejected shipment must
-	// leave the aggregate untouched.
-	undo := c.merge.Snapshot()
 	begin := c.cfg.Clock.Now()
-	if err := c.merge.Receive(sh); err != nil {
-		if rb, rerr := parallel.RestoreCoordinator(undo); rerr == nil {
-			c.merge = rb
+	if c.eng != nil {
+		// Engine.Merge decodes and validates the whole blob (including the
+		// envelope-count cross-check) before mutating, so a failed merge
+		// needs no rollback.
+		if _, err := c.eng.Merge(env.Blob, env.Count); err != nil {
+			c.mu.Unlock()
+			c.m.shipmentsRejected.Inc()
+			status := http.StatusBadRequest
+			if engine.Incompatible(err) {
+				status = http.StatusConflict
+			}
+			return status, ShipResult{Status: StatusRejected, Error: fmt.Sprintf("merging shipment: %v", err)}
 		}
-		c.mu.Unlock()
-		c.m.shipmentsRejected.Inc()
-		return http.StatusConflict, ShipResult{Status: StatusRejected, Error: fmt.Sprintf("merging shipment: %v", err)}
+	} else {
+		// Receive mutates state before it can fail on a pathological
+		// shipment, so snapshot first and roll back on error — a rejected
+		// shipment must leave the aggregate untouched.
+		undo := c.merge.Snapshot()
+		if err := c.merge.Receive(sh); err != nil {
+			if rb, rerr := parallel.RestoreCoordinator(undo); rerr == nil {
+				c.merge = rb
+			}
+			c.mu.Unlock()
+			c.m.shipmentsRejected.Inc()
+			return http.StatusConflict, ShipResult{Status: StatusRejected, Error: fmt.Sprintf("merging shipment: %v", err)}
+		}
 	}
 	c.m.mergeSeconds.Add(c.cfg.Clock.Now().Sub(begin).Seconds())
 	c.m.merges.Inc()
@@ -571,7 +693,7 @@ func (c *Coordinator) Ingest(env Envelope) (int, ShipResult) {
 	ws.LastSeen = c.cfg.Clock.Now()
 	ws.Count += env.Count
 	ws.Shipments++
-	total := c.merge.Count()
+	total := c.countLocked()
 	c.version.Add(1) // invalidate the cached query view
 	c.mu.Unlock()
 
@@ -677,6 +799,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	s := c.Summarize()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"role":            "coordinator",
+		"engine":          s.Engine,
 		"count":           s.Count,
 		"memory_elements": s.MemoryElements,
 		"merge_height":    s.MergeHeight,
@@ -690,7 +813,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
-	count := c.merge.Count()
+	count := c.countLocked()
 	workers := make(map[string]WorkerStatus, len(c.workers))
 	for id, ws := range c.workers {
 		workers[id] = *ws

@@ -36,6 +36,8 @@ type metrics struct {
 	checkpointErrors *obs.Counter
 
 	viewRebuildSeconds *obs.Histogram // time to rebuild the cached query view
+
+	engineMismatch *obs.Counter // shipments refused for naming another engine
 }
 
 // newMetrics registers the coordinator's metrics on reg in golden exposition
@@ -62,6 +64,9 @@ func newMetrics(reg *obs.Registry, uptime func() float64, workers func() (map[st
 	reg.Collect("cluster_worker", func(w io.Writer) { writeWorkerProm(w, workers) })
 	m.viewRebuildSeconds = reg.Histogram("cluster_view_rebuild_seconds",
 		"Time to rebuild the cached query view after it was invalidated.", nil)
+	// Registered after every pre-existing series (append-only golden rule).
+	m.engineMismatch = reg.Counter("cluster_shipments_engine_mismatch_total",
+		"Shipments refused because the envelope named a different sketch engine.")
 	return m
 }
 

@@ -40,6 +40,10 @@ type Envelope struct {
 	Delta  float64 `json:"delta"`
 	Count  uint64  `json:"count"`
 	Blob   []byte  `json:"blob"`
+	// Engine names the sketch engine that wrote Blob. Empty means the
+	// default MRL99 stack, so envelopes from pre-engine workers (and the
+	// bytes mrl99 clusters put on the wire) are unchanged.
+	Engine string `json:"engine,omitempty"`
 }
 
 // Validate checks the envelope's self-consistency before it is sent or

@@ -49,6 +49,13 @@ type ShipperConfig struct {
 	// node's behavior replays exactly from its configuration.
 	Seed uint64
 
+	// Engine names the sketch engine whose blobs this node ships; empty
+	// means the default MRL99 stack (and keeps the wire bytes identical
+	// to pre-engine nodes). The parent refuses mixed-engine shipments
+	// with a permanent rejection, so a misconfigured node drops rather
+	// than retries.
+	Engine string
+
 	// Logger receives structured operational logs; nil discards them.
 	Logger *slog.Logger
 
@@ -245,6 +252,7 @@ func (s *Shipper) ShipCycle(ctx context.Context, eps, delta float64, cut func() 
 			Delta:  delta,
 			Count:  count,
 			Blob:   blob,
+			Engine: s.cfg.Engine,
 		})
 	}
 	var overflowed []uint64

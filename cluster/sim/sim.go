@@ -26,6 +26,7 @@ import (
 	quantile "repro"
 	"repro/cluster"
 	"repro/cluster/agg"
+	"repro/internal/engine"
 	"repro/internal/rng"
 )
 
@@ -93,6 +94,11 @@ type Config struct {
 	// For a 3-level tree this is the per-node budget (the PerLevelEps
 	// split of the root target), exactly as it would be deployed.
 	Eps, Delta float64
+
+	// Engine selects the sketch engine every node runs ("mrl99", "kll" or
+	// "gk"; empty means mrl99). The whole simulated tree shares one engine,
+	// as a real deployment must.
+	Engine string
 
 	// Seed determines everything: sketch sampling, fault rolls, retry
 	// jitter. Same Config (including Seed) ⇒ byte-identical transcript.
@@ -176,6 +182,11 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Faults.DelaySends <= 0 {
 		cfg.Faults.DelaySends = 3
 	}
+	engName, err := engine.Normalize(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Engine = engName
 	cl := &Cluster{cfg: cfg, clock: NewVirtualClock()}
 	cl.net = &Transport{
 		clock:  cl.clock,
@@ -206,13 +217,8 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	for i := 0; i < cfg.Workers; i++ {
-		sk, err := quantile.NewConcurrent[float64](cfg.Eps, cfg.Delta, cfg.Shards,
-			quantile.WithSeed(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15+1))
-		if err != nil {
-			return nil, err
-		}
 		id := fmt.Sprintf("w%d", i)
-		w, err := cluster.NewWorker(sk, cluster.WorkerConfig{
+		wcfg := cluster.WorkerConfig{
 			ID:          id,
 			Transport:   cl.net,
 			Clock:       cl.clock,
@@ -221,9 +227,26 @@ func New(cfg Config) (*Cluster, error) {
 			BackoffBase: 10 * time.Millisecond,
 			BackoffMax:  160 * time.Millisecond,
 			Logger:      cl.logger(),
-		})
-		if err != nil {
-			return nil, err
+		}
+		var w *cluster.Worker
+		if engName != engine.MRL99 {
+			e, err := engine.New(engName, cfg.Eps, cfg.Delta,
+				cfg.Seed+uint64(i)*0x9e3779b97f4a7c15+1)
+			if err != nil {
+				return nil, err
+			}
+			if w, err = cluster.NewEngineWorker(engine.Guard(e), wcfg); err != nil {
+				return nil, err
+			}
+		} else {
+			sk, err := quantile.NewConcurrent[float64](cfg.Eps, cfg.Delta, cfg.Shards,
+				quantile.WithSeed(cfg.Seed+uint64(i)*0x9e3779b97f4a7c15+1))
+			if err != nil {
+				return nil, err
+			}
+			if w, err = cluster.NewWorker(sk, wcfg); err != nil {
+				return nil, err
+			}
 		}
 		cl.workers = append(cl.workers, w)
 		dest := cl.rootNode
@@ -246,6 +269,7 @@ func (cl *Cluster) newCoordinator() (*cluster.Coordinator, error) {
 	return cluster.NewCoordinator(cluster.CoordinatorConfig{
 		Eps:            cl.cfg.Eps,
 		Delta:          cl.cfg.Delta,
+		Engine:         cl.cfg.Engine,
 		Seed:           cl.cfg.Seed ^ 0x51c0,
 		CheckpointPath: cl.cfg.CheckpointPath,
 		Clock:          cl.clock,
@@ -265,6 +289,7 @@ func (cl *Cluster) newAggregator(i int) (*agg.Aggregator, error) {
 		Level:          1,
 		Eps:            cl.cfg.Eps,
 		Delta:          cl.cfg.Delta,
+		Engine:         cl.cfg.Engine,
 		Transport:      cl.net,
 		Clock:          cl.clock,
 		Seed:           cl.cfg.Seed + uint64(i)*0x2545f4914f6cdd1d + 5,
@@ -330,7 +355,7 @@ func (h *transcriptHandler) WithGroup(string) slog.Handler { return h }
 
 // Feed adds vals to worker w's sketch (its local ingest stream).
 func (cl *Cluster) Feed(w int, vals []float64) {
-	cl.workers[w].Sketch().AddAll(vals)
+	cl.workers[w].AddAll(vals)
 	cl.fed += uint64(len(vals))
 }
 

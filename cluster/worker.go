@@ -8,6 +8,7 @@ import (
 	"time"
 
 	quantile "repro"
+	"repro/internal/engine"
 	"repro/internal/obs"
 )
 
@@ -126,7 +127,8 @@ type WorkerStats struct {
 // the aggregation tier; Worker contributes the sketch-cutting half.
 type Worker struct {
 	cfg    WorkerConfig
-	sketch *quantile.Concurrent[float64]
+	sketch *quantile.Concurrent[float64] // MRL99 workers
+	eng    *engine.Guarded               // non-MRL99 workers
 	ship   *Shipper
 }
 
@@ -157,8 +159,52 @@ func NewWorker(sketch *quantile.Concurrent[float64], cfg WorkerConfig) (*Worker,
 	return &Worker{cfg: cfg, sketch: sketch, ship: ship}, nil
 }
 
-// Sketch returns the wrapped sketch (shared with local ingest surfaces).
+// NewEngineWorker wraps a guarded non-MRL99 engine in a shipping worker.
+// Every envelope it cuts is tagged with the engine's name, so a
+// coordinator running a different engine refuses it permanently instead of
+// trying to decode foreign bytes. The engine's eps/delta must still match
+// the coordinator's.
+func NewEngineWorker(eng *engine.Guarded, cfg WorkerConfig) (*Worker, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("cluster: worker needs an engine")
+	}
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ship, err := NewShipper(ShipperConfig{
+		ID:          cfg.ID,
+		Engine:      eng.EngineName(),
+		Transport:   cfg.Transport,
+		Clock:       cfg.Clock,
+		MaxRetries:  cfg.MaxRetries,
+		BackoffBase: cfg.BackoffBase,
+		BackoffMax:  cfg.BackoffMax,
+		MaxPending:  cfg.MaxPending,
+		Seed:        cfg.Seed,
+		Logger:      cfg.Logger,
+		Registry:    cfg.Registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{cfg: cfg, eng: eng, ship: ship}, nil
+}
+
+// Sketch returns the wrapped sketch (shared with local ingest surfaces);
+// nil for engine workers.
 func (w *Worker) Sketch() *quantile.Concurrent[float64] { return w.sketch }
+
+// Engine returns the wrapped guarded engine; nil for MRL99 workers.
+func (w *Worker) Engine() *engine.Guarded { return w.eng }
+
+// AddAll ingests a batch into whichever sketch this worker wraps.
+func (w *Worker) AddAll(vs []float64) {
+	if w.eng != nil {
+		w.eng.AddAll(vs)
+		return
+	}
+	w.sketch.AddAll(vs)
+}
 
 // Registry returns the registry carrying the worker's shipping metrics.
 func (w *Worker) Registry() *obs.Registry { return w.cfg.Registry }
@@ -193,6 +239,9 @@ func (w *Worker) Run(ctx context.Context) {
 // stay queued for the next cycle; the coordinator's (worker, epoch) dedup
 // makes redelivery after a lost acknowledgement harmless.
 func (w *Worker) ShipOnce(ctx context.Context) error {
+	if w.eng != nil {
+		return w.ship.ShipCycle(ctx, w.eng.Epsilon(), w.eng.Delta(), w.eng.Ship)
+	}
 	return w.ship.ShipCycle(ctx, w.sketch.Epsilon(), w.sketch.Delta(), func() ([]byte, uint64, error) {
 		return w.sketch.ShipAndReset(quantile.Float64Codec())
 	})

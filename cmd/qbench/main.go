@@ -15,7 +15,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/perf"
 )
@@ -31,9 +34,10 @@ func main() {
 	jsonPath := flag.String("json", "", "perf: write the E-PERF report as JSON to this file")
 	baselinePath := flag.String("baseline", "", "perf: compare against this baseline JSON and fail on regression")
 	tolerance := flag.Float64("tolerance", 0.25, "perf: allowed ns/elem regression fraction vs the baseline")
-	benchN := flag.Int("bench-n", 0, "perf: per-op stream size (0 selects the default; -quick shrinks it)")
+	benchN := flag.String("bench-n", "", "perf: per-op stream size — one number for every row family, or family=N pairs like ingest=1048576,engine=262144 (empty selects the default; -quick shrinks it)")
+	engines := flag.String("engine", "", "perf: comma-separated engines for the engine-* rows (mrl99, kll, gk; empty runs all)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qbench [-quick] [-json file] [-baseline file] [-tolerance frac] [-bench-n n] [experiment ...]\nexperiments: %v\n", experimentOrder)
+		fmt.Fprintf(os.Stderr, "usage: qbench [-quick] [-json file] [-baseline file] [-tolerance frac] [-bench-n n|family=n,...] [-engine e,...] [experiment ...]\nexperiments: %v\n", experimentOrder)
 	}
 	flag.Parse()
 
@@ -44,7 +48,7 @@ func main() {
 	for _, name := range names {
 		var err error
 		if name == "perf" {
-			err = runPerf(os.Stdout, *quick, *benchN, *jsonPath, *baselinePath, *tolerance)
+			err = runPerf(os.Stdout, *quick, *benchN, *engines, *jsonPath, *baselinePath, *tolerance)
 		} else {
 			err = run(os.Stdout, name, *quick)
 		}
@@ -55,15 +59,63 @@ func main() {
 	}
 }
 
+// parseBenchN interprets -bench-n: a bare integer sizes every row family;
+// family=N pairs size families independently. Family names are validated
+// here so a typo fails before a multi-minute run, naming the known set.
+func parseBenchN(spec string, cfg *perf.Config) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	if n, err := strconv.Atoi(spec); err == nil {
+		if n <= 0 {
+			return fmt.Errorf("-bench-n %d: stream size must be positive", n)
+		}
+		cfg.N = n
+		return nil
+	}
+	cfg.FamilyN = map[string]int{}
+	for _, part := range strings.Split(spec, ",") {
+		fam, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return fmt.Errorf("-bench-n %q: want a number or family=N pairs (families: %v)", spec, perf.Families())
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("-bench-n: family %q needs a positive stream size, got %q", fam, val)
+		}
+		known := false
+		for _, f := range perf.Families() {
+			if fam == f {
+				known = true
+			}
+		}
+		if !known {
+			return fmt.Errorf("-bench-n: unknown row family %q (known: %v)", fam, perf.Families())
+		}
+		cfg.FamilyN[fam] = n
+	}
+	return nil
+}
+
 // runPerf executes the E-PERF harness, optionally persisting the JSON
 // report and gating against a baseline (the CI bench-smoke job).
-func runPerf(w io.Writer, quick bool, benchN int, jsonPath, baselinePath string, tolerance float64) error {
+func runPerf(w io.Writer, quick bool, benchN, engines, jsonPath, baselinePath string, tolerance float64) error {
 	cfg := perf.DefaultConfig()
 	if quick {
 		cfg.N = 1 << 17
 	}
-	if benchN > 0 {
-		cfg.N = benchN
+	if err := parseBenchN(benchN, &cfg); err != nil {
+		return err
+	}
+	if engines != "" {
+		for _, e := range strings.Split(engines, ",") {
+			name, err := engine.Normalize(e)
+			if err != nil {
+				return fmt.Errorf("-engine: %w", err)
+			}
+			cfg.Engines = append(cfg.Engines, name)
+		}
 	}
 	rep, err := perf.Run(cfg)
 	if err != nil {

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/perf"
 )
 
 // TestEveryExperimentRuns exercises the full dispatcher in quick mode and
@@ -31,7 +33,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 			if name == "perf" {
 				// perf has its own dispatcher; a tiny stream keeps the
 				// smoke run fast (1 rep is the self-timed minimum).
-				err = runPerf(&out, true, 1<<12, "", "", 0.25)
+				err = runPerf(&out, true, "4096", "", "", "", 0.25)
 			} else {
 				err = run(&out, name, true)
 			}
@@ -42,6 +44,30 @@ func TestEveryExperimentRuns(t *testing.T) {
 				t.Errorf("%s output missing %q", name, want)
 			}
 		})
+	}
+}
+
+func TestParseBenchN(t *testing.T) {
+	var cfg perf.Config
+	if err := parseBenchN("1024", &cfg); err != nil || cfg.N != 1024 {
+		t.Fatalf("plain size: %v %+v", err, cfg)
+	}
+	cfg = perf.Config{}
+	if err := parseBenchN("ingest=2048,engine=512", &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FamilyN[perf.FamilyIngest] != 2048 || cfg.FamilyN[perf.FamilyEngine] != 512 {
+		t.Fatalf("family sizes: %+v", cfg.FamilyN)
+	}
+	for spec, wantInErr := range map[string]string{
+		"shard=64":  `"shard"`, // unknown family, named
+		"ingest=x":  `"ingest"`,
+		"ingest=-1": `"ingest"`,
+		"-5":        "-5",
+	} {
+		if err := parseBenchN(spec, &perf.Config{}); err == nil || !strings.Contains(err.Error(), wantInErr) {
+			t.Errorf("parseBenchN(%q) = %v, want error mentioning %s", spec, err, wantInErr)
+		}
 	}
 }
 

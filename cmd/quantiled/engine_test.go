@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestParseFlagsEngine(t *testing.T) {
+	cfg, err := parseFlags([]string{"-engine", " KLL "}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.engine != "kll" {
+		t.Fatalf("engine %q, want kll", cfg.engine)
+	}
+	if _, err := parseFlags([]string{"-engine", "tdigest"}, io.Discard); err == nil {
+		t.Fatal("accepted an unknown engine")
+	}
+}
+
+// TestEngineWorkerCoordinatorServices wires a -engine kll worker to a
+// -engine kll coordinator exactly as main would: ingest over HTTP at the
+// worker, drain, and every element must be counted once at the root.
+func TestEngineWorkerCoordinatorServices(t *testing.T) {
+	ccfg, err := parseFlags([]string{"-role", "coordinator", "-engine", "kll", "-eps", "0.02", "-delta", "1e-3"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvc, err := newService(ccfg, obs.Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(csvc.handler)
+	defer cs.Close()
+
+	wcfg, err := parseFlags([]string{
+		"-role", "worker", "-engine", "kll", "-coordinator", cs.URL,
+		"-worker-id", "w-kll", "-eps", "0.02", "-delta", "1e-3",
+		"-ship-interval", "20ms",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsvc, err := newService(wcfg, obs.Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := httptest.NewServer(wsvc.handler)
+	defer ws.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		wsvc.run(ctx)
+		close(done)
+	}()
+
+	var feed strings.Builder
+	for i := 1; i <= 5000; i++ {
+		feed.WriteString("7 ")
+	}
+	resp, err := http.Post(ws.URL+"/add", "text/plain", strings.NewReader(feed.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker loop did not stop")
+	}
+	resp, err = http.Get(cs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"count":5000`) {
+		t.Errorf("coordinator healthz after drain: %s", body)
+	}
+	resp, err = http.Get(cs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(stats), `"engine":"kll"`) {
+		t.Errorf("coordinator stats missing engine tag: %s", stats)
+	}
+}

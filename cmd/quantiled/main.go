@@ -80,6 +80,7 @@ import (
 	"repro/cluster"
 	"repro/cluster/agg"
 	"repro/httpapi"
+	"repro/internal/engine"
 	"repro/internal/obs"
 )
 
@@ -89,6 +90,7 @@ type config struct {
 	delta  float64
 	shards int
 	seed   uint64
+	engine string
 
 	role           string
 	coordinatorURL string
@@ -117,6 +119,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.Float64Var(&cfg.delta, "delta", 1e-4, "failure probability")
 	fs.IntVar(&cfg.shards, "shards", 0, "concurrency shards (0 = default)")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "random seed")
+	fs.StringVar(&cfg.engine, "engine", "mrl99", "sketch engine: mrl99, kll or gk (every node in one tree must agree)")
 	fs.StringVar(&cfg.role, "role", "standalone", "standalone, worker, coordinator or aggregator")
 	fs.StringVar(&cfg.coordinatorURL, "coordinator", "", "coordinator base URL (worker role)")
 	fs.StringVar(&cfg.workerID, "worker-id", "", "stable node identity (worker and aggregator roles; default hostname+addr)")
@@ -132,6 +135,11 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
+	name, err := engine.Normalize(cfg.engine)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.engine = name
 	if _, err := obs.ParseLevel(cfg.logLevel); err != nil {
 		return cfg, err
 	}
@@ -196,29 +204,47 @@ type service struct {
 	banner  string
 }
 
+// newIngestServer builds the ingest-surface HTTP server for the selected
+// engine: the sharded concurrent sketch for mrl99, a guarded engine
+// otherwise.
+func newIngestServer(cfg config, logger *slog.Logger) (*httpapi.Server, error) {
+	var srv *httpapi.Server
+	var err error
+	if cfg.engine == engine.MRL99 {
+		srv, err = httpapi.New(cfg.eps, cfg.delta, cfg.shards, quantile.WithSeed(cfg.seed))
+	} else {
+		var e engine.Engine
+		if e, err = engine.New(cfg.engine, cfg.eps, cfg.delta, cfg.seed); err == nil {
+			srv, err = httpapi.NewEngine(engine.Guard(e))
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	srv.SetMaxBodyBytes(cfg.maxBodyBytes)
+	srv.SetLogger(logger)
+	return srv, nil
+}
+
 func newService(cfg config, logger *slog.Logger) (*service, error) {
 	switch cfg.role {
 	case "standalone":
-		srv, err := httpapi.New(cfg.eps, cfg.delta, cfg.shards, quantile.WithSeed(cfg.seed))
+		srv, err := newIngestServer(cfg, logger)
 		if err != nil {
 			return nil, err
 		}
-		srv.SetMaxBodyBytes(cfg.maxBodyBytes)
-		srv.SetLogger(logger)
 		return &service{
 			handler: srv.Handler(),
 			run:     func(ctx context.Context) { <-ctx.Done() },
-			banner:  fmt.Sprintf("standalone (eps=%g delta=%g)", cfg.eps, cfg.delta),
+			banner:  fmt.Sprintf("standalone (engine=%s eps=%g delta=%g)", cfg.engine, cfg.eps, cfg.delta),
 		}, nil
 
 	case "worker":
-		srv, err := httpapi.New(cfg.eps, cfg.delta, cfg.shards, quantile.WithSeed(cfg.seed))
+		srv, err := newIngestServer(cfg, logger)
 		if err != nil {
 			return nil, err
 		}
-		srv.SetMaxBodyBytes(cfg.maxBodyBytes)
-		srv.SetLogger(logger)
-		w, err := cluster.NewWorker(srv.Sketch(), cluster.WorkerConfig{
+		wcfg := cluster.WorkerConfig{
 			ID:             cfg.workerID,
 			CoordinatorURL: cfg.coordinatorURL,
 			ShipInterval:   cfg.shipInterval,
@@ -226,21 +252,28 @@ func newService(cfg config, logger *slog.Logger) (*service, error) {
 			// Shipping counters land on the ingest surface's registry, so
 			// the worker's GET /metrics covers both.
 			Registry: srv.Registry(),
-		})
+		}
+		var w *cluster.Worker
+		if cfg.engine == engine.MRL99 {
+			w, err = cluster.NewWorker(srv.Sketch(), wcfg)
+		} else {
+			w, err = cluster.NewEngineWorker(srv.Engine(), wcfg)
+		}
 		if err != nil {
 			return nil, err
 		}
 		return &service{
 			handler: srv.Handler(),
 			run:     w.Run,
-			banner: fmt.Sprintf("worker %q shipping to %s every %s (eps=%g delta=%g)",
-				cfg.workerID, cfg.coordinatorURL, cfg.shipInterval, cfg.eps, cfg.delta),
+			banner: fmt.Sprintf("worker %q shipping to %s every %s (engine=%s eps=%g delta=%g)",
+				cfg.workerID, cfg.coordinatorURL, cfg.shipInterval, cfg.engine, cfg.eps, cfg.delta),
 		}, nil
 
 	case "coordinator":
 		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
 			Eps:                cfg.eps,
 			Delta:              cfg.delta,
+			Engine:             cfg.engine,
 			Seed:               cfg.seed,
 			CheckpointPath:     cfg.checkpoint,
 			CheckpointInterval: cfg.checkpointInterval,
@@ -250,7 +283,7 @@ func newService(cfg config, logger *slog.Logger) (*service, error) {
 		if err != nil {
 			return nil, err
 		}
-		banner := fmt.Sprintf("coordinator (eps=%g delta=%g", cfg.eps, cfg.delta)
+		banner := fmt.Sprintf("coordinator (engine=%s eps=%g delta=%g", cfg.engine, cfg.eps, cfg.delta)
 		if cfg.checkpoint != "" {
 			banner += fmt.Sprintf(", checkpointing to %s every %s", cfg.checkpoint, cfg.checkpointInterval)
 		}
@@ -262,6 +295,7 @@ func newService(cfg config, logger *slog.Logger) (*service, error) {
 			Level:              cfg.level,
 			Eps:                cfg.eps,
 			Delta:              cfg.delta,
+			Engine:             cfg.engine,
 			ParentURL:          cfg.parentURL,
 			ShipInterval:       cfg.shipInterval,
 			Seed:               cfg.seed,
@@ -273,8 +307,8 @@ func newService(cfg config, logger *slog.Logger) (*service, error) {
 		if err != nil {
 			return nil, err
 		}
-		banner := fmt.Sprintf("aggregator %q level %d shipping to %s every %s (eps=%g delta=%g",
-			cfg.workerID, cfg.level, cfg.parentURL, cfg.shipInterval, cfg.eps, cfg.delta)
+		banner := fmt.Sprintf("aggregator %q level %d shipping to %s every %s (engine=%s eps=%g delta=%g",
+			cfg.workerID, cfg.level, cfg.parentURL, cfg.shipInterval, cfg.engine, cfg.eps, cfg.delta)
 		if cfg.checkpoint != "" {
 			banner += fmt.Sprintf(", checkpointing to %s every %s", cfg.checkpoint, cfg.checkpointInterval)
 		}

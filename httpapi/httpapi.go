@@ -31,6 +31,7 @@ import (
 	"time"
 
 	quantile "repro"
+	"repro/internal/engine"
 	"repro/internal/ingest"
 	"repro/internal/obs"
 )
@@ -42,7 +43,8 @@ const DefaultMaxBodyBytes = 64 << 20
 
 // Server wraps a concurrent sketch behind HTTP endpoints.
 type Server struct {
-	sketch  *quantile.Concurrent[float64]
+	sketch  *quantile.Concurrent[float64] // MRL99 servers (New)
+	eng     *engine.Guarded               // engine servers (NewEngine)
 	eps     float64
 	delta   float64
 	maxBody int64
@@ -90,12 +92,81 @@ func New(eps, delta float64, shards int, opts ...quantile.Option) (*Server, erro
 	return s, nil
 }
 
+// NewEngine wraps an already-guarded sketch engine behind the same HTTP
+// surface. The guarded engine may be shared with other in-process users (a
+// cluster worker shipping its windows, say); eps/delta are read from it.
+// The MRL99 engine also works here, but New keeps the richer sharded
+// sketch (per-shard ingest, view-cache counters) for the default stack.
+func NewEngine(g *engine.Guarded) (*Server, error) {
+	if g == nil {
+		return nil, fmt.Errorf("httpapi: nil engine")
+	}
+	s := &Server{
+		eng: g, eps: g.Epsilon(), delta: g.Delta(),
+		maxBody: DefaultMaxBodyBytes,
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
+		reg:     obs.NewRegistry(),
+		logger:  obs.Discard(),
+		clock:   time.Now,
+	}
+	s.mux.Handle("POST /add", s.instrument("add", s.handleAdd))
+	s.mux.Handle("GET /quantile", s.instrument("quantile", s.handleQuantile))
+	s.mux.Handle("GET /cdf", s.instrument("cdf", s.handleCDF))
+	s.mux.Handle("GET /histogram", s.instrument("histogram", s.handleHistogram))
+	s.mux.Handle("GET /stats", s.instrument("stats", s.handleStats))
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.reg.CounterFunc("sketch_elements_total", "Stream elements consumed by the sketch.", g.Count)
+	s.reg.GaugeFunc("sketch_memory_elements", "Elements resident in sketch buffers (the paper's space bound).",
+		func() float64 { return float64(g.MemoryElements()) })
+	return s, nil
+}
+
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Sketch returns the underlying concurrent sketch (for in-process use
-// alongside the HTTP surface).
+// alongside the HTTP surface); nil for engine servers.
 func (s *Server) Sketch() *quantile.Concurrent[float64] { return s.sketch }
+
+// Engine returns the underlying guarded engine; nil for MRL99 servers
+// built with New.
+func (s *Server) Engine() *engine.Guarded { return s.eng }
+
+// addAll, count, quantiles and cdf dispatch to whichever summary backs
+// this server.
+func (s *Server) addAll(vs []float64) {
+	if s.eng != nil {
+		s.eng.AddAll(vs)
+		return
+	}
+	s.sketch.AddAll(vs)
+}
+
+func (s *Server) count() uint64 {
+	if s.eng != nil {
+		return s.eng.Count()
+	}
+	return s.sketch.Count()
+}
+
+func (s *Server) quantiles(phis []float64) ([]float64, error) {
+	if s.eng != nil {
+		return s.eng.Quantiles(phis)
+	}
+	return s.sketch.Quantiles(phis)
+}
+
+func (s *Server) cdf(v float64) (float64, error) {
+	if s.eng != nil {
+		out, err := s.eng.CDF([]float64{v})
+		if err != nil {
+			return 0, err
+		}
+		return out[0], nil
+	}
+	return s.sketch.CDF(v)
+}
 
 // Registry returns the registry behind GET /metrics. Co-located components
 // (a cluster worker sharing this server's sketch, say) can register their
@@ -172,7 +243,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	// one shard-lock acquisition per batch instead of per value.
 	batch := make([]float64, 0, 4096)
 	flush := func() {
-		s.sketch.AddAll(batch)
+		s.addAll(batch)
 		added += uint64(len(batch))
 		batch = batch[:0]
 	}
@@ -193,7 +264,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parsing body after %d values: %v", added, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]uint64{"added": added, "total": s.sketch.Count()})
+	writeJSON(w, http.StatusOK, map[string]uint64{"added": added, "total": s.count()})
 }
 
 func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
@@ -213,7 +284,7 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 		}
 		phis = append(phis, phi)
 	}
-	vals, err := s.sketch.Quantiles(phis)
+	vals, err := s.quantiles(phis)
 	if err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
@@ -235,7 +306,7 @@ func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad v %q", raw)
 		return
 	}
-	frac, err := s.sketch.CDF(v)
+	frac, err := s.cdf(v)
 	if err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
@@ -257,7 +328,7 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 	for i := range phis {
 		phis[i] = float64(i+1) / float64(buckets)
 	}
-	bounds, err := s.sketch.Quantiles(phis)
+	bounds, err := s.quantiles(phis)
 	if err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
@@ -265,14 +336,26 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"buckets":    buckets,
 		"boundaries": bounds,
-		"rows":       s.sketch.Count(),
+		"rows":       s.count(),
 	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.eng != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"engine":          s.eng.EngineName(),
+			"count":           s.eng.Count(),
+			"memory_elements": s.eng.MemoryElements(),
+			"eps":             s.eps,
+			"delta":           s.delta,
+			"uptime_seconds":  time.Since(s.start).Seconds(),
+		})
+		return
+	}
 	b, k, h := s.sketch.Layout()
 	hits, misses, rebuilds := s.sketch.ViewStats()
 	writeJSON(w, http.StatusOK, map[string]any{
+		"engine":          engine.MRL99,
 		"count":           s.sketch.Count(),
 		"memory_elements": s.sketch.MemoryElements(),
 		"eps":             s.eps,

@@ -250,49 +250,59 @@ func frame(kind byte, codecName string, payload []byte) []byte {
 
 // unframe validates and strips the envelope.
 func unframe(data []byte, wantKind byte, wantCodec string) ([]byte, error) {
-	if len(data) < len(magic)+2+4 {
-		return nil, fmt.Errorf("codec: truncated frame")
-	}
-	body, tail := data[:len(data)-4], data[len(data)-4:]
-	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
-		return nil, fmt.Errorf("codec: checksum mismatch")
-	}
-	r := &reader{buf: body}
-	for i := 0; i < len(magic); i++ {
-		b, err := r.byte()
-		if err != nil || b != magic[i] {
-			return nil, fmt.Errorf("codec: bad magic")
-		}
-	}
-	v, err := r.byte()
-	if err != nil {
-		return nil, err
-	}
-	if v != version {
-		return nil, fmt.Errorf("codec: unsupported version %d", v)
-	}
-	k, err := r.byte()
-	if err != nil {
-		return nil, err
-	}
-	if k != wantKind {
-		return nil, fmt.Errorf("codec: frame kind %d, want %d", k, wantKind)
-	}
-	name, err := r.str()
+	name, payload, err := unframeAny(data, wantKind)
 	if err != nil {
 		return nil, err
 	}
 	if name != wantCodec {
 		return nil, fmt.Errorf("codec: element codec %q, want %q", name, wantCodec)
 	}
+	return payload, nil
+}
+
+// unframeAny validates the envelope and returns the name slot verbatim, so
+// callers can attach their own semantics to a mismatch.
+func unframeAny(data []byte, wantKind byte) (string, []byte, error) {
+	if len(data) < len(magic)+2+4 {
+		return "", nil, fmt.Errorf("codec: truncated frame")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return "", nil, fmt.Errorf("codec: checksum mismatch")
+	}
+	r := &reader{buf: body}
+	for i := 0; i < len(magic); i++ {
+		b, err := r.byte()
+		if err != nil || b != magic[i] {
+			return "", nil, fmt.Errorf("codec: bad magic")
+		}
+	}
+	v, err := r.byte()
+	if err != nil {
+		return "", nil, err
+	}
+	if v != version {
+		return "", nil, fmt.Errorf("codec: unsupported version %d", v)
+	}
+	k, err := r.byte()
+	if err != nil {
+		return "", nil, err
+	}
+	if k != wantKind {
+		return "", nil, fmt.Errorf("codec: frame kind %d, want %d", k, wantKind)
+	}
+	name, err := r.str()
+	if err != nil {
+		return "", nil, err
+	}
 	plen, err := r.uvarint()
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	if uint64(len(r.buf)) != plen {
-		return nil, fmt.Errorf("codec: payload length %d, header says %d", len(r.buf), plen)
+		return "", nil, fmt.Errorf("codec: payload length %d, header says %d", len(r.buf), plen)
 	}
-	return r.buf, nil
+	return name, r.buf, nil
 }
 
 // version 2 added FillState.Target (the pre-drawn in-block keep position
@@ -309,4 +319,42 @@ const (
 	kindKnownN      = 3
 	kindHistogram   = 4
 	kindCoordinator = 5
+	kindEngine      = 6
 )
+
+// EngineTagError reports an engine frame carrying a different engine's
+// payload. It is a distinct type so serving layers can map it to a
+// permanent incompatibility (HTTP 409) rather than a transient decode
+// failure.
+type EngineTagError struct{ Got, Want string }
+
+func (e *EngineTagError) Error() string {
+	return fmt.Sprintf("codec: engine frame tag %q, want %q", e.Got, e.Want)
+}
+
+// Incompatible marks the error as a permanent engine mismatch for
+// errors.As-based dispatch without an import dependency on the engine
+// registry.
+func (e *EngineTagError) Incompatible() bool { return true }
+
+// MarshalEngineFrame wraps an engine-specific payload in the standard
+// self-checking envelope (kind 6), carrying the engine name in the header's
+// name slot. Pluggable engines (KLL, GK, the MRL99 adapter) use it for both
+// shipments and checkpoints so every blob is CRC-guarded and names the
+// engine that wrote it.
+func MarshalEngineFrame(tag string, payload []byte) []byte {
+	return frame(kindEngine, tag, payload)
+}
+
+// UnmarshalEngineFrame validates an engine frame and returns its payload.
+// A well-formed frame written by a different engine yields *EngineTagError.
+func UnmarshalEngineFrame(data []byte, wantTag string) ([]byte, error) {
+	tag, payload, err := unframeAny(data, kindEngine)
+	if err != nil {
+		return nil, err
+	}
+	if tag != wantTag {
+		return nil, &EngineTagError{Got: tag, Want: wantTag}
+	}
+	return payload, nil
+}

@@ -44,6 +44,7 @@ import (
 
 	"repro/cluster/agg"
 	"repro/cluster/sim"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/stream"
 	"repro/internal/xmath"
@@ -107,6 +108,11 @@ type Config struct {
 	Trials int       // seeded trials per scenario (default 100)
 	N      int       // elements per trial (default 6000)
 
+	// Engines lists the sketch engines to grid over (default {"mrl99"}).
+	// Every engine runs the full scenario grid and is judged against its
+	// own ε·N rank window — the differential cross-engine conformance run.
+	Engines []string
+
 	Workers int       // simulated workers per trial (default 3)
 	Cycles  int       // feed/ship interleavings per trial (default 3)
 	Phis    []float64 // quantiles queried per trial (default {0.01, 0.25, 0.5, 0.75, 0.99})
@@ -140,6 +146,9 @@ type Config struct {
 func (cfg *Config) fillDefaults() {
 	if len(cfg.Eps) == 0 {
 		cfg.Eps = []float64{0.01, 0.001}
+	}
+	if len(cfg.Engines) == 0 {
+		cfg.Engines = []string{engine.MRL99}
 	}
 	if cfg.Delta <= 0 {
 		cfg.Delta = 1e-3
@@ -185,6 +194,7 @@ func (cfg *Config) fillDefaults() {
 // ScenarioResult is one cell of the grid: a height × stream order × fault
 // plan × ε combination across cfg.Trials seeded simulations.
 type ScenarioResult struct {
+	Engine string  `json:"engine"`
 	Height int     `json:"height"`
 	Order  string  `json:"order"`
 	Fault  string  `json:"fault"`
@@ -217,6 +227,7 @@ type Report struct {
 	Trials      int       `json:"trials_per_scenario"`
 	N           int       `json:"n_per_trial"`
 	Workers     int       `json:"workers"`
+	Engines     []string  `json:"engines"`
 	Heights     []int     `json:"heights"`
 	Aggregators int       `json:"aggregators"`
 	Cycles      int       `json:"cycles"`
@@ -249,9 +260,16 @@ func Run(cfg Config) (Report, error) {
 			return Report{}, fmt.Errorf("conformance: unsupported tree height %d (2 and 3 are supported)", h)
 		}
 	}
+	for i, name := range cfg.Engines {
+		norm, err := engine.Normalize(name)
+		if err != nil {
+			return Report{}, err
+		}
+		cfg.Engines[i] = norm
+	}
 	rep := Report{
 		Delta: cfg.Delta, Trials: cfg.Trials, N: cfg.N, Workers: cfg.Workers,
-		Heights: cfg.Heights, Aggregators: cfg.Aggregators,
+		Engines: cfg.Engines, Heights: cfg.Heights, Aggregators: cfg.Aggregators,
 		Cycles: cfg.Cycles, Phis: cfg.Phis, Threshold: cfg.Threshold, Seed: cfg.Seed,
 		Pass: true,
 	}
@@ -262,50 +280,52 @@ func Run(cfg Config) (Report, error) {
 	defer os.RemoveAll(ckptDir)
 
 	sem := make(chan struct{}, cfg.Parallelism)
-	for _, height := range cfg.Heights {
-		for _, order := range cfg.Orders {
-			for _, fault := range cfg.Faults {
-				if fault.AggCrashRestart && height < 3 {
-					continue // no aggregation tier to crash
-				}
-				for _, eps := range cfg.Eps {
-					sc := ScenarioResult{Height: height, Order: order.Name, Fault: fault.Name, Eps: eps, Trials: cfg.Trials}
-					outcomes := make([]trialOutcome, cfg.Trials)
-					var wg sync.WaitGroup
-					for i := 0; i < cfg.Trials; i++ {
-						wg.Add(1)
-						sem <- struct{}{}
-						go func(i int) {
-							defer wg.Done()
-							defer func() { <-sem }()
-							seed := trialSeed(cfg.Seed, height, order.Name, fault.Name, eps, i)
-							ckpt := ""
-							if fault.CrashRestart || fault.AggCrashRestart {
-								ckpt = filepath.Join(ckptDir, fmt.Sprintf("h%d-%s-%s-%g-%d.json", height, order.Name, fault.Name, eps, i))
+	for _, eng := range cfg.Engines {
+		for _, height := range cfg.Heights {
+			for _, order := range cfg.Orders {
+				for _, fault := range cfg.Faults {
+					if fault.AggCrashRestart && height < 3 {
+						continue // no aggregation tier to crash
+					}
+					for _, eps := range cfg.Eps {
+						sc := ScenarioResult{Engine: eng, Height: height, Order: order.Name, Fault: fault.Name, Eps: eps, Trials: cfg.Trials}
+						outcomes := make([]trialOutcome, cfg.Trials)
+						var wg sync.WaitGroup
+						for i := 0; i < cfg.Trials; i++ {
+							wg.Add(1)
+							sem <- struct{}{}
+							go func(i int) {
+								defer wg.Done()
+								defer func() { <-sem }()
+								seed := trialSeed(cfg.Seed, eng, height, order.Name, fault.Name, eps, i)
+								ckpt := ""
+								if fault.CrashRestart || fault.AggCrashRestart {
+									ckpt = filepath.Join(ckptDir, fmt.Sprintf("%s-h%d-%s-%s-%g-%d.json", eng, height, order.Name, fault.Name, eps, i))
+								}
+								outcomes[i] = runTrial(cfg, eng, height, order, fault, eps, seed, ckpt)
+							}(i)
+						}
+						wg.Wait()
+						for _, out := range outcomes {
+							sc.Queries += out.queries
+							sc.Failures += out.failures
+							if out.maxErr > sc.MaxRankError {
+								sc.MaxRankError = out.maxErr
 							}
-							outcomes[i] = runTrial(cfg, height, order, fault, eps, seed, ckpt)
-						}(i)
-					}
-					wg.Wait()
-					for _, out := range outcomes {
-						sc.Queries += out.queries
-						sc.Failures += out.failures
-						if out.maxErr > sc.MaxRankError {
-							sc.MaxRankError = out.maxErr
+							if out.err != nil {
+								sc.Errors = append(sc.Errors, out.err.Error())
+							}
 						}
-						if out.err != nil {
-							sc.Errors = append(sc.Errors, out.err.Error())
+						sort.Strings(sc.Errors)
+						sc.TailP = xmath.BinomialUpperTail(sc.Queries, sc.Failures, cfg.Delta)
+						sc.Pass = len(sc.Errors) == 0 && sc.TailP >= cfg.Threshold
+						rep.TotalQueries += sc.Queries
+						rep.TotalFailures += sc.Failures
+						if !sc.Pass {
+							rep.Pass = false
 						}
+						rep.Scenarios = append(rep.Scenarios, sc)
 					}
-					sort.Strings(sc.Errors)
-					sc.TailP = xmath.BinomialUpperTail(sc.Queries, sc.Failures, cfg.Delta)
-					sc.Pass = len(sc.Errors) == 0 && sc.TailP >= cfg.Threshold
-					rep.TotalQueries += sc.Queries
-					rep.TotalFailures += sc.Failures
-					if !sc.Pass {
-						rep.Pass = false
-					}
-					rep.Scenarios = append(rep.Scenarios, sc)
 				}
 			}
 		}
@@ -314,9 +334,14 @@ func Run(cfg Config) (Report, error) {
 }
 
 // trialSeed derives a deterministic per-trial seed from the scenario
-// coordinates, so any single trial can be replayed in isolation.
-func trialSeed(base uint64, height int, order, fault string, eps float64, trial int) uint64 {
+// coordinates, so any single trial can be replayed in isolation. The mrl99
+// engine keeps the pre-engine seed format, so every previously recorded
+// grid number replays unchanged; other engines prepend their name.
+func trialSeed(base uint64, eng string, height int, order, fault string, eps float64, trial int) uint64 {
 	h := fnv.New64a()
+	if eng != engine.MRL99 {
+		fmt.Fprintf(h, "%s|", eng)
+	}
 	fmt.Fprintf(h, "%d|h%d|%s|%s|%g|%d", base, height, order, fault, eps, trial)
 	return h.Sum64() | 1
 }
@@ -325,7 +350,7 @@ func trialSeed(base uint64, height int, order, fault string, eps float64, trial 
 // exact oracle. At height 3 every node is built with the ε/h split of eps
 // while the queries are still judged against eps itself — the root-level
 // target a user of the tree was promised.
-func runTrial(cfg Config, height int, order Order, fault Fault, eps float64, seed uint64, ckpt string) trialOutcome {
+func runTrial(cfg Config, eng string, height int, order Order, fault Fault, eps float64, seed uint64, ckpt string) trialOutcome {
 	data := order.Gen(uint64(cfg.N), seed)
 	nodeEps, aggregators := eps, 0
 	if height >= 3 {
@@ -338,6 +363,7 @@ func runTrial(cfg Config, height int, order Order, fault Fault, eps float64, see
 	cl, err := sim.New(sim.Config{
 		Eps:            nodeEps,
 		Delta:          cfg.Delta,
+		Engine:         eng,
 		Seed:           seed,
 		Workers:        cfg.Workers,
 		Aggregators:    aggregators,

@@ -2,14 +2,22 @@ package conformance
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"reflect"
 	"testing"
 
 	"repro/cluster/sim"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/xmath"
 )
+
+// confEngine restricts TestAcceptanceGrid to one engine, so CI can fan the
+// per-engine grids out as matrix jobs:
+//
+//	go test -short -run TestAcceptanceGrid ./internal/conformance/ -conf-engine=kll
+var confEngine = flag.String("conf-engine", "", "run the acceptance grid for this engine only (default: all engines in short mode, mrl99 in full mode)")
 
 // smallConfig is a quick grid for property tests: full order × fault
 // coverage, few trials.
@@ -81,17 +89,19 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestTrialSeedsDistinct(t *testing.T) {
 	seen := make(map[uint64]string)
-	for _, height := range []int{2, 3} {
-		for _, order := range []string{"sorted", "random"} {
-			for _, fault := range []string{"clean", "lossy"} {
-				for _, eps := range []float64{0.01, 0.001} {
-					for i := 0; i < 50; i++ {
-						s := trialSeed(1, height, order, fault, eps, i)
-						key := fmt.Sprintf("h%d%s%s", height, order, fault)
-						if prev, dup := seen[s]; dup {
-							t.Fatalf("seed collision between %q and %q", prev, key)
+	for _, eng := range engine.Names() {
+		for _, height := range []int{2, 3} {
+			for _, order := range []string{"sorted", "random"} {
+				for _, fault := range []string{"clean", "lossy"} {
+					for _, eps := range []float64{0.01, 0.001} {
+						for i := 0; i < 50; i++ {
+							s := trialSeed(1, eng, height, order, fault, eps, i)
+							key := fmt.Sprintf("%sh%d%s%s", eng, height, order, fault)
+							if prev, dup := seen[s]; dup {
+								t.Fatalf("seed collision between %q and %q", prev, key)
+							}
+							seen[s] = key
 						}
-						seen[s] = key
 					}
 				}
 			}
@@ -109,7 +119,7 @@ func TestDetectsBrokenGuarantee(t *testing.T) {
 	phis := []float64{0.01, 0.25, 0.5, 0.75, 0.99}
 	var failures, queries int
 	for i := 0; i < 30; i++ {
-		seed := trialSeed(7, 2, order.Name, "clean", buildEps, i)
+		seed := trialSeed(7, engine.MRL99, 2, order.Name, "clean", buildEps, i)
 		data := order.Gen(2000, seed)
 		cl, err := sim.New(sim.Config{Eps: buildEps, Delta: 1e-3, Seed: seed, Workers: 3})
 		if err != nil {
@@ -145,19 +155,25 @@ func TestDetectsBrokenGuarantee(t *testing.T) {
 // ε ∈ {0.01, 0.001}, under fault injection including a coordinator
 // crash/restart, checking observed failures against δ with an exact
 // binomial tail bound. Short mode keeps the full scenario coverage but
-// downscales trials and stream length so the suite stays fast under -race.
+// downscales trials and stream length so the suite stays fast under -race —
+// and widens the grid to every engine, each judged against its own ε window
+// (-conf-engine narrows it back to one for CI matrix jobs).
 func TestAcceptanceGrid(t *testing.T) {
 	cfg := Config{Seed: 2026}
 	if testing.Short() {
 		cfg.Trials = 5
 		cfg.N = 2000
 		cfg.Cycles = 2
+		cfg.Engines = engine.Names()
 	} else {
 		// Full mode runs the flat 2-level grid here; the height-3 grid has
 		// its own test binary (internal/conformance/multilevel) so that on
 		// one core each stays inside go test's default per-package timeout.
 		// Short mode above is cheap enough to cover both heights at once.
 		cfg.Heights = []int{2}
+	}
+	if *confEngine != "" {
+		cfg.Engines = []string{*confEngine}
 	}
 	rep, err := Run(cfg)
 	if err != nil {

@@ -1,0 +1,114 @@
+// Package engine defines the pluggable quantile-sketch engine surface and
+// its registry. An Engine is a single-threaded summary over float64 streams
+// that can ingest, merge serialized shipments from its peers, answer
+// quantile/CDF queries through an immutable view, and checkpoint/restore
+// its complete state; the three implementations — the paper's MRL99
+// collapse tree, a KLL compactor hierarchy, and a GK tuple summary — live
+// in subpackages and satisfy the interface structurally, so the backends
+// stay free of any dependency on this registry.
+//
+// Serving layers that need concurrency wrap an Engine in Guard, which adds
+// a mutex and a version-keyed cached view so repeated queries against an
+// unchanged engine are a lock plus a binary search.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/engine/gk"
+	"repro/internal/engine/kll"
+	"repro/internal/engine/mrl99"
+	"repro/internal/view"
+)
+
+// Engine names, as accepted by flags, config fields and wire tags.
+const (
+	MRL99 = mrl99.Name
+	KLL   = kll.Name
+	GK    = gk.Name
+)
+
+// Names lists the registered engines in presentation order.
+func Names() []string { return []string{MRL99, KLL, GK} }
+
+// Engine is the pluggable sketch surface. Implementations are not safe for
+// concurrent use — wrap them in Guard.
+type Engine interface {
+	// Add feeds one element; AddAll a batch.
+	Add(v float64)
+	AddAll(vs []float64)
+
+	// Ship serializes the current contents into a tagged blob plus the
+	// element count it stands for and resets the engine for the next
+	// epoch; an empty engine returns (nil, 0, nil). Merge folds such a
+	// blob from a peer of the same engine in, fully decoding and
+	// validating before mutating anything; want, when nonzero, is the
+	// count the sender claimed alongside the blob. Incompatible blobs
+	// (other engine's tag, other ε/δ) yield an error for which
+	// Incompatible reports true.
+	Ship() ([]byte, uint64, error)
+	Merge(blob []byte, want uint64) (uint64, error)
+
+	// View materializes an immutable query view; Quantiles and CDF are
+	// the batched query surfaces over it.
+	View() (*view.View[float64], error)
+	Quantiles(phis []float64) ([]float64, error)
+	CDF(xs []float64) ([]float64, error)
+
+	// Checkpoint serializes the complete state (including any RNG) so
+	// Restore replays byte-identically.
+	Checkpoint() ([]byte, error)
+	Restore(blob []byte) error
+
+	Count() uint64
+	MemoryElements() int
+	Epsilon() float64
+	Delta() float64
+	Version() uint64
+	EngineName() string
+}
+
+// Normalize canonicalizes an engine name: empty selects MRL99 (the
+// default), case and surrounding space are ignored, anything unknown is an
+// error listing the choices.
+func Normalize(name string) (string, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if n == "" {
+		return MRL99, nil
+	}
+	for _, known := range Names() {
+		if n == known {
+			return n, nil
+		}
+	}
+	return "", fmt.Errorf("engine: unknown engine %q (choices: %s)", name, strings.Join(Names(), ", "))
+}
+
+// New builds the named engine for the (ε, δ) target. The seed drives every
+// randomized decision the engine makes (GK ignores it — it draws no
+// coins), so equal seeds replay byte-identically.
+func New(name string, eps, delta float64, seed uint64) (Engine, error) {
+	n, err := Normalize(name)
+	if err != nil {
+		return nil, err
+	}
+	switch n {
+	case MRL99:
+		return mrl99.New(eps, delta, seed)
+	case KLL:
+		return kll.New(eps, delta, seed)
+	default:
+		return gk.New(eps, delta, seed)
+	}
+}
+
+// Incompatible reports whether err marks a permanent engine or parameter
+// mismatch — a wrong engine tag, a foreign ε/δ, a layout conflict — as
+// opposed to a transient or corruption failure. Serving layers map it to
+// HTTP 409 so shippers drop rather than retry.
+func Incompatible(err error) bool {
+	var inc interface{ Incompatible() bool }
+	return errors.As(err, &inc) && inc.Incompatible()
+}

@@ -1,0 +1,65 @@
+package gk
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/stream"
+)
+
+// FuzzRestore throws arbitrary bytes — seeded with valid checkpoints,
+// truncations, bit flips and wrong-engine frames — at the checkpoint
+// decoder. Whatever survives decoding must leave a summary whose rank gaps
+// still tile n and that serves queries without panicking.
+func FuzzRestore(f *testing.F) {
+	valid := func(n uint64) []byte {
+		s, err := New(0.02, 1e-3, 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		s.AddAll(stream.Collect(stream.Uniform(n, 3)))
+		ck, err := s.Checkpoint()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return ck
+	}
+	ck := valid(5000)
+	f.Add([]byte{})
+	f.Add([]byte("MRLQ"))
+	f.Add(ck)
+	f.Add(valid(0))
+	f.Add(ck[:len(ck)/2])
+	f.Add(ck[:len(ck)-1])
+	for _, i := range []int{6, 8, 20, len(ck) - 5} {
+		c := append([]byte(nil), ck...)
+		c[i] ^= 0x40
+		f.Add(c)
+	}
+	// A well-formed frame written by a different engine.
+	f.Add(codec.MarshalEngineFrame("kll", []byte("not gk")))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := New(0.02, 1e-3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Restore(data); err != nil {
+			return
+		}
+		var sum uint64
+		for _, tp := range s.ts {
+			sum += tp.g
+		}
+		if sum != s.n {
+			t.Fatalf("restored summary broke the gap invariant: Σg=%d n=%d", sum, s.n)
+		}
+		s.Add(1.5)
+		if _, err := s.Quantiles([]float64{0.5}); err != nil {
+			t.Fatalf("restored summary cannot answer: %v", err)
+		}
+		if _, err := s.Checkpoint(); err != nil {
+			t.Fatalf("restored summary cannot checkpoint: %v", err)
+		}
+	})
+}

@@ -1,0 +1,407 @@
+// Package gk implements a Greenwald–Khanna-style quantile summary as a
+// pluggable engine: an ordered list of (value, g, Δ) tuples where g is the
+// gap in minimum rank to the predecessor and Δ bounds the rank uncertainty,
+// maintained under the invariant g + Δ ≤ 2·ε_int·n by periodic COMPRESS
+// passes. Summaries combine with the classic MERGE rule — interleave by
+// value, each tuple's Δ absorbing the uncertainty of the other summary's
+// next tuple — which preserves the invariant for the combined count, so the
+// engine is deterministic end to end: no coins, no δ, error ≤ ε·N always.
+//
+// The internal budget ε_int = ε/4 leaves headroom so a merged-and-queried
+// answer stays within the advertised ε: the query rank error is at most
+// g + Δ ≤ 2·ε_int·n = ε·n/2.
+package gk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/codec"
+	"repro/internal/view"
+)
+
+// Name tags this engine's frames.
+const Name = "gk"
+
+// Sketch is a GK summary over float64 streams. It is not safe for
+// concurrent use; wrap it in engine.Guard for serving layers.
+type Sketch struct {
+	eps, delta float64 // delta recorded for symmetry; GK is deterministic
+	epsInt     float64
+
+	ts  []tuple
+	n   uint64 // elements folded into ts (Σ g)
+	buf []float64
+
+	version uint64
+}
+
+// tuple is one summary entry: value v covers ranks
+// [Σ g up to here, Σ g up to here + d].
+type tuple struct {
+	v    float64
+	g, d uint64
+}
+
+// New returns a GK summary targeting rank error ε·N. δ is accepted for
+// interface symmetry and recorded, but the guarantee is deterministic. The
+// seed is likewise accepted and ignored — GK draws no coins.
+func New(eps, delta float64, _ uint64) (*Sketch, error) {
+	if math.IsNaN(eps) || eps <= 0 || eps >= 0.5 {
+		return nil, fmt.Errorf("gk: eps %v out of (0, 0.5)", eps)
+	}
+	if math.IsNaN(delta) || delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("gk: delta %v out of (0, 1)", delta)
+	}
+	return &Sketch{eps: eps, delta: delta, epsInt: eps / 4}, nil
+}
+
+// bufCap is the insertion-buffer size: one COMPRESS per ~1/(2·ε_int)
+// arrivals, the classic batching granularity.
+func (s *Sketch) bufCap() int {
+	c := int(1 / (2 * s.epsInt))
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
+// Add feeds one element.
+func (s *Sketch) Add(v float64) {
+	s.version++
+	s.buf = append(s.buf, v)
+	if len(s.buf) >= s.bufCap() {
+		s.flush()
+	}
+}
+
+// AddAll feeds a slice of elements.
+func (s *Sketch) AddAll(vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	s.version++
+	limit := s.bufCap()
+	for _, v := range vs {
+		s.buf = append(s.buf, v)
+		if len(s.buf) >= limit {
+			s.flush()
+		}
+	}
+}
+
+// threshold is the invariant budget ⌊2·ε_int·n⌋ at the current count.
+func (s *Sketch) threshold() uint64 {
+	return uint64(2 * s.epsInt * float64(s.n))
+}
+
+// flush sorts the insertion buffer and merge-inserts it into the tuple list
+// in one pass. A value landing before existing tuple succ enters with g=1
+// and Δ = g_succ + Δ_succ − 1 (its rank range nests inside succ's); a new
+// maximum enters with Δ = 0. One COMPRESS pass follows.
+func (s *Sketch) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	slices.Sort(s.buf)
+	merged := make([]tuple, 0, len(s.ts)+len(s.buf))
+	i := 0
+	for _, v := range s.buf {
+		for i < len(s.ts) && s.ts[i].v < v {
+			merged = append(merged, s.ts[i])
+			i++
+		}
+		var d uint64
+		if i < len(s.ts) && len(merged) > 0 {
+			d = s.ts[i].g + s.ts[i].d - 1
+		}
+		merged = append(merged, tuple{v: v, g: 1, d: d})
+		s.n++
+	}
+	merged = append(merged, s.ts[i:]...)
+	s.ts = merged
+	s.buf = s.buf[:0]
+	s.compress()
+}
+
+// compress folds tuple i into i+1 wherever g_i + g_{i+1} + Δ_{i+1} fits the
+// budget, keeping the minimum tuple intact so rank 1 stays exact.
+func (s *Sketch) compress() {
+	if len(s.ts) < 3 {
+		return
+	}
+	thr := s.threshold()
+	w := 0
+	for r := 0; r < len(s.ts)-1; r++ {
+		if r > 0 && s.ts[r].g+s.ts[r+1].g+s.ts[r+1].d <= thr {
+			s.ts[r+1].g += s.ts[r].g
+			continue
+		}
+		s.ts[w] = s.ts[r]
+		w++
+	}
+	s.ts[w] = s.ts[len(s.ts)-1]
+	s.ts = s.ts[:w+1]
+}
+
+// Count returns the number of elements consumed.
+func (s *Sketch) Count() uint64 { return s.n + uint64(len(s.buf)) }
+
+// MemoryElements returns the summary's held entries (tuples plus the
+// insertion buffer).
+func (s *Sketch) MemoryElements() int { return len(s.ts) + len(s.buf) }
+
+// Epsilon returns the rank-error bound the summary maintains.
+func (s *Sketch) Epsilon() float64 { return s.eps }
+
+// Delta returns the recorded δ (the guarantee itself is deterministic).
+func (s *Sketch) Delta() float64 { return s.delta }
+
+// Version returns a monotonic counter bumped by every mutation; cached
+// views key on it.
+func (s *Sketch) Version() uint64 { return s.version }
+
+// EngineName returns the registry name of this engine.
+func (s *Sketch) EngineName() string { return Name }
+
+// View materializes the summary: each tuple contributes its value with
+// weight g, so a rank lookup lands on a value whose true rank is within
+// g + Δ ≤ ε·n/2 of the target.
+func (s *Sketch) View() (*view.View[float64], error) {
+	s.flush()
+	if s.n == 0 {
+		return nil, fmt.Errorf("gk: query with no data")
+	}
+	vals := make([]float64, len(s.ts))
+	weights := make([]uint64, len(s.ts))
+	for i, t := range s.ts {
+		vals[i] = t.v
+		weights[i] = t.g
+	}
+	return view.FromWeighted(vals, weights, s.n)
+}
+
+// Quantiles answers a batch of φ-quantile queries.
+func (s *Sketch) Quantiles(phis []float64) ([]float64, error) {
+	v, err := s.View()
+	if err != nil {
+		return nil, err
+	}
+	return v.Quantiles(phis)
+}
+
+// CDF answers a batch of rank queries: the fraction of elements ≤ each x.
+func (s *Sketch) CDF(xs []float64) ([]float64, error) {
+	v, err := s.View()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = v.CDF(x)
+	}
+	return out, nil
+}
+
+// Checkpoint serializes the complete summary into a self-checking engine
+// frame. The insertion buffer is flushed first so the payload is one
+// canonical tuple list.
+func (s *Sketch) Checkpoint() ([]byte, error) {
+	s.flush()
+	return codec.MarshalEngineFrame(Name, s.payload()), nil
+}
+
+// Ship serializes the current contents as a shipment blob, returns it with
+// the element count it stands for, and resets the summary for the next
+// epoch.
+func (s *Sketch) Ship() ([]byte, uint64, error) {
+	s.flush()
+	if s.n == 0 {
+		return nil, 0, nil
+	}
+	blob := codec.MarshalEngineFrame(Name, s.payload())
+	count := s.n
+	s.ts = nil
+	s.n = 0
+	s.version++
+	return blob, count, nil
+}
+
+func (s *Sketch) payload() []byte {
+	buf := make([]byte, 0, 32+24*len(s.ts))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.eps))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.delta))
+	buf = binary.AppendUvarint(buf, s.n)
+	buf = binary.AppendUvarint(buf, uint64(len(s.ts)))
+	for _, t := range s.ts {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.v))
+		buf = binary.AppendUvarint(buf, t.g)
+		buf = binary.AppendUvarint(buf, t.d)
+	}
+	return buf
+}
+
+type decoded struct {
+	eps, delta float64
+	n          uint64
+	ts         []tuple
+}
+
+func decodePayload(p []byte) (*decoded, error) {
+	d := &decoded{}
+	var err error
+	if d.eps, p, err = readF64(p); err != nil {
+		return nil, err
+	}
+	if d.delta, p, err = readF64(p); err != nil {
+		return nil, err
+	}
+	if d.n, p, err = readUvarint(p); err != nil {
+		return nil, err
+	}
+	cnt, p, err := readUvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	if cnt > uint64(len(p))/8 {
+		return nil, fmt.Errorf("gk: %d tuples claimed, %d bytes left", cnt, len(p))
+	}
+	d.ts = make([]tuple, cnt)
+	var sumG uint64
+	for i := range d.ts {
+		t := &d.ts[i]
+		if t.v, p, err = readF64(p); err != nil {
+			return nil, err
+		}
+		if math.IsNaN(t.v) {
+			return nil, fmt.Errorf("gk: NaN value in tuple %d", i)
+		}
+		if i > 0 && t.v < d.ts[i-1].v {
+			return nil, fmt.Errorf("gk: tuple %d out of order", i)
+		}
+		if t.g, p, err = readUvarint(p); err != nil {
+			return nil, err
+		}
+		if t.g == 0 {
+			return nil, fmt.Errorf("gk: zero g in tuple %d", i)
+		}
+		if t.d, p, err = readUvarint(p); err != nil {
+			return nil, err
+		}
+		if t.d > d.n {
+			return nil, fmt.Errorf("gk: tuple %d delta %d exceeds n %d", i, t.d, d.n)
+		}
+		sumG += t.g
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("gk: %d trailing payload bytes", len(p))
+	}
+	// Σ g = n is the structural integrity check: tuple gaps must tile the
+	// claimed stream length exactly.
+	if sumG != d.n {
+		return nil, fmt.Errorf("gk: rank gaps sum to %d, n says %d", sumG, d.n)
+	}
+	return d, nil
+}
+
+// Restore replaces the summary with a checkpoint previously produced by
+// Checkpoint or Ship. The blob must carry this engine's tag and the
+// summary's ε and δ.
+func (s *Sketch) Restore(blob []byte) error {
+	p, err := codec.UnmarshalEngineFrame(blob, Name)
+	if err != nil {
+		return err
+	}
+	d, err := decodePayload(p)
+	if err != nil {
+		return err
+	}
+	if err := s.compatible(d); err != nil {
+		return err
+	}
+	s.ts = d.ts
+	s.n = d.n
+	s.buf = s.buf[:0]
+	s.version++
+	return nil
+}
+
+// Merge decodes a blob produced by another GK summary's Ship or Checkpoint
+// and combines it with this one using the rank-preserving MERGE rule: walk
+// both tuple lists in value order; a tuple adopted from one side widens its
+// Δ by g + Δ of the other side's next tuple (nothing past the end), so
+// every merged tuple's uncertainty stays within 2·ε_int·(n_a + n_b). The
+// blob is fully decoded and validated before any mutation. want, when
+// nonzero, is the element count the sender claimed; a disagreeing blob is
+// rejected. Returns the merged-in count.
+func (s *Sketch) Merge(blob []byte, want uint64) (uint64, error) {
+	p, err := codec.UnmarshalEngineFrame(blob, Name)
+	if err != nil {
+		return 0, err
+	}
+	d, err := decodePayload(p)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.compatible(d); err != nil {
+		return 0, err
+	}
+	if want != 0 && d.n != want {
+		return 0, fmt.Errorf("gk: envelope count %d != shipment count %d", want, d.n)
+	}
+	s.flush()
+	a, b := s.ts, d.ts
+	merged := make([]tuple, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].v <= b[j].v {
+			t := a[i]
+			t.d += b[j].g + b[j].d
+			merged = append(merged, t)
+			i++
+		} else {
+			t := b[j]
+			t.d += a[i].g + a[i].d
+			merged = append(merged, t)
+			j++
+		}
+	}
+	merged = append(merged, a[i:]...)
+	merged = append(merged, b[j:]...)
+	s.ts = merged
+	s.n += d.n
+	s.version++
+	s.compress()
+	return d.n, nil
+}
+
+// compatError marks a permanent parameter mismatch (engine.Incompatible
+// reports true for it).
+type compatError struct{ msg string }
+
+func (e *compatError) Error() string      { return e.msg }
+func (e *compatError) Incompatible() bool { return true }
+
+func (s *Sketch) compatible(d *decoded) error {
+	if d.eps != s.eps || d.delta != s.delta {
+		return &compatError{fmt.Sprintf("gk: blob built with eps=%g delta=%g, summary runs eps=%g delta=%g", d.eps, d.delta, s.eps, s.delta)}
+	}
+	return nil
+}
+
+func readF64(p []byte) (float64, []byte, error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("gk: short payload")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(p)), p[8:], nil
+}
+
+func readUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("gk: bad uvarint")
+	}
+	return v, p[n:], nil
+}

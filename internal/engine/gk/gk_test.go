@@ -1,0 +1,203 @@
+package gk
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+var phis = []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+
+func mustNew(t *testing.T, eps, delta float64) *Sketch {
+	t.Helper()
+	s, err := New(eps, delta, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	for _, c := range []struct{ eps, delta float64 }{
+		{0, 1e-3}, {-0.01, 1e-3}, {0.5, 1e-3}, {math.NaN(), 1e-3},
+		{0.01, 0}, {0.01, 1}, {0.01, math.NaN()},
+	} {
+		if _, err := New(c.eps, c.delta, 0); err == nil {
+			t.Errorf("New(%v, %v) accepted", c.eps, c.delta)
+		}
+	}
+}
+
+// TestAccuracy: GK is deterministic, so every answer must be within ε·N of
+// exact — no failure budget at all.
+func TestAccuracy(t *testing.T) {
+	const eps = 0.02
+	for _, src := range []stream.Source{
+		stream.Uniform(60000, 11),
+		stream.Sorted(60000),
+		stream.Reversed(60000),
+		stream.Zipf(60000, 12, 1.2, 1<<20),
+	} {
+		data := stream.Collect(src)
+		s := mustNew(t, eps, 1e-3)
+		s.AddAll(data)
+		if got := s.Count(); got != uint64(len(data)) {
+			t.Fatalf("%s: count %d != %d", src.Name(), got, len(data))
+		}
+		vals, err := s.Quantiles(phis)
+		if err != nil {
+			t.Fatalf("%s: Quantiles: %v", src.Name(), err)
+		}
+		for i, phi := range phis {
+			if e := exact.RankError(data, vals[i], phi, eps); e != 0 {
+				t.Errorf("%s: phi=%g off by %d ranks", src.Name(), phi, e)
+			}
+		}
+	}
+}
+
+// TestInvariant: after any flush, every tuple must satisfy
+// g + Δ ≤ 2·ε_int·n — the bound the query analysis rests on — and the
+// gaps must tile n exactly.
+func TestInvariant(t *testing.T) {
+	s := mustNew(t, 0.02, 1e-3)
+	data := stream.Collect(stream.Uniform(40000, 6))
+	for i, v := range data {
+		s.Add(v)
+		if i%4096 != 0 {
+			continue
+		}
+		s.flush()
+		thr := s.threshold()
+		var sum uint64
+		for j, tp := range s.ts {
+			sum += tp.g
+			if j > 0 && tp.g+tp.d > thr {
+				t.Fatalf("after %d adds: tuple %d has g+d=%d > %d", i+1, j, tp.g+tp.d, thr)
+			}
+		}
+		if sum != s.n {
+			t.Fatalf("after %d adds: Σg=%d != n=%d", i+1, sum, s.n)
+		}
+	}
+}
+
+// TestSpaceSublinear: the summary must stay far below the stream length
+// (GK's point is o(n) space).
+func TestSpaceSublinear(t *testing.T) {
+	s := mustNew(t, 0.01, 1e-3)
+	s.AddAll(stream.Collect(stream.Uniform(200000, 2)))
+	if m := s.MemoryElements(); m > 20000 {
+		t.Fatalf("summary holds %d entries for a 200k stream", m)
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	data := stream.Collect(stream.Uniform(10000, 8))
+	run := func(seed uint64) []byte {
+		s, err := New(0.02, 1e-3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AddAll(data)
+		ck, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ck
+	}
+	if !bytes.Equal(run(1), run(999)) {
+		t.Fatal("GK output depends on the seed; it must be deterministic")
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	data := stream.Collect(stream.Uniform(30000, 5))
+	s := mustNew(t, 0.02, 1e-3)
+	s.AddAll(data[:20000])
+	ck, err := s.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	r := mustNew(t, 0.02, 1e-3)
+	if err := r.Restore(ck); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	s.AddAll(data[20000:])
+	r.AddAll(data[20000:])
+	cs, _ := s.Checkpoint()
+	cr, _ := r.Checkpoint()
+	if !bytes.Equal(cs, cr) {
+		t.Fatal("restored summary diverged from original on the same suffix")
+	}
+}
+
+// TestMergedInvariant: the MERGE rule must preserve the budget for the
+// combined count, and the merged summary must answer within the combined
+// ε·N bound.
+func TestMergedInvariant(t *testing.T) {
+	const eps = 0.02
+	dataA := stream.Collect(stream.Uniform(30000, 21))
+	dataB := stream.Collect(stream.Zipf(20000, 22, 1.2, 1<<20))
+	a := mustNew(t, eps, 1e-3)
+	b := mustNew(t, eps, 1e-3)
+	a.AddAll(dataA)
+	b.AddAll(dataB)
+	blob, count, err := b.Ship()
+	if err != nil {
+		t.Fatalf("Ship: %v", err)
+	}
+	if _, err := a.Merge(blob, count); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	thr := a.threshold()
+	var sum uint64
+	for j, tp := range a.ts {
+		sum += tp.g
+		if j > 0 && tp.g+tp.d > thr {
+			t.Fatalf("merged tuple %d has g+d=%d > %d", j, tp.g+tp.d, thr)
+		}
+	}
+	if sum != a.n || a.n != 50000 {
+		t.Fatalf("merged Σg=%d n=%d", sum, a.n)
+	}
+	all := append(append([]float64(nil), dataA...), dataB...)
+	vals, err := a.Quantiles(phis)
+	if err != nil {
+		t.Fatalf("Quantiles: %v", err)
+	}
+	for i, phi := range phis {
+		if e := exact.RankError(all, vals[i], phi, eps); e != 0 {
+			t.Errorf("merged phi=%g off by %d ranks", phi, e)
+		}
+	}
+}
+
+func TestMergeRejectsForeignParams(t *testing.T) {
+	a := mustNew(t, 0.02, 1e-3)
+	a.AddAll(stream.Collect(stream.Uniform(1000, 3)))
+	blob, _, err := a.Ship()
+	if err != nil {
+		t.Fatalf("Ship: %v", err)
+	}
+	b := mustNew(t, 0.05, 1e-3)
+	if _, err := b.Merge(blob, 0); err == nil {
+		t.Fatal("Merge accepted a foreign-eps blob")
+	} else if inc, ok := err.(interface{ Incompatible() bool }); !ok || !inc.Incompatible() {
+		t.Fatalf("foreign-eps error not marked incompatible: %v", err)
+	}
+}
+
+func TestEmptyQueriesAndShip(t *testing.T) {
+	s := mustNew(t, 0.02, 1e-3)
+	if _, err := s.Quantiles(phis); err == nil {
+		t.Fatal("empty Quantiles succeeded")
+	}
+	blob, count, err := s.Ship()
+	if blob != nil || count != 0 || err != nil {
+		t.Fatalf("empty Ship: blob=%v count=%d err=%v", blob, count, err)
+	}
+}

@@ -1,0 +1,65 @@
+package kll
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/stream"
+)
+
+// FuzzRestore throws arbitrary bytes — seeded with valid checkpoints,
+// truncations, bit flips and wrong-engine frames — at the checkpoint
+// decoder. Whatever survives decoding must leave a sketch that still obeys
+// the weight invariant and serves queries without panicking.
+func FuzzRestore(f *testing.F) {
+	valid := func(n uint64) []byte {
+		s, err := New(0.02, 1e-3, 7)
+		if err != nil {
+			f.Fatal(err)
+		}
+		s.AddAll(stream.Collect(stream.Uniform(n, 3)))
+		ck, err := s.Checkpoint()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return ck
+	}
+	ck := valid(5000)
+	f.Add([]byte{})
+	f.Add([]byte("MRLQ"))
+	f.Add(ck)
+	f.Add(valid(0))
+	f.Add(ck[:len(ck)/2])
+	f.Add(ck[:len(ck)-1])
+	for _, i := range []int{6, 8, 20, len(ck) - 5} {
+		c := append([]byte(nil), ck...)
+		c[i] ^= 0x40
+		f.Add(c)
+	}
+	// A well-formed frame written by a different engine.
+	f.Add(codec.MarshalEngineFrame("gk", []byte("not kll")))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := New(0.02, 1e-3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Restore(data); err != nil {
+			return
+		}
+		var total uint64
+		for lvl, l := range s.levels {
+			total += uint64(len(l)) << uint(lvl)
+		}
+		if total != s.n {
+			t.Fatalf("restored sketch broke the weight invariant: %d != %d", total, s.n)
+		}
+		s.Add(1.5)
+		if _, err := s.Quantiles([]float64{0.5}); err != nil {
+			t.Fatalf("restored sketch cannot answer: %v", err)
+		}
+		if _, err := s.Checkpoint(); err != nil {
+			t.Fatalf("restored sketch cannot checkpoint: %v", err)
+		}
+	})
+}

@@ -1,0 +1,449 @@
+// Package kll implements the Karnin–Lang–Liberty (2016) compactor-hierarchy
+// quantile sketch as a pluggable engine. Level i holds items of weight 2^i;
+// when a level outgrows its capacity it is sorted and every other item of an
+// even prefix is promoted one level up, the survivors chosen by a seeded
+// coin flip so a run replays byte-identically from its seed. Capacities
+// decay geometrically (ratio 2/3) below the top level, giving the paper's
+// O((1/ε)·√log(1/δ)) space bound.
+//
+// The engine is deliberately self-contained: it shares only internal/rng
+// (replayable randomness), internal/view (query materialization) and
+// internal/codec (framed, CRC-guarded serialization) with the MRL99 stack,
+// so the conformance grid exercises a genuinely independent algorithm.
+package kll
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/codec"
+	"repro/internal/rng"
+	"repro/internal/view"
+)
+
+// Name tags this engine's frames.
+const Name = "kll"
+
+// maxLevels bounds the compactor hierarchy: level weights are 2^i, so 64
+// levels already exceed any representable element count.
+const maxLevels = 64
+
+// Sketch is a KLL sketch over float64 streams. It is not safe for
+// concurrent use; wrap it in engine.Guard for serving layers.
+type Sketch struct {
+	eps, delta float64
+	seed       uint64
+	k          int
+
+	levels  [][]float64
+	n       uint64
+	rg      *rng.RNG
+	version uint64
+}
+
+// New returns a KLL sketch sized so any single φ-quantile is within ε·N
+// ranks of exact with probability at least 1−δ: k = ⌈(2/ε)·√ln(1/δ)⌉.
+func New(eps, delta float64, seed uint64) (*Sketch, error) {
+	if math.IsNaN(eps) || eps <= 0 || eps >= 0.5 {
+		return nil, fmt.Errorf("kll: eps %v out of (0, 0.5)", eps)
+	}
+	if math.IsNaN(delta) || delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("kll: delta %v out of (0, 1)", delta)
+	}
+	k := int(math.Ceil(2 / eps * math.Sqrt(math.Log(1/delta))))
+	if k < 8 {
+		k = 8
+	}
+	return &Sketch{
+		eps:    eps,
+		delta:  delta,
+		seed:   seed,
+		k:      k,
+		levels: make([][]float64, 1),
+		rg:     rng.New(seed),
+	}, nil
+}
+
+// K exposes the top-level compactor capacity (the sketch's size knob).
+func (s *Sketch) K() int { return s.k }
+
+// capacity returns level i's target size: k at the top, decaying by 2/3 per
+// level below it, floored at 8 so deep levels still amortize compactions.
+func (s *Sketch) capacity(i int) int {
+	c := s.k
+	for j := len(s.levels) - 1 - i; j > 0; j-- {
+		c = c * 2 / 3
+	}
+	if c < 8 {
+		c = 8
+	}
+	return c
+}
+
+// Add feeds one element.
+func (s *Sketch) Add(v float64) {
+	s.version++
+	s.ingest(v)
+}
+
+// AddAll feeds a slice of elements.
+func (s *Sketch) AddAll(vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	s.version++
+	for _, v := range vs {
+		s.ingest(v)
+	}
+}
+
+func (s *Sketch) ingest(v float64) {
+	s.levels[0] = append(s.levels[0], v)
+	s.n++
+	if len(s.levels[0]) >= s.capacity(0) {
+		s.compress()
+	}
+}
+
+// compress walks the hierarchy compacting every level at or over capacity.
+// A compaction can overflow the level above; the walk reaches it next, and
+// the outer loop repeats until the hierarchy is quiescent.
+func (s *Sketch) compress() {
+	for again := true; again; {
+		again = false
+		for i := 0; i < len(s.levels); i++ {
+			if len(s.levels[i]) >= s.capacity(i) && len(s.levels[i]) >= 2 {
+				s.compact(i)
+				again = true
+			}
+		}
+	}
+}
+
+// compact sorts level i and promotes every other item of its even prefix to
+// level i+1 (coin-flipped offset); an odd straggler stays put with its
+// weight intact, so Σ lenᵢ·2ⁱ — the sketch's element count — is invariant.
+func (s *Sketch) compact(i int) {
+	c := s.levels[i]
+	slices.Sort(c)
+	var odd []float64
+	if len(c)%2 == 1 {
+		odd = c[len(c)-1:]
+		c = c[:len(c)-1]
+	}
+	if i+1 >= len(s.levels) {
+		s.levels = append(s.levels, nil)
+	}
+	off := int(s.rg.Uint64() & 1)
+	for j := off; j < len(c); j += 2 {
+		s.levels[i+1] = append(s.levels[i+1], c[j])
+	}
+	s.levels[i] = append(s.levels[i][:0], odd...)
+}
+
+// Count returns the number of elements consumed.
+func (s *Sketch) Count() uint64 { return s.n }
+
+// MemoryElements returns the allocated element slots across all levels.
+func (s *Sketch) MemoryElements() int {
+	m := 0
+	for _, l := range s.levels {
+		m += cap(l)
+	}
+	return m
+}
+
+// Epsilon returns the rank-error target the sketch was sized for.
+func (s *Sketch) Epsilon() float64 { return s.eps }
+
+// Delta returns the failure-probability target the sketch was sized for.
+func (s *Sketch) Delta() float64 { return s.delta }
+
+// Version returns a monotonic counter bumped by every mutation; cached
+// views key on it.
+func (s *Sketch) Version() uint64 { return s.version }
+
+// EngineName returns the registry name of this engine.
+func (s *Sketch) EngineName() string { return Name }
+
+// View materializes the weighted contents: every level-i item is 2^i
+// weighted copies of its value.
+func (s *Sketch) View() (*view.View[float64], error) {
+	if s.n == 0 {
+		return nil, fmt.Errorf("kll: query with no data")
+	}
+	type wv struct {
+		v float64
+		w uint64
+	}
+	items := make([]wv, 0, s.sizeInItems())
+	for i, l := range s.levels {
+		w := uint64(1) << uint(i)
+		for _, v := range l {
+			items = append(items, wv{v, w})
+		}
+	}
+	slices.SortFunc(items, func(a, b wv) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
+		}
+	})
+	vals := make([]float64, len(items))
+	weights := make([]uint64, len(items))
+	for i, it := range items {
+		vals[i] = it.v
+		weights[i] = it.w
+	}
+	return view.FromWeighted(vals, weights, s.n)
+}
+
+// Quantiles answers a batch of φ-quantile queries.
+func (s *Sketch) Quantiles(phis []float64) ([]float64, error) {
+	v, err := s.View()
+	if err != nil {
+		return nil, err
+	}
+	return v.Quantiles(phis)
+}
+
+// CDF answers a batch of rank queries: the fraction of elements ≤ each x.
+func (s *Sketch) CDF(xs []float64) ([]float64, error) {
+	v, err := s.View()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = v.CDF(x)
+	}
+	return out, nil
+}
+
+func (s *Sketch) sizeInItems() int {
+	m := 0
+	for _, l := range s.levels {
+		m += len(l)
+	}
+	return m
+}
+
+// Checkpoint serializes the complete sketch state — including the RNG —
+// into a self-checking engine frame, so a restored sketch replays
+// byte-identically.
+func (s *Sketch) Checkpoint() ([]byte, error) {
+	return codec.MarshalEngineFrame(Name, s.payload()), nil
+}
+
+// Ship serializes the current contents as a shipment blob, returns it with
+// the element count it stands for, and resets the sketch for the next
+// epoch. The RNG keeps running so successive epochs draw fresh coins.
+func (s *Sketch) Ship() ([]byte, uint64, error) {
+	if s.n == 0 {
+		return nil, 0, nil
+	}
+	blob := codec.MarshalEngineFrame(Name, s.payload())
+	count := s.n
+	s.levels = make([][]float64, 1)
+	s.n = 0
+	s.version++
+	return blob, count, nil
+}
+
+func (s *Sketch) payload() []byte {
+	buf := make([]byte, 0, 64+8*s.sizeInItems())
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.eps))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.delta))
+	buf = binary.AppendUvarint(buf, uint64(s.k))
+	buf = binary.AppendUvarint(buf, s.n)
+	for _, w := range s.rg.State() {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.levels)))
+	for _, l := range s.levels {
+		buf = binary.AppendUvarint(buf, uint64(len(l)))
+		for _, v := range l {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+// decoded is a fully validated deserialized payload.
+type decoded struct {
+	eps, delta float64
+	k          int
+	n          uint64
+	rngState   [4]uint64
+	levels     [][]float64
+}
+
+func decodePayload(p []byte) (*decoded, error) {
+	d := &decoded{}
+	var err error
+	if d.eps, p, err = readF64(p); err != nil {
+		return nil, err
+	}
+	if d.delta, p, err = readF64(p); err != nil {
+		return nil, err
+	}
+	k, p, err := readUvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	if k == 0 || k > 1<<30 {
+		return nil, fmt.Errorf("kll: bad k %d", k)
+	}
+	d.k = int(k)
+	if d.n, p, err = readUvarint(p); err != nil {
+		return nil, err
+	}
+	for i := range d.rngState {
+		if d.rngState[i], p, err = readU64(p); err != nil {
+			return nil, err
+		}
+	}
+	if d.rngState == ([4]uint64{}) {
+		return nil, fmt.Errorf("kll: empty RNG state")
+	}
+	nl, p, err := readUvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	if nl == 0 || nl > maxLevels {
+		return nil, fmt.Errorf("kll: %d levels out of [1, %d]", nl, maxLevels)
+	}
+	d.levels = make([][]float64, nl)
+	var total uint64
+	for i := range d.levels {
+		cnt, rest, err := readUvarint(p)
+		p = rest
+		if err != nil {
+			return nil, err
+		}
+		if cnt > uint64(len(p))/8 {
+			return nil, fmt.Errorf("kll: level %d claims %d items, %d bytes left", i, cnt, len(p))
+		}
+		l := make([]float64, cnt)
+		for j := range l {
+			if l[j], p, err = readF64(p); err != nil {
+				return nil, err
+			}
+			if math.IsNaN(l[j]) {
+				return nil, fmt.Errorf("kll: NaN item at level %d", i)
+			}
+		}
+		d.levels[i] = l
+		if cnt > math.MaxUint64>>uint(i) {
+			return nil, fmt.Errorf("kll: weighted count overflow at level %d", i)
+		}
+		total += cnt << uint(i)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("kll: %d trailing payload bytes", len(p))
+	}
+	// The weight invariant is the structural integrity check: the weighted
+	// item count must equal the claimed stream length.
+	if total != d.n {
+		return nil, fmt.Errorf("kll: weighted item count %d != n %d", total, d.n)
+	}
+	return d, nil
+}
+
+// Restore replaces the sketch state with a checkpoint previously produced
+// by Checkpoint or Ship. The blob must carry this engine's tag and the
+// sketch's ε and δ.
+func (s *Sketch) Restore(blob []byte) error {
+	p, err := codec.UnmarshalEngineFrame(blob, Name)
+	if err != nil {
+		return err
+	}
+	d, err := decodePayload(p)
+	if err != nil {
+		return err
+	}
+	if err := s.compatible(d); err != nil {
+		return err
+	}
+	s.levels = d.levels
+	s.n = d.n
+	s.rg.SetState(d.rngState)
+	s.version++
+	return nil
+}
+
+// Merge decodes a blob produced by another KLL sketch's Ship or Checkpoint
+// and folds its contents in: levels append item-for-item (weights line up),
+// then the hierarchy re-compacts. The blob is fully decoded and validated
+// before any mutation, so a failed Merge leaves the sketch untouched. want,
+// when nonzero, is the element count the sender claimed (e.g. a shipment
+// envelope); a disagreeing blob is rejected. Returns the merged-in count.
+func (s *Sketch) Merge(blob []byte, want uint64) (uint64, error) {
+	p, err := codec.UnmarshalEngineFrame(blob, Name)
+	if err != nil {
+		return 0, err
+	}
+	d, err := decodePayload(p)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.compatible(d); err != nil {
+		return 0, err
+	}
+	if want != 0 && d.n != want {
+		return 0, fmt.Errorf("kll: envelope count %d != shipment count %d", want, d.n)
+	}
+	for i, l := range d.levels {
+		if i >= len(s.levels) {
+			s.levels = append(s.levels, nil)
+		}
+		s.levels[i] = append(s.levels[i], l...)
+	}
+	s.n += d.n
+	s.version++
+	s.compress()
+	return d.n, nil
+}
+
+// compatError marks a permanent parameter mismatch (engine.Incompatible
+// reports true for it).
+type compatError struct{ msg string }
+
+func (e *compatError) Error() string      { return e.msg }
+func (e *compatError) Incompatible() bool { return true }
+
+func (s *Sketch) compatible(d *decoded) error {
+	if d.eps != s.eps || d.delta != s.delta {
+		return &compatError{fmt.Sprintf("kll: blob built with eps=%g delta=%g, sketch runs eps=%g delta=%g", d.eps, d.delta, s.eps, s.delta)}
+	}
+	if d.k != s.k {
+		return &compatError{fmt.Sprintf("kll: blob built with k=%d, sketch runs k=%d", d.k, s.k)}
+	}
+	return nil
+}
+
+func readF64(p []byte) (float64, []byte, error) {
+	b, rest, err := readU64(p)
+	return math.Float64frombits(b), rest, err
+}
+
+func readU64(p []byte) (uint64, []byte, error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("kll: short payload")
+	}
+	return binary.LittleEndian.Uint64(p), p[8:], nil
+}
+
+func readUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("kll: bad uvarint")
+	}
+	return v, p[n:], nil
+}

@@ -1,0 +1,173 @@
+package kll
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+var phis = []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+
+func mustNew(t *testing.T, eps, delta float64, seed uint64) *Sketch {
+	t.Helper()
+	s, err := New(eps, delta, seed)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	for _, c := range []struct{ eps, delta float64 }{
+		{0, 1e-3}, {-0.01, 1e-3}, {0.5, 1e-3}, {math.NaN(), 1e-3},
+		{0.01, 0}, {0.01, 1}, {0.01, math.NaN()},
+	} {
+		if _, err := New(c.eps, c.delta, 1); err == nil {
+			t.Errorf("New(%v, %v) accepted", c.eps, c.delta)
+		}
+	}
+}
+
+// TestAccuracy: every φ-quantile answer must be within ε·N ranks of exact
+// across stream shapes, including streams long enough to build several
+// compactor levels.
+func TestAccuracy(t *testing.T) {
+	const eps, delta = 0.02, 1e-3
+	for _, src := range []stream.Source{
+		stream.Uniform(60000, 11),
+		stream.Sorted(60000),
+		stream.Reversed(60000),
+		stream.Zipf(60000, 12, 1.2, 1<<20),
+	} {
+		data := stream.Collect(src)
+		s := mustNew(t, eps, delta, 42)
+		s.AddAll(data)
+		if got := s.Count(); got != uint64(len(data)) {
+			t.Fatalf("%s: count %d != %d", src.Name(), got, len(data))
+		}
+		vals, err := s.Quantiles(phis)
+		if err != nil {
+			t.Fatalf("%s: Quantiles: %v", src.Name(), err)
+		}
+		for i, phi := range phis {
+			if e := exact.RankError(data, vals[i], phi, eps); e != 0 {
+				t.Errorf("%s: phi=%g off by %d ranks", src.Name(), phi, e)
+			}
+		}
+	}
+}
+
+// TestWeightInvariant: Σ lenᵢ·2ⁱ must equal the consumed count at every
+// point — it is the structural invariant compaction preserves and decode
+// validates.
+func TestWeightInvariant(t *testing.T) {
+	s := mustNew(t, 0.05, 1e-2, 3)
+	data := stream.Collect(stream.Uniform(20000, 4))
+	for i, v := range data {
+		s.Add(v)
+		if i%997 == 0 {
+			var total uint64
+			for lvl, l := range s.levels {
+				total += uint64(len(l)) << uint(lvl)
+			}
+			if total != s.n {
+				t.Fatalf("after %d adds: weighted items %d != n %d", i+1, total, s.n)
+			}
+		}
+	}
+}
+
+// TestSeededReplay: equal seeds must produce byte-identical checkpoints;
+// different seeds generally different compaction choices.
+func TestSeededReplay(t *testing.T) {
+	data := stream.Collect(stream.Uniform(30000, 9))
+	run := func(seed uint64) []byte {
+		s := mustNew(t, 0.02, 1e-3, seed)
+		s.AddAll(data)
+		b, err := s.Checkpoint()
+		if err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		return b
+	}
+	if !bytes.Equal(run(7), run(7)) {
+		t.Fatal("same seed produced different checkpoints")
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	data := stream.Collect(stream.Uniform(30000, 5))
+	s := mustNew(t, 0.02, 1e-3, 8)
+	s.AddAll(data[:20000])
+	ck, err := s.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	r := mustNew(t, 0.02, 1e-3, 999) // seed replaced by the checkpoint's RNG
+	if err := r.Restore(ck); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	// Both must replay identically from here: same items, same coin flips.
+	s.AddAll(data[20000:])
+	r.AddAll(data[20000:])
+	cs, _ := s.Checkpoint()
+	cr, _ := r.Checkpoint()
+	if !bytes.Equal(cs, cr) {
+		t.Fatal("restored sketch diverged from original on the same suffix")
+	}
+}
+
+func TestShipMergeCounts(t *testing.T) {
+	a := mustNew(t, 0.02, 1e-3, 1)
+	b := mustNew(t, 0.02, 1e-3, 2)
+	a.AddAll(stream.Collect(stream.Uniform(5000, 1)))
+	blob, count, err := a.Ship()
+	if err != nil || count != 5000 {
+		t.Fatalf("Ship: count=%d err=%v", count, err)
+	}
+	if a.Count() != 0 {
+		t.Fatalf("Ship did not reset: count %d", a.Count())
+	}
+	if _, err := b.Merge(blob, count+1); err == nil {
+		t.Fatal("Merge accepted a wrong envelope count")
+	}
+	if b.Count() != 0 {
+		t.Fatalf("failed Merge mutated the sketch: count %d", b.Count())
+	}
+	added, err := b.Merge(blob, count)
+	if err != nil || added != 5000 {
+		t.Fatalf("Merge: added=%d err=%v", added, err)
+	}
+	if b.Count() != 5000 {
+		t.Fatalf("merged count %d", b.Count())
+	}
+}
+
+func TestMergeRejectsForeignParams(t *testing.T) {
+	a := mustNew(t, 0.02, 1e-3, 1)
+	a.AddAll(stream.Collect(stream.Uniform(1000, 3)))
+	blob, _, err := a.Ship()
+	if err != nil {
+		t.Fatalf("Ship: %v", err)
+	}
+	b := mustNew(t, 0.05, 1e-3, 1)
+	if _, err := b.Merge(blob, 0); err == nil {
+		t.Fatal("Merge accepted a foreign-eps blob")
+	} else if inc, ok := err.(interface{ Incompatible() bool }); !ok || !inc.Incompatible() {
+		t.Fatalf("foreign-eps error not marked incompatible: %v", err)
+	}
+}
+
+func TestEmptyQueriesAndShip(t *testing.T) {
+	s := mustNew(t, 0.02, 1e-3, 1)
+	if _, err := s.Quantiles(phis); err == nil {
+		t.Fatal("empty Quantiles succeeded")
+	}
+	blob, count, err := s.Ship()
+	if blob != nil || count != 0 || err != nil {
+		t.Fatalf("empty Ship: blob=%v count=%d err=%v", blob, count, err)
+	}
+}

@@ -19,20 +19,41 @@ package perf
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	quantile "repro"
 	"repro/cluster"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/stream"
 )
+
+// Row families: rows in one family share a stream size, and -bench-n can
+// size each family independently (family=N pairs). Comparing a row against
+// a baseline recorded at a different N is rejected per row, by name.
+const (
+	FamilyIngest  = "ingest"  // single-sketch ingest rows
+	FamilyQuery   = "query"   // query-serving rows
+	FamilyCluster = "cluster" // coordinator shipment path
+	FamilyEngine  = "engine"  // per-engine ingest + cached-query rows
+)
+
+// Families lists the known row families in display order.
+func Families() []string {
+	return []string{FamilyIngest, FamilyQuery, FamilyCluster, FamilyEngine}
+}
 
 // Row is one measured ingest path.
 type Row struct {
 	// Name identifies the path; baseline comparison matches rows by name.
 	Name string `json:"name"`
+	// N is the backing stream size this row ran at; families may differ
+	// when the run sized them independently. 0 (legacy baselines) means
+	// the report-level N.
+	N int `json:"n,omitempty"`
 	// Elems is how many elements one op ingests.
 	Elems int `json:"elems"`
 	// NsPerElem is the best-of-reps wall time per element.
@@ -57,23 +78,30 @@ type Report struct {
 	// CalibrationNsPerElem is the fixed splitmix64 workload's per-element
 	// cost on this machine; comparisons across machines divide it out.
 	CalibrationNsPerElem float64 `json:"calibration_ns_per_elem"`
-	Rows                 []Row  `json:"rows"`
+	Rows                 []Row   `json:"rows"`
 }
 
 // Config sizes a harness run.
 type Config struct {
-	// N is the per-op stream size (default 1<<20).
+	// N is the per-op stream size (default 1<<20); FamilyN overrides it
+	// per row family.
 	N int
+	// FamilyN sizes one family's stream independently of N, keyed by the
+	// Family* constants. Unknown keys are an error naming the family.
+	FamilyN map[string]int
 	// Reps is how many times each op runs; the fastest rep is reported
 	// (default 5, plus one untimed warmup — enough to damp scheduler noise
 	// on the concurrent rows below the CI gate's tolerance).
 	Reps int
+	// Engines selects the backends measured by the engine-ingest-* and
+	// engine-query-* rows (default: every registered engine).
+	Engines []string
 }
 
 // DefaultConfig returns the baseline-generation configuration.
 func DefaultConfig() Config { return Config{N: 1 << 20, Reps: 5} }
 
-const schemaName = "qbench-perf/v1"
+const schemaName = "qbench-perf/v2"
 
 // calSink keeps the calibration loop's result live.
 var calSink uint64
@@ -138,8 +166,41 @@ func Run(cfg Config) (Report, error) {
 	if cfg.Reps <= 0 {
 		cfg.Reps = 3
 	}
+	known := map[string]bool{}
+	for _, f := range Families() {
+		known[f] = true
+	}
+	for f, n := range cfg.FamilyN {
+		if !known[f] {
+			return Report{}, fmt.Errorf("perf: unknown row family %q in FamilyN (known: %v)", f, Families())
+		}
+		if n <= 0 {
+			return Report{}, fmt.Errorf("perf: row family %q sized to %d elements; need a positive stream size", f, n)
+		}
+	}
+	if len(cfg.Engines) == 0 {
+		cfg.Engines = engine.Names()
+	}
+	for i, name := range cfg.Engines {
+		norm, err := engine.Normalize(name)
+		if err != nil {
+			return Report{}, fmt.Errorf("perf: %w", err)
+		}
+		cfg.Engines[i] = norm
+	}
+	// nFor resolves a family's stream size: its override, else the run-wide N.
+	nFor := func(family string) int {
+		if n := cfg.FamilyN[family]; n > 0 {
+			return n
+		}
+		return cfg.N
+	}
 	const eps, delta = 0.01, 1e-3
-	data := stream.Collect(stream.Uniform(uint64(cfg.N), 0xbe9c4))
+	data := stream.Collect(stream.Uniform(uint64(nFor(FamilyIngest)), 0xbe9c4))
+	queryData := data
+	if nFor(FamilyQuery) != nFor(FamilyIngest) {
+		queryData = stream.Collect(stream.Uniform(uint64(nFor(FamilyQuery)), 0xbe9c4))
+	}
 
 	rep := Report{
 		Schema:    schemaName,
@@ -151,11 +212,11 @@ func Run(cfg Config) (Report, error) {
 	}
 	rep.CalibrationNsPerElem = calibrate(cfg.N, cfg.Reps)
 
-	addRow := func(name string, elems int, setup, op func()) {
+	addRow := func(family, name string, elems int, setup, op func()) {
 		ns, allocs := measure(cfg.Reps, setup, op)
 		perElem := float64(ns) / float64(elems)
 		rep.Rows = append(rep.Rows, Row{
-			Name: name, Elems: elems,
+			Name: name, N: nFor(family), Elems: elems,
 			NsPerElem:   perElem,
 			ElemsPerSec: 1e9 / perElem,
 			AllocsPerOp: allocs,
@@ -168,13 +229,13 @@ func Run(cfg Config) (Report, error) {
 	if err != nil {
 		return rep, err
 	}
-	addRow("unknown-n-bulk", cfg.N, bulk.Reset, func() { bulk.AddAll(data) })
+	addRow(FamilyIngest, "unknown-n-bulk", len(data), bulk.Reset, func() { bulk.AddAll(data) })
 
 	scalar, err := quantile.New[float64](eps, delta, quantile.WithSeed(1))
 	if err != nil {
 		return rep, err
 	}
-	addRow("unknown-n-scalar", cfg.N, scalar.Reset, func() {
+	addRow(FamilyIngest, "unknown-n-scalar", len(data), scalar.Reset, func() {
 		for _, v := range data {
 			scalar.Add(v)
 		}
@@ -183,15 +244,15 @@ func Run(cfg Config) (Report, error) {
 	// Known-N commits to its sampling rate up front; rebuilt per rep (the
 	// root API exposes no Reset), with construction outside the timing.
 	var kn *quantile.KnownN[float64]
-	addRow("known-n", cfg.N, func() {
-		kn, err = quantile.NewKnownN[float64](uint64(cfg.N), eps, delta, quantile.WithSeed(1))
+	addRow(FamilyIngest, "known-n", len(data), func() {
+		kn, err = quantile.NewKnownN[float64](uint64(len(data)), eps, delta, quantile.WithSeed(1))
 	}, func() { kn.AddAll(data) })
 	if err != nil {
 		return rep, err
 	}
 
 	var rq *quantile.Reservoir[float64]
-	addRow("reservoir", cfg.N, func() {
+	addRow(FamilyIngest, "reservoir", len(data), func() {
 		rq, err = quantile.NewReservoir[float64](eps, delta, quantile.WithSeed(1))
 	}, func() {
 		for _, v := range data {
@@ -203,8 +264,8 @@ func Run(cfg Config) (Report, error) {
 	}
 
 	var ex *quantile.Extreme[float64]
-	addRow("extreme", cfg.N, func() {
-		ex, err = quantile.NewExtreme[float64](0.01, 0.002, delta, uint64(cfg.N), quantile.WithSeed(1))
+	addRow(FamilyIngest, "extreme", len(data), func() {
+		ex, err = quantile.NewExtreme[float64](0.01, 0.002, delta, uint64(len(data)), quantile.WithSeed(1))
 	}, func() {
 		for _, v := range data {
 			ex.Add(v)
@@ -215,7 +276,7 @@ func Run(cfg Config) (Report, error) {
 	}
 
 	var con *quantile.Concurrent[float64]
-	addRow("concurrent", cfg.N, func() {
+	addRow(FamilyIngest, "concurrent", len(data), func() {
 		con, err = quantile.NewConcurrent[float64](eps, delta, 8, quantile.WithSeed(1))
 	}, func() { con.AddAll(data) })
 	if err != nil {
@@ -228,15 +289,15 @@ func Run(cfg Config) (Report, error) {
 	if err != nil {
 		return rep, err
 	}
-	qc.AddAll(data)
+	qc.AddAll(queryData)
 
 	// query-rebuild is the pre-view cost model — every query preceded by a
 	// mutation, so each one pays the full coordinator merge the old code
 	// paid unconditionally. The cached rows below divide this out.
 	const rebuildQueries = 64
-	addRow("query-rebuild", rebuildQueries, func() {}, func() {
+	addRow(FamilyQuery, "query-rebuild", rebuildQueries, func() {}, func() {
 		for i := 0; i < rebuildQueries; i++ {
-			qc.Add(data[i])
+			qc.Add(queryData[i])
 			if _, qerr := qc.Quantile(0.5); qerr != nil {
 				err = qerr
 				return
@@ -250,7 +311,7 @@ func Run(cfg Config) (Report, error) {
 	// Cached single-φ: steady-state reads against an unchanged sketch. The
 	// φ sweep defeats a branch-predicted constant binary search.
 	const cachedQueries = 1 << 18
-	addRow("query-cached-phi", cachedQueries, func() { _, err = qc.Quantile(0.5) }, func() {
+	addRow(FamilyQuery, "query-cached-phi", cachedQueries, func() { _, err = qc.Quantile(0.5) }, func() {
 		for i := 0; i < cachedQueries; i++ {
 			phi := float64(i&1023+1) / 1024
 			if _, qerr := qc.Quantile(phi); qerr != nil {
@@ -263,7 +324,7 @@ func Run(cfg Config) (Report, error) {
 		return rep, err
 	}
 
-	addRow("query-cached-cdf", cachedQueries, func() { _, err = qc.CDF(0.5) }, func() {
+	addRow(FamilyQuery, "query-cached-cdf", cachedQueries, func() { _, err = qc.CDF(0.5) }, func() {
 		for i := 0; i < cachedQueries; i++ {
 			if _, qerr := qc.CDF(float64(i&1023) / 1024); qerr != nil {
 				err = qerr
@@ -280,25 +341,25 @@ func Run(cfg Config) (Report, error) {
 	// singleflight rebuild path under contention.
 	const ingestQueries = 64
 	var quc *quantile.Concurrent[float64]
-	addRow("query-under-ingest", ingestQueries, func() {
+	addRow(FamilyQuery, "query-under-ingest", ingestQueries, func() {
 		quc, err = quantile.NewConcurrent[float64](eps, delta, 8, quantile.WithSeed(3))
 		if err == nil {
-			quc.AddAll(data)
+			quc.AddAll(queryData)
 		}
 	}, func() {
 		var stop atomic.Bool
 		var wwg, rwg sync.WaitGroup
 		chunk := 4096
-		if chunk > len(data) {
-			chunk = len(data)
+		if chunk > len(queryData) {
+			chunk = len(queryData)
 		}
-		span := len(data) - chunk + 1 // valid start offsets
+		span := len(queryData) - chunk + 1 // valid start offsets
 		for w := 0; w < 2; w++ {
 			wwg.Add(1)
 			go func(w int) {
 				defer wwg.Done()
 				for off := (w * chunk) % span; !stop.Load(); off = (off + chunk) % span {
-					quc.AddAll(data[off : off+chunk])
+					quc.AddAll(queryData[off : off+chunk])
 				}
 			}(w)
 		}
@@ -328,12 +389,12 @@ func Run(cfg Config) (Report, error) {
 
 	// Cluster ingest: the coordinator's full /v1/ship path (validate,
 	// dedup, decode, merge) over pre-built worker epochs.
-	envs, total, err := buildEnvelopes(eps, delta, cfg.N)
+	envs, total, err := buildEnvelopes(eps, delta, nFor(FamilyCluster))
 	if err != nil {
 		return rep, err
 	}
 	var coord *cluster.Coordinator
-	addRow("cluster-ingest", int(total), func() {
+	addRow(FamilyCluster, "cluster-ingest", int(total), func() {
 		coord, err = cluster.NewCoordinator(cluster.CoordinatorConfig{Eps: eps, Delta: delta, Seed: 7})
 	}, func() {
 		for _, env := range envs {
@@ -345,6 +406,51 @@ func Run(cfg Config) (Report, error) {
 	})
 	if err != nil {
 		return rep, err
+	}
+
+	// Per-engine rows: the same unknown-N ingest and cached-query workload
+	// through each pluggable backend, so EXPERIMENTS.md can table
+	// MRL99-vs-KLL-vs-GK speed next to the conformance grid's accuracy.
+	engData := data
+	if nFor(FamilyEngine) != nFor(FamilyIngest) {
+		engData = stream.Collect(stream.Uniform(uint64(nFor(FamilyEngine)), 0xbe9c4))
+	}
+	for _, name := range cfg.Engines {
+		var e engine.Engine
+		addRow(FamilyEngine, "engine-ingest-"+name, len(engData), func() {
+			e, err = engine.New(name, eps, delta, 1)
+		}, func() { e.AddAll(engData) })
+		if err != nil {
+			return rep, err
+		}
+
+		// Cached queries through the Guarded wrapper — the serving path
+		// httpapi and the coordinator actually run.
+		var g *engine.Guarded
+		const engQueries = 1 << 16
+		addRow(FamilyEngine, "engine-query-"+name, engQueries, func() {
+			if g == nil {
+				qe, qerr := engine.New(name, eps, delta, 2)
+				if qerr != nil {
+					err = qerr
+					return
+				}
+				qe.AddAll(engData)
+				g = engine.Guard(qe)
+			}
+			_, err = g.Quantile(0.5) // warm the view cache outside the timing
+		}, func() {
+			for i := 0; i < engQueries; i++ {
+				phi := float64(i&1023+1) / 1024
+				if _, qerr := g.Quantile(phi); qerr != nil {
+					err = qerr
+					return
+				}
+			}
+		})
+		if err != nil {
+			return rep, err
+		}
 	}
 
 	return rep, nil
@@ -386,19 +492,22 @@ func buildEnvelopes(eps, delta float64, n int) ([]cluster.Envelope, uint64, erro
 // after scaling the baseline by the machines' calibration ratio. It returns
 // one message per violation; empty means the gate passes.
 //
-// The runs must use the same stream size: per-element costs carry fixed
+// The runs must use matching stream sizes: per-element costs carry fixed
 // overheads (most visibly the cluster rows' per-envelope decode) that are
-// amortized differently at different N, so cross-size comparison is
-// rejected outright rather than silently misleading.
+// amortized differently at different N. Size is enforced per row — a row
+// whose N differs from the baseline's is rejected by name, so a run that
+// resized only one family learns exactly which rows it broke. Rows recorded
+// before per-row sizes (n absent) fall back to their report-level N.
 func Compare(cur, base Report, tolerance float64) []string {
-	if cur.N != base.N {
-		return []string{fmt.Sprintf(
-			"stream size mismatch: this run used n=%d but the baseline was recorded at n=%d; rerun with -bench-n %d",
-			cur.N, base.N, base.N)}
-	}
 	scale := 1.0
 	if base.CalibrationNsPerElem > 0 && cur.CalibrationNsPerElem > 0 {
 		scale = cur.CalibrationNsPerElem / base.CalibrationNsPerElem
+	}
+	rowN := func(r Row, rep Report) int {
+		if r.N > 0 {
+			return r.N
+		}
+		return rep.N
 	}
 	baseRows := make(map[string]Row, len(base.Rows))
 	for _, r := range base.Rows {
@@ -411,6 +520,12 @@ func Compare(cur, base Report, tolerance float64) []string {
 			continue // new row: no baseline yet
 		}
 		delete(baseRows, r.Name)
+		if cn, bn := rowN(r, cur), rowN(b, base); cn != bn {
+			violations = append(violations, fmt.Sprintf(
+				"%s: stream size mismatch: this run used n=%d but the baseline row was recorded at n=%d; rerun with a matching -bench-n for its family",
+				r.Name, cn, bn))
+			continue
+		}
 		allowed := b.NsPerElem * scale * (1 + tolerance)
 		if r.NsPerElem > allowed {
 			violations = append(violations, fmt.Sprintf(
@@ -418,7 +533,12 @@ func Compare(cur, base Report, tolerance float64) []string {
 				r.Name, r.NsPerElem, b.NsPerElem, allowed, scale, int(tolerance*100)))
 		}
 	}
+	missing := make([]string, 0, len(baseRows))
 	for name := range baseRows {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
 		violations = append(violations, fmt.Sprintf("%s: row present in baseline but missing from this run", name))
 	}
 	return violations
@@ -429,11 +549,15 @@ func (r Report) Render() experiments.Table {
 	t := experiments.Table{
 		Title: fmt.Sprintf("E-PERF: ingest + query throughput (n=%d, best of %d; calibration %.2f ns/elem)",
 			r.N, r.Reps, r.CalibrationNsPerElem),
-		Columns: []string{"path", "elems/op", "ns/elem", "elems/sec", "allocs/op"},
+		Columns: []string{"path", "n", "elems/op", "ns/elem", "elems/sec", "allocs/op"},
 	}
 	for _, row := range r.Rows {
+		n := row.N
+		if n == 0 {
+			n = r.N
+		}
 		t.Rows = append(t.Rows, []string{
-			row.Name, fmt.Sprint(row.Elems),
+			row.Name, fmt.Sprint(n), fmt.Sprint(row.Elems),
 			fmt.Sprintf("%.1f", row.NsPerElem),
 			fmt.Sprintf("%.0f", row.ElemsPerSec),
 			fmt.Sprint(row.AllocsPerOp),

@@ -1,0 +1,120 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// small runs the harness at a size where the whole suite is a smoke test.
+func small(t *testing.T, cfg Config) Report {
+	t.Helper()
+	if cfg.N == 0 {
+		cfg.N = 4096
+	}
+	cfg.Reps = 1
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func rowsByName(rep Report) map[string]Row {
+	m := make(map[string]Row, len(rep.Rows))
+	for _, r := range rep.Rows {
+		m[r.Name] = r
+	}
+	return m
+}
+
+func TestRunEmitsEngineRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-timed harness")
+	}
+	rep := small(t, Config{})
+	rows := rowsByName(rep)
+	for _, name := range engine.Names() {
+		for _, kind := range []string{"engine-ingest-", "engine-query-"} {
+			r, ok := rows[kind+name]
+			if !ok {
+				t.Fatalf("missing row %s%s in %v", kind, name, rep.Rows)
+			}
+			if r.N != 4096 {
+				t.Errorf("%s%s recorded n=%d, want 4096", kind, name, r.N)
+			}
+			if r.NsPerElem <= 0 {
+				t.Errorf("%s%s measured %v ns/elem", kind, name, r.NsPerElem)
+			}
+		}
+	}
+}
+
+func TestFamilyNSizesOneFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-timed harness")
+	}
+	rep := small(t, Config{
+		FamilyN: map[string]int{FamilyEngine: 2048},
+		Engines: []string{engine.KLL},
+	})
+	rows := rowsByName(rep)
+	if r := rows["engine-ingest-kll"]; r.N != 2048 || r.Elems != 2048 {
+		t.Errorf("engine family override ignored: %+v", r)
+	}
+	if r := rows["unknown-n-bulk"]; r.N != 4096 {
+		t.Errorf("ingest family resized by an engine override: %+v", r)
+	}
+	if _, ok := rows["engine-ingest-gk"]; ok {
+		t.Error("engine selection ignored: gk row present")
+	}
+}
+
+func TestRunRejectsUnknownFamilyAndEngine(t *testing.T) {
+	if _, err := Run(Config{N: 64, Reps: 1, FamilyN: map[string]int{"shard": 64}}); err == nil || !strings.Contains(err.Error(), `"shard"`) {
+		t.Errorf("unknown family not named: %v", err)
+	}
+	if _, err := Run(Config{N: 64, Reps: 1, Engines: []string{"tdigest"}}); err == nil || !strings.Contains(err.Error(), "tdigest") {
+		t.Errorf("unknown engine not named: %v", err)
+	}
+}
+
+// TestCompareNamesOffendingRow: equal-N enforcement is per row, and each
+// violation carries the row's name so a partial resize is diagnosable.
+func TestCompareNamesOffendingRow(t *testing.T) {
+	base := Report{N: 1 << 20, Rows: []Row{
+		{Name: "unknown-n-bulk", N: 1 << 20, NsPerElem: 10},
+		{Name: "engine-ingest-kll", N: 1 << 18, NsPerElem: 20},
+	}}
+	cur := Report{N: 1 << 20, Rows: []Row{
+		{Name: "unknown-n-bulk", N: 1 << 20, NsPerElem: 10},
+		{Name: "engine-ingest-kll", N: 1 << 16, NsPerElem: 20},
+	}}
+	vs := Compare(cur, base, 0.25)
+	if len(vs) != 1 || !strings.HasPrefix(vs[0], "engine-ingest-kll:") || !strings.Contains(vs[0], "stream size mismatch") {
+		t.Fatalf("want one size-mismatch violation naming engine-ingest-kll, got %v", vs)
+	}
+
+	// Legacy baselines without per-row n fall back to the report-level N.
+	legacy := Report{N: 1 << 20, Rows: []Row{{Name: "unknown-n-bulk", NsPerElem: 10}}}
+	if vs := Compare(cur, legacy, 0.25); len(vs) != 0 {
+		t.Fatalf("legacy row at matching report N should pass, got %v", vs)
+	}
+
+	// Regressions still trip, and missing rows are reported by name.
+	slow := Report{N: 1 << 20, Rows: []Row{{Name: "unknown-n-bulk", N: 1 << 20, NsPerElem: 100}}}
+	vs = Compare(slow, base, 0.25)
+	var gotRegression, gotMissing bool
+	for _, v := range vs {
+		if strings.HasPrefix(v, "unknown-n-bulk:") && strings.Contains(v, "exceeds baseline") {
+			gotRegression = true
+		}
+		if strings.HasPrefix(v, "engine-ingest-kll:") && strings.Contains(v, "missing from this run") {
+			gotMissing = true
+		}
+	}
+	if !gotRegression || !gotMissing {
+		t.Fatalf("want regression + missing-row violations, got %v", vs)
+	}
+}

@@ -79,6 +79,50 @@ func FromBuffers[T cmp.Ordered](bufs []*buffer.Buffer[T], n uint64) (*View[T], e
 	return v, nil
 }
 
+// FromWeighted builds a View directly from parallel slices of ascending
+// values and their positive weights — the natural output shape of summary
+// structures that are not buffer sets (KLL compactor levels, GK tuple
+// lists). vals must be sorted ascending (ties allowed; they coalesce) and
+// weights[i] is the weighted copy count of vals[i]. n is the true stream
+// element count the summary attributes to the entries. It errors on length
+// mismatch, unsorted values, zero weights, or an empty total, mirroring
+// FromBuffers.
+func FromWeighted[T cmp.Ordered](vals []T, weights []uint64, n uint64) (*View[T], error) {
+	if len(vals) != len(weights) {
+		return nil, fmt.Errorf("view: %d values for %d weights", len(vals), len(weights))
+	}
+	var total uint64
+	for i, w := range weights {
+		if w == 0 {
+			return nil, fmt.Errorf("view: zero weight at entry %d", i)
+		}
+		if i > 0 && vals[i] < vals[i-1] {
+			return nil, fmt.Errorf("view: values not ascending at entry %d", i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("view: build over empty buffer set")
+	}
+	v := &View[T]{
+		vals:  make([]T, 0, len(vals)),
+		cum:   make([]uint64, 0, len(vals)),
+		total: total,
+		n:     n,
+	}
+	var run uint64
+	for i, x := range vals {
+		run += weights[i]
+		if m := len(v.vals); m > 0 && v.vals[m-1] == x {
+			v.cum[m-1] = run
+		} else {
+			v.vals = append(v.vals, x)
+			v.cum = append(v.cum, run)
+		}
+	}
+	return v, nil
+}
+
 // N returns the stream element count the view stands for.
 func (v *View[T]) N() uint64 { return v.n }
 
