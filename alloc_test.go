@@ -1,0 +1,30 @@
+package quantile
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestBulkIngestSteadyStateAllocs pins the whole-sketch ingest budget:
+// with the collapse-tree and fill scratch pooled, re-ingesting a stream
+// into a reset sketch allocates only what Reset itself needs (a reseeded
+// RNG) — no per-block or per-collapse garbage.
+func TestBulkIngestSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams 256Ki elements per run")
+	}
+	data := stream.Collect(stream.Uniform(1<<18, 0xfeed))
+	s, err := New[float64](0.01, 1e-3, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddAll(data) // warm the pools through the first collapses
+	allocs := testing.AllocsPerRun(3, func() {
+		s.Reset()
+		s.AddAll(data)
+	})
+	if allocs > 4 {
+		t.Errorf("steady-state bulk ingest allocates %.0f objects per run, want <= 4 (Reset's reseed only)", allocs)
+	}
+}

@@ -2,8 +2,10 @@ package quantile
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/rng"
 	"repro/internal/stream"
 )
@@ -48,11 +50,37 @@ func TestAddAllCheckpointIdentical(t *testing.T) {
 				}
 			})
 
+			// The wire path: encode the stream as binary slab frames, decode
+			// them back through the streaming decoder (exactly what
+			// POST /v1/ingest does), AddAll each frame.
+			binary, _ := checkpoint(func(s *Sketch[float64]) {
+				var slab []byte
+				for off := 0; off < len(data); off += 1 << 14 {
+					end := min(off+1<<14, len(data))
+					slab = codec.AppendIngestFrame(slab, data[off:end])
+				}
+				var dec codec.IngestDecoder
+				dec.Reset(bytes.NewReader(slab))
+				for {
+					vals, err := dec.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					s.AddAll(vals)
+				}
+			})
+
 			if !bytes.Equal(scalar, bulk) {
 				t.Errorf("seed=%d n=%d: whole-slice AddAll checkpoint differs from Add loop", seed, n)
 			}
 			if !bytes.Equal(scalar, chunked) {
 				t.Errorf("seed=%d n=%d: chunked AddAll checkpoint differs from Add loop", seed, n)
+			}
+			if !bytes.Equal(scalar, binary) {
+				t.Errorf("seed=%d n=%d: binary slab ingest checkpoint differs from Add loop", seed, n)
 			}
 			if n == 300_000 && rate < 8 {
 				t.Errorf("seed=%d n=%d: sampling rate %d, want >= 8 (test must cover the skip-sampling regime)", seed, n, rate)

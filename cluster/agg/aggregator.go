@@ -82,6 +82,11 @@ type Config struct {
 	// Client issues upstream POSTs when Transport is nil.
 	Client *http.Client
 
+	// BinaryShip makes the default upstream HTTPTransport send envelopes
+	// in the compact binary encoding instead of JSON. Ignored when an
+	// explicit Transport is supplied.
+	BinaryShip bool
+
 	// Logger receives structured operational logs; nil discards them.
 	Logger *slog.Logger
 
@@ -118,6 +123,7 @@ func (cfg *Config) fillDefaults() error {
 			BaseURL:        cfg.ParentURL,
 			Client:         cfg.Client,
 			RequestTimeout: cfg.RequestTimeout,
+			Binary:         cfg.BinaryShip,
 		}
 	}
 	if cfg.Clock == nil {

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	quantile "repro"
+)
+
+func TestBinaryEnvelopeRoundTrip(t *testing.T) {
+	envs := []Envelope{
+		{Worker: "w0", Epoch: 1, Eps: 0.02, Delta: 1e-3, Count: 1000, Blob: []byte{1, 2, 3, 4}},
+		{Worker: "node-with-a-longer-name", Epoch: 1 << 40, Eps: 0.001, Delta: 1e-9,
+			Count: 1 << 50, Blob: make([]byte, 4096), Engine: "kll"},
+		{Worker: "w", Epoch: 7, Eps: 0.1, Delta: 0.5, Count: 1, Blob: []byte{0}},
+	}
+	for i, env := range envs {
+		enc := env.EncodeBinary(nil)
+		got, err := DecodeBinaryEnvelope(enc)
+		if err != nil {
+			t.Fatalf("envelope %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, env) {
+			t.Fatalf("envelope %d round trip:\n got %+v\nwant %+v", i, got, env)
+		}
+	}
+
+	// Encoding appends: a prefix already in dst survives.
+	prefix := []byte("prefix")
+	enc := envs[0].EncodeBinary(append([]byte(nil), prefix...))
+	if string(enc[:len(prefix)]) != "prefix" {
+		t.Fatalf("EncodeBinary clobbered existing dst bytes")
+	}
+	if _, err := DecodeBinaryEnvelope(enc[len(prefix):]); err != nil {
+		t.Fatalf("decoding appended envelope: %v", err)
+	}
+}
+
+func TestBinaryEnvelopeDecodeErrors(t *testing.T) {
+	env := Envelope{Worker: "w0", Epoch: 3, Eps: 0.02, Delta: 1e-3, Count: 50, Blob: []byte{9, 9, 9}}
+	good := env.EncodeBinary(nil)
+
+	corrupt := func(mutate func([]byte)) []byte {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"truncated", good[:len(good)-6], "checksum"},
+		{"crc flip", corrupt(func(b []byte) { b[len(b)-1] ^= 1 }), "checksum"},
+		{"payload flip", corrupt(func(b []byte) { b[len(b)-8] ^= 1 }), "checksum"},
+		{"trailing garbage", append(append([]byte(nil), good...), 0xff), "checksum"},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeBinaryEnvelope(tc.data); err == nil {
+			t.Errorf("%s: decode succeeded, want error", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Bad magic, bad version and a lying blob length need their CRCs
+	// re-stamped to get past the checksum gate.
+	restamp := func(body []byte) []byte {
+		sum := crc32.Checksum(body, shipCRCTable)
+		return binary.LittleEndian.AppendUint32(body, sum)
+	}
+	mutated := func(mutate func([]byte)) []byte {
+		b := append([]byte(nil), good[:len(good)-4]...)
+		mutate(b)
+		return restamp(b)
+	}
+	if _, err := DecodeBinaryEnvelope(mutated(func(b []byte) { b[0] = 'X' })); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: err %v", err)
+	}
+	if _, err := DecodeBinaryEnvelope(mutated(func(b []byte) { b[4] = 99 })); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: err %v", err)
+	}
+	// Shave the last payload byte off so the blob length header disagrees
+	// with the bytes that follow it.
+	short := restamp(append([]byte(nil), good[:len(good)-5]...))
+	if _, err := DecodeBinaryEnvelope(short); err == nil || !strings.Contains(err.Error(), "blob length") {
+		t.Errorf("short blob: err %v", err)
+	}
+}
+
+func TestBinaryShipEndToEnd(t *testing.T) {
+	coord := newTestCoordinator(t, "")
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	const perWorker, epochs = 10_000, 2
+	ctx := context.Background()
+	for wi := 0; wi < 2; wi++ {
+		sk, err := quantile.NewConcurrent[float64](testEps, testDelta, 2, quantile.WithSeed(uint64(wi)*7+3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorker(sk, WorkerConfig{
+			ID:             fmt.Sprintf("bw%d", wi),
+			CoordinatorURL: srv.URL,
+			BinaryShip:     true,
+			BackoffBase:    time.Millisecond,
+			BackoffMax:     5 * time.Millisecond,
+			Logger:         testLogger(t),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := shuffled(wi*perWorker, (wi+1)*perWorker, uint64(wi+1))
+		per := len(vals) / epochs
+		for e := 0; e < epochs; e++ {
+			w.Sketch().AddAll(vals[e*per : (e+1)*per])
+			if err := w.ShipOnce(ctx); err != nil {
+				t.Fatalf("worker %d epoch %d: %v", wi, e, err)
+			}
+		}
+		if st := w.Stats(); st.Shipped != epochs || st.Pending != 0 {
+			t.Fatalf("worker %d stats: %+v", wi, st)
+		}
+	}
+	const n = 2 * perWorker
+	if got := coord.Count(); got != n {
+		t.Fatalf("coordinator count %d, want %d", got, n)
+	}
+	got := queryQuantiles(t, srv.URL, []float64{0.5})
+	if est := got["0.5"]; est < 0.5*n-testEps*n || est > 0.5*n+testEps*n {
+		t.Fatalf("median %v after binary ship of 0..%d", est, n-1)
+	}
+}
+
+func TestShipRejectsUnknownContentType(t *testing.T) {
+	coord := newTestCoordinator(t, "")
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+ShipPath, "text/csv", strings.NewReader("w0,1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("status %d, want 415", resp.StatusCode)
+	}
+
+	// A corrupt binary envelope is a 400, not a 415.
+	env := Envelope{Worker: "w0", Epoch: 1, Eps: testEps, Delta: testDelta, Count: 1, Blob: []byte{1}}
+	body := env.EncodeBinary(nil)
+	body[len(body)-1] ^= 1
+	resp2, err := http.Post(srv.URL+ShipPath, ShipContentTypeBinary, strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt envelope: status %d, want 400", resp2.StatusCode)
+	}
+}

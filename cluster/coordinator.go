@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net/http"
@@ -577,16 +578,45 @@ func (c *Coordinator) restore(path string) error {
 
 func (c *Coordinator) handleShip(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.ToLower(strings.TrimSpace(ct))
 	var env Envelope
-	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
+	switch ct {
+	case ShipContentTypeBinary:
+		body, err := io.ReadAll(r.Body)
+		if err == nil {
+			env, err = DecodeBinaryEnvelope(body)
+		}
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				c.m.shipmentsRejected.Inc()
+				writeShipError(w, http.StatusRequestEntityTooLarge, "shipment body exceeds %d bytes", tooBig.Limit)
+				return
+			}
 			c.m.shipmentsRejected.Inc()
-			writeShipError(w, http.StatusRequestEntityTooLarge, "shipment body exceeds %d bytes", tooBig.Limit)
+			writeShipError(w, http.StatusBadRequest, "decoding binary envelope: %v", err)
 			return
 		}
+	case "", "application/json":
+		if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				c.m.shipmentsRejected.Inc()
+				writeShipError(w, http.StatusRequestEntityTooLarge, "shipment body exceeds %d bytes", tooBig.Limit)
+				return
+			}
+			c.m.shipmentsRejected.Inc()
+			writeShipError(w, http.StatusBadRequest, "decoding envelope: %v", err)
+			return
+		}
+	default:
 		c.m.shipmentsRejected.Inc()
-		writeShipError(w, http.StatusBadRequest, "decoding envelope: %v", err)
+		writeShipError(w, http.StatusUnsupportedMediaType,
+			"content type %q: %s takes application/json or %s", ct, ShipPath, ShipContentTypeBinary)
 		return
 	}
 	status, res := c.Ingest(env)

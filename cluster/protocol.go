@@ -22,12 +22,21 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"math"
 	"time"
 )
 
 // ShipPath is the coordinator endpoint workers POST shipments to.
 const ShipPath = "/v1/ship"
+
+// ShipContentTypeBinary is the content type of a binary-encoded shipment
+// envelope (see Envelope.EncodeBinary). Workers opt in per-transport; the
+// coordinator accepts both encodings on ShipPath and dispatches on the
+// request's Content-Type.
+const ShipContentTypeBinary = "application/x-quantile-ship"
 
 // Envelope is the wire form of one worker shipment: identity and epoch
 // for deduplication, the guarantee parameters for compatibility checking,
@@ -60,6 +69,106 @@ func (e *Envelope) Validate() error {
 		return fmt.Errorf("cluster: envelope missing shipment blob")
 	}
 	return nil
+}
+
+// Binary envelope framing: magic, version, varint-framed fields, CRC-32C
+// trailer. The JSON encoding base64-inflates Blob by a third and spends
+// most of its coordinator-side cost in the decoder; the binary form is a
+// straight length-prefixed copy.
+const shipBinaryVersion = 1
+
+var shipBinaryMagic = [4]byte{'Q', 'S', 'H', 'P'}
+
+var shipCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeBinary appends the envelope's binary encoding onto dst and returns
+// the extended slice.
+func (e *Envelope) EncodeBinary(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, shipBinaryMagic[:]...)
+	dst = append(dst, shipBinaryVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Worker)))
+	dst = append(dst, e.Worker...)
+	dst = binary.AppendUvarint(dst, e.Epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Eps))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Delta))
+	dst = binary.AppendUvarint(dst, e.Count)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Engine)))
+	dst = append(dst, e.Engine...)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Blob)))
+	dst = append(dst, e.Blob...)
+	sum := crc32.Checksum(dst[start:], shipCRCTable)
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// DecodeBinaryEnvelope parses a binary-encoded envelope. The returned
+// envelope's byte and string fields are copied out of data.
+func DecodeBinaryEnvelope(data []byte) (Envelope, error) {
+	var env Envelope
+	if len(data) < len(shipBinaryMagic)+1+4 {
+		return env, fmt.Errorf("cluster: binary envelope truncated at %d bytes", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, shipCRCTable) != binary.LittleEndian.Uint32(tail) {
+		return env, fmt.Errorf("cluster: binary envelope checksum mismatch")
+	}
+	if [4]byte(body[:4]) != shipBinaryMagic {
+		return env, fmt.Errorf("cluster: binary envelope bad magic % x", body[:4])
+	}
+	if body[4] != shipBinaryVersion {
+		return env, fmt.Errorf("cluster: binary envelope version %d, want %d", body[4], shipBinaryVersion)
+	}
+	rest := body[5:]
+	str := func() (string, error) {
+		n, used := binary.Uvarint(rest)
+		if used <= 0 || uint64(len(rest)-used) < n {
+			return "", fmt.Errorf("cluster: binary envelope: bad string field")
+		}
+		s := string(rest[used : used+int(n)])
+		rest = rest[used+int(n):]
+		return s, nil
+	}
+	uvar := func() (uint64, error) {
+		v, used := binary.Uvarint(rest)
+		if used <= 0 {
+			return 0, fmt.Errorf("cluster: binary envelope: bad varint field")
+		}
+		rest = rest[used:]
+		return v, nil
+	}
+	f64 := func() (float64, error) {
+		if len(rest) < 8 {
+			return 0, fmt.Errorf("cluster: binary envelope: short float field")
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+		return v, nil
+	}
+	var err error
+	if env.Worker, err = str(); err != nil {
+		return env, err
+	}
+	if env.Epoch, err = uvar(); err != nil {
+		return env, err
+	}
+	if env.Eps, err = f64(); err != nil {
+		return env, err
+	}
+	if env.Delta, err = f64(); err != nil {
+		return env, err
+	}
+	if env.Count, err = uvar(); err != nil {
+		return env, err
+	}
+	if env.Engine, err = str(); err != nil {
+		return env, err
+	}
+	n, used := binary.Uvarint(rest)
+	if used <= 0 || uint64(len(rest)-used) != n {
+		return env, fmt.Errorf("cluster: binary envelope: blob length %d does not match remaining %d bytes", n, len(rest)-used)
+	}
+	env.Blob = append([]byte(nil), rest[used:]...)
+	return env, nil
 }
 
 // Shipment statuses returned by the coordinator.

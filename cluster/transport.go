@@ -57,13 +57,25 @@ type HTTPTransport struct {
 
 	// RequestTimeout bounds one shipment POST when positive.
 	RequestTimeout time.Duration
+
+	// Binary ships envelopes in the compact binary encoding
+	// (ShipContentTypeBinary) instead of JSON. The coordinator dispatches
+	// on Content-Type, so mixed fleets interoperate.
+	Binary bool
 }
 
 // Ship implements Transport.
 func (t *HTTPTransport) Ship(ctx context.Context, env Envelope) (ShipResult, error) {
-	body, err := json.Marshal(env)
-	if err != nil {
-		return ShipResult{}, Permanent(fmt.Errorf("encoding envelope: %w", err))
+	var body []byte
+	contentType := "application/json"
+	if t.Binary {
+		body = env.EncodeBinary(nil)
+		contentType = ShipContentTypeBinary
+	} else {
+		var err error
+		if body, err = json.Marshal(env); err != nil {
+			return ShipResult{}, Permanent(fmt.Errorf("encoding envelope: %w", err))
+		}
 	}
 	if t.RequestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -74,7 +86,7 @@ func (t *HTTPTransport) Ship(ctx context.Context, env Envelope) (ShipResult, err
 	if err != nil {
 		return ShipResult{}, Permanent(err)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	client := t.Client
 	if client == nil {
 		client = http.DefaultClient

@@ -60,6 +60,11 @@ type WorkerConfig struct {
 	// RequestTimeout.
 	Client *http.Client
 
+	// BinaryShip makes the default HTTPTransport send envelopes in the
+	// compact binary encoding (ShipContentTypeBinary) instead of JSON.
+	// Ignored when an explicit Transport is supplied.
+	BinaryShip bool
+
 	// Logger receives structured operational logs; nil discards them.
 	Logger *slog.Logger
 
@@ -91,6 +96,7 @@ func (cfg *WorkerConfig) fillDefaults() error {
 			BaseURL:        cfg.CoordinatorURL,
 			Client:         cfg.Client,
 			RequestTimeout: cfg.RequestTimeout,
+			Binary:         cfg.BinaryShip,
 		}
 	}
 	if cfg.Clock == nil {

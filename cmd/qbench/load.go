@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/rng"
+)
+
+// runLoad is the slab load driver: it pushes binary ingest frames at a
+// live quantiled server's POST /v1/ingest and reports the achieved wire
+// throughput. Unlike the other experiments it needs a running server, so
+// it is never part of the default experiment sweep — invoke it by name:
+//
+//	qbench -target http://localhost:8080 load
+func runLoad(w io.Writer, target string, totalElems, frameElems int, quick bool) error {
+	if target == "" {
+		return fmt.Errorf("load needs -target, the base URL of a running quantiled server")
+	}
+	if quick {
+		totalElems = min(totalElems, 1<<18)
+	}
+	if totalElems <= 0 || frameElems <= 0 {
+		return fmt.Errorf("load: -load-elems and -load-frame must be positive")
+	}
+	frameElems = min(frameElems, codec.MaxIngestFrameElems)
+
+	// One frame's worth of deterministic uniform values, re-encoded per
+	// request from a reusable buffer so the driver itself never allocates
+	// in steady state.
+	rg := rng.New(1)
+	vals := make([]float64, frameElems)
+	buf := make([]byte, 0, 9+8*frameElems+4)
+	client := &http.Client{Timeout: 30 * time.Second}
+	url := target + "/v1/ingest"
+
+	var sent, requests int
+	var wire int64
+	start := time.Now()
+	for sent < totalElems {
+		n := min(frameElems, totalElems-sent)
+		for i := 0; i < n; i++ {
+			vals[i] = rg.Float64()
+		}
+		buf = codec.AppendIngestFrame(buf[:0], vals[:n])
+		resp, err := client.Post(url, codec.IngestContentType, bytes.NewReader(buf))
+		if err != nil {
+			return fmt.Errorf("load: request %d: %w", requests+1, err)
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("load: request %d: %s: %s", requests+1, resp.Status, bytes.TrimSpace(body))
+		}
+		var ack struct {
+			Added int `json:"added"`
+		}
+		if err := json.Unmarshal(body, &ack); err != nil || ack.Added != n {
+			return fmt.Errorf("load: request %d acknowledged %d of %d values (%v)", requests+1, ack.Added, n, err)
+		}
+		sent += n
+		requests++
+		wire += int64(len(buf))
+	}
+	elapsed := time.Since(start)
+
+	perElem := float64(elapsed.Nanoseconds()) / float64(sent)
+	mbps := float64(wire) / elapsed.Seconds() / (1 << 20)
+	fmt.Fprintf(w, "load: %d values in %d frames to %s\n", sent, requests, url)
+	fmt.Fprintf(w, "load: %.2fs wall, %.1f ns/elem end-to-end, %.1f MiB/s on the wire\n",
+		elapsed.Seconds(), perElem, mbps)
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/httpapi"
+)
+
+func TestRunLoadAgainstLiveServer(t *testing.T) {
+	s, err := httpapi.New(0.02, 1e-3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := runLoad(&out, srv.URL, 40_000, 1<<14, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "40000 values in 3 frames") {
+		t.Fatalf("load report:\n%s", got)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	var out strings.Builder
+	if err := runLoad(&out, "", 100, 10, false); err == nil {
+		t.Error("missing -target accepted")
+	}
+	if err := runLoad(&out, "http://x", 0, 10, false); err == nil {
+		t.Error("zero -load-elems accepted")
+	}
+}

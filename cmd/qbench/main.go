@@ -36,8 +36,11 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "perf: allowed ns/elem regression fraction vs the baseline")
 	benchN := flag.String("bench-n", "", "perf: per-op stream size — one number for every row family, or family=N pairs like ingest=1048576,engine=262144 (empty selects the default; -quick shrinks it)")
 	engines := flag.String("engine", "", "perf: comma-separated engines for the engine-* rows (mrl99, kll, gk; empty runs all)")
+	target := flag.String("target", "", "load: base URL of a running quantiled server")
+	loadElems := flag.Int("load-elems", 1<<22, "load: total values to push")
+	loadFrame := flag.Int("load-frame", 1<<16, "load: values per slab frame")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qbench [-quick] [-json file] [-baseline file] [-tolerance frac] [-bench-n n|family=n,...] [-engine e,...] [experiment ...]\nexperiments: %v\n", experimentOrder)
+		fmt.Fprintf(os.Stderr, "usage: qbench [-quick] [-json file] [-baseline file] [-tolerance frac] [-bench-n n|family=n,...] [-engine e,...] [experiment ...]\nexperiments: %v\nload (needs -target, never in the default sweep): qbench -target http://host:8080 load\n", experimentOrder)
 	}
 	flag.Parse()
 
@@ -49,6 +52,8 @@ func main() {
 		var err error
 		if name == "perf" {
 			err = runPerf(os.Stdout, *quick, *benchN, *engines, *jsonPath, *baselinePath, *tolerance)
+		} else if name == "load" {
+			err = runLoad(os.Stdout, *target, *loadElems, *loadFrame, *quick)
 		} else {
 			err = run(os.Stdout, name, *quick)
 		}
@@ -72,9 +77,12 @@ func parseBenchN(spec string, cfg *perf.Config) error {
 			return fmt.Errorf("-bench-n %d: stream size must be positive", n)
 		}
 		cfg.N = n
+		cfg.FamilyN = nil // a bare number sizes every family, defaults included
 		return nil
 	}
-	cfg.FamilyN = map[string]int{}
+	if cfg.FamilyN == nil {
+		cfg.FamilyN = map[string]int{}
+	}
 	for _, part := range strings.Split(spec, ",") {
 		fam, val, ok := strings.Cut(strings.TrimSpace(part), "=")
 		if !ok {
@@ -104,6 +112,7 @@ func runPerf(w io.Writer, quick bool, benchN, engines, jsonPath, baselinePath st
 	cfg := perf.DefaultConfig()
 	if quick {
 		cfg.N = 1 << 17
+		cfg.FamilyN[perf.FamilyBinary] = 1 << 17
 	}
 	if err := parseBenchN(benchN, &cfg); err != nil {
 		return err

@@ -96,6 +96,7 @@ type config struct {
 	coordinatorURL string
 	workerID       string
 	shipInterval   time.Duration
+	ingestFormat   string
 
 	parentURL string
 	level     int
@@ -124,6 +125,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.StringVar(&cfg.coordinatorURL, "coordinator", "", "coordinator base URL (worker role)")
 	fs.StringVar(&cfg.workerID, "worker-id", "", "stable node identity (worker and aggregator roles; default hostname+addr)")
 	fs.DurationVar(&cfg.shipInterval, "ship-interval", 5*time.Second, "how often a worker or aggregator ships its window")
+	fs.StringVar(&cfg.ingestFormat, "ingest-format", "json", "wire format for shipping ingested windows upstream: json or binary (worker and aggregator roles)")
 	fs.StringVar(&cfg.parentURL, "parent", "", "parent base URL (aggregator role)")
 	fs.IntVar(&cfg.level, "level", 0, "tier of an aggregator, hops below the root (aggregator role; default 1)")
 	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "checkpoint file (coordinator and aggregator roles; empty disables)")
@@ -178,6 +180,12 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	}
 	if cfg.role == "aggregator" && cfg.coordinatorURL != "" {
 		return cfg, fmt.Errorf("aggregators ship to -parent, not -coordinator; drop -coordinator or use -role worker")
+	}
+	if cfg.ingestFormat != "json" && cfg.ingestFormat != "binary" {
+		return cfg, fmt.Errorf("unknown ingest format %q (want json or binary)", cfg.ingestFormat)
+	}
+	if cfg.ingestFormat == "binary" && cfg.role != "worker" && cfg.role != "aggregator" {
+		return cfg, fmt.Errorf("-ingest-format is only meaningful for roles that ship upstream (role is %q)", cfg.role)
 	}
 	return cfg, nil
 }
@@ -248,6 +256,7 @@ func newService(cfg config, logger *slog.Logger) (*service, error) {
 			ID:             cfg.workerID,
 			CoordinatorURL: cfg.coordinatorURL,
 			ShipInterval:   cfg.shipInterval,
+			BinaryShip:     cfg.ingestFormat == "binary",
 			Logger:         logger,
 			// Shipping counters land on the ingest surface's registry, so
 			// the worker's GET /metrics covers both.
@@ -265,8 +274,8 @@ func newService(cfg config, logger *slog.Logger) (*service, error) {
 		return &service{
 			handler: srv.Handler(),
 			run:     w.Run,
-			banner: fmt.Sprintf("worker %q shipping to %s every %s (engine=%s eps=%g delta=%g)",
-				cfg.workerID, cfg.coordinatorURL, cfg.shipInterval, cfg.engine, cfg.eps, cfg.delta),
+			banner: fmt.Sprintf("worker %q shipping %s to %s every %s (engine=%s eps=%g delta=%g)",
+				cfg.workerID, cfg.ingestFormat, cfg.coordinatorURL, cfg.shipInterval, cfg.engine, cfg.eps, cfg.delta),
 		}, nil
 
 	case "coordinator":
@@ -298,6 +307,7 @@ func newService(cfg config, logger *slog.Logger) (*service, error) {
 			Engine:             cfg.engine,
 			ParentURL:          cfg.parentURL,
 			ShipInterval:       cfg.shipInterval,
+			BinaryShip:         cfg.ingestFormat == "binary",
 			Seed:               cfg.seed,
 			CheckpointPath:     cfg.checkpoint,
 			CheckpointInterval: cfg.checkpointInterval,
@@ -307,8 +317,8 @@ func newService(cfg config, logger *slog.Logger) (*service, error) {
 		if err != nil {
 			return nil, err
 		}
-		banner := fmt.Sprintf("aggregator %q level %d shipping to %s every %s (engine=%s eps=%g delta=%g",
-			cfg.workerID, cfg.level, cfg.parentURL, cfg.shipInterval, cfg.engine, cfg.eps, cfg.delta)
+		banner := fmt.Sprintf("aggregator %q level %d shipping %s to %s every %s (engine=%s eps=%g delta=%g",
+			cfg.workerID, cfg.level, cfg.ingestFormat, cfg.parentURL, cfg.shipInterval, cfg.engine, cfg.eps, cfg.delta)
 		if cfg.checkpoint != "" {
 			banner += fmt.Sprintf(", checkpointing to %s every %s", cfg.checkpoint, cfg.checkpointInterval)
 		}

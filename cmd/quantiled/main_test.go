@@ -62,6 +62,28 @@ func TestParseFlagsAggregator(t *testing.T) {
 	}
 }
 
+func TestParseFlagsIngestFormat(t *testing.T) {
+	cfg, err := parseFlags([]string{"-role", "worker", "-coordinator", "http://c", "-ingest-format", "binary"}, io.Discard)
+	if err != nil {
+		t.Fatalf("binary worker: %v", err)
+	}
+	if cfg.ingestFormat != "binary" {
+		t.Errorf("ingest format not captured: %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-role", "aggregator", "-parent", "http://p", "-ingest-format", "binary"}, io.Discard); err != nil {
+		t.Errorf("binary aggregator: %v", err)
+	}
+	for _, bad := range [][]string{
+		{"-role", "worker", "-coordinator", "http://c", "-ingest-format", "protobuf"}, // unknown format
+		{"-role", "standalone", "-ingest-format", "binary"},                           // nothing ships upstream
+		{"-role", "coordinator", "-ingest-format", "binary"},                          // the root only receives
+	} {
+		if _, err := parseFlags(bad, io.Discard); err == nil {
+			t.Errorf("args %v accepted", bad)
+		}
+	}
+}
+
 func TestParseFlagsLogging(t *testing.T) {
 	cfg, err := parseFlags([]string{"-log-level", "debug", "-log-format", "json", "-debug-addr", "127.0.0.1:0"}, io.Discard)
 	if err != nil {

@@ -7,6 +7,7 @@
 // Endpoints (JSON responses unless noted):
 //
 //	POST /add        whitespace-separated numbers in the body
+//	POST /v1/ingest  binary float64 slab frames (application/x-quantile-slab)
 //	GET  /quantile   ?phi=0.5,0.95,0.99
 //	GET  /cdf        ?v=123.4
 //	GET  /histogram  ?buckets=10
@@ -23,14 +24,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	quantile "repro"
+	"repro/internal/codec"
 	"repro/internal/engine"
 	"repro/internal/ingest"
 	"repro/internal/obs"
@@ -75,6 +79,7 @@ func New(eps, delta float64, shards int, opts ...quantile.Option) (*Server, erro
 		clock:   time.Now,
 	}
 	s.mux.Handle("POST /add", s.instrument("add", s.handleAdd))
+	s.mux.Handle("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
 	s.mux.Handle("GET /quantile", s.instrument("quantile", s.handleQuantile))
 	s.mux.Handle("GET /cdf", s.instrument("cdf", s.handleCDF))
 	s.mux.Handle("GET /histogram", s.instrument("histogram", s.handleHistogram))
@@ -111,6 +116,7 @@ func NewEngine(g *engine.Guarded) (*Server, error) {
 		clock:   time.Now,
 	}
 	s.mux.Handle("POST /add", s.instrument("add", s.handleAdd))
+	s.mux.Handle("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
 	s.mux.Handle("GET /quantile", s.instrument("quantile", s.handleQuantile))
 	s.mux.Handle("GET /cdf", s.instrument("cdf", s.handleCDF))
 	s.mux.Handle("GET /histogram", s.instrument("histogram", s.handleHistogram))
@@ -235,13 +241,51 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// contentTypeOf returns the request's media type, lowercased and stripped
+// of parameters ("text/plain; charset=utf-8" → "text/plain").
+func contentTypeOf(r *http.Request) string {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(ct))
+}
+
+// addScratch is the pooled per-request working set of the text /add path:
+// the parse batch and the scanner's token buffer.
+type addScratch struct {
+	batch []float64
+	scan  []byte
+}
+
+var addPool = sync.Pool{New: func() any {
+	return &addScratch{batch: make([]float64, 0, 4096), scan: make([]byte, 1<<16)}
+}}
+
+// ingestPool pools the binary slab decoders (frame scratch + element slice).
+var ingestPool = sync.Pool{New: func() any { return new(codec.IngestDecoder) }}
+
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	switch ct := contentTypeOf(r); ct {
+	case "", "text/plain", "application/x-www-form-urlencoded", "application/octet-stream":
+		// Text bodies under their usual labels.
+	case codec.IngestContentType:
+		writeError(w, http.StatusUnsupportedMediaType,
+			"content type %q: binary slab frames go to POST /v1/ingest", ct)
+		return
+	default:
+		writeError(w, http.StatusUnsupportedMediaType,
+			"content type %q: POST /add takes whitespace-separated numbers as text", ct)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	reader := ingest.Plain(body, ingest.Options{})
+	scratch := addPool.Get().(*addScratch)
+	defer addPool.Put(scratch)
+	reader := ingest.Plain(body, ingest.Options{ScanBuf: scratch.scan})
 	var added uint64
 	// Batch parsed values and feed them through the sketch's bulk path —
 	// one shard-lock acquisition per batch instead of per value.
-	batch := make([]float64, 0, 4096)
+	batch := scratch.batch[:0]
 	flush := func() {
 		s.addAll(batch)
 		added += uint64(len(batch))
@@ -265,6 +309,44 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]uint64{"added": added, "total": s.count()})
+}
+
+// handleIngest is the wire-speed binary path: a body of slab frames
+// (internal/codec ingest format) decoded with pooled scratch, each frame
+// handed to the sketch's bulk path in one AddAll. Frames decoded before an
+// error are already ingested and are reported in the error body.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if ct := contentTypeOf(r); ct != codec.IngestContentType {
+		writeError(w, http.StatusUnsupportedMediaType,
+			"content type %q: POST /v1/ingest takes %s", ct, codec.IngestContentType)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := ingestPool.Get().(*codec.IngestDecoder)
+	defer ingestPool.Put(dec)
+	dec.Reset(body)
+	var added, frames uint64
+	for {
+		vals, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					"body exceeds %d bytes (accepted %d values in %d frames; split the load into smaller requests)",
+					tooBig.Limit, added, frames)
+				return
+			}
+			writeError(w, http.StatusBadRequest, "frame %d (after %d values): %v", frames+1, added, err)
+			return
+		}
+		s.addAll(vals)
+		added += uint64(len(vals))
+		frames++
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"added": added, "frames": frames, "total": s.count()})
 }
 
 func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,72 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// fillSeq loads bf with k ascending values at the given weight, the way a
+// completed fill or an earlier collapse would.
+func fillSeq(bf *Buffer[float64], base float64, w uint64) {
+	for i := range bf.Data {
+		bf.Data[i] = base + float64(i)
+	}
+	bf.Fill = len(bf.Data)
+	bf.Weight = w
+	bf.State = Full
+	bf.unsorted = true
+}
+
+// TestCollapseSteadyStateAllocs pins the pooled collapse budget: once the
+// Collapser's key/weight arenas are warm, repeated collapses — equal and
+// mixed weights, so both the index-select and the cum-scan radix paths
+// run — allocate nothing.
+func TestCollapseSteadyStateAllocs(t *testing.T) {
+	const k = 256
+	c := NewCollapser[float64](k)
+	a, b, d := New[float64](k), New[float64](k), New[float64](k)
+	set := []*Buffer[float64]{a, b, d}
+
+	for _, weights := range [][3]uint64{{1, 1, 1}, {3, 1, 2}} {
+		reload := func() {
+			fillSeq(a, 0.25, weights[0])
+			fillSeq(b, 0.5, weights[1])
+			fillSeq(d, 0.75, weights[2])
+		}
+		reload()
+		c.Collapse(set, a) // warm the arenas
+		allocs := testing.AllocsPerRun(10, func() {
+			reload()
+			c.Collapse(set, a)
+		})
+		if allocs > 0 {
+			t.Errorf("weights %v: collapse allocates %.0f objects per run, want 0", weights, allocs)
+		}
+	}
+}
+
+// TestPushBulkSteadyStateAllocs pins the fill-side budget: streaming a
+// block through Filler.PushBulk into a reused buffer allocates nothing
+// once the buffer exists.
+func TestPushBulkSteadyStateAllocs(t *testing.T) {
+	const k = 512
+	buf := New[float64](k)
+	rg := rng.New(42)
+	var f Filler[float64]
+	block := make([]float64, 4096)
+	for i := range block {
+		block[i] = float64(i)
+	}
+	run := func() {
+		buf.Clear()
+		f.Start(buf, 16, rg) // sampling regime: rate 16
+		f.PushBulk(block)
+		f.Finish()
+	}
+	run() // warm
+	allocs := testing.AllocsPerRun(10, run)
+	if allocs > 0 {
+		t.Errorf("PushBulk allocates %.0f objects per run, want 0", allocs)
+	}
+}

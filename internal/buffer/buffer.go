@@ -42,15 +42,25 @@ func (s State) String() string {
 }
 
 // Buffer is a weighted buffer of capacity k. Data[:Fill] holds the elements,
-// sorted ascending once the buffer leaves the Empty state. Weight is the
-// per-element weight w(X): each stored element stands for Weight consecutive
-// input elements. Level is the buffer's level in the collapse tree.
+// sorted ascending once the buffer leaves the Empty state — except while the
+// unsorted flag is set, which marks a finalized buffer whose sort has been
+// deferred (see EnsureSorted). Weight is the per-element weight w(X): each
+// stored element stands for Weight consecutive input elements. Level is the
+// buffer's level in the collapse tree.
 type Buffer[T cmp.Ordered] struct {
 	Data   []T
 	Fill   int
 	Weight uint64
 	Level  int
 	State  State
+
+	// unsorted defers the sort that used to run eagerly when a fill
+	// completed: Collapse's float64 fast path radix-sorts the concatenated
+	// inputs in one pass, so sorting each leaf individually first would be
+	// pure waste. Every reader that needs sorted order (queries, shipping,
+	// checkpoints, the generic merge walks) goes through EnsureSorted or
+	// Elements, which settle the debt on demand.
+	unsorted bool
 }
 
 // New allocates an empty buffer of capacity k.
@@ -76,11 +86,25 @@ func (b *Buffer[T]) Clear() {
 	b.Weight = 0
 	b.Level = 0
 	b.State = Empty
+	b.unsorted = false
+}
+
+// EnsureSorted sorts the buffer's elements if a completed fill deferred its
+// sort. Callers that hand buffers to concurrent readers must call this (or
+// Elements) under the same lock that guards mutation.
+func (b *Buffer[T]) EnsureSorted() {
+	if b.unsorted {
+		b.unsorted = false
+		slices.Sort(b.Data[:b.Fill])
+	}
 }
 
 // Elements returns the live elements (sorted). The slice aliases the
 // buffer's storage; callers must not modify it.
-func (b *Buffer[T]) Elements() []T { return b.Data[:b.Fill] }
+func (b *Buffer[T]) Elements() []T {
+	b.EnsureSorted()
+	return b.Data[:b.Fill]
+}
 
 // FillFrom implements the New operation (paper Section 3.1): populate an
 // empty buffer by drawing one uniformly random element from each of k
@@ -140,6 +164,15 @@ type Filler[T cmp.Ordered] struct {
 // rate r ≥ 1. The buffer's weight is set to r immediately; its level is the
 // caller's responsibility.
 func StartFill[T cmp.Ordered](b *Buffer[T], r uint64, rg *rng.RNG) *Filler[T] {
+	f := &Filler[T]{}
+	f.Start(b, r, rg)
+	return f
+}
+
+// Start (re)initializes the Filler in place for a New operation on the given
+// empty buffer — the pooled form of StartFill, letting a sketch reuse one
+// Filler value across every leaf fill instead of allocating one per leaf.
+func (f *Filler[T]) Start(b *Buffer[T], r uint64, rg *rng.RNG) {
 	if b.State != Empty {
 		panic("buffer: StartFill on non-empty buffer")
 	}
@@ -147,7 +180,7 @@ func StartFill[T cmp.Ordered](b *Buffer[T], r uint64, rg *rng.RNG) *Filler[T] {
 		panic("buffer: sampling rate must be >= 1")
 	}
 	b.Weight = r
-	return &Filler[T]{buf: b, rate: r, rg: rg}
+	*f = Filler[T]{buf: b, rate: r, rg: rg}
 }
 
 // drawTarget picks the kept position of a fresh block, uniform over [1, r].
@@ -169,7 +202,7 @@ func (f *Filler[T]) commitBlock() bool {
 	f.target = 0
 	if b.Fill == len(b.Data) {
 		b.State = Full
-		slices.Sort(b.Data)
+		b.unsorted = true
 		f.done = true
 		return true
 	}
@@ -216,7 +249,7 @@ func (f *Filler[T]) PushBulk(vs []T) (consumed int, full bool) {
 		b.Fill += m
 		if b.Fill == len(b.Data) {
 			b.State = Full
-			slices.Sort(b.Data)
+			b.unsorted = true
 			f.done = true
 			return m, true
 		}
@@ -277,7 +310,7 @@ func (f *Filler[T]) Finish() {
 	} else {
 		b.State = Partial
 	}
-	slices.Sort(b.Data[:b.Fill])
+	b.unsorted = true
 }
 
 // Progress returns the fill's mid-block state for checkpointing: how many
@@ -341,6 +374,7 @@ func (f *Filler[T]) Snapshot(dst *Buffer[T]) {
 		dst.Fill++
 	}
 	slices.Sort(dst.Data[:dst.Fill])
+	dst.unsorted = false
 	if dst.Fill == dst.K() {
 		dst.State = Full
 	} else {
@@ -373,6 +407,7 @@ func mergeWalk[T cmp.Ordered](bufs []*Buffer[T], emit func(v T, lo, hi uint64) b
 	}
 	for _, b := range bufs {
 		if b.Fill > 0 {
+			b.EnsureSorted()
 			cursors = append(cursors, cursor[T]{buf: b})
 		}
 	}
@@ -429,6 +464,14 @@ type Collapser[T cmp.Ordered] struct {
 	cursors []cursor[T]
 	nodes   []int
 
+	// Pooled radix-collapse storage (the float64 fast path): order-preserving
+	// key images of the concatenated inputs plus ping-pong and per-element
+	// weight payload arrays. Grown once, reused by every collapse.
+	keys   []uint64
+	keyTmp []uint64
+	wts    []uint64
+	wtsTmp []uint64
+
 	// sortBaseline switches Collapse to the materialize-and-sort reference
 	// implementation. Test-only: benchmarks compare the merge against it and
 	// correctness tests cross-check the two.
@@ -458,6 +501,15 @@ func (c *Collapser[T]) SetState(evenLow bool, collapses, weightSum uint64) {
 	c.evenLow = evenLow
 	c.Collapses = collapses
 	c.WeightSum = weightSum
+}
+
+// Reset returns the collapser to its initial state (offset parity and the
+// C/W counters) while keeping every grown scratch arena, so resetting a
+// sketch does not re-pay the collapse path's allocations.
+func (c *Collapser[T]) Reset() {
+	c.evenLow = true
+	c.Collapses = 0
+	c.WeightSum = 0
 }
 
 // Collapse merges the given full buffers (paper Section 3.2): conceptually
@@ -501,27 +553,29 @@ func (c *Collapser[T]) Collapse(bufs []*Buffer[T], dst *Buffer[T]) {
 		c.evenLow = true
 	}
 
-	out := c.scratch[:0]
-	target := first
-	emit := func(v T, lo, hi uint64) bool {
-		for target >= lo && target <= hi {
-			out = append(out, v)
-			if len(out) == k {
-				return false
+	if c.sortBaseline || !c.tryRadix(bufs, first, wOut) {
+		out := c.scratch[:0]
+		target := first
+		emit := func(v T, lo, hi uint64) bool {
+			for target >= lo && target <= hi {
+				out = append(out, v)
+				if len(out) == k {
+					return false
+				}
+				target += wOut
 			}
-			target += wOut
+			return true
 		}
-		return true
-	}
-	if c.sortBaseline {
-		c.sortWalk(bufs, emit)
-	} else {
-		c.tournamentWalk(bufs, emit)
-	}
-	if len(out) != k {
-		// Unreachable for full inputs: the weighted sequence has k·wOut
-		// elements and targets fit inside it.
-		panic(fmt.Sprintf("buffer: Collapse selected %d of %d elements", len(out), k))
+		if c.sortBaseline {
+			c.sortWalk(bufs, emit)
+		} else {
+			c.tournamentWalk(bufs, emit)
+		}
+		if len(out) != k {
+			// Unreachable for full inputs: the weighted sequence has k·wOut
+			// elements and targets fit inside it.
+			panic(fmt.Sprintf("buffer: Collapse selected %d of %d elements", len(out), k))
+		}
 	}
 
 	for _, b := range bufs {
@@ -529,13 +583,28 @@ func (c *Collapser[T]) Collapse(bufs []*Buffer[T], dst *Buffer[T]) {
 			b.Clear()
 		}
 	}
-	copy(dst.Data, out)
+	copy(dst.Data, c.scratch[:k])
 	dst.Fill = k
 	dst.Weight = wOut
 	dst.State = Full
+	dst.unsorted = false
 
 	c.Collapses++
 	c.WeightSum += wOut
+}
+
+// tryRadix dispatches to the float64 radix fast path, which fuses the
+// deferred leaf sorts, the weighted merge and the k-spaced selection into
+// one pass over the concatenated raw inputs. It returns true when
+// c.scratch[:k] holds the selection; any other element type, or a NaN in
+// the inputs (whose ordering is defined by cmp.Less, not by bit pattern),
+// falls back to the generic tournament merge.
+func (c *Collapser[T]) tryRadix(bufs []*Buffer[T], first, wOut uint64) bool {
+	cf, ok := any(c).(*Collapser[float64])
+	if !ok {
+		return false
+	}
+	return radixCollapse(cf, any(bufs).([]*Buffer[float64]), first, wOut)
 }
 
 // tournamentWalk is the Collapse-side weighted merge: a loser-tree-style
@@ -547,6 +616,7 @@ func (c *Collapser[T]) tournamentWalk(bufs []*Buffer[T], emit func(v T, lo, hi u
 	cur := c.cursors[:0]
 	for _, b := range bufs {
 		if b.Fill > 0 {
+			b.EnsureSorted()
 			cur = append(cur, cursor[T]{buf: b})
 		}
 	}

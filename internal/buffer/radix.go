@@ -1,0 +1,206 @@
+package buffer
+
+import (
+	"fmt"
+	"math"
+)
+
+// Radix-sorted collapse: the float64 fast path behind Collapse.
+//
+// Profiles of the MRL99 ingest loop put ~95% of the per-element cost in two
+// places: the comparison sort each leaf paid on becoming Full, and the
+// tournament merge inside Collapse. Both disappear for float64 streams by
+// (1) deferring the leaf sorts (Buffer.unsorted) and (2) collapsing via an
+// LSD radix sort over the *unsorted* concatenation of the inputs, fused with
+// the weighted k-spaced selection. The radix key is the classic
+// order-preserving bit image of a float64, so one 8-pass byte sort replaces
+// b·k·log(k) comparisons with b·k·(passes) table-driven moves — and passes
+// over bytes the whole input agrees on are skipped outright.
+//
+// NaN is the one value whose cmp.Less order (NaN first) disagrees with the
+// bit-image order, so radixCollapse refuses streams containing NaN before
+// touching any state and Collapse falls back to the comparison merge.
+
+// flipKey maps a float64 to a uint64 whose unsigned order equals the
+// float's ascending order: positives get the sign bit set, negatives are
+// bitwise complemented (reversing their order and clearing the sign bit).
+func flipKey(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// unflipKey inverts flipKey.
+func unflipKey(k uint64) float64 {
+	if k&(1<<63) != 0 {
+		return math.Float64frombits(k &^ (1 << 63))
+	}
+	return math.Float64frombits(^k)
+}
+
+// radixHist builds all eight byte histograms of keys in a single pass.
+// The histograms are invariant under permutation, so they describe every
+// intermediate ordering of the ping-pong passes too.
+func radixHist(keys []uint64, hist *[8][256]uint32) {
+	for _, k := range keys {
+		hist[0][byte(k)]++
+		hist[1][byte(k>>8)]++
+		hist[2][byte(k>>16)]++
+		hist[3][byte(k>>24)]++
+		hist[4][byte(k>>32)]++
+		hist[5][byte(k>>40)]++
+		hist[6][byte(k>>48)]++
+		hist[7][byte(k>>56)]++
+	}
+}
+
+// radixSortKeys sorts keys ascending by LSD radix over 8-bit digits, using
+// tmp (same length) as the ping-pong partner. It returns the slice that
+// holds the sorted data, which is keys or tmp depending on how many passes
+// ran. Passes whose digit is constant across the input are skipped.
+func radixSortKeys(keys, tmp []uint64) []uint64 {
+	n := len(keys)
+	if n < 2 {
+		return keys
+	}
+	var hist [8][256]uint32
+	radixHist(keys, &hist)
+	src, dst := keys, tmp
+	for pass := 0; pass < 8; pass++ {
+		shift := uint(8 * pass)
+		h := &hist[pass]
+		if h[byte(src[0]>>shift)] == uint32(n) {
+			continue
+		}
+		var offs [256]uint32
+		var sum uint32
+		for i := range h {
+			offs[i] = sum
+			sum += h[i]
+		}
+		for _, k := range src {
+			b := byte(k >> shift)
+			dst[offs[b]] = k
+			offs[b]++
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+// radixSortKeysW is radixSortKeys with a parallel uint64 payload (the
+// per-element weights of a mixed-weight collapse) carried through each
+// pass. LSD counting passes are stable, so equal keys keep input order.
+func radixSortKeysW(keys, tmp, wts, wtsTmp []uint64) (sortedKeys, sortedWts []uint64) {
+	n := len(keys)
+	if n < 2 {
+		return keys, wts
+	}
+	var hist [8][256]uint32
+	radixHist(keys, &hist)
+	ks, kd := keys, tmp
+	ws, wd := wts, wtsTmp
+	for pass := 0; pass < 8; pass++ {
+		shift := uint(8 * pass)
+		h := &hist[pass]
+		if h[byte(ks[0]>>shift)] == uint32(n) {
+			continue
+		}
+		var offs [256]uint32
+		var sum uint32
+		for i := range h {
+			offs[i] = sum
+			sum += h[i]
+		}
+		for i, k := range ks {
+			b := byte(k >> shift)
+			o := offs[b]
+			kd[o] = k
+			wd[o] = ws[i]
+			offs[b]++
+		}
+		ks, kd = kd, ks
+		ws, wd = wd, ws
+	}
+	return ks, ws
+}
+
+// radixCollapse runs the fused sort+merge+selection for float64 buffers,
+// writing the k selected elements into c.scratch[:k]. It reads the raw
+// (possibly unsorted) buffer contents directly — the deferred leaf sorts
+// are never paid. Returns false without touching any buffer or collapser
+// state when the inputs contain NaN, whose cmp.Less ordering the bit-image
+// key cannot reproduce; Collapse then takes the comparison path.
+//
+// This is a free function rather than a method because Go does not allow
+// methods on an instantiated generic type; Collapse reaches it through a
+// runtime type switch in tryRadix.
+func radixCollapse(c *Collapser[float64], bufs []*Buffer[float64], first, wOut uint64) bool {
+	n := 0
+	equal := true
+	w0 := bufs[0].Weight
+	for _, b := range bufs {
+		n += b.Fill
+		if b.Weight != w0 {
+			equal = false
+		}
+	}
+	if cap(c.keys) < n {
+		c.keys = make([]uint64, n)
+		c.keyTmp = make([]uint64, n)
+	}
+	keys := c.keys[:0]
+	for _, b := range bufs {
+		for _, v := range b.Data[:b.Fill] {
+			if v != v { // NaN: bail before any state changes
+				return false
+			}
+			keys = append(keys, flipKey(v))
+		}
+	}
+
+	k := len(c.scratch)
+	out := c.scratch[:k]
+	if equal {
+		// Equal weights collapse the cum-scan to arithmetic: sorted element
+		// i occupies weighted positions [i·w0+1, (i+1)·w0], so target t maps
+		// to index (t−1)/w0.
+		sorted := radixSortKeys(keys, c.keyTmp[:n])
+		t := first
+		for j := 0; j < k; j++ {
+			out[j] = unflipKey(sorted[(t-1)/w0])
+			t += wOut
+		}
+		return true
+	}
+
+	if cap(c.wts) < n {
+		c.wts = make([]uint64, n)
+		c.wtsTmp = make([]uint64, n)
+	}
+	wts := c.wts[:0]
+	for _, b := range bufs {
+		for i := 0; i < b.Fill; i++ {
+			wts = append(wts, b.Weight)
+		}
+	}
+	sk, sw := radixSortKeysW(keys, c.keyTmp[:n], wts, c.wtsTmp[:n])
+	t := first
+	j := 0
+	var cum uint64
+	for i := 0; i < n && j < k; i++ {
+		cum += sw[i]
+		for j < k && t <= cum {
+			out[j] = unflipKey(sk[i])
+			j++
+			t += wOut
+		}
+	}
+	if j != k {
+		// Unreachable for full inputs, mirroring Collapse's own guard.
+		panic(fmt.Sprintf("buffer: radix collapse selected %d of %d elements", j, k))
+	}
+	return true
+}

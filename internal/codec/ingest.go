@@ -1,0 +1,203 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Ingest slab frames: the wire format behind the HTTP binary ingest path
+// (POST /v1/ingest with Content-Type application/x-quantile-slab).
+//
+// Unlike the sketch-state frames above — which carry structured tree state
+// and pay a varint/name header per blob — an ingest frame is a raw slab of
+// little-endian float64s behind a fixed 9-byte header, so a decoder can
+// hand the payload straight to Sketch.AddAll (the Bulk fast path) without
+// per-element dispatch or any allocation beyond a reused scratch buffer:
+//
+//	offset  size     field
+//	0       4        magic "QSLB"
+//	4       1        version (1)
+//	5       4        count, uint32 little endian
+//	9       8·count  payload: count float64s, little endian
+//	9+8·c   4        CRC-32C (Castagnoli) over header+payload
+//
+// Frames are self-delimiting and concatenate freely, so one HTTP request
+// body (or one socket stream) carries any number of frames back to back.
+
+// IngestContentType is the MIME type of a stream of ingest slab frames.
+const IngestContentType = "application/x-quantile-slab"
+
+// IngestVersion is the current slab frame version.
+const IngestVersion = 1
+
+// MaxIngestFrameElems caps the element count of a single frame (8 MiB of
+// payload). The cap bounds the decoder's scratch growth no matter what a
+// malicious or corrupt header claims.
+const MaxIngestFrameElems = 1 << 20
+
+// ingestHeaderLen is magic + version + count.
+const ingestHeaderLen = 9
+
+var ingestMagic = [4]byte{'Q', 'S', 'L', 'B'}
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Ingest frame decode errors, distinguishable with errors.Is so transport
+// layers can map them to precise protocol diagnostics.
+var (
+	ErrIngestMagic     = errors.New("codec: ingest frame: bad magic")
+	ErrIngestVersion   = errors.New("codec: ingest frame: unsupported version")
+	ErrIngestCount     = errors.New("codec: ingest frame: element count out of range")
+	ErrIngestTruncated = errors.New("codec: ingest frame: truncated")
+	ErrIngestChecksum  = errors.New("codec: ingest frame: checksum mismatch")
+)
+
+// AppendIngestFrame encodes vs as one slab frame onto dst and returns the
+// extended slice. len(vs) must not exceed MaxIngestFrameElems (use
+// IngestEncoder to split arbitrary batches).
+func AppendIngestFrame(dst []byte, vs []float64) []byte {
+	if len(vs) > MaxIngestFrameElems {
+		panic(fmt.Sprintf("codec: ingest frame of %d elements exceeds cap %d", len(vs), MaxIngestFrameElems))
+	}
+	start := len(dst)
+	dst = append(dst, ingestMagic[:]...)
+	dst = append(dst, IngestVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vs)))
+	dst = float64Codec{}.AppendBulk(dst, vs)
+	sum := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// parseIngestHeader validates a 9-byte header and returns the element count.
+func parseIngestHeader(hdr []byte) (int, error) {
+	if [4]byte(hdr[:4]) != ingestMagic {
+		return 0, fmt.Errorf("%w: % x", ErrIngestMagic, hdr[:4])
+	}
+	if hdr[4] != IngestVersion {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrIngestVersion, hdr[4], IngestVersion)
+	}
+	count := binary.LittleEndian.Uint32(hdr[5:9])
+	if count > MaxIngestFrameElems {
+		return 0, fmt.Errorf("%w: %d > %d", ErrIngestCount, count, MaxIngestFrameElems)
+	}
+	return int(count), nil
+}
+
+// DecodeIngestFrame decodes the first frame in data, appending its elements
+// to dst[:0] (reusing dst's storage when large enough) and returning the
+// elements, the bytes remaining after the frame, and any error.
+func DecodeIngestFrame(data []byte, dst []float64) (vals []float64, rest []byte, err error) {
+	if len(data) < ingestHeaderLen {
+		return nil, nil, fmt.Errorf("%w: %d header bytes of %d", ErrIngestTruncated, len(data), ingestHeaderLen)
+	}
+	count, err := parseIngestHeader(data[:ingestHeaderLen])
+	if err != nil {
+		return nil, nil, err
+	}
+	total := ingestHeaderLen + 8*count + 4
+	if len(data) < total {
+		return nil, nil, fmt.Errorf("%w: frame of %d elements needs %d bytes, have %d", ErrIngestTruncated, count, total, len(data))
+	}
+	body, tail := data[:total-4], data[total-4:total]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, nil, ErrIngestChecksum
+	}
+	if cap(dst) < count {
+		dst = make([]float64, count)
+	}
+	vals = dst[:count]
+	if _, err := (float64Codec{}).DecodeBulk(body[ingestHeaderLen:], vals); err != nil {
+		return nil, nil, err
+	}
+	return vals, data[total:], nil
+}
+
+// IngestDecoder reads a stream of slab frames, reusing one payload scratch
+// buffer and one element slice across frames so a steady ingest stream
+// decodes without allocating.
+type IngestDecoder struct {
+	r    io.Reader
+	hdr  [ingestHeaderLen]byte
+	buf  []byte // payload + CRC scratch
+	vals []float64
+}
+
+// Reset points the decoder at a new stream, keeping grown scratch storage.
+func (d *IngestDecoder) Reset(r io.Reader) { d.r = r }
+
+// Next reads and validates one frame, returning its elements. The returned
+// slice is valid until the next call. At a clean end of stream (EOF exactly
+// on a frame boundary) it returns io.EOF; an EOF mid-frame is reported as
+// ErrIngestTruncated.
+func (d *IngestDecoder) Next() ([]float64, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: stream ended inside a frame header: %w", ErrIngestTruncated, err)
+		}
+		return nil, err
+	}
+	count, err := parseIngestHeader(d.hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	need := 8*count + 4
+	if cap(d.buf) < need {
+		d.buf = make([]byte, need)
+	}
+	body := d.buf[:need]
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: stream ended inside a frame of %d elements: %w", ErrIngestTruncated, count, err)
+		}
+		return nil, err
+	}
+	sum := crc32.Checksum(d.hdr[:], castagnoli)
+	sum = crc32.Update(sum, castagnoli, body[:8*count])
+	if sum != binary.LittleEndian.Uint32(body[8*count:]) {
+		return nil, ErrIngestChecksum
+	}
+	if cap(d.vals) < count {
+		d.vals = make([]float64, count)
+	}
+	vals := d.vals[:count]
+	if _, err := (float64Codec{}).DecodeBulk(body[:8*count], vals); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// IngestEncoder writes slab frames to a stream, splitting oversized batches
+// at MaxIngestFrameElems and reusing one encode buffer across calls.
+type IngestEncoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+// Reset points the encoder at a new stream, keeping grown scratch storage.
+func (e *IngestEncoder) Reset(w io.Writer) { e.w = w }
+
+// WriteFrame encodes vs as one or more frames (splitting every
+// MaxIngestFrameElems elements) and writes them to the stream. An empty
+// batch writes nothing: empty frames are legal on the wire but pointless
+// to ship.
+func (e *IngestEncoder) WriteFrame(vs []float64) error {
+	for len(vs) > 0 {
+		n := len(vs)
+		if n > MaxIngestFrameElems {
+			n = MaxIngestFrameElems
+		}
+		e.buf = AppendIngestFrame(e.buf[:0], vs[:n])
+		if _, err := e.w.Write(e.buf); err != nil {
+			return err
+		}
+		vs = vs[n:]
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestIngestRoundTrip(t *testing.T) {
+	batches := [][]float64{
+		{1.5, -2.25, math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1)},
+		{42},
+		make([]float64, 10_000),
+	}
+	for i := range batches[2] {
+		batches[2][i] = float64(i) * 0.5
+	}
+	var stream bytes.Buffer
+	var enc IngestEncoder
+	enc.Reset(&stream)
+	for _, b := range batches {
+		if err := enc.WriteFrame(b); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+
+	var dec IngestDecoder
+	dec.Reset(bytes.NewReader(stream.Bytes()))
+	for i, want := range batches {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("frame %d: Next: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("frame %d: %d elements, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("frame %d elem %d: %v != %v", i, j, got[j], want[j])
+			}
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestIngestDecodeOneShot(t *testing.T) {
+	a := []float64{3, 1, 4, 1, 5}
+	b := []float64{9, 2.6}
+	data := AppendIngestFrame(nil, a)
+	data = AppendIngestFrame(data, b)
+
+	got, rest, err := DecodeIngestFrame(data, nil)
+	if err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if len(got) != len(a) || got[0] != 3 || got[4] != 5 {
+		t.Fatalf("first frame decoded %v", got)
+	}
+	got2, rest, err := DecodeIngestFrame(rest, got)
+	if err != nil {
+		t.Fatalf("second frame: %v", err)
+	}
+	if len(got2) != 2 || got2[1] != 2.6 {
+		t.Fatalf("second frame decoded %v", got2)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after last frame", len(rest))
+	}
+}
+
+func TestIngestEncoderSplitsOversizedBatches(t *testing.T) {
+	vs := make([]float64, MaxIngestFrameElems+5)
+	var stream bytes.Buffer
+	var enc IngestEncoder
+	enc.Reset(&stream)
+	if err := enc.WriteFrame(vs); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	var dec IngestDecoder
+	dec.Reset(bytes.NewReader(stream.Bytes()))
+	first, err := dec.Next()
+	if err != nil || len(first) != MaxIngestFrameElems {
+		t.Fatalf("first frame: %d elements, err %v", len(first), err)
+	}
+	second, err := dec.Next()
+	if err != nil || len(second) != 5 {
+		t.Fatalf("second frame: %d elements, err %v", len(second), err)
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("trailing err = %v, want io.EOF", err)
+	}
+}
+
+// corrupt returns a valid single-frame encoding with f applied to a copy.
+func corrupt(t *testing.T, f func([]byte) []byte) []byte {
+	t.Helper()
+	frame := AppendIngestFrame(nil, []float64{1, 2, 3})
+	return f(append([]byte(nil), frame...))
+}
+
+func TestIngestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"wrong magic", corrupt(t, func(b []byte) []byte { b[0] = 'X'; return b }), ErrIngestMagic},
+		{"wrong version", corrupt(t, func(b []byte) []byte { b[4] = 99; return b }), ErrIngestVersion},
+		{"absurd count", corrupt(t, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[5:9], MaxIngestFrameElems+1)
+			return b
+		}), ErrIngestCount},
+		{"count/length mismatch", corrupt(t, func(b []byte) []byte {
+			// Header claims more elements than the body carries.
+			binary.LittleEndian.PutUint32(b[5:9], 1000)
+			return b
+		}), ErrIngestTruncated},
+		{"truncated header", corrupt(t, func(b []byte) []byte { return b[:5] }), ErrIngestTruncated},
+		{"truncated slab", corrupt(t, func(b []byte) []byte { return b[:len(b)-6] }), ErrIngestTruncated},
+		{"flipped payload bit", corrupt(t, func(b []byte) []byte { b[12] ^= 1; return b }), ErrIngestChecksum},
+		{"flipped crc bit", corrupt(t, func(b []byte) []byte { b[len(b)-1] ^= 1; return b }), ErrIngestChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := DecodeIngestFrame(tc.data, nil); !errors.Is(err, tc.want) {
+				t.Errorf("DecodeIngestFrame: err = %v, want %v", err, tc.want)
+			}
+			var dec IngestDecoder
+			dec.Reset(bytes.NewReader(tc.data))
+			if _, err := dec.Next(); !errors.Is(err, tc.want) {
+				t.Errorf("IngestDecoder.Next: err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestIngestDecoderSteadyStateAllocs(t *testing.T) {
+	frame := AppendIngestFrame(nil, make([]float64, 4096))
+	var dec IngestDecoder
+	rd := bytes.NewReader(frame)
+	// Warm the scratch buffers once.
+	dec.Reset(rd)
+	if _, err := dec.Next(); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		rd.Reset(frame)
+		dec.Reset(rd)
+		if _, err := dec.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state decode allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// FuzzIngestFrame checks that arbitrary bytes never panic the decoders and
+// that anything that decodes re-encodes to the same bytes (the frame format
+// is canonical).
+func FuzzIngestFrame(f *testing.F) {
+	f.Add(AppendIngestFrame(nil, []float64{1, 2, 3}))
+	f.Add(AppendIngestFrame(nil, nil))
+	f.Add(AppendIngestFrame(AppendIngestFrame(nil, []float64{-1}), []float64{math.NaN()}))
+	f.Add([]byte("QSLB"))
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, rest, err := DecodeIngestFrame(data, nil)
+		var dec IngestDecoder
+		dec.Reset(bytes.NewReader(data))
+		sVals, sErr := dec.Next()
+		if (err == nil) != (sErr == nil) {
+			t.Fatalf("one-shot err %v vs stream err %v", err, sErr)
+		}
+		if err != nil {
+			return
+		}
+		if len(vals) != len(sVals) {
+			t.Fatalf("one-shot decoded %d elements, stream %d", len(vals), len(sVals))
+		}
+		for i := range vals {
+			if math.Float64bits(vals[i]) != math.Float64bits(sVals[i]) {
+				t.Fatalf("elem %d: one-shot %v vs stream %v", i, vals[i], sVals[i])
+			}
+		}
+		re := AppendIngestFrame(nil, vals)
+		if !bytes.Equal(re, data[:len(data)-len(rest)]) {
+			t.Fatalf("re-encode of %d elements differs from the consumed bytes", len(vals))
+		}
+	})
+}

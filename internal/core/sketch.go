@@ -39,8 +39,11 @@ type Sketch[T cmp.Ordered] struct {
 
 	fill    *buffer.Filler[T]
 	fillBuf *buffer.Buffer[T]
-	n       uint64
-	version uint64
+	// fillerBox is the pooled Filler storage startFill reuses for every
+	// leaf, so steady-state ingest allocates nothing per New operation.
+	fillerBox buffer.Filler[T]
+	n         uint64
+	version   uint64
 
 	snap     *buffer.Buffer[T]   // scratch for anytime queries mid-fill
 	queryBuf []*buffer.Buffer[T] // pooled scratch for the Output buffer set
@@ -84,7 +87,8 @@ func (s *Sketch[T]) startFill() {
 	// AcquireEmpty may have just collapsed and raised the height.
 	rate, level := s.rateAndLevel()
 	buf.Level = level
-	s.fill = buffer.StartFill(buf, rate, s.rg)
+	s.fillerBox.Start(buf, rate, s.rg)
+	s.fill = &s.fillerBox
 	s.fillBuf = buf
 }
 

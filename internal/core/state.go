@@ -54,7 +54,7 @@ func (t *Tree[T]) SnapshotTree() TreeState[T] {
 	st.EvenLow, st.Collapses, st.CollapseWeights = t.col.State()
 	for _, b := range t.bufs {
 		st.Buffers = append(st.Buffers, BufferState[T]{
-			Data:   append([]T(nil), b.Data[:b.Fill]...),
+			Data:   append([]T(nil), b.Elements()...),
 			Weight: b.Weight,
 			Level:  b.Level,
 			State:  uint8(b.State),

@@ -37,6 +37,14 @@ type Tree[T cmp.Ordered] struct {
 	tracer Tracer
 	ids    map[*buffer.Buffer[T]]uint64
 	nextID uint64
+
+	// Pooled CollapseOnce working set: the full-buffer scan, the policy's
+	// selection scratch and the selected set, reused across every collapse
+	// so the steady-state ingest loop performs no per-collapse allocation.
+	colFull    []*buffer.Buffer[T]
+	colLevels  []int
+	colSet     []*buffer.Buffer[T]
+	polScratch policy.Scratch
 }
 
 // Tracer observes the logical structure of the collapse tree as it grows:
@@ -148,22 +156,30 @@ func (t *Tree[T]) AcquireEmpty() *buffer.Buffer[T] {
 // validator prevents this state from ever being reachable during normal
 // operation).
 func (t *Tree[T]) CollapseOnce() {
-	var full []*buffer.Buffer[T]
-	var levels []int
+	full := t.colFull[:0]
+	levels := t.colLevels[:0]
 	for _, b := range t.bufs {
 		if b.State == buffer.Full {
 			full = append(full, b)
 			levels = append(levels, b.Level)
 		}
 	}
+	t.colFull, t.colLevels = full, levels
 	if len(full) < 2 {
 		panic(fmt.Sprintf("core: collapse with %d full buffers", len(full)))
 	}
-	idx, outLevel := t.pol.Select(levels)
-	set := make([]*buffer.Buffer[T], len(idx))
-	for i, j := range idx {
-		set[i] = full[j]
+	var idx []int
+	var outLevel int
+	if ss, ok := t.pol.(policy.ScratchSelector); ok {
+		idx, outLevel = ss.SelectScratch(levels, &t.polScratch)
+	} else {
+		idx, outLevel = t.pol.Select(levels)
 	}
+	set := t.colSet[:0]
+	for _, j := range idx {
+		set = append(set, full[j])
+	}
+	t.colSet = set
 	dst := set[0]
 	var inIDs []uint64
 	if t.tracer != nil {
@@ -225,7 +241,7 @@ func (t *Tree[T]) Reset(keepAlloc bool) {
 	} else {
 		t.bufs = nil
 	}
-	t.col = buffer.NewCollapser[T](t.k)
+	t.col.Reset()
 	t.leaves = 0
 	t.height = 0
 }

@@ -25,6 +25,9 @@ type Options struct {
 	// SkipBad skips unparseable values instead of failing. Skipped counts
 	// are reported by the reader.
 	SkipBad bool
+	// ScanBuf, if non-nil, is used as the scanner's initial buffer (Plain
+	// only) so pooling callers avoid the per-reader 64 KiB allocation.
+	ScanBuf []byte
 }
 
 // Reader streams float64 values from a text source.
@@ -66,7 +69,11 @@ func (r *Reader) Drain(add func(float64)) error {
 // Plain returns a Reader over whitespace-separated numbers.
 func Plain(src io.Reader, opts Options) *Reader {
 	sc := bufio.NewScanner(src)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	buf := opts.ScanBuf
+	if buf == nil {
+		buf = make([]byte, 1<<16)
+	}
+	sc.Buffer(buf, 1<<20)
 	sc.Split(bufio.ScanWords)
 	r := &Reader{}
 	token := 0

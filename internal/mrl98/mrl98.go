@@ -59,7 +59,9 @@ type Sketch[T cmp.Ordered] struct {
 
 	fill    *buffer.Filler[T]
 	fillBuf *buffer.Buffer[T]
-	n       uint64
+	// fillerBox is the pooled Filler storage reused for every leaf fill.
+	fillerBox buffer.Filler[T]
+	n         uint64
 
 	snap     *buffer.Buffer[T]
 	queryBuf []*buffer.Buffer[T]
@@ -94,7 +96,8 @@ func (s *Sketch[T]) Add(v T) {
 func (s *Sketch[T]) startFill() {
 	buf := s.tree.AcquireEmpty()
 	buf.Level = 0
-	s.fill = buffer.StartFill(buf, s.cfg.Rate, s.rg)
+	s.fillerBox.Start(buf, s.cfg.Rate, s.rg)
+	s.fill = &s.fillerBox
 	s.fillBuf = buf
 }
 

@@ -17,15 +17,19 @@
 package perf
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	quantile "repro"
 	"repro/cluster"
+	"repro/internal/codec"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/stream"
@@ -39,11 +43,12 @@ const (
 	FamilyQuery   = "query"   // query-serving rows
 	FamilyCluster = "cluster" // coordinator shipment path
 	FamilyEngine  = "engine"  // per-engine ingest + cached-query rows
+	FamilyBinary  = "binary"  // framed-slab wire ingest rows
 )
 
 // Families lists the known row families in display order.
 func Families() []string {
-	return []string{FamilyIngest, FamilyQuery, FamilyCluster, FamilyEngine}
+	return []string{FamilyIngest, FamilyQuery, FamilyCluster, FamilyEngine, FamilyBinary}
 }
 
 // Row is one measured ingest path.
@@ -98,8 +103,14 @@ type Config struct {
 	Engines []string
 }
 
-// DefaultConfig returns the baseline-generation configuration.
-func DefaultConfig() Config { return Config{N: 1 << 20, Reps: 5} }
+// DefaultConfig returns the baseline-generation configuration. The binary
+// wire rows run at a larger N than the in-memory rows: the slab path's
+// fixed costs (frame headers, CRC, decoder state) amortize across frames,
+// and the paper-facing claim — wire-speed ingest under 20 ns/elem — is a
+// steady-state number, not a cold-start one.
+func DefaultConfig() Config {
+	return Config{N: 1 << 20, Reps: 5, FamilyN: map[string]int{FamilyBinary: 1 << 23}}
+}
 
 const schemaName = "qbench-perf/v2"
 
@@ -408,6 +419,69 @@ func Run(cfg Config) (Report, error) {
 		return rep, err
 	}
 
+	// Binary wire rows: the framed float64 slab protocol end to end,
+	// minus HTTP itself. The slab is encoded once (64Ki-value frames, the
+	// load driver's shape); ingest-binary-decode isolates the frame
+	// decoder, ingest-binary-bulk is decode + AddAll — the work one
+	// POST /v1/ingest performs per frame.
+	binData := data
+	if nFor(FamilyBinary) != nFor(FamilyIngest) {
+		binData = stream.Collect(stream.Uniform(uint64(nFor(FamilyBinary)), 0xbe9c4))
+	}
+	var slab []byte
+	for off := 0; off < len(binData); off += 1 << 16 {
+		end := off + 1<<16
+		if end > len(binData) {
+			end = len(binData)
+		}
+		slab = codec.AppendIngestFrame(slab, binData[off:end])
+	}
+	var binDec codec.IngestDecoder
+	binRd := bytes.NewReader(slab)
+	var binSink float64
+	addRow(FamilyBinary, "ingest-binary-decode", len(binData), func() {
+		binRd.Reset(slab)
+		binDec.Reset(binRd)
+	}, func() {
+		for {
+			vals, derr := binDec.Next()
+			if derr != nil {
+				if derr != io.EOF {
+					err = derr
+				}
+				return
+			}
+			binSink += vals[0]
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	bsk, err := quantile.New[float64](eps, delta, quantile.WithSeed(1))
+	if err != nil {
+		return rep, err
+	}
+	addRow(FamilyBinary, "ingest-binary-bulk", len(binData), func() {
+		bsk.Reset()
+		binRd.Reset(slab)
+		binDec.Reset(binRd)
+	}, func() {
+		for {
+			vals, derr := binDec.Next()
+			if derr != nil {
+				if derr != io.EOF {
+					err = derr
+				}
+				return
+			}
+			bsk.AddAll(vals)
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
 	// Per-engine rows: the same unknown-N ingest and cached-query workload
 	// through each pluggable backend, so EXPERIMENTS.md can table
 	// MRL99-vs-KLL-vs-GK speed next to the conformance grid's accuracy.
@@ -487,10 +561,27 @@ func buildEnvelopes(eps, delta float64, n int) ([]cluster.Envelope, uint64, erro
 	return envs, total, nil
 }
 
+// allocGatedPrefixes names the row families whose allocs/op the gate also
+// enforces: the pooled single-sketch and wire-ingest hot paths, where a
+// reintroduced per-block allocation is a real regression. The concurrent
+// and query rows are excluded — their counts ride on goroutine scheduling.
+var allocGatedPrefixes = []string{"unknown-n", "known-n", "ingest-binary", "engine-ingest"}
+
+func allocGated(name string) bool {
+	for _, p := range allocGatedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
 // Compare checks cur against a baseline: a row regresses when its ns/elem
 // exceeds the baseline's by more than tolerance (a fraction, e.g. 0.25)
-// after scaling the baseline by the machines' calibration ratio. It returns
-// one message per violation; empty means the gate passes.
+// after scaling the baseline by the machines' calibration ratio — and, on
+// the alloc-gated hot-path rows (see allocGatedPrefixes), when its
+// allocs/op exceeds the baseline's by more than half plus a small constant.
+// It returns one message per violation; empty means the gate passes.
 //
 // The runs must use matching stream sizes: per-element costs carry fixed
 // overheads (most visibly the cluster rows' per-envelope decode) that are
@@ -531,6 +622,17 @@ func Compare(cur, base Report, tolerance float64) []string {
 			violations = append(violations, fmt.Sprintf(
 				"%s: %.1f ns/elem exceeds baseline %.1f ns/elem (allowed %.1f after %.2fx calibration scaling, tolerance %d%%)",
 				r.Name, r.NsPerElem, b.NsPerElem, allowed, scale, int(tolerance*100)))
+		}
+		if allocGated(r.Name) {
+			// Allocation counts are machine-independent, so the slack is
+			// structural, not calibrated: half again plus a small constant
+			// for runtime noise (GC assists, map growth) around a ~0 base.
+			allowedAllocs := b.AllocsPerOp + b.AllocsPerOp/2 + 16
+			if r.AllocsPerOp > allowedAllocs {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %d allocs/op exceeds baseline %d (allowed %d)",
+					r.Name, r.AllocsPerOp, b.AllocsPerOp, allowedAllocs))
+			}
 		}
 	}
 	missing := make([]string, 0, len(baseRows))

@@ -71,6 +71,50 @@ func TestFamilyNSizesOneFamily(t *testing.T) {
 	}
 }
 
+func TestRunEmitsBinaryRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-timed harness")
+	}
+	rep := small(t, Config{FamilyN: map[string]int{FamilyBinary: 2048}, Engines: []string{engine.MRL99}})
+	rows := rowsByName(rep)
+	for _, name := range []string{"ingest-binary-decode", "ingest-binary-bulk"} {
+		r, ok := rows[name]
+		if !ok {
+			t.Fatalf("missing row %s in %v", name, rep.Rows)
+		}
+		if r.N != 2048 || r.Elems != 2048 {
+			t.Errorf("%s recorded n=%d elems=%d, want 2048", name, r.N, r.Elems)
+		}
+		if r.NsPerElem <= 0 {
+			t.Errorf("%s measured %v ns/elem", name, r.NsPerElem)
+		}
+	}
+}
+
+func TestCompareGatesAllocsOnHotPathRows(t *testing.T) {
+	base := Report{N: 1 << 20, Rows: []Row{
+		{Name: "ingest-binary-bulk", N: 1 << 20, NsPerElem: 10, AllocsPerOp: 0},
+		{Name: "concurrent", N: 1 << 20, NsPerElem: 10, AllocsPerOp: 0},
+	}}
+	cur := Report{N: 1 << 20, Rows: []Row{
+		{Name: "ingest-binary-bulk", N: 1 << 20, NsPerElem: 10, AllocsPerOp: 20_000},
+		{Name: "concurrent", N: 1 << 20, NsPerElem: 10, AllocsPerOp: 20_000},
+	}}
+	vs := Compare(cur, base, 0.25)
+	if len(vs) != 1 || !strings.HasPrefix(vs[0], "ingest-binary-bulk:") || !strings.Contains(vs[0], "allocs/op") {
+		t.Fatalf("want one allocs/op violation on the gated row only, got %v", vs)
+	}
+
+	// Within the slack (base + base/2 + 16) nothing trips.
+	ok := Report{N: 1 << 20, Rows: []Row{
+		{Name: "ingest-binary-bulk", N: 1 << 20, NsPerElem: 10, AllocsPerOp: 16},
+		{Name: "concurrent", N: 1 << 20, NsPerElem: 10, AllocsPerOp: 0},
+	}}
+	if vs := Compare(ok, base, 0.25); len(vs) != 0 {
+		t.Fatalf("allocs within slack should pass, got %v", vs)
+	}
+}
+
 func TestRunRejectsUnknownFamilyAndEngine(t *testing.T) {
 	if _, err := Run(Config{N: 64, Reps: 1, FamilyN: map[string]int{"shard": 64}}); err == nil || !strings.Contains(err.Error(), `"shard"`) {
 		t.Errorf("unknown family not named: %v", err)

@@ -35,6 +35,24 @@ type Policy interface {
 	Name() string
 }
 
+// Scratch is caller-owned reusable storage for SelectScratch, letting a
+// collapse tree run thousands of policy selections without allocating.
+// The zero value is ready to use.
+type Scratch struct {
+	order []int
+	idx   []int
+}
+
+// ScratchSelector is implemented by policies whose selection can run
+// allocation-free against caller-owned Scratch. The returned index slice
+// aliases the scratch and is valid until the next SelectScratch call.
+// All built-in policies implement it; collapse hot paths type-assert and
+// fall back to Select for external policies that do not.
+type ScratchSelector interface {
+	Policy
+	SelectScratch(levels []int, s *Scratch) (indices []int, outLevel int)
+}
+
 // MRL returns the paper's collapse policy: find the smallest level ℓ* such
 // that at least two full buffers have level ≤ ℓ*, collapse all buffers with
 // level ≤ ℓ*, and assign the output level ℓ*+1. (A lone buffer below ℓ* is
@@ -46,18 +64,23 @@ type mrlPolicy struct{}
 
 func (mrlPolicy) Name() string { return "mrl" }
 
-func (mrlPolicy) Select(levels []int) ([]int, int) {
+func (p mrlPolicy) Select(levels []int) ([]int, int) {
+	return p.SelectScratch(levels, &Scratch{})
+}
+
+func (mrlPolicy) SelectScratch(levels []int, s *Scratch) ([]int, int) {
 	mustAtLeastTwo(levels)
-	order := sortedByLevel(levels)
+	order := sortedByLevel(levels, s)
 	// ℓ* is the level of the second-lowest buffer: every buffer at or below
 	// it collapses together.
 	lstar := levels[order[1]]
-	var idx []int
+	idx := s.idx[:0]
 	for _, i := range order {
 		if levels[i] <= lstar {
 			idx = append(idx, i)
 		}
 	}
+	s.idx = idx
 	return idx, lstar + 1
 }
 
@@ -73,17 +96,23 @@ type mpPolicy struct{}
 
 func (mpPolicy) Name() string { return "munro-paterson" }
 
-func (mpPolicy) Select(levels []int) ([]int, int) {
+func (p mpPolicy) Select(levels []int) ([]int, int) {
+	return p.SelectScratch(levels, &Scratch{})
+}
+
+func (mpPolicy) SelectScratch(levels []int, s *Scratch) ([]int, int) {
 	mustAtLeastTwo(levels)
-	order := sortedByLevel(levels)
+	order := sortedByLevel(levels, s)
 	for i := 1; i < len(order); i++ {
 		a, b := order[i-1], order[i]
 		if levels[a] == levels[b] {
-			return []int{a, b}, levels[a] + 1
+			s.idx = append(s.idx[:0], a, b)
+			return s.idx, levels[a] + 1
 		}
 	}
 	a, b := order[0], order[1]
-	return []int{a, b}, levels[b] + 1
+	s.idx = append(s.idx[:0], a, b)
+	return s.idx, levels[b] + 1
 }
 
 // ARS returns the Alsabti–Ranka–Singh policy: collapse all level-0 buffers
@@ -95,9 +124,13 @@ type arsPolicy struct{}
 
 func (arsPolicy) Name() string { return "ars" }
 
-func (arsPolicy) Select(levels []int) ([]int, int) {
+func (p arsPolicy) Select(levels []int) ([]int, int) {
+	return p.SelectScratch(levels, &Scratch{})
+}
+
+func (arsPolicy) SelectScratch(levels []int, s *Scratch) ([]int, int) {
 	mustAtLeastTwo(levels)
-	var zeros []int
+	zeros := s.idx[:0]
 	maxLevel := 0
 	for i, l := range levels {
 		if l == 0 {
@@ -108,12 +141,14 @@ func (arsPolicy) Select(levels []int) ([]int, int) {
 		}
 	}
 	if len(zeros) >= 2 {
+		s.idx = zeros
 		return zeros, 1
 	}
-	all := make([]int, len(levels))
-	for i := range all {
-		all[i] = i
+	all := zeros[:0]
+	for i := range levels {
+		all = append(all, i)
 	}
+	s.idx = all
 	return all, maxLevel + 1
 }
 
@@ -132,12 +167,13 @@ func ByName(name string) (Policy, error) {
 }
 
 // sortedByLevel returns buffer indices ordered by ascending level (stable on
-// index for determinism).
-func sortedByLevel(levels []int) []int {
-	order := make([]int, len(levels))
-	for i := range order {
-		order[i] = i
+// index for determinism), reusing the scratch's order slice.
+func sortedByLevel(levels []int, s *Scratch) []int {
+	order := s.order[:0]
+	for i := range levels {
+		order = append(order, i)
 	}
+	s.order = order
 	slices.SortStableFunc(order, func(a, b int) int {
 		if levels[a] != levels[b] {
 			return levels[a] - levels[b]
