@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// runKeyedLoad is the multi-tenant load driver: it replays a seeded
+// heavy-tailed (Zipf) key distribution against a live quantiled server's
+// POST /v1/ingest/keyed, then measures per-key query latency on the same
+// key distribution. Like runLoad it needs a running server and is never
+// part of the default sweep:
+//
+//	qbench -target http://localhost:8080 keyedload
+//
+// The Zipf skew means a handful of hot keys absorb most frames — the
+// regime the keyed store's per-entry view cache and zero-alloc hot path
+// are built for — while the tail exercises insert/evict churn.
+func runKeyedLoad(w io.Writer, target string, totalElems, frameElems, keys, queries int, zipfS float64, quick bool) error {
+	if target == "" {
+		return fmt.Errorf("keyedload needs -target, the base URL of a running quantiled server")
+	}
+	if quick {
+		totalElems = min(totalElems, 1<<18)
+		queries = min(queries, 500)
+	}
+	if totalElems <= 0 || frameElems <= 0 {
+		return fmt.Errorf("keyedload: -load-elems and -load-frame must be positive")
+	}
+	if keys <= 0 {
+		return fmt.Errorf("keyedload: -load-keys must be positive")
+	}
+	if zipfS <= 1 {
+		return fmt.Errorf("keyedload: -load-zipf must be > 1 (got %g)", zipfS)
+	}
+	if queries < 0 {
+		return fmt.Errorf("keyedload: -load-queries must be non-negative")
+	}
+	frameElems = min(frameElems, codec.MaxIngestFrameElems)
+
+	frames := (totalElems + frameElems - 1) / frameElems
+	ranks := stream.Zipf(uint64(frames+queries), 7, zipfS, uint64(keys-1))
+	rg := rng.New(1)
+	vals := make([]float64, frameElems)
+	buf := make([]byte, 0, keyedIngestHeaderRoom+8*frameElems)
+	client := &http.Client{Timeout: 30 * time.Second}
+	ingestURL := target + "/v1/ingest/keyed"
+
+	// Ingest phase: one Zipf-drawn key per frame.
+	var sent, requests int
+	var wire int64
+	start := time.Now()
+	for sent < totalElems {
+		rank, _ := ranks.Next()
+		key := fmt.Sprintf("key-%04d", int(rank))
+		n := min(frameElems, totalElems-sent)
+		for i := 0; i < n; i++ {
+			vals[i] = rg.Float64()
+		}
+		buf = codec.AppendKeyedIngestFrame(buf[:0], []byte(key), vals[:n])
+		resp, err := client.Post(ingestURL, codec.KeyedIngestContentType, bytes.NewReader(buf))
+		if err != nil {
+			return fmt.Errorf("keyedload: request %d: %w", requests+1, err)
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("keyedload: request %d: %s: %s", requests+1, resp.Status, bytes.TrimSpace(body))
+		}
+		var ack struct {
+			Added int `json:"added"`
+		}
+		if err := json.Unmarshal(body, &ack); err != nil || ack.Added != n {
+			return fmt.Errorf("keyedload: request %d acknowledged %d of %d values (%v)", requests+1, ack.Added, n, err)
+		}
+		sent += n
+		requests++
+		wire += int64(len(buf))
+	}
+	ingestElapsed := time.Since(start)
+
+	perElem := float64(ingestElapsed.Nanoseconds()) / float64(sent)
+	mbps := float64(wire) / ingestElapsed.Seconds() / (1 << 20)
+	fmt.Fprintf(w, "keyedload: %d values in %d frames (zipf s=%g over %d keys) to %s\n",
+		sent, requests, zipfS, keys, ingestURL)
+	fmt.Fprintf(w, "keyedload: ingest %.2fs wall, %.1f ns/elem end-to-end, %.1f MiB/s on the wire\n",
+		ingestElapsed.Seconds(), perElem, mbps)
+
+	// Query phase: per-key quantile lookups on the same key distribution.
+	// Hot keys hit the server's cached views; evicted tail keys come back
+	// 404, which counts as served (the store is working as configured).
+	if queries > 0 {
+		lat := make([]time.Duration, 0, queries)
+		var misses int
+		for i := 0; i < queries; i++ {
+			rank, _ := ranks.Next()
+			url := fmt.Sprintf("%s/quantile?key=key-%04d&phi=0.99", target, int(rank))
+			q0 := time.Now()
+			resp, err := client.Get(url)
+			if err != nil {
+				return fmt.Errorf("keyedload: query %d: %w", i+1, err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lat = append(lat, time.Since(q0))
+			switch resp.StatusCode {
+			case http.StatusOK:
+			case http.StatusNotFound:
+				misses++
+			default:
+				return fmt.Errorf("keyedload: query %d: %s", i+1, resp.Status)
+			}
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		fmt.Fprintf(w, "keyedload: %d queries (%d evicted-key misses), p50 %s, p99 %s, p999 %s\n",
+			queries, misses, latPct(lat, 500), latPct(lat, 990), latPct(lat, 999))
+	}
+
+	// Occupancy report from the server's own ledger.
+	resp, err := client.Get(target + "/stats")
+	if err != nil {
+		return fmt.Errorf("keyedload: stats: %w", err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Keyed *struct {
+			Keys       int    `json:"keys"`
+			Created    int    `json:"created"`
+			EvictedLRU int    `json:"evicted_lru"`
+			EvictedTTL int    `json:"evicted_ttl"`
+			Rejected   int    `json:"rejected"`
+			TotalCount uint64 `json:"total_count"`
+			MemBound   int    `json:"memory_bound_elements"`
+		} `json:"keyed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("keyedload: stats: %w", err)
+	}
+	if st.Keyed == nil {
+		return fmt.Errorf("keyedload: server reports no keyed store (start quantiled with -keys-max)")
+	}
+	fmt.Fprintf(w, "keyedload: server holds %d keys (%d created, %d lru-evicted, %d ttl-evicted, %d rejected), %d values total, memory bound %d elements\n",
+		st.Keyed.Keys, st.Keyed.Created, st.Keyed.EvictedLRU, st.Keyed.EvictedTTL,
+		st.Keyed.Rejected, st.Keyed.TotalCount, st.Keyed.MemBound)
+	return nil
+}
+
+// keyedIngestHeaderRoom over-reserves for the frame header, key, and CRC so
+// the reusable encode buffer never regrows for key-%04d keys.
+const keyedIngestHeaderRoom = 64
+
+// latPct indexes a sorted latency slice at the given permille rank.
+func latPct(sorted []time.Duration, permille int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * permille / 1000
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

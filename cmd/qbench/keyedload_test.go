@@ -1,0 +1,66 @@
+package main
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	quantile "repro"
+	"repro/httpapi"
+)
+
+func TestRunKeyedLoadAgainstLiveServer(t *testing.T) {
+	s, err := httpapi.New(0.02, 1e-3, 2, quantile.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cap well under the key space forces the LRU to work for a living:
+	// the report must show bounded occupancy and non-zero evictions.
+	if err := s.SetKeyed(httpapi.KeyedConfig{MaxKeys: 32, Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := runKeyedLoad(&out, srv.URL, 60_000, 1<<10, 256, 200, 1.3, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "60000 values in 59 frames") {
+		t.Fatalf("keyedload report:\n%s", got)
+	}
+	if !strings.Contains(got, "200 queries") || !strings.Contains(got, "p999") {
+		t.Fatalf("missing query latency line:\n%s", got)
+	}
+	m := regexp.MustCompile(`holds (\d+) keys \((\d+) created, (\d+) lru-evicted`).FindStringSubmatch(got)
+	if m == nil {
+		t.Fatalf("missing occupancy line:\n%s", got)
+	}
+	if m[1] == "0" || m[3] == "0" {
+		t.Fatalf("expected bounded occupancy with evictions, got keys=%s evicted=%s:\n%s", m[1], m[3], got)
+	}
+	st := s.Keyed().Stats()
+	if st.Keys > 4*8 { // Shards * ceil(MaxKeys/Shards)
+		t.Fatalf("occupancy %d exceeds the configured bound", st.Keys)
+	}
+}
+
+func TestRunKeyedLoadValidation(t *testing.T) {
+	var out strings.Builder
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"no target", runKeyedLoad(&out, "", 100, 10, 4, 0, 1.3, false)},
+		{"zero elems", runKeyedLoad(&out, "http://x", 0, 10, 4, 0, 1.3, false)},
+		{"zero keys", runKeyedLoad(&out, "http://x", 100, 10, 0, 0, 1.3, false)},
+		{"flat zipf", runKeyedLoad(&out, "http://x", 100, 10, 4, 0, 1.0, false)},
+		{"negative queries", runKeyedLoad(&out, "http://x", 100, 10, 4, -1, 1.3, false)},
+	} {
+		if tc.err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}

@@ -39,8 +39,11 @@ func main() {
 	target := flag.String("target", "", "load: base URL of a running quantiled server")
 	loadElems := flag.Int("load-elems", 1<<22, "load: total values to push")
 	loadFrame := flag.Int("load-frame", 1<<16, "load: values per slab frame")
+	loadKeys := flag.Int("load-keys", 4096, "keyedload: distinct keys in the Zipf key space")
+	loadZipf := flag.Float64("load-zipf", 1.3, "keyedload: Zipf skew s (>1) of the key distribution")
+	loadQueries := flag.Int("load-queries", 2000, "keyedload: per-key quantile queries after ingest")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qbench [-quick] [-json file] [-baseline file] [-tolerance frac] [-bench-n n|family=n,...] [-engine e,...] [experiment ...]\nexperiments: %v\nload (needs -target, never in the default sweep): qbench -target http://host:8080 load\n", experimentOrder)
+		fmt.Fprintf(os.Stderr, "usage: qbench [-quick] [-json file] [-baseline file] [-tolerance frac] [-bench-n n|family=n,...] [-engine e,...] [experiment ...]\nexperiments: %v\nload drivers (need -target, never in the default sweep):\n  qbench -target http://host:8080 load\n  qbench -target http://host:8080 keyedload\n", experimentOrder)
 	}
 	flag.Parse()
 
@@ -54,6 +57,8 @@ func main() {
 			err = runPerf(os.Stdout, *quick, *benchN, *engines, *jsonPath, *baselinePath, *tolerance)
 		} else if name == "load" {
 			err = runLoad(os.Stdout, *target, *loadElems, *loadFrame, *quick)
+		} else if name == "keyedload" {
+			err = runKeyedLoad(os.Stdout, *target, *loadElems, *loadFrame, *loadKeys, *loadQueries, *loadZipf, *quick)
 		} else {
 			err = run(os.Stdout, name, *quick)
 		}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/obs"
+)
+
+func TestParseFlagsKeyed(t *testing.T) {
+	good := [][]string{
+		{"-keys-max", "1000"},
+		{"-key-ttl", "5m"},
+		{"-key-shards", "32"},
+		{"-role", "worker", "-coordinator", "http://c", "-keys-max", "10"},
+	}
+	for _, args := range good {
+		if _, err := parseFlags(args, io.Discard); err != nil {
+			t.Errorf("parseFlags(%v): %v", args, err)
+		}
+	}
+	bad := [][]string{
+		{"-keys-max", "0"},
+		{"-keys-max", "-5"},
+		{"-key-ttl", "-1s"},
+		{"-key-shards", "3"},
+		{"-key-shards", "-2"},
+		{"-role", "coordinator", "-keys-max", "10"},
+		{"-role", "aggregator", "-parent", "http://p", "-key-ttl", "1m"},
+		{"-engine", "kll", "-keys-max", "10"},
+		{"-engine", "gk", "-key-shards", "16"},
+	}
+	for _, args := range bad {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+}
+
+// postKeyedFrame ships one keyed slab frame to url and returns the status.
+func postKeyedFrame(t *testing.T, url, key string, vs []float64) int {
+	t.Helper()
+	frame := codec.AppendKeyedIngestFrame(nil, []byte(key), vs)
+	resp, err := http.Post(url+"/v1/ingest/keyed", codec.KeyedIngestContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+// getJSON fetches url and decodes the JSON body.
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestStandaloneKeyedService boots the standalone service with keyed flags
+// and exercises the keyed surface end to end through its handler.
+func TestStandaloneKeyedService(t *testing.T) {
+	cfg, err := parseFlags([]string{"-keys-max", "64", "-key-shards", "4", "-seed", "7"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := newService(cfg, obs.Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svc.banner, "keyed: max 64 keys") {
+		t.Errorf("banner %q missing keyed config", svc.banner)
+	}
+	ts := httptest.NewServer(svc.handler)
+	defer ts.Close()
+
+	if code := postKeyedFrame(t, ts.URL, "tenant-a", []float64{1, 2, 3, 4, 5}); code != 200 {
+		t.Fatalf("keyed ingest status %d", code)
+	}
+	code, out := getJSON(t, ts.URL+"/quantile?key=tenant-a&phi=0.5")
+	if code != 200 {
+		t.Fatalf("keyed quantile status %d: %v", code, out)
+	}
+	if med := out["0.5"].(float64); med != 3 {
+		t.Errorf("median = %v, want 3", med)
+	}
+	if code, _ := getJSON(t, ts.URL+"/quantile?key=ghost"); code != 404 {
+		t.Errorf("unknown key status %d, want 404", code)
+	}
+}
+
+// TestKeyedSweepLoop checks the background TTL sweeper: with a tiny TTL,
+// idle keys vanish from occupancy without any further keyed traffic.
+func TestKeyedSweepLoop(t *testing.T) {
+	cfg, err := parseFlags([]string{"-key-ttl", "50ms"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := newService(cfg, obs.Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.handler)
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); svc.run(ctx) }()
+
+	if code := postKeyedFrame(t, ts.URL, "idle", []float64{1}); code != 200 {
+		t.Fatal("ingest failed")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, out := getJSON(t, ts.URL+"/stats")
+		ks := out["keyed"].(map[string]any)
+		if ks["keys"].(float64) == 0 && ks["evicted_ttl"].(float64) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle key never swept: keyed block %v", ks)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cancel()
+	<-done
+}

@@ -25,6 +25,14 @@
 //	curl -d "$(seq 1 100000)" localhost:8080/add
 //	curl 'localhost:8080/quantile?phi=0.5,0.99'
 //
+// mrl99 ingest roles (standalone and worker) also run the multi-tenant
+// keyed store: POST /v1/ingest/keyed routes binary slabs to per-key
+// sketches and `key=` on /quantile//cdf queries them. -keys-max bounds the
+// resident keys (LRU eviction beyond it), -key-ttl expires idle keys (a
+// background sweep reclaims them), and -key-shards sets the lock striping:
+//
+//	quantiled -addr :8080 -keys-max 100000 -key-ttl 15m
+//
 // A fleet:
 //
 //	quantiled -role coordinator -addr :9090 -checkpoint /var/lib/quantiled.ckpt
@@ -92,6 +100,10 @@ type config struct {
 	seed   uint64
 	engine string
 
+	keysMax   int
+	keyTTL    time.Duration
+	keyShards int
+
 	role           string
 	coordinatorURL string
 	workerID       string
@@ -121,6 +133,9 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.IntVar(&cfg.shards, "shards", 0, "concurrency shards (0 = default)")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "random seed")
 	fs.StringVar(&cfg.engine, "engine", "mrl99", "sketch engine: mrl99, kll or gk (every node in one tree must agree)")
+	fs.IntVar(&cfg.keysMax, "keys-max", httpapi.DefaultMaxKeys, "keyed-store key cap: distinct keys resident before LRU eviction (mrl99 ingest roles)")
+	fs.DurationVar(&cfg.keyTTL, "key-ttl", 0, "evict keys idle longer than this (0 disables; mrl99 ingest roles)")
+	fs.IntVar(&cfg.keyShards, "key-shards", 0, "keyed-store lock stripes, a power of two (0 = default; mrl99 ingest roles)")
 	fs.StringVar(&cfg.role, "role", "standalone", "standalone, worker, coordinator or aggregator")
 	fs.StringVar(&cfg.coordinatorURL, "coordinator", "", "coordinator base URL (worker role)")
 	fs.StringVar(&cfg.workerID, "worker-id", "", "stable node identity (worker and aggregator roles; default hostname+addr)")
@@ -187,6 +202,33 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	if cfg.ingestFormat == "binary" && cfg.role != "worker" && cfg.role != "aggregator" {
 		return cfg, fmt.Errorf("-ingest-format is only meaningful for roles that ship upstream (role is %q)", cfg.role)
 	}
+	// The keyed store lives on the mrl99 ingest surface (standalone and
+	// worker roles); reject explicit keyed flags anywhere they would be
+	// silently ignored.
+	keyedFlagSet := ""
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "keys-max", "key-ttl", "key-shards":
+			keyedFlagSet = "-" + f.Name
+		}
+	})
+	if keyedFlagSet != "" {
+		if cfg.role != "standalone" && cfg.role != "worker" {
+			return cfg, fmt.Errorf("%s is only meaningful for roles with an ingest surface (role is %q)", keyedFlagSet, cfg.role)
+		}
+		if cfg.engine != engine.MRL99 {
+			return cfg, fmt.Errorf("%s requires -engine mrl99 (engine servers have no keyed store)", keyedFlagSet)
+		}
+	}
+	if cfg.keysMax < 1 {
+		return cfg, fmt.Errorf("-keys-max %d invalid: the keyed store needs a positive key cap", cfg.keysMax)
+	}
+	if cfg.keyTTL < 0 {
+		return cfg, fmt.Errorf("-key-ttl %s invalid: want a non-negative duration", cfg.keyTTL)
+	}
+	if cfg.keyShards < 0 || (cfg.keyShards != 0 && cfg.keyShards&(cfg.keyShards-1) != 0) {
+		return cfg, fmt.Errorf("-key-shards %d invalid: want a power of two (or 0 for the default)", cfg.keyShards)
+	}
 	return cfg, nil
 }
 
@@ -220,6 +262,14 @@ func newIngestServer(cfg config, logger *slog.Logger) (*httpapi.Server, error) {
 	var err error
 	if cfg.engine == engine.MRL99 {
 		srv, err = httpapi.New(cfg.eps, cfg.delta, cfg.shards, quantile.WithSeed(cfg.seed))
+		if err == nil {
+			err = srv.SetKeyed(httpapi.KeyedConfig{
+				MaxKeys: cfg.keysMax,
+				TTL:     cfg.keyTTL,
+				Shards:  cfg.keyShards,
+				Seed:    cfg.seed,
+			})
+		}
 	} else {
 		var e engine.Engine
 		if e, err = engine.New(cfg.engine, cfg.eps, cfg.delta, cfg.seed); err == nil {
@@ -234,6 +284,48 @@ func newIngestServer(cfg config, logger *slog.Logger) (*httpapi.Server, error) {
 	return srv, nil
 }
 
+// keyedBanner describes the ingest surface's keyed store, if it has one.
+func keyedBanner(cfg config, srv *httpapi.Server) string {
+	if srv.Keyed() == nil {
+		return ""
+	}
+	b := fmt.Sprintf(", keyed: max %d keys", cfg.keysMax)
+	if cfg.keyTTL > 0 {
+		b += fmt.Sprintf(" ttl %s", cfg.keyTTL)
+	}
+	return b
+}
+
+// runWithKeyedSweep wraps a role's background loop with a housekeeping
+// ticker that evicts idle keys, so TTL-bounded stores release memory even
+// when the expired keys are never touched again.
+func runWithKeyedSweep(run func(ctx context.Context), cfg config, srv *httpapi.Server, logger *slog.Logger) func(ctx context.Context) {
+	if srv.Keyed() == nil || cfg.keyTTL <= 0 {
+		return run
+	}
+	interval := max(min(cfg.keyTTL/2, time.Minute), time.Second)
+	return func(ctx context.Context) {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n := srv.Keyed().SweepExpired(); n > 0 {
+						logger.Debug("keyed TTL sweep", "evicted", n)
+					}
+				}
+			}
+		}()
+		run(ctx)
+		<-done
+	}
+}
+
 func newService(cfg config, logger *slog.Logger) (*service, error) {
 	switch cfg.role {
 	case "standalone":
@@ -243,8 +335,9 @@ func newService(cfg config, logger *slog.Logger) (*service, error) {
 		}
 		return &service{
 			handler: srv.Handler(),
-			run:     func(ctx context.Context) { <-ctx.Done() },
-			banner:  fmt.Sprintf("standalone (engine=%s eps=%g delta=%g)", cfg.engine, cfg.eps, cfg.delta),
+			run:     runWithKeyedSweep(func(ctx context.Context) { <-ctx.Done() }, cfg, srv, logger),
+			banner: fmt.Sprintf("standalone (engine=%s eps=%g delta=%g%s)",
+				cfg.engine, cfg.eps, cfg.delta, keyedBanner(cfg, srv)),
 		}, nil
 
 	case "worker":
@@ -273,9 +366,10 @@ func newService(cfg config, logger *slog.Logger) (*service, error) {
 		}
 		return &service{
 			handler: srv.Handler(),
-			run:     w.Run,
-			banner: fmt.Sprintf("worker %q shipping %s to %s every %s (engine=%s eps=%g delta=%g)",
-				cfg.workerID, cfg.ingestFormat, cfg.coordinatorURL, cfg.shipInterval, cfg.engine, cfg.eps, cfg.delta),
+			run:     runWithKeyedSweep(w.Run, cfg, srv, logger),
+			banner: fmt.Sprintf("worker %q shipping %s to %s every %s (engine=%s eps=%g delta=%g%s)",
+				cfg.workerID, cfg.ingestFormat, cfg.coordinatorURL, cfg.shipInterval, cfg.engine, cfg.eps, cfg.delta,
+				keyedBanner(cfg, srv)),
 		}, nil
 
 	case "coordinator":

@@ -5,8 +5,20 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/keyed"
 	"repro/internal/optimize"
+)
+
+// Typed group-by errors, re-exported from the keyed store so callers can
+// errors.Is against them without importing internal packages.
+var (
+	// ErrGroupLimit reports an Add refused because the group-by already
+	// holds its configured maximum of distinct keys.
+	ErrGroupLimit = keyed.ErrGroupLimit
+	// ErrKeyNotFound reports a query against a key with no group.
+	ErrKeyNotFound = keyed.ErrKeyNotFound
 )
 
 // GroupBy maintains one quantile sketch per group key — the paper's
@@ -14,17 +26,22 @@ import (
 // quantile summaries concurrently, so each one's memory must be small and
 // predictable. All groups share a single solved (b, k, h) layout; the
 // total footprint is (#groups)·b·k elements, reported by MemoryElements.
+//
+// It is a thin facade over the keyed store (internal/keyed) configured for
+// library semantics: a single stripe (so maxGroups is exact and per-group
+// seeds are deterministic in first-seen order), no eviction, and a typed
+// ErrGroupLimit once maxGroups is exceeded. Unlike its predecessor it is
+// safe for concurrent use, and AddAll feeds whole slices through the bulk
+// skip-sampling path.
 type GroupBy[K comparable, T cmp.Ordered] struct {
 	eps, delta float64
 	cfg        core.Config
-	groups     map[K]*core.Sketch[T]
-	seq        uint64
-	maxGroups  int
+	store      *keyed.Store[K, T]
 }
 
 // NewGroupBy returns a per-group sketch collection. maxGroups bounds the
 // number of distinct keys (0 means unbounded); exceeding it makes Add
-// return an error rather than silently growing without limit.
+// return ErrGroupLimit rather than silently growing without limit.
 func NewGroupBy[K comparable, T cmp.Ordered](eps, delta float64, maxGroups int, opts ...Option) (*GroupBy[K, T], error) {
 	o, err := buildOptions(opts)
 	if err != nil {
@@ -34,72 +51,66 @@ func NewGroupBy[K comparable, T cmp.Ordered](eps, delta float64, maxGroups int, 
 	if err != nil {
 		return nil, err
 	}
-	return &GroupBy[K, T]{
-		eps: eps, delta: delta,
-		cfg:       core.Config{B: p.B, K: p.K, H: p.H, Policy: o.pol(), Seed: o.seed},
-		groups:    make(map[K]*core.Sketch[T]),
-		maxGroups: maxGroups,
-	}, nil
+	cfg := core.Config{B: p.B, K: p.K, H: p.H, Policy: o.pol(), Seed: o.seed}
+	store, err := keyed.New[K, T](keyed.Config{
+		Sketch:  cfg,
+		Shards:  1,
+		MaxKeys: maxGroups,
+		OnFull:  keyed.Reject,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GroupBy[K, T]{eps: eps, delta: delta, cfg: cfg, store: store}, nil
 }
 
 // Add feeds one (key, value) row.
 func (g *GroupBy[K, T]) Add(key K, v T) error {
-	s, ok := g.groups[key]
-	if !ok {
-		if g.maxGroups > 0 && len(g.groups) >= g.maxGroups {
-			return fmt.Errorf("quantile: group limit %d exceeded", g.maxGroups)
-		}
-		g.seq++
-		cfg := g.cfg
-		cfg.Seed = g.cfg.Seed + g.seq*0x9e3779b97f4a7c15
-		var err error
-		s, err = core.NewSketch[T](cfg)
-		if err != nil {
-			return err
-		}
-		g.groups[key] = s
-	}
-	s.Add(v)
-	return nil
+	return g.store.Add(key, v)
+}
+
+// AddAll feeds a slice of rows for one key through the bulk ingest path
+// (core.Sketch.AddAll): one skip-sampling pass per fill buffer instead of
+// per-element dispatch, byte-identical to an Add loop under a fixed seed.
+func (g *GroupBy[K, T]) AddAll(key K, vs []T) error {
+	return g.store.AddAll(key, vs)
 }
 
 // Groups returns the number of distinct keys seen.
-func (g *GroupBy[K, T]) Groups() int { return len(g.groups) }
+func (g *GroupBy[K, T]) Groups() int { return g.store.Keys() }
 
 // Count returns the number of rows in the given group (0 if absent).
-func (g *GroupBy[K, T]) Count(key K) uint64 {
-	if s, ok := g.groups[key]; ok {
-		return s.Count()
-	}
-	return 0
-}
+func (g *GroupBy[K, T]) Count(key K) uint64 { return g.store.Count(key) }
 
 // TotalCount returns the number of rows across all groups.
-func (g *GroupBy[K, T]) TotalCount() uint64 {
-	var n uint64
-	for _, s := range g.groups {
-		n += s.Count()
-	}
-	return n
-}
+func (g *GroupBy[K, T]) TotalCount() uint64 { return g.store.TotalCount() }
 
-// Quantile returns the group's φ-quantile estimate.
+// Quantile returns the group's φ-quantile estimate, or ErrKeyNotFound for
+// an unseen key. Repeated queries on an unchanged group are served from the
+// group's cached view.
 func (g *GroupBy[K, T]) Quantile(key K, phi float64) (T, error) {
-	var zero T
-	s, ok := g.groups[key]
-	if !ok {
-		return zero, fmt.Errorf("quantile: unknown group")
-	}
-	return s.QueryOne(phi)
+	return g.store.Quantile(key, phi)
 }
 
 // Quantiles returns estimates for several quantiles of one group.
 func (g *GroupBy[K, T]) Quantiles(key K, phis []float64) ([]T, error) {
-	s, ok := g.groups[key]
-	if !ok {
-		return nil, fmt.Errorf("quantile: unknown group")
+	return g.store.Quantiles(key, phis)
+}
+
+// CDF estimates the fraction of the group's rows ≤ v.
+func (g *GroupBy[K, T]) CDF(key K, v T) (float64, error) {
+	return g.store.CDF(key, v)
+}
+
+// Checkpoint serializes the group's exact sketch state with the given
+// element codec — the per-group analogue of Sketch.Checkpoint.
+func (g *GroupBy[K, T]) Checkpoint(key K, ec ElementCodec[T]) ([]byte, error) {
+	st, err := g.store.Snapshot(key)
+	if err != nil {
+		return nil, err
 	}
-	return s.Query(phis)
+	st.Eps, st.Delta = g.eps, g.delta
+	return codec.MarshalSketch(st, ec)
 }
 
 // GroupResult is one row of a bulk per-group query.
@@ -111,15 +122,16 @@ type GroupResult[K comparable, T cmp.Ordered] struct {
 
 // QuantilesAll evaluates the given quantiles for every group. sortKeys, if
 // non-nil, orders the result (e.g. for stable report output); otherwise
-// map order applies.
+// key-walk order applies.
 func (g *GroupBy[K, T]) QuantilesAll(phis []float64, sortKeys func(a, b K) int) ([]GroupResult[K, T], error) {
-	out := make([]GroupResult[K, T], 0, len(g.groups))
-	for key, s := range g.groups {
-		vals, err := s.Query(phis)
+	keys := g.store.AppendKeys(nil)
+	out := make([]GroupResult[K, T], 0, len(keys))
+	for _, key := range keys {
+		vals, err := g.store.Quantiles(key, phis)
 		if err != nil {
 			return nil, fmt.Errorf("quantile: group query: %w", err)
 		}
-		out = append(out, GroupResult[K, T]{Key: key, Count: s.Count(), Values: vals})
+		out = append(out, GroupResult[K, T]{Key: key, Count: g.store.Count(key), Values: vals})
 	}
 	if sortKeys != nil {
 		sort.Slice(out, func(i, j int) bool { return sortKeys(out[i].Key, out[j].Key) < 0 })
@@ -128,15 +140,9 @@ func (g *GroupBy[K, T]) QuantilesAll(phis []float64, sortKeys func(a, b K) int) 
 }
 
 // MemoryElements returns the aggregate footprint across groups.
-func (g *GroupBy[K, T]) MemoryElements() int {
-	m := 0
-	for _, s := range g.groups {
-		m += s.MemoryElements()
-	}
-	return m
-}
+func (g *GroupBy[K, T]) MemoryElements() int { return g.store.MemoryElements() }
 
 // PerGroupMemoryBound returns the worst-case per-group footprint b·k — the
 // "small and predictable memory footprint" the paper's Group-By discussion
 // asks for.
-func (g *GroupBy[K, T]) PerGroupMemoryBound() int { return g.cfg.B * g.cfg.K }
+func (g *GroupBy[K, T]) PerGroupMemoryBound() int { return g.store.PerKeyMemoryBound() }

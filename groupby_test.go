@@ -1,7 +1,9 @@
 package quantile
 
 import (
+	"bytes"
 	"cmp"
+	"errors"
 	"testing"
 
 	"repro/internal/exact"
@@ -137,6 +139,76 @@ func TestGroupByIndependentGroups(t *testing.T) {
 		}
 		if e := exact.RankError(data, m, 0.5, 0.05); e != 0 {
 			t.Errorf("group %d median off by %d ranks", key, e)
+		}
+	}
+}
+
+func TestGroupByTypedErrors(t *testing.T) {
+	g, _ := NewGroupBy[int, float64](0.1, 1e-2, 1)
+	if err := g.Add(1, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(2, 2.0); !errors.Is(err, ErrGroupLimit) {
+		t.Errorf("over-limit Add err = %v, want errors.Is(ErrGroupLimit)", err)
+	}
+	if _, err := g.Quantile(42, 0.5); !errors.Is(err, ErrKeyNotFound) {
+		t.Errorf("unknown group err = %v, want errors.Is(ErrKeyNotFound)", err)
+	}
+	if _, err := g.CDF(42, 1.0); !errors.Is(err, ErrKeyNotFound) {
+		t.Errorf("unknown group CDF err = %v, want errors.Is(ErrKeyNotFound)", err)
+	}
+	if _, err := g.Checkpoint(42, Float64Codec()); !errors.Is(err, ErrKeyNotFound) {
+		t.Errorf("unknown group Checkpoint err = %v, want errors.Is(ErrKeyNotFound)", err)
+	}
+}
+
+// TestGroupByAddAllByteIdentity: for every key, feeding rows through the
+// bulk AddAll path yields a checkpoint blob byte-identical to feeding the
+// same rows through scalar Add under the same seed — groups are created in
+// the same first-seen order, so the derived per-group seeds line up.
+func TestGroupByAddAllByteIdentity(t *testing.T) {
+	data := map[string][]float64{
+		"east":  stream.Collect(stream.Uniform(30_000, 21)),
+		"west":  stream.Collect(stream.Uniform(50_000, 22)),
+		"north": stream.Collect(stream.Uniform(7_500, 23)),
+	}
+	order := []string{"east", "west", "north"}
+
+	scalar, err := NewGroupBy[string, float64](0.05, 1e-3, 0, WithSeed(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := NewGroupBy[string, float64](0.05, 1e-3, 0, WithSeed(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range order {
+		for _, v := range data[key] {
+			if err := scalar.Add(key, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Chunked bulk feed, crossing fill-buffer boundaries.
+		vs := data[key]
+		for len(vs) > 0 {
+			n := min(1023, len(vs))
+			if err := bulk.AddAll(key, vs[:n]); err != nil {
+				t.Fatal(err)
+			}
+			vs = vs[n:]
+		}
+	}
+	for _, key := range order {
+		a, err := scalar.Checkpoint(key, Float64Codec())
+		if err != nil {
+			t.Fatalf("scalar checkpoint(%s): %v", key, err)
+		}
+		b, err := bulk.Checkpoint(key, Float64Codec())
+		if err != nil {
+			t.Fatalf("bulk checkpoint(%s): %v", key, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("group %s: AddAll state differs from Add state", key)
 		}
 	}
 }

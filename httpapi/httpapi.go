@@ -6,18 +6,27 @@
 //
 // Endpoints (JSON responses unless noted):
 //
-//	POST /add        whitespace-separated numbers in the body
-//	POST /v1/ingest  binary float64 slab frames (application/x-quantile-slab)
-//	GET  /quantile   ?phi=0.5,0.95,0.99
-//	GET  /cdf        ?v=123.4
-//	GET  /histogram  ?buckets=10
+//	POST /add              whitespace-separated numbers in the body
+//	POST /v1/ingest        binary float64 slab frames (application/x-quantile-slab)
+//	POST /v1/ingest/keyed  keyed slab frames (application/x-quantile-keyed-slab)
+//	GET  /quantile         ?phi=0.5,0.95,0.99[&key=tenant]
+//	GET  /cdf              ?v=123.4[&key=tenant]
+//	GET  /histogram        ?buckets=10
 //	GET  /stats
-//	GET  /metrics    Prometheus text format
+//	GET  /metrics          Prometheus text format
+//
+// MRL99 servers (New) additionally run a multi-tenant keyed sketch store:
+// keyed slab frames route each slab to its key's sketch, and `key=` on
+// /quantile and /cdf serves that key's summary from a per-key cached view.
+// Memory is bounded by LRU capacity and TTL eviction (SetKeyed); the store
+// answers 404 for unknown/evicted keys and 429 when a full store rejects
+// new keys. Engine servers (NewEngine) answer 501 on the keyed surface.
 //
 // Every endpoint is instrumented: request/error counters, latency
 // histograms and in-flight gauges per endpoint, plus sketch-level gauges
-// (element count, memory footprint, view-cache counters), all served on
-// GET /metrics from the server's obs.Registry.
+// (element count, memory footprint, view-cache counters) and keyed-store
+// gauges (occupancy, evictions, rejects), all served on GET /metrics from
+// the server's obs.Registry.
 package httpapi
 
 import (
@@ -37,6 +46,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/engine"
 	"repro/internal/ingest"
+	"repro/internal/keyed"
 	"repro/internal/obs"
 )
 
@@ -45,10 +55,36 @@ import (
 // client cannot stream forever into one request.
 const DefaultMaxBodyBytes = 64 << 20
 
+// DefaultMaxKeys is the keyed store's key cap unless overridden with
+// SetKeyed: a million tenants, each paying the per-key b·k footprint.
+const DefaultMaxKeys = 1 << 20
+
+// KeyedConfig sizes the server's multi-tenant keyed sketch store; zero
+// values select defaults (DefaultMaxKeys keys, keyed.DefaultShards stripes,
+// no TTL, LRU eviction).
+type KeyedConfig struct {
+	// MaxKeys bounds resident keys (0 selects DefaultMaxKeys).
+	MaxKeys int
+	// TTL evicts keys idle longer than this (0 = never).
+	TTL time.Duration
+	// Shards is the store's stripe count, a power of two (0 selects
+	// keyed.DefaultShards).
+	Shards int
+	// RejectWhenFull answers new keys with 429 instead of evicting the
+	// least-recently-used key when the store is full.
+	RejectWhenFull bool
+	// Seed makes per-key sampling decisions reproducible.
+	Seed uint64
+	// Now injects the eviction clock (nil = time.Now); tests use a
+	// virtual clock.
+	Now func() time.Time
+}
+
 // Server wraps a concurrent sketch behind HTTP endpoints.
 type Server struct {
 	sketch  *quantile.Concurrent[float64] // MRL99 servers (New)
 	eng     *engine.Guarded               // engine servers (NewEngine)
+	keyed   *keyed.Store[string, float64] // per-key store (MRL99 servers)
 	eps     float64
 	delta   float64
 	maxBody int64
@@ -78,13 +114,7 @@ func New(eps, delta float64, shards int, opts ...quantile.Option) (*Server, erro
 		logger:  obs.Discard(),
 		clock:   time.Now,
 	}
-	s.mux.Handle("POST /add", s.instrument("add", s.handleAdd))
-	s.mux.Handle("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
-	s.mux.Handle("GET /quantile", s.instrument("quantile", s.handleQuantile))
-	s.mux.Handle("GET /cdf", s.instrument("cdf", s.handleCDF))
-	s.mux.Handle("GET /histogram", s.instrument("histogram", s.handleHistogram))
-	s.mux.Handle("GET /stats", s.instrument("stats", s.handleStats))
-	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.routes()
 	s.reg.CounterFunc("sketch_elements_total", "Stream elements consumed by the sketch.", s.sketch.Count)
 	s.reg.GaugeFunc("sketch_memory_elements", "Elements resident in sketch buffers (the paper's space bound).",
 		func() float64 { return float64(s.sketch.MemoryElements()) })
@@ -94,8 +124,91 @@ func New(eps, delta float64, shards int, opts ...quantile.Option) (*Server, erro
 		func() uint64 { _, m, _ := s.sketch.ViewStats(); return m })
 	s.reg.CounterFunc("sketch_view_rebuilds_total", "Query-view reconstructions performed.",
 		func() uint64 { _, _, r := s.sketch.ViewStats(); return r })
+	if err := s.SetKeyed(KeyedConfig{}); err != nil {
+		return nil, err
+	}
+	s.describeKeyed()
 	return s, nil
 }
+
+// routes wires the shared endpoint table.
+func (s *Server) routes() {
+	s.mux.Handle("POST /add", s.instrument("add", s.handleAdd))
+	s.mux.Handle("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
+	s.mux.Handle("POST /v1/ingest/keyed", s.instrument("ingest_keyed", s.handleKeyedIngest))
+	s.mux.Handle("GET /quantile", s.instrument("quantile", s.handleQuantile))
+	s.mux.Handle("GET /cdf", s.instrument("cdf", s.handleCDF))
+	s.mux.Handle("GET /histogram", s.instrument("histogram", s.handleHistogram))
+	s.mux.Handle("GET /stats", s.instrument("stats", s.handleStats))
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+}
+
+// describeKeyed registers the keyed store's metrics. The closures read
+// s.keyed on every scrape, so SetKeyed may replace the store afterwards.
+func (s *Server) describeKeyed() {
+	stats := func() keyed.Stats {
+		if s.keyed == nil {
+			return keyed.Stats{}
+		}
+		return s.keyed.Stats()
+	}
+	s.reg.GaugeFunc("keyed_keys", "Distinct keys resident in the keyed sketch store.",
+		func() float64 { return float64(stats().Keys) })
+	s.reg.GaugeFunc("keyed_memory_bound_elements", "Worst-case resident element footprint across keys (#keys*b*k, the paper's Group-By memory model).",
+		func() float64 {
+			if s.keyed == nil {
+				return 0
+			}
+			return float64(s.keyed.MemoryBoundElements())
+		})
+	s.reg.CounterFunc("keyed_keys_created_total", "Keyed store entries ever created.",
+		func() uint64 { return stats().Created })
+	s.reg.CounterFunc(`keyed_evictions_total{reason="lru"}`, "Keys evicted by capacity pressure.",
+		func() uint64 { return stats().EvictedLRU })
+	s.reg.CounterFunc(`keyed_evictions_total{reason="ttl"}`, "Keys evicted by idle expiry.",
+		func() uint64 { return stats().EvictedTTL })
+	s.reg.CounterFunc("keyed_rejected_total", "Inserts refused because the keyed store was full.",
+		func() uint64 { return stats().Rejected })
+}
+
+// SetKeyed replaces the server's keyed sketch store with one sized by cfg.
+// Call before serving: in-flight keyed requests against the old store are
+// not drained, and previously ingested keys do not carry over. Engine
+// servers have no keyed store and reject the call.
+func (s *Server) SetKeyed(cfg KeyedConfig) error {
+	if s.sketch == nil {
+		return fmt.Errorf("httpapi: keyed store requires an MRL99 server (engine servers serve 501 on the keyed surface)")
+	}
+	if cfg.MaxKeys == 0 {
+		cfg.MaxKeys = DefaultMaxKeys
+	}
+	layout, err := keyed.Solve(s.eps, s.delta)
+	if err != nil {
+		return err
+	}
+	layout.Seed = cfg.Seed
+	full := keyed.EvictLRU
+	if cfg.RejectWhenFull {
+		full = keyed.Reject
+	}
+	store, err := keyed.New[string, float64](keyed.Config{
+		Sketch:  layout,
+		Shards:  cfg.Shards,
+		MaxKeys: cfg.MaxKeys,
+		OnFull:  full,
+		TTL:     cfg.TTL,
+		Now:     cfg.Now,
+	})
+	if err != nil {
+		return err
+	}
+	s.keyed = store
+	return nil
+}
+
+// Keyed returns the server's keyed sketch store (for in-process use, e.g. a
+// housekeeping loop calling SweepExpired); nil for engine servers.
+func (s *Server) Keyed() *keyed.Store[string, float64] { return s.keyed }
 
 // NewEngine wraps an already-guarded sketch engine behind the same HTTP
 // surface. The guarded engine may be shared with other in-process users (a
@@ -115,13 +228,7 @@ func NewEngine(g *engine.Guarded) (*Server, error) {
 		logger:  obs.Discard(),
 		clock:   time.Now,
 	}
-	s.mux.Handle("POST /add", s.instrument("add", s.handleAdd))
-	s.mux.Handle("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
-	s.mux.Handle("GET /quantile", s.instrument("quantile", s.handleQuantile))
-	s.mux.Handle("GET /cdf", s.instrument("cdf", s.handleCDF))
-	s.mux.Handle("GET /histogram", s.instrument("histogram", s.handleHistogram))
-	s.mux.Handle("GET /stats", s.instrument("stats", s.handleStats))
-	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.routes()
 	s.reg.CounterFunc("sketch_elements_total", "Stream elements consumed by the sketch.", g.Count)
 	s.reg.GaugeFunc("sketch_memory_elements", "Elements resident in sketch buffers (the paper's space bound).",
 		func() float64 { return float64(g.MemoryElements()) })
@@ -265,6 +372,9 @@ var addPool = sync.Pool{New: func() any {
 // ingestPool pools the binary slab decoders (frame scratch + element slice).
 var ingestPool = sync.Pool{New: func() any { return new(codec.IngestDecoder) }}
 
+// keyedIngestPool pools the keyed slab decoders (key + frame scratch).
+var keyedIngestPool = sync.Pool{New: func() any { return new(codec.KeyedIngestDecoder) }}
+
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	switch ct := contentTypeOf(r); ct {
 	case "", "text/plain", "application/x-www-form-urlencoded", "application/octet-stream":
@@ -349,6 +459,69 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]uint64{"added": added, "frames": frames, "total": s.count()})
 }
 
+// keyedErrStatus maps keyed-store errors to HTTP statuses: a full store in
+// Reject mode is the caller's backpressure signal (429), an unknown or
+// evicted key is a 404, and anything else (an empty key's query, say) is
+// the usual 409 conflict.
+func keyedErrStatus(err error) int {
+	switch {
+	case errors.Is(err, quantile.ErrGroupLimit):
+		return http.StatusTooManyRequests
+	case errors.Is(err, quantile.ErrKeyNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusConflict
+	}
+}
+
+// handleKeyedIngest is the multi-tenant wire path: a body of keyed slab
+// frames, each routed to its key's sketch through the store's borrowed-key
+// bulk path (no string materialization for resident keys). Frames decoded
+// before an error are already ingested and are reported in the error body.
+func (s *Server) handleKeyedIngest(w http.ResponseWriter, r *http.Request) {
+	if s.keyed == nil {
+		writeError(w, http.StatusNotImplemented,
+			"keyed ingest requires an MRL99 server (engine servers have no keyed store)")
+		return
+	}
+	if ct := contentTypeOf(r); ct != codec.KeyedIngestContentType {
+		writeError(w, http.StatusUnsupportedMediaType,
+			"content type %q: POST /v1/ingest/keyed takes %s", ct, codec.KeyedIngestContentType)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := keyedIngestPool.Get().(*codec.KeyedIngestDecoder)
+	defer keyedIngestPool.Put(dec)
+	dec.Reset(body)
+	var added, frames uint64
+	for {
+		key, vals, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					"body exceeds %d bytes (accepted %d values in %d frames; split the load into smaller requests)",
+					tooBig.Limit, added, frames)
+				return
+			}
+			writeError(w, http.StatusBadRequest, "frame %d (after %d values): %v", frames+1, added, err)
+			return
+		}
+		if err := keyed.AddAllBytes(s.keyed, key, vals); err != nil {
+			writeError(w, keyedErrStatus(err), "frame %d (after %d values in %d frames): %v", frames+1, added, frames, err)
+			return
+		}
+		added += uint64(len(vals))
+		frames++
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{
+		"added": added, "frames": frames, "keys": uint64(s.keyed.Keys()),
+	})
+}
+
 func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.Query().Get("phi")
 	if raw == "" {
@@ -365,6 +538,25 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		phis = append(phis, phi)
+	}
+	if key := r.URL.Query().Get("key"); key != "" {
+		if s.keyed == nil {
+			writeError(w, http.StatusNotImplemented,
+				"keyed queries require an MRL99 server (engine servers have no keyed store)")
+			return
+		}
+		vals, err := s.keyed.Quantiles(key, phis)
+		if err != nil {
+			writeError(w, keyedErrStatus(err), "%v", err)
+			return
+		}
+		out := make(map[string]any, len(phis)+1)
+		out["key"] = key
+		for i, phi := range phis {
+			out[strconv.FormatFloat(phi, 'g', -1, 64)] = vals[i]
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
 	}
 	vals, err := s.quantiles(phis)
 	if err != nil {
@@ -386,6 +578,20 @@ func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
 	// same, so the whole non-finite class is a 400.
 	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 		writeError(w, http.StatusBadRequest, "bad v %q", raw)
+		return
+	}
+	if key := r.URL.Query().Get("key"); key != "" {
+		if s.keyed == nil {
+			writeError(w, http.StatusNotImplemented,
+				"keyed queries require an MRL99 server (engine servers have no keyed store)")
+			return
+		}
+		frac, err := s.keyed.CDF(key, v)
+		if err != nil {
+			writeError(w, keyedErrStatus(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"key": key, "v": v, "cdf": frac})
 		return
 	}
 	frac, err := s.cdf(v)
@@ -436,7 +642,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	b, k, h := s.sketch.Layout()
 	hits, misses, rebuilds := s.sketch.ViewStats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"engine":          engine.MRL99,
 		"count":           s.sketch.Count(),
 		"memory_elements": s.sketch.MemoryElements(),
@@ -449,5 +655,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"rebuild_seconds": s.sketch.ViewRebuildSeconds(),
 		},
 		"uptime_seconds": time.Since(s.start).Seconds(),
-	})
+	}
+	if s.keyed != nil {
+		ks := s.keyed.Stats()
+		out["keyed"] = map[string]any{
+			"keys":                  ks.Keys,
+			"created":               ks.Created,
+			"evicted_lru":           ks.EvictedLRU,
+			"evicted_ttl":           ks.EvictedTTL,
+			"rejected":              ks.Rejected,
+			"total_count":           s.keyed.TotalCount(),
+			"memory_bound_elements": s.keyed.MemoryBoundElements(),
+			"per_key_bound":         s.keyed.PerKeyMemoryBound(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }

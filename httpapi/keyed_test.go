@@ -1,0 +1,246 @@
+package httpapi
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/stream"
+)
+
+// keyedBody builds a request body of keyed slab frames.
+func keyedBody(frames map[string][]float64, order []string) []byte {
+	var body []byte
+	for _, key := range order {
+		body = codec.AppendKeyedIngestFrame(body, []byte(key), frames[key])
+	}
+	return body
+}
+
+func TestKeyedIngestAndQuery(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Three tenants with shifted uniform distributions.
+	frames := map[string][]float64{}
+	order := []string{"tenant-a", "tenant-b", "tenant-c"}
+	for i, key := range order {
+		vals := stream.Collect(stream.Uniform(20000, uint64(50+i)))
+		for j := range vals {
+			vals[j] += float64(100 * i)
+		}
+		frames[key] = vals
+	}
+	code, out := postBinary(t, ts.URL+"/v1/ingest/keyed", codec.KeyedIngestContentType, keyedBody(frames, order))
+	if code != 200 {
+		t.Fatalf("keyed ingest status %d: %v", code, out)
+	}
+	if out["added"].(float64) != 60000 || out["frames"].(float64) != 3 || out["keys"].(float64) != 3 {
+		t.Fatalf("keyed ingest ack %v", out)
+	}
+
+	for i, key := range order {
+		code, out := get(t, ts.URL+"/quantile?key="+key+"&phi=0.5")
+		if code != 200 {
+			t.Fatalf("keyed quantile status %d: %v", code, out)
+		}
+		want := float64(100*i) + 0.5
+		got := out["0.5"].(float64)
+		if got < want-0.05 || got > want+0.05 {
+			t.Errorf("key %s median = %v, want ~%v", key, got, want)
+		}
+		if out["key"].(string) != key {
+			t.Errorf("echoed key %v, want %s", out["key"], key)
+		}
+		code, out = get(t, ts.URL+fmt.Sprintf("/cdf?key=%s&v=%v", key, want))
+		if code != 200 {
+			t.Fatalf("keyed cdf status %d: %v", code, out)
+		}
+		if frac := out["cdf"].(float64); frac < 0.45 || frac > 0.55 {
+			t.Errorf("key %s CDF(median) = %v, want ~0.5", key, frac)
+		}
+	}
+
+	// The flat (unkeyed) surface is untouched by keyed ingest.
+	code, out = get(t, ts.URL+"/stats")
+	if code != 200 {
+		t.Fatal(code)
+	}
+	if out["count"].(float64) != 0 {
+		t.Errorf("unkeyed count = %v after keyed-only ingest, want 0", out["count"])
+	}
+	ks := out["keyed"].(map[string]any)
+	if ks["keys"].(float64) != 3 || ks["total_count"].(float64) != 60000 {
+		t.Errorf("stats keyed block %v", ks)
+	}
+	if ks["memory_bound_elements"].(float64) != 3*ks["per_key_bound"].(float64) {
+		t.Errorf("memory bound %v != 3 * per-key bound %v", ks["memory_bound_elements"], ks["per_key_bound"])
+	}
+}
+
+func TestKeyedQueryErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, out := get(t, ts.URL+"/quantile?key=ghost"); code != 404 {
+		t.Errorf("unknown key quantile status %d: %v", code, out)
+	} else if msg := out["error"].(string); !strings.Contains(msg, "key not found") {
+		t.Errorf("404 error body %q", msg)
+	}
+	if code, _ := get(t, ts.URL+"/cdf?key=ghost&v=1"); code != 404 {
+		t.Errorf("unknown key cdf status %d", code)
+	}
+	// Bad phi still beats key routing.
+	if code, _ := get(t, ts.URL+"/quantile?key=ghost&phi=2"); code != 400 {
+		t.Errorf("bad phi with key status %d, want 400", code)
+	}
+}
+
+func TestKeyedIngestRejectsBadFrames(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Wrong content type.
+	code, out := postBinary(t, ts.URL+"/v1/ingest/keyed", codec.IngestContentType,
+		codec.AppendKeyedIngestFrame(nil, []byte("k"), []float64{1}))
+	if code != 415 {
+		t.Fatalf("wrong content type status %d: %v", code, out)
+	}
+	// Corrupt frame after a good one: partial accept is reported.
+	body := codec.AppendKeyedIngestFrame(nil, []byte("good"), []float64{1, 2, 3})
+	bad := codec.AppendKeyedIngestFrame(nil, []byte("bad"), []float64{4})
+	bad[len(bad)-1] ^= 1 // CRC flip
+	code, out = postBinary(t, ts.URL+"/v1/ingest/keyed", codec.KeyedIngestContentType, append(body, bad...))
+	if code != 400 {
+		t.Fatalf("corrupt frame status %d: %v", code, out)
+	}
+	if msg := out["error"].(string); !strings.Contains(msg, "after 3 values") {
+		t.Errorf("error body %q does not report the partial accept", msg)
+	}
+	// The good frame really landed.
+	if code, _ := get(t, ts.URL+"/quantile?key=good&phi=0.5"); code != 200 {
+		t.Errorf("good key lost after partial accept: status %d", code)
+	}
+}
+
+func TestKeyedStoreFullReject(t *testing.T) {
+	s, err := New(0.05, 1e-3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetKeyed(KeyedConfig{MaxKeys: 2, Shards: 1, RejectWhenFull: true}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	body := keyedBody(map[string][]float64{
+		"a": {1}, "b": {2},
+	}, []string{"a", "b"})
+	if code, out := postBinary(t, ts.URL+"/v1/ingest/keyed", codec.KeyedIngestContentType, body); code != 200 {
+		t.Fatalf("fill status %d: %v", code, out)
+	}
+	code, out := postBinary(t, ts.URL+"/v1/ingest/keyed", codec.KeyedIngestContentType,
+		codec.AppendKeyedIngestFrame(nil, []byte("c"), []float64{3}))
+	if code != 429 {
+		t.Fatalf("over-limit status %d: %v", code, out)
+	}
+	if msg := out["error"].(string); !strings.Contains(msg, "group limit") {
+		t.Errorf("429 body %q", msg)
+	}
+	// Existing keys still ingest.
+	if code, _ := postBinary(t, ts.URL+"/v1/ingest/keyed", codec.KeyedIngestContentType,
+		codec.AppendKeyedIngestFrame(nil, []byte("a"), []float64{9})); code != 200 {
+		t.Errorf("existing key refused after limit: status %d", code)
+	}
+}
+
+func TestKeyedEvictionAndTTL(t *testing.T) {
+	clk := struct {
+		t time.Time
+	}{t: time.Unix(1_700_000_000, 0)}
+	s, err := New(0.05, 1e-3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetKeyed(KeyedConfig{
+		MaxKeys: 4, Shards: 1, TTL: time.Minute,
+		Now: func() time.Time { return clk.t },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// 6 distinct keys through a 4-key LRU → 2 evictions.
+	for i := 0; i < 6; i++ {
+		frame := codec.AppendKeyedIngestFrame(nil, []byte(fmt.Sprintf("k%d", i)), []float64{float64(i)})
+		if code, out := postBinary(t, ts.URL+"/v1/ingest/keyed", codec.KeyedIngestContentType, frame); code != 200 {
+			t.Fatalf("ingest %d status %d: %v", i, code, out)
+		}
+	}
+	if code, _ := get(t, ts.URL+"/quantile?key=k0&phi=0.5"); code != 404 {
+		t.Errorf("LRU-evicted key k0 status %d, want 404", code)
+	}
+	_, out := get(t, ts.URL+"/stats")
+	ks := out["keyed"].(map[string]any)
+	if ks["keys"].(float64) != 4 || ks["evicted_lru"].(float64) != 2 {
+		t.Fatalf("after LRU churn: keyed block %v", ks)
+	}
+
+	// Let everything idle past the TTL; a sweep empties the store.
+	clk.t = clk.t.Add(2 * time.Minute)
+	if n := s.Keyed().SweepExpired(); n != 4 {
+		t.Fatalf("SweepExpired = %d, want 4", n)
+	}
+	_, out = get(t, ts.URL+"/stats")
+	ks = out["keyed"].(map[string]any)
+	if ks["keys"].(float64) != 0 || ks["evicted_ttl"].(float64) != 4 {
+		t.Fatalf("after TTL sweep: keyed block %v", ks)
+	}
+}
+
+func TestKeyedMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := keyedBody(map[string][]float64{"a": {1}, "b": {2}}, []string{"a", "b"})
+	if code, _ := postBinary(t, ts.URL+"/v1/ingest/keyed", codec.KeyedIngestContentType, body); code != 200 {
+		t.Fatal("ingest failed")
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"keyed_keys 2",
+		"keyed_keys_created_total 2",
+		`keyed_evictions_total{reason="lru"} 0`,
+		`http_requests_total{endpoint="ingest_keyed"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestKeyedSurfaceOnEngineServer(t *testing.T) {
+	s, ts := newEngineServer(t, "kll")
+	if err := s.SetKeyed(KeyedConfig{}); err == nil {
+		t.Error("SetKeyed on an engine server succeeded")
+	}
+	code, out := postBinary(t, ts.URL+"/v1/ingest/keyed", codec.KeyedIngestContentType,
+		codec.AppendKeyedIngestFrame(nil, []byte("k"), []float64{1}))
+	if code != 501 {
+		t.Errorf("engine keyed ingest status %d: %v", code, out)
+	}
+	if code, _ := get(t, ts.URL+"/quantile?key=k"); code != 501 {
+		t.Errorf("engine keyed quantile status %d, want 501", code)
+	}
+	if code, _ := get(t, ts.URL+"/cdf?key=k&v=1"); code != 501 {
+		t.Errorf("engine keyed cdf status %d, want 501", code)
+	}
+}

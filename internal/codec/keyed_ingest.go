@@ -1,0 +1,212 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Keyed ingest slab frames: the QSLB extension carrying a group key, behind
+// the multi-tenant HTTP ingest path (POST /v1/ingest/keyed with
+// Content-Type application/x-quantile-keyed-slab).
+//
+// The layout is the QSLB slab with a length-prefixed key spliced between
+// the header and the payload, so a decoder can route the slab to the key's
+// sketch (keyed.AddAllBytes) without materializing a string:
+//
+//	offset    size     field
+//	0         4        magic "QKSB"
+//	4         1        version (1)
+//	5         2        key length, uint16 little endian (1..MaxIngestKeyLen)
+//	7         4        count, uint32 little endian
+//	11        klen     key bytes (opaque; no encoding is imposed)
+//	11+klen   8·count  payload: count float64s, little endian
+//	…         4        CRC-32C (Castagnoli) over everything preceding it
+//
+// Frames are self-delimiting and concatenate freely; one request body may
+// interleave frames for any number of keys in any order.
+
+// KeyedIngestContentType is the MIME type of a keyed slab frame stream.
+const KeyedIngestContentType = "application/x-quantile-keyed-slab"
+
+// KeyedIngestVersion is the current keyed slab frame version.
+const KeyedIngestVersion = 1
+
+// MaxIngestKeyLen caps the key length of a keyed frame. Group keys are
+// tenant/user/endpoint identifiers; 1 KiB is far beyond any sane one and
+// bounds decoder scratch against hostile headers.
+const MaxIngestKeyLen = 1 << 10
+
+// keyedIngestHeaderLen is magic + version + klen + count.
+const keyedIngestHeaderLen = 11
+
+var keyedIngestMagic = [4]byte{'Q', 'K', 'S', 'B'}
+
+// ErrIngestKey reports a keyed frame whose key length is zero or above
+// MaxIngestKeyLen. The remaining failure modes reuse the QSLB sentinels
+// (ErrIngestMagic, ErrIngestVersion, ErrIngestCount, ErrIngestTruncated,
+// ErrIngestChecksum).
+var ErrIngestKey = errors.New("codec: keyed ingest frame: key length out of range")
+
+// AppendKeyedIngestFrame encodes (key, vs) as one keyed slab frame onto dst
+// and returns the extended slice. The key must be 1..MaxIngestKeyLen bytes
+// and len(vs) at most MaxIngestFrameElems (use KeyedIngestEncoder to split
+// arbitrary batches).
+func AppendKeyedIngestFrame(dst []byte, key []byte, vs []float64) []byte {
+	if len(key) == 0 || len(key) > MaxIngestKeyLen {
+		panic(fmt.Sprintf("codec: keyed ingest frame key of %d bytes outside [1, %d]", len(key), MaxIngestKeyLen))
+	}
+	if len(vs) > MaxIngestFrameElems {
+		panic(fmt.Sprintf("codec: keyed ingest frame of %d elements exceeds cap %d", len(vs), MaxIngestFrameElems))
+	}
+	start := len(dst)
+	dst = append(dst, keyedIngestMagic[:]...)
+	dst = append(dst, KeyedIngestVersion)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(key)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vs)))
+	dst = append(dst, key...)
+	dst = float64Codec{}.AppendBulk(dst, vs)
+	sum := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// parseKeyedIngestHeader validates an 11-byte header and returns the key
+// length and element count.
+func parseKeyedIngestHeader(hdr []byte) (klen, count int, err error) {
+	if [4]byte(hdr[:4]) != keyedIngestMagic {
+		return 0, 0, fmt.Errorf("%w: % x", ErrIngestMagic, hdr[:4])
+	}
+	if hdr[4] != KeyedIngestVersion {
+		return 0, 0, fmt.Errorf("%w: got %d, want %d", ErrIngestVersion, hdr[4], KeyedIngestVersion)
+	}
+	klen = int(binary.LittleEndian.Uint16(hdr[5:7]))
+	if klen == 0 || klen > MaxIngestKeyLen {
+		return 0, 0, fmt.Errorf("%w: %d", ErrIngestKey, klen)
+	}
+	c := binary.LittleEndian.Uint32(hdr[7:11])
+	if c > MaxIngestFrameElems {
+		return 0, 0, fmt.Errorf("%w: %d > %d", ErrIngestCount, c, MaxIngestFrameElems)
+	}
+	return klen, int(c), nil
+}
+
+// DecodeKeyedIngestFrame decodes the first keyed frame in data. The
+// returned key aliases data (zero copy); the elements are appended to
+// dst[:0], reusing dst's storage when large enough. It returns the key, the
+// elements, the bytes remaining after the frame, and any error.
+func DecodeKeyedIngestFrame(data []byte, dst []float64) (key []byte, vals []float64, rest []byte, err error) {
+	if len(data) < keyedIngestHeaderLen {
+		return nil, nil, nil, fmt.Errorf("%w: %d header bytes of %d", ErrIngestTruncated, len(data), keyedIngestHeaderLen)
+	}
+	klen, count, err := parseKeyedIngestHeader(data[:keyedIngestHeaderLen])
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	total := keyedIngestHeaderLen + klen + 8*count + 4
+	if len(data) < total {
+		return nil, nil, nil, fmt.Errorf("%w: frame of %d key bytes and %d elements needs %d bytes, have %d", ErrIngestTruncated, klen, count, total, len(data))
+	}
+	body, tail := data[:total-4], data[total-4:total]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, nil, nil, ErrIngestChecksum
+	}
+	key = body[keyedIngestHeaderLen : keyedIngestHeaderLen+klen]
+	if cap(dst) < count {
+		dst = make([]float64, count)
+	}
+	vals = dst[:count]
+	if _, err := (float64Codec{}).DecodeBulk(body[keyedIngestHeaderLen+klen:], vals); err != nil {
+		return nil, nil, nil, err
+	}
+	return key, vals, data[total:], nil
+}
+
+// KeyedIngestDecoder reads a stream of keyed slab frames, reusing one
+// payload scratch buffer, one key buffer and one element slice across
+// frames so a steady keyed ingest stream decodes without allocating.
+type KeyedIngestDecoder struct {
+	r    io.Reader
+	hdr  [keyedIngestHeaderLen]byte
+	buf  []byte // key + payload + CRC scratch
+	vals []float64
+}
+
+// Reset points the decoder at a new stream, keeping grown scratch storage.
+func (d *KeyedIngestDecoder) Reset(r io.Reader) { d.r = r }
+
+// Next reads and validates one keyed frame, returning its key and
+// elements. Both returned slices are valid until the next call — the key in
+// particular is borrowed decoder scratch, shaped for keyed.AddAllBytes; a
+// caller keeping it must copy. At a clean end of stream it returns io.EOF;
+// an EOF mid-frame is reported as ErrIngestTruncated.
+func (d *KeyedIngestDecoder) Next() (key []byte, vals []float64, err error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, nil, fmt.Errorf("%w: stream ended inside a frame header: %w", ErrIngestTruncated, err)
+		}
+		return nil, nil, err
+	}
+	klen, count, err := parseKeyedIngestHeader(d.hdr[:])
+	if err != nil {
+		return nil, nil, err
+	}
+	need := klen + 8*count + 4
+	if cap(d.buf) < need {
+		d.buf = make([]byte, need)
+	}
+	body := d.buf[:need]
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, nil, fmt.Errorf("%w: stream ended inside a frame of %d key bytes and %d elements: %w", ErrIngestTruncated, klen, count, err)
+		}
+		return nil, nil, err
+	}
+	sum := crc32.Checksum(d.hdr[:], castagnoli)
+	sum = crc32.Update(sum, castagnoli, body[:klen+8*count])
+	if sum != binary.LittleEndian.Uint32(body[klen+8*count:]) {
+		return nil, nil, ErrIngestChecksum
+	}
+	key = body[:klen]
+	if cap(d.vals) < count {
+		d.vals = make([]float64, count)
+	}
+	vals = d.vals[:count]
+	if _, err := (float64Codec{}).DecodeBulk(body[klen:klen+8*count], vals); err != nil {
+		return nil, nil, err
+	}
+	return key, vals, nil
+}
+
+// KeyedIngestEncoder writes keyed slab frames to a stream, splitting
+// oversized batches at MaxIngestFrameElems and reusing one encode buffer
+// across calls.
+type KeyedIngestEncoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+// Reset points the encoder at a new stream, keeping grown scratch storage.
+func (e *KeyedIngestEncoder) Reset(w io.Writer) { e.w = w }
+
+// WriteFrame encodes (key, vs) as one or more keyed frames (splitting
+// every MaxIngestFrameElems elements) and writes them to the stream. An
+// empty batch writes nothing.
+func (e *KeyedIngestEncoder) WriteFrame(key []byte, vs []float64) error {
+	for len(vs) > 0 {
+		n := len(vs)
+		if n > MaxIngestFrameElems {
+			n = MaxIngestFrameElems
+		}
+		e.buf = AppendKeyedIngestFrame(e.buf[:0], key, vs[:n])
+		if _, err := e.w.Write(e.buf); err != nil {
+			return err
+		}
+		vs = vs[n:]
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestKeyedIngestRoundTrip(t *testing.T) {
+	type frame struct {
+		key string
+		vs  []float64
+	}
+	big := make([]float64, 10_000)
+	for i := range big {
+		big[i] = float64(i) * 0.25
+	}
+	frames := []frame{
+		{"tenant-a", []float64{1.5, -2.25, math.Inf(1), math.Inf(-1), 0}},
+		{"x", []float64{42}},
+		{"tenant-a", nil}, // empty slab for a key is legal
+		{string(bytes.Repeat([]byte{0xff}, MaxIngestKeyLen)), big},
+	}
+	var stream bytes.Buffer
+	var enc KeyedIngestEncoder
+	enc.Reset(&stream)
+	for _, fr := range frames {
+		if len(fr.vs) == 0 {
+			// WriteFrame skips empty batches; splice the frame directly.
+			stream.Write(AppendKeyedIngestFrame(nil, []byte(fr.key), fr.vs))
+			continue
+		}
+		if err := enc.WriteFrame([]byte(fr.key), fr.vs); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+
+	var dec KeyedIngestDecoder
+	dec.Reset(bytes.NewReader(stream.Bytes()))
+	for i, want := range frames {
+		key, got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("frame %d: Next: %v", i, err)
+		}
+		if string(key) != want.key {
+			t.Fatalf("frame %d: key %q, want %q", i, key, want.key)
+		}
+		if len(got) != len(want.vs) {
+			t.Fatalf("frame %d: %d elements, want %d", i, len(got), len(want.vs))
+		}
+		for j := range want.vs {
+			if math.Float64bits(got[j]) != math.Float64bits(want.vs[j]) {
+				t.Fatalf("frame %d elem %d: %v != %v", i, j, got[j], want.vs[j])
+			}
+		}
+	}
+	if _, _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestKeyedIngestDecodeOneShot(t *testing.T) {
+	data := AppendKeyedIngestFrame(nil, []byte("k1"), []float64{3, 1, 4})
+	data = AppendKeyedIngestFrame(data, []byte("k2"), []float64{9, 2.6})
+
+	key, got, rest, err := DecodeKeyedIngestFrame(data, nil)
+	if err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if string(key) != "k1" || len(got) != 3 || got[2] != 4 {
+		t.Fatalf("first frame decoded key %q vals %v", key, got)
+	}
+	key2, got2, rest, err := DecodeKeyedIngestFrame(rest, got)
+	if err != nil {
+		t.Fatalf("second frame: %v", err)
+	}
+	if string(key2) != "k2" || len(got2) != 2 || got2[1] != 2.6 {
+		t.Fatalf("second frame decoded key %q vals %v", key2, got2)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after last frame", len(rest))
+	}
+}
+
+func TestKeyedIngestEncoderSplitsOversizedBatches(t *testing.T) {
+	vs := make([]float64, MaxIngestFrameElems+5)
+	var stream bytes.Buffer
+	var enc KeyedIngestEncoder
+	enc.Reset(&stream)
+	if err := enc.WriteFrame([]byte("big"), vs); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	var dec KeyedIngestDecoder
+	dec.Reset(bytes.NewReader(stream.Bytes()))
+	key, first, err := dec.Next()
+	if err != nil || string(key) != "big" || len(first) != MaxIngestFrameElems {
+		t.Fatalf("first frame: key %q, %d elements, err %v", key, len(first), err)
+	}
+	key, second, err := dec.Next()
+	if err != nil || string(key) != "big" || len(second) != 5 {
+		t.Fatalf("second frame: key %q, %d elements, err %v", key, len(second), err)
+	}
+	if _, _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("trailing err = %v, want io.EOF", err)
+	}
+}
+
+func TestAppendKeyedIngestFramePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty key", func() { AppendKeyedIngestFrame(nil, nil, []float64{1}) })
+	mustPanic("oversized key", func() {
+		AppendKeyedIngestFrame(nil, make([]byte, MaxIngestKeyLen+1), []float64{1})
+	})
+	mustPanic("oversized slab", func() {
+		AppendKeyedIngestFrame(nil, []byte("k"), make([]float64, MaxIngestFrameElems+1))
+	})
+}
+
+// corruptKeyed returns a valid single-frame keyed encoding with f applied
+// to a copy.
+func corruptKeyed(t *testing.T, f func([]byte) []byte) []byte {
+	t.Helper()
+	frame := AppendKeyedIngestFrame(nil, []byte("key"), []float64{1, 2, 3})
+	return f(append([]byte(nil), frame...))
+}
+
+func TestKeyedIngestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"wrong magic", corruptKeyed(t, func(b []byte) []byte { b[0] = 'X'; return b }), ErrIngestMagic},
+		{"plain slab magic", corruptKeyed(t, func(b []byte) []byte { copy(b, ingestMagic[:]); return b }), ErrIngestMagic},
+		{"wrong version", corruptKeyed(t, func(b []byte) []byte { b[4] = 99; return b }), ErrIngestVersion},
+		{"zero key length", corruptKeyed(t, func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[5:7], 0)
+			return b
+		}), ErrIngestKey},
+		{"absurd key length", corruptKeyed(t, func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[5:7], MaxIngestKeyLen+1)
+			return b
+		}), ErrIngestKey},
+		{"absurd count", corruptKeyed(t, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[7:11], MaxIngestFrameElems+1)
+			return b
+		}), ErrIngestCount},
+		{"count/length mismatch", corruptKeyed(t, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[7:11], 1000)
+			return b
+		}), ErrIngestTruncated},
+		{"truncated header", corruptKeyed(t, func(b []byte) []byte { return b[:7] }), ErrIngestTruncated},
+		{"truncated key", corruptKeyed(t, func(b []byte) []byte { return b[:12] }), ErrIngestTruncated},
+		{"truncated slab", corruptKeyed(t, func(b []byte) []byte { return b[:len(b)-6] }), ErrIngestTruncated},
+		{"flipped key bit", corruptKeyed(t, func(b []byte) []byte { b[11] ^= 1; return b }), ErrIngestChecksum},
+		{"flipped payload bit", corruptKeyed(t, func(b []byte) []byte { b[16] ^= 1; return b }), ErrIngestChecksum},
+		{"flipped crc bit", corruptKeyed(t, func(b []byte) []byte { b[len(b)-1] ^= 1; return b }), ErrIngestChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, _, err := DecodeKeyedIngestFrame(tc.data, nil); !errors.Is(err, tc.want) {
+				t.Errorf("DecodeKeyedIngestFrame: err = %v, want %v", err, tc.want)
+			}
+			var dec KeyedIngestDecoder
+			dec.Reset(bytes.NewReader(tc.data))
+			if _, _, err := dec.Next(); !errors.Is(err, tc.want) {
+				t.Errorf("KeyedIngestDecoder.Next: err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestKeyedIngestDecoderSteadyStateAllocs(t *testing.T) {
+	frame := AppendKeyedIngestFrame(nil, []byte("hot-tenant"), make([]float64, 4096))
+	var dec KeyedIngestDecoder
+	rd := bytes.NewReader(frame)
+	dec.Reset(rd)
+	if _, _, err := dec.Next(); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		rd.Reset(frame)
+		dec.Reset(rd)
+		if _, _, err := dec.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state keyed decode allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// FuzzKeyedIngestFrame checks that arbitrary bytes never panic the keyed
+// decoders, that the one-shot and streaming decoders agree, and that
+// anything that decodes re-encodes to the same bytes (the frame format is
+// canonical).
+func FuzzKeyedIngestFrame(f *testing.F) {
+	f.Add(AppendKeyedIngestFrame(nil, []byte("k"), []float64{1, 2, 3}))
+	f.Add(AppendKeyedIngestFrame(nil, []byte("tenant-a"), nil))
+	f.Add(AppendKeyedIngestFrame(
+		AppendKeyedIngestFrame(nil, []byte("a"), []float64{-1}),
+		[]byte("b"), []float64{math.NaN()}))
+	// Truncated: header only, then a frame cut mid-slab.
+	f.Add([]byte("QKSB"))
+	f.Add(AppendKeyedIngestFrame(nil, []byte("cut"), []float64{7, 8, 9})[:20])
+	// Corrupted: zero-key header, wrong magic, flipped CRC.
+	zeroKey := AppendKeyedIngestFrame(nil, []byte("z"), []float64{1})
+	zeroKey[5], zeroKey[6] = 0, 0
+	f.Add(zeroKey)
+	f.Add(AppendIngestFrame(nil, []float64{1, 2}))
+	flipped := AppendKeyedIngestFrame(nil, []byte("crc"), []float64{5})
+	flipped[len(flipped)-2] ^= 0x40
+	f.Add(flipped)
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, vals, rest, err := DecodeKeyedIngestFrame(data, nil)
+		var dec KeyedIngestDecoder
+		dec.Reset(bytes.NewReader(data))
+		sKey, sVals, sErr := dec.Next()
+		if (err == nil) != (sErr == nil) {
+			t.Fatalf("one-shot err %v vs stream err %v", err, sErr)
+		}
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(key, sKey) {
+			t.Fatalf("one-shot key %q vs stream key %q", key, sKey)
+		}
+		if len(vals) != len(sVals) {
+			t.Fatalf("one-shot decoded %d elements, stream %d", len(vals), len(sVals))
+		}
+		for i := range vals {
+			if math.Float64bits(vals[i]) != math.Float64bits(sVals[i]) {
+				t.Fatalf("elem %d: one-shot %v vs stream %v", i, vals[i], sVals[i])
+			}
+		}
+		re := AppendKeyedIngestFrame(nil, key, vals)
+		if !bytes.Equal(re, data[:len(data)-len(rest)]) {
+			t.Fatalf("re-encode of key %q + %d elements differs from the consumed bytes", key, len(vals))
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/policy"
 	"repro/internal/rng"
+	"repro/internal/view"
 	"repro/internal/xmath"
 )
 
@@ -189,6 +190,19 @@ func (s *Sketch[T]) CDF(v T) (float64, error) {
 		return 0, fmt.Errorf("core: CDF with no weighted elements")
 	}
 	return float64(buffer.WeightedRank(bufs, v)) / float64(total), nil
+}
+
+// View freezes the sketch's current answerable contents into an immutable
+// query view (internal/view): every subsequent φ-quantile or CDF point is
+// an O(log m) binary search with zero allocations, safe for any number of
+// concurrent readers. The view copies everything it needs, so the sketch
+// may keep mutating afterwards; pair it with Version to know when a cached
+// view has gone stale.
+func (s *Sketch[T]) View() (*view.View[T], error) {
+	if s.n == 0 {
+		return nil, fmt.Errorf("core: view of empty sketch")
+	}
+	return view.FromBuffers(s.outputSet(), s.n)
 }
 
 // QueryOne returns the estimate for a single quantile.

@@ -1,0 +1,73 @@
+package keyed
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestHotKeyIngestAllocs pins the resident-key bulk ingest path at zero
+// heap allocations: after warm-up has sized the key's sketch buffers, a
+// steady stream of AddAllBytes slabs (the wire decoder's calling
+// convention, borrowed []byte key) must not allocate.
+func TestHotKeyIngestAllocs(t *testing.T) {
+	s := mustStore(t, Config{Sketch: testCfg()})
+	key := []byte("hot-tenant")
+	vals := stream.Collect(stream.Uniform(4096, 3))
+
+	// Warm-up: reach steady state (all lazy buffer allocations done, the
+	// sketch deep into its sampling regime).
+	for i := 0; i < 64; i++ {
+		if err := AddAllBytes(s, key, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := AddAllBytes(s, key, vals); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-key AddAllBytes allocs/op = %v, want 0", allocs)
+	}
+
+	// The string-keyed AddAll entry point is equally clean on a hit.
+	allocs = testing.AllocsPerRun(100, func() {
+		if err := s.AddAll("hot-tenant", vals); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-key AddAll allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestHotKeyQueryAllocs pins the cached-view query path at zero heap
+// allocations: once a key's view cache is warm (no ingest between queries),
+// single-φ quantile and CDF lookups are pure binary searches.
+func TestHotKeyQueryAllocs(t *testing.T) {
+	s := mustStore(t, Config{Sketch: testCfg()})
+	if err := s.AddAll("hot-tenant", stream.Collect(stream.Uniform(100000, 9))); err != nil {
+		t.Fatal(err)
+	}
+	// First query builds and caches the view.
+	if _, err := s.Quantile("hot-tenant", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := s.Quantile("hot-tenant", 0.99); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-key cached Quantile allocs/op = %v, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		if _, err := s.CDF("hot-tenant", 0.5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-key cached CDF allocs/op = %v, want 0", allocs)
+	}
+}

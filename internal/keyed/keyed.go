@@ -1,0 +1,626 @@
+// Package keyed is the multi-tenant keyed sketch store: one bounded-memory
+// quantile sketch per group key, behind a sharded striped-lock map so
+// millions of independent keys (per-user, per-endpoint latency series) can
+// ingest and query concurrently at wire speed.
+//
+// This is the paper's Group-By motivation (Section 1.3) lifted into the
+// serving layer. Database aggregation computes many quantile summaries at
+// once, so each one's memory must be small and predictable; the store takes
+// that one step further and bounds the *number* of summaries too:
+//
+//   - Every key's sketch shares a single solved (b, k, h) layout, so the
+//     resident footprint is at most (#keys)·b·k elements plus one query
+//     snapshot buffer per queried key.
+//   - Capacity eviction: when MaxKeys is exceeded, either the
+//     least-recently-touched key is dropped (EvictLRU, the serving default)
+//     or the insert is refused with a typed ErrGroupLimit (Reject — the
+//     library GroupBy contract).
+//   - TTL eviction: keys idle longer than TTL are dropped, on the next
+//     access of that key, lazily from each shard's LRU tail during inserts,
+//     or in bulk by SweepExpired. Time comes from an injectable clock, so
+//     eviction is property-testable on a virtual clock.
+//
+// Hot paths reuse the single-sketch machinery wholesale: ingest lands on
+// core.Sketch.AddAll (the pooled skip-sampling bulk path — zero steady-state
+// allocations), and every entry carries a version-keyed immutable query view
+// so a hot key's single-φ query is one shard-map hit plus an O(log m) binary
+// search, also allocation-free. AddAllBytes lets wire decoders feed a
+// string-keyed store from a borrowed []byte key without allocating a string
+// per frame.
+package keyed
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/optimize"
+	"repro/internal/view"
+)
+
+// Typed store errors, distinguishable with errors.Is so serving layers can
+// map them to precise HTTP statuses (429 and 404 respectively).
+var (
+	// ErrGroupLimit reports an insert refused because the store already
+	// holds MaxKeys distinct keys and the full-policy is Reject.
+	ErrGroupLimit = errors.New("keyed: group limit exceeded")
+	// ErrKeyNotFound reports a query for a key the store does not hold —
+	// never seen, or already evicted.
+	ErrKeyNotFound = errors.New("keyed: key not found")
+)
+
+// FullPolicy selects what an insert does when the store holds MaxKeys keys.
+type FullPolicy int
+
+const (
+	// EvictLRU drops the least-recently-touched key of the inserting shard
+	// to make room — the bounded-memory serving behavior.
+	EvictLRU FullPolicy = iota
+	// Reject refuses the insert with ErrGroupLimit — the library GroupBy
+	// behavior, where exceeding the limit is the caller's bug to see.
+	Reject
+)
+
+// DefaultShards is the shard count used when Config.Shards is zero: enough
+// stripes that a busy multi-tenant ingest fan-in rarely contends, small
+// enough that per-shard fixed state stays negligible.
+const DefaultShards = 16
+
+// Config sizes a Store.
+type Config struct {
+	// Sketch is the per-key sketch layout (every key shares it) and the
+	// base seed; per-key seeds are derived from it by creation sequence.
+	// Callers normally obtain it from Solve.
+	Sketch core.Config
+
+	// Shards is the stripe count; it must be a power of two (0 selects
+	// DefaultShards). Reject-mode callers that need MaxKeys enforced
+	// exactly per insert order should use 1.
+	Shards int
+
+	// MaxKeys bounds the number of resident keys (0 = unbounded). With
+	// EvictLRU the bound is enforced per shard at ⌈MaxKeys/Shards⌉ keys,
+	// so the store never holds more than Shards·⌈MaxKeys/Shards⌉ keys;
+	// with Reject it is enforced globally and exactly.
+	MaxKeys int
+
+	// OnFull selects the MaxKeys behavior (default EvictLRU).
+	OnFull FullPolicy
+
+	// TTL drops keys idle (neither ingested nor queried) longer than this
+	// (0 = never). Expiry is lazy: an expired key is dropped when next
+	// accessed, when an insert sweeps its shard's LRU tail, or when
+	// SweepExpired runs.
+	TTL time.Duration
+
+	// Now supplies the clock behind TTL eviction and last-touch stamps;
+	// nil selects time.Now. Tests substitute a virtual clock.
+	Now func() time.Time
+}
+
+// Solve returns the shared per-key sketch layout for a target (ε, δ) — the
+// unknown-N optimizer's (b, k, h), ready to drop into Config.Sketch (add a
+// Seed for reproducibility).
+func Solve(eps, delta float64) (core.Config, error) {
+	p, err := optimize.UnknownN(eps, delta)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{B: p.B, K: p.K, H: p.H}, nil
+}
+
+// entry is one resident key: its sketch, its LRU links (intrusive, within
+// one shard), its last-touch stamp and its cached immutable query view.
+type entry[K comparable, T cmp.Ordered] struct {
+	key  K
+	sk   *core.Sketch[T]
+	last int64 // last-touch clock reading, unix nanos
+
+	// prev/next form the shard's LRU list: prev is toward the MRU front.
+	prev, next *entry[K, T]
+
+	// view caches the entry's immutable query view, keyed on the sketch
+	// version it was built at (the PR 4 design, per key).
+	view atomic.Pointer[cachedView[T]]
+}
+
+// cachedView pairs an immutable view with the sketch version it reflects.
+type cachedView[T cmp.Ordered] struct {
+	v       *view.View[T]
+	version uint64
+}
+
+// shard is one lock stripe: a key map plus an intrusive LRU list (front =
+// most recently touched).
+type shard[K comparable, T cmp.Ordered] struct {
+	mu          sync.Mutex
+	m           map[K]*entry[K, T]
+	front, back *entry[K, T]
+}
+
+// Store is the sharded keyed sketch store. All methods are safe for
+// concurrent use.
+type Store[K comparable, T cmp.Ordered] struct {
+	cfg         Config
+	shards      []shard[K, T]
+	mask        uint64
+	capPerShard int // EvictLRU per-shard key cap (0 = unbounded)
+	ttl         int64
+	now         func() time.Time
+
+	hseed maphash.Seed
+	hash  func(K) uint64
+
+	// seq drives per-key sketch seeds: entry i gets Seed + i·φ64, exactly
+	// the per-group derivation GroupBy has always used.
+	seq atomic.Uint64
+
+	occupancy  atomic.Int64
+	created    atomic.Uint64
+	evictedLRU atomic.Uint64
+	evictedTTL atomic.Uint64
+	rejected   atomic.Uint64
+}
+
+// New builds a Store. The sketch layout is validated by constructing one
+// trial sketch, so a bad (b, k, h) fails here rather than on first insert.
+func New[K comparable, T cmp.Ordered](cfg Config) (*Store[K, T], error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards < 1 || cfg.Shards&(cfg.Shards-1) != 0 {
+		return nil, fmt.Errorf("keyed: shard count %d is not a power of two", cfg.Shards)
+	}
+	if cfg.MaxKeys < 0 {
+		return nil, fmt.Errorf("keyed: negative key cap %d", cfg.MaxKeys)
+	}
+	if cfg.TTL < 0 {
+		return nil, fmt.Errorf("keyed: negative TTL %s", cfg.TTL)
+	}
+	if _, err := core.NewSketch[T](cfg.Sketch); err != nil {
+		return nil, fmt.Errorf("keyed: sketch layout: %w", err)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Store[K, T]{
+		cfg:    cfg,
+		shards: make([]shard[K, T], cfg.Shards),
+		mask:   uint64(cfg.Shards - 1),
+		ttl:    int64(cfg.TTL),
+		now:    cfg.Now,
+		hseed:  maphash.MakeSeed(),
+	}
+	if cfg.MaxKeys > 0 && cfg.OnFull == EvictLRU {
+		s.capPerShard = (cfg.MaxKeys + cfg.Shards - 1) / cfg.Shards
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[K]*entry[K, T])
+	}
+	// String keys hash with maphash.String so the []byte wire fast path
+	// (maphash.Bytes over the borrowed key) lands on the same shard; every
+	// other comparable key type hashes with maphash.Comparable.
+	var zero K
+	if _, ok := any(zero).(string); ok {
+		h := func(k string) uint64 { return maphash.String(s.hseed, k) }
+		s.hash = any(h).(func(K) uint64)
+	} else {
+		s.hash = func(k K) uint64 { return maphash.Comparable(s.hseed, k) }
+	}
+	return s, nil
+}
+
+// shardOf returns the stripe the key lives on.
+func (s *Store[K, T]) shardOf(key K) *shard[K, T] {
+	return &s.shards[s.hash(key)&s.mask]
+}
+
+// nowNanos reads the injected clock once per operation.
+func (s *Store[K, T]) nowNanos() int64 { return s.now().UnixNano() }
+
+// expired reports whether e's idle time exceeds the TTL.
+func (s *Store[K, T]) expired(e *entry[K, T], now int64) bool {
+	return s.ttl > 0 && now-e.last > s.ttl
+}
+
+// pushFront links e at sh's MRU front. Caller holds sh.mu.
+func (sh *shard[K, T]) pushFront(e *entry[K, T]) {
+	e.prev = nil
+	e.next = sh.front
+	if sh.front != nil {
+		sh.front.prev = e
+	}
+	sh.front = e
+	if sh.back == nil {
+		sh.back = e
+	}
+}
+
+// unlink removes e from sh's LRU list. Caller holds sh.mu.
+func (sh *shard[K, T]) unlink(e *entry[K, T]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// touch stamps e's last access and moves it to the MRU front. Caller holds
+// sh.mu.
+func (sh *shard[K, T]) touch(e *entry[K, T], now int64) {
+	e.last = now
+	if sh.front == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// drop evicts e from the shard, crediting the eviction counter. Caller
+// holds sh.mu.
+func (s *Store[K, T]) drop(sh *shard[K, T], e *entry[K, T], evicted *atomic.Uint64) {
+	delete(sh.m, e.key)
+	sh.unlink(e)
+	s.occupancy.Add(-1)
+	evicted.Add(1)
+}
+
+// sweepTail drops expired entries off the shard's LRU tail. Touch recency
+// orders the list, and last-touch monotonically orders expiry, so expired
+// entries are exactly a suffix of the list. Caller holds sh.mu.
+func (s *Store[K, T]) sweepTail(sh *shard[K, T], now int64) int {
+	n := 0
+	for sh.back != nil && s.expired(sh.back, now) {
+		s.drop(sh, sh.back, &s.evictedTTL)
+		n++
+	}
+	return n
+}
+
+// lookup returns the live entry for key, touching it, or nil. An expired
+// entry is dropped on sight. Caller holds sh.mu.
+func (s *Store[K, T]) lookup(sh *shard[K, T], key K, now int64) *entry[K, T] {
+	e := sh.m[key]
+	if e == nil {
+		return nil
+	}
+	if s.expired(e, now) {
+		s.drop(sh, e, &s.evictedTTL)
+		return nil
+	}
+	sh.touch(e, now)
+	return e
+}
+
+// insert creates the entry for a key the shard does not hold, enforcing the
+// capacity policy. Caller holds sh.mu and has already established the key
+// is absent.
+func (s *Store[K, T]) insert(sh *shard[K, T], key K, now int64) (*entry[K, T], error) {
+	// Reclaim idle keys before judging capacity, so a TTL-bounded store
+	// under churn evicts dead tenants rather than live ones.
+	s.sweepTail(sh, now)
+	if s.cfg.MaxKeys > 0 {
+		if s.cfg.OnFull == Reject {
+			// Reserve a slot globally and exactly: concurrent inserts on
+			// other shards race only through this atomic.
+			if n := s.occupancy.Add(1); n > int64(s.cfg.MaxKeys) {
+				s.occupancy.Add(-1)
+				s.rejected.Add(1)
+				return nil, fmt.Errorf("%w (max %d keys)", ErrGroupLimit, s.cfg.MaxKeys)
+			}
+		} else if len(sh.m) >= s.capPerShard {
+			s.drop(sh, sh.back, &s.evictedLRU)
+		}
+	}
+	seq := s.seq.Add(1)
+	scfg := s.cfg.Sketch
+	scfg.Seed = s.cfg.Sketch.Seed + seq*0x9e3779b97f4a7c15
+	sk, err := core.NewSketch[T](scfg)
+	if err != nil {
+		// Layout was validated in New; only an impossible config reaches
+		// this. Release the Reject-mode reservation all the same.
+		if s.cfg.MaxKeys > 0 && s.cfg.OnFull == Reject {
+			s.occupancy.Add(-1)
+		}
+		return nil, err
+	}
+	e := &entry[K, T]{key: key, sk: sk, last: now}
+	sh.m[key] = e
+	sh.pushFront(e)
+	if s.cfg.MaxKeys <= 0 || s.cfg.OnFull != Reject {
+		s.occupancy.Add(1)
+	}
+	s.created.Add(1)
+	return e, nil
+}
+
+// Add feeds one element to the key's sketch, creating it on first sight.
+func (s *Store[K, T]) Add(key K, v T) error {
+	sh := s.shardOf(key)
+	now := s.nowNanos()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := s.lookup(sh, key, now)
+	if e == nil {
+		var err error
+		if e, err = s.insert(sh, key, now); err != nil {
+			return err
+		}
+	}
+	e.sk.Add(v)
+	return nil
+}
+
+// AddAll feeds a slice of elements through the key's bulk ingest path —
+// core.Sketch.AddAll, the pooled skip-sampling fast path, byte-identical to
+// a per-element Add loop under a fixed seed. On a resident key the whole
+// call performs zero heap allocations in steady state.
+func (s *Store[K, T]) AddAll(key K, vs []T) error {
+	sh := s.shardOf(key)
+	now := s.nowNanos()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := s.lookup(sh, key, now)
+	if e == nil {
+		var err error
+		if e, err = s.insert(sh, key, now); err != nil {
+			return err
+		}
+	}
+	e.sk.AddAll(vs)
+	return nil
+}
+
+// AddAllBytes is AddAll for string-keyed stores fed by wire decoders that
+// hold the key as borrowed bytes (the QKSB frame decoder): the resident-key
+// hot path looks the entry up without materializing a string, so a
+// steady-state keyed ingest stream allocates nothing per frame. Only a key
+// miss — entry creation — pays the one string conversion.
+func AddAllBytes[T cmp.Ordered](s *Store[string, T], key []byte, vs []T) error {
+	sh := &s.shards[maphash.Bytes(s.hseed, key)&s.mask]
+	now := s.nowNanos()
+	sh.mu.Lock()
+	// The m[string(key)] lookup compiles to a no-allocation map probe.
+	if e := sh.m[string(key)]; e != nil && !s.expired(e, now) {
+		sh.touch(e, now)
+		e.sk.AddAll(vs)
+		sh.mu.Unlock()
+		return nil
+	}
+	sh.mu.Unlock()
+	// Miss or expired: take the general path with a real string key.
+	return s.AddAll(string(key), vs)
+}
+
+// viewFor returns the key's current immutable query view, rebuilding the
+// per-entry cache only when the sketch has mutated since it was built. The
+// resident-key fast path is a map probe, an LRU touch and one atomic load.
+func (s *Store[K, T]) viewFor(key K) (*view.View[T], error) {
+	sh := s.shardOf(key)
+	now := s.nowNanos()
+	sh.mu.Lock()
+	e := s.lookup(sh, key, now)
+	if e == nil {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrKeyNotFound, key)
+	}
+	ver := e.sk.Version()
+	if cv := e.view.Load(); cv != nil && cv.version == ver {
+		sh.mu.Unlock()
+		return cv.v, nil
+	}
+	v, err := e.sk.View()
+	if err != nil {
+		sh.mu.Unlock()
+		return nil, err
+	}
+	e.view.Store(&cachedView[T]{v: v, version: ver})
+	sh.mu.Unlock()
+	return v, nil
+}
+
+// Quantile returns the key's φ-quantile estimate, served from the cached
+// view: zero allocations on a resident key with a warm cache.
+func (s *Store[K, T]) Quantile(key K, phi float64) (T, error) {
+	v, err := s.viewFor(key)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.Quantile(phi)
+}
+
+// Quantiles returns estimates for several quantiles of one key, in request
+// order. Only the result slice is allocated on a warm cache.
+func (s *Store[K, T]) Quantiles(key K, phis []float64) ([]T, error) {
+	v, err := s.viewFor(key)
+	if err != nil {
+		return nil, err
+	}
+	return v.Quantiles(phis)
+}
+
+// CDF estimates the fraction of the key's stream ≤ v, from the cached view.
+func (s *Store[K, T]) CDF(key K, v T) (float64, error) {
+	vw, err := s.viewFor(key)
+	if err != nil {
+		return 0, err
+	}
+	return vw.CDF(v), nil
+}
+
+// Count returns the number of elements the key's sketch has consumed, or 0
+// for an absent (or expired) key. It is a pure read: no touch, no eviction.
+func (s *Store[K, T]) Count(key K) uint64 {
+	sh := s.shardOf(key)
+	now := s.nowNanos()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.m[key]
+	if e == nil || s.expired(e, now) {
+		return 0
+	}
+	return e.sk.Count()
+}
+
+// Contains reports whether the key is resident and unexpired, without
+// touching it.
+func (s *Store[K, T]) Contains(key K) bool {
+	sh := s.shardOf(key)
+	now := s.nowNanos()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.m[key]
+	return e != nil && !s.expired(e, now)
+}
+
+// Keys returns the resident key count (the occupancy gauge).
+func (s *Store[K, T]) Keys() int { return int(s.occupancy.Load()) }
+
+// TotalCount returns the number of elements consumed across resident keys.
+func (s *Store[K, T]) TotalCount() uint64 {
+	var n uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for e := sh.front; e != nil; e = e.next {
+			n += e.sk.Count()
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// MemoryElements returns the exact resident element footprint, summing
+// every key's allocated sketch slots. O(#keys); for a cheap worst-case
+// figure use MemoryBoundElements.
+func (s *Store[K, T]) MemoryElements() int {
+	m := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for e := sh.front; e != nil; e = e.next {
+			m += e.sk.MemoryElements()
+		}
+		sh.mu.Unlock()
+	}
+	return m
+}
+
+// MemoryBoundElements returns the store's worst-case resident footprint,
+// (#keys)·b·k — the paper's Group-By memory model, computed from two loads.
+func (s *Store[K, T]) MemoryBoundElements() int {
+	return s.Keys() * s.cfg.Sketch.B * s.cfg.Sketch.K
+}
+
+// PerKeyMemoryBound returns the worst-case per-key footprint b·k.
+func (s *Store[K, T]) PerKeyMemoryBound() int {
+	return s.cfg.Sketch.B * s.cfg.Sketch.K
+}
+
+// AppendKeys appends every resident key to dst (unordered across shards)
+// and returns the extended slice.
+func (s *Store[K, T]) AppendKeys(dst []K) []K {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for e := sh.front; e != nil; e = e.next {
+			dst = append(dst, e.key)
+		}
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
+// SweepExpired drops every expired key now rather than lazily, returning
+// how many were evicted. Serving layers call it from a housekeeping loop so
+// idle tenants release memory without waiting for the next insert.
+func (s *Store[K, T]) SweepExpired() int {
+	if s.ttl <= 0 {
+		return 0
+	}
+	now := s.nowNanos()
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += s.sweepTail(sh, now)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ResetKey clears the key's sketch in place, retaining its allocated buffer
+// memory (and its LRU position), and reports whether the key was resident.
+// It is the per-tenant analogue of Sketch.Reset.
+func (s *Store[K, T]) ResetKey(key K) bool {
+	sh := s.shardOf(key)
+	now := s.nowNanos()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := s.lookup(sh, key, now)
+	if e == nil {
+		return false
+	}
+	e.sk.Reset()
+	return true
+}
+
+// Snapshot returns a deep copy of the key's sketch state (for checkpoints
+// and byte-identity tests), or ErrKeyNotFound.
+func (s *Store[K, T]) Snapshot(key K) (core.SketchState[T], error) {
+	sh := s.shardOf(key)
+	now := s.nowNanos()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := s.lookup(sh, key, now)
+	if e == nil {
+		return core.SketchState[T]{}, fmt.Errorf("%w: %v", ErrKeyNotFound, key)
+	}
+	return e.sk.Snapshot(), nil
+}
+
+// Stats is a point-in-time snapshot of the store's lifecycle counters.
+type Stats struct {
+	Keys       int    // resident keys (occupancy)
+	Created    uint64 // entries ever created
+	EvictedLRU uint64 // keys dropped by capacity pressure
+	EvictedTTL uint64 // keys dropped by idle expiry
+	Rejected   uint64 // inserts refused under the Reject policy
+}
+
+// Stats returns the current counters.
+func (s *Store[K, T]) Stats() Stats {
+	return Stats{
+		Keys:       s.Keys(),
+		Created:    s.created.Load(),
+		EvictedLRU: s.evictedLRU.Load(),
+		EvictedTTL: s.evictedTTL.Load(),
+		Rejected:   s.rejected.Load(),
+	}
+}
+
+// Describe registers the store's occupancy and eviction metrics on reg —
+// the keyed serving surface's slice of the /metrics exposition.
+func (s *Store[K, T]) Describe(reg *obs.Registry) {
+	reg.GaugeFunc("keyed_keys", "Distinct keys resident in the keyed sketch store.",
+		func() float64 { return float64(s.Keys()) })
+	reg.GaugeFunc("keyed_memory_bound_elements", "Worst-case resident element footprint across keys (#keys*b*k, the paper's Group-By memory model).",
+		func() float64 { return float64(s.MemoryBoundElements()) })
+	reg.CounterFunc("keyed_keys_created_total", "Keyed store entries ever created.", s.created.Load)
+	reg.CounterFunc(`keyed_evictions_total{reason="lru"}`, "Keys evicted by capacity pressure.", s.evictedLRU.Load)
+	reg.CounterFunc(`keyed_evictions_total{reason="ttl"}`, "Keys evicted by idle expiry.", s.evictedTTL.Load)
+	reg.CounterFunc("keyed_rejected_total", "Inserts refused because the store was full (Reject policy).", s.rejected.Load)
+}

@@ -1,0 +1,555 @@
+package keyed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/stream"
+)
+
+// testCfg is a small shared layout: b=6, k=128 handles the test volumes
+// comfortably while keeping sketches cheap to create in bulk.
+func testCfg() core.Config {
+	return core.Config{B: 6, K: 128, H: 3, Seed: 42}
+}
+
+// virtualClock is a manually advanced clock for TTL property tests.
+type virtualClock struct{ t time.Time }
+
+func newVirtualClock() *virtualClock {
+	return &virtualClock{t: time.Unix(1_700_000_000, 0)}
+}
+func (c *virtualClock) Now() time.Time          { return c.t }
+func (c *virtualClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func mustStore(t *testing.T, cfg Config) *Store[string, float64] {
+	t.Helper()
+	s, err := New[string, float64](cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestStoreBadConfig(t *testing.T) {
+	cases := []Config{
+		{Sketch: testCfg(), Shards: 3},
+		{Sketch: testCfg(), Shards: -2},
+		{Sketch: testCfg(), MaxKeys: -1},
+		{Sketch: testCfg(), TTL: -time.Second},
+		{Sketch: core.Config{B: 0, K: 128, H: 1}},
+	}
+	for i, cfg := range cases {
+		if _, err := New[string, float64](cfg); err == nil {
+			t.Errorf("case %d: New accepted bad config %+v", i, cfg)
+		}
+	}
+}
+
+func TestStoreBasicQuantiles(t *testing.T) {
+	s := mustStore(t, Config{Sketch: testCfg()})
+	const n = 20000
+	keys := []string{"alpha", "beta", "gamma"}
+	for ki, key := range keys {
+		src := stream.Uniform(n, uint64(100+ki))
+		vals := stream.Collect(src)
+		// Mix scalar and bulk feeding across keys.
+		if ki%2 == 0 {
+			if err := s.AddAll(key, vals); err != nil {
+				t.Fatalf("AddAll(%s): %v", key, err)
+			}
+		} else {
+			for _, v := range vals {
+				if err := s.Add(key, v); err != nil {
+					t.Fatalf("Add(%s): %v", key, err)
+				}
+			}
+		}
+	}
+	if got := s.Keys(); got != len(keys) {
+		t.Fatalf("Keys = %d, want %d", got, len(keys))
+	}
+	if got := s.TotalCount(); got != uint64(n*len(keys)) {
+		t.Fatalf("TotalCount = %d, want %d", got, n*len(keys))
+	}
+	for _, key := range keys {
+		if got := s.Count(key); got != n {
+			t.Fatalf("Count(%s) = %d, want %d", key, got, n)
+		}
+		for _, phi := range []float64{0.1, 0.5, 0.9} {
+			got, err := s.Quantile(key, phi)
+			if err != nil {
+				t.Fatalf("Quantile(%s, %v): %v", key, phi, err)
+			}
+			// Uniform(0,1) stream: the φ-quantile is near φ. The layout is
+			// loose, so just require the right neighborhood.
+			if math.Abs(got-phi) > 0.1 {
+				t.Errorf("Quantile(%s, %v) = %v, too far from %v", key, phi, got, phi)
+			}
+		}
+		p, err := s.CDF(key, 0.5)
+		if err != nil {
+			t.Fatalf("CDF(%s): %v", key, err)
+		}
+		if math.Abs(p-0.5) > 0.1 {
+			t.Errorf("CDF(%s, 0.5) = %v, want ~0.5", key, p)
+		}
+	}
+	qs, err := s.Quantiles("alpha", []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatalf("Quantiles: %v", err)
+	}
+	if len(qs) != 2 || qs[0] > qs[1] {
+		t.Fatalf("Quantiles = %v, want two ordered values", qs)
+	}
+}
+
+func TestStoreKeyNotFound(t *testing.T) {
+	s := mustStore(t, Config{Sketch: testCfg()})
+	if err := s.AddAll("present", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Quantile("absent", 0.5); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("Quantile(absent) err = %v, want ErrKeyNotFound", err)
+	}
+	if _, err := s.CDF("absent", 1.0); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("CDF(absent) err = %v, want ErrKeyNotFound", err)
+	}
+	if _, err := s.Snapshot("absent"); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("Snapshot(absent) err = %v, want ErrKeyNotFound", err)
+	}
+	if s.Contains("absent") {
+		t.Fatal("Contains(absent) = true")
+	}
+	if got := s.Count("absent"); got != 0 {
+		t.Fatalf("Count(absent) = %d, want 0", got)
+	}
+	if s.ResetKey("absent") {
+		t.Fatal("ResetKey(absent) = true")
+	}
+}
+
+func TestStoreRejectPolicy(t *testing.T) {
+	// Shards=1 makes the global limit exact per insert order.
+	s := mustStore(t, Config{Sketch: testCfg(), Shards: 1, MaxKeys: 2, OnFull: Reject})
+	if err := s.Add("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Add("c", 3)
+	if !errors.Is(err, ErrGroupLimit) {
+		t.Fatalf("third key err = %v, want ErrGroupLimit", err)
+	}
+	// Existing keys keep accepting.
+	if err := s.AddAll("a", []float64{4, 5}); err != nil {
+		t.Fatalf("existing key after limit: %v", err)
+	}
+	st := s.Stats()
+	if st.Keys != 2 || st.Rejected != 1 || st.EvictedLRU != 0 {
+		t.Fatalf("Stats = %+v, want Keys=2 Rejected=1 EvictedLRU=0", st)
+	}
+}
+
+// TestStoreLRUProperty drives a single-shard store against a reference
+// model of an LRU map and checks occupancy, eviction counts and the exact
+// resident key set after every operation.
+func TestStoreLRUProperty(t *testing.T) {
+	const capKeys = 8
+	s := mustStore(t, Config{Sketch: testCfg(), Shards: 1, MaxKeys: capKeys, OnFull: EvictLRU})
+
+	// Reference model: ordered slice, front = MRU.
+	var model []string
+	touch := func(key string) {
+		for i, k := range model {
+			if k == key {
+				model = append(model[:i], model[i+1:]...)
+				break
+			}
+		}
+		model = append([]string{key}, model...)
+		if len(model) > capKeys {
+			model = model[:capKeys]
+		}
+	}
+
+	rng := stream.Uniform(4000, 7)
+	evictions := 0
+	for i := 0; i < 4000; i++ {
+		v, _ := rng.Next()
+		// Key space of 24 over capacity 8 forces steady eviction traffic.
+		key := fmt.Sprintf("k%02d", int(v*24))
+		before := s.Keys()
+		inModel := false
+		for _, k := range model {
+			if k == key {
+				inModel = true
+				break
+			}
+		}
+		if err := s.Add(key, v); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		touch(key)
+		if !inModel && before == capKeys {
+			evictions++
+		}
+		if got := s.Keys(); got != len(model) {
+			t.Fatalf("op %d: Keys = %d, model %d", i, got, len(model))
+		}
+	}
+	st := s.Stats()
+	if int(st.EvictedLRU) != evictions {
+		t.Fatalf("EvictedLRU = %d, model evictions %d", st.EvictedLRU, evictions)
+	}
+	if st.Keys != capKeys {
+		t.Fatalf("final Keys = %d, want %d", st.Keys, capKeys)
+	}
+	// The exact resident set must match the model.
+	got := s.AppendKeys(nil)
+	sort.Strings(got)
+	want := append([]string(nil), model...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("resident keys %v, model %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("resident keys %v, model %v", got, want)
+		}
+	}
+	if created := int(st.Created); created != capKeys+evictions {
+		t.Fatalf("Created = %d, want cap+evictions = %d", created, capKeys+evictions)
+	}
+}
+
+// TestStoreTTLProperty checks idle expiry against the virtual clock: a key
+// untouched for longer than TTL is gone (query → ErrKeyNotFound; ingest →
+// fresh sketch), while touched keys survive, and the TTL eviction counter
+// plus occupancy agree with the model at every step.
+func TestStoreTTLProperty(t *testing.T) {
+	clk := newVirtualClock()
+	const ttl = time.Minute
+	s := mustStore(t, Config{Sketch: testCfg(), Shards: 1, TTL: ttl, Now: clk.Now})
+
+	if err := s.Add("old", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("fresh", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Touch "fresh" (query counts as a touch), leave "old" idle.
+	clk.Advance(40 * time.Second)
+	if _, err := s.Quantile("fresh", 0.5); err != nil {
+		t.Fatalf("fresh query: %v", err)
+	}
+	// At +70s "old" is 70s idle (expired), "fresh" only 30s idle.
+	clk.Advance(30 * time.Second)
+	if _, err := s.Quantile("old", 0.5); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("expired key query err = %v, want ErrKeyNotFound", err)
+	}
+	if s.Contains("old") {
+		t.Fatal("expired key still Contains")
+	}
+	if !s.Contains("fresh") {
+		t.Fatal("fresh key vanished")
+	}
+	st := s.Stats()
+	if st.EvictedTTL != 1 || st.Keys != 1 {
+		t.Fatalf("Stats = %+v, want EvictedTTL=1 Keys=1", st)
+	}
+
+	// Ingest into an expired key starts a fresh sketch.
+	if err := s.Add("fresh", 3); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Minute)
+	if err := s.Add("fresh", 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Count("fresh"); got != 1 {
+		t.Fatalf("Count after expiry-recreate = %d, want 1", got)
+	}
+	st = s.Stats()
+	if st.EvictedTTL != 2 {
+		t.Fatalf("EvictedTTL = %d, want 2", st.EvictedTTL)
+	}
+
+	// SweepExpired drops everything idle in one call.
+	for i := 0; i < 5; i++ {
+		if err := s.Add(fmt.Sprintf("bulk%d", i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(ttl + time.Second)
+	if n := s.SweepExpired(); n != 6 { // 5 bulk keys + fresh
+		t.Fatalf("SweepExpired = %d, want 6", n)
+	}
+	if got := s.Keys(); got != 0 {
+		t.Fatalf("Keys after sweep = %d, want 0", got)
+	}
+}
+
+// TestStoreTTLSweepOnInsert checks the lazy tail sweep: inserting a new key
+// reclaims expired keys before judging capacity, so live keys are never
+// LRU-evicted while dead ones remain.
+func TestStoreTTLSweepOnInsert(t *testing.T) {
+	clk := newVirtualClock()
+	s := mustStore(t, Config{
+		Sketch: testCfg(), Shards: 1, MaxKeys: 3, OnFull: EvictLRU,
+		TTL: time.Minute, Now: clk.Now,
+	})
+	for i := 0; i < 3; i++ {
+		if err := s.Add(fmt.Sprintf("dead%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(2 * time.Minute)
+	if err := s.Add("live", 1); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Keys != 1 || st.EvictedTTL != 3 || st.EvictedLRU != 0 {
+		t.Fatalf("Stats = %+v, want Keys=1 EvictedTTL=3 EvictedLRU=0", st)
+	}
+}
+
+// TestStoreMultiShardBounds checks the documented EvictLRU capacity bound
+// for a sharded store: occupancy never exceeds Shards·⌈MaxKeys/Shards⌉ and
+// evictions fire once distinct keys exceed the cap.
+func TestStoreMultiShardBounds(t *testing.T) {
+	const (
+		shards   = 8
+		maxKeys  = 64
+		distinct = 500
+	)
+	s := mustStore(t, Config{Sketch: testCfg(), Shards: shards, MaxKeys: maxKeys, OnFull: EvictLRU})
+	perShard := (maxKeys + shards - 1) / shards
+	bound := shards * perShard
+	for i := 0; i < distinct; i++ {
+		if err := s.Add(fmt.Sprintf("key-%04d", i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Keys(); got > bound {
+			t.Fatalf("occupancy %d exceeds bound %d", got, bound)
+		}
+	}
+	st := s.Stats()
+	if st.EvictedLRU == 0 {
+		t.Fatal("no LRU evictions despite distinct keys >> cap")
+	}
+	if st.Keys+int(st.EvictedLRU) != distinct {
+		t.Fatalf("Keys+EvictedLRU = %d, want %d", st.Keys+int(st.EvictedLRU), distinct)
+	}
+	bnd := s.MemoryBoundElements()
+	if bnd != st.Keys*testCfg().B*testCfg().K {
+		t.Fatalf("MemoryBoundElements = %d, want %d", bnd, st.Keys*testCfg().B*testCfg().K)
+	}
+	if mem := s.MemoryElements(); mem > bnd {
+		t.Fatalf("MemoryElements %d exceeds bound %d", mem, bnd)
+	}
+}
+
+// TestStoreBulkByteIdentity: feeding a key via AddAll (and AddAllBytes)
+// yields byte-identical sketch state to a per-element Add loop under the
+// same derived seed — creation order pins the seed, so both stores create
+// their keys in the same sequence.
+func TestStoreBulkByteIdentity(t *testing.T) {
+	vals := stream.Collect(stream.Uniform(50000, 99))
+	keys := []string{"x", "y", "z"}
+
+	build := func(feed func(s *Store[string, float64], key string, vs []float64)) map[string][]byte {
+		s := mustStore(t, Config{Sketch: testCfg()})
+		out := make(map[string][]byte)
+		for _, key := range keys {
+			feed(s, key, vals)
+		}
+		for _, key := range keys {
+			st, err := s.Snapshot(key)
+			if err != nil {
+				t.Fatalf("Snapshot(%s): %v", key, err)
+			}
+			blob, err := codec.MarshalSketch(st, codec.Float64())
+			if err != nil {
+				t.Fatalf("MarshalSketch(%s): %v", key, err)
+			}
+			out[key] = blob
+		}
+		return out
+	}
+
+	scalar := build(func(s *Store[string, float64], key string, vs []float64) {
+		for _, v := range vs {
+			if err := s.Add(key, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	bulk := build(func(s *Store[string, float64], key string, vs []float64) {
+		// Chunked bulk feed crossing buffer boundaries.
+		for len(vs) > 0 {
+			n := min(1237, len(vs))
+			if err := s.AddAll(key, vs[:n]); err != nil {
+				t.Fatal(err)
+			}
+			vs = vs[n:]
+		}
+	})
+	byBytes := build(func(s *Store[string, float64], key string, vs []float64) {
+		kb := []byte(key)
+		for len(vs) > 0 {
+			n := min(4096, len(vs))
+			if err := AddAllBytes(s, kb, vs[:n]); err != nil {
+				t.Fatal(err)
+			}
+			vs = vs[n:]
+		}
+	})
+
+	for _, key := range keys {
+		if string(scalar[key]) != string(bulk[key]) {
+			t.Errorf("key %s: AddAll state differs from Add state", key)
+		}
+		if string(scalar[key]) != string(byBytes[key]) {
+			t.Errorf("key %s: AddAllBytes state differs from Add state", key)
+		}
+	}
+}
+
+// TestStoreViewCache: the per-entry view is rebuilt only when the sketch
+// version moves, and queries after more ingest see the new data.
+func TestStoreViewCache(t *testing.T) {
+	s := mustStore(t, Config{Sketch: testCfg()})
+	if err := s.AddAll("k", stream.Collect(stream.Uniform(10000, 5))); err != nil {
+		t.Fatal(err)
+	}
+	q1, err := s.Quantile("k", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same version → cached view → identical answer.
+	q2, err := s.Quantile("k", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q2 {
+		t.Fatalf("cached answer changed: %v vs %v", q1, q2)
+	}
+	// Shift the distribution; the view must refresh.
+	shifted := make([]float64, 20000)
+	for i := range shifted {
+		shifted[i] = 100 + float64(i)
+	}
+	if err := s.AddAll("k", shifted); err != nil {
+		t.Fatal(err)
+	}
+	q3, err := s.Quantile("k", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3 < 100 {
+		t.Fatalf("post-ingest p90 = %v, want >= 100 (stale view?)", q3)
+	}
+}
+
+func TestStoreResetKey(t *testing.T) {
+	s := mustStore(t, Config{Sketch: testCfg()})
+	if err := s.AddAll("k", stream.Collect(stream.Uniform(5000, 11))); err != nil {
+		t.Fatal(err)
+	}
+	if !s.ResetKey("k") {
+		t.Fatal("ResetKey(k) = false")
+	}
+	if got := s.Count("k"); got != 0 {
+		t.Fatalf("Count after reset = %d, want 0", got)
+	}
+	if _, err := s.Quantile("k", 0.5); err == nil {
+		t.Fatal("Quantile on reset (empty) key succeeded")
+	}
+	// The key remains resident and re-usable.
+	if !s.Contains("k") {
+		t.Fatal("reset key evicted")
+	}
+	if err := s.Add("k", 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Count("k"); got != 1 {
+		t.Fatalf("Count after re-feed = %d, want 1", got)
+	}
+}
+
+func TestStoreIntKeys(t *testing.T) {
+	// Non-string comparable keys use the maphash.Comparable path.
+	s, err := New[uint64, float64](Config{Sketch: testCfg(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 50; k++ {
+		if err := s.AddAll(k, []float64{float64(k), float64(k) + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Keys(); got != 50 {
+		t.Fatalf("Keys = %d, want 50", got)
+	}
+	q, err := s.Quantile(7, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 7 || q > 8 {
+		t.Fatalf("Quantile(7, 0.5) = %v, want in [7, 8]", q)
+	}
+}
+
+func TestStoreDescribeMetrics(t *testing.T) {
+	clk := newVirtualClock()
+	s := mustStore(t, Config{
+		Sketch: testCfg(), Shards: 1, MaxKeys: 2, OnFull: EvictLRU,
+		TTL: time.Minute, Now: clk.Now,
+	})
+	reg := obs.NewRegistry()
+	s.Describe(reg)
+	for _, k := range []string{"a", "b", "c"} { // c evicts a (LRU)
+		if err := s.Add(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(2 * time.Minute)
+	s.SweepExpired() // drops b and c
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"keyed_keys 0",
+		"keyed_keys_created_total 3",
+		`keyed_evictions_total{reason="lru"} 1`,
+		`keyed_evictions_total{reason="ttl"} 2`,
+		"keyed_memory_bound_elements 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSolve(t *testing.T) {
+	cfg, err := Solve(0.01, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.B < 2 || cfg.K < 1 || cfg.H < 1 {
+		t.Fatalf("Solve returned degenerate layout %+v", cfg)
+	}
+	if _, err := Solve(0, 0.5); err == nil {
+		t.Fatal("Solve accepted eps=0")
+	}
+}

@@ -1,0 +1,99 @@
+package keyed
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// TestStoreConcurrency hammers a small contended key set with 8 bulk
+// writers and 8 readers (quantile, CDF, stats, key walks) under an
+// LRU+TTL-bounded store. It asserts nothing beyond internal consistency —
+// its job is to give the race detector (CI runs it with -race) every
+// cross-shard interleaving: entry create vs evict, view rebuild vs ingest,
+// LRU touch vs tail sweep.
+func TestStoreConcurrency(t *testing.T) {
+	s := mustStore(t, Config{
+		Sketch:  testCfg(),
+		Shards:  4,
+		MaxKeys: 12, // below the 16-key space → live eviction traffic
+		OnFull:  EvictLRU,
+		TTL:     50 * time.Millisecond,
+	})
+
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tenant-%02d", i)
+	}
+	const (
+		writers = 8
+		readers = 8
+		rounds  = 300
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals := stream.Collect(stream.Uniform(256, uint64(1000+w)))
+			for r := 0; r < rounds; r++ {
+				key := keys[(w+r)%len(keys)]
+				if r%3 == 0 {
+					if err := AddAllBytes(s, []byte(key), vals); err != nil {
+						t.Errorf("AddAllBytes: %v", err)
+						return
+					}
+				} else if err := s.AddAll(key, vals); err != nil {
+					t.Errorf("AddAll: %v", err)
+					return
+				}
+				if r%64 == 0 {
+					s.ResetKey(key)
+				}
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				key := keys[(rd*3+r)%len(keys)]
+				// Evicted/empty keys legitimately error; only data races
+				// and corrupt answers matter here.
+				if q, err := s.Quantile(key, 0.5); err == nil && (q < 0 || q > 1) {
+					t.Errorf("Quantile(%s) = %v, out of the uniform(0,1) range", key, q)
+					return
+				}
+				switch r % 5 {
+				case 0:
+					s.CDF(key, 0.5)
+				case 1:
+					s.Stats()
+				case 2:
+					s.Count(key)
+				case 3:
+					s.AppendKeys(nil)
+				case 4:
+					s.SweepExpired()
+				}
+			}
+		}(rd)
+	}
+	wg.Wait()
+
+	// Post-storm invariants: occupancy within the documented bound and
+	// consistent with the created/evicted ledger.
+	st := s.Stats()
+	perShard := (12 + 4 - 1) / 4
+	if st.Keys < 0 || st.Keys > 4*perShard {
+		t.Fatalf("final occupancy %d outside [0, %d]", st.Keys, 4*perShard)
+	}
+	if int(st.Created)-int(st.EvictedLRU)-int(st.EvictedTTL) != st.Keys {
+		t.Fatalf("ledger mismatch: created %d - evicted (%d lru + %d ttl) != resident %d",
+			st.Created, st.EvictedLRU, st.EvictedTTL, st.Keys)
+	}
+}

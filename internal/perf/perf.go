@@ -1,9 +1,11 @@
 // Package perf is the repository's performance harness (experiment E-PERF):
 // it measures the hot paths end to end — bulk and scalar unknown-N ingest,
 // known-N, the reservoir and extreme baselines, the sharded concurrent
-// sketch, the cluster coordinator's shipment ingest, and the query-serving
+// sketch, the cluster coordinator's shipment ingest, the query-serving
 // path (cold view rebuild, cached single-φ and CDF lookups, queries racing
-// ingest) — and emits a machine-readable report (BENCH_4.json) that CI
+// ingest), and the multi-tenant keyed store (hot-key slab ingest, Zipf
+// group-by churn, cached per-key queries) — and emits a machine-readable
+// report (BENCH_<PR>.json) that CI
 // compares against a checked-in baseline to catch throughput regressions.
 //
 // Ingest rows report ns per stream element; query rows report ns per query
@@ -32,6 +34,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/keyed"
 	"repro/internal/stream"
 )
 
@@ -44,11 +47,12 @@ const (
 	FamilyCluster = "cluster" // coordinator shipment path
 	FamilyEngine  = "engine"  // per-engine ingest + cached-query rows
 	FamilyBinary  = "binary"  // framed-slab wire ingest rows
+	FamilyKeyed   = "keyed"   // multi-tenant keyed store rows
 )
 
 // Families lists the known row families in display order.
 func Families() []string {
-	return []string{FamilyIngest, FamilyQuery, FamilyCluster, FamilyEngine, FamilyBinary}
+	return []string{FamilyIngest, FamilyQuery, FamilyCluster, FamilyEngine, FamilyBinary, FamilyKeyed}
 }
 
 // Row is one measured ingest path.
@@ -109,7 +113,7 @@ type Config struct {
 // and the paper-facing claim — wire-speed ingest under 20 ns/elem — is a
 // steady-state number, not a cold-start one.
 func DefaultConfig() Config {
-	return Config{N: 1 << 20, Reps: 5, FamilyN: map[string]int{FamilyBinary: 1 << 23}}
+	return Config{N: 1 << 20, Reps: 5, FamilyN: map[string]int{FamilyBinary: 1 << 23, FamilyKeyed: 1 << 23}}
 }
 
 const schemaName = "qbench-perf/v2"
@@ -482,6 +486,120 @@ func Run(cfg Config) (Report, error) {
 		return rep, err
 	}
 
+	// Keyed wire rows: the multi-tenant store's slab path end to end.
+	// keyed-ingest-hot replays the binary row's exact shape (64Ki-value
+	// frames) addressed to one resident key — decode + zero-alloc
+	// AddAllBytes, the per-frame work of POST /v1/ingest/keyed for a hot
+	// tenant. Its gate vs ingest-binary-bulk bounds the keyed surcharge
+	// (hash + shard lock + LRU touch per frame).
+	keyedData := binData
+	if nFor(FamilyKeyed) != nFor(FamilyBinary) {
+		keyedData = stream.Collect(stream.Uniform(uint64(nFor(FamilyKeyed)), 0xbe9c4))
+	}
+	kcfg, err := keyed.Solve(eps, delta)
+	if err != nil {
+		return rep, err
+	}
+	kcfg.Seed = 1
+	var keyedSlab []byte
+	for off := 0; off < len(keyedData); off += 1 << 16 {
+		end := off + 1<<16
+		if end > len(keyedData) {
+			end = len(keyedData)
+		}
+		keyedSlab = codec.AppendKeyedIngestFrame(keyedSlab, []byte("hot-tenant"), keyedData[off:end])
+	}
+	khot, err := keyed.New[string, float64](keyed.Config{Sketch: kcfg, Shards: keyed.DefaultShards})
+	if err != nil {
+		return rep, err
+	}
+	if kerr := khot.AddAll("hot-tenant", keyedData[:1]); kerr != nil {
+		return rep, kerr
+	}
+	var kDec codec.KeyedIngestDecoder
+	kRd := bytes.NewReader(keyedSlab)
+	addRow(FamilyKeyed, "keyed-ingest-hot", len(keyedData), func() {
+		khot.ResetKey("hot-tenant")
+		kRd.Reset(keyedSlab)
+		kDec.Reset(kRd)
+	}, func() {
+		for {
+			key, vals, derr := kDec.Next()
+			if derr != nil {
+				if derr != io.EOF {
+					err = derr
+				}
+				return
+			}
+			if aerr := keyed.AddAllBytes(khot, key, vals); aerr != nil {
+				err = aerr
+				return
+			}
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	// keyed-ingest-zipf is the group-by regime: 1024 tenants, 8Ki-value
+	// frames, keys drawn Zipf(s=1.3) — a cold store per rep, so the row
+	// prices entry creation and cold-key dispatch alongside the hot path.
+	const zipfKeys = 1024
+	const zipfFrame = 8192
+	zipfRanks := stream.Zipf(uint64((len(keyedData)+zipfFrame-1)/zipfFrame), 7, 1.3, zipfKeys-1)
+	var zipfSlab []byte
+	for off := 0; off < len(keyedData); off += zipfFrame {
+		end := off + zipfFrame
+		if end > len(keyedData) {
+			end = len(keyedData)
+		}
+		rank, _ := zipfRanks.Next()
+		zipfSlab = codec.AppendKeyedIngestFrame(zipfSlab, []byte(fmt.Sprintf("key-%04d", int(rank))), keyedData[off:end])
+	}
+	var kz *keyed.Store[string, float64]
+	zRd := bytes.NewReader(zipfSlab)
+	addRow(FamilyKeyed, "keyed-ingest-zipf", len(keyedData), func() {
+		kz, err = keyed.New[string, float64](keyed.Config{Sketch: kcfg, Shards: keyed.DefaultShards})
+		zRd.Reset(zipfSlab)
+		kDec.Reset(zRd)
+	}, func() {
+		for {
+			key, vals, derr := kDec.Next()
+			if derr != nil {
+				if derr != io.EOF {
+					err = derr
+				}
+				return
+			}
+			if aerr := keyed.AddAllBytes(kz, key, vals); aerr != nil {
+				err = aerr
+				return
+			}
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	// keyed-query-cached: steady-state per-key reads against an unchanged
+	// tenant — the version-keyed cached view, alloc-gated like the flat
+	// query path it mirrors.
+	const keyedQueries = 1 << 18
+	addRow(FamilyKeyed, "keyed-query-cached", keyedQueries, func() {
+		_, err = khot.Quantile("hot-tenant", 0.5)
+	}, func() {
+		for i := 0; i < keyedQueries; i++ {
+			phi := float64(i&1023+1) / 1024
+			if _, qerr := khot.Quantile("hot-tenant", phi); qerr != nil {
+				err = qerr
+				return
+			}
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
 	// Per-engine rows: the same unknown-N ingest and cached-query workload
 	// through each pluggable backend, so EXPERIMENTS.md can table
 	// MRL99-vs-KLL-vs-GK speed next to the conformance grid's accuracy.
@@ -565,7 +683,7 @@ func buildEnvelopes(eps, delta float64, n int) ([]cluster.Envelope, uint64, erro
 // enforces: the pooled single-sketch and wire-ingest hot paths, where a
 // reintroduced per-block allocation is a real regression. The concurrent
 // and query rows are excluded — their counts ride on goroutine scheduling.
-var allocGatedPrefixes = []string{"unknown-n", "known-n", "ingest-binary", "engine-ingest"}
+var allocGatedPrefixes = []string{"unknown-n", "known-n", "ingest-binary", "engine-ingest", "keyed-ingest-hot", "keyed-query-cached"}
 
 func allocGated(name string) bool {
 	for _, p := range allocGatedPrefixes {

@@ -162,3 +162,34 @@ func TestCompareNamesOffendingRow(t *testing.T) {
 		t.Fatalf("want regression + missing-row violations, got %v", vs)
 	}
 }
+
+func TestRunEmitsKeyedRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-timed harness")
+	}
+	rep := small(t, Config{FamilyN: map[string]int{FamilyKeyed: 2048}, Engines: []string{engine.MRL99}})
+	rows := rowsByName(rep)
+	for _, name := range []string{"keyed-ingest-hot", "keyed-ingest-zipf"} {
+		r, ok := rows[name]
+		if !ok {
+			t.Fatalf("missing row %s in %v", name, rep.Rows)
+		}
+		if r.N != 2048 || r.Elems != 2048 {
+			t.Errorf("%s recorded n=%d elems=%d, want 2048", name, r.N, r.Elems)
+		}
+		if r.NsPerElem <= 0 {
+			t.Errorf("%s measured %v ns/elem", name, r.NsPerElem)
+		}
+	}
+	if r, ok := rows["keyed-query-cached"]; !ok || r.Elems != 1<<18 {
+		t.Errorf("keyed-query-cached row: %+v (present=%v)", r, ok)
+	}
+	for _, name := range []string{"keyed-ingest-hot", "keyed-query-cached"} {
+		if !allocGated(name) {
+			t.Errorf("%s not alloc-gated", name)
+		}
+	}
+	if allocGated("keyed-ingest-zipf") {
+		t.Error("keyed-ingest-zipf alloc-gated; cold entry creation allocates by design")
+	}
+}
