@@ -21,6 +21,9 @@ func TestParseFlagsKeyed(t *testing.T) {
 		{"-key-ttl", "5m"},
 		{"-key-shards", "32"},
 		{"-role", "worker", "-coordinator", "http://c", "-keys-max", "10"},
+		{"-window", "5m"},
+		{"-window", "5m", "-window-epochs", "20"},
+		{"-role", "worker", "-coordinator", "http://c", "-window", "1m"},
 	}
 	for _, args := range good {
 		if _, err := parseFlags(args, io.Discard); err != nil {
@@ -37,6 +40,11 @@ func TestParseFlagsKeyed(t *testing.T) {
 		{"-role", "aggregator", "-parent", "http://p", "-key-ttl", "1m"},
 		{"-engine", "kll", "-keys-max", "10"},
 		{"-engine", "gk", "-key-shards", "16"},
+		{"-window", "-5m"},
+		{"-window-epochs", "10"}, // epoch count without a span
+		{"-window", "5m", "-window-epochs", "-2"},
+		{"-role", "coordinator", "-window", "5m"},
+		{"-engine", "kll", "-window", "5m"},
 	}
 	for _, args := range bad {
 		if _, err := parseFlags(args, io.Discard); err == nil {
@@ -116,6 +124,42 @@ func TestKeyedSweepLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	runKeyedSweepTrial(t, svc)
+}
+
+// TestWorkerKeyedSweepLoop is the role-coverage companion: the PR 10
+// sweeper audit moved the sweep wrapping out of the per-role cases into
+// newService, and this test pins the worker role — whose run loop is the
+// shipping loop, not a bare ctx wait — sweeping idle keys exactly like
+// standalone, with zero keyed query traffic against the expiring key.
+func TestWorkerKeyedSweepLoop(t *testing.T) {
+	// A stub coordinator that acknowledges every shipment, so the worker's
+	// shipping loop runs realistically alongside the sweeper.
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer coord.Close()
+
+	cfg, err := parseFlags([]string{
+		"-role", "worker", "-coordinator", coord.URL,
+		"-ship-interval", "100ms", "-key-ttl", "50ms",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := newService(cfg, obs.Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runKeyedSweepTrial(t, svc)
+}
+
+// runKeyedSweepTrial ingests one key into a running service and waits for
+// the background sweeper to evict it. The key receives no touches after
+// ingest — only /stats polling, which does not reset idleness — so an
+// eviction proves the sweep loop is wired for this role.
+func runKeyedSweepTrial(t *testing.T, svc *service) {
+	t.Helper()
 	ts := httptest.NewServer(svc.handler)
 	defer ts.Close()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -139,4 +183,44 @@ func TestKeyedSweepLoop(t *testing.T) {
 	}
 	cancel()
 	<-done
+}
+
+// TestWindowedStandaloneService boots standalone with -window flags and
+// drives a windowed query end to end through the role's handler.
+func TestWindowedStandaloneService(t *testing.T) {
+	cfg, err := parseFlags([]string{"-window", "5m", "-window-epochs", "10", "-seed", "3"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := newService(cfg, obs.Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svc.banner, "window 5m0s (10×30s)") {
+		t.Errorf("banner %q missing window config", svc.banner)
+	}
+	ts := httptest.NewServer(svc.handler)
+	defer ts.Close()
+
+	if code := postKeyedFrame(t, ts.URL, "svc", []float64{1, 2, 3, 4, 5}); code != 200 {
+		t.Fatal("ingest failed")
+	}
+	code, out := getJSON(t, ts.URL+"/quantile?key=svc&window=30s&phi=0.5")
+	if code != 200 {
+		t.Fatalf("windowed quantile status %d: %v", code, out)
+	}
+	if med := out["0.5"].(float64); med != 3 {
+		t.Errorf("windowed median = %v, want 3", med)
+	}
+	if code, out := getJSON(t, ts.URL+"/quantile?key=svc&window=6m"); code != 400 {
+		t.Errorf("over-span window status %d: %v, want 400", code, out)
+	}
+	code, out = getJSON(t, ts.URL+"/stats")
+	if code != 200 {
+		t.Fatal(code)
+	}
+	win := out["keyed"].(map[string]any)["window"].(map[string]any)
+	if win["epochs"].(float64) != 10 || win["span_seconds"].(float64) != 300 {
+		t.Errorf("stats window block %v", win)
+	}
 }

@@ -100,9 +100,11 @@ type config struct {
 	seed   uint64
 	engine string
 
-	keysMax   int
-	keyTTL    time.Duration
-	keyShards int
+	keysMax      int
+	keyTTL       time.Duration
+	keyShards    int
+	window       time.Duration
+	windowEpochs int
 
 	role           string
 	coordinatorURL string
@@ -136,6 +138,8 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.IntVar(&cfg.keysMax, "keys-max", httpapi.DefaultMaxKeys, "keyed-store key cap: distinct keys resident before LRU eviction (mrl99 ingest roles)")
 	fs.DurationVar(&cfg.keyTTL, "key-ttl", 0, "evict keys idle longer than this (0 disables; mrl99 ingest roles)")
 	fs.IntVar(&cfg.keyShards, "key-shards", 0, "keyed-store lock stripes, a power of two (0 = default; mrl99 ingest roles)")
+	fs.DurationVar(&cfg.window, "window", 0, "per-key windowed-query span: window= queries cover up to this much recent history (0 disables; mrl99 ingest roles)")
+	fs.IntVar(&cfg.windowEpochs, "window-epochs", 0, "tumbling epochs per window ring (0 = default; requires -window)")
 	fs.StringVar(&cfg.role, "role", "standalone", "standalone, worker, coordinator or aggregator")
 	fs.StringVar(&cfg.coordinatorURL, "coordinator", "", "coordinator base URL (worker role)")
 	fs.StringVar(&cfg.workerID, "worker-id", "", "stable node identity (worker and aggregator roles; default hostname+addr)")
@@ -208,7 +212,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	keyedFlagSet := ""
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "keys-max", "key-ttl", "key-shards":
+		case "keys-max", "key-ttl", "key-shards", "window", "window-epochs":
 			keyedFlagSet = "-" + f.Name
 		}
 	})
@@ -228,6 +232,15 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	}
 	if cfg.keyShards < 0 || (cfg.keyShards != 0 && cfg.keyShards&(cfg.keyShards-1) != 0) {
 		return cfg, fmt.Errorf("-key-shards %d invalid: want a power of two (or 0 for the default)", cfg.keyShards)
+	}
+	if cfg.window < 0 {
+		return cfg, fmt.Errorf("-window %s invalid: want a non-negative duration", cfg.window)
+	}
+	if cfg.windowEpochs < 0 {
+		return cfg, fmt.Errorf("-window-epochs %d invalid: want a non-negative epoch count", cfg.windowEpochs)
+	}
+	if cfg.windowEpochs > 0 && cfg.window == 0 {
+		return cfg, fmt.Errorf("-window-epochs %d without -window: the epoch count divides the window span", cfg.windowEpochs)
 	}
 	return cfg, nil
 }
@@ -252,6 +265,12 @@ type service struct {
 	handler http.Handler
 	run     func(ctx context.Context)
 	banner  string
+	// ingest is the role's httpapi surface, set by every role that owns
+	// one. newService keys housekeeping (the keyed TTL sweeper) off this
+	// field after the role switch, so a role can't forget to wire it —
+	// the PR 10 audit found the sweep wrapped per-case, which every
+	// ingest case happened to do, but nothing enforced it.
+	ingest *httpapi.Server
 }
 
 // newIngestServer builds the ingest-surface HTTP server for the selected
@@ -264,10 +283,12 @@ func newIngestServer(cfg config, logger *slog.Logger) (*httpapi.Server, error) {
 		srv, err = httpapi.New(cfg.eps, cfg.delta, cfg.shards, quantile.WithSeed(cfg.seed))
 		if err == nil {
 			err = srv.SetKeyed(httpapi.KeyedConfig{
-				MaxKeys: cfg.keysMax,
-				TTL:     cfg.keyTTL,
-				Shards:  cfg.keyShards,
-				Seed:    cfg.seed,
+				MaxKeys:      cfg.keysMax,
+				TTL:          cfg.keyTTL,
+				Shards:       cfg.keyShards,
+				Seed:         cfg.seed,
+				Window:       cfg.window,
+				WindowEpochs: cfg.windowEpochs,
 			})
 		}
 	} else {
@@ -293,14 +314,19 @@ func keyedBanner(cfg config, srv *httpapi.Server) string {
 	if cfg.keyTTL > 0 {
 		b += fmt.Sprintf(" ttl %s", cfg.keyTTL)
 	}
+	if k := srv.Keyed(); k.Windowed() {
+		b += fmt.Sprintf(" window %s (%d×%s)", k.WindowSpan(), k.WindowEpochs(), k.WindowWidth())
+	}
 	return b
 }
 
 // runWithKeyedSweep wraps a role's background loop with a housekeeping
 // ticker that evicts idle keys, so TTL-bounded stores release memory even
-// when the expired keys are never touched again.
+// when the expired keys are never touched again. Applied centrally by
+// newService to any service with an ingest surface — individual role
+// cases must not wrap their own run.
 func runWithKeyedSweep(run func(ctx context.Context), cfg config, srv *httpapi.Server, logger *slog.Logger) func(ctx context.Context) {
-	if srv.Keyed() == nil || cfg.keyTTL <= 0 {
+	if srv == nil || srv.Keyed() == nil || cfg.keyTTL <= 0 {
 		return run
 	}
 	interval := max(min(cfg.keyTTL/2, time.Minute), time.Second)
@@ -327,6 +353,18 @@ func runWithKeyedSweep(run func(ctx context.Context), cfg config, srv *httpapi.S
 }
 
 func newService(cfg config, logger *slog.Logger) (*service, error) {
+	svc, err := newRoleService(cfg, logger)
+	if err != nil {
+		return nil, err
+	}
+	// Housekeeping that every ingest-surface role needs, applied once so
+	// role cases can't drift: the keyed TTL sweeper keeps idle keys from
+	// pinning memory when no request ever touches them again.
+	svc.run = runWithKeyedSweep(svc.run, cfg, svc.ingest, logger)
+	return svc, nil
+}
+
+func newRoleService(cfg config, logger *slog.Logger) (*service, error) {
 	switch cfg.role {
 	case "standalone":
 		srv, err := newIngestServer(cfg, logger)
@@ -335,7 +373,8 @@ func newService(cfg config, logger *slog.Logger) (*service, error) {
 		}
 		return &service{
 			handler: srv.Handler(),
-			run:     runWithKeyedSweep(func(ctx context.Context) { <-ctx.Done() }, cfg, srv, logger),
+			run:     func(ctx context.Context) { <-ctx.Done() },
+			ingest:  srv,
 			banner: fmt.Sprintf("standalone (engine=%s eps=%g delta=%g%s)",
 				cfg.engine, cfg.eps, cfg.delta, keyedBanner(cfg, srv)),
 		}, nil
@@ -366,7 +405,8 @@ func newService(cfg config, logger *slog.Logger) (*service, error) {
 		}
 		return &service{
 			handler: srv.Handler(),
-			run:     runWithKeyedSweep(w.Run, cfg, srv, logger),
+			run:     w.Run,
+			ingest:  srv,
 			banner: fmt.Sprintf("worker %q shipping %s to %s every %s (engine=%s eps=%g delta=%g%s)",
 				cfg.workerID, cfg.ingestFormat, cfg.coordinatorURL, cfg.shipInterval, cfg.engine, cfg.eps, cfg.delta,
 				keyedBanner(cfg, srv)),

@@ -35,7 +35,6 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
-	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -75,10 +74,25 @@ type KeyedConfig struct {
 	RejectWhenFull bool
 	// Seed makes per-key sampling decisions reproducible.
 	Seed uint64
-	// Now injects the eviction clock (nil = time.Now); tests use a
-	// virtual clock.
+	// Now injects the eviction and window-rotation clock (nil = time.Now);
+	// tests use a virtual clock.
 	Now func() time.Time
+	// Window enables per-key time-windowed queries covering this much
+	// recent history (0 disables). The span divides into WindowEpochs
+	// tumbling epochs; the epoch width rounds up, so actual coverage is
+	// ceil(Window/WindowEpochs)·WindowEpochs ≥ Window.
+	Window time.Duration
+	// WindowEpochs is the per-key ring size E (0 selects
+	// DefaultWindowEpochs when Window is set). Per-key memory grows to
+	// (1+E)·b·k elements.
+	WindowEpochs int
 }
+
+// DefaultWindowEpochs is the window ring size when KeyedConfig.Window is
+// set without an explicit epoch count: fine enough that a query over the
+// full span overshoots by at most 10%, coarse enough that per-key memory
+// stays modest.
+const DefaultWindowEpochs = 10
 
 // Server wraps a concurrent sketch behind HTTP endpoints.
 type Server struct {
@@ -169,6 +183,17 @@ func (s *Server) describeKeyed() {
 		func() uint64 { return stats().EvictedTTL })
 	s.reg.CounterFunc("keyed_rejected_total", "Inserts refused because the keyed store was full.",
 		func() uint64 { return stats().Rejected })
+	s.reg.GaugeFunc("keyed_window_span_seconds", "Maximum windowed-query coverage per key (0 = windows disabled).",
+		func() float64 {
+			if s.keyed == nil {
+				return 0
+			}
+			return s.keyed.WindowSpan().Seconds()
+		})
+	s.reg.CounterFunc("keyed_window_rotations_total", "Window epoch slots retired across all keys.",
+		func() uint64 { return stats().WindowRotations })
+	s.reg.CounterFunc("keyed_window_rebuilds_total", "Windowed merged-view rebuilds across all keys.",
+		func() uint64 { return stats().WindowRebuilds })
 }
 
 // SetKeyed replaces the server's keyed sketch store with one sized by cfg.
@@ -191,13 +216,34 @@ func (s *Server) SetKeyed(cfg KeyedConfig) error {
 	if cfg.RejectWhenFull {
 		full = keyed.Reject
 	}
+	var width time.Duration
+	epochs := 0
+	if cfg.Window < 0 {
+		return fmt.Errorf("httpapi: negative window %s", cfg.Window)
+	}
+	if cfg.WindowEpochs < 0 {
+		return fmt.Errorf("httpapi: negative window epoch count %d", cfg.WindowEpochs)
+	}
+	if cfg.Window > 0 {
+		epochs = cfg.WindowEpochs
+		if epochs == 0 {
+			epochs = DefaultWindowEpochs
+		}
+		// Round the width up so epochs·width covers at least cfg.Window —
+		// truncation would silently reject window=<full span> queries.
+		width = (cfg.Window + time.Duration(epochs) - 1) / time.Duration(epochs)
+	} else if cfg.WindowEpochs > 0 {
+		return fmt.Errorf("httpapi: WindowEpochs %d without a Window span", cfg.WindowEpochs)
+	}
 	store, err := keyed.New[string, float64](keyed.Config{
-		Sketch:  layout,
-		Shards:  cfg.Shards,
-		MaxKeys: cfg.MaxKeys,
-		OnFull:  full,
-		TTL:     cfg.TTL,
-		Now:     cfg.Now,
+		Sketch:       layout,
+		Shards:       cfg.Shards,
+		MaxKeys:      cfg.MaxKeys,
+		OnFull:       full,
+		TTL:          cfg.TTL,
+		Now:          cfg.Now,
+		WindowWidth:  width,
+		WindowEpochs: epochs,
 	})
 	if err != nil {
 		return err
@@ -461,14 +507,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 // keyedErrStatus maps keyed-store errors to HTTP statuses: a full store in
 // Reject mode is the caller's backpressure signal (429), an unknown or
-// evicted key is a 404, and anything else (an empty key's query, say) is
-// the usual 409 conflict.
+// evicted key is a 404, a windowed query the store cannot satisfy (windows
+// disabled, or a duration beyond the configured span) is the caller's
+// request to fix (400), and anything else (an empty key's query, an empty
+// window) is the usual 409 conflict.
 func keyedErrStatus(err error) int {
 	switch {
 	case errors.Is(err, quantile.ErrGroupLimit):
 		return http.StatusTooManyRequests
 	case errors.Is(err, quantile.ErrKeyNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, keyed.ErrWindowDisabled), errors.Is(err, keyed.ErrWindowRange):
+		return http.StatusBadRequest
 	default:
 		return http.StatusConflict
 	}
@@ -522,36 +572,60 @@ func (s *Server) handleKeyedIngest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
-	raw := r.URL.Query().Get("phi")
+// windowParam resolves the optional window= parameter in the context of
+// its key= sibling: a windowed query needs a key (per-key rings are the
+// only windowed state) and a strictly valid positive duration. The second
+// return is false when the handler has already written an error response.
+func (s *Server) windowParam(w http.ResponseWriter, r *http.Request, key string) (time.Duration, bool) {
+	raw := r.URL.Query().Get("window")
 	if raw == "" {
-		raw = "0.5"
+		return 0, true
 	}
-	var phis []float64
-	for _, part := range strings.Split(raw, ",") {
-		phi, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		// ParseFloat accepts "NaN", and NaN compares false against
-		// everything, so the range check alone would wave it through into
-		// the rank arithmetic; reject non-finite values by name.
-		if err != nil || math.IsNaN(phi) || math.IsInf(phi, 0) || phi <= 0 || phi > 1 {
-			writeError(w, http.StatusBadRequest, "bad phi %q", part)
-			return
-		}
-		phis = append(phis, phi)
+	d, err := parseWindow(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return 0, false
 	}
-	if key := r.URL.Query().Get("key"); key != "" {
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "window=%s requires key= (only keyed streams carry window rings)", d)
+		return 0, false
+	}
+	return d, true
+}
+
+func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	phis, err := parsePhiList(r.URL.Query().Get("phi"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := r.URL.Query().Get("key")
+	window, ok := s.windowParam(w, r, key)
+	if !ok {
+		return
+	}
+	if key != "" {
 		if s.keyed == nil {
 			writeError(w, http.StatusNotImplemented,
 				"keyed queries require an MRL99 server (engine servers have no keyed store)")
 			return
 		}
-		vals, err := s.keyed.Quantiles(key, phis)
+		var vals []float64
+		var err error
+		if window > 0 {
+			vals, err = s.keyed.WindowQuantiles(key, window, phis)
+		} else {
+			vals, err = s.keyed.Quantiles(key, phis)
+		}
 		if err != nil {
 			writeError(w, keyedErrStatus(err), "%v", err)
 			return
 		}
-		out := make(map[string]any, len(phis)+1)
+		out := make(map[string]any, len(phis)+2)
 		out["key"] = key
+		if window > 0 {
+			out["window"] = window.String()
+		}
 		for i, phi := range phis {
 			out[strconv.FormatFloat(phi, 'g', -1, 64)] = vals[i]
 		}
@@ -571,27 +645,38 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
-	raw := r.URL.Query().Get("v")
-	v, err := strconv.ParseFloat(raw, 64)
-	// NaN poisons the view's binary search (every comparison is false);
-	// infinities are formally orderable but signal a caller bug just the
-	// same, so the whole non-finite class is a 400.
-	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
-		writeError(w, http.StatusBadRequest, "bad v %q", raw)
+	v, err := parseFiniteFloat("v", r.URL.Query().Get("v"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if key := r.URL.Query().Get("key"); key != "" {
+	key := r.URL.Query().Get("key")
+	window, ok := s.windowParam(w, r, key)
+	if !ok {
+		return
+	}
+	if key != "" {
 		if s.keyed == nil {
 			writeError(w, http.StatusNotImplemented,
 				"keyed queries require an MRL99 server (engine servers have no keyed store)")
 			return
 		}
-		frac, err := s.keyed.CDF(key, v)
+		var frac float64
+		var err error
+		if window > 0 {
+			frac, err = s.keyed.WindowCDF(key, window, v)
+		} else {
+			frac, err = s.keyed.CDF(key, v)
+		}
 		if err != nil {
 			writeError(w, keyedErrStatus(err), "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"key": key, "v": v, "cdf": frac})
+		out := map[string]any{"key": key, "v": v, "cdf": frac}
+		if window > 0 {
+			out["window"] = window.String()
+		}
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
 	frac, err := s.cdf(v)
@@ -603,14 +688,10 @@ func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
-	buckets := 10
-	if raw := r.URL.Query().Get("buckets"); raw != "" {
-		b, err := strconv.Atoi(raw)
-		if err != nil || b < 2 || b > 1000 {
-			writeError(w, http.StatusBadRequest, "bad buckets %q", raw)
-			return
-		}
-		buckets = b
+	buckets, err := parseBucketCount(r.URL.Query().Get("buckets"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	phis := make([]float64, buckets-1)
 	for i := range phis {
@@ -658,7 +739,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.keyed != nil {
 		ks := s.keyed.Stats()
-		out["keyed"] = map[string]any{
+		kout := map[string]any{
 			"keys":                  ks.Keys,
 			"created":               ks.Created,
 			"evicted_lru":           ks.EvictedLRU,
@@ -668,6 +749,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"memory_bound_elements": s.keyed.MemoryBoundElements(),
 			"per_key_bound":         s.keyed.PerKeyMemoryBound(),
 		}
+		if s.keyed.Windowed() {
+			kout["window"] = map[string]any{
+				"width_seconds": s.keyed.WindowWidth().Seconds(),
+				"epochs":        s.keyed.WindowEpochs(),
+				"span_seconds":  s.keyed.WindowSpan().Seconds(),
+				"rotations":     ks.WindowRotations,
+				"rebuilds":      ks.WindowRebuilds,
+			}
+		}
+		out["keyed"] = kout
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -1,0 +1,178 @@
+package httpapi
+
+import (
+	"testing"
+	"time"
+)
+
+// The unified-param tests: one table per helper, all four helpers sharing
+// the same trimming and structured-rejection rules. The " 0.5" / "+Inf" /
+// "-3" / "0" quartet from the PR 10 bugfix sweep appears in each table
+// where it is meaningful.
+
+func TestParsePhiList(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want []float64 // nil = expect an error
+	}{
+		{"", []float64{0.5}},
+		{"0.5", []float64{0.5}},
+		{" 0.5", []float64{0.5}},
+		{"0.5 , 0.9", []float64{0.5, 0.9}},
+		{"1", []float64{1}},
+		{"0", nil},
+		{"-3", nil},
+		{"+Inf", nil},
+		{"-Inf", nil},
+		{"NaN", nil},
+		{"1.0001", nil},
+		{"0.5,,0.9", nil},
+		{"abc", nil},
+	}
+	for _, tc := range cases {
+		got, err := parsePhiList(tc.raw)
+		if tc.want == nil {
+			if err == nil {
+				t.Errorf("parsePhiList(%q) accepted: %v", tc.raw, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parsePhiList(%q): %v", tc.raw, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parsePhiList(%q) = %v, want %v", tc.raw, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parsePhiList(%q)[%d] = %v, want %v", tc.raw, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestParseFiniteFloat(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want float64
+		ok   bool
+	}{
+		{" 0.5", 0.5, true}, // the /cdf trim fix: whitespace now accepted like /quantile
+		{"0.5", 0.5, true},
+		{"-3", -3, true}, // any finite value is a legal CDF probe
+		{"0", 0, true},
+		{"1e9 ", 1e9, true},
+		{"+Inf", 0, false},
+		{"-Inf", 0, false},
+		{"NaN", 0, false},
+		{"", 0, false},
+		{"abc", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseFiniteFloat("v", tc.raw)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseFiniteFloat(%q): err = %v, want ok=%v", tc.raw, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseFiniteFloat(%q) = %v, want %v", tc.raw, got, tc.want)
+		}
+	}
+}
+
+func TestParseBucketCount(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want int
+		ok   bool
+	}{
+		{"", 10, true},
+		{"2", 2, true},
+		{" 50", 50, true},
+		{"1000", 1000, true},
+		{"0", 0, false}, // the explicit <=0 structured guard
+		{"-3", 0, false},
+		{"1", 0, false},
+		{"1001", 0, false},
+		{"+Inf", 0, false},
+		{"3.5", 0, false},
+		{"abc", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseBucketCount(tc.raw)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseBucketCount(%q): err = %v, want ok=%v", tc.raw, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseBucketCount(%q) = %d, want %d", tc.raw, got, tc.want)
+		}
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want time.Duration
+		ok   bool
+	}{
+		{"30s", 30 * time.Second, true},
+		{" 5m", 5 * time.Minute, true},
+		{"1h30m", 90 * time.Minute, true},
+		{"1ns", time.Nanosecond, true},
+		{"0", 0, false},
+		{"0s", 0, false},
+		{"-3s", 0, false},
+		{"-3", 0, false},
+		{"+Inf", 0, false},
+		{"5", 0, false}, // bare numbers are not durations
+		{"", 0, false},
+		{"5 m", 0, false}, // interior whitespace is not trimmed away
+	}
+	for _, tc := range cases {
+		got, err := parseWindow(tc.raw)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseWindow(%q): err = %v, want ok=%v", tc.raw, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseWindow(%q) = %v, want %v", tc.raw, got, tc.want)
+		}
+	}
+}
+
+// TestCDFTrimsWhitespace is the endpoint-level regression for the /cdf
+// trim inconsistency: " 0.5" was a 400 on /cdf while /quantile trimmed
+// the equivalent phi. Pre-fix this test fails with a 400.
+func TestCDFTrimsWhitespace(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, out := post(t, ts.URL+"/add", "1\n2\n3\n"); code != 200 {
+		t.Fatalf("add: %d %v", code, out)
+	}
+	code, out := get(t, ts.URL+"/cdf?v=%202.5") // "%20" = leading space
+	if code != 200 {
+		t.Fatalf("/cdf?v=\" 2.5\" status %d: %v (trim must match /quantile)", code, out)
+	}
+	if frac := out["cdf"].(float64); frac < 0.6 || frac > 0.7 {
+		t.Errorf("cdf = %v, want ~2/3", frac)
+	}
+}
+
+// TestHistogramBucketGuards is the endpoint-level regression for the
+// explicit non-positive buckets guard.
+func TestHistogramBucketGuards(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, out := post(t, ts.URL+"/add", "1\n2\n3\n"); code != 200 {
+		t.Fatalf("add: %d %v", code, out)
+	}
+	for _, raw := range []string{"0", "-3", "1", "1001", "abc"} {
+		if code, _ := get(t, ts.URL+"/histogram?buckets="+raw); code != 400 {
+			t.Errorf("/histogram?buckets=%s status %d, want 400", raw, code)
+		}
+	}
+	if code, _ := get(t, ts.URL+"/histogram?buckets=4"); code != 200 {
+		t.Errorf("/histogram?buckets=4 status %d, want 200", code)
+	}
+}

@@ -1,0 +1,254 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	quantile "repro"
+	"repro/internal/codec"
+	"repro/internal/stream"
+)
+
+// testClock is a manually advanced clock shared with a windowed server.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Unix(1_700_000_000, 0)}
+}
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newWindowedServer builds an MRL99 server whose keyed store rotates 30s
+// epochs, 10 per ring (a 5m window), on a virtual clock.
+func newWindowedServer(t *testing.T) (*Server, *httptest.Server, *testClock) {
+	t.Helper()
+	s, err := New(0.02, 1e-3, 4, quantile.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newTestClock()
+	if err := s.SetKeyed(KeyedConfig{Window: 5 * time.Minute, WindowEpochs: 10, Seed: 9, Now: clk.Now}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, clk
+}
+
+func ingestKeyed(t *testing.T, url, key string, vals []float64) {
+	t.Helper()
+	body := codec.AppendKeyedIngestFrame(nil, []byte(key), vals)
+	code, out := postBinary(t, url+"/v1/ingest/keyed", codec.KeyedIngestContentType, body)
+	if code != 200 {
+		t.Fatalf("keyed ingest status %d: %v", code, out)
+	}
+}
+
+// TestWindowedQuantileEndpoint drives three epochs with shifted
+// distributions through the wire path and checks window= answers track
+// the in-window suffix while the unwindowed answer sees everything.
+func TestWindowedQuantileEndpoint(t *testing.T) {
+	_, ts, clk := newWindowedServer(t)
+
+	// Epochs 0, 1, 2 carry values near 0, 100, 200 respectively.
+	for ep := 0; ep < 3; ep++ {
+		vals := stream.Collect(stream.Uniform(8000, uint64(60+ep)))
+		for i := range vals {
+			vals[i] += float64(100 * ep)
+		}
+		ingestKeyed(t, ts.URL, "svc", vals)
+		if ep != 2 {
+			clk.Advance(30 * time.Second)
+		}
+	}
+
+	// window=30s covers only the newest epoch (values near 200).
+	code, out := get(t, ts.URL+"/quantile?key=svc&window=30s&phi=0.5")
+	if code != 200 {
+		t.Fatalf("windowed quantile status %d: %v", code, out)
+	}
+	if out["key"].(string) != "svc" || out["window"].(string) != "30s" {
+		t.Fatalf("windowed echo %v", out)
+	}
+	if med := out["0.5"].(float64); med < 200 || med > 201 {
+		t.Errorf("30s-window median = %v, want ~200.5", med)
+	}
+
+	// window=90s covers all three epochs; the median sits in the middle one.
+	code, out = get(t, ts.URL+"/quantile?key=svc&window=90s&phi=0.5")
+	if code != 200 {
+		t.Fatalf("windowed quantile status %d: %v", code, out)
+	}
+	if med := out["0.5"].(float64); med < 95 || med > 106 {
+		t.Errorf("90s-window median = %v, want ~100.5", med)
+	}
+
+	// The unwindowed keyed answer matches the full stream too.
+	code, out = get(t, ts.URL+"/quantile?key=svc&phi=0.5")
+	if code != 200 {
+		t.Fatal(code)
+	}
+	if med := out["0.5"].(float64); med < 95 || med > 106 {
+		t.Errorf("all-time median = %v, want ~100.5", med)
+	}
+
+	// Windowed CDF: the newest epoch's values are all above 150, the
+	// older two below it, so CDF(150) over 30s is 0 and over 90s is ~2/3.
+	code, out = get(t, ts.URL+"/cdf?key=svc&window=30s&v=150")
+	if code != 200 {
+		t.Fatalf("windowed cdf status %d: %v", code, out)
+	}
+	if frac := out["cdf"].(float64); frac != 0 {
+		t.Errorf("30s-window CDF(150) = %v, want 0", frac)
+	}
+	if out["window"].(string) != "30s" {
+		t.Errorf("cdf windowed echo %v", out)
+	}
+	code, out = get(t, ts.URL+"/cdf?key=svc&window=90s&v=150")
+	if code != 200 {
+		t.Fatal(code)
+	}
+	if frac := out["cdf"].(float64); frac < 0.6 || frac > 0.73 {
+		t.Errorf("90s-window CDF(150) = %v, want ~2/3", frac)
+	}
+
+	// Rotate two epochs with no ingest: a 30s window goes empty (409),
+	// while the all-time sketch still answers.
+	clk.Advance(time.Minute)
+	if code, out := get(t, ts.URL+"/quantile?key=svc&window=30s"); code != 409 {
+		t.Errorf("empty-window status %d: %v, want 409", code, out)
+	}
+	if code, _ := get(t, ts.URL+"/quantile?key=svc"); code != 200 {
+		t.Errorf("all-time after idle status %d, want 200", code)
+	}
+
+	// /stats exposes the windowed block with live counters.
+	code, out = get(t, ts.URL+"/stats")
+	if code != 200 {
+		t.Fatal(code)
+	}
+	win := out["keyed"].(map[string]any)["window"].(map[string]any)
+	if win["epochs"].(float64) != 10 || win["width_seconds"].(float64) != 30 || win["span_seconds"].(float64) != 300 {
+		t.Errorf("stats window block %v", win)
+	}
+	if win["rotations"].(float64) == 0 || win["rebuilds"].(float64) == 0 {
+		t.Errorf("stats window counters flat: %v", win)
+	}
+}
+
+// TestWindowParamValidation exercises the strict duration validation and
+// its interaction with key= and the store's configured span.
+func TestWindowParamValidation(t *testing.T) {
+	_, ts, _ := newWindowedServer(t)
+	ingestKeyed(t, ts.URL, "svc", []float64{1, 2, 3})
+
+	bad := []struct {
+		query string
+		code  int
+	}{
+		{"/quantile?key=svc&window=0s", 400},
+		{"/quantile?key=svc&window=-3s", 400},
+		{"/quantile?key=svc&window=5", 400},         // bare number
+		{"/quantile?key=svc&window=abc", 400},       // unparsable
+		{"/quantile?key=svc&window=5m1s", 400},      // beyond the 5m span (keyed.ErrWindowRange)
+		{"/quantile?key=svc&window=999h", 400},      // far beyond
+		{"/quantile?window=30s", 400},               // window without key
+		{"/cdf?window=30s&v=1", 400},                // same on /cdf
+		{"/quantile?key=ghost&window=30s", 404},     // unknown key still 404
+		{"/cdf?key=svc&window=0s&v=1", 400},         // cdf duration checks
+		{"/quantile?key=svc&window=30s&phi=0", 400}, // bad phi beats window routing
+	}
+	for _, tc := range bad {
+		if code, out := get(t, ts.URL+tc.query); code != tc.code {
+			t.Errorf("%s status %d: %v, want %d", tc.query, code, out, tc.code)
+		}
+	}
+
+	// Full-span and sub-epoch durations are valid.
+	for _, q := range []string{
+		"/quantile?key=svc&window=5m",
+		"/quantile?key=svc&window=1s", // rounds up to one epoch
+		"/cdf?key=svc&window=5m&v=2",
+	} {
+		if code, out := get(t, ts.URL+q); code != 200 {
+			t.Errorf("%s status %d: %v, want 200", q, code, out)
+		}
+	}
+
+	// A server without windows rejects window= as 400 (ErrWindowDisabled).
+	_, plain := newTestServer(t)
+	if code, _ := post(t, plain.URL+"/add", "1\n"); code != 200 {
+		t.Fatal("add")
+	}
+	ingestKeyed(t, plain.URL, "svc", []float64{1, 2, 3})
+	if code, out := get(t, plain.URL+"/quantile?key=svc&window=30s"); code != 400 {
+		t.Errorf("windowless server status %d: %v, want 400", code, out)
+	}
+	if msg := fmt.Sprint(getErr(t, plain.URL+"/quantile?key=svc&window=30s")); !strings.Contains(msg, "without time windows") {
+		t.Errorf("windowless error %q", msg)
+	}
+}
+
+func getErr(t *testing.T, url string) string {
+	t.Helper()
+	_, out := get(t, url)
+	if s, ok := out["error"].(string); ok {
+		return s
+	}
+	return ""
+}
+
+// FuzzWindowQuery fuzzes the windowed query surface with arbitrary
+// window=, phi=, and key= strings: the handler must always answer with a
+// well-formed status (never panic), 200 only for valid inputs.
+func FuzzWindowQuery(f *testing.F) {
+	s, err := New(0.05, 1e-3, 2, quantile.WithSeed(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	clk := newTestClock()
+	if err := s.SetKeyed(KeyedConfig{Window: time.Minute, WindowEpochs: 4, Seed: 3, Now: clk.Now}); err != nil {
+		f.Fatal(err)
+	}
+	if err := s.Keyed().AddAll("k", []float64{1, 2, 3, 4, 5}); err != nil {
+		f.Fatal(err)
+	}
+	h := s.Handler()
+
+	f.Add("30s", "0.5", "k")
+	f.Add(" 5m", "0.9,0.99", "k")
+	f.Add("-3s", "0", "")
+	f.Add("+Inf", "NaN", "ghost")
+	f.Add("9999999999999999999h", "1", "k")
+	f.Add("1ns", " 0.5", "k")
+	f.Fuzz(func(t *testing.T, window, phi, key string) {
+		q := "/quantile?window=" + url.QueryEscape(window) + "&phi=" + url.QueryEscape(phi)
+		if key != "" {
+			q += "&key=" + url.QueryEscape(key)
+		}
+		req := httptest.NewRequest("GET", q, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case 200, 400, 404, 409:
+		default:
+			t.Fatalf("GET %s -> unexpected status %d: %s", q, rec.Code, rec.Body.String())
+		}
+	})
+}

@@ -1,0 +1,306 @@
+// Windowed conformance: the time-windowed keyed store must answer
+// window= queries within ε·N_window ranks of the exact order statistics
+// of the in-window suffix — not of the whole stream — across ring wraps,
+// stream orders, and window spans. The scoring mirrors the cluster grid:
+// each query is a Bernoulli trial failing with probability ≤ δ under the
+// guarantee, and a scenario alarms when the exact binomial upper tail of
+// its observed failures drops below Threshold.
+//
+// The window machinery merges live epoch sub-sketches through the
+// Section 6 collapse path, so the analysis inherits the paper's h + h′
+// budget: a windowed answer is one merge hop above the per-epoch
+// sketches, exactly like a worker → coordinator shipment. The grid
+// measures that composed guarantee, not the per-epoch one.
+package conformance
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/exact"
+	"repro/internal/keyed"
+	"repro/internal/xmath"
+)
+
+// WindowConfig parameterizes a windowed conformance run. Zero values
+// select the defaults noted on each field.
+type WindowConfig struct {
+	Eps    []float64 // guarantee ε values (default {0.01, 0.001})
+	Delta  float64   // guarantee δ (default 1e-3)
+	Trials int       // seeded trials per scenario (default 50)
+
+	// PerEpoch is the number of elements fed into each epoch
+	// (default 2000).
+	PerEpoch int
+
+	// Epochs is the ring size E (default 8); Width is the epoch width on
+	// the virtual clock (default 30s).
+	Epochs int
+	Width  time.Duration
+
+	// Rotations is how many epochs each trial feeds (default 2·E+3, so
+	// the ring wraps twice and the windowed path must have retired most
+	// of the stream).
+	Rotations int
+
+	// Spans lists the queried windows in epochs (default {1, E/2+1, E}:
+	// the newest epoch alone, a mid-size suffix, and the full ring).
+	Spans []int
+
+	Phis      []float64 // quantiles queried per (trial, span) (default {0.01, 0.25, 0.5, 0.75, 0.99})
+	Threshold float64   // binomial-tail alarm level (default 1e-6)
+	Seed      uint64    // derives every trial's seed (default 1)
+
+	// Parallelism bounds concurrently running trials (default
+	// GOMAXPROCS). Trials are deterministic per (scenario, index) seed,
+	// so results do not depend on scheduling.
+	Parallelism int
+
+	Orders []Order // stream orders (default DefaultOrders)
+}
+
+func (cfg *WindowConfig) fillDefaults() {
+	if len(cfg.Eps) == 0 {
+		cfg.Eps = []float64{0.01, 0.001}
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 1e-3
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 50
+	}
+	if cfg.PerEpoch <= 0 {
+		cfg.PerEpoch = 2000
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 8
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 30 * time.Second
+	}
+	if cfg.Rotations <= 0 {
+		cfg.Rotations = 2*cfg.Epochs + 3
+	}
+	if len(cfg.Spans) == 0 {
+		cfg.Spans = []int{1, cfg.Epochs/2 + 1, cfg.Epochs}
+	}
+	if len(cfg.Phis) == 0 {
+		cfg.Phis = []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 1e-6
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if len(cfg.Orders) == 0 {
+		cfg.Orders = DefaultOrders()
+	}
+}
+
+// WindowScenarioResult is one cell of the windowed grid: a stream order ×
+// ε combination across cfg.Trials seeded trials, every configured span
+// queried in each.
+type WindowScenarioResult struct {
+	Order  string  `json:"order"`
+	Eps    float64 `json:"eps"`
+	Trials int     `json:"trials"`
+
+	// Queries is Trials × len(Spans) × len(Phis); Failures counts queries
+	// whose answer fell beyond ε·N_window ranks of the exact oracle over
+	// the in-window suffix.
+	Queries  int `json:"queries"`
+	Failures int `json:"failures"`
+
+	// MaxRankError is the worst excess (in ranks past the ε·N_window
+	// window) across every query of the scenario.
+	MaxRankError int `json:"max_rank_error"`
+
+	// TailP is Pr[X ≥ Failures] for X ~ Binomial(Queries, δ).
+	TailP float64 `json:"tail_p"`
+
+	// Errors lists infrastructure failures: a windowed count that does
+	// not exactly match the fed suffix, or a query error. Any entry fails
+	// the scenario regardless of statistics.
+	Errors []string `json:"errors,omitempty"`
+
+	Pass bool `json:"pass"`
+}
+
+// WindowReport is the machine-readable output of a windowed run.
+type WindowReport struct {
+	Delta     float64   `json:"delta"`
+	Trials    int       `json:"trials_per_scenario"`
+	PerEpoch  int       `json:"per_epoch"`
+	Epochs    int       `json:"epochs"`
+	Rotations int       `json:"rotations"`
+	Spans     []int     `json:"spans"`
+	Phis      []float64 `json:"phis"`
+	Threshold float64   `json:"threshold"`
+	Seed      uint64    `json:"seed"`
+
+	Scenarios []WindowScenarioResult `json:"scenarios"`
+
+	TotalQueries  int  `json:"total_queries"`
+	TotalFailures int  `json:"total_failures"`
+	Pass          bool `json:"pass"`
+}
+
+// RunWindow executes the windowed grid and returns the report. Reports are
+// deterministic functions of the config: replaying the same WindowConfig
+// reproduces every counter and tail probability byte for byte, regardless
+// of scheduling.
+func RunWindow(cfg WindowConfig) (WindowReport, error) {
+	cfg.fillDefaults()
+	for _, m := range cfg.Spans {
+		if m < 1 || m > cfg.Epochs {
+			return WindowReport{}, fmt.Errorf("conformance: span %d epochs outside ring of %d", m, cfg.Epochs)
+		}
+	}
+	if cfg.Rotations < cfg.Epochs {
+		return WindowReport{}, fmt.Errorf("conformance: %d rotations cannot wrap a ring of %d epochs", cfg.Rotations, cfg.Epochs)
+	}
+	rep := WindowReport{
+		Delta: cfg.Delta, Trials: cfg.Trials, PerEpoch: cfg.PerEpoch,
+		Epochs: cfg.Epochs, Rotations: cfg.Rotations, Spans: cfg.Spans,
+		Phis: cfg.Phis, Threshold: cfg.Threshold, Seed: cfg.Seed,
+		Pass: true,
+	}
+	sem := make(chan struct{}, cfg.Parallelism)
+	for _, order := range cfg.Orders {
+		for _, eps := range cfg.Eps {
+			sc := WindowScenarioResult{Order: order.Name, Eps: eps, Trials: cfg.Trials}
+			outcomes := make([]trialOutcome, cfg.Trials)
+			var wg sync.WaitGroup
+			for i := 0; i < cfg.Trials; i++ {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(i int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					seed := windowTrialSeed(cfg.Seed, order.Name, eps, i)
+					outcomes[i] = runWindowTrial(cfg, order, eps, seed)
+				}(i)
+			}
+			wg.Wait()
+			for _, out := range outcomes {
+				sc.Queries += out.queries
+				sc.Failures += out.failures
+				if out.maxErr > sc.MaxRankError {
+					sc.MaxRankError = out.maxErr
+				}
+				if out.err != nil {
+					sc.Errors = append(sc.Errors, out.err.Error())
+				}
+			}
+			sort.Strings(sc.Errors)
+			sc.TailP = xmath.BinomialUpperTail(sc.Queries, sc.Failures, cfg.Delta)
+			sc.Pass = len(sc.Errors) == 0 && sc.TailP >= cfg.Threshold
+			rep.TotalQueries += sc.Queries
+			rep.TotalFailures += sc.Failures
+			if !sc.Pass {
+				rep.Pass = false
+			}
+			rep.Scenarios = append(rep.Scenarios, sc)
+		}
+	}
+	return rep, nil
+}
+
+// windowTrialSeed derives a deterministic per-trial seed, namespaced apart
+// from the cluster grid's seeds.
+func windowTrialSeed(base uint64, order string, eps float64, trial int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "window|%d|%s|%g|%d", base, order, eps, trial)
+	return h.Sum64() | 1
+}
+
+// runWindowTrial feeds cfg.Rotations epochs of one ordered stream into a
+// windowed keyed store on a virtual clock — wrapping the ring at least
+// once — then queries every configured span and judges each answer
+// against the exact order statistics of exactly the elements still inside
+// that window.
+func runWindowTrial(cfg WindowConfig, order Order, eps float64, seed uint64) trialOutcome {
+	return runWindowTrialEps(cfg, order, eps, eps, seed)
+}
+
+// runWindowTrialEps is runWindowTrial with the build and judge ε split,
+// so the harness's power test can score honest answers against a window
+// they were never promised to hit.
+func runWindowTrialEps(cfg WindowConfig, order Order, buildEps, judgeEps float64, seed uint64) trialOutcome {
+	layout, err := keyed.Solve(buildEps, cfg.Delta)
+	if err != nil {
+		return trialOutcome{err: err}
+	}
+	layout.Seed = seed
+
+	// The virtual clock starts on an epoch boundary so each advance of
+	// one width lands the next feed in the next epoch, deterministically.
+	base := time.Unix(1_700_000_000, 0).Truncate(cfg.Width)
+	now := base
+	s, err := keyed.New[string, float64](keyed.Config{
+		Sketch:       layout,
+		WindowWidth:  cfg.Width,
+		WindowEpochs: cfg.Epochs,
+		Now:          func() time.Time { return now },
+	})
+	if err != nil {
+		return trialOutcome{err: err}
+	}
+
+	n := cfg.Rotations * cfg.PerEpoch
+	data := order.Gen(uint64(n), seed)
+	const key = "trial"
+	for ep := 0; ep < cfg.Rotations; ep++ {
+		now = base.Add(time.Duration(ep) * cfg.Width)
+		chunk := data[ep*cfg.PerEpoch : (ep+1)*cfg.PerEpoch]
+		// Feed in sub-slabs plus a scalar tail, so both ingest entry
+		// points participate in every epoch.
+		half := len(chunk) / 2
+		if err := s.AddAll(key, chunk[:half]); err != nil {
+			return trialOutcome{err: err}
+		}
+		if err := s.AddAll(key, chunk[half:len(chunk)-1]); err != nil {
+			return trialOutcome{err: err}
+		}
+		if err := s.Add(key, chunk[len(chunk)-1]); err != nil {
+			return trialOutcome{err: err}
+		}
+	}
+
+	var out trialOutcome
+	for _, m := range cfg.Spans {
+		span := time.Duration(m) * cfg.Width
+		suffix := data[(cfg.Rotations-m)*cfg.PerEpoch:]
+		// Exact accounting first: the windowed count must be precisely
+		// the suffix the last m epochs were fed.
+		gotN, err := s.WindowCount(key, span)
+		if err != nil {
+			return trialOutcome{err: fmt.Errorf("span %d: count: %w", m, err)}
+		}
+		if gotN != uint64(len(suffix)) {
+			return trialOutcome{err: fmt.Errorf("span %d: windowed count %d, fed %d", m, gotN, len(suffix))}
+		}
+		vals, err := s.WindowQuantiles(key, span, cfg.Phis)
+		if err != nil {
+			return trialOutcome{err: fmt.Errorf("span %d: quantiles: %w", m, err)}
+		}
+		for i, phi := range cfg.Phis {
+			out.queries++
+			if e := exact.RankError(suffix, vals[i], phi, judgeEps); e != 0 {
+				out.failures++
+				if e > out.maxErr {
+					out.maxErr = e
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package conformance
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// smallWindowConfig is a quick grid for property tests: full order
+// coverage, few trials, a ring that still wraps twice.
+func smallWindowConfig() WindowConfig {
+	return WindowConfig{
+		Eps:      []float64{0.02},
+		Trials:   4,
+		PerEpoch: 600,
+		Epochs:   5,
+		Seed:     7,
+	}
+}
+
+func TestRunWindowSmallGridPasses(t *testing.T) {
+	cfg := smallWindowConfig()
+	rep, err := RunWindow(cfg)
+	if err != nil {
+		t.Fatalf("RunWindow: %v", err)
+	}
+	if !rep.Pass {
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		t.Fatalf("windowed grid failed conformance:\n%s", b)
+	}
+	if want := len(DefaultOrders()); len(rep.Scenarios) != want {
+		t.Fatalf("got %d scenarios, want %d", len(rep.Scenarios), want)
+	}
+	// Defaults: 13 rotations on a 5-epoch ring, spans {1, 3, 5}.
+	if rep.Rotations != 13 || !reflect.DeepEqual(rep.Spans, []int{1, 3, 5}) {
+		t.Fatalf("defaults: rotations=%d spans=%v", rep.Rotations, rep.Spans)
+	}
+	for _, sc := range rep.Scenarios {
+		if want := sc.Trials * len(rep.Spans) * len(rep.Phis); sc.Queries != want {
+			t.Errorf("%s: %d queries, want %d", sc.Order, sc.Queries, want)
+		}
+	}
+}
+
+// TestRunWindowDeterministic: the whole report must replay byte for byte
+// from the same config — the acceptance criterion's byte-identical replay
+// — regardless of trial scheduling.
+func TestRunWindowDeterministic(t *testing.T) {
+	cfg := smallWindowConfig()
+	cfg.Parallelism = 4 // deliberately racy scheduling; results must not care
+	a, err := RunWindow(cfg)
+	if err != nil {
+		t.Fatalf("RunWindow: %v", err)
+	}
+	cfg.Parallelism = 1
+	b, err := RunWindow(cfg)
+	if err != nil {
+		t.Fatalf("RunWindow: %v", err)
+	}
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	if !reflect.DeepEqual(a, b) || string(ab) != string(bb) {
+		t.Fatalf("windowed reports differ across parallelism:\n%s\nvs\n%s", ab, bb)
+	}
+}
+
+func TestRunWindowRejectsBadGrid(t *testing.T) {
+	cfg := smallWindowConfig()
+	cfg.Spans = []int{6} // beyond the 5-epoch ring
+	if _, err := RunWindow(cfg); err == nil {
+		t.Fatal("span beyond the ring accepted")
+	}
+	cfg = smallWindowConfig()
+	cfg.Rotations = 3 // fewer than the ring: nothing ever retires
+	if _, err := RunWindow(cfg); err == nil {
+		t.Fatal("non-wrapping rotation count accepted")
+	}
+}
+
+// TestWindowDetectsBrokenGuarantee checks the windowed harness has power:
+// a store built at a coarse ε, judged against a near-exact rank window
+// over the suffix, must register failures and trip the binomial alarm.
+func TestWindowDetectsBrokenGuarantee(t *testing.T) {
+	cfg := smallWindowConfig()
+	cfg.Orders = DefaultOrders()[2:3] // random
+	cfg.Trials = 8
+	rep, err := RunWindow(cfg)
+	if err != nil {
+		t.Fatalf("RunWindow: %v", err)
+	}
+	// Re-judge the same trials with judge-ε ≪ build-ε by rebuilding the
+	// harness logic at a mismatched pair: rerun with Eps asking for 1e-4
+	// answers from trials whose layout was solved at that ε would hide
+	// the mismatch, so instead drive the scorer directly.
+	var failures, queries int
+	for i := 0; i < cfg.Trials; i++ {
+		seed := windowTrialSeed(cfg.Seed, cfg.Orders[0].Name, 0.05, i)
+		out := runWindowTrialJudged(cfg, cfg.Orders[0], 0.05, 1e-4, seed)
+		if out.err != nil {
+			t.Fatalf("trial %d: %v", i, out.err)
+		}
+		failures += out.failures
+		queries += out.queries
+	}
+	if failures == 0 {
+		t.Fatalf("judging eps=0.05 windowed answers against eps=1e-4 produced zero failures in %d queries; harness has no power", queries)
+	}
+	_ = rep
+}
+
+// TestWindowAcceptanceGrid runs the windowed grid from the issue's
+// acceptance criteria: every stream order, ε ∈ {0.01, 0.001}, rings
+// wrapped twice, spans from a single epoch to the full ring, each answer
+// judged against internal/exact over only the in-window suffix and the
+// scenario scored by the exact binomial tail. Short mode downscales
+// trials and epoch size so the suite stays fast under -race.
+func TestWindowAcceptanceGrid(t *testing.T) {
+	cfg := WindowConfig{Seed: 2026}
+	if testing.Short() {
+		cfg.Trials = 3
+		cfg.PerEpoch = 500
+		cfg.Epochs = 4
+	}
+	rep, err := RunWindow(cfg)
+	if err != nil {
+		t.Fatalf("RunWindow: %v", err)
+	}
+	if !rep.Pass {
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		t.Fatalf("windowed conformance grid failed:\n%s", b)
+	}
+	t.Logf("windowed conformance: %d scenarios, %d queries, %d failures",
+		len(rep.Scenarios), rep.TotalQueries, rep.TotalFailures)
+}
+
+// runWindowTrialJudged builds the store at buildEps but scores against
+// judgeEps — only the power test uses the split.
+func runWindowTrialJudged(cfg WindowConfig, order Order, buildEps, judgeEps float64, seed uint64) trialOutcome {
+	saved := cfg
+	saved.fillDefaults()
+	out := runWindowTrialEps(saved, order, buildEps, judgeEps, seed)
+	return out
+}

@@ -27,6 +27,12 @@
 // search, also allocation-free. AddAllBytes lets wire decoders feed a
 // string-keyed store from a borrowed []byte key without allocating a string
 // per frame.
+//
+// Stores built with WindowWidth/WindowEpochs additionally give every key a
+// tumbling-epoch ring of sub-sketches (internal/window), so recent-history
+// queries — WindowQuantile(key, 5*time.Minute, 0.99) — answer over only the
+// in-window suffix of the key's stream. The ring shares the store's solved
+// (b, k, h) layout, so windowed memory stays (#keys)·(1+E)·b·k elements.
 package keyed
 
 import (
@@ -42,10 +48,11 @@ import (
 	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/view"
+	"repro/internal/window"
 )
 
 // Typed store errors, distinguishable with errors.Is so serving layers can
-// map them to precise HTTP statuses (429 and 404 respectively).
+// map them to precise HTTP statuses (429, 404, and 400 respectively).
 var (
 	// ErrGroupLimit reports an insert refused because the store already
 	// holds MaxKeys distinct keys and the full-policy is Reject.
@@ -53,7 +60,17 @@ var (
 	// ErrKeyNotFound reports a query for a key the store does not hold —
 	// never seen, or already evicted.
 	ErrKeyNotFound = errors.New("keyed: key not found")
+	// ErrWindowDisabled reports a windowed query against a store built
+	// without WindowWidth/WindowEpochs.
+	ErrWindowDisabled = errors.New("keyed: store was built without time windows")
+	// ErrWindowRange reports a windowed query whose duration falls outside
+	// (0, WindowSpan].
+	ErrWindowRange = errors.New("keyed: window duration out of range")
 )
+
+// windowSeedSalt separates a key's window-ring seed space from its main
+// sketch seed (fractional bits of √2, an arbitrary odd constant).
+const windowSeedSalt = 0x6a09e667f3bcc909
 
 // FullPolicy selects what an insert does when the store holds MaxKeys keys.
 type FullPolicy int
@@ -99,9 +116,18 @@ type Config struct {
 	// SweepExpired runs.
 	TTL time.Duration
 
-	// Now supplies the clock behind TTL eviction and last-touch stamps;
-	// nil selects time.Now. Tests substitute a virtual clock.
+	// Now supplies the clock behind TTL eviction, last-touch stamps, and
+	// window-epoch rotation; nil selects time.Now. Tests substitute a
+	// virtual clock.
 	Now func() time.Time
+
+	// WindowWidth and WindowEpochs, when both set, give every key a
+	// tumbling-epoch window ring: WindowEpochs sub-sketches of WindowWidth
+	// each, so windowed queries cover up to WindowEpochs·WindowWidth of
+	// recent history. Both zero disables windowing (the default); setting
+	// exactly one is a configuration error.
+	WindowWidth  time.Duration
+	WindowEpochs int
 }
 
 // Solve returns the shared per-key sketch layout for a target (ε, δ) — the
@@ -120,7 +146,8 @@ func Solve(eps, delta float64) (core.Config, error) {
 type entry[K comparable, T cmp.Ordered] struct {
 	key  K
 	sk   *core.Sketch[T]
-	last int64 // last-touch clock reading, unix nanos
+	win  *window.Ring[T] // tumbling-epoch ring; nil unless windowing is on
+	last int64           // last-touch clock reading, unix nanos
 
 	// prev/next form the shard's LRU list: prev is toward the MRU front.
 	prev, next *entry[K, T]
@@ -161,6 +188,13 @@ type Store[K comparable, T cmp.Ordered] struct {
 	// the per-group derivation GroupBy has always used.
 	seq atomic.Uint64
 
+	// windowed is true when every entry carries a window ring; winSpan is
+	// the precomputed WindowEpochs·WindowWidth coverage and winCounters
+	// aggregates rotation/rebuild counts across all per-key rings.
+	windowed    bool
+	winSpan     time.Duration
+	winCounters window.Counters
+
 	occupancy  atomic.Int64
 	created    atomic.Uint64
 	evictedLRU atomic.Uint64
@@ -186,16 +220,27 @@ func New[K comparable, T cmp.Ordered](cfg Config) (*Store[K, T], error) {
 	if _, err := core.NewSketch[T](cfg.Sketch); err != nil {
 		return nil, fmt.Errorf("keyed: sketch layout: %w", err)
 	}
+	windowed := cfg.WindowWidth != 0 || cfg.WindowEpochs != 0
+	if windowed {
+		if cfg.WindowWidth == 0 || cfg.WindowEpochs == 0 {
+			return nil, fmt.Errorf("keyed: WindowWidth (%s) and WindowEpochs (%d) must be set together", cfg.WindowWidth, cfg.WindowEpochs)
+		}
+		if err := (window.Config{Sketch: cfg.Sketch, Width: cfg.WindowWidth, Epochs: cfg.WindowEpochs}).Validate(); err != nil {
+			return nil, fmt.Errorf("keyed: %w", err)
+		}
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
 	s := &Store[K, T]{
-		cfg:    cfg,
-		shards: make([]shard[K, T], cfg.Shards),
-		mask:   uint64(cfg.Shards - 1),
-		ttl:    int64(cfg.TTL),
-		now:    cfg.Now,
-		hseed:  maphash.MakeSeed(),
+		cfg:      cfg,
+		shards:   make([]shard[K, T], cfg.Shards),
+		mask:     uint64(cfg.Shards - 1),
+		ttl:      int64(cfg.TTL),
+		now:      cfg.Now,
+		hseed:    maphash.MakeSeed(),
+		windowed: windowed,
+		winSpan:  time.Duration(cfg.WindowEpochs) * cfg.WindowWidth,
 	}
 	if cfg.MaxKeys > 0 && cfg.OnFull == EvictLRU {
 		s.capPerShard = (cfg.MaxKeys + cfg.Shards - 1) / cfg.Shards
@@ -224,9 +269,20 @@ func (s *Store[K, T]) shardOf(key K) *shard[K, T] {
 // nowNanos reads the injected clock once per operation.
 func (s *Store[K, T]) nowNanos() int64 { return s.now().UnixNano() }
 
-// expired reports whether e's idle time exceeds the TTL.
+// expired reports whether e's idle time has reached the TTL. The contract:
+// an entry idle for exactly TTL is expired (idle ≥ TTL evicts — "idle
+// longer than or equal to the TTL" is what `-key-ttl 60s` means to an
+// operator), and a clock reading behind the last touch clamps to zero idle
+// rather than producing a negative that defers expiry arbitrarily.
 func (s *Store[K, T]) expired(e *entry[K, T], now int64) bool {
-	return s.ttl > 0 && now-e.last > s.ttl
+	if s.ttl <= 0 {
+		return false
+	}
+	idle := now - e.last
+	if idle < 0 {
+		idle = 0
+	}
+	return idle >= s.ttl
 }
 
 // pushFront links e at sh's MRU front. Caller holds sh.mu.
@@ -257,10 +313,15 @@ func (sh *shard[K, T]) unlink(e *entry[K, T]) {
 	e.prev, e.next = nil, nil
 }
 
-// touch stamps e's last access and moves it to the MRU front. Caller holds
-// sh.mu.
+// touch stamps e's last access and moves it to the MRU front. The stamp
+// never moves backwards: a clock step back must not rewind an entry's
+// recency (which would both expire it early once the clock recovers and
+// break sweepTail's invariant that last-touch decreases front-to-back).
+// Caller holds sh.mu.
 func (sh *shard[K, T]) touch(e *entry[K, T], now int64) {
-	e.last = now
+	if now > e.last {
+		e.last = now
+	}
 	if sh.front == e {
 		return
 	}
@@ -337,6 +398,26 @@ func (s *Store[K, T]) insert(sh *shard[K, T], key K, now int64) (*entry[K, T], e
 		return nil, err
 	}
 	e := &entry[K, T]{key: key, sk: sk, last: now}
+	if s.windowed {
+		// The ring's slot seeds stride from a salted copy of the per-key
+		// seed, so window sub-sketches sample independently of the all-time
+		// sketch while staying reproducible.
+		wcfg := window.Config{
+			Sketch:   scfg,
+			Width:    s.cfg.WindowWidth,
+			Epochs:   s.cfg.WindowEpochs,
+			Counters: &s.winCounters,
+		}
+		wcfg.Sketch.Seed ^= windowSeedSalt
+		win, werr := window.New[T](wcfg)
+		if werr != nil {
+			if s.cfg.MaxKeys > 0 && s.cfg.OnFull == Reject {
+				s.occupancy.Add(-1)
+			}
+			return nil, werr
+		}
+		e.win = win
+	}
 	sh.m[key] = e
 	sh.pushFront(e)
 	if s.cfg.MaxKeys <= 0 || s.cfg.OnFull != Reject {
@@ -360,6 +441,9 @@ func (s *Store[K, T]) Add(key K, v T) error {
 		}
 	}
 	e.sk.Add(v)
+	if e.win != nil {
+		e.win.Add(now, v)
+	}
 	return nil
 }
 
@@ -380,6 +464,9 @@ func (s *Store[K, T]) AddAll(key K, vs []T) error {
 		}
 	}
 	e.sk.AddAll(vs)
+	if e.win != nil {
+		e.win.AddAll(now, vs)
+	}
 	return nil
 }
 
@@ -396,6 +483,9 @@ func AddAllBytes[T cmp.Ordered](s *Store[string, T], key []byte, vs []T) error {
 	if e := sh.m[string(key)]; e != nil && !s.expired(e, now) {
 		sh.touch(e, now)
 		e.sk.AddAll(vs)
+		if e.win != nil {
+			e.win.AddAll(now, vs)
+		}
 		sh.mu.Unlock()
 		return nil
 	}
@@ -461,6 +551,97 @@ func (s *Store[K, T]) CDF(key K, v T) (float64, error) {
 	return vw.CDF(v), nil
 }
 
+// Windowed reports whether the store's keys carry window rings.
+func (s *Store[K, T]) Windowed() bool { return s.windowed }
+
+// WindowSpan returns the maximum windowed-query coverage,
+// WindowEpochs·WindowWidth (0 when windowing is disabled).
+func (s *Store[K, T]) WindowSpan() time.Duration { return s.winSpan }
+
+// WindowWidth returns the tumbling epoch length (0 when disabled).
+func (s *Store[K, T]) WindowWidth() time.Duration { return s.cfg.WindowWidth }
+
+// WindowEpochs returns the ring size E (0 when disabled).
+func (s *Store[K, T]) WindowEpochs() int { return s.cfg.WindowEpochs }
+
+// windowViewFor resolves the key's merged view over the most recent d. The
+// duration is strict: it must lie in (0, WindowSpan]. On a warm ring-view
+// cache the call performs zero allocations.
+func (s *Store[K, T]) windowViewFor(key K, d time.Duration) (*view.View[T], error) {
+	if !s.windowed {
+		return nil, ErrWindowDisabled
+	}
+	if d <= 0 || d > s.winSpan {
+		return nil, fmt.Errorf("%w: %s not in (0, %s]", ErrWindowRange, d, s.winSpan)
+	}
+	sh := s.shardOf(key)
+	now := s.nowNanos()
+	sh.mu.Lock()
+	e := s.lookup(sh, key, now)
+	if e == nil {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrKeyNotFound, key)
+	}
+	win := e.win
+	sh.mu.Unlock()
+	// The ring is internally synchronized, so the merge (on a cache miss)
+	// happens outside the shard lock and never blocks sibling keys.
+	return win.ViewLast(now, win.EpochsFor(d))
+}
+
+// WindowQuantile returns the key's φ-quantile estimate over the most
+// recent d of its stream, within ε·N_window ranks of the exact in-window
+// answer (same ε the store was solved for; see DESIGN.md).
+func (s *Store[K, T]) WindowQuantile(key K, d time.Duration, phi float64) (T, error) {
+	v, err := s.windowViewFor(key, d)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.Quantile(phi)
+}
+
+// WindowQuantiles returns windowed estimates for several quantiles of one
+// key, in request order.
+func (s *Store[K, T]) WindowQuantiles(key K, d time.Duration, phis []float64) ([]T, error) {
+	v, err := s.windowViewFor(key, d)
+	if err != nil {
+		return nil, err
+	}
+	return v.Quantiles(phis)
+}
+
+// WindowCDF estimates the fraction of the key's in-window stream ≤ v.
+func (s *Store[K, T]) WindowCDF(key K, d time.Duration, v T) (float64, error) {
+	vw, err := s.windowViewFor(key, d)
+	if err != nil {
+		return 0, err
+	}
+	return vw.CDF(v), nil
+}
+
+// WindowCount returns the number of in-window elements for the key over
+// the most recent d, or an error for absent keys / bad durations.
+func (s *Store[K, T]) WindowCount(key K, d time.Duration) (uint64, error) {
+	if !s.windowed {
+		return 0, ErrWindowDisabled
+	}
+	if d <= 0 || d > s.winSpan {
+		return 0, fmt.Errorf("%w: %s not in (0, %s]", ErrWindowRange, d, s.winSpan)
+	}
+	sh := s.shardOf(key)
+	now := s.nowNanos()
+	sh.mu.Lock()
+	e := s.lookup(sh, key, now)
+	if e == nil {
+		sh.mu.Unlock()
+		return 0, fmt.Errorf("%w: %v", ErrKeyNotFound, key)
+	}
+	win := e.win
+	sh.mu.Unlock()
+	return win.Count(now, win.EpochsFor(d)), nil
+}
+
 // Count returns the number of elements the key's sketch has consumed, or 0
 // for an absent (or expired) key. It is a pure read: no touch, no eviction.
 func (s *Store[K, T]) Count(key K) uint64 {
@@ -513,21 +694,31 @@ func (s *Store[K, T]) MemoryElements() int {
 		sh.mu.Lock()
 		for e := sh.front; e != nil; e = e.next {
 			m += e.sk.MemoryElements()
+			if e.win != nil {
+				m += e.win.MemoryElements()
+			}
 		}
 		sh.mu.Unlock()
 	}
 	return m
 }
 
-// MemoryBoundElements returns the store's worst-case resident footprint,
-// (#keys)·b·k — the paper's Group-By memory model, computed from two loads.
+// MemoryBoundElements returns the store's worst-case resident footprint —
+// (#keys)·b·k elements, the paper's Group-By memory model, growing to
+// (#keys)·(1+E)·b·k when every key also carries an E-epoch window ring.
+// Computed from two loads.
 func (s *Store[K, T]) MemoryBoundElements() int {
-	return s.Keys() * s.cfg.Sketch.B * s.cfg.Sketch.K
+	return s.Keys() * s.PerKeyMemoryBound()
 }
 
-// PerKeyMemoryBound returns the worst-case per-key footprint b·k.
+// PerKeyMemoryBound returns the worst-case per-key footprint: b·k, or
+// (1+E)·b·k with windowing.
 func (s *Store[K, T]) PerKeyMemoryBound() int {
-	return s.cfg.Sketch.B * s.cfg.Sketch.K
+	per := s.cfg.Sketch.B * s.cfg.Sketch.K
+	if s.windowed {
+		per *= 1 + s.cfg.WindowEpochs
+	}
+	return per
 }
 
 // AppendKeys appends every resident key to dst (unordered across shards)
@@ -575,6 +766,9 @@ func (s *Store[K, T]) ResetKey(key K) bool {
 		return false
 	}
 	e.sk.Reset()
+	if e.win != nil {
+		e.win.Reset()
+	}
 	return true
 }
 
@@ -599,16 +793,23 @@ type Stats struct {
 	EvictedLRU uint64 // keys dropped by capacity pressure
 	EvictedTTL uint64 // keys dropped by idle expiry
 	Rejected   uint64 // inserts refused under the Reject policy
+
+	// Window counters aggregate across every key's ring; zero when the
+	// store was built without windows.
+	WindowRotations uint64 // epoch slots retired store-wide
+	WindowRebuilds  uint64 // windowed merged-view constructions
 }
 
 // Stats returns the current counters.
 func (s *Store[K, T]) Stats() Stats {
 	return Stats{
-		Keys:       s.Keys(),
-		Created:    s.created.Load(),
-		EvictedLRU: s.evictedLRU.Load(),
-		EvictedTTL: s.evictedTTL.Load(),
-		Rejected:   s.rejected.Load(),
+		Keys:            s.Keys(),
+		Created:         s.created.Load(),
+		EvictedLRU:      s.evictedLRU.Load(),
+		EvictedTTL:      s.evictedTTL.Load(),
+		Rejected:        s.rejected.Load(),
+		WindowRotations: s.winCounters.Rotations.Load(),
+		WindowRebuilds:  s.winCounters.Rebuilds.Load(),
 	}
 }
 
@@ -623,4 +824,12 @@ func (s *Store[K, T]) Describe(reg *obs.Registry) {
 	reg.CounterFunc(`keyed_evictions_total{reason="lru"}`, "Keys evicted by capacity pressure.", s.evictedLRU.Load)
 	reg.CounterFunc(`keyed_evictions_total{reason="ttl"}`, "Keys evicted by idle expiry.", s.evictedTTL.Load)
 	reg.CounterFunc("keyed_rejected_total", "Inserts refused because the store was full (Reject policy).", s.rejected.Load)
+	if s.windowed {
+		reg.GaugeFunc("keyed_window_epochs", "Tumbling epochs per key's window ring.",
+			func() float64 { return float64(s.cfg.WindowEpochs) })
+		reg.GaugeFunc("keyed_window_span_seconds", "Maximum windowed-query coverage per key.",
+			func() float64 { return s.winSpan.Seconds() })
+		reg.CounterFunc("keyed_window_rotations_total", "Window epoch slots retired across all keys.", s.winCounters.Rotations.Load)
+		reg.CounterFunc("keyed_window_rebuilds_total", "Windowed merged-view rebuilds across all keys.", s.winCounters.Rebuilds.Load)
+	}
 }

@@ -1,0 +1,84 @@
+package keyed
+
+import (
+	"testing"
+	"time"
+)
+
+// These are the PR 10 TTL edge-case regressions, each written to fail
+// against the pre-fix semantics (expired used `now-e.last > ttl` and touch
+// rewound last-touch stamps under a backwards clock).
+
+// TestTTLExactBoundaryEvicts pins the boundary contract: an entry idle for
+// exactly TTL is expired. `-key-ttl 60s` means "evict after 60s idle", so
+// the 60th second is out, not in. Pre-fix the strict `>` kept the entry.
+func TestTTLExactBoundaryEvicts(t *testing.T) {
+	clk := newVirtualClock()
+	s := mustStore(t, Config{Sketch: testCfg(), TTL: time.Minute, Now: clk.Now})
+	if err := s.Add("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Minute) // idle == TTL, to the nanosecond
+	if s.Contains("k") {
+		t.Fatal("entry idle exactly TTL still resident; idle >= TTL must evict")
+	}
+	if n := s.SweepExpired(); n != 1 {
+		t.Fatalf("SweepExpired dropped %d entries, want 1", n)
+	}
+	if got := s.Stats().EvictedTTL; got != 1 {
+		t.Fatalf("evicted_ttl = %d, want 1", got)
+	}
+
+	// One nanosecond short of TTL stays resident.
+	if err := s.Add("fresh", 1); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Minute - time.Nanosecond)
+	if !s.Contains("fresh") {
+		t.Fatal("entry idle TTL-1ns was evicted")
+	}
+}
+
+// TestTTLBackwardsClockKeepsEntries pins the clamp contract: a clock
+// reading behind an entry's last touch yields zero idle, never a negative
+// that defers or distorts expiry.
+func TestTTLBackwardsClockKeepsEntries(t *testing.T) {
+	clk := newVirtualClock()
+	s := mustStore(t, Config{Sketch: testCfg(), TTL: time.Minute, Now: clk.Now})
+	if err := s.Add("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(-30 * time.Second) // clock steps backwards past the stamp
+	if !s.Contains("k") {
+		t.Fatal("backwards clock evicted a just-created entry")
+	}
+	if s.SweepExpired() != 0 {
+		t.Fatal("backwards clock swept a just-created entry")
+	}
+}
+
+// TestTTLBackwardsClockTouchDoesNotRewind pins that touching an entry
+// while the clock is behind its stamp must not rewind the stamp: once the
+// clock recovers, the entry's idle time is measured from its newest touch,
+// not the rewound one. Pre-fix, touch wrote the backwards reading into
+// e.last, so the entry here showed 70s idle and was evicted 40s after its
+// last access.
+func TestTTLBackwardsClockTouchDoesNotRewind(t *testing.T) {
+	clk := newVirtualClock()
+	s := mustStore(t, Config{Sketch: testCfg(), TTL: time.Minute, Now: clk.Now})
+	if err := s.Add("k", 1); err != nil {
+		t.Fatal(err) // stamped at T
+	}
+	clk.Advance(-30 * time.Second)
+	if err := s.Add("k", 2); err != nil { // touch at T-30s must keep last=T
+		t.Fatal(err)
+	}
+	clk.Advance(70 * time.Second) // clock now T+40s: 40s idle vs last=T
+	if !s.Contains("k") {
+		t.Fatal("entry evicted 40s after its last touch (TTL 60s): touch rewound the stamp")
+	}
+	clk.Advance(20 * time.Second) // T+60s: exactly TTL idle
+	if s.Contains("k") {
+		t.Fatal("entry not evicted at TTL after the clock recovered")
+	}
+}

@@ -1,0 +1,236 @@
+package keyed
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/window"
+)
+
+// windowCfg is the shared windowed-store test layout: 30s epochs, 10 per
+// ring (a 5m window), on a virtual clock.
+func windowCfg(clk *virtualClock) Config {
+	return Config{
+		Sketch:       testCfg(),
+		Shards:       4,
+		WindowWidth:  30 * time.Second,
+		WindowEpochs: 10,
+		Now:          clk.Now,
+	}
+}
+
+func TestWindowConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Sketch: testCfg(), WindowWidth: 30 * time.Second},                   // width without epochs
+		{Sketch: testCfg(), WindowEpochs: 10},                                // epochs without width
+		{Sketch: testCfg(), WindowWidth: -time.Second, WindowEpochs: 10},     // negative width
+		{Sketch: testCfg(), WindowWidth: time.Second, WindowEpochs: -1},      // negative epochs
+		{Sketch: testCfg(), WindowWidth: time.Second, WindowEpochs: 1 << 20}, // epochs over MaxEpochs
+	}
+	for i, cfg := range bad {
+		if _, err := New[string, float64](cfg); err == nil {
+			t.Errorf("case %d: New accepted bad window config %+v", i, cfg)
+		}
+	}
+	s := mustStore(t, Config{Sketch: testCfg(), WindowWidth: time.Second, WindowEpochs: 4})
+	if !s.Windowed() || s.WindowSpan() != 4*time.Second || s.WindowEpochs() != 4 || s.WindowWidth() != time.Second {
+		t.Fatalf("window accessors: windowed=%v span=%s epochs=%d width=%s",
+			s.Windowed(), s.WindowSpan(), s.WindowEpochs(), s.WindowWidth())
+	}
+}
+
+func TestWindowDisabledAndRangeErrors(t *testing.T) {
+	plain := mustStore(t, Config{Sketch: testCfg()})
+	if _, err := plain.WindowQuantile("k", time.Minute, 0.5); !errors.Is(err, ErrWindowDisabled) {
+		t.Fatalf("plain store: err = %v, want ErrWindowDisabled", err)
+	}
+
+	clk := newVirtualClock()
+	s := mustStore(t, windowCfg(clk))
+	if err := s.Add("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []time.Duration{0, -time.Second, 5*time.Minute + time.Nanosecond, time.Hour} {
+		if _, err := s.WindowQuantile("k", d, 0.5); !errors.Is(err, ErrWindowRange) {
+			t.Errorf("d=%s: err = %v, want ErrWindowRange", d, err)
+		}
+	}
+	if _, err := s.WindowQuantile("absent", time.Minute, 0.5); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("absent key: err = %v, want ErrKeyNotFound", err)
+	}
+	if _, err := s.WindowQuantile("k", 5*time.Minute, 0.5); err != nil {
+		t.Fatalf("full-span query: %v", err)
+	}
+}
+
+// TestWindowedSuffixQuantiles drives a keyed windowed store across enough
+// epochs to wrap the ring and checks that windowed answers reflect only
+// the in-window suffix, against exact order statistics, at the solved
+// layout's coarse accuracy.
+func TestWindowedSuffixQuantiles(t *testing.T) {
+	clk := newVirtualClock()
+	s := mustStore(t, windowCfg(clk))
+	const perEpoch = 2000
+	const epochs = 25 // 2.5 rings
+
+	rg := rng.New(7)
+	var all []float64
+	for ep := 0; ep < epochs; ep++ {
+		vals := make([]float64, perEpoch)
+		for i := range vals {
+			vals[i] = rg.Float64() * 1e3
+		}
+		if err := s.AddAll("svc", vals); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, vals...)
+		if ep != epochs-1 {
+			clk.Advance(30 * time.Second)
+		}
+	}
+
+	for _, m := range []int{1, 3, 10} {
+		d := time.Duration(m) * 30 * time.Second
+		n, err := s.WindowCount("svc", d)
+		if err != nil {
+			t.Fatalf("WindowCount(%s): %v", d, err)
+		}
+		if want := uint64(m * perEpoch); n != want {
+			t.Fatalf("WindowCount(%s) = %d, want %d", d, n, want)
+		}
+		suffix := append([]float64(nil), all[(epochs-m)*perEpoch:]...)
+		sort.Float64s(suffix)
+		for _, phi := range []float64{0.1, 0.5, 0.9, 0.99} {
+			got, err := s.WindowQuantile("svc", d, phi)
+			if err != nil {
+				t.Fatalf("WindowQuantile(%s, %g): %v", d, phi, err)
+			}
+			// Rank-check against the suffix with a generous ±10% rank slack
+			// (the test layout is far coarser than a solved production one;
+			// the conformance harness does the strict ε accounting).
+			rank := sort.SearchFloat64s(suffix, got)
+			target := phi * float64(len(suffix))
+			if diff := rank - int(target); diff < -len(suffix)/10 || diff > len(suffix)/10 {
+				t.Errorf("d=%s phi=%g: value %v at suffix rank %d, want near %d", d, phi, got, rank, int(target))
+			}
+		}
+		// The windowed CDF must also be suffix-local: the all-time median of
+		// a shifting stream is meaningless here, but CDF at the suffix max
+		// must be 1.
+		cdf, err := s.WindowCDF("svc", d, suffix[len(suffix)-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cdf != 1 {
+			t.Errorf("d=%s: CDF(max) = %g, want 1", d, cdf)
+		}
+	}
+
+	// A window covering one epoch, queried after the clock moves two epochs
+	// with no ingest, is empty.
+	clk.Advance(2 * 30 * time.Second)
+	if _, err := s.WindowQuantile("svc", 30*time.Second, 0.5); !errors.Is(err, window.ErrEmptyWindow) {
+		t.Fatalf("post-idle 1-epoch query: err = %v, want ErrEmptyWindow", err)
+	}
+	// But the all-time sketch still answers.
+	if _, err := s.Quantile("svc", 0.5); err != nil {
+		t.Fatalf("all-time query after idle: %v", err)
+	}
+	st := s.Stats()
+	if st.WindowRotations == 0 || st.WindowRebuilds == 0 {
+		t.Fatalf("window counters not advancing: %+v", st)
+	}
+}
+
+// TestWindowedStoreMemoryBound pins the documented memory model:
+// (#keys)·(1+E)·b·k.
+func TestWindowedStoreMemoryBound(t *testing.T) {
+	clk := newVirtualClock()
+	s := mustStore(t, windowCfg(clk))
+	for _, k := range []string{"a", "b", "c"} {
+		if err := s.Add(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := testCfg()
+	want := 3 * (1 + 10) * cfg.B * cfg.K
+	if got := s.MemoryBoundElements(); got != want {
+		t.Fatalf("MemoryBoundElements = %d, want %d", got, want)
+	}
+	if got := s.MemoryElements(); got > want {
+		t.Fatalf("exact memory %d exceeds bound %d", got, want)
+	}
+}
+
+// TestWindowedResetKey checks ResetKey clears the ring alongside the
+// all-time sketch.
+func TestWindowedResetKey(t *testing.T) {
+	clk := newVirtualClock()
+	s := mustStore(t, windowCfg(clk))
+	if err := s.AddAll("k", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.ResetKey("k") {
+		t.Fatal("ResetKey: key not resident")
+	}
+	if n, err := s.WindowCount("k", 5*time.Minute); err != nil || n != 0 {
+		t.Fatalf("post-reset WindowCount = %d, %v; want 0, nil", n, err)
+	}
+	if s.Count("k") != 0 {
+		t.Fatalf("post-reset Count = %d, want 0", s.Count("k"))
+	}
+}
+
+// TestWindowedQueryAllocs pins the warm keyed windowed query at zero
+// allocations end to end (shard probe + ring cache hit + binary search).
+func TestWindowedQueryAllocs(t *testing.T) {
+	clk := newVirtualClock()
+	s := mustStore(t, windowCfg(clk))
+	vals := make([]float64, 8192)
+	rg := rng.New(1)
+	for i := range vals {
+		vals[i] = rg.Float64()
+	}
+	if err := s.AddAll("hot", vals); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WindowQuantile("hot", time.Minute, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.WindowQuantile("hot", time.Minute, 0.99); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm WindowQuantile allocs/op = %g, want 0", allocs)
+	}
+}
+
+// TestWindowedIngestAllocs pins steady-state windowed AddAll (no rotation,
+// resident key) at zero allocations.
+func TestWindowedIngestAllocs(t *testing.T) {
+	clk := newVirtualClock()
+	s := mustStore(t, windowCfg(clk))
+	vals := make([]float64, 4096)
+	rg := rng.New(1)
+	for i := range vals {
+		vals[i] = rg.Float64()
+	}
+	for i := 0; i < 64; i++ {
+		if err := s.AddAll("hot", vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.AddAll("hot", vals); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("windowed keyed AddAll allocs/op = %g, want 0", allocs)
+	}
+}

@@ -3,9 +3,10 @@
 // known-N, the reservoir and extreme baselines, the sharded concurrent
 // sketch, the cluster coordinator's shipment ingest, the query-serving
 // path (cold view rebuild, cached single-φ and CDF lookups, queries racing
-// ingest), and the multi-tenant keyed store (hot-key slab ingest, Zipf
-// group-by churn, cached per-key queries) — and emits a machine-readable
-// report (BENCH_<PR>.json) that CI
+// ingest), the multi-tenant keyed store (hot-key slab ingest, Zipf
+// group-by churn, cached per-key queries), and the time-windowed keyed
+// store (in-epoch ingest, epoch rotation, cached windowed queries) — and
+// emits a machine-readable report (BENCH_<PR>.json) that CI
 // compares against a checked-in baseline to catch throughput regressions.
 //
 // Ingest rows report ns per stream element; query rows report ns per query
@@ -36,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/keyed"
 	"repro/internal/stream"
+	"repro/internal/window"
 )
 
 // Row families: rows in one family share a stream size, and -bench-n can
@@ -48,11 +50,12 @@ const (
 	FamilyEngine  = "engine"  // per-engine ingest + cached-query rows
 	FamilyBinary  = "binary"  // framed-slab wire ingest rows
 	FamilyKeyed   = "keyed"   // multi-tenant keyed store rows
+	FamilyWindow  = "window"  // time-windowed keyed store rows
 )
 
 // Families lists the known row families in display order.
 func Families() []string {
-	return []string{FamilyIngest, FamilyQuery, FamilyCluster, FamilyEngine, FamilyBinary, FamilyKeyed}
+	return []string{FamilyIngest, FamilyQuery, FamilyCluster, FamilyEngine, FamilyBinary, FamilyKeyed, FamilyWindow}
 }
 
 // Row is one measured ingest path.
@@ -600,6 +603,107 @@ func Run(cfg Config) (Report, error) {
 		return rep, err
 	}
 
+	// Windowed rows: the epoch-ring keyed store. window-ingest replays the
+	// hot-tenant slab shape into a store whose virtual clock is frozen
+	// mid-epoch — the per-element cost of feeding both the all-time sketch
+	// and the current epoch's sub-sketch, rotation excluded, alloc-gated at
+	// zero. window-rotate prices the rotation step itself (advance + retire
+	// of one slot per epoch boundary); its Elems are rotations, so NsPerElem
+	// reads as ns/rotation. window-query-cached is the steady-state windowed
+	// read against an unchanged ring: the version-keyed merged view must
+	// stay cached and alloc-free.
+	winData := stream.Collect(stream.Uniform(uint64(nFor(FamilyWindow)), 0xbe9c4))
+	var winSlab []byte
+	for off := 0; off < len(winData); off += 1 << 16 {
+		end := off + 1<<16
+		if end > len(winData) {
+			end = len(winData)
+		}
+		winSlab = codec.AppendKeyedIngestFrame(winSlab, []byte("hot-tenant"), winData[off:end])
+	}
+	winNow := time.Unix(1_700_000_000, 0)
+	kwin, err := keyed.New[string, float64](keyed.Config{
+		Sketch:       kcfg,
+		Shards:       keyed.DefaultShards,
+		WindowWidth:  time.Hour, // frozen clock: the op never crosses an epoch
+		WindowEpochs: 8,
+		Now:          func() time.Time { return winNow },
+	})
+	if err != nil {
+		return rep, err
+	}
+	if kerr := kwin.AddAll("hot-tenant", winData[:1]); kerr != nil {
+		return rep, kerr
+	}
+	wRd := bytes.NewReader(winSlab)
+	addRow(FamilyWindow, "window-ingest", len(winData), func() {
+		kwin.ResetKey("hot-tenant")
+		wRd.Reset(winSlab)
+		kDec.Reset(wRd)
+	}, func() {
+		for {
+			key, vals, derr := kDec.Next()
+			if derr != nil {
+				if derr != io.EOF {
+					err = derr
+				}
+				return
+			}
+			if aerr := keyed.AddAllBytes(kwin, key, vals); aerr != nil {
+				err = aerr
+				return
+			}
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	// window-rotate drives a bare ring one epoch per step: each Add lands
+	// in a fresh epoch, so the timed loop pays advance + slot retirement
+	// every iteration. The epoch counter runs on across reps — rotation
+	// cost is position-independent.
+	ring, err := window.New[float64](window.Config{Sketch: kcfg, Width: time.Second, Epochs: 8})
+	if err != nil {
+		return rep, err
+	}
+	const rotations = 4096
+	rotBase := time.Unix(1_700_000_000, 0).UnixNano()
+	var rotEpoch int64
+	addRow(FamilyWindow, "window-rotate", rotations, func() {}, func() {
+		for i := 0; i < rotations; i++ {
+			ring.Add(rotBase+rotEpoch*int64(time.Second), float64(i))
+			rotEpoch++
+		}
+	})
+
+	// window-query-cached: repeated windowed reads over the full span of an
+	// unchanged key. Only the first query per version rebuilds the merged
+	// view; the rest must hit the cached pointer.
+	qn := 1 << 16
+	if qn > len(winData) {
+		qn = len(winData)
+	}
+	if kerr := kwin.AddAll("win-tenant", winData[:qn]); kerr != nil {
+		return rep, kerr
+	}
+	winSpan := kwin.WindowSpan()
+	const winQueries = 1 << 18
+	addRow(FamilyWindow, "window-query-cached", winQueries, func() {
+		_, err = kwin.WindowQuantile("win-tenant", winSpan, 0.5)
+	}, func() {
+		for i := 0; i < winQueries; i++ {
+			phi := float64(i&1023+1) / 1024
+			if _, qerr := kwin.WindowQuantile("win-tenant", winSpan, phi); qerr != nil {
+				err = qerr
+				return
+			}
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+
 	// Per-engine rows: the same unknown-N ingest and cached-query workload
 	// through each pluggable backend, so EXPERIMENTS.md can table
 	// MRL99-vs-KLL-vs-GK speed next to the conformance grid's accuracy.
@@ -683,7 +787,7 @@ func buildEnvelopes(eps, delta float64, n int) ([]cluster.Envelope, uint64, erro
 // enforces: the pooled single-sketch and wire-ingest hot paths, where a
 // reintroduced per-block allocation is a real regression. The concurrent
 // and query rows are excluded — their counts ride on goroutine scheduling.
-var allocGatedPrefixes = []string{"unknown-n", "known-n", "ingest-binary", "engine-ingest", "keyed-ingest-hot", "keyed-query-cached"}
+var allocGatedPrefixes = []string{"unknown-n", "known-n", "ingest-binary", "engine-ingest", "keyed-ingest-hot", "keyed-query-cached", "window-ingest", "window-query-cached"}
 
 func allocGated(name string) bool {
 	for _, p := range allocGatedPrefixes {

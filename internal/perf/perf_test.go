@@ -193,3 +193,37 @@ func TestRunEmitsKeyedRows(t *testing.T) {
 		t.Error("keyed-ingest-zipf alloc-gated; cold entry creation allocates by design")
 	}
 }
+
+func TestRunEmitsWindowRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-timed harness")
+	}
+	rep := small(t, Config{FamilyN: map[string]int{FamilyWindow: 2048}, Engines: []string{engine.MRL99}})
+	rows := rowsByName(rep)
+	r, ok := rows["window-ingest"]
+	if !ok {
+		t.Fatalf("missing row window-ingest in %v", rep.Rows)
+	}
+	if r.N != 2048 || r.Elems != 2048 {
+		t.Errorf("window-ingest recorded n=%d elems=%d, want 2048", r.N, r.Elems)
+	}
+	if r.AllocsPerOp != 0 {
+		t.Errorf("window-ingest allocated %d/op; the windowed hot path must be alloc-free", r.AllocsPerOp)
+	}
+	if r, ok := rows["window-rotate"]; !ok || r.Elems != 4096 || r.NsPerElem <= 0 {
+		t.Errorf("window-rotate row: %+v (present=%v)", r, ok)
+	}
+	if r, ok := rows["window-query-cached"]; !ok || r.Elems != 1<<18 {
+		t.Errorf("window-query-cached row: %+v (present=%v)", r, ok)
+	} else if r.AllocsPerOp != 0 {
+		t.Errorf("window-query-cached allocated %d/op; cached windowed reads must be alloc-free", r.AllocsPerOp)
+	}
+	for _, name := range []string{"window-ingest", "window-query-cached"} {
+		if !allocGated(name) {
+			t.Errorf("%s not alloc-gated", name)
+		}
+	}
+	if allocGated("window-rotate") {
+		t.Error("window-rotate alloc-gated; slot retirement re-arms a sub-sketch by design")
+	}
+}

@@ -1,0 +1,95 @@
+package window
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// TestRingConcurrency is the windowed race storm: 8 writers bulk-ingest
+// while 8 readers query across live rotations driven by a shared atomic
+// clock. Run under -race it proves the ring lock, the version-keyed view
+// cache, and the singleflight rebuild compose safely while epochs
+// retire mid-flight.
+func TestRingConcurrency(t *testing.T) {
+	cfg := testCfg()
+	cfg.Epochs = 4
+	cfg.Width = 10 * time.Millisecond
+	r := mustRing(t, cfg)
+
+	const writers, readers, rounds = 8, 8, 300
+	var clock atomic.Int64 // virtual nanos, advanced by writer 0
+	clock.Store(int64(cfg.Width) / 2)
+
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			rg := rng.New(uint64(wr) + 1)
+			vals := make([]float64, 64)
+			for round := 0; round < rounds; round++ {
+				for i := range vals {
+					vals[i] = rg.Float64()
+				}
+				now := clock.Load()
+				if wr%2 == 0 {
+					r.AddAll(now, vals)
+					total.Add(uint64(len(vals)))
+				} else {
+					r.Add(now, vals[0])
+					total.Add(1)
+				}
+				if wr == 0 && round%10 == 9 {
+					// Advance the clock one epoch: every live writer and
+					// reader immediately observes the rotation.
+					clock.Add(int64(cfg.Width))
+				}
+			}
+		}(wr)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				now := clock.Load()
+				m := 1 + (rd+round)%cfg.Epochs
+				v, err := r.ViewLast(now, m)
+				if err != nil {
+					if errors.Is(err, ErrEmptyWindow) {
+						continue
+					}
+					t.Errorf("reader %d: ViewLast(m=%d): %v", rd, m, err)
+					return
+				}
+				q, err := v.Quantile(0.5)
+				if err != nil {
+					t.Errorf("reader %d: Quantile: %v", rd, err)
+					return
+				}
+				if q < 0 || q >= 1 {
+					t.Errorf("reader %d: median %v outside [0,1)", rd, q)
+					return
+				}
+				_ = r.Count(now, m)
+			}
+		}(rd)
+	}
+	wg.Wait()
+
+	// Post-storm ledger: the full-window count can never exceed what was
+	// written, and the final view must still be queryable.
+	st := r.Stats()
+	if st.Count > total.Load() {
+		t.Fatalf("live count %d exceeds total written %d", st.Count, total.Load())
+	}
+	if _, err := r.ViewLast(clock.Load(), cfg.Epochs); err != nil && !errors.Is(err, ErrEmptyWindow) {
+		t.Fatalf("post-storm ViewLast: %v", err)
+	}
+}

@@ -1,0 +1,435 @@
+// Package window provides time-windowed quantile summaries built from a
+// ring of per-epoch MRL99 sub-sketches.
+//
+// The stream is cut into tumbling epochs of fixed Width. Each live epoch
+// owns an independent core.Sketch; ingest lands in the current epoch's
+// slot and epoch rotation retires the oldest slot in place (its buffers
+// are retained, so steady-state rotation performs no element copying and
+// no per-element allocation). A windowed query merges the live slots
+// through the paper's Section 6 shipment machinery — each sub-sketch
+// ships at most one full and one partial buffer into a coordinator
+// collapse tree — so the merged answer carries the same ε·N_window rank
+// guarantee the analysis gives a single sketch of the concatenated
+// in-window suffix (with the h → h+h′ height increase priced by the
+// solver's slack; see DESIGN.md).
+//
+// Merged views are cached per span behind atomic pointers keyed on a ring
+// version that advances on every ingest and rotation, mirroring the
+// version-keyed view cache of the flat sketch: a warm windowed query is a
+// pointer load plus a binary search and performs zero allocations.
+//
+// The ring never reads the wall clock. Callers pass `now` (nanoseconds)
+// into every operation, so a virtual clock drives rotation
+// deterministically in tests, goldens, and the conformance harness.
+package window
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/view"
+)
+
+// ErrEmptyWindow reports a windowed query whose live epochs hold no
+// elements (nothing was ingested inside the requested span).
+var ErrEmptyWindow = errors.New("window: no elements in the requested window")
+
+// MaxEpochs bounds the ring size; per-key memory is E·b·k elements, so an
+// unbounded E would defeat the store's memory budget.
+const MaxEpochs = 4096
+
+// seedStride separates the per-slot sketch seeds (golden-ratio stride,
+// the same derivation the keyed store uses for per-key seeds).
+const seedStride = 0x9e3779b97f4a7c15
+
+// Counters aggregates rotation and rebuild counts, optionally shared
+// across many rings (the keyed store hands every per-key ring the same
+// Counters so /metrics can expose store-wide totals).
+type Counters struct {
+	// Rotations counts retired epoch slots (a clock jump spanning several
+	// epochs counts each retired slot).
+	Rotations atomic.Uint64
+	// Rebuilds counts merged-view constructions (cache misses).
+	Rebuilds atomic.Uint64
+}
+
+// Config describes a ring. Width and Epochs define the tumbling layout:
+// the ring answers queries over the most recent m·Width for any
+// 1 ≤ m ≤ Epochs.
+type Config struct {
+	// Sketch is the per-epoch sub-sketch layout. Seed seeds slot 0; later
+	// slots derive seeds at a fixed stride.
+	Sketch core.Config
+	// Width is the tumbling epoch length. Must be positive.
+	Width time.Duration
+	// Epochs is the ring size E. Must be in [1, MaxEpochs].
+	Epochs int
+	// MergeB overrides the coordinator collapse-tree width used for
+	// windowed merges (default: the sub-sketch's B).
+	MergeB int
+	// Counters, when non-nil, receives rotation/rebuild counts; otherwise
+	// the ring allocates a private set.
+	Counters *Counters
+}
+
+// Validate checks the layout without building a ring.
+func (c Config) Validate() error {
+	if c.Width <= 0 {
+		return fmt.Errorf("window: epoch width must be positive, got %s", c.Width)
+	}
+	if c.Epochs < 1 || c.Epochs > MaxEpochs {
+		return fmt.Errorf("window: epochs must be in [1, %d], got %d", MaxEpochs, c.Epochs)
+	}
+	if c.MergeB < 0 {
+		return fmt.Errorf("window: merge width must be non-negative, got %d", c.MergeB)
+	}
+	return nil
+}
+
+// cachedView pairs a merged view with the ring version it was built
+// from. A nil view records "the window was empty at this version" so
+// repeated queries against an empty window don't re-walk the slots.
+type cachedView[T cmp.Ordered] struct {
+	v       *view.View[T]
+	version uint64
+}
+
+// Ring is a tumbling-epoch window of sub-sketches. All methods are safe
+// for concurrent use. The zero value is invalid; use New.
+type Ring[T cmp.Ordered] struct {
+	cfg    Config
+	width  int64 // epoch width in nanoseconds
+	mergeB int
+
+	mu      sync.Mutex // guards slots, cur, version
+	slots   []*core.Sketch[T]
+	cur     int64  // current absolute epoch index: floor(now / width)
+	started bool   // false until the first operation pins cur
+	version uint64 // bumped on every ingest and rotation
+
+	// views[m-1] caches the merged view over the newest m slots. Reads
+	// are lock-free; rebuilds serialize on buildMu (singleflight) so a
+	// query stampede after rotation performs one merge, not many.
+	views   []atomic.Pointer[cachedView[T]]
+	buildMu sync.Mutex
+
+	counters *Counters
+}
+
+// New builds an empty ring. Every slot's sub-sketch is allocated up
+// front so steady-state ingest and rotation never allocate.
+func New[T cmp.Ordered](cfg Config) (*Ring[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mergeB := cfg.MergeB
+	if mergeB == 0 {
+		mergeB = cfg.Sketch.B
+	}
+	r := &Ring[T]{
+		cfg:      cfg,
+		width:    int64(cfg.Width),
+		mergeB:   mergeB,
+		slots:    make([]*core.Sketch[T], cfg.Epochs),
+		views:    make([]atomic.Pointer[cachedView[T]], cfg.Epochs),
+		counters: cfg.Counters,
+	}
+	if r.counters == nil {
+		r.counters = &Counters{}
+	}
+	for i := range r.slots {
+		scfg := cfg.Sketch
+		scfg.Seed += uint64(i) * seedStride
+		sk, err := core.NewSketch[T](scfg)
+		if err != nil {
+			return nil, err
+		}
+		r.slots[i] = sk
+	}
+	// Probe the merge layout once so a bad MergeB fails at construction,
+	// not at first query.
+	if _, err := parallel.NewCoordinator[T](cfg.Sketch.K, mergeB, cfg.Sketch.Seed); err != nil {
+		return nil, fmt.Errorf("window: merge layout: %w", err)
+	}
+	return r, nil
+}
+
+// Epochs returns the ring size E.
+func (r *Ring[T]) Epochs() int { return len(r.slots) }
+
+// Width returns the tumbling epoch length.
+func (r *Ring[T]) Width() time.Duration { return r.cfg.Width }
+
+// Span returns the total window coverage, Epochs·Width.
+func (r *Ring[T]) Span() time.Duration {
+	return time.Duration(len(r.slots)) * r.cfg.Width
+}
+
+// EpochsFor converts a query duration into a live-slot count: the
+// smallest m with m·Width ≥ d, clamped to [1, Epochs]. The caller is
+// expected to range-check d against Span first if strict validation is
+// wanted; EpochsFor itself is forgiving.
+func (r *Ring[T]) EpochsFor(d time.Duration) int {
+	if d <= 0 {
+		return 1
+	}
+	m := int((int64(d) + r.width - 1) / r.width)
+	if m < 1 {
+		m = 1
+	}
+	if m > len(r.slots) {
+		m = len(r.slots)
+	}
+	return m
+}
+
+// slot maps an absolute epoch index onto its ring slot. Epoch indices
+// can be negative (clocks before the epoch origin), so the remainder is
+// normalized into [0, E).
+func (r *Ring[T]) slot(epoch int64) *core.Sketch[T] {
+	i := epoch % int64(len(r.slots))
+	if i < 0 {
+		i += int64(len(r.slots))
+	}
+	return r.slots[int(i)]
+}
+
+// advance rotates the ring forward to the epoch containing now. Retired
+// slots are reset in place (buffers retained). A clock that jumped past
+// the whole window resets every slot. A backwards clock is a no-op: the
+// ring never rotates back, so late arrivals land in the newest epoch
+// rather than resurrecting retired ones. Caller holds r.mu.
+func (r *Ring[T]) advance(now int64) {
+	e := now / r.width
+	if now < 0 {
+		// Floor, not truncate: pre-epoch-zero clocks land in epoch -1.
+		if now%r.width != 0 {
+			e--
+		}
+	}
+	if !r.started {
+		r.started = true
+		r.cur = e
+		return
+	}
+	if e <= r.cur {
+		return
+	}
+	retire := e - r.cur
+	if retire > int64(len(r.slots)) {
+		retire = int64(len(r.slots))
+	}
+	for i := int64(1); i <= retire; i++ {
+		sk := r.slot(r.cur + i)
+		if sk.Count() > 0 {
+			sk.Reset()
+		}
+	}
+	r.counters.Rotations.Add(uint64(retire))
+	r.cur = e
+	r.version++
+}
+
+// Add ingests one value into the epoch containing now.
+func (r *Ring[T]) Add(now int64, v T) {
+	r.mu.Lock()
+	r.advance(now)
+	r.slot(r.cur).Add(v)
+	r.version++
+	r.mu.Unlock()
+}
+
+// AddAll bulk-ingests into the epoch containing now. The whole batch
+// lands in one epoch (the caller's `now` timestamps the batch).
+func (r *Ring[T]) AddAll(now int64, vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.advance(now)
+	r.slot(r.cur).AddAll(vs)
+	r.version++
+	r.mu.Unlock()
+}
+
+// Rotate advances the ring to the epoch containing now without
+// ingesting. Queries do this implicitly; Rotate exists so idle rings
+// retire stale epochs under a sweeper.
+func (r *Ring[T]) Rotate(now int64) {
+	r.mu.Lock()
+	r.advance(now)
+	r.mu.Unlock()
+}
+
+// Count returns the number of in-window elements over the newest m
+// epochs as of now (rotating first).
+func (r *Ring[T]) Count(now int64, m int) uint64 {
+	if m < 1 {
+		return 0
+	}
+	if m > len(r.slots) {
+		m = len(r.slots)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advance(now)
+	var n uint64
+	for i := 0; i < m; i++ {
+		n += r.slot(r.cur - int64(i)).Count()
+	}
+	return n
+}
+
+// ViewLast returns a merged view over the newest m epochs as of now. The
+// result is immutable and cached until the next ingest or rotation; a
+// warm call performs no allocation. It returns ErrEmptyWindow when the
+// live epochs hold no elements.
+func (r *Ring[T]) ViewLast(now int64, m int) (*view.View[T], error) {
+	if m < 1 || m > len(r.slots) {
+		return nil, fmt.Errorf("window: span of %d epochs out of range [1, %d]", m, len(r.slots))
+	}
+	r.mu.Lock()
+	r.advance(now)
+	ver := r.version
+	r.mu.Unlock()
+	if cv := r.views[m-1].Load(); cv != nil && cv.version == ver {
+		if cv.v == nil {
+			return nil, ErrEmptyWindow
+		}
+		return cv.v, nil
+	}
+	return r.rebuild(m)
+}
+
+// rebuild constructs, caches, and returns the merged view over the
+// newest m epochs. Singleflight: concurrent cache misses for any span
+// serialize here, and all but the first usually return the fresh cache
+// entry without merging again.
+func (r *Ring[T]) rebuild(m int) (*view.View[T], error) {
+	r.buildMu.Lock()
+	defer r.buildMu.Unlock()
+
+	// Snapshot the live slots under the ring lock (oldest first, so the
+	// coordinator receives shipments in a deterministic order and replay
+	// is byte-identical), then merge outside it so ingest keeps flowing
+	// during the collapse.
+	r.mu.Lock()
+	ver := r.version
+	if cv := r.views[m-1].Load(); cv != nil && cv.version == ver {
+		r.mu.Unlock()
+		if cv.v == nil {
+			return nil, ErrEmptyWindow
+		}
+		return cv.v, nil
+	}
+	states := make([]core.SketchState[T], 0, m)
+	var n uint64
+	for i := m - 1; i >= 0; i-- {
+		sk := r.slot(r.cur - int64(i))
+		if sk.Count() == 0 {
+			continue
+		}
+		states = append(states, sk.Snapshot())
+		n += sk.Count()
+	}
+	r.mu.Unlock()
+
+	if n == 0 {
+		r.views[m-1].Store(&cachedView[T]{version: ver})
+		return nil, ErrEmptyWindow
+	}
+
+	v, err := r.merge(states)
+	if err != nil {
+		return nil, err
+	}
+	r.counters.Rebuilds.Add(1)
+	r.views[m-1].Store(&cachedView[T]{v: v, version: ver})
+	return v, nil
+}
+
+// merge ships every snapshotted sub-sketch into a fresh coordinator
+// collapse tree and extracts the weighted view. Ship destroys its
+// sketch, so each state is restored into a throwaway copy first; the
+// live slots are never touched.
+func (r *Ring[T]) merge(states []core.SketchState[T]) (*view.View[T], error) {
+	coord, err := parallel.NewCoordinator[T](r.cfg.Sketch.K, r.mergeB, r.cfg.Sketch.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range states {
+		cp, err := core.Restore(st)
+		if err != nil {
+			return nil, err
+		}
+		if err := coord.Receive(parallel.Ship(cp)); err != nil {
+			return nil, err
+		}
+	}
+	return coord.View()
+}
+
+// Stats is a point-in-time summary of a ring.
+type Stats struct {
+	Epoch     int64  `json:"epoch"`     // current absolute epoch index
+	Count     uint64 `json:"count"`     // elements across all live epochs
+	Rotations uint64 `json:"rotations"` // retired slots (shared counter)
+	Rebuilds  uint64 `json:"rebuilds"`  // merged-view builds (shared counter)
+	Version   uint64 `json:"version"`   // cache-invalidation version
+}
+
+// Stats reports the ring's current state without rotating it.
+func (r *Ring[T]) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n uint64
+	for _, sk := range r.slots {
+		n += sk.Count()
+	}
+	return Stats{
+		Epoch:     r.cur,
+		Count:     n,
+		Rotations: r.counters.Rotations.Load(),
+		Rebuilds:  r.counters.Rebuilds.Load(),
+		Version:   r.version,
+	}
+}
+
+// Reset clears every epoch in place, retaining allocated buffers and the
+// current epoch position — the ring analogue of Sketch.Reset.
+func (r *Ring[T]) Reset() {
+	r.mu.Lock()
+	for _, sk := range r.slots {
+		if sk.Count() > 0 {
+			sk.Reset()
+		}
+	}
+	r.version++
+	r.mu.Unlock()
+}
+
+// MemoryElements returns the exact resident element footprint across all
+// epoch slots.
+func (r *Ring[T]) MemoryElements() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := 0
+	for _, sk := range r.slots {
+		m += sk.MemoryElements()
+	}
+	return m
+}
+
+// MemoryBoundElements is the worst-case resident element count of the
+// ring: E sub-sketches of b·k each (per-slot scratch included via the
+// sub-sketch's own bound).
+func (r *Ring[T]) MemoryBoundElements() int {
+	per := r.cfg.Sketch.B * r.cfg.Sketch.K
+	return per * len(r.slots)
+}

@@ -1,0 +1,362 @@
+package window
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+	"repro/internal/view"
+)
+
+func testSketchCfg() core.Config {
+	return core.Config{B: 6, K: 128, H: 3, Seed: 42}
+}
+
+func testCfg() Config {
+	return Config{Sketch: testSketchCfg(), Width: 30 * time.Second, Epochs: 10}
+}
+
+func mustRing(t *testing.T, cfg Config) *Ring[float64] {
+	t.Helper()
+	r, err := New[float64](cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r
+}
+
+// nanosAt places a timestamp inside absolute epoch ep of the given width.
+func nanosAt(width time.Duration, ep int64) int64 {
+	return ep*int64(width) + int64(width)/2
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero width", func(c *Config) { c.Width = 0 }},
+		{"negative width", func(c *Config) { c.Width = -time.Second }},
+		{"zero epochs", func(c *Config) { c.Epochs = 0 }},
+		{"huge epochs", func(c *Config) { c.Epochs = MaxEpochs + 1 }},
+		{"negative mergeB", func(c *Config) { c.MergeB = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := testCfg()
+		tc.mut(&cfg)
+		if _, err := New[float64](cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", tc.name)
+		}
+	}
+	if _, err := New[float64](Config{Sketch: testSketchCfg(), Width: time.Second, Epochs: 1, MergeB: 1}); err == nil {
+		t.Errorf("New accepted merge width 1 (collapse tree needs b >= 2)")
+	}
+}
+
+func TestEpochsFor(t *testing.T) {
+	r := mustRing(t, testCfg()) // 30s x 10
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-time.Minute, 1},
+		{time.Nanosecond, 1},
+		{30 * time.Second, 1},
+		{30*time.Second + time.Nanosecond, 2},
+		{time.Minute, 2},
+		{5 * time.Minute, 10},
+		{time.Hour, 10}, // clamped to the ring
+	}
+	for _, tc := range cases {
+		if got := r.EpochsFor(tc.d); got != tc.want {
+			t.Errorf("EpochsFor(%s) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+	if got, want := r.Span(), 5*time.Minute; got != want {
+		t.Errorf("Span = %s, want %s", got, want)
+	}
+}
+
+func TestEmptyWindow(t *testing.T) {
+	r := mustRing(t, testCfg())
+	now := nanosAt(r.Width(), 100)
+	if _, err := r.ViewLast(now, 3); !errors.Is(err, ErrEmptyWindow) {
+		t.Fatalf("empty ring: err = %v, want ErrEmptyWindow", err)
+	}
+	// The empty answer is cached: a second query at the same version must
+	// return the same sentinel without rebuilding.
+	if _, err := r.ViewLast(now, 3); !errors.Is(err, ErrEmptyWindow) {
+		t.Fatalf("empty ring (cached): err = %v, want ErrEmptyWindow", err)
+	}
+	if reb := r.Stats().Rebuilds; reb != 0 {
+		t.Fatalf("empty queries recorded %d rebuilds, want 0", reb)
+	}
+
+	// Data present but entirely outside the queried span.
+	r.AddAll(now, []float64{1, 2, 3})
+	later := nanosAt(r.Width(), 102)
+	if _, err := r.ViewLast(later, 3); err != nil {
+		t.Fatalf("span 3 should still see epoch 100: %v", err)
+	}
+	if _, err := r.ViewLast(later, 2); !errors.Is(err, ErrEmptyWindow) {
+		t.Fatalf("span 2 at epoch 102: err = %v, want ErrEmptyWindow", err)
+	}
+
+	if _, err := r.ViewLast(later, 0); err == nil {
+		t.Fatalf("span 0 accepted")
+	}
+	if _, err := r.ViewLast(later, r.Epochs()+1); err == nil {
+		t.Fatalf("span beyond ring accepted")
+	}
+}
+
+func TestRotationRetiresOldEpochs(t *testing.T) {
+	r := mustRing(t, testCfg())
+	w := r.Width()
+	r.AddAll(nanosAt(w, 0), []float64{1, 1, 1})
+	// Jump far past the whole window: everything must be retired.
+	r.Rotate(nanosAt(w, 1000))
+	if _, err := r.ViewLast(nanosAt(w, 1000), r.Epochs()); !errors.Is(err, ErrEmptyWindow) {
+		t.Fatalf("after full-window jump: err = %v, want ErrEmptyWindow", err)
+	}
+	if got := r.Stats().Count; got != 0 {
+		t.Fatalf("after full-window jump: live count = %d, want 0", got)
+	}
+	if rot := r.Stats().Rotations; rot != uint64(r.Epochs()) {
+		t.Fatalf("rotations = %d, want capped at %d", rot, r.Epochs())
+	}
+}
+
+func TestBackwardsClockDoesNotRotate(t *testing.T) {
+	r := mustRing(t, testCfg())
+	w := r.Width()
+	r.AddAll(nanosAt(w, 50), []float64{1, 2, 3, 4})
+	// A clock step backwards must not resurrect retired epochs or rotate;
+	// late arrivals land in the newest epoch.
+	r.AddAll(nanosAt(w, 48), []float64{5, 6})
+	if got := r.Count(nanosAt(w, 50), 1); got != 6 {
+		t.Fatalf("after backwards-clock ingest: newest-epoch count = %d, want 6", got)
+	}
+	if rot := r.Stats().Rotations; rot != 0 {
+		t.Fatalf("backwards clock caused %d rotations", rot)
+	}
+}
+
+func TestNegativeEpochIndices(t *testing.T) {
+	r := mustRing(t, testCfg())
+	w := r.Width()
+	// Clocks before the epoch origin must floor (epoch -1, not 0) and not
+	// panic on slot lookup.
+	r.AddAll(-int64(w)/2, []float64{1, 2, 3})
+	if got := r.Count(-int64(w)/2, 1); got != 3 {
+		t.Fatalf("negative-epoch count = %d, want 3", got)
+	}
+	r.AddAll(int64(w)/2, []float64{4}) // epoch 0: one rotation forward
+	if rot := r.Stats().Rotations; rot != 1 {
+		t.Fatalf("rotations = %d, want 1", rot)
+	}
+	if got := r.Count(int64(w)/2, 2); got != 4 {
+		t.Fatalf("two-epoch count across origin = %d, want 4", got)
+	}
+}
+
+// TestWindowedQueryEqualsFreshMerge is the tentpole property test: after R
+// rotations (wrapping the ring), ViewLast over every span m must be
+// byte-equal to a merge built from scratch out of model sketches fed the
+// same per-epoch values — proving rotation bookkeeping retires exactly
+// the right slots and the cached view tracks the live set.
+func TestWindowedQueryEqualsFreshMerge(t *testing.T) {
+	cfg := testCfg()
+	cfg.Epochs = 6
+	r := mustRing(t, cfg)
+	w := cfg.Width
+	const rotations = 15 // 2.5x the ring, so slots are reused and reset
+	const perEpoch = 3000
+
+	rg := rng.New(0xfeed)
+	model := map[int64][]float64{} // absolute epoch -> values fed
+	for ep := int64(0); ep < rotations; ep++ {
+		// Two AddAll chunks plus scalar Adds per epoch, to prove chunking
+		// doesn't matter (bulk ingest is byte-identical to scalar).
+		vals := make([]float64, perEpoch)
+		for i := range vals {
+			vals[i] = rg.Float64() * 1e6
+		}
+		now := nanosAt(w, ep)
+		r.AddAll(now, vals[:perEpoch/2])
+		r.AddAll(now, vals[perEpoch/2:perEpoch-7])
+		for _, v := range vals[perEpoch-7:] {
+			r.Add(now, v)
+		}
+		model[ep] = vals
+	}
+
+	cur := int64(rotations - 1)
+	for m := 1; m <= cfg.Epochs; m++ {
+		got, err := r.ViewLast(nanosAt(w, cur), m)
+		if err != nil {
+			t.Fatalf("ViewLast(m=%d): %v", m, err)
+		}
+		want := freshMerge(t, cfg, model, cur, m)
+		assertViewsEqual(t, m, got, want)
+
+		// The cached path must return the identical pointer while the ring
+		// is untouched.
+		again, err := r.ViewLast(nanosAt(w, cur), m)
+		if err != nil {
+			t.Fatalf("ViewLast(m=%d) cached: %v", m, err)
+		}
+		if again != got {
+			t.Errorf("m=%d: cached query rebuilt the view", m)
+		}
+	}
+
+	// Ingest invalidates every span's cache.
+	r.Add(nanosAt(w, cur), 123.456)
+	v1, err := r.ViewLast(nanosAt(w, cur), 2)
+	if err != nil {
+		t.Fatalf("post-ingest ViewLast: %v", err)
+	}
+	if n := v1.N(); n != uint64(2*perEpoch+1) {
+		t.Fatalf("post-ingest N = %d, want %d", n, 2*perEpoch+1)
+	}
+}
+
+// freshMerge rebuilds the expected windowed view from scratch: model
+// sketches seeded exactly like the ring slots they mirror, fed the same
+// values, shipped oldest-first into a coordinator.
+func freshMerge(t *testing.T, cfg Config, model map[int64][]float64, cur int64, m int) *view.View[float64] {
+	t.Helper()
+	coord, err := parallel.NewCoordinator[float64](cfg.Sketch.K, cfg.Sketch.B, cfg.Sketch.Seed)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	for i := m - 1; i >= 0; i-- {
+		ep := cur - int64(i)
+		vals := model[ep]
+		if len(vals) == 0 {
+			continue
+		}
+		idx := ep % int64(cfg.Epochs)
+		if idx < 0 {
+			idx += int64(cfg.Epochs)
+		}
+		scfg := cfg.Sketch
+		scfg.Seed += uint64(idx) * seedStride
+		sk, err := core.NewSketch[float64](scfg)
+		if err != nil {
+			t.Fatalf("NewSketch: %v", err)
+		}
+		sk.AddAll(vals)
+		if err := coord.Receive(parallel.Ship(sk)); err != nil {
+			t.Fatalf("Receive: %v", err)
+		}
+	}
+	v, err := coord.View()
+	if err != nil {
+		t.Fatalf("coord.View: %v", err)
+	}
+	return v
+}
+
+func assertViewsEqual(t *testing.T, m int, got, want *view.View[float64]) {
+	t.Helper()
+	if got.N() != want.N() || got.Size() != want.Size() || got.TotalWeight() != want.TotalWeight() {
+		t.Fatalf("m=%d: view shape (n=%d size=%d w=%d) != fresh merge (n=%d size=%d w=%d)",
+			m, got.N(), got.Size(), got.TotalWeight(), want.N(), want.Size(), want.TotalWeight())
+	}
+	for i := 0; i <= 1000; i++ {
+		phi := float64(i) / 1000
+		if phi == 0 {
+			phi = 0.0005
+		}
+		g, err := got.Quantile(phi)
+		if err != nil {
+			t.Fatalf("m=%d: got.Quantile(%g): %v", m, phi, err)
+		}
+		e, err := want.Quantile(phi)
+		if err != nil {
+			t.Fatalf("m=%d: want.Quantile(%g): %v", m, phi, err)
+		}
+		if g != e {
+			t.Fatalf("m=%d phi=%g: windowed quantile %v != fresh merge %v", m, phi, g, e)
+		}
+	}
+}
+
+// TestWindowedIngestAllocs pins the steady-state windowed ingest path
+// (no rotation) at zero allocations per bulk call.
+func TestWindowedIngestAllocs(t *testing.T) {
+	r := mustRing(t, testCfg())
+	now := nanosAt(r.Width(), 7)
+	vals := make([]float64, 4096)
+	rg := rng.New(1)
+	for i := range vals {
+		vals[i] = rg.Float64()
+	}
+	// Warm until the slot's lazy buffer pool is fully grown.
+	for i := 0; i < 64; i++ {
+		r.AddAll(now, vals)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.AddAll(now, vals)
+	})
+	if allocs != 0 {
+		t.Fatalf("windowed AddAll allocs/op = %g, want 0", allocs)
+	}
+}
+
+// TestWindowedQueryAllocs pins the cached windowed query path at zero
+// allocations.
+func TestWindowedQueryAllocs(t *testing.T) {
+	r := mustRing(t, testCfg())
+	now := nanosAt(r.Width(), 7)
+	vals := make([]float64, 8192)
+	rg := rng.New(1)
+	for i := range vals {
+		vals[i] = rg.Float64()
+	}
+	r.AddAll(now, vals)
+	if _, err := r.ViewLast(now, 4); err != nil {
+		t.Fatalf("warm ViewLast: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		v, err := r.ViewLast(now, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.Quantile(0.99); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached windowed query allocs/op = %g, want 0", allocs)
+	}
+}
+
+// TestRotationsAreCounted checks the shared-counters plumbing.
+func TestSharedCounters(t *testing.T) {
+	var shared Counters
+	cfg := testCfg()
+	cfg.Counters = &shared
+	a := mustRing(t, cfg)
+	b := mustRing(t, cfg)
+	w := cfg.Width
+	a.Add(nanosAt(w, 0), 1)
+	b.Add(nanosAt(w, 0), 1)
+	a.Rotate(nanosAt(w, 1))
+	b.Rotate(nanosAt(w, 2))
+	if got := shared.Rotations.Load(); got != 3 {
+		t.Fatalf("shared rotations = %d, want 3", got)
+	}
+	if _, err := a.ViewLast(nanosAt(w, 1), 2); err != nil {
+		t.Fatalf("ViewLast: %v", err)
+	}
+	if got := shared.Rebuilds.Load(); got != 1 {
+		t.Fatalf("shared rebuilds = %d, want 1", got)
+	}
+}
